@@ -1,0 +1,336 @@
+//! Integer binary arithmetic coder.
+//!
+//! This is the software equivalent of the bit-serial coder the paper takes
+//! from its reference \[7\]: a classic Witten–Neal–Cleary style interval
+//! coder specialised to *binary* decisions, with 32-bit interval registers
+//! and carry resolution via pending "follow" bits. Probabilities arrive as
+//! a pair `(c0, total)`: the decision is `0` with probability `c0/total`.
+//!
+//! A zero count is legal on the side that is *not* being coded: the empty
+//! sub-interval is simply never selected. Coding a decision whose own count
+//! is zero is a caller bug (the estimator escapes instead) and panics in
+//! debug builds.
+
+use cbic_bitio::{BitReader, BitWriter};
+
+const HALF: u32 = 1 << 31;
+const QUARTER: u32 = 1 << 30;
+const THREE_QUARTERS: u32 = HALF + QUARTER;
+
+/// Maximum decision `total` accepted by the coder.
+///
+/// Keeping totals at or below 2^16 guarantees every non-empty sub-interval
+/// spans at least one code value after renormalisation (the interval is
+/// always at least a quarter of the 32-bit range, i.e. 2^30 ≥ 2^16·2^14).
+pub(crate) const MAX_TOTAL: u32 = 1 << 16;
+
+/// Encoding half of the binary arithmetic coder.
+///
+/// Decisions are pushed with [`encode`](Self::encode); the coder emits bits
+/// into the wrapped [`BitWriter`] as the interval narrows. [`finish`](Self::finish)
+/// flushes the final disambiguating bits and returns the writer.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_arith::{BinaryDecoder, BinaryEncoder};
+/// use cbic_bitio::{BitReader, BitWriter};
+///
+/// let mut enc = BinaryEncoder::new(BitWriter::new());
+/// enc.encode(false, 3, 4); // P(0) = 3/4
+/// enc.encode(true, 1, 4);  // P(1) = 3/4
+/// let bytes = enc.finish().into_bytes();
+///
+/// let mut dec = BinaryDecoder::new(BitReader::new(&bytes));
+/// assert!(!dec.decode(3, 4));
+/// assert!(dec.decode(1, 4));
+/// ```
+#[derive(Debug)]
+pub struct BinaryEncoder {
+    low: u32,
+    high: u32,
+    pending: u64,
+    writer: BitWriter,
+    decisions: u64,
+}
+
+impl BinaryEncoder {
+    /// Wraps a bit writer in a fresh encoder covering the full interval.
+    pub fn new(writer: BitWriter) -> Self {
+        Self {
+            low: 0,
+            high: u32::MAX,
+            pending: 0,
+            writer,
+            decisions: 0,
+        }
+    }
+
+    #[inline]
+    fn emit(&mut self, bit: bool) {
+        self.writer.write_bit(bit);
+        // Carry/underflow resolution: pending bits are the complement.
+        for _ in 0..self.pending {
+            self.writer.write_bit(!bit);
+        }
+        self.pending = 0;
+    }
+
+    /// Encodes one binary decision with `P(bit = 0) = c0 / total`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero or exceeds 2^16, if `c0 > total`, or (in
+    /// debug builds) if the coded side has zero probability.
+    #[inline]
+    pub fn encode(&mut self, bit: bool, c0: u32, total: u32) {
+        assert!(total > 0 && total <= MAX_TOTAL, "invalid total {total}");
+        assert!(c0 <= total, "c0 {c0} exceeds total {total}");
+        debug_assert!(
+            if bit { c0 < total } else { c0 > 0 },
+            "coding a zero-probability decision (bit={bit}, c0={c0}, total={total})"
+        );
+        self.decisions += 1;
+
+        let range = u64::from(self.high) - u64::from(self.low) + 1;
+        // First code value of the `1` sub-interval (may be high + 1 when
+        // the `1` side is empty, hence the 64-bit arithmetic).
+        let split = u64::from(self.low) + (range * u64::from(c0)) / u64::from(total);
+        if bit {
+            self.low = split as u32;
+        } else {
+            self.high = (split - 1) as u32;
+        }
+
+        loop {
+            if self.high < HALF {
+                self.emit(false);
+            } else if self.low >= HALF {
+                self.emit(true);
+                self.low -= HALF;
+                self.high -= HALF;
+            } else if self.low >= QUARTER && self.high < THREE_QUARTERS {
+                self.pending += 1;
+                self.low -= QUARTER;
+                self.high -= QUARTER;
+            } else {
+                break;
+            }
+            self.low <<= 1;
+            self.high = (self.high << 1) | 1;
+        }
+    }
+
+    /// Number of decisions encoded so far.
+    ///
+    /// The hardware model uses this: the paper's coder retires one binary
+    /// decision per clock, so decisions/pixel sets the pipeline's
+    /// initiation interval.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Bits emitted so far (excluding un-flushed interval state).
+    pub fn bits_written(&self) -> u64 {
+        self.writer.bits_written()
+    }
+
+    /// Flushes the interval state and returns the underlying writer.
+    ///
+    /// Emits `pending + 2` bits that pin the final code value inside the
+    /// interval, after which the decoder's zero-padded reads cannot leave it.
+    pub fn finish(mut self) -> BitWriter {
+        self.pending += 1;
+        let bit = self.low >= QUARTER;
+        self.emit(bit);
+        // One more bit keeps the value strictly inside [low, high] even
+        // when the decoder pads with zeros.
+        self.writer.write_bit(true);
+        self.writer
+    }
+}
+
+/// Decoding half of the binary arithmetic coder.
+///
+/// Must be fed the same `(c0, total)` sequence the encoder used; adaptive
+/// models guarantee this by updating identically on both sides.
+#[derive(Debug)]
+pub struct BinaryDecoder<'a> {
+    low: u32,
+    high: u32,
+    value: u32,
+    reader: BitReader<'a>,
+    decisions: u64,
+}
+
+impl<'a> BinaryDecoder<'a> {
+    /// Wraps a bit reader and pre-loads the first 32 code bits.
+    pub fn new(mut reader: BitReader<'a>) -> Self {
+        let value = reader.read_bits(32) as u32;
+        Self {
+            low: 0,
+            high: u32::MAX,
+            value,
+            reader,
+            decisions: 0,
+        }
+    }
+
+    /// Decodes one binary decision with `P(bit = 0) = c0 / total`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero or exceeds 2^16 or if `c0 > total`.
+    #[inline]
+    pub fn decode(&mut self, c0: u32, total: u32) -> bool {
+        assert!(total > 0 && total <= MAX_TOTAL, "invalid total {total}");
+        assert!(c0 <= total, "c0 {c0} exceeds total {total}");
+        self.decisions += 1;
+
+        let range = u64::from(self.high) - u64::from(self.low) + 1;
+        let split = u64::from(self.low) + (range * u64::from(c0)) / u64::from(total);
+        let bit = u64::from(self.value) >= split;
+        if bit {
+            self.low = split as u32;
+        } else {
+            self.high = (split - 1) as u32;
+        }
+
+        loop {
+            if self.high < HALF {
+                // Top bits are 0; nothing to subtract.
+            } else if self.low >= HALF {
+                self.low -= HALF;
+                self.high -= HALF;
+                self.value -= HALF;
+            } else if self.low >= QUARTER && self.high < THREE_QUARTERS {
+                self.low -= QUARTER;
+                self.high -= QUARTER;
+                self.value -= QUARTER;
+            } else {
+                break;
+            }
+            self.low <<= 1;
+            self.high = (self.high << 1) | 1;
+            self.value = (self.value << 1) | u32::from(self.reader.read_bit());
+        }
+        bit
+    }
+
+    /// Number of decisions decoded so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Consumes the decoder, returning the underlying reader.
+    pub fn into_reader(self) -> BitReader<'a> {
+        self.reader
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(decisions: &[(bool, u32, u32)]) {
+        let mut enc = BinaryEncoder::new(BitWriter::new());
+        for &(bit, c0, total) in decisions {
+            enc.encode(bit, c0, total);
+        }
+        let bytes = enc.finish().into_bytes();
+        let mut dec = BinaryDecoder::new(BitReader::new(&bytes));
+        for &(bit, c0, total) in decisions {
+            assert_eq!(dec.decode(c0, total), bit);
+        }
+    }
+
+    #[test]
+    fn empty_stream() {
+        let enc = BinaryEncoder::new(BitWriter::new());
+        let bytes = enc.finish().into_bytes();
+        assert!(bytes.len() <= 1);
+    }
+
+    #[test]
+    fn single_decisions() {
+        roundtrip(&[(false, 1, 2)]);
+        roundtrip(&[(true, 1, 2)]);
+    }
+
+    #[test]
+    fn equiprobable_sequence_costs_about_one_bit_each() {
+        let decisions: Vec<_> = (0..1000).map(|i| (i % 2 == 0, 1u32, 2u32)).collect();
+        let mut enc = BinaryEncoder::new(BitWriter::new());
+        for &(bit, c0, total) in &decisions {
+            enc.encode(bit, c0, total);
+        }
+        let bits = enc.finish().into_bytes().len() * 8;
+        assert!((1000..=1016).contains(&bits), "got {bits} bits");
+    }
+
+    #[test]
+    fn skewed_sequence_compresses() {
+        // P(0) = 255/256, all-zero input: ~0.0056 bits each.
+        let decisions: Vec<_> = (0..10_000).map(|_| (false, 255u32, 256u32)).collect();
+        let mut enc = BinaryEncoder::new(BitWriter::new());
+        for &(bit, c0, total) in &decisions {
+            enc.encode(bit, c0, total);
+        }
+        let bits = enc.finish().into_bytes().len() * 8;
+        assert!(bits < 200, "got {bits} bits for 10k near-certain decisions");
+        roundtrip(&decisions);
+    }
+
+    #[test]
+    fn improbable_bits_roundtrip() {
+        // Code the unlikely side repeatedly.
+        let decisions: Vec<_> = (0..100).map(|_| (true, 255u32, 256u32)).collect();
+        roundtrip(&decisions);
+    }
+
+    #[test]
+    fn zero_count_on_uncoded_side_is_fine() {
+        // P(0) = 1 (c0 == total): coding a 0 must work, interval for 1 empty.
+        roundtrip(&[(false, 4, 4), (true, 0, 4), (false, 4, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-probability")]
+    fn zero_probability_decision_panics_in_debug() {
+        let mut enc = BinaryEncoder::new(BitWriter::new());
+        enc.encode(false, 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid total")]
+    fn total_too_large_panics() {
+        let mut enc = BinaryEncoder::new(BitWriter::new());
+        enc.encode(false, 1, MAX_TOTAL + 1);
+    }
+
+    #[test]
+    fn alternating_extreme_probabilities() {
+        let mut decisions = Vec::new();
+        for i in 0..500 {
+            decisions.push((i % 7 == 0, 65_535u32, 65_536u32));
+            decisions.push((i % 3 != 0, 1u32, 65_536u32));
+        }
+        roundtrip(&decisions);
+    }
+
+    #[test]
+    fn decision_counters_match() {
+        let decisions: Vec<_> = (0..77).map(|i| (i % 3 == 0, 2u32, 5u32)).collect();
+        let mut enc = BinaryEncoder::new(BitWriter::new());
+        for &(bit, c0, total) in &decisions {
+            enc.encode(bit, c0, total);
+        }
+        assert_eq!(enc.decisions(), 77);
+        let bytes = enc.finish().into_bytes();
+        let mut dec = BinaryDecoder::new(BitReader::new(&bytes));
+        for &(_, c0, total) in &decisions {
+            dec.decode(c0, total);
+        }
+        assert_eq!(dec.decisions(), 77);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the arithmetic coding stack.
+
+use proptest::prelude::*;
+
+use crate::{
+    AdaptiveBit, BinaryDecoder, BinaryEncoder, EstimatorConfig, SymbolCoder, TreeModel,
+};
+use cbic_bitio::{BitReader, BitWriter};
+
+/// Strategy: a sequence of (bit, c0, total) decisions with valid counts and
+/// a nonzero probability for the coded side.
+fn decisions() -> impl Strategy<Value = Vec<(bool, u32, u32)>> {
+    proptest::collection::vec(
+        (any::<bool>(), 1u32..=65_535).prop_flat_map(|(bit, total_minus_one)| {
+            let total = total_minus_one + 1;
+            // Coded side must have nonzero count.
+            let c0 = if bit { 0..total } else { 1..total + 1 };
+            (Just(bit), c0, Just(total))
+        }),
+        0..512,
+    )
+}
+
+fn estimator_config() -> impl Strategy<Value = EstimatorConfig> {
+    (10u8..=16, 1u16..=64, 1u16..=32).prop_map(|(count_bits, increment, noesc)| EstimatorConfig {
+        count_bits,
+        increment,
+        escape_init: (noesc, 1),
+    })
+}
+
+proptest! {
+    /// The raw binary coder round-trips any legal decision sequence.
+    #[test]
+    fn bincoder_roundtrip(seq in decisions()) {
+        let mut enc = BinaryEncoder::new(BitWriter::new());
+        for &(bit, c0, total) in &seq {
+            enc.encode(bit, c0, total);
+        }
+        let bytes = enc.finish().into_bytes();
+        let mut dec = BinaryDecoder::new(BitReader::new(&bytes));
+        for &(bit, c0, total) in &seq {
+            prop_assert_eq!(dec.decode(c0, total), bit);
+        }
+    }
+
+    /// Code length never exceeds information content by more than a tiny
+    /// per-decision overhead (coder near-optimality).
+    #[test]
+    fn bincoder_near_optimal(seq in decisions()) {
+        let mut enc = BinaryEncoder::new(BitWriter::new());
+        let mut info = 0.0f64;
+        for &(bit, c0, total) in &seq {
+            let p = if bit {
+                f64::from(total - c0) / f64::from(total)
+            } else {
+                f64::from(c0) / f64::from(total)
+            };
+            info -= p.log2();
+            enc.encode(bit, c0, total);
+        }
+        let bits = enc.finish().into_bytes().len() as f64 * 8.0;
+        // 0.01 bits/decision rounding slack + 48 bits flush/padding slack.
+        prop_assert!(bits <= info + 0.02 * seq.len() as f64 + 48.0,
+            "coded {bits} bits for {info} bits of information");
+    }
+
+    /// SymbolCoder round-trips arbitrary (context, symbol) streams under
+    /// arbitrary estimator configurations, and the decoder reconstructs the
+    /// exact model state.
+    #[test]
+    fn symbol_coder_roundtrip(
+        cfg in estimator_config(),
+        stream in proptest::collection::vec((0usize..8, any::<u8>()), 0..600),
+    ) {
+        let mut enc_model = SymbolCoder::new(8, cfg);
+        let mut enc = BinaryEncoder::new(BitWriter::new());
+        for &(ctx, sym) in &stream {
+            enc_model.encode(&mut enc, ctx, sym);
+        }
+        let bytes = enc.finish().into_bytes();
+
+        let mut dec_model = SymbolCoder::new(8, cfg);
+        let mut dec = BinaryDecoder::new(BitReader::new(&bytes));
+        for &(ctx, sym) in &stream {
+            prop_assert_eq!(dec_model.decode(&mut dec, ctx), sym);
+        }
+        prop_assert_eq!(enc_model.stats(), dec_model.stats());
+    }
+
+    /// Tree invariants survive arbitrary update sequences (including
+    /// rescales), and probabilities always sum to 1 over the alphabet.
+    #[test]
+    fn tree_invariants_hold(
+        cfg in estimator_config(),
+        updates in proptest::collection::vec(any::<u8>(), 0..3000),
+    ) {
+        let mut tree = TreeModel::new(8, cfg);
+        for &s in &updates {
+            tree.update(s);
+        }
+        prop_assert!(tree.check_invariants().is_ok());
+        let mass: f64 = (0..=255u8).map(|s| tree.probability(s)).sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9, "probability mass {mass}");
+    }
+
+    /// Escape bookkeeping: encode-side and decode-side escape counts agree
+    /// even with aggressive aging.
+    #[test]
+    fn escape_symmetry(stream in proptest::collection::vec(any::<u8>(), 0..1500)) {
+        let cfg = EstimatorConfig { count_bits: 10, increment: 64, ..EstimatorConfig::default() };
+        let mut enc_model = SymbolCoder::new(1, cfg);
+        let mut enc = BinaryEncoder::new(BitWriter::new());
+        for &sym in &stream {
+            enc_model.encode(&mut enc, 0, sym);
+        }
+        let bytes = enc.finish().into_bytes();
+        let mut dec_model = SymbolCoder::new(1, cfg);
+        let mut dec = BinaryDecoder::new(BitReader::new(&bytes));
+        for &sym in &stream {
+            prop_assert_eq!(dec_model.decode(&mut dec, 0), sym);
+        }
+        prop_assert_eq!(enc_model.stats().escapes, dec_model.stats().escapes);
+    }
+
+    /// AdaptiveBit round-trips arbitrary bit streams with arbitrary caps.
+    #[test]
+    fn adaptive_bit_roundtrip(
+        bits in proptest::collection::vec(any::<bool>(), 0..2000),
+        cap in 4u32..4096,
+    ) {
+        let mut enc_ctx = AdaptiveBit::new(cap);
+        let mut enc = BinaryEncoder::new(BitWriter::new());
+        for &b in &bits {
+            enc_ctx.encode(&mut enc, b);
+        }
+        let bytes = enc.finish().into_bytes();
+        let mut dec_ctx = AdaptiveBit::new(cap);
+        let mut dec = BinaryDecoder::new(BitReader::new(&bytes));
+        for &b in &bits {
+            prop_assert_eq!(dec_ctx.decode(&mut dec), b);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Coding statistics reported by the estimator.
+
+/// Counters accumulated by a [`SymbolCoder`](crate::SymbolCoder).
+///
+/// `escapes` tracks how often a symbol had to be transmitted through the
+/// static tree — the paper's Fig. 4 trades these against probability skew
+/// when choosing the frequency counter width.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoderStats {
+    /// Symbols coded (encode + decode calls).
+    pub symbols: u64,
+    /// Symbols that escaped to the static tree.
+    pub escapes: u64,
+    /// Tree-wide counter halvings across all contexts.
+    pub rescales: u64,
+}
+
+impl CoderStats {
+    /// Fraction of symbols that escaped, in `0.0..=1.0`.
+    pub fn escape_rate(&self) -> f64 {
+        if self.symbols == 0 {
+            0.0
+        } else {
+            self.escapes as f64 / self.symbols as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_rate_handles_empty() {
+        assert_eq!(CoderStats::default().escape_rate(), 0.0);
+    }
+
+    #[test]
+    fn escape_rate_computes_fraction() {
+        let s = CoderStats {
+            symbols: 200,
+            escapes: 50,
+            rescales: 0,
+        };
+        assert!((s.escape_rate() - 0.25).abs() < 1e-12);
+    }
+}

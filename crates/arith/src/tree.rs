@@ -1,0 +1,398 @@
+//! The "dynamic tree" of the paper's probability estimator.
+//!
+//! Each coding context owns a balanced binary tree over the 2ⁿ-symbol
+//! alphabet. A symbol is identified with the root-to-leaf path given by its
+//! bits (MSB first), and coding a symbol means coding the n left/right
+//! decisions along that path.
+//!
+//! # Memory layout (and why it matches the paper's 4 KBytes)
+//!
+//! Every internal node stores a **single** counter: the number of times a
+//! symbol passed through the node and went *left*. The number of times the
+//! node was visited at all is not stored — it is inherited from the parent
+//! during descent (the root's visit count is the tree total). With 255
+//! nodes × 14-bit counters per tree and 9 trees, the estimator needs
+//! ≈ 4 KBytes of SRAM, exactly the figure the paper reports. Storing
+//! (left, right) pairs would double that.
+
+use crate::bincoder::{BinaryDecoder, BinaryEncoder};
+use crate::coder::EstimatorConfig;
+
+/// One adaptive context tree over a `2^depth`-symbol alphabet.
+///
+/// See the [module documentation](self) for the representation. The tree
+/// maintains the invariant `left[i] <= visits(i)` for every node, where
+/// `visits` is derived top-down from [`Self::total`].
+///
+/// # Examples
+///
+/// ```
+/// use cbic_arith::{BinaryDecoder, BinaryEncoder, EstimatorConfig, TreeModel};
+/// use cbic_bitio::{BitReader, BitWriter};
+///
+/// let cfg = EstimatorConfig::default();
+/// let mut enc_tree = TreeModel::new(8, cfg);
+/// let mut enc = BinaryEncoder::new(BitWriter::new());
+/// enc_tree.encode_decisions(&mut enc, 200);
+/// enc_tree.update(200);
+/// let bytes = enc.finish().into_bytes();
+///
+/// let mut dec_tree = TreeModel::new(8, cfg);
+/// let mut dec = BinaryDecoder::new(BitReader::new(&bytes));
+/// assert_eq!(dec_tree.decode_decisions(&mut dec), 200);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeModel {
+    /// `left[i]` = count of left outcomes at heap node `i` (index 0 unused).
+    /// Heap layout: root at 1, children of `i` at `2i` (left) and `2i+1`.
+    left: Vec<u16>,
+    /// Visit count of the root = total symbols accumulated (post-aging).
+    total: u32,
+    depth: u32,
+    max_total: u32,
+    increment: u32,
+    rescales: u64,
+}
+
+impl TreeModel {
+    /// Creates a tree over a `2^depth`-symbol alphabet with uniform initial
+    /// probabilities (each symbol starts at `1 / 2^depth`, the paper's
+    /// "initially, all the symbols in the alphabet are assigned an equal
+    /// probability").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is not in `1..=8`, or if the configuration's
+    /// counter width cannot hold the initial uniform counts
+    /// (`count_bits` must satisfy `2^count_bits - 1 >= 2^(depth+1)`).
+    pub fn new(depth: u32, cfg: EstimatorConfig) -> Self {
+        assert!((1..=8).contains(&depth), "depth {depth} out of range 1..=8");
+        let max_total = cfg.max_total();
+        assert!(
+            max_total >= 1 << (depth + 1),
+            "count_bits {} too small for a {}-bit alphabet",
+            cfg.count_bits,
+            depth
+        );
+        assert!(
+            cfg.increment >= 1 && u32::from(cfg.increment) <= max_total / 2,
+            "increment {} outside 1..={} (counter totals would overflow the cap)",
+            cfg.increment,
+            max_total / 2
+        );
+        let nodes = 1usize << depth; // indices 1..nodes are internal nodes
+        let mut left = vec![0u16; nodes];
+        for (i, slot) in left.iter_mut().enumerate().skip(1) {
+            let node_depth = u32::BITS - 1 - (i as u32).leading_zeros();
+            *slot = 1 << (depth - 1 - node_depth);
+        }
+        Self {
+            left,
+            total: 1 << depth,
+            depth,
+            max_total,
+            increment: u32::from(cfg.increment),
+            rescales: 0,
+        }
+    }
+
+    /// Number of symbol bits (tree levels).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Number of internal nodes (counters) in the tree.
+    pub fn node_count(&self) -> usize {
+        self.left.len() - 1
+    }
+
+    /// Total visit count at the root.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// How many tree-wide halvings have occurred.
+    pub fn rescales(&self) -> u64 {
+        self.rescales
+    }
+
+    /// `true` if `symbol` currently has zero probability, i.e. some decision
+    /// on its path has a zero count and the symbol must be *escaped*.
+    ///
+    /// This happens after tree-wide halvings decay a once-seen branch to
+    /// zero — the paper's "counts of symbols that have not been seen before
+    /// will be rescaled from 1 to 0, resulting in escape".
+    #[inline]
+    pub fn path_has_zero(&self, symbol: u8) -> bool {
+        debug_assert!(u32::from(symbol) < (1u32 << self.depth) || self.depth == 8);
+        let mut node = 1usize;
+        let mut visits = self.total;
+        for k in (0..self.depth).rev() {
+            let bit = (symbol >> k) & 1;
+            let c0 = u32::from(self.left[node]);
+            let branch = if bit == 0 { c0 } else { visits - c0 };
+            if branch == 0 {
+                return true;
+            }
+            visits = branch;
+            node = node * 2 + usize::from(bit);
+        }
+        false
+    }
+
+    /// Codes the decision path of `symbol` using the *current* counts.
+    ///
+    /// Does **not** update the model; call [`Self::update`] afterwards (the
+    /// split lets the escape mechanism update the tree even for symbols that
+    /// were transmitted through the static tree instead).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `symbol` has zero probability (the caller must check
+    /// [`Self::path_has_zero`] and escape).
+    #[inline]
+    pub fn encode_decisions(&self, enc: &mut BinaryEncoder, symbol: u8) {
+        let mut node = 1usize;
+        let mut visits = self.total;
+        for k in (0..self.depth).rev() {
+            let bit = (symbol >> k) & 1 == 1;
+            let c0 = u32::from(self.left[node]);
+            enc.encode(bit, c0, visits);
+            visits = if bit { visits - c0 } else { c0 };
+            node = node * 2 + usize::from(bit);
+        }
+    }
+
+    /// Decodes one symbol's decision path using the *current* counts.
+    ///
+    /// Does **not** update the model; call [`Self::update`] afterwards.
+    #[inline]
+    pub fn decode_decisions(&self, dec: &mut BinaryDecoder<'_>) -> u8 {
+        let mut node = 1usize;
+        let mut visits = self.total;
+        let mut symbol = 0u8;
+        for _ in 0..self.depth {
+            let c0 = u32::from(self.left[node]);
+            let bit = dec.decode(c0, visits);
+            visits = if bit { visits - c0 } else { c0 };
+            symbol = (symbol << 1) | u8::from(bit);
+            node = node * 2 + usize::from(bit);
+        }
+        symbol
+    }
+
+    /// Accumulates `symbol` into the tree, halving all counters first if the
+    /// root total would exceed the configured cap (the paper's overflow
+    /// rescaling, which "ages" the statistics).
+    #[inline]
+    pub fn update(&mut self, symbol: u8) {
+        if self.total + self.increment > self.max_total {
+            self.rescale();
+        }
+        let mut node = 1usize;
+        for k in (0..self.depth).rev() {
+            let bit = (symbol >> k) & 1;
+            if bit == 0 {
+                self.left[node] += self.increment as u16;
+            }
+            node = node * 2 + usize::from(bit);
+        }
+        self.total += self.increment;
+    }
+
+    /// Halves every counter in the tree (and the root total).
+    fn rescale(&mut self) {
+        for c in &mut self.left[1..] {
+            *c >>= 1;
+        }
+        self.total >>= 1;
+        self.rescales += 1;
+    }
+
+    /// Probability of `symbol` as a fraction (numerator, denominator-log2
+    /// scaled): returns the product of per-level conditionals as an `f64`.
+    /// Intended for diagnostics and tests, not the coding path.
+    pub fn probability(&self, symbol: u8) -> f64 {
+        let mut node = 1usize;
+        let mut visits = self.total;
+        let mut p = 1.0f64;
+        for k in (0..self.depth).rev() {
+            let bit = (symbol >> k) & 1;
+            let c0 = u32::from(self.left[node]);
+            let branch = if bit == 0 { c0 } else { visits - c0 };
+            if visits == 0 {
+                return 0.0;
+            }
+            p *= f64::from(branch) / f64::from(visits);
+            if branch == 0 {
+                return 0.0;
+            }
+            visits = branch;
+            node = node * 2 + usize::from(bit);
+        }
+        p
+    }
+
+    /// Verifies the structural invariant `left[i] <= visits(i)` everywhere.
+    /// Exposed for tests and debugging.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.check_node(1, self.total)
+    }
+
+    fn check_node(&self, node: usize, visits: u32) -> Result<(), String> {
+        if node >= self.left.len() {
+            return Ok(());
+        }
+        let c0 = u32::from(self.left[node]);
+        if c0 > visits {
+            return Err(format!(
+                "node {node}: left count {c0} exceeds visits {visits}"
+            ));
+        }
+        self.check_node(node * 2, c0)?;
+        self.check_node(node * 2 + 1, visits - c0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbic_bitio::{BitReader, BitWriter};
+
+    fn cfg() -> EstimatorConfig {
+        EstimatorConfig::default()
+    }
+
+    #[test]
+    fn initial_distribution_is_uniform() {
+        let t = TreeModel::new(8, cfg());
+        assert_eq!(t.total(), 256);
+        assert_eq!(t.node_count(), 255);
+        for s in [0u8, 1, 127, 128, 200, 255] {
+            let p = t.probability(s);
+            assert!((p - 1.0 / 256.0).abs() < 1e-12, "p({s}) = {p}");
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn smaller_alphabets_are_uniform_too() {
+        for depth in 1..=7 {
+            let t = TreeModel::new(depth, cfg());
+            let expected = 1.0 / f64::from(1u32 << depth);
+            assert!((t.probability(0) - expected).abs() < 1e-12);
+            t.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn update_raises_probability() {
+        let mut t = TreeModel::new(8, cfg());
+        let before = t.probability(42);
+        for _ in 0..10 {
+            t.update(42);
+        }
+        let after = t.probability(42);
+        assert!(after > before * 5.0, "before {before}, after {after}");
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn update_preserves_invariants_under_stress() {
+        let mut t = TreeModel::new(8, cfg());
+        for i in 0u32..20_000 {
+            t.update((i.wrapping_mul(2654435761) >> 8) as u8);
+        }
+        t.check_invariants().unwrap();
+        assert!(t.rescales() > 0, "cap must have been hit");
+        assert!(t.total() <= cfg().max_total());
+    }
+
+    #[test]
+    fn rescaling_creates_zero_probability_paths() {
+        // Small counter width forces frequent halvings; a symbol seen once
+        // must eventually decay to probability zero.
+        let cfg = EstimatorConfig {
+            count_bits: 10,
+            increment: 32,
+            ..EstimatorConfig::default()
+        };
+        let mut t = TreeModel::new(8, cfg);
+        t.update(7); // seen once
+        assert!(!t.path_has_zero(7));
+        for _ in 0..10_000 {
+            t.update(200);
+        }
+        assert!(t.path_has_zero(7), "symbol 7 should have decayed to zero");
+        // ...but the hammered symbol keeps a healthy probability.
+        assert!(t.probability(200) > 0.9);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn no_initial_escapes() {
+        let t = TreeModel::new(8, cfg());
+        for s in 0..=255u8 {
+            assert!(!t.path_has_zero(s));
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_adaptation() {
+        let symbols: Vec<u8> = (0..3000u32)
+            .map(|i| ((i * i * 31) % 97) as u8) // skewed distribution
+            .collect();
+
+        let mut enc_tree = TreeModel::new(8, cfg());
+        let mut enc = BinaryEncoder::new(BitWriter::new());
+        for &s in &symbols {
+            assert!(!s_escapes(&enc_tree, s), "test stream should not escape");
+            enc_tree.encode_decisions(&mut enc, s);
+            enc_tree.update(s);
+        }
+        let bytes = enc.finish().into_bytes();
+
+        let mut dec_tree = TreeModel::new(8, cfg());
+        let mut dec = BinaryDecoder::new(BitReader::new(&bytes));
+        for &s in &symbols {
+            assert_eq!(dec_tree.decode_decisions(&mut dec), s);
+            dec_tree.update(s);
+        }
+        assert_eq!(enc_tree, dec_tree, "encoder and decoder models must agree");
+
+        fn s_escapes(t: &TreeModel, s: u8) -> bool {
+            t.path_has_zero(s)
+        }
+    }
+
+    #[test]
+    fn adaptation_beats_uniform_coding() {
+        // A heavily skewed source must cost well under 8 bits/symbol.
+        let symbols: Vec<u8> = (0..20_000u32).map(|i| ((i % 10) / 9 * 17) as u8).collect();
+        let mut tree = TreeModel::new(8, cfg());
+        let mut enc = BinaryEncoder::new(BitWriter::new());
+        for &s in &symbols {
+            tree.encode_decisions(&mut enc, s);
+            tree.update(s);
+        }
+        let bits = enc.finish().into_bytes().len() * 8;
+        let bps = bits as f64 / symbols.len() as f64;
+        assert!(bps < 1.0, "skewed source cost {bps} bits/symbol");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside supported range")]
+    fn rejects_insufficient_counter_width() {
+        let cfg = EstimatorConfig {
+            count_bits: 8,
+            ..EstimatorConfig::default()
+        };
+        let _ = TreeModel::new(8, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_zero_depth() {
+        let _ = TreeModel::new(0, cfg());
+    }
+}

@@ -1,0 +1,127 @@
+//! Criterion micro-benchmarks of the hardware-relevant primitives:
+//! the 1 KB LUT divider vs an exact divider, the tree estimator, the raw
+//! binary arithmetic coder, the GAP predictor, and corpus generation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_division(c: &mut Criterion) {
+    use cbic_hw::divlut::{exact_div, DivLut};
+    let lut = DivLut::new();
+    // The exact (sum, count) mix the codec produces.
+    let inputs: Vec<(i32, u32)> = (0..4096)
+        .map(|i| ((i * 37 % 2047) - 1023, (i % 31 + 1) as u32))
+        .collect();
+
+    let mut g = c.benchmark_group("division");
+    g.throughput(Throughput::Elements(inputs.len() as u64));
+    g.bench_function("lut_1kb", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &(s, n) in &inputs {
+                acc += i64::from(lut.div(black_box(s), black_box(n)));
+            }
+            acc
+        })
+    });
+    g.bench_function("exact", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &(s, n) in &inputs {
+                acc += i64::from(exact_div(black_box(s), black_box(n)));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_tree(c: &mut Criterion) {
+    use cbic_arith::{BinaryEncoder, EstimatorConfig, SymbolCoder};
+    use cbic_bitio::BitWriter;
+
+    let symbols: Vec<u8> = (0..16_384u32).map(|i| ((i * 2654435761) >> 24) as u8).collect();
+    let mut g = c.benchmark_group("estimator");
+    g.throughput(Throughput::Elements(symbols.len() as u64));
+    g.sample_size(30);
+    g.bench_function("encode_symbols_8ctx", |b| {
+        b.iter(|| {
+            let mut coder = SymbolCoder::new(8, EstimatorConfig::default());
+            let mut enc = BinaryEncoder::new(BitWriter::new());
+            for (i, &s) in symbols.iter().enumerate() {
+                coder.encode(&mut enc, i & 7, s);
+            }
+            enc.finish().into_bytes()
+        })
+    });
+    g.finish();
+}
+
+fn bench_bincoder(c: &mut Criterion) {
+    use cbic_arith::BinaryEncoder;
+    use cbic_bitio::BitWriter;
+
+    let decisions: Vec<(bool, u32, u32)> = (0..65_536u32)
+        .map(|i| ((i * 7) % 11 == 0, (i % 255) + 1, 256))
+        .collect();
+    let mut g = c.benchmark_group("bincoder");
+    g.throughput(Throughput::Elements(decisions.len() as u64));
+    g.bench_function("encode_decisions", |b| {
+        b.iter(|| {
+            let mut enc = BinaryEncoder::new(BitWriter::new());
+            for &(bit, c0, total) in &decisions {
+                // Skip zero-probability pairs the generator may produce.
+                if (bit && c0 < total) || (!bit && c0 > 0) {
+                    enc.encode(bit, c0, total);
+                }
+            }
+            enc.finish().into_bytes()
+        })
+    });
+    g.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    use cbic_core::neighborhood::Neighborhood;
+    use cbic_core::predictor::{gap_predict, Gradients};
+
+    let img = cbic_bench::bench_image(256);
+    let mut g = c.benchmark_group("predictor");
+    g.throughput(Throughput::Elements((255 * 255) as u64));
+    g.bench_function("gap_full_image", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for y in 1..256 {
+                for x in 1..255 {
+                    let nb = Neighborhood::fetch(&img, x, y);
+                    let grad = Gradients::compute(&nb);
+                    acc += i64::from(gap_predict(&nb, grad));
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    use cbic_image::corpus::CorpusImage;
+    let mut g = c.benchmark_group("corpus");
+    g.sample_size(10);
+    g.bench_function("generate_lena_256", |b| {
+        b.iter(|| CorpusImage::Lena.generate(256, 256))
+    });
+    g.bench_function("generate_mandrill_256", |b| {
+        b.iter(|| CorpusImage::Mandrill.generate(256, 256))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_division,
+    bench_tree,
+    bench_bincoder,
+    bench_predictor,
+    bench_corpus
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion throughput benchmarks: encode/decode speed of every codec in
+//! Table 1, plus the universal front ends.
+//!
+//! The paper's hardware sustains 123 Mbit/s (≈15 Mpixel/s); these benches
+//! measure what the software model reaches, and Criterion's reports track
+//! regressions as the codecs evolve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const SIZE: usize = 256;
+
+fn bench_encoders(c: &mut Criterion) {
+    let img = cbic_bench::bench_image(SIZE);
+    let pixels = img.pixel_count() as u64;
+
+    let mut g = c.benchmark_group("encode");
+    g.throughput(Throughput::Elements(pixels));
+    g.sample_size(20);
+
+    g.bench_function(BenchmarkId::new("proposed", SIZE), |b| {
+        let cfg = cbic_core::CodecConfig::default();
+        b.iter(|| cbic_core::encode_raw(&img, &cfg))
+    });
+    g.bench_function(BenchmarkId::new("calic", SIZE), |b| {
+        let cfg = cbic_calic::CalicConfig::default();
+        b.iter(|| cbic_calic::encode_raw(&img, &cfg))
+    });
+    g.bench_function(BenchmarkId::new("jpegls", SIZE), |b| {
+        let cfg = cbic_jpegls::JpeglsConfig::default();
+        b.iter(|| cbic_jpegls::encode_raw(&img, &cfg))
+    });
+    g.bench_function(BenchmarkId::new("slp", SIZE), |b| {
+        b.iter(|| cbic_slp::encode_raw(&img))
+    });
+    g.finish();
+}
+
+fn bench_decoders(c: &mut Criterion) {
+    let img = cbic_bench::bench_image(SIZE);
+    let pixels = img.pixel_count() as u64;
+
+    let core_cfg = cbic_core::CodecConfig::default();
+    let (core_bytes, _) = cbic_core::encode_raw(&img, &core_cfg);
+    let calic_cfg = cbic_calic::CalicConfig::default();
+    let (calic_bytes, _) = cbic_calic::encode_raw(&img, &calic_cfg);
+    let jpegls_cfg = cbic_jpegls::JpeglsConfig::default();
+    let (jpegls_bytes, _) = cbic_jpegls::encode_raw(&img, &jpegls_cfg);
+    let (slp_bytes, _) = cbic_slp::encode_raw(&img);
+
+    let mut g = c.benchmark_group("decode");
+    g.throughput(Throughput::Elements(pixels));
+    g.sample_size(20);
+
+    g.bench_function(BenchmarkId::new("proposed", SIZE), |b| {
+        b.iter(|| cbic_core::decode_raw(&core_bytes, SIZE, SIZE, &core_cfg))
+    });
+    g.bench_function(BenchmarkId::new("calic", SIZE), |b| {
+        b.iter(|| cbic_calic::decode_raw(&calic_bytes, SIZE, SIZE, &calic_cfg))
+    });
+    g.bench_function(BenchmarkId::new("jpegls", SIZE), |b| {
+        b.iter(|| cbic_jpegls::decode_raw(&jpegls_bytes, SIZE, SIZE, &jpegls_cfg))
+    });
+    g.bench_function(BenchmarkId::new("slp", SIZE), |b| {
+        b.iter(|| cbic_slp::decode_raw(&slp_bytes, SIZE, SIZE))
+    });
+    g.finish();
+}
+
+fn bench_universal(c: &mut Criterion) {
+    use cbic_universal::data::{DataModel, Order};
+
+    let text: Vec<u8> = (0..32_768u32)
+        .map(|i| b"the quick brown fox jumps over the lazy dog "[i as usize % 44])
+        .collect();
+
+    let mut g = c.benchmark_group("universal");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.sample_size(20);
+    for order in [Order::Zero, Order::One, Order::Two] {
+        g.bench_function(BenchmarkId::new("data_encode", format!("{order:?}")), |b| {
+            let model = DataModel::new(order);
+            b.iter(|| model.encode(&text))
+        });
+    }
+    g.finish();
+
+    let frames = cbic_universal::video::synthetic_sequence(128, 128, 4, 2, 1);
+    let mut g = c.benchmark_group("video");
+    g.throughput(Throughput::Elements((128 * 128 * 4) as u64));
+    g.sample_size(10);
+    g.bench_function("encode_4_frames", |b| {
+        let cfg = cbic_universal::video::VideoConfig::default();
+        b.iter(|| cbic_universal::video::encode_frames(&frames, &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encoders, bench_decoders, bench_universal);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Fig. 4 (bpp vs frequency counter bits).
+//!
+//! Usage: `cargo run --release -p cbic-bench --bin fig4 [size]`
+
+fn main() {
+    let size = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+    let series = cbic_bench::fig4_series(size, &[10, 11, 12, 13, 14, 15, 16]);
+    cbic_bench::print_fig4(&series);
+}

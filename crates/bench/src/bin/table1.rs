@@ -1,0 +1,12 @@
+//! Regenerates the paper's Table 1 on the synthetic corpus.
+//!
+//! Usage: `cargo run --release -p cbic-bench --bin table1 [size]`
+
+fn main() {
+    let size = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
+    let rows = cbic_bench::table1_rows(size);
+    cbic_bench::print_table1(&rows);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 2 (device utilization, memory budgets,
+//! and throughput from the pipeline model).
+
+fn main() {
+    print!("{}", cbic_bench::table2_report());
+}

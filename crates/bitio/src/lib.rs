@@ -1,0 +1,43 @@
+//! Bit-level I/O primitives shared by every codec in the `cbic` workspace.
+//!
+//! The compression pipelines in this workspace (arithmetic coding in
+//! `cbic-arith`, Golomb-Rice coding in `cbic-rice`, and the JPEG-LS
+//! baseline) all produce and consume individual bits. This crate provides
+//! the two building blocks they share:
+//!
+//! * [`BitWriter`] — an MSB-first bit sink backed by a `Vec<u8>`, which also
+//!   counts the exact number of bits written (used for bit-rate accounting
+//!   in the experiment harness).
+//! * [`BitReader`] — the matching MSB-first bit source. Reads past the end
+//!   of the buffer yield zero bits, which is the convention arithmetic
+//!   decoders rely on when the final code word was truncated at a byte
+//!   boundary. The strict [`BitReader::try_read_bit`] variant reports
+//!   exhaustion instead.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbic_bitio::{BitReader, BitWriter};
+//!
+//! let mut w = BitWriter::new();
+//! w.write_bit(true);
+//! w.write_bits(0b1011, 4);
+//! assert_eq!(w.bits_written(), 5);
+//! let bytes = w.into_bytes();
+//!
+//! let mut r = BitReader::new(&bytes);
+//! assert!(r.read_bit());
+//! assert_eq!(r.read_bits(4), 0b1011);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod reader;
+mod writer;
+
+pub use reader::BitReader;
+pub use writer::BitWriter;
+
+#[cfg(test)]
+mod proptests;

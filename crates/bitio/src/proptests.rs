@@ -1,0 +1,90 @@
+//! Property-based tests: whatever a `BitWriter` produces, a `BitReader`
+//! must read back verbatim, regardless of how the bit stream is chunked.
+
+use proptest::prelude::*;
+
+use crate::{BitReader, BitWriter};
+
+proptest! {
+    /// Round-trip of an arbitrary bit sequence written bit by bit.
+    #[test]
+    fn roundtrip_single_bits(bits in proptest::collection::vec(any::<bool>(), 0..2048)) {
+        let mut w = BitWriter::new();
+        for &b in &bits {
+            w.write_bit(b);
+        }
+        prop_assert_eq!(w.bits_written(), bits.len() as u64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &bits {
+            prop_assert_eq!(r.read_bit(), b);
+        }
+        // Padding (if any) must read as zero.
+        while !r.is_exhausted() {
+            prop_assert!(!r.read_bit());
+        }
+    }
+
+    /// Round-trip of arbitrary (value, width) chunks through write_bits/read_bits.
+    #[test]
+    fn roundtrip_chunks(chunks in proptest::collection::vec((any::<u64>(), 0u32..=64), 0..256)) {
+        let chunks: Vec<(u64, u32)> = chunks
+            .into_iter()
+            .map(|(v, n)| (if n == 64 { v } else { v & ((1u64 << n) - 1) }, n))
+            .collect();
+        let mut w = BitWriter::new();
+        for &(v, n) in &chunks {
+            w.write_bits(v, n);
+        }
+        let total: u64 = chunks.iter().map(|&(_, n)| u64::from(n)).sum();
+        prop_assert_eq!(w.bits_written(), total);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &chunks {
+            prop_assert_eq!(r.read_bits(n), v);
+        }
+    }
+
+    /// Unary write/read round-trip interleaved with fixed-width fields.
+    #[test]
+    fn roundtrip_unary(values in proptest::collection::vec(0u64..200, 0..128)) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.write_run(false, v);
+            w.write_bit(true);
+            w.write_bits(v & 0x7, 3);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            prop_assert_eq!(r.read_unary(), Some(v));
+            prop_assert_eq!(r.read_bits(3), v & 0x7);
+        }
+    }
+
+    /// byte_len is always ceil(bits/8).
+    #[test]
+    fn byte_len_matches_bits(nbits in 0u64..1000) {
+        let mut w = BitWriter::new();
+        for i in 0..nbits {
+            w.write_bit(i % 3 == 0);
+        }
+        prop_assert_eq!(w.byte_len() as u64, nbits.div_ceil(8));
+    }
+
+    /// Strict reads see exactly the number of written bits, then None.
+    #[test]
+    fn strict_reader_sees_padded_length(nbits in 0u64..256) {
+        let mut w = BitWriter::new();
+        for _ in 0..nbits {
+            w.write_bit(true);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut seen = 0u64;
+        while r.try_read_bit().is_some() {
+            seen += 1;
+        }
+        prop_assert_eq!(seen, nbits.div_ceil(8) * 8);
+    }
+}

@@ -1,0 +1,218 @@
+/// An MSB-first bit source over a byte slice.
+///
+/// Mirrors [`BitWriter`](crate::BitWriter): the first bit returned is bit 7
+/// of the first byte. Two read flavours are provided:
+///
+/// * [`read_bit`](Self::read_bit) / [`read_bits`](Self::read_bits) — padded
+///   reads that return `0` bits once the buffer is exhausted. Arithmetic
+///   decoders depend on this: the encoder's final code word may be truncated
+///   at a byte boundary and the missing low bits are, by construction, zero.
+/// * [`try_read_bit`](Self::try_read_bit) / [`try_read_bits`](Self::try_read_bits)
+///   — strict reads that return `None` past the end, for formats where
+///   over-reading indicates corruption.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_bitio::BitReader;
+///
+/// let mut r = BitReader::new(&[0b1011_0000]);
+/// assert_eq!(r.read_bits(4), 0b1011);
+/// assert_eq!(r.bits_read(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Index of the next byte to load.
+    pos: usize,
+    /// Bits remaining in `acc`.
+    nacc: u32,
+    /// Remaining bits of the current byte, left-aligned at bit `nacc - 1`.
+    acc: u8,
+    bits_read: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            nacc: 0,
+            acc: 0,
+            bits_read: 0,
+        }
+    }
+
+    /// Reads one bit, yielding `false` once the input is exhausted.
+    /// Padding bits are counted by [`Self::bits_read`].
+    #[inline]
+    pub fn read_bit(&mut self) -> bool {
+        match self.try_read_bit() {
+            Some(b) => b,
+            None => {
+                self.bits_read += 1;
+                false
+            }
+        }
+    }
+
+    /// Reads one bit, or `None` if the input is exhausted.
+    #[inline]
+    pub fn try_read_bit(&mut self) -> Option<bool> {
+        if self.nacc == 0 {
+            if self.pos == self.bytes.len() {
+                return None;
+            }
+            self.acc = self.bytes[self.pos];
+            self.pos += 1;
+            self.nacc = 8;
+        }
+        self.nacc -= 1;
+        self.bits_read += 1;
+        Some((self.acc >> self.nacc) & 1 == 1)
+    }
+
+    /// Reads `count` bits MSB-first, zero-padding past the end of input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    #[inline]
+    pub fn read_bits(&mut self, count: u32) -> u64 {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        let mut v = 0u64;
+        for _ in 0..count {
+            v = (v << 1) | u64::from(self.read_bit());
+        }
+        v
+    }
+
+    /// Reads `count` bits MSB-first, or `None` if fewer than `count` remain.
+    ///
+    /// On `None` the reader position is unspecified (the stream is treated
+    /// as corrupt).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn try_read_bits(&mut self, count: u32) -> Option<u64> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        let mut v = 0u64;
+        for _ in 0..count {
+            v = (v << 1) | u64::from(self.try_read_bit()?);
+        }
+        Some(v)
+    }
+
+    /// Reads bits until a `true` bit is consumed, returning the number of
+    /// `false` bits skipped. Used to decode unary (Golomb quotient) codes.
+    ///
+    /// Returns `None` if the input ends before a `true` bit is found.
+    pub fn read_unary(&mut self) -> Option<u64> {
+        let mut zeros = 0u64;
+        loop {
+            match self.try_read_bit()? {
+                true => return Some(zeros),
+                false => zeros += 1,
+            }
+        }
+    }
+
+    /// Skips forward to the next byte boundary (no-op when aligned).
+    pub fn align_to_byte(&mut self) {
+        self.nacc = 0;
+    }
+
+    /// Total bits consumed so far, including zero-padding reads.
+    #[inline]
+    pub fn bits_read(&self) -> u64 {
+        self.bits_read
+    }
+
+    /// `true` once all real input bits have been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.nacc == 0 && self.pos == self.bytes.len()
+    }
+
+    /// Remaining number of real (non-padding) bits.
+    pub fn bits_remaining(&self) -> u64 {
+        (self.bytes.len() - self.pos) as u64 * 8 + u64::from(self.nacc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_msb_first() {
+        let mut r = BitReader::new(&[0b1010_0000]);
+        assert!(r.read_bit());
+        assert!(!r.read_bit());
+        assert!(r.read_bit());
+        assert!(!r.read_bit());
+    }
+
+    #[test]
+    fn read_bits_assembles_value() {
+        let mut r = BitReader::new(&[0xDE, 0xAD]);
+        assert_eq!(r.read_bits(16), 0xDEAD);
+    }
+
+    #[test]
+    fn padded_reads_return_zero_after_end() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8), 0xFF);
+        assert_eq!(r.read_bits(8), 0);
+        assert!(!r.read_bit());
+        assert_eq!(r.bits_read(), 17);
+    }
+
+    #[test]
+    fn strict_reads_stop_at_end() {
+        let mut r = BitReader::new(&[0b1000_0000]);
+        assert_eq!(r.try_read_bits(8), Some(0b1000_0000));
+        assert_eq!(r.try_read_bit(), None);
+        assert_eq!(r.try_read_bits(1), None);
+    }
+
+    #[test]
+    fn unary_counts_zeros() {
+        // 0b0001_0000: three zeros then a one.
+        let mut r = BitReader::new(&[0b0001_0000]);
+        assert_eq!(r.read_unary(), Some(3));
+    }
+
+    #[test]
+    fn unary_none_when_no_terminator() {
+        let mut r = BitReader::new(&[0x00]);
+        assert_eq!(r.read_unary(), None);
+    }
+
+    #[test]
+    fn align_skips_partial_byte() {
+        let mut r = BitReader::new(&[0xFF, 0x01]);
+        r.read_bits(3);
+        r.align_to_byte();
+        assert_eq!(r.read_bits(8), 0x01);
+    }
+
+    #[test]
+    fn exhaustion_and_remaining() {
+        let mut r = BitReader::new(&[0xAA]);
+        assert_eq!(r.bits_remaining(), 8);
+        assert!(!r.is_exhausted());
+        r.read_bits(8);
+        assert!(r.is_exhausted());
+        assert_eq!(r.bits_remaining(), 0);
+    }
+
+    #[test]
+    fn empty_input_is_exhausted_immediately() {
+        let mut r = BitReader::new(&[]);
+        assert!(r.is_exhausted());
+        assert_eq!(r.try_read_bit(), None);
+        assert!(!r.read_bit());
+    }
+}

@@ -1,0 +1,233 @@
+/// An MSB-first bit sink backed by a growable byte buffer.
+///
+/// Bits are packed into bytes starting from the most significant bit, which
+/// matches the serialization order of the hardware shift registers the paper
+/// targets: the first bit written becomes bit 7 of the first byte.
+///
+/// The writer counts every bit pushed into it, so codecs can report exact
+/// code lengths (in bits) even before the final partial byte is flushed.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_bitio::BitWriter;
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// assert_eq!(w.bits_written(), 3);
+/// // The partial byte is zero-padded on flush: 0b1010_0000.
+/// assert_eq!(w.into_bytes(), vec![0xA0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits accumulated in `acc`, always in `0..8`.
+    nacc: u32,
+    /// Pending bits, left-aligned within the low `nacc` bits.
+    acc: u8,
+    bits_written: u64,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty writer with space reserved for `bytes` output bytes.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            bytes: Vec::with_capacity(bytes),
+            nacc: 0,
+            acc: 0,
+            bits_written: 0,
+        }
+    }
+
+    /// Appends a single bit (`true` = 1).
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.acc = (self.acc << 1) | u8::from(bit);
+        self.nacc += 1;
+        self.bits_written += 1;
+        if self.nacc == 8 {
+            self.bytes.push(self.acc);
+            self.acc = 0;
+            self.nacc = 0;
+        }
+    }
+
+    /// Appends the low `count` bits of `value`, most significant bit first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`, or if `value` has bits set above `count`
+    /// (that would silently lose data).
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, count: u32) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        if count < 64 {
+            assert!(
+                value >> count == 0,
+                "value {value:#x} does not fit in {count} bits"
+            );
+        }
+        for i in (0..count).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends `count` copies of `bit`. Used by unary (Golomb) coders.
+    #[inline]
+    pub fn write_run(&mut self, bit: bool, count: u64) {
+        for _ in 0..count {
+            self.write_bit(bit);
+        }
+    }
+
+    /// Total number of bits written so far (not counting flush padding).
+    #[inline]
+    pub fn bits_written(&self) -> u64 {
+        self.bits_written
+    }
+
+    /// Number of whole bytes the output will occupy once flushed.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len() + usize::from(self.nacc > 0)
+    }
+
+    /// Returns `true` if no bits have been written.
+    pub fn is_empty(&self) -> bool {
+        self.bits_written == 0
+    }
+
+    /// Pads the current partial byte with zero bits up to a byte boundary.
+    ///
+    /// Does nothing when already aligned. The padding bits are *not* counted
+    /// by [`Self::bits_written`].
+    pub fn align_to_byte(&mut self) {
+        if self.nacc > 0 {
+            let pad = 8 - self.nacc;
+            self.acc <<= pad;
+            self.bytes.push(self.acc);
+            self.acc = 0;
+            self.nacc = 0;
+        }
+    }
+
+    /// Flushes the partial byte (zero-padded) and returns the output buffer.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.align_to_byte();
+        self.bytes
+    }
+
+    /// Borrows the fully flushed bytes written so far.
+    ///
+    /// Unlike [`Self::into_bytes`], the trailing partial byte (if any) is not
+    /// included since it has not been padded yet.
+    pub fn flushed_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_writer_produces_no_bytes() {
+        let w = BitWriter::new();
+        assert!(w.is_empty());
+        assert_eq!(w.bits_written(), 0);
+        assert_eq!(w.byte_len(), 0);
+        assert_eq!(w.into_bytes(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn single_bit_is_msb_aligned() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        assert_eq!(w.into_bytes(), vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn eight_bits_form_one_byte() {
+        let mut w = BitWriter::new();
+        for bit in [true, false, true, false, true, false, true, false] {
+            w.write_bit(bit);
+        }
+        assert_eq!(w.byte_len(), 1);
+        assert_eq!(w.into_bytes(), vec![0b1010_1010]);
+    }
+
+    #[test]
+    fn write_bits_matches_bit_by_bit() {
+        let mut a = BitWriter::new();
+        let mut b = BitWriter::new();
+        a.write_bits(0b110_0101_0111, 11);
+        for bit in [
+            true, true, false, false, true, false, true, false, true, true, true,
+        ] {
+            b.write_bit(bit);
+        }
+        assert_eq!(a.into_bytes(), b.into_bytes());
+    }
+
+    #[test]
+    fn write_bits_zero_count_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 0);
+        assert_eq!(w.bits_written(), 0);
+    }
+
+    #[test]
+    fn write_full_64_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 64);
+        assert_eq!(w.bits_written(), 64);
+        assert_eq!(w.into_bytes(), vec![0xFF; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn write_bits_rejects_oversized_value() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b100, 2);
+    }
+
+    #[test]
+    fn write_run_counts_bits() {
+        let mut w = BitWriter::new();
+        w.write_run(true, 10);
+        assert_eq!(w.bits_written(), 10);
+        assert_eq!(w.into_bytes(), vec![0xFF, 0b1100_0000]);
+    }
+
+    #[test]
+    fn align_pads_with_zeros_and_keeps_count() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        w.align_to_byte();
+        assert_eq!(w.bits_written(), 2, "padding is not counted");
+        w.write_bit(true);
+        assert_eq!(w.into_bytes(), vec![0b1100_0000, 0b1000_0000]);
+    }
+
+    #[test]
+    fn align_when_already_aligned_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xAB, 8);
+        w.align_to_byte();
+        w.align_to_byte();
+        assert_eq!(w.into_bytes(), vec![0xAB]);
+    }
+
+    #[test]
+    fn flushed_bytes_excludes_partial_byte() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xAB, 8);
+        w.write_bits(0b1, 1);
+        assert_eq!(w.flushed_bytes(), &[0xAB]);
+        assert_eq!(w.byte_len(), 2);
+    }
+}

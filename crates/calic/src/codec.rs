@@ -1,0 +1,358 @@
+//! The CALIC continuous-tone coding flow.
+
+use cbic_arith::{BinaryDecoder, BinaryEncoder, EstimatorConfig, SymbolCoder};
+use cbic_bitio::{BitReader, BitWriter};
+use cbic_core::context::QE_THRESHOLDS;
+use cbic_core::neighborhood::Neighborhood;
+use cbic_core::predictor::{gap_predict, Gradients};
+use cbic_core::remap::{fold, reconstruct, unfold, wrap_error};
+use cbic_image::Image;
+
+/// Number of entropy-coding contexts. Software CALIC is not bound by the
+/// hardware codec's 8-tree SRAM budget; a finer 16-level error-energy
+/// quantizer buys the extra conditional-entropy margin the paper reports
+/// for CALIC.
+pub const CODING_CONTEXTS: usize = 16;
+/// Texture events: 256 patterns from 8 comparisons.
+const TEXTURE_PATTERNS: usize = 256;
+/// Error-energy levels used in the compound modeling contexts.
+const ENERGY_LEVELS: usize = 4;
+/// Compound contexts for bias cancellation (256 × 4 = 1024; the paper
+/// quotes 576 *reachable* contexts in CALIC — the 2N−NN / 2W−WW events are
+/// correlated with the rest, so many patterns never occur).
+const COMPOUND_CONTEXTS: usize = TEXTURE_PATTERNS * ENERGY_LEVELS;
+
+/// CALIC configuration.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_calic::CalicConfig;
+///
+/// let cfg = CalicConfig::default();
+/// assert_eq!(cfg.count_cap, 255);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalicConfig {
+    /// Probability-estimator tuning for the arithmetic back end.
+    pub estimator: EstimatorConfig,
+    /// Feedback count saturation (CALIC uses full 8-bit counts; the
+    /// hardware codec of `cbic-core` can only afford 5 bits).
+    pub count_cap: u16,
+}
+
+impl Default for CalicConfig {
+    fn default() -> Self {
+        Self {
+            estimator: EstimatorConfig::default(),
+            count_cap: 255,
+        }
+    }
+}
+
+/// Statistics accumulated while encoding one image.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EncodeStats {
+    /// Pixels coded.
+    pub pixels: u64,
+    /// Payload bits produced.
+    pub payload_bits: u64,
+    /// Symbols escaped to the static tree.
+    pub escapes: u64,
+}
+
+impl EncodeStats {
+    /// Compressed bit rate in bits per pixel.
+    pub fn bits_per_pixel(&self) -> f64 {
+        if self.pixels == 0 {
+            0.0
+        } else {
+            self.payload_bits as f64 / self.pixels as f64
+        }
+    }
+}
+
+/// Per-context error statistics with 8-bit counts and exact division.
+#[derive(Debug, Clone)]
+struct FeedbackStore {
+    sums: Vec<i32>,
+    counts: Vec<u16>,
+    cap: u16,
+}
+
+impl FeedbackStore {
+    fn new(contexts: usize, cap: u16) -> Self {
+        Self {
+            sums: vec![0; contexts],
+            counts: vec![0; contexts],
+            cap,
+        }
+    }
+
+    #[inline]
+    fn mean(&self, ctx: usize) -> i32 {
+        let c = self.counts[ctx];
+        if c == 0 {
+            0
+        } else {
+            // Truncating division towards zero, like the hardware reference.
+            let s = self.sums[ctx];
+            let q = (s.abs() / i32::from(c)).min(255);
+            if s < 0 {
+                -q
+            } else {
+                q
+            }
+        }
+    }
+
+    #[inline]
+    fn sum(&self, ctx: usize) -> i32 {
+        self.sums[ctx]
+    }
+
+    #[inline]
+    fn update(&mut self, ctx: usize, err: i32) {
+        if self.counts[ctx] >= self.cap {
+            self.sums[ctx] >>= 1;
+            self.counts[ctx] >>= 1;
+        }
+        self.sums[ctx] += err;
+        self.counts[ctx] += 1;
+    }
+}
+
+/// The 8-event texture pattern: `{N, W, NW, NE, NN, WW, 2N−NN, 2W−WW}`
+/// each compared against the prediction.
+#[inline]
+fn texture8(n: &Neighborhood, prediction: i32) -> usize {
+    let e = [
+        i32::from(n.n),
+        i32::from(n.w),
+        i32::from(n.nw),
+        i32::from(n.ne),
+        i32::from(n.nn),
+        i32::from(n.ww),
+        2 * i32::from(n.n) - i32::from(n.nn),
+        2 * i32::from(n.w) - i32::from(n.ww),
+    ];
+    let mut t = 0usize;
+    for (k, &v) in e.iter().enumerate() {
+        if v < prediction {
+            t |= 1 << k;
+        }
+    }
+    t
+}
+
+/// 16-level error-energy quantizer for the entropy-coding contexts
+/// (interleaves midpoints into the 8-level CALIC threshold ladder).
+#[inline]
+fn quantize_energy16(delta: i32) -> usize {
+    const T16: [i32; 15] = [2, 5, 9, 15, 20, 25, 33, 42, 50, 60, 72, 85, 110, 140, 220];
+    let mut q = 0;
+    for &t in &T16 {
+        if delta > t {
+            q += 1;
+        }
+    }
+    q
+}
+
+/// Quantizes the error energy to the 4 compound-context levels (a coarser
+/// cut of the same threshold ladder used for the coding contexts).
+#[inline]
+fn quantize_energy4(delta: i32) -> usize {
+    let mut q = 0;
+    for &t in &[QE_THRESHOLDS[1], QE_THRESHOLDS[3], QE_THRESHOLDS[5]] {
+        if delta > t {
+            q += 1;
+        }
+    }
+    q
+}
+
+struct Modeler {
+    store: FeedbackStore,
+    abs_err: Vec<u8>,
+}
+
+struct PixelModel {
+    qe: usize,
+    ctx: usize,
+    x_tilde: i32,
+    /// CALIC's sign-flipping: when the context's accumulated error sum is
+    /// negative, the error is negated before coding so that symmetric
+    /// contexts share one (better-estimated) conditional distribution.
+    flip: bool,
+}
+
+impl Modeler {
+    fn new(width: usize, cfg: &CalicConfig) -> Self {
+        Self {
+            store: FeedbackStore::new(COMPOUND_CONTEXTS, cfg.count_cap),
+            abs_err: vec![0; width],
+        }
+    }
+
+    fn model(&self, img: &Image, x: usize, y: usize) -> PixelModel {
+        let nb = Neighborhood::fetch(img, x, y);
+        let g = Gradients::compute(&nb);
+        let x_hat = gap_predict(&nb, g);
+        let e_w = i32::from(if x > 0 {
+            self.abs_err[x - 1]
+        } else {
+            self.abs_err[0]
+        });
+        let delta = g.dh + g.dv + 2 * e_w;
+        let qe = quantize_energy16(delta);
+        let ctx = (quantize_energy4(delta) << 8) | texture8(&nb, x_hat);
+        let x_tilde = (x_hat + self.store.mean(ctx)).clamp(0, 255);
+        let flip = self.store.sum(ctx) < 0;
+        PixelModel {
+            qe,
+            ctx,
+            x_tilde,
+            flip,
+        }
+    }
+
+    fn absorb(&mut self, x: usize, ctx: usize, wrapped: i32) {
+        self.store.update(ctx, wrapped);
+        self.abs_err[x] = wrapped.unsigned_abs().min(255) as u8;
+    }
+}
+
+/// Encodes `img`, returning the raw payload and statistics.
+pub fn encode_raw(img: &Image, cfg: &CalicConfig) -> (Vec<u8>, EncodeStats) {
+    let (width, height) = img.dimensions();
+    let mut modeler = Modeler::new(width, cfg);
+    let mut coder = SymbolCoder::new(CODING_CONTEXTS, cfg.estimator);
+    let mut enc = BinaryEncoder::new(BitWriter::new());
+
+    for y in 0..height {
+        for x in 0..width {
+            let m = modeler.model(img, x, y);
+            let wrapped = wrap_error(i32::from(img.get(x, y)) - m.x_tilde);
+            let coded = if m.flip { wrap_error(-wrapped) } else { wrapped };
+            coder.encode(&mut enc, m.qe, fold(coded));
+            modeler.absorb(x, m.ctx, wrapped);
+        }
+    }
+
+    let payload_bits = enc.bits_written();
+    let coder_stats = coder.stats();
+    let writer = enc.finish();
+    let stats = EncodeStats {
+        pixels: (width * height) as u64,
+        payload_bits: payload_bits.max(writer.bits_written()),
+        escapes: coder_stats.escapes,
+    };
+    (writer.into_bytes(), stats)
+}
+
+/// Decodes a payload produced by [`encode_raw`] with matching dimensions
+/// and configuration.
+pub fn decode_raw(bytes: &[u8], width: usize, height: usize, cfg: &CalicConfig) -> Image {
+    let mut modeler = Modeler::new(width, cfg);
+    let mut coder = SymbolCoder::new(CODING_CONTEXTS, cfg.estimator);
+    let mut dec = BinaryDecoder::new(BitReader::new(bytes));
+    let mut img = Image::new(width, height);
+
+    for y in 0..height {
+        for x in 0..width {
+            let m = modeler.model(&img, x, y);
+            let coded = unfold(coder.decode(&mut dec, m.qe));
+            let wrapped = if m.flip { wrap_error(-coded) } else { coded };
+            img.set(x, y, reconstruct(m.x_tilde, wrapped));
+            modeler.absorb(x, m.ctx, wrapped);
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbic_image::corpus::CorpusImage;
+
+    fn roundtrip(img: &Image) -> EncodeStats {
+        let cfg = CalicConfig::default();
+        let (bytes, stats) = encode_raw(img, &cfg);
+        let back = decode_raw(&bytes, img.width(), img.height(), &cfg);
+        assert_eq!(&back, img, "lossless roundtrip failed");
+        stats
+    }
+
+    #[test]
+    fn roundtrip_corpus() {
+        for (name, img) in cbic_image::corpus::generate(48) {
+            let stats = roundtrip(&img);
+            assert!(stats.payload_bits > 0, "{name:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_tiny() {
+        for (w, h) in [(1, 1), (1, 7), (7, 1), (5, 3)] {
+            roundtrip(&Image::from_fn(w, h, |x, y| (x * 41 + y * 13) as u8));
+        }
+    }
+
+    #[test]
+    fn texture8_uses_all_eight_events() {
+        // A neighbourhood where only the virtual events (2N−NN, 2W−WW)
+        // fall below the prediction.
+        let nb = Neighborhood {
+            n: 100,
+            w: 100,
+            nw: 100,
+            ne: 100,
+            nn: 120,
+            ww: 120,
+            nne: 100,
+        };
+        // 2N−NN = 80, 2W−WW = 80 < 99; everything else >= 99.
+        let t = texture8(&nb, 99);
+        assert_eq!(t, 0b1100_0000);
+    }
+
+    #[test]
+    fn energy_quantizers_are_monotone_and_cover_all_levels() {
+        let mut prev16 = 0;
+        let mut seen16 = [false; 16];
+        for delta in 0..2000 {
+            let q16 = quantize_energy16(delta);
+            assert!(q16 >= prev16);
+            prev16 = q16;
+            seen16[q16] = true;
+            assert!(quantize_energy4(delta) <= q16);
+        }
+        assert!(seen16.iter().all(|&s| s));
+        assert_eq!(quantize_energy4(0), 0);
+        assert_eq!(quantize_energy4(1000), 3);
+    }
+
+    #[test]
+    fn feedback_store_saturates_at_cap() {
+        let mut s = FeedbackStore::new(4, 255);
+        for _ in 0..1000 {
+            s.update(2, 10);
+        }
+        assert!(s.counts[2] <= 255);
+        assert_eq!(s.mean(2), 10);
+    }
+
+    #[test]
+    fn constant_image_compresses_hard() {
+        let stats = roundtrip(&Image::from_fn(96, 96, |_, _| 31));
+        assert!(stats.bits_per_pixel() < 0.2);
+    }
+
+    #[test]
+    fn calic_beats_order0_entropy() {
+        let img = CorpusImage::Lena.generate(96, 96);
+        let stats = roundtrip(&img);
+        assert!(stats.bits_per_pixel() < img.entropy());
+    }
+}

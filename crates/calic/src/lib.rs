@@ -1,0 +1,145 @@
+//! CALIC baseline codec (Wu & Memon, IEEE Trans. Communications 1997 —
+//! the paper's reference \[3\]).
+//!
+//! CALIC is the state-of-the-art software scheme the paper measures itself
+//! against: the proposed hardware codec deliberately trades a little
+//! compression (512 vs CALIC's larger context set) for implementability.
+//! This crate implements continuous-tone CALIC with:
+//!
+//! * the full **GAP** predictor (shared with `cbic-core`, which inherited
+//!   it from CALIC in the first place);
+//! * an **8-event texture pattern** `{N, W, NW, NE, NN, WW, 2N−NN, 2W−WW}`
+//!   compared against the prediction — twice the events of the hardware
+//!   codec's 6;
+//! * **1024 compound contexts** (256 texture patterns × 4 quantized error
+//!   energies) for error feedback with 8-bit counts and exact division —
+//!   richer and more precise than the hardware codec's 512 contexts with
+//!   5-bit counts and LUT division;
+//! * adaptive arithmetic coding of the remapped errors conditioned on the
+//!   8 quantized error-energy contexts (same entropy back end as the rest
+//!   of the workspace).
+//!
+//! Binary (bi-level) mode of full CALIC is not implemented; on the
+//! continuous-tone corpus it rarely engages (DESIGN.md §6).
+//!
+//! # Examples
+//!
+//! ```
+//! use cbic_calic::{compress, decompress};
+//! use cbic_image::corpus::CorpusImage;
+//!
+//! let img = CorpusImage::Peppers.generate(48, 48);
+//! let bytes = compress(&img);
+//! assert_eq!(decompress(&bytes)?, img);
+//! # Ok::<(), cbic_calic::CalicError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+
+#[cfg(test)]
+mod proptests;
+
+pub use codec::{decode_raw, encode_raw, CalicConfig, EncodeStats};
+
+use cbic_image::Image;
+use std::fmt;
+
+/// Errors returned by the container API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CalicError {
+    /// Stream does not start with the `CBCA` magic.
+    BadMagic,
+    /// Stream shorter than a header.
+    Truncated,
+    /// A header field is invalid.
+    InvalidHeader(String),
+}
+
+impl fmt::Display for CalicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "missing CBCA magic"),
+            Self::Truncated => write!(f, "truncated stream"),
+            Self::InvalidHeader(m) => write!(f, "invalid header: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CalicError {}
+
+const MAGIC: &[u8; 4] = b"CBCA";
+
+/// Compresses an image with the default CALIC configuration into a
+/// self-describing container.
+pub fn compress(img: &Image) -> Vec<u8> {
+    let (payload, _) = encode_raw(img, &CalicConfig::default());
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(img.width() as u32).to_le_bytes());
+    out.extend_from_slice(&(img.height() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decompresses a container produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns [`CalicError`] on malformed headers.
+pub fn decompress(bytes: &[u8]) -> Result<Image, CalicError> {
+    if bytes.len() < 12 {
+        return Err(CalicError::Truncated);
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(CalicError::BadMagic);
+    }
+    let width = u32::from_le_bytes(bytes[4..8].try_into().expect("sized")) as usize;
+    let height = u32::from_le_bytes(bytes[8..12].try_into().expect("sized")) as usize;
+    if width == 0 || height == 0 {
+        return Err(CalicError::InvalidHeader("zero dimension".into()));
+    }
+    if width.saturating_mul(height) > 1 << 28 {
+        return Err(CalicError::InvalidHeader("image too large".into()));
+    }
+    Ok(decode_raw(&bytes[12..], width, height, &CalicConfig::default()))
+}
+
+/// CALIC as an [`cbic_image::ImageCodec`] trait object.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Calic;
+
+impl cbic_image::ImageCodec for Calic {
+    fn name(&self) -> &'static str {
+        "calic"
+    }
+
+    fn compress(&self, img: &Image) -> Vec<u8> {
+        compress(img)
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Image, cbic_image::ImageError> {
+        decompress(bytes).map_err(|e| cbic_image::ImageError::Codec(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod container_tests {
+    use super::*;
+    use cbic_image::corpus::CorpusImage;
+
+    #[test]
+    fn container_roundtrip() {
+        let img = CorpusImage::Boat.generate(32, 32);
+        assert_eq!(decompress(&compress(&img)).unwrap(), img);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decompress(b"xx"), Err(CalicError::Truncated));
+        assert_eq!(decompress(b"AAAA00000000"), Err(CalicError::BadMagic));
+    }
+}

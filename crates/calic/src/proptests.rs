@@ -1,0 +1,52 @@
+//! Property-based tests: CALIC losslessness over arbitrary images and
+//! configurations.
+
+use proptest::prelude::*;
+
+use crate::codec::{decode_raw, encode_raw, CalicConfig};
+use cbic_arith::EstimatorConfig;
+use cbic_image::Image;
+
+fn arb_image() -> impl Strategy<Value = Image> {
+    (1usize..20, 1usize..20).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(any::<u8>(), w * h)
+            .prop_map(move |data| Image::from_vec(w, h, data).expect("sized to match"))
+    })
+}
+
+proptest! {
+    /// Arbitrary pixels round-trip under the default configuration.
+    #[test]
+    fn roundtrip_arbitrary_images(img in arb_image()) {
+        let cfg = CalicConfig::default();
+        let (bytes, _) = encode_raw(&img, &cfg);
+        prop_assert_eq!(decode_raw(&bytes, img.width(), img.height(), &cfg), img);
+    }
+
+    /// Arbitrary configurations (count caps, estimator widths) round-trip.
+    #[test]
+    fn roundtrip_arbitrary_configs(
+        img in arb_image(),
+        cap in 1u16..=1024,
+        count_bits in 10u8..=16,
+        increment in 1u16..=64,
+    ) {
+        let cfg = CalicConfig {
+            estimator: EstimatorConfig { count_bits, increment, ..EstimatorConfig::default() },
+            count_cap: cap,
+        };
+        let (bytes, _) = encode_raw(&img, &cfg);
+        prop_assert_eq!(decode_raw(&bytes, img.width(), img.height(), &cfg), img);
+    }
+
+    /// The sign-flipping trick is an involution: encoder and decoder agree
+    /// on every flip, so stats match exactly.
+    #[test]
+    fn encoder_decoder_stats_agree(img in arb_image()) {
+        let cfg = CalicConfig::default();
+        let (bytes, enc_stats) = encode_raw(&img, &cfg);
+        let back = decode_raw(&bytes, img.width(), img.height(), &cfg);
+        prop_assert_eq!(back, img);
+        prop_assert!(enc_stats.payload_bits <= bytes.len() as u64 * 8);
+    }
+}

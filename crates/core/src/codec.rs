@@ -1,0 +1,419 @@
+//! The full encoder/decoder pipeline (Fig. 3 of the paper).
+
+use crate::context::{error_energy, quantize_energy, texture_pattern, ContextStore};
+use crate::neighborhood::Neighborhood;
+use crate::predictor::{gap_predict, Gradients};
+use crate::remap::{fold, reconstruct, unfold, wrap_error};
+use cbic_arith::{BinaryDecoder, BinaryEncoder, EstimatorConfig, SymbolCoder};
+use cbic_bitio::{BitReader, BitWriter};
+use cbic_image::Image;
+
+pub use crate::context::DivisionKind;
+
+/// Number of coding contexts (`QE` levels) — fixed at 8 by the paper.
+pub const CODING_CONTEXTS: usize = 8;
+
+/// Configuration of the paper's codec.
+///
+/// The default value is the paper's operating point: 512 compound contexts
+/// (6 texture bits × 8 `QE` levels), error feedback with aging and LUT
+/// division, and a 14-bit probability estimator. The other settings exist
+/// for the Fig. 4 sweep and the ablation experiments (A1–A3 in
+/// `DESIGN.md`).
+///
+/// # Examples
+///
+/// ```
+/// use cbic_core::CodecConfig;
+///
+/// let cfg = CodecConfig::default();
+/// assert_eq!(cfg.compound_contexts(), 512);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecConfig {
+    /// Probability-estimator tuning (Fig. 4 sweeps `count_bits`).
+    pub estimator: EstimatorConfig,
+    /// Enable the per-context error feedback `X̃ = X̂ + ē` (ablation A3).
+    pub error_feedback: bool,
+    /// Enable the overflow-guard halving ("aging", ablation A1). When
+    /// disabled the context statistics freeze once the count saturates.
+    pub aging: bool,
+    /// LUT or exact division for the feedback mean (ablation A2).
+    pub division: DivisionKind,
+    /// Texture-pattern width in bits, `0..=6`; compound contexts =
+    /// `8 × 2^texture_bits` (the paper uses 6 → 512).
+    pub texture_bits: u8,
+}
+
+impl Default for CodecConfig {
+    fn default() -> Self {
+        Self {
+            estimator: EstimatorConfig::default(),
+            error_feedback: true,
+            aging: true,
+            division: DivisionKind::Lut,
+            texture_bits: 6,
+        }
+    }
+}
+
+impl CodecConfig {
+    /// Total number of compound contexts (`8 × 2^texture_bits`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `texture_bits > 6`.
+    pub fn compound_contexts(&self) -> usize {
+        assert!(self.texture_bits <= 6, "texture_bits must be 0..=6");
+        CODING_CONTEXTS << self.texture_bits
+    }
+}
+
+/// Statistics accumulated while encoding one image.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EncodeStats {
+    /// Pixels coded.
+    pub pixels: u64,
+    /// Payload bits produced (exact, pre-padding).
+    pub payload_bits: u64,
+    /// Symbols that escaped to the static tree.
+    pub escapes: u64,
+    /// Tree-wide estimator rescales.
+    pub estimator_rescales: u64,
+    /// Context-store overflow-guard halvings.
+    pub context_halvings: u64,
+    /// Binary decisions pushed through the arithmetic coder.
+    pub decisions: u64,
+}
+
+impl EncodeStats {
+    /// Compressed bit rate in bits per pixel (the unit of Table 1).
+    pub fn bits_per_pixel(&self) -> f64 {
+        if self.pixels == 0 {
+            0.0
+        } else {
+            self.payload_bits as f64 / self.pixels as f64
+        }
+    }
+
+    /// Average binary decisions per pixel (drives the pipeline model).
+    pub fn decisions_per_pixel(&self) -> f64 {
+        if self.pixels == 0 {
+            0.0
+        } else {
+            self.decisions as f64 / self.pixels as f64
+        }
+    }
+}
+
+/// Per-pixel model outputs shared by encoder and decoder.
+struct PixelModel {
+    /// Coding-context index (selects the dynamic tree).
+    qe: usize,
+    /// Compound-context index (selects the feedback cell).
+    ctx: usize,
+    /// Adjusted prediction `X̃` after error feedback, in `0..=255`.
+    x_tilde: i32,
+}
+
+/// The deterministic modeling state both sides keep in lock-step.
+struct Modeler {
+    store: ContextStore,
+    /// |wrapped error| per column: entry `x` holds the error of the most
+    /// recently processed pixel in column `x` (this row if already done,
+    /// otherwise the previous row) — the hardware keeps exactly this row
+    /// buffer to provide `e_W`.
+    abs_err: Vec<u8>,
+    texture_bits: u32,
+    error_feedback: bool,
+}
+
+impl Modeler {
+    fn new(width: usize, cfg: &CodecConfig) -> Self {
+        Self {
+            store: ContextStore::new(cfg.compound_contexts(), cfg.division, cfg.aging),
+            abs_err: vec![0; width],
+            texture_bits: u32::from(cfg.texture_bits),
+            error_feedback: cfg.error_feedback,
+        }
+    }
+
+    /// Runs prediction + context formation for pixel `(x, y)` against the
+    /// causal content of `img`.
+    fn model(&self, img: &Image, x: usize, y: usize) -> PixelModel {
+        let nb = Neighborhood::fetch(img, x, y);
+        let g = Gradients::compute(&nb);
+        let x_hat = gap_predict(&nb, g);
+        let e_w = i32::from(if x > 0 {
+            self.abs_err[x - 1]
+        } else {
+            self.abs_err[0]
+        });
+        let qe = usize::from(quantize_energy(error_energy(g, e_w)));
+        let t = texture_pattern(&nb, x_hat, self.texture_bits);
+        let ctx = (qe << self.texture_bits) | usize::from(t);
+        let e_bar = if self.error_feedback {
+            self.store.mean(ctx)
+        } else {
+            0
+        };
+        let x_tilde = (x_hat + e_bar).clamp(0, 255);
+        PixelModel { qe, ctx, x_tilde }
+    }
+
+    /// Folds the coded pixel's wrapped error back into the model state.
+    fn absorb(&mut self, x: usize, ctx: usize, wrapped: i32) {
+        if self.error_feedback {
+            self.store.update(ctx, wrapped);
+        }
+        self.abs_err[x] = wrapped.unsigned_abs().min(255) as u8;
+    }
+}
+
+/// Encodes `img` into a raw arithmetic-coded payload (no container header).
+///
+/// Returns the payload bytes and the encoding statistics. Use
+/// [`compress`](crate::compress) for the self-describing container.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`CodecConfig`]).
+pub fn encode_raw(img: &Image, cfg: &CodecConfig) -> (Vec<u8>, EncodeStats) {
+    let (width, height) = img.dimensions();
+    let mut modeler = Modeler::new(width, cfg);
+    let mut coder = SymbolCoder::new(CODING_CONTEXTS, cfg.estimator);
+    let mut enc = BinaryEncoder::new(BitWriter::new());
+
+    for y in 0..height {
+        for x in 0..width {
+            let m = modeler.model(img, x, y);
+            let e = i32::from(img.get(x, y)) - m.x_tilde;
+            let wrapped = wrap_error(e);
+            coder.encode(&mut enc, m.qe, fold(wrapped));
+            modeler.absorb(x, m.ctx, wrapped);
+        }
+    }
+
+    let decisions = enc.decisions();
+    let payload_bits = enc.bits_written();
+    let coder_stats = coder.stats();
+    let writer = enc.finish();
+    let stats = EncodeStats {
+        pixels: (width * height) as u64,
+        payload_bits: payload_bits.max(writer.bits_written()),
+        escapes: coder_stats.escapes,
+        estimator_rescales: coder_stats.rescales,
+        context_halvings: modeler.store.halvings(),
+        decisions,
+    };
+    (writer.into_bytes(), stats)
+}
+
+/// Decodes a raw payload produced by [`encode_raw`] with the same
+/// dimensions and configuration.
+///
+/// The configuration **must** match the encoder's; the container API
+/// handles that automatically.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid. A mismatched payload produces
+/// garbage pixels but never unsafety.
+pub fn decode_raw(bytes: &[u8], width: usize, height: usize, cfg: &CodecConfig) -> Image {
+    let mut modeler = Modeler::new(width, cfg);
+    let mut coder = SymbolCoder::new(CODING_CONTEXTS, cfg.estimator);
+    let mut dec = BinaryDecoder::new(BitReader::new(bytes));
+    let mut img = Image::new(width, height);
+
+    for y in 0..height {
+        for x in 0..width {
+            let m = modeler.model(&img, x, y);
+            let folded = coder.decode(&mut dec, m.qe);
+            let wrapped = unfold(folded);
+            img.set(x, y, reconstruct(m.x_tilde, wrapped));
+            modeler.absorb(x, m.ctx, wrapped);
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbic_image::corpus::CorpusImage;
+
+    fn roundtrip(img: &Image, cfg: &CodecConfig) -> EncodeStats {
+        let (bytes, stats) = encode_raw(img, cfg);
+        let back = decode_raw(&bytes, img.width(), img.height(), cfg);
+        assert_eq!(&back, img, "lossless roundtrip failed");
+        stats
+    }
+
+    #[test]
+    fn roundtrip_corpus_images() {
+        let cfg = CodecConfig::default();
+        for (name, img) in cbic_image::corpus::generate(48) {
+            let stats = roundtrip(&img, &cfg);
+            assert_eq!(stats.pixels, 48 * 48, "{name:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_tiny_images() {
+        let cfg = CodecConfig::default();
+        for (w, h) in [(1, 1), (1, 8), (8, 1), (2, 3), (17, 5)] {
+            let img = Image::from_fn(w, h, |x, y| (x * 31 + y * 17) as u8);
+            roundtrip(&img, &cfg);
+        }
+    }
+
+    #[test]
+    fn constant_image_compresses_hard() {
+        let img = Image::from_fn(128, 128, |_, _| 200);
+        let stats = roundtrip(&img, &CodecConfig::default());
+        assert!(
+            stats.bits_per_pixel() < 0.2,
+            "constant image cost {} bpp",
+            stats.bits_per_pixel()
+        );
+    }
+
+    #[test]
+    fn smooth_gradient_compresses_well() {
+        let img = Image::from_fn(128, 128, |x, y| ((x + y) / 2) as u8);
+        let stats = roundtrip(&img, &CodecConfig::default());
+        assert!(
+            stats.bits_per_pixel() < 1.0,
+            "gradient cost {} bpp",
+            stats.bits_per_pixel()
+        );
+    }
+
+    #[test]
+    fn noise_does_not_expand_catastrophically() {
+        // Incompressible input must stay below ~9.2 bpp (8 bpp + escape
+        // decision overhead).
+        let img = Image::from_fn(64, 64, |x, y| {
+            (cbic_image::synth::lattice(1, x as i64, y as i64) * 256.0) as u8
+        });
+        let stats = roundtrip(&img, &CodecConfig::default());
+        assert!(
+            stats.bits_per_pixel() < 9.2,
+            "noise cost {} bpp",
+            stats.bits_per_pixel()
+        );
+    }
+
+    #[test]
+    fn error_feedback_helps_on_textured_content() {
+        // The paper's central claim: per-context error feedback cancels
+        // prediction bias. On textured natural-like content (the barb
+        // stand-in) the 512-context feedback wins clearly.
+        let img = CorpusImage::Barb.generate(128, 128);
+        let with = roundtrip(&img, &CodecConfig::default());
+        let without = roundtrip(
+            &img,
+            &CodecConfig {
+                error_feedback: false,
+                ..CodecConfig::default()
+            },
+        );
+        assert!(
+            with.bits_per_pixel() < without.bits_per_pixel(),
+            "feedback {} vs none {}",
+            with.bits_per_pixel(),
+            without.bits_per_pixel()
+        );
+    }
+
+    #[test]
+    fn division_kind_changes_little() {
+        let img = CorpusImage::Goldhill.generate(96, 96);
+        let lut = roundtrip(&img, &CodecConfig::default());
+        let exact = roundtrip(
+            &img,
+            &CodecConfig {
+                division: DivisionKind::Exact,
+                ..CodecConfig::default()
+            },
+        );
+        let diff = (lut.bits_per_pixel() - exact.bits_per_pixel()).abs();
+        assert!(diff < 0.05, "LUT vs exact division differ by {diff} bpp");
+    }
+
+    #[test]
+    fn texture_bits_sweep_roundtrips() {
+        let img = CorpusImage::Peppers.generate(40, 40);
+        for bits in 0..=6u8 {
+            let cfg = CodecConfig {
+                texture_bits: bits,
+                ..CodecConfig::default()
+            };
+            assert_eq!(cfg.compound_contexts(), 8 << bits);
+            roundtrip(&img, &cfg);
+        }
+    }
+
+    #[test]
+    fn count_bits_sweep_roundtrips() {
+        let img = CorpusImage::Barb.generate(40, 40);
+        for bits in [10u8, 12, 14, 16] {
+            let cfg = CodecConfig {
+                estimator: EstimatorConfig {
+                    count_bits: bits,
+                    ..EstimatorConfig::default()
+                },
+                ..CodecConfig::default()
+            };
+            roundtrip(&img, &cfg);
+        }
+    }
+
+    #[test]
+    fn decisions_are_nine_per_pixel() {
+        let img = CorpusImage::Lena.generate(32, 32);
+        let (_, stats) = encode_raw(&img, &CodecConfig::default());
+        assert!((stats.decisions_per_pixel() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_bits_match_payload() {
+        let img = CorpusImage::Boat.generate(32, 32);
+        let (bytes, stats) = encode_raw(&img, &CodecConfig::default());
+        assert!(stats.payload_bits <= bytes.len() as u64 * 8);
+        assert!(stats.payload_bits + 64 > bytes.len() as u64 * 8);
+    }
+
+    #[test]
+    fn mismatched_config_decodes_garbage_not_panic() {
+        let img = CorpusImage::Zelda.generate(24, 24);
+        let (bytes, _) = encode_raw(&img, &CodecConfig::default());
+        let wrong = CodecConfig {
+            texture_bits: 2,
+            ..CodecConfig::default()
+        };
+        let out = decode_raw(&bytes, 24, 24, &wrong);
+        assert_eq!(out.dimensions(), (24, 24));
+    }
+
+    #[test]
+    fn aging_beats_frozen_statistics() {
+        // The paper: rescaling "slightly improves the compression ratio by
+        // aging the observed data". Measurable on textured corpus content.
+        let img = CorpusImage::Barb.generate(128, 128);
+        let aged = roundtrip(&img, &CodecConfig::default());
+        let frozen = roundtrip(
+            &img,
+            &CodecConfig {
+                aging: false,
+                ..CodecConfig::default()
+            },
+        );
+        assert!(
+            aged.bits_per_pixel() < frozen.bits_per_pixel(),
+            "aged {} vs frozen {}",
+            aged.bits_per_pixel(),
+            frozen.bits_per_pixel()
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! Self-describing container format.
+//!
+//! The raw codec API ([`encode_raw`](crate::encode_raw)) produces a bare
+//! arithmetic-coded payload, as the FPGA core would on its output bus. For
+//! storage and interchange this module frames it with a small header
+//! carrying the dimensions and every model parameter the decoder must
+//! mirror:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "CBIC"
+//! 4       1     version (1)
+//! 5       1     codec id (1 = SOCC-2007 image codec)
+//! 6       4     width  (LE)
+//! 10      4     height (LE)
+//! 14      1     estimator count_bits
+//! 15      2     estimator increment (LE)
+//! 17      2     escape init: no-escape count (LE)
+//! 19      2     escape init: escape count (LE)
+//! 21      1     flags (bit0 feedback, bit1 aging, bit2 exact division)
+//! 22      1     texture bits
+//! 23      ...   arithmetic-coded payload
+//! ```
+
+use crate::codec::{decode_raw, encode_raw, CodecConfig, DivisionKind};
+use cbic_arith::EstimatorConfig;
+use cbic_image::{Image, ImageCodec, ImageError};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"CBIC";
+const VERSION: u8 = 1;
+const CODEC_ID: u8 = 1;
+const HEADER_LEN: usize = 23;
+
+/// Errors returned when parsing a container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The stream does not start with the `CBIC` magic.
+    BadMagic,
+    /// Unknown container version.
+    UnsupportedVersion(u8),
+    /// Unknown codec identifier.
+    UnsupportedCodec(u8),
+    /// The stream is shorter than its header claims.
+    Truncated,
+    /// A header field holds an invalid value.
+    InvalidHeader(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "missing CBIC magic"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported container version {v}"),
+            Self::UnsupportedCodec(c) => write!(f, "unsupported codec id {c}"),
+            Self::Truncated => write!(f, "truncated container"),
+            Self::InvalidHeader(msg) => write!(f, "invalid header: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Compresses an image into a self-describing container.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_core::{compress, decompress, CodecConfig};
+/// use cbic_image::Image;
+///
+/// let img = Image::from_fn(16, 16, |x, y| (x * y) as u8);
+/// let bytes = compress(&img, &CodecConfig::default());
+/// assert_eq!(decompress(&bytes)?, img);
+/// # Ok::<(), cbic_core::CodecError>(())
+/// ```
+pub fn compress(img: &Image, cfg: &CodecConfig) -> Vec<u8> {
+    let (payload, _) = encode_raw(img, cfg);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(CODEC_ID);
+    out.extend_from_slice(&(img.width() as u32).to_le_bytes());
+    out.extend_from_slice(&(img.height() as u32).to_le_bytes());
+    out.push(cfg.estimator.count_bits);
+    out.extend_from_slice(&cfg.estimator.increment.to_le_bytes());
+    out.extend_from_slice(&cfg.estimator.escape_init.0.to_le_bytes());
+    out.extend_from_slice(&cfg.estimator.escape_init.1.to_le_bytes());
+    let mut flags = 0u8;
+    flags |= u8::from(cfg.error_feedback);
+    flags |= u8::from(cfg.aging) << 1;
+    flags |= u8::from(cfg.division == DivisionKind::Exact) << 2;
+    out.push(flags);
+    out.push(cfg.texture_bits);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decompresses a container produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] when the header is malformed; payload bytes
+/// beyond the header are consumed by the arithmetic decoder as-is.
+pub fn decompress(bytes: &[u8]) -> Result<Image, CodecError> {
+    let (cfg, width, height, payload) = parse_header(bytes)?;
+    Ok(decode_raw(payload, width, height, &cfg))
+}
+
+/// Parses a container header, returning the codec configuration,
+/// dimensions, and payload slice.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] describing the first malformed field.
+pub fn parse_header(bytes: &[u8]) -> Result<(CodecConfig, usize, usize, &[u8]), CodecError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(if bytes.len() >= 4 && &bytes[..4] != MAGIC {
+            CodecError::BadMagic
+        } else {
+            CodecError::Truncated
+        });
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    if bytes[4] != VERSION {
+        return Err(CodecError::UnsupportedVersion(bytes[4]));
+    }
+    if bytes[5] != CODEC_ID {
+        return Err(CodecError::UnsupportedCodec(bytes[5]));
+    }
+    let rd32 = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+    let rd16 = |o: usize| u16::from_le_bytes(bytes[o..o + 2].try_into().unwrap());
+    let width = rd32(6) as usize;
+    let height = rd32(10) as usize;
+    if width == 0 || height == 0 {
+        return Err(CodecError::InvalidHeader("zero dimension".into()));
+    }
+    // Defensive cap: a corrupted header must not trigger a huge allocation.
+    // 2^28 pixels = 256 Mpixel, far beyond any image this codec targets.
+    if width.saturating_mul(height) > 1 << 28 {
+        return Err(CodecError::InvalidHeader(format!(
+            "{width}x{height} exceeds the 2^28-pixel container limit"
+        )));
+    }
+    let count_bits = bytes[14];
+    if !(10..=16).contains(&count_bits) {
+        return Err(CodecError::InvalidHeader(format!(
+            "count_bits {count_bits} outside 10..=16"
+        )));
+    }
+    let max_total = (1u32 << count_bits) - 1;
+    let increment = rd16(15);
+    if increment == 0 || u32::from(increment) > max_total / 2 {
+        return Err(CodecError::InvalidHeader(format!(
+            "increment {increment} outside 1..={}",
+            max_total / 2
+        )));
+    }
+    let esc0 = rd16(17);
+    let esc1 = rd16(19);
+    if esc0 == 0 || esc1 == 0 || u32::from(esc0) + u32::from(esc1) > max_total {
+        return Err(CodecError::InvalidHeader("invalid escape init".into()));
+    }
+    let flags = bytes[21];
+    let texture_bits = bytes[22];
+    if texture_bits > 6 {
+        return Err(CodecError::InvalidHeader(format!(
+            "texture_bits {texture_bits} outside 0..=6"
+        )));
+    }
+    let cfg = CodecConfig {
+        estimator: EstimatorConfig {
+            count_bits,
+            increment,
+            escape_init: (esc0, esc1),
+        },
+        error_feedback: flags & 1 != 0,
+        aging: flags & 2 != 0,
+        division: if flags & 4 != 0 {
+            DivisionKind::Exact
+        } else {
+            DivisionKind::Lut
+        },
+        texture_bits,
+    };
+    Ok((cfg, width, height, &bytes[HEADER_LEN..]))
+}
+
+/// The paper's codec as an [`ImageCodec`] trait object.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_image::{ImageCodec, Image};
+/// use cbic_core::Proposed;
+///
+/// let codec: &dyn ImageCodec = &Proposed::default();
+/// let img = Image::from_fn(16, 16, |x, y| (x * y) as u8);
+/// assert_eq!(codec.decompress(&codec.compress(&img)).unwrap(), img);
+/// assert_eq!(codec.name(), "proposed");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Proposed(pub CodecConfig);
+
+impl ImageCodec for Proposed {
+    fn name(&self) -> &'static str {
+        "proposed"
+    }
+
+    fn compress(&self, img: &Image) -> Vec<u8> {
+        compress(img, &self.0)
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Image, ImageError> {
+        decompress(bytes).map_err(|e| ImageError::Codec(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbic_image::corpus::CorpusImage;
+
+    #[test]
+    fn container_roundtrip_default_config() {
+        let img = CorpusImage::Lena.generate(40, 40);
+        let bytes = compress(&img, &CodecConfig::default());
+        assert_eq!(decompress(&bytes).unwrap(), img);
+    }
+
+    #[test]
+    fn container_roundtrip_nondefault_config() {
+        let img = CorpusImage::Mandrill.generate(32, 32);
+        let cfg = CodecConfig {
+            estimator: EstimatorConfig {
+                count_bits: 11,
+                increment: 7,
+                escape_init: (3, 2),
+            },
+            error_feedback: false,
+            aging: false,
+            division: DivisionKind::Exact,
+            texture_bits: 3,
+        };
+        let bytes = compress(&img, &cfg);
+        // The header must carry the config: decode with no prior knowledge.
+        assert_eq!(decompress(&bytes).unwrap(), img);
+        let (parsed, w, h, _) = parse_header(&bytes).unwrap();
+        assert_eq!(parsed, cfg);
+        assert_eq!((w, h), (32, 32));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let img = CorpusImage::Zelda.generate(16, 16);
+        let mut bytes = compress(&img, &CodecConfig::default());
+        bytes[0] = b'X';
+        assert_eq!(decompress(&bytes), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version_and_codec() {
+        let img = CorpusImage::Zelda.generate(16, 16);
+        let mut bytes = compress(&img, &CodecConfig::default());
+        bytes[4] = 9;
+        assert_eq!(decompress(&bytes), Err(CodecError::UnsupportedVersion(9)));
+        bytes[4] = 1;
+        bytes[5] = 7;
+        assert_eq!(decompress(&bytes), Err(CodecError::UnsupportedCodec(7)));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        assert_eq!(decompress(b"CBIC"), Err(CodecError::Truncated));
+        assert_eq!(decompress(b""), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn rejects_invalid_fields() {
+        let img = CorpusImage::Zelda.generate(16, 16);
+        let mut bytes = compress(&img, &CodecConfig::default());
+        bytes[14] = 42; // count_bits
+        assert!(matches!(
+            decompress(&bytes),
+            Err(CodecError::InvalidHeader(_))
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(CodecError::BadMagic.to_string().contains("magic"));
+        assert!(CodecError::UnsupportedVersion(3).to_string().contains('3'));
+    }
+}

@@ -1,0 +1,328 @@
+//! Compound-context formation and the error-feedback store.
+//!
+//! The paper forms **512 compound contexts** from a 6-bit texture pattern
+//! (six causal neighbours compared against the primary prediction `X̂`) and
+//! a 3-bit quantized error-energy index `QE`. Each context keeps the sum
+//! (13 bits + sign) and count (5 bits) of the prediction errors observed in
+//! it; their quotient — computed by the 1 KB division LUT — is the error
+//! feedback `ē` that corrects the prediction.
+//!
+//! The 13-bit sum bound is not arbitrary: with the count capped at 31 and
+//! |error| ≤ 128, |sum| ≤ 31 × 128 = 3968 < 2¹³, which is exactly the
+//! paper's "13 bits (2⁵ × 2⁸ = 2¹³) plus one sign bit to store the sum of
+//! errors safely".
+
+use crate::neighborhood::Neighborhood;
+use crate::predictor::Gradients;
+use cbic_hw::divlut::{exact_div, DivLut};
+
+/// CALIC's published quantizer thresholds for the error energy
+/// `Δ = dh + dv + 2|e_W|`, giving 8 coding contexts.
+pub const QE_THRESHOLDS: [i32; 7] = [5, 15, 25, 42, 60, 85, 140];
+
+/// Quantizes the error energy `Δ` into the 3-bit coding-context index `QE`.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_core::context::quantize_energy;
+///
+/// assert_eq!(quantize_energy(0), 0);
+/// assert_eq!(quantize_energy(20), 2);
+/// assert_eq!(quantize_energy(1000), 7);
+/// ```
+#[inline]
+pub fn quantize_energy(delta: i32) -> u8 {
+    let mut qe = 0u8;
+    for &t in &QE_THRESHOLDS {
+        if delta > t {
+            qe += 1;
+        }
+    }
+    qe
+}
+
+/// Computes the texture pattern: one bit per compared neighbour
+/// (`1` when the neighbour is below the prediction `X̂`), using the six
+/// neighbours `{N, W, NW, NE, NN, WW}`.
+///
+/// `bits` selects how many of the six comparisons participate (the paper
+/// uses all 6 → 64 patterns; ablation A3 sweeps fewer).
+///
+/// # Panics
+///
+/// Panics if `bits > 6`.
+#[inline]
+pub fn texture_pattern(n: &Neighborhood, prediction: i32, bits: u32) -> u16 {
+    assert!(bits <= 6, "texture pattern has at most 6 bits");
+    let cmp = [n.n, n.w, n.nw, n.ne, n.nn, n.ww];
+    let mut t = 0u16;
+    for (k, &v) in cmp.iter().take(bits as usize).enumerate() {
+        if i32::from(v) < prediction {
+            t |= 1 << k;
+        }
+    }
+    t
+}
+
+/// Error energy `Δ = dh + dv + 2 |e_W|` (the paper's "local gradients dv,
+/// dh and a previous prediction error e of W").
+#[inline]
+pub fn error_energy(g: Gradients, abs_err_w: i32) -> i32 {
+    g.dh + g.dv + 2 * abs_err_w
+}
+
+/// Which divider implements the error-feedback mean — the paper's 1 KB
+/// lookup table, or an exact hardware divider (ablation A2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum DivisionKind {
+    /// The paper's 512-entry × 16-bit ROM divider.
+    #[default]
+    Lut,
+    /// Exact truncating division (reference).
+    Exact,
+}
+
+/// Per-compound-context error statistics: the paper's `(sum, count)` pair
+/// with the overflow guard ("aging") and bounded-dividend division.
+#[derive(Debug, Clone)]
+pub struct ContextStore {
+    sums: Vec<i32>,
+    counts: Vec<u8>,
+    lut: DivLut,
+    division: DivisionKind,
+    /// `true` = halve sum and count when the count saturates (the paper);
+    /// `false` = freeze updates at saturation (ablation A1).
+    aging: bool,
+    halvings: u64,
+}
+
+/// Maximum value of the 5-bit occurrence count.
+pub const COUNT_MAX: u8 = 31;
+
+impl ContextStore {
+    /// Creates a store with `contexts` zeroed entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts` is zero.
+    pub fn new(contexts: usize, division: DivisionKind, aging: bool) -> Self {
+        assert!(contexts > 0, "need at least one context");
+        Self {
+            sums: vec![0; contexts],
+            counts: vec![0; contexts],
+            lut: DivLut::new(),
+            division,
+            aging,
+            halvings: 0,
+        }
+    }
+
+    /// Number of compound contexts.
+    pub fn contexts(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Number of overflow-guard halvings performed so far.
+    pub fn halvings(&self) -> u64 {
+        self.halvings
+    }
+
+    /// The error-feedback value `ē = sum / count` for context `ctx`
+    /// (0 for a context that has never been observed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    #[inline]
+    pub fn mean(&self, ctx: usize) -> i32 {
+        let count = self.counts[ctx];
+        if count == 0 {
+            return 0;
+        }
+        match self.division {
+            DivisionKind::Lut => self.lut.div(self.sums[ctx], u32::from(count)),
+            DivisionKind::Exact => exact_div(self.sums[ctx], u32::from(count)),
+        }
+    }
+
+    /// Accumulates a (wrapped, signed) prediction error into context `ctx`.
+    ///
+    /// Implements the paper's Overflow Guard: when the count has reached
+    /// its 5-bit maximum, both sum and count are halved before the update
+    /// so the stored mean is preserved while the statistics age.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range or `|err| > 128`.
+    #[inline]
+    pub fn update(&mut self, ctx: usize, err: i32) {
+        assert!(err.abs() <= 128, "wrapped error {err} out of range");
+        if self.counts[ctx] >= COUNT_MAX {
+            if self.aging {
+                // Arithmetic right shift keeps the mean's sign correct.
+                self.sums[ctx] >>= 1;
+                self.counts[ctx] >>= 1;
+                self.halvings += 1;
+            } else {
+                return; // Saturate: stop learning (ablation variant).
+            }
+        }
+        self.sums[ctx] += err;
+        self.counts[ctx] += 1;
+        debug_assert!(self.sums[ctx].abs() < 1 << 13, "13-bit sum bound violated");
+    }
+
+    /// Raw `(sum, count)` of a context (tests/diagnostics).
+    pub fn raw(&self, ctx: usize) -> (i32, u8) {
+        (self.sums[ctx], self.counts[ctx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nb(w: u8, ww: u8, n: u8, nn: u8, ne: u8, nw: u8, nne: u8) -> Neighborhood {
+        Neighborhood {
+            w,
+            ww,
+            n,
+            nn,
+            ne,
+            nw,
+            nne,
+        }
+    }
+
+    #[test]
+    fn quantizer_covers_all_eight_levels() {
+        let mut seen = [false; 8];
+        for delta in 0..2000 {
+            seen[usize::from(quantize_energy(delta))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "levels: {seen:?}");
+    }
+
+    #[test]
+    fn quantizer_is_monotone() {
+        let mut prev = 0;
+        for delta in 0..2000 {
+            let q = quantize_energy(delta);
+            assert!(q >= prev);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn quantizer_threshold_edges() {
+        assert_eq!(quantize_energy(5), 0);
+        assert_eq!(quantize_energy(6), 1);
+        assert_eq!(quantize_energy(140), 6);
+        assert_eq!(quantize_energy(141), 7);
+    }
+
+    #[test]
+    fn texture_pattern_bits() {
+        let n = nb(10, 200, 10, 200, 200, 10, 0);
+        // prediction 100: N(10)<100 -> bit0, W(10)<100 -> bit1,
+        // NW(10)<100 -> bit2, NE(200) -> 0, NN(200) -> 0, WW(200) -> 0.
+        assert_eq!(texture_pattern(&n, 100, 6), 0b000111);
+        assert_eq!(texture_pattern(&n, 100, 2), 0b11);
+        assert_eq!(texture_pattern(&n, 100, 0), 0);
+    }
+
+    #[test]
+    fn texture_pattern_is_strict_comparison() {
+        let n = nb(100, 100, 100, 100, 100, 100, 100);
+        assert_eq!(texture_pattern(&n, 100, 6), 0, "equal is not below");
+        assert_eq!(texture_pattern(&n, 101, 6), 0b111111);
+    }
+
+    #[test]
+    fn energy_combines_gradients_and_error() {
+        let g = Gradients { dh: 10, dv: 20 };
+        assert_eq!(error_energy(g, 5), 40);
+    }
+
+    #[test]
+    fn fresh_context_mean_is_zero() {
+        let s = ContextStore::new(512, DivisionKind::Exact, true);
+        for c in [0usize, 100, 511] {
+            assert_eq!(s.mean(c), 0);
+        }
+    }
+
+    #[test]
+    fn mean_tracks_bias() {
+        let mut s = ContextStore::new(8, DivisionKind::Exact, true);
+        for _ in 0..10 {
+            s.update(3, 6);
+        }
+        assert_eq!(s.mean(3), 6);
+        assert_eq!(s.raw(3), (60, 10));
+    }
+
+    #[test]
+    fn lut_division_mean_is_close_to_exact() {
+        let mut a = ContextStore::new(1, DivisionKind::Lut, true);
+        let mut b = ContextStore::new(1, DivisionKind::Exact, true);
+        for e in [14i32, 9, 17, 12, 11, 16, 13] {
+            a.update(0, e);
+            b.update(0, e);
+        }
+        assert!((a.mean(0) - b.mean(0)).abs() <= 2);
+    }
+
+    #[test]
+    fn overflow_guard_halves_and_preserves_mean() {
+        let mut s = ContextStore::new(1, DivisionKind::Exact, true);
+        for _ in 0..31 {
+            s.update(0, 8);
+        }
+        assert_eq!(s.raw(0), (248, 31));
+        let mean_before = s.mean(0);
+        s.update(0, 8); // triggers halving: (124, 15) then +8/+1
+        assert_eq!(s.raw(0), (132, 16));
+        assert_eq!(s.halvings(), 1);
+        assert_eq!(s.mean(0), mean_before, "mean preserved through aging");
+    }
+
+    #[test]
+    fn negative_sums_age_correctly() {
+        let mut s = ContextStore::new(1, DivisionKind::Exact, true);
+        for _ in 0..31 {
+            s.update(0, -8);
+        }
+        s.update(0, -8);
+        assert_eq!(s.mean(0), -8);
+        // Arithmetic shift: -248 >> 1 = -124.
+        assert_eq!(s.raw(0), (-132, 16));
+    }
+
+    #[test]
+    fn saturating_variant_freezes() {
+        let mut s = ContextStore::new(1, DivisionKind::Exact, false);
+        for _ in 0..40 {
+            s.update(0, 4);
+        }
+        assert_eq!(s.raw(0).1, COUNT_MAX, "count saturates without aging");
+        assert_eq!(s.halvings(), 0);
+    }
+
+    #[test]
+    fn sum_never_exceeds_13_bits() {
+        let mut s = ContextStore::new(1, DivisionKind::Exact, true);
+        for _ in 0..10_000 {
+            s.update(0, 128);
+        }
+        assert!(s.raw(0).0 < 1 << 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_error_rejected() {
+        let mut s = ContextStore::new(1, DivisionKind::Exact, true);
+        s.update(0, 129);
+    }
+}

@@ -1,0 +1,512 @@
+//! Hardware-faithful encoder: the Fig. 3 architecture, register by
+//! register.
+//!
+//! [`encode_raw`](crate::encode_raw) is the *algorithmic* reference — it
+//! reads pixels from a random-access image. The FPGA cannot do that: it
+//! sees a raster-scan pixel stream and keeps exactly **three image lines**
+//! in rotating buffers (Section III: "we need to store 3 lines of image
+//! pixel values in memory as context and use 3 pointers ... At the end of
+//! processing each line, the 3 pointers have to be rotated").
+//!
+//! This module re-implements the encoder under those constraints:
+//!
+//! * [`LineBuffers`] — three line buffers + rotation, the only pixel
+//!   storage (plus the pipeline registers holding `W`/`WW`);
+//! * [`HwEncoder`] — a streaming, one-pixel-per-call encoder structured as
+//!   the paper's two lines: Line 2 computes gradients, primary prediction,
+//!   texture/coding contexts, and the error feedback for the *incoming*
+//!   pixel; Line 1 forms the prediction error, maps it, drives the
+//!   estimator, and updates the context store.
+//!
+//! The equivalence suite asserts the byte stream is **identical** to the
+//! software reference on every input — the "golden model vs RTL"
+//! check-off a hardware team would run before tape-out.
+
+use crate::codec::{CodecConfig, CODING_CONTEXTS};
+use crate::context::{error_energy, quantize_energy, texture_pattern, ContextStore};
+use crate::neighborhood::Neighborhood;
+use crate::predictor::{gap_predict, Gradients};
+use crate::remap::{fold, wrap_error};
+use cbic_arith::{BinaryEncoder, SymbolCoder};
+use cbic_bitio::BitWriter;
+use cbic_image::Image;
+
+/// Three rotating line buffers, as the hardware stores them.
+///
+/// `row(0)` is the line currently being written (the pixel just coded goes
+/// here), `row(1)` the previous line (N/NE/NW), `row(2)` the line above
+/// that (NN/NNE). [`Self::rotate`] renames the pointers at each end of
+/// line — no pixel is ever copied, exactly like the hardware's pointer
+/// rotation.
+#[derive(Debug, Clone)]
+pub struct LineBuffers {
+    lines: [Vec<u8>; 3],
+    /// Index of the buffer holding the line being written.
+    head: usize,
+    /// Number of rows completed (bounds the valid history).
+    rows_done: usize,
+}
+
+impl LineBuffers {
+    /// Creates buffers for images `width` pixels wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "width must be nonzero");
+        Self {
+            lines: [vec![0; width], vec![0; width], vec![0; width]],
+            head: 0,
+            rows_done: 0,
+        }
+    }
+
+    /// Buffer width.
+    pub fn width(&self) -> usize {
+        self.lines[0].len()
+    }
+
+    /// Number of fully written rows so far.
+    pub fn rows_done(&self) -> usize {
+        self.rows_done
+    }
+
+    /// The line `depth` rows above the current one (0 = current).
+    #[inline]
+    fn row(&self, depth: usize) -> &[u8] {
+        debug_assert!(depth < 3);
+        &self.lines[(self.head + depth) % 3]
+    }
+
+    /// Writes the just-reconstructed pixel into the current line.
+    #[inline]
+    pub fn push(&mut self, x: usize, value: u8) {
+        let head = self.head;
+        self.lines[head][x] = value;
+    }
+
+    /// Rotates the three pointers at end of line: the oldest buffer is
+    /// recycled as the new write target.
+    pub fn rotate(&mut self) {
+        self.head = (self.head + 2) % 3; // head-1 mod 3: oldest becomes head
+        self.rows_done += 1;
+    }
+
+    /// Fetches the causal neighbourhood of `(x, y)` from the line buffers
+    /// only, reproducing [`Neighborhood::fetch`]'s boundary rules bit for
+    /// bit (`y` is passed purely to detect the first rows; pixels never
+    /// come from anywhere but the three buffers).
+    pub fn neighborhood(&self, x: usize, y: usize) -> Neighborhood {
+        let width = self.width();
+        debug_assert!(x < width);
+        debug_assert_eq!(y, self.rows_done);
+        let cur = self.row(0);
+        let n1 = self.row(1);
+        let n2 = self.row(2);
+
+        let w = if x >= 1 {
+            cur[x - 1]
+        } else if y >= 1 {
+            n1[x]
+        } else {
+            128
+        };
+        let ww = if x >= 2 { cur[x - 2] } else { w };
+        let n = if y >= 1 { n1[x] } else { w };
+        let nn = if y >= 2 { n2[x] } else { n };
+        let nw = if x >= 1 && y >= 1 { n1[x - 1] } else { n };
+        let ne = if x + 1 < width && y >= 1 { n1[x + 1] } else { n };
+        let nne = if x + 1 < width && y >= 2 { n2[x + 1] } else { ne };
+        Neighborhood {
+            w,
+            ww,
+            n,
+            nn,
+            ne,
+            nw,
+            nne,
+        }
+    }
+}
+
+/// Streaming hardware-model encoder: feed raster-scan pixels one at a
+/// time, collect the bit stream at the end.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_core::hwpipe::HwEncoder;
+/// use cbic_core::CodecConfig;
+/// use cbic_image::corpus::CorpusImage;
+///
+/// let img = CorpusImage::Boat.generate(32, 32);
+/// let mut hw = HwEncoder::new(32, &CodecConfig::default());
+/// for y in 0..32 {
+///     for x in 0..32 {
+///         hw.push_pixel(img.get(x, y));
+///     }
+/// }
+/// let stream = hw.finish();
+/// // Bit-identical to the software reference:
+/// let (reference, _) = cbic_core::encode_raw(&img, &CodecConfig::default());
+/// assert_eq!(stream, reference);
+/// ```
+#[derive(Debug)]
+pub struct HwEncoder {
+    buffers: LineBuffers,
+    store: ContextStore,
+    /// Row buffer of |wrapped error| per column — the hardware register
+    /// file feeding `e_W` into the energy term.
+    abs_err: Vec<u8>,
+    coder: SymbolCoder,
+    ac: BinaryEncoder,
+    cfg: CodecConfig,
+    x: usize,
+    y: usize,
+    pixels: u64,
+}
+
+impl HwEncoder {
+    /// Creates a streaming encoder for `width`-pixel lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or the configuration is invalid.
+    pub fn new(width: usize, cfg: &CodecConfig) -> Self {
+        Self {
+            buffers: LineBuffers::new(width),
+            store: ContextStore::new(cfg.compound_contexts(), cfg.division, cfg.aging),
+            abs_err: vec![0; width],
+            coder: SymbolCoder::new(CODING_CONTEXTS, cfg.estimator),
+            ac: BinaryEncoder::new(BitWriter::new()),
+            cfg: *cfg,
+            x: 0,
+            y: 0,
+            pixels: 0,
+        }
+    }
+
+    /// Pixels consumed so far.
+    pub fn pixels(&self) -> u64 {
+        self.pixels
+    }
+
+    /// Current scan position `(x, y)` of the *next* pixel.
+    pub fn position(&self) -> (usize, usize) {
+        (self.x, self.y)
+    }
+
+    /// Consumes the next raster-scan pixel.
+    ///
+    /// One call models one initiation interval of the Fig. 3 pipeline:
+    /// Line 2 stages (a)–(e) build the prediction and contexts from the
+    /// line buffers; Line 1 stages (a)–(d) form, map, and code the error
+    /// and write back the model state.
+    pub fn push_pixel(&mut self, value: u8) {
+        let x = self.x;
+        let y = self.y;
+
+        // ---- Line 2: context computation ----
+        // (a) update context with new symbol -> line-buffer fetch
+        let nb = self.buffers.neighborhood(x, y);
+        // (b) gradients
+        let g = Gradients::compute(&nb);
+        // (c) primary prediction + quantized coding context
+        let x_hat = gap_predict(&nb, g);
+        let e_w = i32::from(if x > 0 {
+            self.abs_err[x - 1]
+        } else {
+            self.abs_err[0]
+        });
+        let qe = usize::from(quantize_energy(error_energy(g, e_w)));
+        // (d) texture pattern + compound context index
+        let t = texture_pattern(&nb, x_hat, u32::from(self.cfg.texture_bits));
+        let ctx = (qe << self.cfg.texture_bits) | usize::from(t);
+        // (e) error feedback -> adjusted prediction (LUT division)
+        let e_bar = if self.cfg.error_feedback {
+            self.store.mean(ctx)
+        } else {
+            0
+        };
+        let x_tilde = (x_hat + e_bar).clamp(0, 255);
+
+        // ---- Line 1: error formation and coding ----
+        // (a) prediction error
+        let wrapped = wrap_error(i32::from(value) - x_tilde);
+        // (c) map error; estimator + binary arithmetic coder
+        self.coder.encode(&mut self.ac, qe, fold(wrapped));
+        // (b) update sum/count in the compound context
+        if self.cfg.error_feedback {
+            self.store.update(ctx, wrapped);
+        }
+        // (d) update coding-context inputs for the next pixel
+        self.abs_err[x] = wrapped.unsigned_abs().min(255) as u8;
+
+        // Reconstruction write-back into the line buffer (lossless: the
+        // reconstructed pixel equals the input).
+        self.buffers.push(x, value);
+
+        self.pixels += 1;
+        self.x += 1;
+        if self.x == self.buffers.width() {
+            self.x = 0;
+            self.y += 1;
+            self.buffers.rotate();
+        }
+    }
+
+    /// Flushes the arithmetic coder and returns the byte stream
+    /// (bit-identical to [`encode_raw`](crate::encode_raw) on the same
+    /// pixels and configuration).
+    pub fn finish(self) -> Vec<u8> {
+        self.ac.finish().into_bytes()
+    }
+
+    /// Convenience: stream a whole image through the hardware model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image width differs from the encoder width.
+    pub fn encode_image(img: &Image, cfg: &CodecConfig) -> Vec<u8> {
+        let mut hw = Self::new(img.width(), cfg);
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                hw.push_pixel(img.get(x, y));
+            }
+        }
+        hw.finish()
+    }
+}
+
+/// Streaming hardware-model decoder: the dual of [`HwEncoder`], producing
+/// one reconstructed pixel per call from the same three-line-buffer state.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_core::hwpipe::{HwDecoder, HwEncoder};
+/// use cbic_core::CodecConfig;
+/// use cbic_image::corpus::CorpusImage;
+///
+/// let img = CorpusImage::Zelda.generate(24, 24);
+/// let cfg = CodecConfig::default();
+/// let stream = HwEncoder::encode_image(&img, &cfg);
+/// let mut dec = HwDecoder::new(&stream, 24, &cfg);
+/// for y in 0..24 {
+///     for x in 0..24 {
+///         assert_eq!(dec.next_pixel(), img.get(x, y));
+///     }
+/// }
+/// ```
+#[derive(Debug)]
+pub struct HwDecoder<'a> {
+    buffers: LineBuffers,
+    store: ContextStore,
+    abs_err: Vec<u8>,
+    coder: SymbolCoder,
+    ac: cbic_arith::BinaryDecoder<'a>,
+    cfg: CodecConfig,
+    x: usize,
+    y: usize,
+}
+
+impl<'a> HwDecoder<'a> {
+    /// Creates a streaming decoder over `stream` for `width`-pixel lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or the configuration is invalid.
+    pub fn new(stream: &'a [u8], width: usize, cfg: &CodecConfig) -> Self {
+        Self {
+            buffers: LineBuffers::new(width),
+            store: ContextStore::new(cfg.compound_contexts(), cfg.division, cfg.aging),
+            abs_err: vec![0; width],
+            coder: SymbolCoder::new(CODING_CONTEXTS, cfg.estimator),
+            ac: cbic_arith::BinaryDecoder::new(cbic_bitio::BitReader::new(stream)),
+            cfg: *cfg,
+            x: 0,
+            y: 0,
+        }
+    }
+
+    /// Decodes and returns the next raster-scan pixel.
+    pub fn next_pixel(&mut self) -> u8 {
+        let x = self.x;
+        let y = self.y;
+        let nb = self.buffers.neighborhood(x, y);
+        let g = Gradients::compute(&nb);
+        let x_hat = gap_predict(&nb, g);
+        let e_w = i32::from(if x > 0 {
+            self.abs_err[x - 1]
+        } else {
+            self.abs_err[0]
+        });
+        let qe = usize::from(quantize_energy(error_energy(g, e_w)));
+        let t = texture_pattern(&nb, x_hat, u32::from(self.cfg.texture_bits));
+        let ctx = (qe << self.cfg.texture_bits) | usize::from(t);
+        let e_bar = if self.cfg.error_feedback {
+            self.store.mean(ctx)
+        } else {
+            0
+        };
+        let x_tilde = (x_hat + e_bar).clamp(0, 255);
+
+        let wrapped = crate::remap::unfold(self.coder.decode(&mut self.ac, qe));
+        let value = crate::remap::reconstruct(x_tilde, wrapped);
+
+        if self.cfg.error_feedback {
+            self.store.update(ctx, wrapped);
+        }
+        self.abs_err[x] = wrapped.unsigned_abs().min(255) as u8;
+        self.buffers.push(x, value);
+        self.x += 1;
+        if self.x == self.buffers.width() {
+            self.x = 0;
+            self.y += 1;
+            self.buffers.rotate();
+        }
+        value
+    }
+
+    /// Convenience: decode a whole image through the hardware model.
+    pub fn decode_image(stream: &'a [u8], width: usize, height: usize, cfg: &CodecConfig) -> Image {
+        let mut dec = Self::new(stream, width, cfg);
+        Image::from_fn(width, height, |_, _| dec.next_pixel())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_raw;
+    use cbic_image::corpus::CorpusImage;
+
+    fn assert_equivalent(img: &Image, cfg: &CodecConfig) {
+        let (reference, _) = encode_raw(img, cfg);
+        let hw = HwEncoder::encode_image(img, cfg);
+        assert_eq!(
+            hw, reference,
+            "hardware model diverged from the software reference"
+        );
+    }
+
+    #[test]
+    fn equivalent_on_corpus() {
+        let cfg = CodecConfig::default();
+        for (_, img) in cbic_image::corpus::generate(48) {
+            assert_equivalent(&img, &cfg);
+        }
+    }
+
+    #[test]
+    fn equivalent_on_edge_shapes() {
+        let cfg = CodecConfig::default();
+        for (w, h) in [(1, 1), (1, 9), (9, 1), (3, 3), (17, 2), (2, 17)] {
+            let img = Image::from_fn(w, h, |x, y| (x * 73 + y * 31) as u8);
+            assert_equivalent(&img, &cfg);
+        }
+    }
+
+    #[test]
+    fn equivalent_under_nondefault_configs() {
+        let img = CorpusImage::Peppers.generate(32, 32);
+        for cfg in [
+            CodecConfig {
+                error_feedback: false,
+                ..CodecConfig::default()
+            },
+            CodecConfig {
+                texture_bits: 0,
+                ..CodecConfig::default()
+            },
+            CodecConfig {
+                division: crate::DivisionKind::Exact,
+                ..CodecConfig::default()
+            },
+        ] {
+            assert_equivalent(&img, &cfg);
+        }
+    }
+
+    #[test]
+    fn stream_decodes_with_the_standard_decoder() {
+        let img = CorpusImage::Lena.generate(40, 40);
+        let cfg = CodecConfig::default();
+        let hw = HwEncoder::encode_image(&img, &cfg);
+        let back = crate::codec::decode_raw(&hw, 40, 40, &cfg);
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn hw_decoder_reads_software_streams() {
+        // Full cross-matrix: {sw, hw} encoder x {sw, hw} decoder.
+        let img = CorpusImage::Goldhill.generate(32, 32);
+        let cfg = CodecConfig::default();
+        let (sw_stream, _) = encode_raw(&img, &cfg);
+        let hw_stream = HwEncoder::encode_image(&img, &cfg);
+        assert_eq!(sw_stream, hw_stream);
+        assert_eq!(HwDecoder::decode_image(&sw_stream, 32, 32, &cfg), img);
+        assert_eq!(crate::codec::decode_raw(&hw_stream, 32, 32, &cfg), img);
+    }
+
+    #[test]
+    fn hw_decoder_streams_pixel_by_pixel() {
+        let img = CorpusImage::Mandrill.generate(16, 16);
+        let cfg = CodecConfig::default();
+        let stream = HwEncoder::encode_image(&img, &cfg);
+        let mut dec = HwDecoder::new(&stream, 16, &cfg);
+        // Interleave decoding with position checks: truly streaming.
+        for y in 0..16 {
+            for x in 0..16 {
+                assert_eq!(dec.next_pixel(), img.get(x, y), "at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn line_buffers_rotate_without_copies() {
+        let mut b = LineBuffers::new(4);
+        for v in [10u8, 11, 12, 13] {
+            b.push(0, v);
+            b.push(1, v);
+            b.push(2, v);
+            b.push(3, v);
+            b.rotate();
+        }
+        // After writing rows 10..13, row(1) holds 13s, row(2) holds 12s.
+        assert_eq!(b.row(1), &[13, 13, 13, 13]);
+        assert_eq!(b.row(2), &[12, 12, 12, 12]);
+        assert_eq!(b.rows_done(), 4);
+    }
+
+    #[test]
+    fn streaming_position_tracking() {
+        let mut hw = HwEncoder::new(3, &CodecConfig::default());
+        assert_eq!(hw.position(), (0, 0));
+        for _ in 0..4 {
+            hw.push_pixel(7);
+        }
+        assert_eq!(hw.position(), (1, 1));
+        assert_eq!(hw.pixels(), 4);
+    }
+
+    #[test]
+    fn neighborhood_matches_image_fetch() {
+        // The buffer-based fetch must agree with the random-access fetch
+        // at every position of a test image.
+        let img = CorpusImage::Barb.generate(16, 16);
+        let mut b = LineBuffers::new(16);
+        for y in 0..16 {
+            for x in 0..16 {
+                assert_eq!(
+                    b.neighborhood(x, y),
+                    Neighborhood::fetch(&img, x, y),
+                    "at ({x},{y})"
+                );
+                b.push(x, img.get(x, y));
+            }
+            b.rotate();
+        }
+    }
+}

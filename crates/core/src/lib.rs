@@ -1,0 +1,59 @@
+//! The paper's contribution: context-based lossless grayscale image
+//! compression with gradient-adjusted prediction, compound-context error
+//! feedback, and tree-driven binary arithmetic coding
+//! (Chen, Canagarajah, Nunez-Yanez & Vitulli, IEEE SOCC 2007).
+//!
+//! # Pipeline
+//!
+//! For every pixel `X` in raster order (Sections II–III of the paper):
+//!
+//! 1. **Gradients** `dv`, `dh` over the 7-pixel causal neighbourhood
+//!    `{W, WW, N, NN, NE, NW, NNE}` ([`neighborhood`], [`predictor`]).
+//! 2. **Primary prediction** `X̂` via the simplified gradient-adjusted
+//!    predictor (add/sub/shift only).
+//! 3. **Compound context**: a 6-bit texture pattern `t` (six neighbours
+//!    compared against `X̂`) and a 3-bit coding-context index `QE`
+//!    (quantized error energy `Δ = dh + dv + 2|e_W|`) — **512 contexts**
+//!    ([`context`]).
+//! 4. **Error feedback**: the context's running error mean
+//!    `ē = sum / count` (5-bit count, 13-bit + sign sum, LUT division,
+//!    overflow-guard aging) corrects the prediction: `X̃ = X̂ + ē`.
+//! 5. **Error mapping**: `e = X − X̃` is wrapped mod 256 and zig-zag folded
+//!    into the `0..=255` alphabet ([`remap`]).
+//! 6. **Entropy coding**: the folded error is coded by the `QE`-th dynamic
+//!    tree of the probability estimator through the binary arithmetic coder
+//!    (`cbic-arith`).
+//!
+//! The decoder runs the identical model on the reconstructed pixels, so
+//! compression is fully lossless.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbic_core::{compress, decompress, CodecConfig};
+//! use cbic_image::corpus::CorpusImage;
+//!
+//! let img = CorpusImage::Lena.generate(64, 64);
+//! let bytes = compress(&img, &CodecConfig::default());
+//! let restored = decompress(&bytes)?;
+//! assert_eq!(img, restored);
+//! # Ok::<(), cbic_core::CodecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod container;
+pub mod context;
+pub mod hwpipe;
+pub mod neighborhood;
+pub mod predictor;
+pub mod remap;
+pub mod tiles;
+
+pub use codec::{decode_raw, encode_raw, CodecConfig, DivisionKind, EncodeStats};
+pub use container::{compress, decompress, CodecError, Proposed};
+
+#[cfg(test)]
+mod proptests;

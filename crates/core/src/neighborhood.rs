@@ -1,0 +1,208 @@
+//! The 7-pixel causal neighbourhood of Fig. 2 and its boundary rules.
+//!
+//! ```text
+//!        NN  NNE
+//!    NW  N   NE
+//! WW W   X
+//! ```
+//!
+//! In hardware these values come from the 3 rotating line buffers; here
+//! they are fetched from the causal part of the image (original on the
+//! encoder side, reconstruction on the decoder side — identical for a
+//! lossless codec). Missing neighbours outside the image replicate the
+//! nearest available causal pixel, and the very first pixel falls back to
+//! mid-gray (128); both sides apply the same rules, so no side information
+//! is needed.
+
+use cbic_image::Image;
+
+/// The seven causal neighbours of the current pixel, in the paper's
+/// notation (Fig. 2).
+///
+/// # Examples
+///
+/// ```
+/// use cbic_core::neighborhood::Neighborhood;
+/// use cbic_image::Image;
+///
+/// let img = Image::from_fn(4, 4, |x, y| (y * 4 + x) as u8);
+/// let n = Neighborhood::fetch(&img, 2, 2);
+/// assert_eq!(n.w, img.get(1, 2));
+/// assert_eq!(n.nne, img.get(3, 0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Neighborhood {
+    /// West: `(x-1, y)`.
+    pub w: u8,
+    /// West-west: `(x-2, y)`.
+    pub ww: u8,
+    /// North: `(x, y-1)`.
+    pub n: u8,
+    /// North-north: `(x, y-2)`.
+    pub nn: u8,
+    /// North-east: `(x+1, y-1)`.
+    pub ne: u8,
+    /// North-west: `(x-1, y-1)`.
+    pub nw: u8,
+    /// North-north-east: `(x+1, y-2)`.
+    pub nne: u8,
+}
+
+impl Neighborhood {
+    /// Fetches the neighbourhood of `(x, y)` from the causal region of
+    /// `img`, applying the boundary replication rules described in the
+    /// [module documentation](self).
+    ///
+    /// Only pixels *before* `(x, y)` in raster order are read, so this is
+    /// safe to call on a partially reconstructed image during decoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is outside the image.
+    pub fn fetch(img: &Image, x: usize, y: usize) -> Self {
+        let (width, height) = img.dimensions();
+        assert!(x < width && y < height, "pixel out of bounds");
+        // Fallback chain: W ← N ← 128 for the origin.
+        let w = if x >= 1 {
+            img.get(x - 1, y)
+        } else if y >= 1 {
+            img.get(x, y - 1)
+        } else {
+            128
+        };
+        let ww = if x >= 2 { img.get(x - 2, y) } else { w };
+        let n = if y >= 1 { img.get(x, y - 1) } else { w };
+        let nn = if y >= 2 { img.get(x, y - 2) } else { n };
+        let nw = if x >= 1 && y >= 1 {
+            img.get(x - 1, y - 1)
+        } else {
+            n
+        };
+        let ne = if x + 1 < width && y >= 1 {
+            img.get(x + 1, y - 1)
+        } else {
+            n
+        };
+        let nne = if x + 1 < width && y >= 2 {
+            img.get(x + 1, y - 2)
+        } else {
+            ne
+        };
+        Self {
+            w,
+            ww,
+            n,
+            nn,
+            ne,
+            nw,
+            nne,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img4() -> Image {
+        // 0  1  2  3
+        // 4  5  6  7
+        // 8  9 10 11
+        //12 13 14 15
+        Image::from_fn(4, 4, |x, y| (y * 4 + x) as u8)
+    }
+
+    #[test]
+    fn interior_pixel_reads_all_seven() {
+        let n = Neighborhood::fetch(&img4(), 2, 2);
+        assert_eq!(
+            n,
+            Neighborhood {
+                w: 9,
+                ww: 8,
+                n: 6,
+                nn: 2,
+                ne: 7,
+                nw: 5,
+                nne: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn origin_is_all_midgray() {
+        let n = Neighborhood::fetch(&img4(), 0, 0);
+        assert_eq!(
+            n,
+            Neighborhood {
+                w: 128,
+                ww: 128,
+                n: 128,
+                nn: 128,
+                ne: 128,
+                nw: 128,
+                nne: 128,
+            }
+        );
+    }
+
+    #[test]
+    fn first_row_replicates_west() {
+        let n = Neighborhood::fetch(&img4(), 2, 0);
+        assert_eq!(n.w, 1);
+        assert_eq!(n.ww, 0);
+        // No row above: N, NN, NE, NW, NNE all collapse to W.
+        assert_eq!(n.n, 1);
+        assert_eq!(n.nn, 1);
+        assert_eq!(n.ne, 1);
+        assert_eq!(n.nw, 1);
+        assert_eq!(n.nne, 1);
+    }
+
+    #[test]
+    fn first_column_replicates_north() {
+        let n = Neighborhood::fetch(&img4(), 0, 2);
+        assert_eq!(n.n, 4);
+        assert_eq!(n.w, 4, "W falls back to N in column 0");
+        assert_eq!(n.ww, 4);
+        assert_eq!(n.nw, 4);
+        assert_eq!(n.nn, 0);
+        assert_eq!(n.ne, 5);
+        assert_eq!(n.nne, 1);
+    }
+
+    #[test]
+    fn last_column_replicates_ne() {
+        let n = Neighborhood::fetch(&img4(), 3, 2);
+        assert_eq!(n.ne, 7, "NE off the right edge falls back to N");
+        assert_eq!(n.n, 7);
+        assert_eq!(n.nne, 7, "NNE follows NE's fallback");
+    }
+
+    #[test]
+    fn second_row_has_no_nn() {
+        let n = Neighborhood::fetch(&img4(), 1, 1);
+        assert_eq!(n.nn, 1, "NN falls back to N");
+        assert_eq!(n.nne, 2, "NNE falls back to NE");
+    }
+
+    #[test]
+    fn only_causal_pixels_are_read() {
+        // Build two images identical in the causal prefix of (2,2) but
+        // different after it; the neighbourhoods must match.
+        let a = img4();
+        let mut b = img4();
+        b.set(3, 2, 99);
+        b.set(0, 3, 77);
+        assert_eq!(
+            Neighborhood::fetch(&a, 2, 2),
+            Neighborhood::fetch(&b, 2, 2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let _ = Neighborhood::fetch(&img4(), 4, 0);
+    }
+}

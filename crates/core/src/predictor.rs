@@ -1,0 +1,210 @@
+//! Gradient computation and the simplified gradient-adjusted predictor.
+//!
+//! The paper's predictor is "inspired by the GAP (Gradient-Adjusted
+//! Prediction) from CALIC" but restricted to addition/subtraction and
+//! shifting so it maps directly onto the FPGA datapath. We use CALIC's
+//! published edge thresholds (80 for sharp edges, 32/8 for weak edges);
+//! every arithmetic step below is realizable as adds and shifts.
+
+use crate::neighborhood::Neighborhood;
+
+/// Local gradient magnitudes, the paper's `dh` and `dv`.
+///
+/// `dh` accumulates horizontal intensity differences, `dv` vertical ones;
+/// both are sums of three absolute differences of 8-bit pixels, so they fit
+/// in 10 bits (0..=765).
+///
+/// # Examples
+///
+/// ```
+/// use cbic_core::neighborhood::Neighborhood;
+/// use cbic_core::predictor::Gradients;
+///
+/// let flat = Neighborhood { w: 7, ww: 7, n: 7, nn: 7, ne: 7, nw: 7, nne: 7 };
+/// let g = Gradients::compute(&flat);
+/// assert_eq!((g.dh, g.dv), (0, 0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gradients {
+    /// Horizontal gradient magnitude `|W−WW| + |N−NW| + |N−NE|`.
+    pub dh: i32,
+    /// Vertical gradient magnitude `|W−NW| + |N−NN| + |NE−NNE|`.
+    pub dv: i32,
+}
+
+impl Gradients {
+    /// Computes `dh`/`dv` from the causal neighbourhood.
+    #[inline]
+    pub fn compute(n: &Neighborhood) -> Self {
+        let d = |a: u8, b: u8| (i32::from(a) - i32::from(b)).abs();
+        Self {
+            dh: d(n.w, n.ww) + d(n.n, n.nw) + d(n.n, n.ne),
+            dv: d(n.w, n.nw) + d(n.n, n.nn) + d(n.ne, n.nne),
+        }
+    }
+}
+
+/// CALIC's sharp-edge threshold.
+const T_SHARP: i32 = 80;
+/// CALIC's strong-edge threshold.
+const T_STRONG: i32 = 32;
+/// CALIC's weak-edge threshold.
+const T_WEAK: i32 = 8;
+
+/// The gradient-adjusted primary prediction `X̂`, before error feedback.
+///
+/// Pure shift-and-add datapath: a sharp horizontal edge predicts `W`, a
+/// sharp vertical edge predicts `N`, and in between the base prediction
+/// `(W+N)/2 + (NE−NW)/4` is blended towards `W` or `N` according to the
+/// gradient difference. The result is clamped to the 8-bit pixel range.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_core::neighborhood::Neighborhood;
+/// use cbic_core::predictor::{gap_predict, Gradients};
+///
+/// let flat = Neighborhood { w: 50, ww: 50, n: 50, nn: 50, ne: 50, nw: 50, nne: 50 };
+/// assert_eq!(gap_predict(&flat, Gradients::compute(&flat)), 50);
+/// ```
+#[inline]
+pub fn gap_predict(n: &Neighborhood, g: Gradients) -> i32 {
+    let w = i32::from(n.w);
+    let nn = i32::from(n.n);
+    let ne = i32::from(n.ne);
+    let nw = i32::from(n.nw);
+
+    let diff = g.dv - g.dh;
+    let pred = if diff > T_SHARP {
+        // Sharp horizontal edge: vertical gradient dominates.
+        w
+    } else if diff < -T_SHARP {
+        // Sharp vertical edge.
+        nn
+    } else {
+        let base = (w + nn) / 2 + (ne - nw) / 4;
+        if diff > T_STRONG {
+            (base + w) / 2
+        } else if diff > T_WEAK {
+            (3 * base + w) / 4
+        } else if diff < -T_STRONG {
+            (base + nn) / 2
+        } else if diff < -T_WEAK {
+            (3 * base + nn) / 4
+        } else {
+            base
+        }
+    };
+    pred.clamp(0, 255)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nb(w: u8, ww: u8, n: u8, nn: u8, ne: u8, nw: u8, nne: u8) -> Neighborhood {
+        Neighborhood {
+            w,
+            ww,
+            n,
+            nn,
+            ne,
+            nw,
+            nne,
+        }
+    }
+
+    #[test]
+    fn flat_region_predicts_the_constant() {
+        for v in [0u8, 1, 127, 255] {
+            let n = nb(v, v, v, v, v, v, v);
+            let g = Gradients::compute(&n);
+            assert_eq!(g, Gradients { dh: 0, dv: 0 });
+            assert_eq!(gap_predict(&n, g), i32::from(v));
+        }
+    }
+
+    #[test]
+    fn sharp_horizontal_edge_predicts_w() {
+        // Horizontal edge: rows above are dark, current row bright.
+        // dh = 0, dv = 150: a sharp edge, so predict W.
+        let n = nb(200, 200, 50, 50, 50, 50, 50);
+        let g = Gradients::compute(&n);
+        assert!(g.dv - g.dh > T_SHARP, "dv={} dh={}", g.dv, g.dh);
+        assert_eq!(gap_predict(&n, g), 200);
+    }
+
+    #[test]
+    fn sharp_vertical_edge_predicts_n() {
+        // Vertical edge between column x-1 and x: dh = 150, dv = 0,
+        // so predict N (the pixel above, on our side of the edge).
+        let n = nb(200, 200, 50, 50, 50, 200, 50);
+        let g = Gradients::compute(&n);
+        assert!(g.dh - g.dv > T_SHARP, "dv={} dh={}", g.dv, g.dh);
+        assert_eq!(gap_predict(&n, g), 50);
+    }
+
+    #[test]
+    fn smooth_region_uses_planar_base() {
+        // Gentle ramp: prediction should interpolate between W and N.
+        let n = nb(100, 98, 104, 106, 106, 102, 108);
+        let g = Gradients::compute(&n);
+        let p = gap_predict(&n, g);
+        let base = (100 + 104) / 2 + (106 - 102) / 4;
+        assert_eq!(p, base);
+        assert!((100..=106).contains(&p));
+    }
+
+    #[test]
+    fn weak_edge_blends_towards_w() {
+        // dh = 0, dv = 30: diff in (8, 32], blend (3*base + w) / 4.
+        let n = nb(100, 100, 110, 120, 110, 110, 120);
+        let g = Gradients::compute(&n);
+        assert!(
+            g.dv - g.dh > T_WEAK && g.dv - g.dh <= T_STRONG,
+            "diff {}",
+            g.dv - g.dh
+        );
+        let base = (100 + 110) / 2; // (NE - NW) / 4 contributes nothing here
+        assert_eq!(gap_predict(&n, g), (3 * base + 100) / 4);
+    }
+
+    #[test]
+    fn strong_edge_blends_half_w() {
+        // dh = 0, dv = 80: diff in (32, 80], blend (base + w) / 2.
+        let n = nb(100, 100, 130, 155, 130, 130, 155);
+        let g = Gradients::compute(&n);
+        assert!(
+            g.dv - g.dh > T_STRONG && g.dv - g.dh <= T_SHARP,
+            "diff {}",
+            g.dv - g.dh
+        );
+        let base = (100 + 130) / 2;
+        assert_eq!(gap_predict(&n, g), (base + 100) / 2);
+    }
+
+    #[test]
+    fn prediction_is_always_in_pixel_range() {
+        // Exhaustive-ish sweep over extreme corners.
+        let vals = [0u8, 1, 127, 128, 254, 255];
+        for &w in &vals {
+            for &n_ in &vals {
+                for &ne in &vals {
+                    for &nw in &vals {
+                        let n = nb(w, w, n_, n_, ne, nw, ne);
+                        let g = Gradients::compute(&n);
+                        let p = gap_predict(&n, g);
+                        assert!((0..=255).contains(&p), "pred {p} out of range");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_fit_ten_bits() {
+        let n = nb(255, 0, 0, 255, 255, 0, 0);
+        let g = Gradients::compute(&n);
+        assert!(g.dh <= 765 && g.dv <= 765);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the codec: losslessness is the headline
+//! invariant, under arbitrary images *and* arbitrary configurations.
+
+use proptest::prelude::*;
+
+use crate::codec::{decode_raw, encode_raw, CodecConfig};
+use crate::container::{compress, decompress};
+use crate::context::DivisionKind;
+use cbic_arith::EstimatorConfig;
+use cbic_image::Image;
+
+fn arb_image() -> impl Strategy<Value = Image> {
+    (1usize..24, 1usize..24).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(any::<u8>(), w * h)
+            .prop_map(move |data| Image::from_vec(w, h, data).expect("sized to match"))
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = CodecConfig> {
+    (
+        10u8..=16,
+        1u16..=64,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0u8..=6,
+    )
+        .prop_map(
+            |(count_bits, increment, feedback, aging, exact, texture_bits)| CodecConfig {
+                estimator: EstimatorConfig {
+                    count_bits,
+                    increment,
+                    ..EstimatorConfig::default()
+                },
+                error_feedback: feedback,
+                aging,
+                division: if exact {
+                    DivisionKind::Exact
+                } else {
+                    DivisionKind::Lut
+                },
+                texture_bits,
+            },
+        )
+}
+
+proptest! {
+    /// Lossless round-trip for arbitrary pixel content under the default
+    /// configuration.
+    #[test]
+    fn roundtrip_arbitrary_images(img in arb_image()) {
+        let cfg = CodecConfig::default();
+        let (bytes, stats) = encode_raw(&img, &cfg);
+        prop_assert_eq!(stats.pixels as usize, img.pixel_count());
+        let back = decode_raw(&bytes, img.width(), img.height(), &cfg);
+        prop_assert_eq!(back, img);
+    }
+
+    /// Lossless round-trip under arbitrary configurations.
+    #[test]
+    fn roundtrip_arbitrary_configs(img in arb_image(), cfg in arb_config()) {
+        let (bytes, _) = encode_raw(&img, &cfg);
+        let back = decode_raw(&bytes, img.width(), img.height(), &cfg);
+        prop_assert_eq!(back, img);
+    }
+
+    /// The container round-trips and self-describes arbitrary configs.
+    #[test]
+    fn container_roundtrip(img in arb_image(), cfg in arb_config()) {
+        let bytes = compress(&img, &cfg);
+        prop_assert_eq!(decompress(&bytes).expect("valid container"), img);
+    }
+
+    /// Corrupted headers parse to an error or to a syntactically valid
+    /// header; they never panic. Decoding proceeds only for small claimed
+    /// dimensions (callers validate dimensions from `parse_header` before
+    /// committing to a decode of arbitrary size).
+    #[test]
+    fn corrupt_headers_do_not_panic(
+        img in arb_image(),
+        byte in 0usize..23,
+        val in any::<u8>(),
+    ) {
+        let mut bytes = compress(&img, &CodecConfig::default());
+        bytes[byte] = val;
+        if let Ok((_, w, h, _)) = crate::container::parse_header(&bytes) {
+            if w * h <= 1 << 16 {
+                let _ = decompress(&bytes); // garbage pixels are fine
+            }
+        }
+    }
+
+    /// Compressed size is never catastrophically larger than the input
+    /// (escape overhead bounds expansion at ~15%).
+    #[test]
+    fn bounded_expansion(img in arb_image()) {
+        let (bytes, _) = encode_raw(&img, &CodecConfig::default());
+        let budget = img.pixel_count() * 8 * 120 / 100 + 64 * 8;
+        prop_assert!(bytes.len() * 8 <= budget,
+            "{} pixels -> {} bits", img.pixel_count(), bytes.len() * 8);
+    }
+
+    /// Golden-model equivalence: the hardware-constrained streaming
+    /// encoder (3 rotating line buffers) is bit-identical to the
+    /// algorithmic reference on arbitrary images and configurations.
+    #[test]
+    fn hwpipe_matches_reference(img in arb_image(), cfg in arb_config()) {
+        let (reference, _) = encode_raw(&img, &cfg);
+        let hw = crate::hwpipe::HwEncoder::encode_image(&img, &cfg);
+        prop_assert_eq!(hw, reference);
+    }
+
+    /// Tiled containers round-trip at every legal tile count.
+    #[test]
+    fn tiles_roundtrip(img in arb_image(), tiles in 1usize..8) {
+        let tiles = tiles.min(img.height());
+        let bytes = crate::tiles::compress_tiled(&img, &CodecConfig::default(), tiles);
+        prop_assert_eq!(
+            crate::tiles::decompress_tiled(&bytes).expect("valid container"),
+            img
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Prediction-error remapping.
+//!
+//! The raw prediction error `e = X − X̃` lies in `[-255, 255]`, but because
+//! the decoder knows `X̃`, only 256 of those values are distinguishable:
+//! `e` can be wrapped modulo 256 into `[-128, 127]` without losing
+//! information. The wrapped error is then zig-zag *folded* onto the
+//! one-sided alphabet `0..=255` (0, −1→1, 1→2, −2→3, …) — the paper's
+//! "remapped from the range −2ⁿ⁻¹ to 2ⁿ⁻¹, to the range 0 to 2ⁿ−1 to
+//! reduce the alphabet size" — so small-magnitude errors become small
+//! symbols near the top of the probability trees.
+
+/// Wraps a raw prediction error into the centered interval `[-128, 127]`
+/// (modulo 256).
+///
+/// # Examples
+///
+/// ```
+/// use cbic_core::remap::wrap_error;
+///
+/// assert_eq!(wrap_error(1), 1);
+/// assert_eq!(wrap_error(-200), 56);
+/// assert_eq!(wrap_error(200), -56);
+/// ```
+#[inline]
+pub fn wrap_error(e: i32) -> i32 {
+    ((e + 128).rem_euclid(256)) - 128
+}
+
+/// Zig-zag folds a wrapped error (`[-128, 127]`) onto `0..=255`.
+///
+/// # Panics
+///
+/// Panics if `w` is outside `[-128, 127]`.
+#[inline]
+pub fn fold(w: i32) -> u8 {
+    assert!((-128..=127).contains(&w), "wrapped error {w} out of range");
+    if w >= 0 {
+        (2 * w) as u8
+    } else {
+        (-2 * w - 1) as u8
+    }
+}
+
+/// Inverse of [`fold`].
+#[inline]
+pub fn unfold(f: u8) -> i32 {
+    let f = i32::from(f);
+    if f % 2 == 0 {
+        f / 2
+    } else {
+        -(f + 1) / 2
+    }
+}
+
+/// Reconstructs the pixel from the adjusted prediction and the wrapped
+/// error: `X = (X̃ + w) mod 256`.
+///
+/// # Panics
+///
+/// Panics if `prediction` is outside `0..=255`.
+#[inline]
+pub fn reconstruct(prediction: i32, wrapped: i32) -> u8 {
+    assert!(
+        (0..=255).contains(&prediction),
+        "prediction {prediction} out of range"
+    );
+    (prediction + wrapped).rem_euclid(256) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_is_identity_in_range() {
+        for e in -128..=127 {
+            assert_eq!(wrap_error(e), e);
+        }
+    }
+
+    #[test]
+    fn wrap_is_mod_256() {
+        for e in -255..=255 {
+            let w = wrap_error(e);
+            assert!((-128..=127).contains(&w));
+            assert_eq!((e - w).rem_euclid(256), 0);
+        }
+    }
+
+    #[test]
+    fn fold_is_bijective() {
+        let mut seen = [false; 256];
+        for w in -128..=127 {
+            let f = fold(w);
+            assert!(!seen[usize::from(f)], "duplicate fold value {f}");
+            seen[usize::from(f)] = true;
+            assert_eq!(unfold(f), w);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fold_orders_by_magnitude() {
+        assert_eq!(fold(0), 0);
+        assert_eq!(fold(-1), 1);
+        assert_eq!(fold(1), 2);
+        assert_eq!(fold(-2), 3);
+        assert_eq!(fold(2), 4);
+        assert_eq!(fold(-128), 255);
+    }
+
+    #[test]
+    fn reconstruction_inverts_the_error() {
+        for pred in 0..=255 {
+            for x in 0..=255u16 {
+                let e = i32::from(x) - pred;
+                let w = wrap_error(e);
+                assert_eq!(reconstruct(pred, w), x as u8, "pred {pred}, x {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_roundtrip_through_the_alphabet() {
+        for pred in [0, 1, 127, 255] {
+            for x in 0..=255u16 {
+                let w = wrap_error(i32::from(x) - pred);
+                let f = fold(w);
+                let w2 = unfold(f);
+                assert_eq!(reconstruct(pred, w2), x as u8);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fold_rejects_oversized() {
+        let _ = fold(128);
+    }
+}

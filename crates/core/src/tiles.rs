@@ -1,0 +1,221 @@
+//! Tile-parallel coding — the paper's multi-core scaling path.
+//!
+//! Section V closes with: "The low complexity means that a multi-core
+//! solution could be used to scale up the performance." This module
+//! implements exactly that decomposition: the image is split into
+//! horizontal bands, each coded by an *independent* instance of the codec
+//! (its own contexts, trees, and arithmetic coder), so `N` hardware cores —
+//! or `N` software threads — can run one band each with zero shared state.
+//!
+//! The price is model cold-start per band (every band re-learns its
+//! statistics), measured by the `tile_overhead` test below and by the
+//! throughput benches; the pipeline model in `cbic-hw` quantifies the
+//! speed-up side.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbic_core::tiles::{compress_tiled, decompress_tiled};
+//! use cbic_core::CodecConfig;
+//! use cbic_image::corpus::CorpusImage;
+//!
+//! let img = CorpusImage::Boat.generate(64, 64);
+//! let bytes = compress_tiled(&img, &CodecConfig::default(), 4);
+//! assert_eq!(decompress_tiled(&bytes)?, img);
+//! # Ok::<(), cbic_core::CodecError>(())
+//! ```
+
+use crate::codec::{decode_raw, encode_raw, CodecConfig, EncodeStats};
+use crate::container::{parse_header, CodecError};
+use cbic_image::Image;
+
+/// Splits `img` into `tiles` horizontal bands of near-equal height
+/// (the first `height % tiles` bands get one extra row).
+///
+/// # Panics
+///
+/// Panics if `tiles` is zero or exceeds the image height.
+pub fn split_bands(img: &Image, tiles: usize) -> Vec<Image> {
+    let (width, height) = img.dimensions();
+    assert!(
+        tiles >= 1 && tiles <= height,
+        "tile count {tiles} outside 1..={height}"
+    );
+    let base = height / tiles;
+    let extra = height % tiles;
+    let mut bands = Vec::with_capacity(tiles);
+    let mut y0 = 0usize;
+    for t in 0..tiles {
+        let h = base + usize::from(t < extra);
+        bands.push(Image::from_fn(width, h, |x, y| img.get(x, y0 + y)));
+        y0 += h;
+    }
+    debug_assert_eq!(y0, height);
+    bands
+}
+
+/// Encodes each band independently, returning per-band payloads and stats.
+/// Bands can be distributed across cores; this reference implementation
+/// runs them sequentially for determinism.
+pub fn encode_bands(img: &Image, cfg: &CodecConfig, tiles: usize) -> Vec<(Vec<u8>, EncodeStats)> {
+    split_bands(img, tiles)
+        .iter()
+        .map(|band| encode_raw(band, cfg))
+        .collect()
+}
+
+/// Magic for the tiled container.
+const TILE_MAGIC: &[u8; 4] = b"CBTI";
+
+/// Compresses with `tiles` independent bands into one container:
+/// `CBTI`, tile count (u32 LE), then per tile a length-prefixed standard
+/// container (which carries the config and band dimensions).
+///
+/// # Panics
+///
+/// Panics if `tiles` is zero or exceeds the image height.
+pub fn compress_tiled(img: &Image, cfg: &CodecConfig, tiles: usize) -> Vec<u8> {
+    let bands = split_bands(img, tiles);
+    let mut out = Vec::new();
+    out.extend_from_slice(TILE_MAGIC);
+    out.extend_from_slice(&(tiles as u32).to_le_bytes());
+    for band in &bands {
+        let payload = crate::container::compress(band, cfg);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+    }
+    out
+}
+
+/// Decompresses a tiled container, reassembling the bands.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on malformed containers or inconsistent band
+/// widths.
+pub fn decompress_tiled(bytes: &[u8]) -> Result<Image, CodecError> {
+    if bytes.len() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    if &bytes[..4] != TILE_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let tiles = u32::from_le_bytes(bytes[4..8].try_into().expect("sized")) as usize;
+    if tiles == 0 || tiles > 1 << 16 {
+        return Err(CodecError::InvalidHeader(format!("bad tile count {tiles}")));
+    }
+    let mut pos = 8usize;
+    let mut bands: Vec<Image> = Vec::with_capacity(tiles);
+    for _ in 0..tiles {
+        let len_bytes = bytes.get(pos..pos + 4).ok_or(CodecError::Truncated)?;
+        let len = u32::from_le_bytes(len_bytes.try_into().expect("sized")) as usize;
+        pos += 4;
+        let payload = bytes.get(pos..pos + len).ok_or(CodecError::Truncated)?;
+        pos += len;
+        // Each band is a full standard container; decode independently
+        // (this is the step N cores would run concurrently).
+        let (cfg, w, h, body) = parse_header(payload)?;
+        if let Some(first) = bands.first() {
+            if first.width() != w {
+                return Err(CodecError::InvalidHeader(
+                    "inconsistent band widths".into(),
+                ));
+            }
+        }
+        bands.push(decode_raw(body, w, h, &cfg));
+    }
+    let width = bands[0].width();
+    let height: usize = bands.iter().map(Image::height).sum();
+    let mut out = Image::new(width, height);
+    let mut y0 = 0usize;
+    for band in &bands {
+        for y in 0..band.height() {
+            for x in 0..width {
+                out.set(x, y0 + y, band.get(x, y));
+            }
+        }
+        y0 += band.height();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbic_image::corpus::CorpusImage;
+
+    #[test]
+    fn split_covers_image_exactly() {
+        let img = CorpusImage::Lena.generate(32, 50);
+        for tiles in [1, 2, 3, 7, 50] {
+            let bands = split_bands(&img, tiles);
+            assert_eq!(bands.len(), tiles);
+            let total: usize = bands.iter().map(Image::height).sum();
+            assert_eq!(total, 50);
+            // Heights differ by at most one.
+            let hs: Vec<_> = bands.iter().map(Image::height).collect();
+            assert!(hs.iter().max().unwrap() - hs.iter().min().unwrap() <= 1);
+        }
+    }
+
+    #[test]
+    fn tiled_roundtrip_various_counts() {
+        let img = CorpusImage::Goldhill.generate(48, 48);
+        for tiles in [1, 2, 3, 4, 6, 48] {
+            let bytes = compress_tiled(&img, &CodecConfig::default(), tiles);
+            assert_eq!(decompress_tiled(&bytes).unwrap(), img, "{tiles} tiles");
+        }
+    }
+
+    #[test]
+    fn one_tile_equals_untiled_payload() {
+        let img = CorpusImage::Zelda.generate(40, 40);
+        let cfg = CodecConfig::default();
+        let tiled = compress_tiled(&img, &cfg, 1);
+        let plain = crate::container::compress(&img, &cfg);
+        // CBTI magic + count + length prefix, then the identical container.
+        assert_eq!(&tiled[12..], &plain[..]);
+    }
+
+    #[test]
+    fn tile_overhead_is_bounded() {
+        // Cold-start per band costs bits; for 4 bands of a 128-line image
+        // the overhead must stay modest (~10%), and shrink with image size
+        // as the warm-up amortizes.
+        let cfg = CodecConfig::default();
+        let overhead = |size: usize| -> f64 {
+            let img = CorpusImage::Barb.generate(size, size);
+            let one = compress_tiled(&img, &cfg, 1).len();
+            let four = compress_tiled(&img, &cfg, 4).len();
+            assert!(four >= one, "tiling cannot help compression");
+            (four - one) as f64 / one as f64
+        };
+        let small = overhead(128);
+        assert!(small < 0.12, "tile overhead {:.1}%", small * 100.0);
+        let large = overhead(256);
+        assert!(
+            large < small,
+            "overhead must amortize: {large:.3} vs {small:.3}"
+        );
+    }
+
+    #[test]
+    fn rejects_corrupt_tiled_containers() {
+        let img = CorpusImage::Boat.generate(24, 24);
+        let bytes = compress_tiled(&img, &CodecConfig::default(), 2);
+        assert_eq!(decompress_tiled(&bytes[..3]), Err(CodecError::Truncated));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(decompress_tiled(&bad), Err(CodecError::BadMagic));
+        let mut short = bytes.clone();
+        short.truncate(bytes.len() - 5);
+        assert!(decompress_tiled(&short).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn zero_tiles_panics() {
+        let img = CorpusImage::Boat.generate(16, 16);
+        let _ = compress_tiled(&img, &CodecConfig::default(), 0);
+    }
+}

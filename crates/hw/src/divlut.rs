@@ -1,0 +1,246 @@
+//! The paper's 1 KByte lookup-table divider.
+//!
+//! The error-feedback stage needs `ē = sum / count` per pixel, with the
+//! dividend bounded to 10 bits (the paper: sums above 1023 occur < 0.001%
+//! of the time and do not reflect context behaviour) and the 5-bit divisor
+//! reduced to its most significant bits, "with the dividend being rescaled
+//! accordingly to maintain the same result". The paper gives the table size
+//! — 2 × 512 = 1024 bytes — but not the exact layout, so we reconstruct a
+//! mantissa-normalized divider with exactly that footprint:
+//!
+//! * |sum| is normalized to a **7-bit mantissa** `am ∈ 64..128` with
+//!   exponent `ea` (left/right shift only);
+//! * count is normalized to a **4-bit mantissa** `cm ∈ 8..16` with
+//!   exponent `ec` (counts ≤ 15 are exact; counts 16..31 lose at most the
+//!   lowest bit);
+//! * the ROM is indexed by `(am - 64, cm - 8)` — 6 + 3 = 9 bits, **512
+//!   entries of 16 bits = 1 KByte** — and stores
+//!   `floor(am · 2¹⁰ / cm)`;
+//! * the quotient is recovered with one barrel shift:
+//!   `q = rom[i] · 2^(ea − ec − 10)`.
+//!
+//! Worst-case relative error is bounded by the two mantissa truncations
+//! (1/64 and 1/17) plus one unit of final truncation — property-tested in
+//! this crate, and shown in ablation A2 to change the compressed bit rate
+//! by well under 0.01 bpp.
+
+/// Largest dividend magnitude the divider accepts (the paper's 10-bit bound).
+pub const MAX_DIVIDEND: i32 = 1023;
+
+/// Largest divisor the divider accepts (the paper's 5-bit count).
+pub const MAX_DIVISOR: u32 = 31;
+
+const ROM_SHIFT: u32 = 10;
+
+/// The 512-entry × 16-bit division ROM plus its addressing logic.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_hw::divlut::DivLut;
+///
+/// let lut = DivLut::new();
+/// assert_eq!(lut.div(100, 10), 10);
+/// assert_eq!(lut.div(-100, 10), -10);
+/// assert_eq!(lut.table_bytes(), 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivLut {
+    rom: Vec<u16>,
+}
+
+impl Default for DivLut {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DivLut {
+    /// Builds the ROM (what synthesis would bake into block RAM).
+    pub fn new() -> Self {
+        let mut rom = Vec::with_capacity(512);
+        for am in 64u32..128 {
+            for cm in 8u32..16 {
+                rom.push(((am << ROM_SHIFT) / cm) as u16);
+            }
+        }
+        debug_assert_eq!(rom.len(), 512);
+        Self { rom }
+    }
+
+    /// ROM footprint in bytes — the paper's "lookup table of 1KByte".
+    pub fn table_bytes(&self) -> usize {
+        self.rom.len() * 2
+    }
+
+    /// Raw ROM contents (for the resource estimator and tests).
+    pub fn rom(&self) -> &[u16] {
+        &self.rom
+    }
+
+    /// Approximates `sum / count` (truncated towards zero).
+    ///
+    /// Saturates the dividend at ±[`MAX_DIVIDEND`] first, exactly as the
+    /// hardware bounds its 13-bit context sums to 10 bits before division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds [`MAX_DIVISOR`].
+    #[inline]
+    pub fn div(&self, sum: i32, count: u32) -> i32 {
+        assert!(
+            (1..=MAX_DIVISOR).contains(&count),
+            "divisor {count} outside 1..=31"
+        );
+        let neg = sum < 0;
+        let a = sum.unsigned_abs().min(MAX_DIVIDEND as u32);
+        if a == 0 {
+            return 0;
+        }
+        // Normalize |sum| to am ∈ [64, 128) with exponent ea.
+        let sa = 31 - a.leading_zeros() as i32; // MSB position, 0..=9
+        let ea = sa - 6;
+        let am = if ea >= 0 { a >> ea } else { a << -ea };
+        debug_assert!((64..128).contains(&am));
+        // Normalize count to cm ∈ [8, 16) with exponent ec.
+        let sc = 31 - count.leading_zeros() as i32; // 0..=4
+        let ec = sc - 3;
+        let cm = if ec >= 0 { count >> ec } else { count << -ec };
+        debug_assert!((8..16).contains(&cm));
+
+        let m = u32::from(self.rom[((am - 64) << 3 | (cm - 8)) as usize]);
+        let shift = ea - ec - ROM_SHIFT as i32;
+        let q = if shift >= 0 {
+            (m << shift) as i32
+        } else {
+            (m >> -shift) as i32
+        };
+        if neg {
+            -q
+        } else {
+            q
+        }
+    }
+}
+
+/// Exact reference division, truncated towards zero, with the same 10-bit
+/// dividend bound as [`DivLut::div`]. This is what a full hardware divider
+/// would compute; ablation A2 compares the two inside the codec.
+///
+/// # Panics
+///
+/// Panics if `count` is zero or exceeds [`MAX_DIVISOR`].
+#[inline]
+pub fn exact_div(sum: i32, count: u32) -> i32 {
+    assert!(
+        (1..=MAX_DIVISOR).contains(&count),
+        "divisor {count} outside 1..=31"
+    );
+    let neg = sum < 0;
+    let a = sum.unsigned_abs().min(MAX_DIVIDEND as u32);
+    let q = (a / count) as i32;
+    if neg {
+        -q
+    } else {
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rom_is_exactly_one_kbyte() {
+        let lut = DivLut::new();
+        assert_eq!(lut.table_bytes(), 1024);
+        assert_eq!(lut.rom().len(), 512);
+    }
+
+    #[test]
+    fn zero_dividend_is_zero() {
+        let lut = DivLut::new();
+        for c in 1..=MAX_DIVISOR {
+            assert_eq!(lut.div(0, c), 0);
+        }
+    }
+
+    #[test]
+    fn small_inputs_are_exact() {
+        // Dividends < 128 and divisors ≤ 15 are represented exactly; only
+        // the final shift truncation can differ from floor division.
+        let lut = DivLut::new();
+        for a in 0..=127 {
+            for c in 1..=15u32 {
+                let got = lut.div(a, c);
+                let exact = a / c as i32;
+                assert!(
+                    (got - exact).abs() <= 1,
+                    "{a}/{c}: lut {got}, exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sign_symmetry() {
+        let lut = DivLut::new();
+        for a in [1, 17, 100, 511, 1023] {
+            for c in [1u32, 3, 7, 15, 31] {
+                assert_eq!(lut.div(-a, c), -lut.div(a, c));
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_error_bound() {
+        let lut = DivLut::new();
+        let mut worst_abs = 0i32;
+        for a in -1023i32..=1023 {
+            for c in 1..=31u32 {
+                let got = lut.div(a, c);
+                let exact = exact_div(a, c);
+                let err = (got - exact).abs();
+                // Relative bound from the two mantissa truncations plus
+                // final shift truncation.
+                let bound = 1 + (exact.abs() as f64 * 0.09).ceil() as i32;
+                assert!(
+                    err <= bound,
+                    "{a}/{c}: lut {got}, exact {exact}, err {err} > bound {bound}"
+                );
+                worst_abs = worst_abs.max(err);
+            }
+        }
+        // The divider must be usefully tight overall.
+        assert!(worst_abs <= 40, "worst absolute error {worst_abs}");
+    }
+
+    #[test]
+    fn dividend_saturates_at_ten_bits() {
+        let lut = DivLut::new();
+        assert_eq!(lut.div(5000, 1), lut.div(1023, 1));
+        assert_eq!(lut.div(-5000, 1), -lut.div(1023, 1));
+        assert_eq!(exact_div(5000, 5), 1023 / 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=31")]
+    fn zero_divisor_panics() {
+        DivLut::new().div(10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=31")]
+    fn oversized_divisor_panics() {
+        DivLut::new().div(10, 32);
+    }
+
+    #[test]
+    fn division_by_one_is_near_identity() {
+        let lut = DivLut::new();
+        for a in 0..=1023 {
+            let got = lut.div(a, 1);
+            assert!((got - a).abs() <= i32::from(a > 127) * (a / 64 + 1), "{a} -> {got}");
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Cycle-level model of the paper's two-line pipelined architecture.
+//!
+//! Section III of the paper splits image modeling into two parallel
+//! pipelines: *Line 1* (prediction error, error mapping, context update for
+//! the **current** symbol) and *Line 2* (gradients, primary prediction,
+//! texture/coding context, error feedback for the **next** symbol). Both
+//! sustain one pixel per cycle; the serial bottleneck is the binary
+//! arithmetic coder of Section IV, which retires **one binary decision per
+//! clock** (escape decision + one decision per alphabet bit).
+//!
+//! This simulator advances cycle-by-cycle through a pixel trace and
+//! reports total cycles, cycles/pixel, and the throughput at a given clock
+//! (the paper's 123 MHz), so Table 2's "123 Mbits/sec" row can be
+//! regenerated. Escapes do not change the decision count (1 escape
+//! decision + 8 static decisions vs 1 + 8 path decisions), which is what
+//! makes the hardware's throughput data-independent.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbic_hw::pipeline::{PipelineConfig, PixelTrace};
+//!
+//! let cfg = PipelineConfig::default();
+//! let trace = PixelTrace::uniform(512, 512, 9);
+//! let report = cfg.simulate(&trace);
+//! assert!(report.cycles_per_pixel >= 9.0);
+//! assert!(report.mbits_per_sec > 100.0);
+//! ```
+
+/// Static description of the pipelined implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Clock frequency in MHz (the paper achieves 123 on a Virtex-4).
+    pub clock_mhz: f64,
+    /// Register stages in the Line 2 (prediction/context) pipeline.
+    pub line2_stages: u32,
+    /// Register stages in the Line 1 (error/update) pipeline.
+    pub line1_stages: u32,
+    /// Latency of the LUT divider in cycles (1: one block-RAM read).
+    pub division_latency: u32,
+    /// Pipeline fill latency of the estimator + coder, in cycles.
+    pub coder_fill: u32,
+    /// Extra cycles per image row for the 3-pointer line-buffer rotation.
+    pub row_overhead: u32,
+    /// If `true`, the escape decision is resolved in parallel with the
+    /// first path decision (8 decisions/pixel steady state instead of 9) —
+    /// this variant matches the paper's 1 bit/cycle → 123 Mbit/s figure.
+    pub overlap_escape: bool,
+}
+
+impl Default for PipelineConfig {
+    /// The paper's operating point (123 MHz, conservative non-overlapped
+    /// escape decision).
+    fn default() -> Self {
+        Self {
+            clock_mhz: 123.0,
+            line2_stages: 5,
+            line1_stages: 4,
+            division_latency: 1,
+            coder_fill: 4,
+            row_overhead: 1,
+            overlap_escape: false,
+        }
+    }
+}
+
+/// A per-pixel workload trace: how many binary decisions the estimator
+/// issued for each pixel (constant 9 for the 8-bit codec; kept per-pixel so
+/// experimental variants can be simulated).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PixelTrace {
+    width: usize,
+    height: usize,
+    decisions: Vec<u32>,
+}
+
+impl PixelTrace {
+    /// Builds a trace with the same decision count for every pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn uniform(width: usize, height: usize, decisions_per_pixel: u32) -> Self {
+        assert!(width > 0 && height > 0, "trace dimensions must be nonzero");
+        Self {
+            width,
+            height,
+            decisions: vec![decisions_per_pixel; width * height],
+        }
+    }
+
+    /// Builds a trace from explicit per-pixel decision counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decisions.len() != width * height` or a dimension is zero.
+    pub fn from_decisions(width: usize, height: usize, decisions: Vec<u32>) -> Self {
+        assert!(width > 0 && height > 0, "trace dimensions must be nonzero");
+        assert_eq!(decisions.len(), width * height, "trace length mismatch");
+        Self {
+            width,
+            height,
+            decisions,
+        }
+    }
+
+    /// Number of pixels in the trace.
+    pub fn pixels(&self) -> u64 {
+        self.decisions.len() as u64
+    }
+
+    /// Total binary decisions in the trace.
+    pub fn total_decisions(&self) -> u64 {
+        self.decisions.iter().map(|&d| u64::from(d)).sum()
+    }
+}
+
+/// Result of a pipeline simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineReport {
+    /// Total clock cycles to process the trace.
+    pub cycles: u64,
+    /// Pixels processed.
+    pub pixels: u64,
+    /// Steady-state cycles per pixel.
+    pub cycles_per_pixel: f64,
+    /// Pixel throughput at the configured clock, in Mpixel/s.
+    pub mpixels_per_sec: f64,
+    /// Source throughput at the configured clock in Mbit/s (8 bpp source),
+    /// the unit of the paper's "123 Mbits/sec".
+    pub mbits_per_sec: f64,
+    /// Fraction of pixels whose initiation interval was set by the coder
+    /// rather than the modeling pipelines (1.0 for the paper's design).
+    pub coder_bound_fraction: f64,
+}
+
+impl PipelineConfig {
+    /// Pipeline fill latency in cycles (first pixel only).
+    pub fn fill_latency(&self) -> u64 {
+        u64::from(self.line2_stages + self.line1_stages + self.division_latency + self.coder_fill)
+    }
+
+    /// Runs the cycle-level simulation over `trace`.
+    pub fn simulate(&self, trace: &PixelTrace) -> PipelineReport {
+        let mut cycles = self.fill_latency();
+        let mut coder_bound = 0u64;
+        for &d in &trace.decisions {
+            // The modeling lines retire one pixel per cycle; the coder
+            // needs one cycle per decision. The slower engine sets the
+            // initiation interval for this pixel.
+            let coder_ii = u64::from(d.saturating_sub(u32::from(self.overlap_escape))).max(1);
+            let modeling_ii = 1u64;
+            if coder_ii >= modeling_ii {
+                coder_bound += 1;
+            }
+            cycles += coder_ii.max(modeling_ii);
+        }
+        cycles += u64::from(self.row_overhead) * trace.height as u64;
+
+        let pixels = trace.pixels();
+        let cpp = cycles as f64 / pixels as f64;
+        let mpix = self.clock_mhz / cpp;
+        PipelineReport {
+            cycles,
+            pixels,
+            cycles_per_pixel: cpp,
+            mpixels_per_sec: mpix,
+            mbits_per_sec: mpix * 8.0,
+            coder_bound_fraction: coder_bound as f64 / pixels as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_is_decision_bound() {
+        let cfg = PipelineConfig::default();
+        let r = cfg.simulate(&PixelTrace::uniform(512, 512, 9));
+        // 9 decisions/pixel + 1 cycle/row + fill.
+        let expected = cfg.fill_latency() + 9 * 512 * 512 + 512;
+        assert_eq!(r.cycles, expected);
+        assert!((r.cycles_per_pixel - 9.0).abs() < 0.01);
+        assert_eq!(r.coder_bound_fraction, 1.0);
+    }
+
+    #[test]
+    fn paper_throughput_with_overlapped_escape() {
+        // With the escape decision overlapped the coder does 8
+        // decisions/pixel: 123 MHz / 8 cpp * 8 bpp = 123 Mbit/s — the
+        // paper's headline throughput.
+        let cfg = PipelineConfig {
+            overlap_escape: true,
+            ..PipelineConfig::default()
+        };
+        let r = cfg.simulate(&PixelTrace::uniform(512, 512, 9));
+        assert!(
+            (r.mbits_per_sec - 123.0).abs() < 1.0,
+            "got {} Mbit/s",
+            r.mbits_per_sec
+        );
+    }
+
+    #[test]
+    fn conservative_variant_is_slightly_slower() {
+        let r = PipelineConfig::default().simulate(&PixelTrace::uniform(512, 512, 9));
+        assert!(r.mbits_per_sec > 105.0 && r.mbits_per_sec < 123.0);
+    }
+
+    #[test]
+    fn fill_latency_only_charged_once() {
+        let cfg = PipelineConfig::default();
+        let one = cfg.simulate(&PixelTrace::uniform(1, 1, 9));
+        let two = cfg.simulate(&PixelTrace::uniform(1, 2, 9));
+        assert_eq!(two.cycles - one.cycles, 9 + u64::from(cfg.row_overhead));
+    }
+
+    #[test]
+    fn per_pixel_trace_is_respected() {
+        let cfg = PipelineConfig {
+            row_overhead: 0,
+            ..PipelineConfig::default()
+        };
+        let t = PixelTrace::from_decisions(2, 2, vec![9, 9, 1, 3]);
+        let r = cfg.simulate(&t);
+        assert_eq!(r.cycles, cfg.fill_latency() + 9 + 9 + 1 + 3);
+        assert_eq!(t.total_decisions(), 22);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn trace_length_is_validated() {
+        let _ = PixelTrace::from_decisions(2, 2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn decision_zero_still_advances() {
+        let cfg = PipelineConfig {
+            row_overhead: 0,
+            ..PipelineConfig::default()
+        };
+        let r = cfg.simulate(&PixelTrace::from_decisions(1, 1, vec![0]));
+        assert_eq!(r.cycles, cfg.fill_latency() + 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the hardware model.
+
+use proptest::prelude::*;
+
+use crate::divlut::{exact_div, DivLut, MAX_DIVIDEND};
+use crate::pipeline::{PipelineConfig, PixelTrace};
+
+proptest! {
+    /// LUT division error is bounded relative to exact division over the
+    /// full hardware input domain.
+    #[test]
+    fn divlut_error_bounded(sum in -1023i32..=1023, count in 1u32..=31) {
+        let lut = DivLut::new();
+        let got = lut.div(sum, count);
+        let exact = exact_div(sum, count);
+        let bound = 1 + (exact.abs() as f64 * 0.09).ceil() as i32;
+        prop_assert!((got - exact).abs() <= bound,
+            "{sum}/{count}: lut {got} exact {exact}");
+        // Sign is always preserved (or zero).
+        prop_assert!(got == 0 || (got > 0) == (sum > 0));
+        // Magnitude never exceeds the (bounded) dividend.
+        prop_assert!(got.abs() <= MAX_DIVIDEND);
+    }
+
+    /// LUT division is monotone in the dividend for a fixed divisor —
+    /// important so error feedback cannot invert orderings badly.
+    #[test]
+    fn divlut_monotone_in_dividend(count in 1u32..=31) {
+        let lut = DivLut::new();
+        let mut prev = lut.div(0, count);
+        for a in 1..=1023 {
+            let q = lut.div(a, count);
+            prop_assert!(q >= prev, "a={a} count={count}: {q} < {prev}");
+            prev = q;
+        }
+    }
+
+    /// LUT division is antitone in the divisor for a fixed dividend.
+    #[test]
+    fn divlut_antitone_in_divisor(sum in 0i32..=1023) {
+        let lut = DivLut::new();
+        let mut prev = lut.div(sum, 1);
+        for c in 2..=31 {
+            let q = lut.div(sum, c);
+            prop_assert!(q <= prev + 1, "sum={sum} c={c}: {q} > {prev}+1");
+            prev = q;
+        }
+    }
+
+    /// Pipeline cycle counts decompose exactly into fill + work + row
+    /// overhead for arbitrary traces.
+    #[test]
+    fn pipeline_cycles_decompose(
+        w in 1usize..64,
+        h in 1usize..64,
+        dpp in 1u32..16,
+        row_overhead in 0u32..4,
+    ) {
+        let cfg = PipelineConfig { row_overhead, ..PipelineConfig::default() };
+        let trace = PixelTrace::uniform(w, h, dpp);
+        let r = cfg.simulate(&trace);
+        let expected = cfg.fill_latency()
+            + u64::from(dpp.max(1)) * (w * h) as u64
+            + u64::from(row_overhead) * h as u64;
+        prop_assert_eq!(r.cycles, expected);
+    }
+
+    /// Throughput scales linearly with clock frequency.
+    #[test]
+    fn pipeline_throughput_scales_with_clock(mhz in 10.0f64..500.0) {
+        let base = PipelineConfig::default();
+        let scaled = PipelineConfig { clock_mhz: mhz, ..base };
+        let t = PixelTrace::uniform(64, 64, 9);
+        let a = base.simulate(&t);
+        let b = scaled.simulate(&t);
+        let ratio = b.mbits_per_sec / a.mbits_per_sec;
+        prop_assert!((ratio - mhz / base.clock_mhz).abs() < 1e-9);
+    }
+}

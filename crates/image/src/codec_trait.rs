@@ -1,0 +1,70 @@
+//! The common interface over the workspace's lossless image codecs.
+
+use crate::{Image, ImageError};
+
+/// A lossless grayscale image codec with a self-describing container.
+///
+/// All four Table 1 codecs (`cbic-core`'s proposed scheme, CALIC, JPEG-LS,
+/// and SLP) implement this trait, so tools like the benchmark harness, the
+/// CLI, and archive applications can be written once against
+/// `&dyn ImageCodec`.
+///
+/// # Contract
+///
+/// For every image `img`, `decompress(&compress(img))` must equal `img`
+/// exactly (near-lossless codecs implement the trait only in their
+/// lossless configuration).
+///
+/// # Examples
+///
+/// ```
+/// use cbic_image::{Image, ImageCodec, ImageError};
+///
+/// /// A trivial stored-only "codec" demonstrating the contract.
+/// struct Stored;
+///
+/// impl ImageCodec for Stored {
+///     fn name(&self) -> &'static str {
+///         "stored"
+///     }
+///     fn compress(&self, img: &Image) -> Vec<u8> {
+///         let mut out = (img.width() as u32).to_le_bytes().to_vec();
+///         out.extend_from_slice(&(img.height() as u32).to_le_bytes());
+///         out.extend_from_slice(img.pixels());
+///         out
+///     }
+///     fn decompress(&self, bytes: &[u8]) -> Result<Image, ImageError> {
+///         if bytes.len() < 8 {
+///             return Err(ImageError::Io("truncated".into()));
+///         }
+///         let w = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+///         let h = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+///         Image::from_vec(w, h, bytes[8..].to_vec())
+///     }
+/// }
+///
+/// let img = Image::from_fn(4, 4, |x, y| (x + y) as u8);
+/// let codec: &dyn ImageCodec = &Stored;
+/// assert_eq!(codec.decompress(&codec.compress(&img))?, img);
+/// assert_eq!(codec.bits_per_pixel(&img), 12.0); // 8 header bytes on 16 px
+/// # Ok::<(), ImageError>(())
+/// ```
+pub trait ImageCodec {
+    /// Short identifier (Table 1 column name).
+    fn name(&self) -> &'static str;
+
+    /// Compresses an image into a self-describing byte container.
+    fn compress(&self, img: &Image) -> Vec<u8>;
+
+    /// Decompresses a container produced by [`Self::compress`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError`] when the container is malformed.
+    fn decompress(&self, bytes: &[u8]) -> Result<Image, ImageError>;
+
+    /// Convenience: compressed size in bits per pixel for `img`.
+    fn bits_per_pixel(&self, img: &Image) -> f64 {
+        self.compress(img).len() as f64 * 8.0 / img.pixel_count() as f64
+    }
+}

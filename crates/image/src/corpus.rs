@@ -1,0 +1,350 @@
+//! The synthetic evaluation corpus.
+//!
+//! The paper's Table 1 evaluates on seven classic 512×512 grayscale test
+//! images. They cannot be redistributed, so each corpus entry here is a
+//! *deterministic synthetic stand-in* built from the [`synth`](crate::synth)
+//! primitives and tuned to the qualitative character of its namesake:
+//!
+//! | name | character | expected difficulty |
+//! |----------|------------------------------------------|---------------------|
+//! | zelda | very smooth portrait | easiest |
+//! | lena | smooth portrait, soft edges | easy |
+//! | boat | smooth sky + sharp rigging lines | easy-mid |
+//! | peppers | large smooth blobs, strong contours | mid |
+//! | goldhill | mid-frequency village texture | hard-mid |
+//! | barb | oriented high-frequency fabric stripes | hard |
+//! | mandrill | dense fur texture, high noise | hardest |
+//!
+//! The difficulty *ordering* (and the codec ordering measured on it) is the
+//! reproduction target for Table 1; absolute bit rates differ from the
+//! paper because the pixels differ. All generators are pure functions of
+//! the pixel coordinates, so the corpus is bit-identical everywhere.
+
+use crate::synth::{fbm, gauss, quantize, soft_disk, soft_rect, stripes, value_noise};
+use crate::Image;
+
+/// Identifies one of the seven Table 1 test images.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_image::corpus::CorpusImage;
+///
+/// let img = CorpusImage::Mandrill.generate(128, 128);
+/// let smooth = CorpusImage::Zelda.generate(128, 128);
+/// assert!(img.gradient_entropy() > smooth.gradient_entropy());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CorpusImage {
+    /// Oriented fabric stripes over a cluttered scene.
+    Barb,
+    /// Smooth sky, hull texture, and thin dark rigging lines.
+    Boat,
+    /// Mid-frequency village texture with small house-like blocks.
+    Goldhill,
+    /// Smooth portrait with soft edges.
+    Lena,
+    /// Dense high-frequency fur; the classic worst case.
+    Mandrill,
+    /// Large smooth vegetable blobs with strong contours.
+    Peppers,
+    /// The smoothest portrait in the set.
+    Zelda,
+}
+
+impl CorpusImage {
+    /// All seven images in the paper's Table 1 row order.
+    pub const ALL: [CorpusImage; 7] = [
+        CorpusImage::Barb,
+        CorpusImage::Boat,
+        CorpusImage::Goldhill,
+        CorpusImage::Lena,
+        CorpusImage::Mandrill,
+        CorpusImage::Peppers,
+        CorpusImage::Zelda,
+    ];
+
+    /// Lower-case name as printed in Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            CorpusImage::Barb => "barb",
+            CorpusImage::Boat => "boat",
+            CorpusImage::Goldhill => "goldhill",
+            CorpusImage::Lena => "lena",
+            CorpusImage::Mandrill => "mandrill",
+            CorpusImage::Peppers => "peppers",
+            CorpusImage::Zelda => "zelda",
+        }
+    }
+
+    /// Deterministic per-image seed for the procedural fields.
+    fn seed(self) -> u64 {
+        match self {
+            CorpusImage::Barb => 0xBA5B,
+            CorpusImage::Boat => 0xB0A7,
+            CorpusImage::Goldhill => 0x601D,
+            CorpusImage::Lena => 0x1E4A,
+            CorpusImage::Mandrill => 0x3A4D,
+            CorpusImage::Peppers => 0x9E99,
+            CorpusImage::Zelda => 0x2E1D,
+        }
+    }
+
+    /// Generates the synthetic stand-in at the given size (the paper uses
+    /// 512×512; smaller sizes are handy in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn generate(self, width: usize, height: usize) -> Image {
+        let seed = self.seed();
+        let w = width as f64;
+        let h = height as f64;
+        Image::from_fn(width, height, |xi, yi| {
+            let x = xi as f64;
+            let y = yi as f64;
+            // Normalized coordinates for size-independent feature placement.
+            let u = x / w;
+            let v = y / h;
+            let val = match self {
+                CorpusImage::Zelda => zelda(seed, x, y, u, v),
+                CorpusImage::Lena => lena(seed, x, y, u, v, w),
+                CorpusImage::Boat => boat(seed, x, y, u, v, w, h),
+                CorpusImage::Peppers => peppers(seed, x, y, u, v, w),
+                CorpusImage::Goldhill => goldhill(seed, x, y, u, v, w, h),
+                CorpusImage::Barb => barb(seed, x, y, u, v, w),
+                CorpusImage::Mandrill => mandrill(seed, x, y, u, v, w),
+            };
+            quantize(val + NOISE_SIGMA[self as usize] * gauss(seed, xi as i64, yi as i64))
+        })
+    }
+}
+
+/// Per-image sensor-noise sigma, indexed by the enum discriminant
+/// (Barb, Boat, Goldhill, Lena, Mandrill, Peppers, Zelda).
+const NOISE_SIGMA: [f64; 7] = [3.7, 3.4, 4.6, 3.4, 7.6, 4.1, 2.9];
+
+fn zelda(seed: u64, x: f64, y: f64, u: f64, v: f64) -> f64 {
+    let base = 118.0 + 52.0 * fbm(seed, x, y, 150.0, 3, 0.5);
+    let face = 26.0 * soft_disk(u, v, 0.52, 0.42, 0.16, 0.10);
+    let shoulder = -18.0 * soft_disk(u, v, 0.45, 0.95, 0.30, 0.18);
+    let mid = 6.0 * fbm(seed + 9, x, y, 18.0, 3, 0.5);
+    base + face + shoulder + mid
+}
+
+fn lena(seed: u64, x: f64, y: f64, u: f64, v: f64, w: f64) -> f64 {
+    let base = 120.0 + 58.0 * fbm(seed, x, y, 130.0, 3, 0.5);
+    // Hat brim: a broad soft diagonal band.
+    let band = 24.0 * soft_disk(u, v, 0.30, 0.25, 0.22, 0.08);
+    let face = 18.0 * soft_disk(u, v, 0.58, 0.52, 0.14, 0.06);
+    // Feather texture on the hat region.
+    let feather_mask = soft_disk(u, v, 0.32, 0.22, 0.26, 0.10);
+    let feather = 11.0 * feather_mask * value_noise(seed + 3, x, y, w / 64.0);
+    let mid = 8.0 * fbm(seed + 5, x, y, 16.0, 3, 0.5);
+    base + band + face + feather + mid
+}
+
+fn boat(seed: u64, x: f64, y: f64, u: f64, v: f64, w: f64, h: f64) -> f64 {
+    // Sky: bright, very smooth vertical gradient.
+    let sky = 190.0 - 60.0 * v;
+    // Water/dock: darker with mid-frequency chop.
+    let ground = 95.0 + 22.0 * fbm(seed, x, y, 24.0, 4, 0.55);
+    let horizon = crate::synth::smoothstep(((v - 0.55) / 0.06).clamp(0.0, 1.0));
+    let mut val = sky * (1.0 - horizon) + ground * horizon;
+    // Hull: dark soft rectangle.
+    val -= 55.0 * soft_rect(u, v, 0.18, 0.60, 0.72, 0.82, 0.02);
+    // Masts: thin near-vertical dark lines (sharp edges for run/edge modes).
+    for (i, &mx) in [0.30f64, 0.46, 0.60].iter().enumerate() {
+        let lean = (i as f64 - 1.0) * 0.02;
+        let d = ((u - mx) + lean * (v - 0.6)).abs() * w;
+        if v < 0.62 && d < 2.5 {
+            val -= 70.0 * (1.0 - d / 2.5);
+        }
+    }
+    // Rigging: a few thin diagonals.
+    for k in 0..4 {
+        let c = 0.22 + 0.14 * f64::from(k);
+        let d = ((u + v * 0.35) - c).abs() * (w + h) * 0.5;
+        if v < 0.60 && d < 1.2 {
+            val -= 35.0 * (1.0 - d / 1.2);
+        }
+    }
+    val + 7.0 * fbm(seed + 2, x, y, 12.0, 3, 0.5)
+}
+
+fn peppers(seed: u64, x: f64, y: f64, u: f64, v: f64, w: f64) -> f64 {
+    let mut val = 70.0 + 25.0 * fbm(seed, x, y, 90.0, 3, 0.5);
+    // Overlapping smooth vegetable blobs at staggered gray levels.
+    const BLOBS: [(f64, f64, f64, f64); 9] = [
+        (0.25, 0.30, 0.19, 95.0),
+        (0.62, 0.22, 0.16, 60.0),
+        (0.80, 0.55, 0.17, 85.0),
+        (0.42, 0.58, 0.21, 45.0),
+        (0.15, 0.72, 0.15, 75.0),
+        (0.60, 0.80, 0.18, 100.0),
+        (0.88, 0.15, 0.10, 55.0),
+        (0.35, 0.88, 0.12, 65.0),
+        (0.75, 0.38, 0.09, 40.0),
+    ];
+    for &(cx, cy, r, level) in &BLOBS {
+        let m = soft_disk(u, v, cx, cy, r, 0.015);
+        // Blobs occlude what is beneath them rather than summing.
+        val = val * (1.0 - m) + (level + 18.0 * value_noise(seed + 7, x, y, w / 6.0)) * m;
+        // Specular highlight.
+        let hl = soft_disk(u, v, cx - r * 0.3, cy - r * 0.35, r * 0.18, 0.02);
+        val += 45.0 * hl * m;
+    }
+    val + 5.0 * fbm(seed + 4, x, y, 14.0, 3, 0.5)
+}
+
+fn goldhill(seed: u64, x: f64, y: f64, u: f64, v: f64, w: f64, h: f64) -> f64 {
+    let mut val = 105.0 + 40.0 * fbm(seed, x, y, 110.0, 3, 0.5);
+    // Rolling field texture.
+    val += 16.0 * fbm(seed + 1, x, y, 20.0, 4, 0.55);
+    // A loose grid of house-like blocks in the lower half.
+    for gy in 0..5 {
+        for gx in 0..7 {
+            let jx = 0.12 * value_noise(seed + 11, f64::from(gx) * 31.0, f64::from(gy) * 17.0, 1.0);
+            let jy = 0.05 * value_noise(seed + 13, f64::from(gx) * 13.0, f64::from(gy) * 29.0, 1.0);
+            let cx = 0.06 + f64::from(gx) * 0.14 + jx;
+            let cy = 0.52 + f64::from(gy) * 0.11 + jy;
+            let bw = 0.045;
+            let bh = 0.035;
+            let tone =
+                40.0 * value_noise(seed + 17, f64::from(gx) * 7.0, f64::from(gy) * 5.0, 1.0);
+            let m = soft_rect(u, v, cx - bw, cy - bh, cx + bw, cy + bh, 0.004);
+            val = val * (1.0 - m) + (95.0 + tone) * m;
+            // Roof line: brighter strip on top of each block.
+            let roof = soft_rect(u, v, cx - bw, cy - bh, cx + bw, cy - bh + 0.012, 0.003);
+            val += 25.0 * roof;
+        }
+    }
+    val + 9.0 * fbm(seed + 3, x, y, 5.0, 2, 0.6) + 0.0 * (w + h)
+}
+
+fn barb(seed: u64, x: f64, y: f64, u: f64, v: f64, w: f64) -> f64 {
+    let mut val = 115.0 + 45.0 * fbm(seed, x, y, 120.0, 3, 0.5);
+    // Patches of oriented fabric stripes (the scarf/trousers/tablecloth in
+    // the original), warped slightly by low-frequency noise so they alias
+    // like real cloth.
+    const PATCHES: [(f64, f64, f64, f64, f64); 5] = [
+        // (cx, cy, r, angle, cycles-per-pixel) — absolute frequency so the
+        // fabric looks the same at every image size.
+        (0.30, 0.75, 0.24, 0.90, 0.107),
+        (0.75, 0.65, 0.20, -0.60, 0.125),
+        (0.20, 0.28, 0.16, 0.35, 0.094),
+        (0.62, 0.20, 0.15, 1.25, 0.113),
+        (0.88, 0.88, 0.14, -1.10, 0.098),
+    ];
+    for &(cx, cy, r, angle, freq) in &PATCHES {
+        let m = soft_disk(u, v, cx, cy, r, 0.05);
+        if m > 0.0 {
+            let warp = 2.5 * value_noise(seed + 21, x, y, w / 10.0);
+            let s = stripes(x + warp, y, angle, freq, 0.0);
+            val += 27.0 * m * s;
+        }
+    }
+    val + 8.0 * fbm(seed + 2, x, y, 12.0, 3, 0.55)
+}
+
+fn mandrill(seed: u64, x: f64, y: f64, u: f64, v: f64, _w: f64) -> f64 {
+    let base = 110.0 + 30.0 * fbm(seed, x, y, 100.0, 3, 0.5);
+    // Dense fur: strong energy at the finest scales.
+    let fur_fine = 30.0 * fbm(seed + 1, x, y, 2.0, 2, 0.7);
+    let fur_mid = 18.0 * fbm(seed + 2, x, y, 6.0, 3, 0.6);
+    // Bright muzzle flanks.
+    let muzzle = 35.0 * (soft_disk(u, v, 0.38, 0.55, 0.13, 0.06)
+        + soft_disk(u, v, 0.66, 0.55, 0.13, 0.06));
+    // Directional whiskers.
+    let whiskers = 10.0 * stripes(x, y, 0.25, 0.027, 1.0)
+        * soft_disk(u, v, 0.52, 0.75, 0.22, 0.08);
+    base + fur_fine + fur_mid + muzzle + whiskers
+}
+
+/// Generates the full seven-image corpus at `size`×`size` (Table 1 uses
+/// 512), in the paper's row order.
+///
+/// # Examples
+///
+/// ```
+/// let corpus = cbic_image::corpus::generate(64);
+/// assert_eq!(corpus.len(), 7);
+/// assert_eq!(corpus[0].0, cbic_image::corpus::CorpusImage::Barb);
+/// ```
+pub fn generate(size: usize) -> Vec<(CorpusImage, Image)> {
+    CorpusImage::ALL
+        .iter()
+        .map(|&c| (c, c.generate(size, size)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_table1() {
+        let names: Vec<_> = CorpusImage::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            ["barb", "boat", "goldhill", "lena", "mandrill", "peppers", "zelda"]
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CorpusImage::Lena.generate(64, 64);
+        let b = CorpusImage::Lena.generate(64, 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn images_are_distinct() {
+        let imgs = generate(32);
+        for i in 0..imgs.len() {
+            for j in i + 1..imgs.len() {
+                assert_ne!(imgs[i].1, imgs[j].1, "{:?} == {:?}", imgs[i].0, imgs[j].0);
+            }
+        }
+    }
+
+    #[test]
+    fn mandrill_is_hardest_zelda_easiest() {
+        let imgs = generate(128);
+        let ge: Vec<(CorpusImage, f64)> =
+            imgs.iter().map(|(c, i)| (*c, i.gradient_entropy())).collect();
+        let mandrill = ge.iter().find(|(c, _)| *c == CorpusImage::Mandrill).unwrap().1;
+        let zelda = ge.iter().find(|(c, _)| *c == CorpusImage::Zelda).unwrap().1;
+        for (c, g) in &ge {
+            if *c != CorpusImage::Mandrill {
+                assert!(*g < mandrill, "{c:?} ({g}) not easier than mandrill ({mandrill})");
+            }
+            if *c != CorpusImage::Zelda {
+                assert!(*g > zelda, "{c:?} ({g}) not harder than zelda ({zelda})");
+            }
+        }
+    }
+
+    #[test]
+    fn pixel_values_span_a_wide_range() {
+        for (c, img) in generate(64) {
+            let min = *img.pixels().iter().min().unwrap();
+            let max = *img.pixels().iter().max().unwrap();
+            assert!(max - min > 60, "{c:?} spans only {min}..{max}");
+        }
+    }
+
+    #[test]
+    fn non_square_generation_works() {
+        let img = CorpusImage::Boat.generate(48, 96);
+        assert_eq!(img.dimensions(), (48, 96));
+    }
+
+    #[test]
+    fn entropy_in_sane_band() {
+        for (c, img) in generate(128) {
+            let e = img.entropy();
+            assert!((4.0..8.0).contains(&e), "{c:?} entropy {e}");
+        }
+    }
+}

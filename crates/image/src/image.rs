@@ -1,0 +1,312 @@
+//! The 8-bit grayscale image container.
+
+use std::fmt;
+
+/// Errors produced by image construction and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ImageError {
+    /// Pixel buffer length does not equal `width * height`.
+    DimensionMismatch {
+        /// Declared width.
+        width: usize,
+        /// Declared height.
+        height: usize,
+        /// Actual buffer length.
+        len: usize,
+    },
+    /// Width or height is zero.
+    EmptyImage,
+    /// A PGM stream could not be parsed.
+    PgmParse(String),
+    /// A compressed container could not be parsed (used by `ImageCodec`
+    /// implementations to surface their codec-specific errors).
+    Codec(String),
+    /// Underlying I/O failure (message form, to keep the error `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch { width, height, len } => write!(
+                f,
+                "pixel buffer of {len} bytes does not match {width}x{height} image"
+            ),
+            Self::EmptyImage => write!(f, "image dimensions must be nonzero"),
+            Self::PgmParse(msg) => write!(f, "invalid PGM stream: {msg}"),
+            Self::Codec(msg) => write!(f, "invalid compressed container: {msg}"),
+            Self::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+impl From<std::io::Error> for ImageError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}
+
+/// An 8-bit grayscale image in row-major order.
+///
+/// This is the pixel container every codec in the workspace consumes and
+/// produces. Pixels are `u8` (the paper's n = 8 bits per pixel).
+///
+/// # Examples
+///
+/// ```
+/// use cbic_image::Image;
+///
+/// let img = Image::from_fn(4, 2, |x, y| (x * 10 + y) as u8);
+/// assert_eq!(img.get(3, 1), 31);
+/// assert_eq!(img.pixels().len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Image {
+    /// Creates a black (all-zero) image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be nonzero");
+        Self {
+            width,
+            height,
+            data: vec![0; width * height],
+        }
+    }
+
+    /// Wraps an existing row-major pixel buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::DimensionMismatch`] if `data.len()` is not
+    /// `width * height`, or [`ImageError::EmptyImage`] for zero dimensions.
+    pub fn from_vec(width: usize, height: usize, data: Vec<u8>) -> Result<Self, ImageError> {
+        if width == 0 || height == 0 {
+            return Err(ImageError::EmptyImage);
+        }
+        if data.len() != width * height {
+            return Err(ImageError::DimensionMismatch {
+                width,
+                height,
+                len: data.len(),
+            });
+        }
+        Ok(Self {
+            width,
+            height,
+            data,
+        })
+    }
+
+    /// Builds an image by evaluating `f(x, y)` for every pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> u8) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be nonzero");
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        Self {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// `(width, height)` pair.
+    #[inline]
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Total number of pixels.
+    #[inline]
+    pub fn pixel_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: u8) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x] = value;
+    }
+
+    /// Row `y` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of bounds.
+    #[inline]
+    pub fn row(&self, y: usize) -> &[u8] {
+        assert!(y < self.height, "row out of bounds");
+        &self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// The whole pixel buffer, row-major.
+    #[inline]
+    pub fn pixels(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Consumes the image, returning the pixel buffer.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Order-0 (histogram) entropy in bits per pixel.
+    ///
+    /// An upper bound on what a memoryless coder could achieve; context
+    /// modeling exists precisely to beat this.
+    pub fn entropy(&self) -> f64 {
+        let mut hist = [0u64; 256];
+        for &p in &self.data {
+            hist[usize::from(p)] += 1;
+        }
+        let n = self.data.len() as f64;
+        hist.iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// Mean pixel value.
+    pub fn mean(&self) -> f64 {
+        self.data.iter().map(|&p| f64::from(p)).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Entropy (bits/pixel) of the horizontal first differences — a quick
+    /// proxy for how predictable the image is.
+    pub fn gradient_entropy(&self) -> f64 {
+        let mut hist = [0u64; 256];
+        let mut n = 0u64;
+        for y in 0..self.height {
+            let row = self.row(y);
+            for x in 1..self.width {
+                hist[usize::from(row[x].wrapping_sub(row[x - 1]))] += 1;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return 0.0;
+        }
+        let n = n as f64;
+        hist.iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_black() {
+        let img = Image::new(3, 2);
+        assert_eq!(img.dimensions(), (3, 2));
+        assert!(img.pixels().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Image::from_vec(2, 2, vec![0; 4]).is_ok());
+        let err = Image::from_vec(2, 2, vec![0; 5]).unwrap_err();
+        assert!(matches!(err, ImageError::DimensionMismatch { len: 5, .. }));
+        assert_eq!(Image::from_vec(0, 2, vec![]), Err(ImageError::EmptyImage));
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let img = Image::from_fn(3, 2, |x, y| (y * 3 + x) as u8);
+        assert_eq!(img.pixels(), &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(img.row(1), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut img = Image::new(4, 4);
+        img.set(2, 3, 99);
+        assert_eq!(img.get(2, 3), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let img = Image::new(2, 2);
+        let _ = img.get(2, 0);
+    }
+
+    #[test]
+    fn constant_image_has_zero_entropy() {
+        let img = Image::from_fn(16, 16, |_, _| 42);
+        assert_eq!(img.entropy(), 0.0);
+        assert_eq!(img.mean(), 42.0);
+        assert_eq!(img.gradient_entropy(), 0.0);
+    }
+
+    #[test]
+    fn uniform_histogram_has_eight_bits() {
+        let img = Image::from_fn(256, 256, |x, _| x as u8);
+        assert!((img.entropy() - 8.0).abs() < 1e-9);
+        // ...but it is perfectly predictable horizontally.
+        assert!(img.gradient_entropy() < 0.1);
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let e = ImageError::PgmParse("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        assert!(ImageError::EmptyImage.to_string().contains("nonzero"));
+    }
+}

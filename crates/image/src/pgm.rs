@@ -1,0 +1,182 @@
+//! Binary PGM (P5) reading and writing.
+//!
+//! The corpus in this workspace is synthetic, but users with the original
+//! USC-SIPI images can feed them to every codec through this module.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbic_image::{pgm, Image};
+//!
+//! let img = Image::from_fn(8, 8, |x, y| (x ^ y) as u8);
+//! let bytes = pgm::encode(&img);
+//! let back = pgm::decode(&bytes)?;
+//! assert_eq!(img, back);
+//! # Ok::<(), cbic_image::ImageError>(())
+//! ```
+
+use crate::{Image, ImageError};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Serializes an image as a binary PGM (magic `P5`, maxval 255).
+pub fn encode(img: &Image) -> Vec<u8> {
+    let mut out = Vec::with_capacity(img.pixel_count() + 32);
+    out.extend_from_slice(format!("P5\n{} {}\n255\n", img.width(), img.height()).as_bytes());
+    out.extend_from_slice(img.pixels());
+    out
+}
+
+/// Parses a binary PGM stream (maxval must be ≤ 255; `#` comments allowed).
+///
+/// # Errors
+///
+/// Returns [`ImageError::PgmParse`] on malformed headers or truncated pixel
+/// data.
+pub fn decode(bytes: &[u8]) -> Result<Image, ImageError> {
+    let mut pos = 0usize;
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() {
+            match bytes[*pos] {
+                b' ' | b'\t' | b'\r' | b'\n' => *pos += 1,
+                b'#' => {
+                    while *pos < bytes.len() && bytes[*pos] != b'\n' {
+                        *pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn read_token<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8], ImageError> {
+        skip_ws(bytes, pos);
+        let start = *pos;
+        while *pos < bytes.len() && !bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+        if start == *pos {
+            return Err(ImageError::PgmParse("unexpected end of header".into()));
+        }
+        Ok(&bytes[start..*pos])
+    }
+
+    fn read_number(bytes: &[u8], pos: &mut usize) -> Result<usize, ImageError> {
+        let tok = read_token(bytes, pos)?;
+        std::str::from_utf8(tok)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ImageError::PgmParse("malformed number in header".into()))
+    }
+
+    let magic = read_token(bytes, &mut pos)?;
+    if magic != b"P5" {
+        return Err(ImageError::PgmParse(format!(
+            "bad magic {:?}, expected P5",
+            String::from_utf8_lossy(magic)
+        )));
+    }
+    let width = read_number(bytes, &mut pos)?;
+    let height = read_number(bytes, &mut pos)?;
+    let maxval = read_number(bytes, &mut pos)?;
+    if maxval == 0 || maxval > 255 {
+        return Err(ImageError::PgmParse(format!(
+            "unsupported maxval {maxval} (need 1..=255)"
+        )));
+    }
+    // Exactly one whitespace byte separates the header from pixel data.
+    if pos >= bytes.len() || !bytes[pos].is_ascii_whitespace() {
+        return Err(ImageError::PgmParse("missing header terminator".into()));
+    }
+    pos += 1;
+
+    let need = width
+        .checked_mul(height)
+        .ok_or_else(|| ImageError::PgmParse("dimensions overflow".into()))?;
+    let data = bytes
+        .get(pos..pos + need)
+        .ok_or_else(|| ImageError::PgmParse("truncated pixel data".into()))?;
+    Image::from_vec(width, height, data.to_vec())
+}
+
+/// Reads a PGM image from a file.
+///
+/// # Errors
+///
+/// Returns [`ImageError::Io`] on filesystem errors and
+/// [`ImageError::PgmParse`] on malformed content.
+pub fn read_file(path: impl AsRef<Path>) -> Result<Image, ImageError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    decode(&bytes)
+}
+
+/// Writes an image to a file as binary PGM.
+///
+/// # Errors
+///
+/// Returns [`ImageError::Io`] on filesystem errors.
+pub fn write_file(path: impl AsRef<Path>, img: &Image) -> Result<(), ImageError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&encode(img))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let img = Image::from_fn(13, 7, |x, y| (x * 19 + y * 3) as u8);
+        assert_eq!(decode(&encode(&img)).unwrap(), img);
+    }
+
+    #[test]
+    fn header_with_comments() {
+        let bytes = b"P5 # a comment\n# another\n 2 2\n255\n\x01\x02\x03\x04";
+        let img = decode(bytes).unwrap();
+        assert_eq!(img.pixels(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(
+            decode(b"P6\n1 1\n255\n\x00"),
+            Err(ImageError::PgmParse(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_data() {
+        assert!(matches!(
+            decode(b"P5\n4 4\n255\n\x00\x01"),
+            Err(ImageError::PgmParse(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_sixteen_bit_maxval() {
+        assert!(matches!(
+            decode(b"P5\n1 1\n65535\n\x00\x00"),
+            Err(ImageError::PgmParse(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(decode(b"").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let img = Image::from_fn(9, 5, |x, y| (x + y) as u8);
+        let dir = std::env::temp_dir().join("cbic_pgm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pgm");
+        write_file(&path, &img).unwrap();
+        assert_eq!(read_file(&path).unwrap(), img);
+        std::fs::remove_file(&path).ok();
+    }
+}

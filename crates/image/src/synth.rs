@@ -1,0 +1,249 @@
+//! Deterministic procedural field primitives used by the synthetic corpus.
+//!
+//! Everything here is a pure function of `(seed, x, y)` — no stored state —
+//! so corpus images are bit-identical across runs, platforms, and rustc
+//! versions. The primitives are the usual procedural-texture toolkit:
+//! hash-lattice value noise, fractal Brownian motion (fBm), oriented
+//! sinusoidal stripes, and soft-edged disks.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbic_image::synth;
+//!
+//! let a = synth::fbm(1, 10.0, 20.0, 32.0, 4, 0.5);
+//! let b = synth::fbm(1, 10.0, 20.0, 32.0, 4, 0.5);
+//! assert_eq!(a, b, "noise is deterministic");
+//! assert!((-1.0..=1.0).contains(&a));
+//! ```
+
+/// SplitMix64-style avalanche of a lattice point into `[0, 1)`.
+///
+/// Used as the random-value lattice underlying [`value_noise`].
+#[inline]
+pub fn lattice(seed: u64, ix: i64, iy: i64) -> f64 {
+    let mut h = seed
+        ^ (ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (iy as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Quintic smoothstep (C² continuous), `t` in `[0, 1]`.
+#[inline]
+pub fn smoothstep(t: f64) -> f64 {
+    t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+}
+
+/// Smoothly interpolated value noise in `[-1, 1]` with lattice spacing
+/// `scale` pixels.
+///
+/// # Panics
+///
+/// Panics if `scale` is not strictly positive.
+#[inline]
+pub fn value_noise(seed: u64, x: f64, y: f64, scale: f64) -> f64 {
+    assert!(scale > 0.0, "noise scale must be positive");
+    let gx = x / scale;
+    let gy = y / scale;
+    let ix = gx.floor() as i64;
+    let iy = gy.floor() as i64;
+    let fx = smoothstep(gx - gx.floor());
+    let fy = smoothstep(gy - gy.floor());
+    let v00 = lattice(seed, ix, iy);
+    let v10 = lattice(seed, ix + 1, iy);
+    let v01 = lattice(seed, ix, iy + 1);
+    let v11 = lattice(seed, ix + 1, iy + 1);
+    let top = v00 + (v10 - v00) * fx;
+    let bot = v01 + (v11 - v01) * fx;
+    (top + (bot - top) * fy) * 2.0 - 1.0
+}
+
+/// Fractal Brownian motion: `octaves` layers of [`value_noise`], each octave
+/// at half the scale and `persistence` times the amplitude of the previous.
+/// Output is normalized back to roughly `[-1, 1]`.
+///
+/// # Panics
+///
+/// Panics if `octaves` is zero or `base_scale` is not positive.
+pub fn fbm(seed: u64, x: f64, y: f64, base_scale: f64, octaves: u32, persistence: f64) -> f64 {
+    assert!(octaves > 0, "fbm needs at least one octave");
+    let mut amp = 1.0;
+    let mut scale = base_scale;
+    let mut sum = 0.0;
+    let mut norm = 0.0;
+    for o in 0..octaves {
+        sum += amp * value_noise(seed.wrapping_add(u64::from(o) * 0x9E37), x, y, scale);
+        norm += amp;
+        amp *= persistence;
+        scale = (scale * 0.5).max(1.0);
+    }
+    sum / norm
+}
+
+/// Oriented sinusoidal stripes in `[-1, 1]`: frequency `freq` cycles/pixel
+/// along direction `angle` (radians), with an arbitrary `phase`.
+#[inline]
+pub fn stripes(x: f64, y: f64, angle: f64, freq: f64, phase: f64) -> f64 {
+    let u = x * angle.cos() + y * angle.sin();
+    (u * freq * std::f64::consts::TAU + phase).sin()
+}
+
+/// Soft-edged disk: 1 inside radius `r`, 0 outside `r + soft`, smooth ramp
+/// between. `soft == 0` yields a hard edge.
+#[inline]
+pub fn soft_disk(x: f64, y: f64, cx: f64, cy: f64, r: f64, soft: f64) -> f64 {
+    let d = ((x - cx).powi(2) + (y - cy).powi(2)).sqrt();
+    if d <= r {
+        1.0
+    } else if soft > 0.0 && d < r + soft {
+        1.0 - smoothstep((d - r) / soft)
+    } else {
+        0.0
+    }
+}
+
+/// Soft-edged axis-aligned rectangle with the same edge semantics as
+/// [`soft_disk`].
+#[inline]
+pub fn soft_rect(x: f64, y: f64, x0: f64, y0: f64, x1: f64, y1: f64, soft: f64) -> f64 {
+    let dx = (x0 - x).max(x - x1).max(0.0);
+    let dy = (y0 - y).max(y - y1).max(0.0);
+    let d = (dx * dx + dy * dy).sqrt();
+    if d == 0.0 {
+        1.0
+    } else if soft > 0.0 && d < soft {
+        1.0 - smoothstep(d / soft)
+    } else {
+        0.0
+    }
+}
+
+/// Pseudo-Gaussian sample in roughly `[-3, 3]` (sum of four uniforms,
+/// Irwin–Hall), as a pure function of the lattice hash. Used for sensor
+/// noise in the corpus.
+#[inline]
+pub fn gauss(seed: u64, ix: i64, iy: i64) -> f64 {
+    let a = lattice(seed ^ 0x1111, ix, iy);
+    let b = lattice(seed ^ 0x2222, ix, iy);
+    let c = lattice(seed ^ 0x3333, ix, iy);
+    let d = lattice(seed ^ 0x4444, ix, iy);
+    ((a + b + c + d) - 2.0) * (12.0f64 / 4.0).sqrt()
+}
+
+/// Clamps a real-valued field sample to the 8-bit pixel range.
+#[inline]
+pub fn quantize(v: f64) -> u8 {
+    v.round().clamp(0.0, 255.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_is_deterministic_and_uniformish() {
+        let mut sum = 0.0;
+        for i in 0..1000 {
+            let v = lattice(7, i, -i * 3);
+            assert!((0.0..1.0).contains(&v));
+            assert_eq!(v, lattice(7, i, -i * 3));
+            sum += v;
+        }
+        let mean = sum / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let same: usize = (0..500)
+            .filter(|&i| (lattice(1, i, 0) - lattice(2, i, 0)).abs() < 1e-3)
+            .count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn smoothstep_endpoints() {
+        assert_eq!(smoothstep(0.0), 0.0);
+        assert_eq!(smoothstep(1.0), 1.0);
+        assert!((smoothstep(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_noise_is_continuous() {
+        // Adjacent samples differ by much less than the full range.
+        let mut max_step = 0.0f64;
+        for i in 0..2000 {
+            let x = i as f64 * 0.25;
+            let d = (value_noise(3, x + 0.25, 7.0, 16.0) - value_noise(3, x, 7.0, 16.0)).abs();
+            max_step = max_step.max(d);
+        }
+        assert!(max_step < 0.2, "max step {max_step}");
+    }
+
+    #[test]
+    fn value_noise_range() {
+        for i in 0..500 {
+            let v = value_noise(9, i as f64 * 1.7, i as f64 * 0.3, 8.0);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fbm_range_and_determinism() {
+        for i in 0..200 {
+            let v = fbm(5, i as f64, 100.0 - i as f64, 64.0, 5, 0.55);
+            assert!((-1.0..=1.0).contains(&v), "fbm out of range: {v}");
+            assert_eq!(v, fbm(5, i as f64, 100.0 - i as f64, 64.0, 5, 0.55));
+        }
+    }
+
+    #[test]
+    fn stripes_oscillate() {
+        let a = stripes(0.0, 0.0, 0.0, 0.25, 0.0);
+        let b = stripes(1.0, 0.0, 0.0, 0.25, 0.0); // quarter period later
+        assert!((a - 0.0).abs() < 1e-12);
+        assert!((b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disk_profile() {
+        assert_eq!(soft_disk(0.0, 0.0, 0.0, 0.0, 5.0, 2.0), 1.0);
+        assert_eq!(soft_disk(10.0, 0.0, 0.0, 0.0, 5.0, 2.0), 0.0);
+        let edge = soft_disk(6.0, 0.0, 0.0, 0.0, 5.0, 2.0);
+        assert!(edge > 0.0 && edge < 1.0);
+    }
+
+    #[test]
+    fn rect_contains_interior() {
+        assert_eq!(soft_rect(3.0, 3.0, 2.0, 2.0, 5.0, 5.0, 1.0), 1.0);
+        assert_eq!(soft_rect(10.0, 10.0, 2.0, 2.0, 5.0, 5.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn gauss_moments() {
+        let n = 10_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for i in 0..n {
+            let g = gauss(11, i, i * 7 + 1);
+            sum += g;
+            sq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn quantize_clamps() {
+        assert_eq!(quantize(-5.0), 0);
+        assert_eq!(quantize(300.0), 255);
+        assert_eq!(quantize(127.4), 127);
+        assert_eq!(quantize(127.6), 128);
+    }
+}

@@ -1,0 +1,148 @@
+//! JPEG-LS (LOCO-I) baseline codec.
+//!
+//! The paper's Table 1 compares its scheme against JPEG-LS, the ISO/ITU-T
+//! T.87 standard built from HP's LOCO-I algorithm (Weinberger, Seroussi &
+//! Sapiro, IEEE TIP 2000 — the paper's reference \[4\]). This crate is a
+//! from-scratch implementation of the complete coding flow:
+//!
+//! * **MED/MAP prediction** over the `{a=W, b=N, c=NW, d=NE}` causal
+//!   template;
+//! * **365 regular contexts** from three quantized gradients with sign
+//!   folding, each holding the `(A, B, C, N)` state of the standard;
+//! * **bias cancellation** (the `C[q]` correction with `B`/`N` update);
+//! * **length-limited Golomb-Rice coding** of the mapped residual
+//!   (via `cbic-rice`);
+//! * **run mode** (gradient-flat contexts) with the `J[32]` run-length
+//!   table and the two run-interruption contexts;
+//! * optional **near-lossless** operation (`NEAR > 0`), guaranteeing
+//!   `|x − x̂| ≤ NEAR` per sample.
+//!
+//! The bitstream is this crate's own framing (not the T.87 marker syntax):
+//! the reproduction needs the *algorithm*'s bit rate, not interchange with
+//! other JPEG-LS files — see `DESIGN.md` §6.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbic_image::corpus::CorpusImage;
+//! use cbic_jpegls::{compress, decompress, JpeglsConfig};
+//!
+//! let img = CorpusImage::Boat.generate(64, 64);
+//! let bytes = compress(&img, &JpeglsConfig::default());
+//! assert_eq!(decompress(&bytes)?, img);
+//! # Ok::<(), cbic_jpegls::JpeglsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod params;
+
+#[cfg(test)]
+mod proptests;
+
+pub use codec::{decode_raw, encode_raw, EncodeStats};
+pub use params::{JpeglsConfig, JpeglsError};
+
+use cbic_image::Image;
+
+const MAGIC: &[u8; 4] = b"CBLS";
+
+/// Compresses an image into a self-describing container
+/// (`CBLS` magic, width/height, NEAR, then the entropy-coded payload).
+pub fn compress(img: &Image, cfg: &JpeglsConfig) -> Vec<u8> {
+    let (payload, _) = encode_raw(img, cfg);
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(img.width() as u32).to_le_bytes());
+    out.extend_from_slice(&(img.height() as u32).to_le_bytes());
+    out.push(cfg.near);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decompresses a container produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns [`JpeglsError`] on malformed headers.
+pub fn decompress(bytes: &[u8]) -> Result<Image, JpeglsError> {
+    if bytes.len() < 13 {
+        return Err(JpeglsError::Truncated);
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(JpeglsError::BadMagic);
+    }
+    let width = u32::from_le_bytes(bytes[4..8].try_into().expect("sized")) as usize;
+    let height = u32::from_le_bytes(bytes[8..12].try_into().expect("sized")) as usize;
+    if width == 0 || height == 0 {
+        return Err(JpeglsError::InvalidHeader("zero dimension".into()));
+    }
+    if width.saturating_mul(height) > 1 << 28 {
+        return Err(JpeglsError::InvalidHeader("image too large".into()));
+    }
+    let cfg = JpeglsConfig {
+        near: bytes[12],
+        ..JpeglsConfig::default()
+    };
+    Ok(decode_raw(&bytes[13..], width, height, &cfg))
+}
+
+/// Lossless JPEG-LS as an [`cbic_image::ImageCodec`] trait object.
+///
+/// Only the lossless configuration implements the trait (the trait's
+/// contract is exact reconstruction); use [`compress`]/[`decompress`]
+/// directly for near-lossless operation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Jpegls;
+
+impl cbic_image::ImageCodec for Jpegls {
+    fn name(&self) -> &'static str {
+        "jpegls"
+    }
+
+    fn compress(&self, img: &Image) -> Vec<u8> {
+        compress(img, &JpeglsConfig::default())
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Image, cbic_image::ImageError> {
+        decompress(bytes).map_err(|e| cbic_image::ImageError::Codec(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod container_tests {
+    use super::*;
+    use cbic_image::corpus::CorpusImage;
+
+    #[test]
+    fn container_roundtrip() {
+        let img = CorpusImage::Peppers.generate(32, 32);
+        let bytes = compress(&img, &JpeglsConfig::default());
+        assert_eq!(decompress(&bytes).unwrap(), img);
+    }
+
+    #[test]
+    fn container_rejects_garbage() {
+        assert_eq!(decompress(b"nope"), Err(JpeglsError::Truncated));
+        assert_eq!(
+            decompress(b"XXXX0000000000000"),
+            Err(JpeglsError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn near_travels_in_header() {
+        let img = CorpusImage::Lena.generate(32, 32);
+        let cfg = JpeglsConfig {
+            near: 2,
+            ..JpeglsConfig::default()
+        };
+        let bytes = compress(&img, &cfg);
+        let out = decompress(&bytes).unwrap();
+        for (p, q) in img.pixels().iter().zip(out.pixels()) {
+            assert!((i32::from(*p) - i32::from(*q)).abs() <= 2);
+        }
+    }
+}

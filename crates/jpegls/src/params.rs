@@ -1,0 +1,146 @@
+//! JPEG-LS coding parameters (ITU-T T.87 Annex C defaults for 8-bit data).
+
+use std::fmt;
+
+/// Errors returned by the container API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JpeglsError {
+    /// Stream does not start with the `CBLS` magic.
+    BadMagic,
+    /// Stream shorter than a header.
+    Truncated,
+    /// A header field is invalid.
+    InvalidHeader(String),
+}
+
+impl fmt::Display for JpeglsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "missing CBLS magic"),
+            Self::Truncated => write!(f, "truncated stream"),
+            Self::InvalidHeader(m) => write!(f, "invalid header: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JpeglsError {}
+
+/// JPEG-LS parameters. The defaults are the T.87 Annex C values for 8-bit
+/// samples: `T1=3, T2=7, T3=21, RESET=64, NEAR=0` (lossless).
+///
+/// # Examples
+///
+/// ```
+/// use cbic_jpegls::JpeglsConfig;
+///
+/// let lossless = JpeglsConfig::default();
+/// assert_eq!(lossless.near, 0);
+/// assert_eq!(lossless.range(), 256);
+/// assert_eq!(lossless.limit(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JpeglsConfig {
+    /// Near-lossless bound (0 = lossless).
+    pub near: u8,
+    /// First gradient quantizer threshold.
+    pub t1: i32,
+    /// Second gradient quantizer threshold.
+    pub t2: i32,
+    /// Third gradient quantizer threshold.
+    pub t3: i32,
+    /// Context halving interval.
+    pub reset: u32,
+}
+
+impl Default for JpeglsConfig {
+    fn default() -> Self {
+        Self {
+            near: 0,
+            t1: 3,
+            t2: 7,
+            t3: 21,
+            reset: 64,
+        }
+    }
+}
+
+/// Maximum sample value (8-bit data).
+pub const MAXVAL: i32 = 255;
+
+impl JpeglsConfig {
+    /// `RANGE = floor((MAXVAL + 2*NEAR) / (2*NEAR + 1)) + 1` (A.2.1).
+    pub fn range(&self) -> i32 {
+        (MAXVAL + 2 * i32::from(self.near)) / (2 * i32::from(self.near) + 1) + 1
+    }
+
+    /// `qbpp = ceil(log2(RANGE))`.
+    pub fn qbpp(&self) -> u32 {
+        let mut q = 1;
+        while (1 << q) < self.range() {
+            q += 1;
+        }
+        q
+    }
+
+    /// `LIMIT = 2 * (bpp + max(8, bpp))` = 32 for 8-bit samples.
+    pub fn limit(&self) -> u32 {
+        32
+    }
+
+    /// Initial value of the `A` accumulators:
+    /// `max(2, (RANGE + 32) / 64)` (A.2.1).
+    pub fn a_init(&self) -> u32 {
+        ((self.range() + 32) / 64).max(2) as u32
+    }
+}
+
+/// The T.87 run-length code order table `J` (A.2.1).
+pub const J: [u32; 32] = [
+    0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 9, 10, 11, 12, 13,
+    14, 15,
+];
+
+/// Bias-correction clamp bounds (A.2.1).
+pub const MIN_C: i32 = -128;
+/// Upper bias-correction clamp bound.
+pub const MAX_C: i32 = 127;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_derived_parameters() {
+        let c = JpeglsConfig::default();
+        assert_eq!(c.range(), 256);
+        assert_eq!(c.qbpp(), 8);
+        assert_eq!(c.limit(), 32);
+        assert_eq!(c.a_init(), 4);
+    }
+
+    #[test]
+    fn near_lossless_shrinks_range() {
+        let c = JpeglsConfig {
+            near: 2,
+            ..JpeglsConfig::default()
+        };
+        assert_eq!(c.range(), (255 + 4) / 5 + 1);
+        assert!(c.qbpp() <= 8);
+    }
+
+    #[test]
+    fn j_table_matches_standard() {
+        assert_eq!(J.len(), 32);
+        assert_eq!(J[0], 0);
+        assert_eq!(J[15], 3);
+        assert_eq!(J[31], 15);
+        // Non-decreasing.
+        assert!(J.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(JpeglsError::BadMagic.to_string().contains("magic"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Lossless data modeling: a finite-context byte model over the shared
+//! tree estimator and binary arithmetic coder.
+//!
+//! This is the "Lossless Data Modeling → Context Modeling" box of the
+//! paper's Fig. 1 — general-purpose byte streams coded with the same back
+//! end as the image path. Conditioning context is the previous `order`
+//! bytes (order 2 hashes the pair into 4096 buckets, a standard trick to
+//! keep the tree memory bounded).
+
+use cbic_arith::{BinaryDecoder, BinaryEncoder, EstimatorConfig, SymbolCoder};
+use cbic_bitio::{BitReader, BitWriter};
+
+/// Model order: how many preceding bytes select the coding context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Order {
+    /// No context: one adaptive distribution.
+    Zero,
+    /// Condition on the previous byte (256 contexts).
+    #[default]
+    One,
+    /// Condition on the previous two bytes, hashed to 4096 contexts.
+    Two,
+}
+
+impl Order {
+    /// Number of coding contexts this order instantiates.
+    pub fn contexts(self) -> usize {
+        match self {
+            Order::Zero => 1,
+            Order::One => 256,
+            Order::Two => 4096,
+        }
+    }
+
+    /// Context index for the byte following `prev1` (most recent) and
+    /// `prev2`.
+    #[inline]
+    fn context(self, prev1: u8, prev2: u8) -> usize {
+        match self {
+            Order::Zero => 0,
+            Order::One => usize::from(prev1),
+            Order::Two => {
+                // Cheap 2-byte hash into 12 bits; collisions just share
+                // statistics.
+                (usize::from(prev1) << 4) ^ (usize::from(prev2).wrapping_mul(0x9E) & 0xFFF)
+            }
+        }
+    }
+}
+
+/// Statistics from one data-model encode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataStats {
+    /// Bytes coded.
+    pub bytes: u64,
+    /// Payload bits produced.
+    pub payload_bits: u64,
+    /// Symbols escaped to the static tree.
+    pub escapes: u64,
+}
+
+impl DataStats {
+    /// Compressed size in bits per byte (8.0 = no compression).
+    pub fn bits_per_byte(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.payload_bits as f64 / self.bytes as f64
+        }
+    }
+}
+
+/// The adaptive byte model.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_universal::data::{DataModel, Order};
+///
+/// let model = DataModel::new(Order::One);
+/// let input = b"abcabcabcabcabcabcabcabc".to_vec();
+/// let (bytes, stats) = model.encode(&input);
+/// assert!(stats.bits_per_byte() < 8.0);
+/// assert_eq!(model.decode(&bytes, input.len()), input);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataModel {
+    order: Order,
+    estimator: EstimatorConfig,
+}
+
+impl Default for DataModel {
+    fn default() -> Self {
+        Self::new(Order::One)
+    }
+}
+
+impl DataModel {
+    /// Creates a model of the given order with the default estimator.
+    pub fn new(order: Order) -> Self {
+        Self {
+            order,
+            estimator: EstimatorConfig::default(),
+        }
+    }
+
+    /// Creates a model with an explicit estimator configuration.
+    pub fn with_estimator(order: Order, estimator: EstimatorConfig) -> Self {
+        Self { order, estimator }
+    }
+
+    /// The model order.
+    pub fn order(&self) -> Order {
+        self.order
+    }
+
+    /// Encodes `input`, returning the payload and statistics.
+    pub fn encode(&self, input: &[u8]) -> (Vec<u8>, DataStats) {
+        let mut coder = SymbolCoder::new(self.order.contexts(), self.estimator);
+        let mut enc = BinaryEncoder::new(BitWriter::new());
+        let (mut p1, mut p2) = (0u8, 0u8);
+        for &b in input {
+            coder.encode(&mut enc, self.order.context(p1, p2), b);
+            p2 = p1;
+            p1 = b;
+        }
+        let payload_bits = enc.bits_written();
+        let escapes = coder.stats().escapes;
+        let bytes = enc.finish().into_bytes();
+        (
+            bytes,
+            DataStats {
+                bytes: input.len() as u64,
+                payload_bits,
+                escapes,
+            },
+        )
+    }
+
+    /// Decodes `len` bytes from a payload produced by [`Self::encode`].
+    pub fn decode(&self, payload: &[u8], len: usize) -> Vec<u8> {
+        let mut coder = SymbolCoder::new(self.order.contexts(), self.estimator);
+        let mut dec = BinaryDecoder::new(BitReader::new(payload));
+        let mut out = Vec::with_capacity(len);
+        let (mut p1, mut p2) = (0u8, 0u8);
+        for _ in 0..len {
+            let b = coder.decode(&mut dec, self.order.context(p1, p2));
+            out.push(b);
+            p2 = p1;
+            p1 = b;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(order: Order, input: &[u8]) -> DataStats {
+        let model = DataModel::new(order);
+        let (bytes, stats) = model.encode(input);
+        assert_eq!(model.decode(&bytes, input.len()), input, "{order:?}");
+        stats
+    }
+
+    #[test]
+    fn roundtrip_all_orders() {
+        let text = b"the quick brown fox jumps over the lazy dog, repeatedly \
+                     and deterministically, to build up some statistics."
+            .repeat(10);
+        for order in [Order::Zero, Order::One, Order::Two] {
+            roundtrip(order, &text);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        for order in [Order::Zero, Order::One, Order::Two] {
+            let stats = roundtrip(order, b"");
+            assert_eq!(stats.bytes, 0);
+        }
+    }
+
+    #[test]
+    fn all_byte_values_roundtrip() {
+        let input: Vec<u8> = (0..=255u8).cycle().take(2048).collect();
+        roundtrip(Order::One, &input);
+    }
+
+    #[test]
+    fn repetitive_text_compresses_well() {
+        let input = b"abababababababab".repeat(200);
+        let stats = roundtrip(Order::One, &input);
+        assert!(
+            stats.bits_per_byte() < 1.0,
+            "got {} bits/byte",
+            stats.bits_per_byte()
+        );
+    }
+
+    #[test]
+    fn higher_order_wins_on_structured_text() {
+        let input = b"the rain in spain stays mainly in the plain. ".repeat(80);
+        let o0 = roundtrip(Order::Zero, &input).bits_per_byte();
+        let o1 = roundtrip(Order::One, &input).bits_per_byte();
+        let o2 = roundtrip(Order::Two, &input).bits_per_byte();
+        assert!(o1 < o0, "order-1 {o1} vs order-0 {o0}");
+        assert!(o2 < o1, "order-2 {o2} vs order-1 {o1}");
+    }
+
+    #[test]
+    fn random_bytes_do_not_explode() {
+        let input: Vec<u8> = (0..4096u32)
+            .map(|i| (cbic_image::synth::lattice(7, i as i64, 0) * 256.0) as u8)
+            .collect();
+        let stats = roundtrip(Order::One, &input);
+        assert!(stats.bits_per_byte() < 9.3);
+    }
+
+    #[test]
+    fn context_counts() {
+        assert_eq!(Order::Zero.contexts(), 1);
+        assert_eq!(Order::One.contexts(), 256);
+        assert_eq!(Order::Two.contexts(), 4096);
+    }
+
+    #[test]
+    fn order2_context_stays_in_range() {
+        for p1 in [0u8, 1, 127, 255] {
+            for p2 in [0u8, 3, 200, 255] {
+                assert!(Order::Two.context(p1, p2) < 4096);
+            }
+        }
+    }
+}

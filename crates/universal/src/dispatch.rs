@@ -1,0 +1,294 @@
+//! The time multiplexer of Fig. 1: dynamic modeling reconfiguration.
+//!
+//! A mixed stream of general data, still images, and video sequences is
+//! compressed chunk by chunk, each chunk routed to the matching modeling
+//! front end ("the current trend of network convergence where visual and
+//! general data are transmitted along the same physical channel" — the
+//! paper's motivation for a universal compressor). The container records
+//! which model handled each chunk so the decoder can reconfigure in
+//! lock-step.
+
+use crate::data::{DataModel, DataStats};
+use crate::video::{decode_frames, encode_frames, VideoConfig, VideoStats};
+use crate::UniversalError;
+use cbic_core::CodecConfig;
+use cbic_image::Image;
+
+/// One unit of the multiplexed input stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Chunk {
+    /// General byte data (files, telemetry, text).
+    Data(Vec<u8>),
+    /// A still grayscale image.
+    Image(Image),
+    /// A video sequence (equally sized frames).
+    Video(Vec<Image>),
+}
+
+/// Which front end compressed a chunk, with its bit cost.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChunkReport {
+    /// Handled by the data model.
+    Data(DataStats),
+    /// Handled by the image codec (payload bits).
+    Image(u64),
+    /// Handled by the video model.
+    Video(VideoStats),
+}
+
+/// The universal codec: one configuration per front end.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_universal::dispatch::{Chunk, UniversalCodec};
+///
+/// let codec = UniversalCodec::default();
+/// let chunks = vec![Chunk::Data(b"abc".repeat(50))];
+/// let bytes = codec.encode(&chunks);
+/// assert_eq!(codec.decode(&bytes)?, chunks);
+/// # Ok::<(), cbic_universal::UniversalError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UniversalCodec {
+    /// General-data front end.
+    pub data_model: DataModel,
+    /// Still-image front end (the paper's codec).
+    pub image_config: CodecConfig,
+    /// Video front end.
+    pub video_config: VideoConfig,
+}
+
+const MAGIC: &[u8; 4] = b"CBUN";
+const VERSION: u8 = 1;
+
+const TAG_DATA: u8 = 0;
+const TAG_IMAGE: u8 = 1;
+const TAG_VIDEO: u8 = 2;
+
+impl UniversalCodec {
+    /// Compresses a multiplexed chunk stream into one container.
+    pub fn encode(&self, chunks: &[Chunk]) -> Vec<u8> {
+        self.encode_with_report(chunks).0
+    }
+
+    /// Compresses and additionally reports which front end handled each
+    /// chunk and at what cost — the "dynamic modeling reconfiguration"
+    /// trace.
+    pub fn encode_with_report(&self, chunks: &[Chunk]) -> (Vec<u8>, Vec<ChunkReport>) {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
+        let mut reports = Vec::with_capacity(chunks.len());
+        for chunk in chunks {
+            match chunk {
+                Chunk::Data(raw) => {
+                    let (payload, stats) = self.data_model.encode(raw);
+                    out.push(TAG_DATA);
+                    out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&payload);
+                    reports.push(ChunkReport::Data(stats));
+                }
+                Chunk::Image(img) => {
+                    let (payload, stats) = cbic_core::encode_raw(img, &self.image_config);
+                    out.push(TAG_IMAGE);
+                    out.extend_from_slice(&(img.width() as u32).to_le_bytes());
+                    out.extend_from_slice(&(img.height() as u32).to_le_bytes());
+                    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&payload);
+                    reports.push(ChunkReport::Image(stats.payload_bits));
+                }
+                Chunk::Video(frames) => {
+                    let (payload, stats) = encode_frames(frames, &self.video_config);
+                    let (w, h) = frames[0].dimensions();
+                    out.push(TAG_VIDEO);
+                    out.extend_from_slice(&(w as u32).to_le_bytes());
+                    out.extend_from_slice(&(h as u32).to_le_bytes());
+                    out.extend_from_slice(&(frames.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&payload);
+                    reports.push(ChunkReport::Video(stats));
+                }
+            }
+        }
+        (out, reports)
+    }
+
+    /// Decompresses a container produced by [`Self::encode`]. The codec's
+    /// configurations must match the encoder's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UniversalError`] on malformed containers.
+    pub fn decode(&self, bytes: &[u8]) -> Result<Vec<Chunk>, UniversalError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], UniversalError> {
+            let s = bytes
+                .get(*pos..*pos + n)
+                .ok_or(UniversalError::Truncated)?;
+            *pos += n;
+            Ok(s)
+        };
+        let take_u32 = |pos: &mut usize| -> Result<usize, UniversalError> {
+            Ok(u32::from_le_bytes(take(pos, 4)?.try_into().expect("sized")) as usize)
+        };
+
+        if take(&mut pos, 4)? != MAGIC {
+            return Err(UniversalError::BadMagic);
+        }
+        let version = take(&mut pos, 1)?[0];
+        if version != VERSION {
+            return Err(UniversalError::InvalidStream(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let count = take_u32(&mut pos)?;
+        if count > 1 << 20 {
+            return Err(UniversalError::InvalidStream("chunk count too large".into()));
+        }
+        let mut chunks = Vec::with_capacity(count);
+        for _ in 0..count {
+            let tag = take(&mut pos, 1)?[0];
+            match tag {
+                TAG_DATA => {
+                    let raw_len = take_u32(&mut pos)?;
+                    if raw_len > 1 << 28 {
+                        return Err(UniversalError::InvalidStream("chunk too large".into()));
+                    }
+                    let payload_len = take_u32(&mut pos)?;
+                    let payload = take(&mut pos, payload_len)?;
+                    chunks.push(Chunk::Data(self.data_model.decode(payload, raw_len)));
+                }
+                TAG_IMAGE => {
+                    let w = take_u32(&mut pos)?;
+                    let h = take_u32(&mut pos)?;
+                    if w == 0 || h == 0 || w.saturating_mul(h) > 1 << 28 {
+                        return Err(UniversalError::InvalidStream("bad image dims".into()));
+                    }
+                    let payload_len = take_u32(&mut pos)?;
+                    let payload = take(&mut pos, payload_len)?;
+                    chunks.push(Chunk::Image(cbic_core::decode_raw(
+                        payload,
+                        w,
+                        h,
+                        &self.image_config,
+                    )));
+                }
+                TAG_VIDEO => {
+                    let w = take_u32(&mut pos)?;
+                    let h = take_u32(&mut pos)?;
+                    let frames = take_u32(&mut pos)?;
+                    if w == 0
+                        || h == 0
+                        || frames == 0
+                        || w.saturating_mul(h).saturating_mul(frames) > 1 << 28
+                    {
+                        return Err(UniversalError::InvalidStream("bad video dims".into()));
+                    }
+                    let payload_len = take_u32(&mut pos)?;
+                    let payload = take(&mut pos, payload_len)?;
+                    chunks.push(Chunk::Video(decode_frames(
+                        payload,
+                        w,
+                        h,
+                        frames,
+                        &self.video_config,
+                    )?));
+                }
+                t => {
+                    return Err(UniversalError::InvalidStream(format!(
+                        "unknown chunk tag {t}"
+                    )))
+                }
+            }
+        }
+        Ok(chunks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::synthetic_sequence;
+    use cbic_image::corpus::CorpusImage;
+
+    fn codec() -> UniversalCodec {
+        UniversalCodec::default()
+    }
+
+    #[test]
+    fn mixed_stream_roundtrip() {
+        let chunks = vec![
+            Chunk::Data(b"telemetry frame 0001: ok; telemetry frame 0002: ok".repeat(20)),
+            Chunk::Image(CorpusImage::Lena.generate(40, 40)),
+            Chunk::Video(synthetic_sequence(32, 32, 3, 2, 1)),
+            Chunk::Data(vec![0u8; 500]),
+        ];
+        let c = codec();
+        let bytes = c.encode(&chunks);
+        assert_eq!(c.decode(&bytes).unwrap(), chunks);
+    }
+
+    #[test]
+    fn empty_stream_roundtrip() {
+        let c = codec();
+        let bytes = c.encode(&[]);
+        assert_eq!(c.decode(&bytes).unwrap(), Vec::<Chunk>::new());
+    }
+
+    #[test]
+    fn report_identifies_front_ends() {
+        let chunks = vec![
+            Chunk::Data(b"abc".repeat(100)),
+            Chunk::Image(CorpusImage::Zelda.generate(24, 24)),
+            Chunk::Video(synthetic_sequence(24, 24, 2, 1, 0)),
+        ];
+        let (_, reports) = codec().encode_with_report(&chunks);
+        assert!(matches!(reports[0], ChunkReport::Data(_)));
+        assert!(matches!(reports[1], ChunkReport::Image(_)));
+        assert!(matches!(reports[2], ChunkReport::Video(_)));
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let c = codec();
+        let mut bytes = c.encode(&[Chunk::Data(vec![1, 2, 3])]);
+        let mut broken = bytes.clone();
+        broken[0] = b'X';
+        assert_eq!(c.decode(&broken), Err(UniversalError::BadMagic));
+        bytes[4] = 99;
+        assert!(matches!(
+            c.decode(&bytes),
+            Err(UniversalError::InvalidStream(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let c = codec();
+        let bytes = c.encode(&[
+            Chunk::Data(b"hello world".to_vec()),
+            Chunk::Image(CorpusImage::Boat.generate(16, 16)),
+        ]);
+        for cut in [0, 3, 8, 12, bytes.len() - 1] {
+            assert!(c.decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn compression_actually_happens_on_mixed_content() {
+        let chunks = vec![
+            Chunk::Data(b"log line: everything nominal\n".repeat(100)),
+            Chunk::Image(CorpusImage::Zelda.generate(64, 64)),
+        ];
+        let raw_size = 100 * 29 + 64 * 64;
+        let bytes = codec().encode(&chunks);
+        assert!(
+            bytes.len() < raw_size,
+            "container {} vs raw {raw_size}",
+            bytes.len()
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! `cbic` — command-line front end for the workspace codecs.
+//!
+//! ```text
+//! cbic compress   [--codec proposed|calic|jpegls|slp] [--near N] IN.pgm OUT
+//! cbic decompress IN OUT.pgm          (codec auto-detected from the magic)
+//! cbic info       IN                  (describe a compressed container)
+//! cbic corpus     [--size N] OUTDIR   (write the synthetic corpus as PGM)
+//! cbic bench      [--size N] IN.pgm   (bit rates of all codecs on one image)
+//! ```
+
+use cbic::core::CodecConfig;
+use cbic::image::{pgm, Image};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  cbic compress [--codec proposed|calic|jpegls|slp] [--near N] IN.pgm OUT\n  \
+         cbic decompress IN OUT.pgm\n  cbic info IN\n  cbic corpus [--size N] OUTDIR\n  \
+         cbic bench IN.pgm"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let r = match cmd.as_str() {
+        "compress" => cmd_compress(&args[1..]),
+        "decompress" => cmd_decompress(&args[1..]),
+        "info" => cmd_info(&args[1..]),
+        "corpus" => cmd_corpus(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
+        _ => return usage(),
+    };
+    match r {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Pulls `--flag value` out of an argument list, returning remaining
+/// positional arguments.
+fn parse_flags(args: &[String], flags: &[&str]) -> (Vec<(String, String)>, Vec<String>) {
+    let mut out = Vec::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            if flags.contains(&name) && i + 1 < args.len() {
+                out.push((name.to_string(), args[i + 1].clone()));
+                i += 2;
+                continue;
+            }
+        }
+        positional.push(args[i].clone());
+        i += 1;
+    }
+    (out, positional)
+}
+
+fn cmd_compress(args: &[String]) -> CliResult {
+    let (flags, pos) = parse_flags(args, &["codec", "near"]);
+    let [input, output] = pos.as_slice() else {
+        return Err("compress needs IN.pgm and OUT".into());
+    };
+    let codec = flags
+        .iter()
+        .find(|(k, _)| k == "codec")
+        .map(|(_, v)| v.as_str())
+        .unwrap_or("proposed");
+    let near: u8 = flags
+        .iter()
+        .find(|(k, _)| k == "near")
+        .map(|(_, v)| v.parse())
+        .transpose()?
+        .unwrap_or(0);
+
+    let img = pgm::read_file(input)?;
+    let bytes = match codec {
+        "proposed" => cbic::core::compress(&img, &CodecConfig::default()),
+        "calic" => cbic::calic::compress(&img),
+        "jpegls" => cbic::jpegls::compress(
+            &img,
+            &cbic::jpegls::JpeglsConfig {
+                near,
+                ..Default::default()
+            },
+        ),
+        "slp" => cbic::slp::compress(&img),
+        other => return Err(format!("unknown codec {other}").into()),
+    };
+    std::fs::write(output, &bytes)?;
+    println!(
+        "{input}: {} pixels -> {} bytes ({:.3} bpp) with {codec}",
+        img.pixel_count(),
+        bytes.len(),
+        bytes.len() as f64 * 8.0 / img.pixel_count() as f64
+    );
+    Ok(())
+}
+
+fn detect(bytes: &[u8]) -> Option<&'static str> {
+    match bytes.get(..4)? {
+        b"CBIC" => Some("proposed"),
+        b"CBTI" => Some("proposed (tiled)"),
+        b"CBCA" => Some("calic"),
+        b"CBLS" => Some("jpegls"),
+        b"CBSL" => Some("slp"),
+        b"CBUN" => Some("universal"),
+        _ => None,
+    }
+}
+
+fn decode_any(bytes: &[u8]) -> Result<Image, Box<dyn std::error::Error>> {
+    match detect(bytes) {
+        Some("proposed") => Ok(cbic::core::decompress(bytes)?),
+        Some("proposed (tiled)") => Ok(cbic::core::tiles::decompress_tiled(bytes)?),
+        Some("calic") => Ok(cbic::calic::decompress(bytes)?),
+        Some("jpegls") => Ok(cbic::jpegls::decompress(bytes)?),
+        Some("slp") => Ok(cbic::slp::decompress(bytes)?),
+        Some(other) => Err(format!("{other} containers hold more than one image").into()),
+        None => Err("unrecognized container magic".into()),
+    }
+}
+
+fn cmd_decompress(args: &[String]) -> CliResult {
+    let [input, output] = args else {
+        return Err("decompress needs IN and OUT.pgm".into());
+    };
+    let bytes = std::fs::read(input)?;
+    let img = decode_any(&bytes)?;
+    pgm::write_file(output, &img)?;
+    println!(
+        "{input}: {} ({} bytes) -> {}x{} PGM",
+        detect(&bytes).unwrap_or("?"),
+        bytes.len(),
+        img.width(),
+        img.height()
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> CliResult {
+    let [input] = args else {
+        return Err("info needs IN".into());
+    };
+    let bytes = std::fs::read(input)?;
+    let kind = detect(&bytes).ok_or("unrecognized container magic")?;
+    println!("container: {kind}, {} bytes", bytes.len());
+    if kind == "proposed" {
+        let (cfg, w, h, payload) = cbic::core::container::parse_header(&bytes)?;
+        println!("dimensions: {w}x{h}");
+        println!(
+            "config: {} counter bits, increment {}, feedback={}, aging={}, division={:?}, \
+             {} compound contexts",
+            cfg.estimator.count_bits,
+            cfg.estimator.increment,
+            cfg.error_feedback,
+            cfg.aging,
+            cfg.division,
+            cfg.compound_contexts()
+        );
+        println!(
+            "payload: {} bytes = {:.3} bpp",
+            payload.len(),
+            payload.len() as f64 * 8.0 / (w * h) as f64
+        );
+    }
+    Ok(())
+}
+
+fn cmd_corpus(args: &[String]) -> CliResult {
+    let (flags, pos) = parse_flags(args, &["size"]);
+    let [outdir] = pos.as_slice() else {
+        return Err("corpus needs OUTDIR".into());
+    };
+    let size: usize = flags
+        .iter()
+        .find(|(k, _)| k == "size")
+        .map(|(_, v)| v.parse())
+        .transpose()?
+        .unwrap_or(512);
+    std::fs::create_dir_all(outdir)?;
+    for (c, img) in cbic::image::corpus::generate(size) {
+        let path = std::path::Path::new(outdir).join(format!("{}.pgm", c.name()));
+        pgm::write_file(&path, &img)?;
+        println!("wrote {} ({size}x{size})", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> CliResult {
+    let [input] = args else {
+        return Err("bench needs IN.pgm".into());
+    };
+    let img = pgm::read_file(input)?;
+    println!(
+        "{input}: {}x{}, order-0 entropy {:.3} bpp",
+        img.width(),
+        img.height(),
+        img.entropy()
+    );
+    let results = [
+        (
+            "proposed",
+            cbic::core::encode_raw(&img, &CodecConfig::default())
+                .1
+                .bits_per_pixel(),
+        ),
+        (
+            "calic",
+            cbic::calic::encode_raw(&img, &cbic::calic::CalicConfig::default())
+                .1
+                .bits_per_pixel(),
+        ),
+        (
+            "jpegls",
+            cbic::jpegls::encode_raw(&img, &cbic::jpegls::JpeglsConfig::default())
+                .1
+                .bits_per_pixel(),
+        ),
+        ("slp", cbic::slp::encode_raw(&img).1.bits_per_pixel()),
+    ];
+    for (name, bpp) in results {
+        println!("  {name:<10} {bpp:.3} bpp (ratio {:.2})", 8.0 / bpp);
+    }
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! End-to-end test of the Fig. 1 universal system: mixed content through
+//! the dispatcher, with the front ends cross-checked against direct use.
+
+use cbic::image::corpus::CorpusImage;
+use cbic::universal::data::{DataModel, Order};
+use cbic::universal::dispatch::{Chunk, ChunkReport, UniversalCodec};
+use cbic::universal::video::{self, synthetic_sequence, VideoConfig};
+
+#[test]
+fn converged_channel_roundtrip() {
+    // The paper's motivating scenario: visual and general data on one
+    // channel, the compressor reconfiguring per chunk.
+    let chunks = vec![
+        Chunk::Data(b"packet log entry; ".repeat(300)),
+        Chunk::Image(CorpusImage::Barb.generate(96, 96)),
+        Chunk::Video(synthetic_sequence(64, 64, 5, 2, 1)),
+        Chunk::Data((0u32..2000).flat_map(|i| i.to_le_bytes()).collect()),
+        Chunk::Image(CorpusImage::Mandrill.generate(64, 64)),
+    ];
+    let codec = UniversalCodec::default();
+    let (bytes, reports) = codec.encode_with_report(&chunks);
+    assert_eq!(reports.len(), chunks.len());
+    assert_eq!(codec.decode(&bytes).unwrap(), chunks);
+}
+
+#[test]
+fn dispatcher_image_path_equals_direct_codec() {
+    // Routing an image through the universal container must cost exactly
+    // the raw image-codec payload (plus the fixed chunk header).
+    let img = CorpusImage::Lena.generate(96, 96);
+    let codec = UniversalCodec::default();
+    let (_, reports) = codec.encode_with_report(&[Chunk::Image(img.clone())]);
+    let direct = cbic::core::encode_raw(&img, &codec.image_config).1;
+    match &reports[0] {
+        ChunkReport::Image(bits) => assert_eq!(*bits, direct.payload_bits),
+        other => panic!("expected image report, got {other:?}"),
+    }
+}
+
+#[test]
+fn video_front_end_beats_intra_coding_on_motion() {
+    let frames = synthetic_sequence(96, 96, 6, 2, 1);
+    let cfg = VideoConfig::default();
+    let (_, stats) = video::encode_frames(&frames, &cfg);
+    // All-intra cost of the same frames.
+    let intra: u64 = frames
+        .iter()
+        .map(|f| cbic::core::encode_raw(f, &cfg.codec).1.payload_bits)
+        .sum();
+    assert!(
+        stats.payload_bits * 2 < intra,
+        "inter {} bits should be well under half of all-intra {} bits",
+        stats.payload_bits,
+        intra
+    );
+}
+
+#[test]
+fn data_model_orders_trade_memory_for_ratio() {
+    let text = std::fs::read("Cargo.toml")
+        .unwrap_or_else(|_| b"fallback content ".repeat(500));
+    let text = text.repeat(3);
+    let o0 = DataModel::new(Order::Zero).encode(&text).1.bits_per_byte();
+    let o1 = DataModel::new(Order::One).encode(&text).1.bits_per_byte();
+    assert!(o1 < o0, "order-1 ({o1:.3}) must beat order-0 ({o0:.3}) on TOML");
+    assert!(o1 < 8.0, "real text must compress");
+}
+
+#[test]
+fn image_and_data_models_suit_their_own_content() {
+    // "Fast adaptation to the nature of the data": the image front end
+    // must beat the byte model on images.
+    let img = CorpusImage::Zelda.generate(128, 128);
+    let image_bits = cbic::core::encode_raw(&img, &Default::default()).1.payload_bits;
+    let data_bits = DataModel::new(Order::One).encode(img.pixels()).1.payload_bits;
+    assert!(
+        image_bits < data_bits,
+        "image model {image_bits} vs byte model {data_bits} on an image"
+    );
+}
