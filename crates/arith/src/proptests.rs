@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use crate::{
-    AdaptiveBit, BinaryDecoder, BinaryEncoder, EstimatorConfig, SymbolCoder, TreeModel,
-};
+use crate::{AdaptiveBit, BinaryDecoder, BinaryEncoder, EstimatorConfig, SymbolCoder, TreeModel};
 use cbic_bitio::{BitReader, BitWriter};
 
 /// Strategy: a sequence of (bit, c0, total) decisions with valid counts and

@@ -39,7 +39,9 @@ fn bench_tree(c: &mut Criterion) {
     use cbic_arith::{BinaryEncoder, EstimatorConfig, SymbolCoder};
     use cbic_bitio::BitWriter;
 
-    let symbols: Vec<u8> = (0..16_384u32).map(|i| ((i * 2654435761) >> 24) as u8).collect();
+    let symbols: Vec<u8> = (0..16_384u32)
+        .map(|i| ((i * 2654435761) >> 24) as u8)
+        .collect();
     let mut g = c.benchmark_group("estimator");
     g.throughput(Throughput::Elements(symbols.len() as u64));
     g.sample_size(30);

@@ -5,6 +5,8 @@
 //! measure what the software model reaches, and Criterion's reports track
 //! regressions as the codecs evolve.
 
+use cbic_core::tiles::{compress_tiled, decompress_tiled, Parallelism};
+use cbic_universal::codecs::all_codecs;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const SIZE: usize = 256;
@@ -17,21 +19,11 @@ fn bench_encoders(c: &mut Criterion) {
     g.throughput(Throughput::Elements(pixels));
     g.sample_size(20);
 
-    g.bench_function(BenchmarkId::new("proposed", SIZE), |b| {
-        let cfg = cbic_core::CodecConfig::default();
-        b.iter(|| cbic_core::encode_raw(&img, &cfg))
-    });
-    g.bench_function(BenchmarkId::new("calic", SIZE), |b| {
-        let cfg = cbic_calic::CalicConfig::default();
-        b.iter(|| cbic_calic::encode_raw(&img, &cfg))
-    });
-    g.bench_function(BenchmarkId::new("jpegls", SIZE), |b| {
-        let cfg = cbic_jpegls::JpeglsConfig::default();
-        b.iter(|| cbic_jpegls::encode_raw(&img, &cfg))
-    });
-    g.bench_function(BenchmarkId::new("slp", SIZE), |b| {
-        b.iter(|| cbic_slp::encode_raw(&img))
-    });
+    for codec in all_codecs() {
+        g.bench_function(BenchmarkId::new(codec.name(), SIZE), |b| {
+            b.iter(|| codec.compress(&img))
+        });
+    }
     g.finish();
 }
 
@@ -39,30 +31,49 @@ fn bench_decoders(c: &mut Criterion) {
     let img = cbic_bench::bench_image(SIZE);
     let pixels = img.pixel_count() as u64;
 
-    let core_cfg = cbic_core::CodecConfig::default();
-    let (core_bytes, _) = cbic_core::encode_raw(&img, &core_cfg);
-    let calic_cfg = cbic_calic::CalicConfig::default();
-    let (calic_bytes, _) = cbic_calic::encode_raw(&img, &calic_cfg);
-    let jpegls_cfg = cbic_jpegls::JpeglsConfig::default();
-    let (jpegls_bytes, _) = cbic_jpegls::encode_raw(&img, &jpegls_cfg);
-    let (slp_bytes, _) = cbic_slp::encode_raw(&img);
-
     let mut g = c.benchmark_group("decode");
     g.throughput(Throughput::Elements(pixels));
     g.sample_size(20);
 
-    g.bench_function(BenchmarkId::new("proposed", SIZE), |b| {
-        b.iter(|| cbic_core::decode_raw(&core_bytes, SIZE, SIZE, &core_cfg))
-    });
-    g.bench_function(BenchmarkId::new("calic", SIZE), |b| {
-        b.iter(|| cbic_calic::decode_raw(&calic_bytes, SIZE, SIZE, &calic_cfg))
-    });
-    g.bench_function(BenchmarkId::new("jpegls", SIZE), |b| {
-        b.iter(|| cbic_jpegls::decode_raw(&jpegls_bytes, SIZE, SIZE, &jpegls_cfg))
-    });
-    g.bench_function(BenchmarkId::new("slp", SIZE), |b| {
-        b.iter(|| cbic_slp::decode_raw(&slp_bytes, SIZE, SIZE))
-    });
+    for codec in all_codecs() {
+        let bytes = codec.compress(&img);
+        g.bench_function(BenchmarkId::new(codec.name(), SIZE), |b| {
+            b.iter(|| codec.decompress(&bytes).expect("own container"))
+        });
+    }
+    g.finish();
+}
+
+/// Section V's multi-core claim, measured: banded coding on 1 worker vs
+/// N workers. The bands are identical bits either way (asserted by the
+/// property tests), so the delta is pure scheduling.
+fn bench_tiled(c: &mut Criterion) {
+    let img = cbic_bench::bench_image(SIZE);
+    let pixels = img.pixel_count() as u64;
+    let cfg = cbic_core::CodecConfig::default();
+    let bands = 4;
+    let bytes = compress_tiled(&img, &cfg, bands, Parallelism::Auto);
+
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("(tiled: {hw} hardware thread(s) available; speedup requires >1)");
+
+    let mut g = c.benchmark_group("tiled");
+    g.throughput(Throughput::Elements(pixels));
+    g.sample_size(10);
+
+    for (label, par) in [
+        ("1thread", Parallelism::Sequential),
+        ("4threads", Parallelism::Threads(bands)),
+    ] {
+        g.bench_function(
+            BenchmarkId::new(format!("encode_{bands}band"), label),
+            |b| b.iter(|| compress_tiled(&img, &cfg, bands, par)),
+        );
+        g.bench_function(
+            BenchmarkId::new(format!("decode_{bands}band"), label),
+            |b| b.iter(|| decompress_tiled(&bytes, par).expect("valid container")),
+        );
+    }
     g.finish();
 }
 
@@ -95,5 +106,11 @@ fn bench_universal(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_encoders, bench_decoders, bench_universal);
+criterion_group!(
+    benches,
+    bench_encoders,
+    bench_decoders,
+    bench_tiled,
+    bench_universal
+);
 criterion_main!(benches);

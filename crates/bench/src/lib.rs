@@ -53,19 +53,27 @@ pub struct Table1Row {
     pub proposed: f64,
 }
 
-/// Encodes one image with all four Table 1 codecs.
+/// Encodes one image with every registered codec (`all_codecs`), returning
+/// `(name, payload bits/pixel)` pairs in registry order.
+pub fn measure_all(img: &Image) -> Vec<(&'static str, f64)> {
+    cbic_universal::codecs::all_codecs()
+        .iter()
+        .map(|codec| (codec.name(), codec.payload_bits_per_pixel(img)))
+        .collect()
+}
+
+/// Encodes one image with all four Table 1 codecs, in the paper's column
+/// order `(jpegls, slp, calic, proposed)`.
 pub fn measure_image(img: &Image) -> (f64, f64, f64, f64) {
-    let jp = cbic_jpegls::encode_raw(img, &cbic_jpegls::JpeglsConfig::default())
-        .1
-        .bits_per_pixel();
-    let slp = cbic_slp::encode_raw(img).1.bits_per_pixel();
-    let calic = cbic_calic::encode_raw(img, &cbic_calic::CalicConfig::default())
-        .1
-        .bits_per_pixel();
-    let prop = cbic_core::encode_raw(img, &CodecConfig::default())
-        .1
-        .bits_per_pixel();
-    (jp, slp, calic, prop)
+    let measured = measure_all(img);
+    let get = |name: &str| {
+        measured
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("codec {name} missing from registry"))
+            .1
+    };
+    (get("jpegls"), get("slp"), get("calic"), get("proposed"))
 }
 
 /// Measures Table 1 on the synthetic corpus at `size`×`size` (the paper
@@ -218,7 +226,10 @@ pub fn table2_report() -> String {
     );
 
     let _ = writeln!(out, "\n-- Throughput at the paper's 123 MHz clock --");
-    for (label, overlap) in [("conservative (9 dec/px)", false), ("overlapped escape (8 dec/px)", true)] {
+    for (label, overlap) in [
+        ("conservative (9 dec/px)", false),
+        ("overlapped escape (8 dec/px)", true),
+    ] {
         let cfg = PipelineConfig {
             overlap_escape: overlap,
             ..PipelineConfig::default()

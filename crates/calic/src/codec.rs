@@ -234,7 +234,11 @@ pub fn encode_raw(img: &Image, cfg: &CalicConfig) -> (Vec<u8>, EncodeStats) {
         for x in 0..width {
             let m = modeler.model(img, x, y);
             let wrapped = wrap_error(i32::from(img.get(x, y)) - m.x_tilde);
-            let coded = if m.flip { wrap_error(-wrapped) } else { wrapped };
+            let coded = if m.flip {
+                wrap_error(-wrapped)
+            } else {
+                wrapped
+            };
             coder.encode(&mut enc, m.qe, fold(coded));
             modeler.absorb(x, m.ctx, wrapped);
         }

@@ -105,7 +105,12 @@ pub fn decompress(bytes: &[u8]) -> Result<Image, CalicError> {
     if width.saturating_mul(height) > 1 << 28 {
         return Err(CalicError::InvalidHeader("image too large".into()));
     }
-    Ok(decode_raw(&bytes[12..], width, height, &CalicConfig::default()))
+    Ok(decode_raw(
+        &bytes[12..],
+        width,
+        height,
+        &CalicConfig::default(),
+    ))
 }
 
 /// CALIC as an [`cbic_image::ImageCodec`] trait object.
@@ -117,12 +122,20 @@ impl cbic_image::ImageCodec for Calic {
         "calic"
     }
 
+    fn magic(&self) -> Option<[u8; 4]> {
+        Some(*MAGIC)
+    }
+
     fn compress(&self, img: &Image) -> Vec<u8> {
         compress(img)
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Image, cbic_image::ImageError> {
         decompress(bytes).map_err(|e| cbic_image::ImageError::Codec(e.to_string()))
+    }
+
+    fn payload_bits_per_pixel(&self, img: &Image) -> f64 {
+        encode_raw(img, &CalicConfig::default()).1.bits_per_pixel()
     }
 }
 

@@ -30,7 +30,9 @@ use std::fmt;
 const MAGIC: &[u8; 4] = b"CBIC";
 const VERSION: u8 = 1;
 const CODEC_ID: u8 = 1;
-const HEADER_LEN: usize = 23;
+
+/// Size in bytes of the container header preceding the coded payload.
+pub const HEADER_LEN: usize = 23;
 
 /// Errors returned when parsing a container.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -210,12 +212,20 @@ impl ImageCodec for Proposed {
         "proposed"
     }
 
+    fn magic(&self) -> Option<[u8; 4]> {
+        Some(*MAGIC)
+    }
+
     fn compress(&self, img: &Image) -> Vec<u8> {
         compress(img, &self.0)
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Image, ImageError> {
         decompress(bytes).map_err(|e| ImageError::Codec(e.to_string()))
+    }
+
+    fn payload_bits_per_pixel(&self, img: &Image) -> f64 {
+        encode_raw(img, &self.0).1.bits_per_pixel()
     }
 }
 

@@ -116,8 +116,16 @@ impl LineBuffers {
         let n = if y >= 1 { n1[x] } else { w };
         let nn = if y >= 2 { n2[x] } else { n };
         let nw = if x >= 1 && y >= 1 { n1[x - 1] } else { n };
-        let ne = if x + 1 < width && y >= 1 { n1[x + 1] } else { n };
-        let nne = if x + 1 < width && y >= 2 { n2[x + 1] } else { ne };
+        let ne = if x + 1 < width && y >= 1 {
+            n1[x + 1]
+        } else {
+            n
+        };
+        let nne = if x + 1 < width && y >= 2 {
+            n2[x + 1]
+        } else {
+            ne
+        };
         Neighborhood {
             w,
             ww,

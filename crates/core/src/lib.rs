@@ -54,6 +54,7 @@ pub mod tiles;
 
 pub use codec::{decode_raw, encode_raw, CodecConfig, DivisionKind, EncodeStats};
 pub use container::{compress, decompress, CodecError, Proposed};
+pub use tiles::{Parallelism, Tiled};
 
 #[cfg(test)]
 mod proptests;

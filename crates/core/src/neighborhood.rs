@@ -194,10 +194,7 @@ mod tests {
         let mut b = img4();
         b.set(3, 2, 99);
         b.set(0, 3, 77);
-        assert_eq!(
-            Neighborhood::fetch(&a, 2, 2),
-            Neighborhood::fetch(&b, 2, 2)
-        );
+        assert_eq!(Neighborhood::fetch(&a, 2, 2), Neighborhood::fetch(&b, 2, 2));
     }
 
     #[test]

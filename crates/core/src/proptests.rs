@@ -113,11 +113,46 @@ proptest! {
     /// Tiled containers round-trip at every legal tile count.
     #[test]
     fn tiles_roundtrip(img in arb_image(), tiles in 1usize..8) {
+        use crate::tiles::{compress_tiled, decompress_tiled, Parallelism};
         let tiles = tiles.min(img.height());
-        let bytes = crate::tiles::compress_tiled(&img, &CodecConfig::default(), tiles);
+        let bytes = compress_tiled(&img, &CodecConfig::default(), tiles, Parallelism::Auto);
         prop_assert_eq!(
-            crate::tiles::decompress_tiled(&bytes).expect("valid container"),
+            decompress_tiled(&bytes, Parallelism::Auto).expect("valid container"),
             img
         );
+    }
+
+    /// Thread-parallel banded coding is byte-identical to the sequential
+    /// reference at the band counts the throughput benches exercise, and
+    /// the parallel decoder agrees with the sequential one.
+    #[test]
+    fn tiles_parallel_equals_sequential(
+        img in arb_image(),
+        tiles in (0usize..4).prop_map(|i| [1usize, 2, 4, 7][i]),
+        workers in 2usize..6,
+    ) {
+        use crate::tiles::{compress_tiled, decompress_tiled, Parallelism};
+        let cfg = CodecConfig::default();
+        let tiles = tiles.min(img.height());
+        let seq = compress_tiled(&img, &cfg, tiles, Parallelism::Sequential);
+        let par = compress_tiled(&img, &cfg, tiles, Parallelism::Threads(workers));
+        prop_assert_eq!(&par, &seq, "encode must not depend on the schedule");
+        let seq_img = decompress_tiled(&seq, Parallelism::Sequential).expect("valid");
+        let par_img = decompress_tiled(&seq, Parallelism::Threads(workers)).expect("valid");
+        prop_assert_eq!(&seq_img, &par_img);
+        prop_assert_eq!(&seq_img, &img);
+    }
+
+    /// A single-band tiled container is deterministic with respect to the
+    /// untiled decoder path: the outer `CBTI` framing is always rejected
+    /// (wrong magic), while the inner band — a standard container — always
+    /// decodes to the original image.
+    #[test]
+    fn single_band_tile_vs_untiled_decoder(img in arb_image()) {
+        use crate::tiles::{compress_tiled, Parallelism};
+        let bytes = compress_tiled(&img, &CodecConfig::default(), 1, Parallelism::Sequential);
+        prop_assert_eq!(decompress(&bytes), Err(crate::CodecError::BadMagic));
+        // CBTI magic (4) + tile count (4) + band length prefix (4).
+        prop_assert_eq!(decompress(&bytes[12..]).expect("inner container"), img);
     }
 }

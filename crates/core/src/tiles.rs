@@ -7,6 +7,12 @@
 //! (its own contexts, trees, and arithmetic coder), so `N` hardware cores —
 //! or `N` software threads — can run one band each with zero shared state.
 //!
+//! Both [`compress_tiled`] and [`decompress_tiled`] take a [`Parallelism`]
+//! knob selecting how many worker threads code the bands. Because every
+//! band is a self-contained stream, the schedule cannot change the bits:
+//! parallel output is byte-identical to the sequential reference, which the
+//! property tests in this crate assert.
+//!
 //! The price is model cold-start per band (every band re-learns its
 //! statistics), measured by the `tile_overhead` test below and by the
 //! throughput benches; the pipeline model in `cbic-hw` quantifies the
@@ -15,19 +21,85 @@
 //! # Examples
 //!
 //! ```
-//! use cbic_core::tiles::{compress_tiled, decompress_tiled};
+//! use cbic_core::tiles::{compress_tiled, decompress_tiled, Parallelism};
 //! use cbic_core::CodecConfig;
 //! use cbic_image::corpus::CorpusImage;
 //!
 //! let img = CorpusImage::Boat.generate(64, 64);
-//! let bytes = compress_tiled(&img, &CodecConfig::default(), 4);
-//! assert_eq!(decompress_tiled(&bytes)?, img);
+//! let bytes = compress_tiled(&img, &CodecConfig::default(), 4, Parallelism::Threads(4));
+//! assert_eq!(decompress_tiled(&bytes, Parallelism::Sequential)?, img);
 //! # Ok::<(), cbic_core::CodecError>(())
 //! ```
 
 use crate::codec::{decode_raw, encode_raw, CodecConfig, EncodeStats};
-use crate::container::{parse_header, CodecError};
-use cbic_image::Image;
+use crate::container::{parse_header, CodecError, HEADER_LEN};
+use cbic_image::{Image, ImageCodec, ImageError};
+
+/// How many worker threads code the bands of a tiled container.
+///
+/// The choice never changes the produced bytes — only the wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One band after another on the calling thread (the reference path).
+    #[default]
+    Sequential,
+    /// Up to this many worker threads via [`std::thread::scope`]. `0` and
+    /// `1` degrade to [`Parallelism::Sequential`].
+    Threads(usize),
+    /// One worker per available hardware thread
+    /// ([`std::thread::available_parallelism`]).
+    Auto,
+}
+
+impl Parallelism {
+    /// CLI helper: maps a `--threads N` value (`0`/`1` meaning "don't
+    /// spawn") onto the matching variant.
+    pub fn from_threads(n: usize) -> Self {
+        if n <= 1 {
+            Self::Sequential
+        } else {
+            Self::Threads(n)
+        }
+    }
+
+    /// Number of workers to spawn for `jobs` independent jobs.
+    fn workers(self, jobs: usize) -> usize {
+        let cap = match self {
+            Self::Sequential => 1,
+            Self::Threads(n) => n.max(1),
+            Self::Auto => std::thread::available_parallelism().map_or(1, usize::from),
+        };
+        cap.min(jobs.max(1))
+    }
+}
+
+/// Runs `job` over `inputs`/`outputs` pairs on `par`-many scoped threads.
+/// Output order matches input order regardless of the schedule.
+fn run_banded<I, O, F>(inputs: &[I], outputs: &mut [O], par: Parallelism, job: F)
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    debug_assert_eq!(inputs.len(), outputs.len());
+    let workers = par.workers(inputs.len());
+    if workers <= 1 {
+        for (input, out) in inputs.iter().zip(outputs.iter_mut()) {
+            *out = job(input);
+        }
+        return;
+    }
+    let chunk = inputs.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (ins, outs) in inputs.chunks(chunk).zip(outputs.chunks_mut(chunk)) {
+            scope.spawn(|| {
+                for (input, out) in ins.iter().zip(outs.iter_mut()) {
+                    *out = job(input);
+                }
+            });
+        }
+    });
+}
 
 /// Splits `img` into `tiles` horizontal bands of near-equal height
 /// (the first `height % tiles` bands get one extra row).
@@ -67,33 +139,74 @@ pub fn encode_bands(img: &Image, cfg: &CodecConfig, tiles: usize) -> Vec<(Vec<u8
 /// Magic for the tiled container.
 const TILE_MAGIC: &[u8; 4] = b"CBTI";
 
+/// Bytes a band contributes to a container at minimum: its `u32` length
+/// prefix plus a standard container header.
+const MIN_BAND_BYTES: usize = 4 + HEADER_LEN;
+
 /// Compresses with `tiles` independent bands into one container:
 /// `CBTI`, tile count (u32 LE), then per tile a length-prefixed standard
-/// container (which carries the config and band dimensions).
+/// container (which carries the config and band dimensions). Bands are
+/// encoded on `par` worker threads; the output does not depend on `par`.
 ///
 /// # Panics
 ///
 /// Panics if `tiles` is zero or exceeds the image height.
-pub fn compress_tiled(img: &Image, cfg: &CodecConfig, tiles: usize) -> Vec<u8> {
+pub fn compress_tiled(img: &Image, cfg: &CodecConfig, tiles: usize, par: Parallelism) -> Vec<u8> {
     let bands = split_bands(img, tiles);
-    let mut out = Vec::new();
+    let mut payloads: Vec<Vec<u8>> = vec![Vec::new(); bands.len()];
+    run_banded(&bands, &mut payloads, par, |band| {
+        crate::container::compress(band, cfg)
+    });
+    let body: usize = payloads.iter().map(|p| 4 + p.len()).sum();
+    let mut out = Vec::with_capacity(8 + body);
     out.extend_from_slice(TILE_MAGIC);
     out.extend_from_slice(&(tiles as u32).to_le_bytes());
-    for band in &bands {
-        let payload = crate::container::compress(band, cfg);
+    for payload in &payloads {
         out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        out.extend_from_slice(&payload);
+        out.extend_from_slice(payload);
     }
     out
 }
 
-/// Decompresses a tiled container, reassembling the bands.
+/// One parsed band: its configuration, dimensions, and coded body.
+type BandHeader<'a> = (CodecConfig, usize, usize, &'a [u8]);
+
+/// Checks that the band dimensions could have come from [`split_bands`]:
+/// equal widths, heights differing by at most one, taller bands first.
+fn validate_band_shapes(bands: &[BandHeader<'_>]) -> Result<(), CodecError> {
+    let width = bands[0].1;
+    let mut prev_height = usize::MAX;
+    let (mut min_h, mut max_h) = (usize::MAX, 0usize);
+    for &(_, w, h, _) in bands {
+        if w != width {
+            return Err(CodecError::InvalidHeader("inconsistent band widths".into()));
+        }
+        if h > prev_height {
+            return Err(CodecError::InvalidHeader(
+                "band heights must be non-increasing".into(),
+            ));
+        }
+        prev_height = h;
+        min_h = min_h.min(h);
+        max_h = max_h.max(h);
+    }
+    if max_h - min_h > 1 {
+        return Err(CodecError::InvalidHeader(format!(
+            "band heights {min_h}..{max_h} differ by more than one"
+        )));
+    }
+    Ok(())
+}
+
+/// Decompresses a tiled container, reassembling the bands. Bands are
+/// decoded on `par` worker threads; the result does not depend on `par`.
 ///
 /// # Errors
 ///
-/// Returns [`CodecError`] on malformed containers or inconsistent band
-/// widths.
-pub fn decompress_tiled(bytes: &[u8]) -> Result<Image, CodecError> {
+/// Returns [`CodecError`] on malformed containers, tile counts the encoder
+/// cannot produce, or band dimensions inconsistent with [`split_bands`]'s
+/// equal partition.
+pub fn decompress_tiled(bytes: &[u8], par: Parallelism) -> Result<Image, CodecError> {
     if bytes.len() < 8 {
         return Err(CodecError::Truncated);
     }
@@ -101,34 +214,44 @@ pub fn decompress_tiled(bytes: &[u8]) -> Result<Image, CodecError> {
         return Err(CodecError::BadMagic);
     }
     let tiles = u32::from_le_bytes(bytes[4..8].try_into().expect("sized")) as usize;
-    if tiles == 0 || tiles > 1 << 16 {
-        return Err(CodecError::InvalidHeader(format!("bad tile count {tiles}")));
+    // The encoder writes one band per tile, each at least MIN_BAND_BYTES
+    // long, so any larger count cannot have come from `compress_tiled` —
+    // reject it before allocating anything proportional to it.
+    if tiles == 0 || tiles > (bytes.len() - 8) / MIN_BAND_BYTES {
+        return Err(CodecError::InvalidHeader(format!(
+            "tile count {tiles} impossible for a {}-byte container",
+            bytes.len()
+        )));
     }
     let mut pos = 8usize;
-    let mut bands: Vec<Image> = Vec::with_capacity(tiles);
+    let mut bands: Vec<BandHeader<'_>> = Vec::with_capacity(tiles);
     for _ in 0..tiles {
         let len_bytes = bytes.get(pos..pos + 4).ok_or(CodecError::Truncated)?;
         let len = u32::from_le_bytes(len_bytes.try_into().expect("sized")) as usize;
         pos += 4;
         let payload = bytes.get(pos..pos + len).ok_or(CodecError::Truncated)?;
         pos += len;
-        // Each band is a full standard container; decode independently
-        // (this is the step N cores would run concurrently).
-        let (cfg, w, h, body) = parse_header(payload)?;
-        if let Some(first) = bands.first() {
-            if first.width() != w {
-                return Err(CodecError::InvalidHeader(
-                    "inconsistent band widths".into(),
-                ));
-            }
-        }
-        bands.push(decode_raw(body, w, h, &cfg));
+        bands.push(parse_header(payload)?);
     }
-    let width = bands[0].width();
-    let height: usize = bands.iter().map(Image::height).sum();
+    if pos != bytes.len() {
+        return Err(CodecError::InvalidHeader(format!(
+            "{} trailing bytes after {tiles} bands",
+            bytes.len() - pos
+        )));
+    }
+    validate_band_shapes(&bands)?;
+
+    // Decoding each band is the step N cores would run concurrently.
+    let mut decoded: Vec<Image> = vec![Image::new(1, 1); bands.len()];
+    run_banded(&bands, &mut decoded, par, |(cfg, w, h, body)| {
+        decode_raw(body, *w, *h, cfg)
+    });
+
+    let width = bands[0].1;
+    let height: usize = bands.iter().map(|b| b.2).sum();
     let mut out = Image::new(width, height);
     let mut y0 = 0usize;
-    for band in &bands {
+    for band in &decoded {
         for y in 0..band.height() {
             for x in 0..width {
                 out.set(x, y0 + y, band.get(x, y));
@@ -137,6 +260,59 @@ pub fn decompress_tiled(bytes: &[u8]) -> Result<Image, CodecError> {
         y0 += band.height();
     }
     Ok(out)
+}
+
+/// The tiled multi-core variant as an [`ImageCodec`] trait object, so the
+/// registry can auto-detect and decode `CBTI` containers like any other.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_core::tiles::{Parallelism, Tiled};
+/// use cbic_image::{Image, ImageCodec};
+///
+/// let codec = Tiled::default();
+/// let img = Image::from_fn(32, 32, |x, y| (x * 3 + y) as u8);
+/// assert_eq!(codec.decompress(&codec.compress(&img)).unwrap(), img);
+/// assert_eq!(codec.name(), "tiled");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Tiled {
+    /// Configuration shared by every band's codec instance.
+    pub cfg: CodecConfig,
+    /// Number of horizontal bands (clamped to the image height).
+    pub tiles: usize,
+    /// Worker threads for banded coding.
+    pub parallelism: Parallelism,
+}
+
+impl Default for Tiled {
+    fn default() -> Self {
+        Self {
+            cfg: CodecConfig::default(),
+            tiles: 4,
+            parallelism: Parallelism::Auto,
+        }
+    }
+}
+
+impl ImageCodec for Tiled {
+    fn name(&self) -> &'static str {
+        "tiled"
+    }
+
+    fn magic(&self) -> Option<[u8; 4]> {
+        Some(*TILE_MAGIC)
+    }
+
+    fn compress(&self, img: &Image) -> Vec<u8> {
+        let tiles = self.tiles.clamp(1, img.height());
+        compress_tiled(img, &self.cfg, tiles, self.parallelism)
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<Image, ImageError> {
+        decompress_tiled(bytes, self.parallelism).map_err(|e| ImageError::Codec(e.to_string()))
+    }
 }
 
 #[cfg(test)]
@@ -162,8 +338,37 @@ mod tests {
     fn tiled_roundtrip_various_counts() {
         let img = CorpusImage::Goldhill.generate(48, 48);
         for tiles in [1, 2, 3, 4, 6, 48] {
-            let bytes = compress_tiled(&img, &CodecConfig::default(), tiles);
-            assert_eq!(decompress_tiled(&bytes).unwrap(), img, "{tiles} tiles");
+            let bytes = compress_tiled(&img, &CodecConfig::default(), tiles, Parallelism::Auto);
+            assert_eq!(
+                decompress_tiled(&bytes, Parallelism::Auto).unwrap(),
+                img,
+                "{tiles} tiles"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_to_sequential() {
+        let img = CorpusImage::Barb.generate(40, 53);
+        let cfg = CodecConfig::default();
+        for tiles in [1, 2, 4, 7] {
+            let seq = compress_tiled(&img, &cfg, tiles, Parallelism::Sequential);
+            for par in [
+                Parallelism::Threads(2),
+                Parallelism::Threads(4),
+                Parallelism::Threads(16),
+                Parallelism::Auto,
+            ] {
+                assert_eq!(
+                    compress_tiled(&img, &cfg, tiles, par),
+                    seq,
+                    "{tiles} tiles, {par:?}"
+                );
+            }
+            assert_eq!(
+                decompress_tiled(&seq, Parallelism::Threads(3)).unwrap(),
+                img
+            );
         }
     }
 
@@ -171,7 +376,7 @@ mod tests {
     fn one_tile_equals_untiled_payload() {
         let img = CorpusImage::Zelda.generate(40, 40);
         let cfg = CodecConfig::default();
-        let tiled = compress_tiled(&img, &cfg, 1);
+        let tiled = compress_tiled(&img, &cfg, 1, Parallelism::Sequential);
         let plain = crate::container::compress(&img, &cfg);
         // CBTI magic + count + length prefix, then the identical container.
         assert_eq!(&tiled[12..], &plain[..]);
@@ -185,8 +390,8 @@ mod tests {
         let cfg = CodecConfig::default();
         let overhead = |size: usize| -> f64 {
             let img = CorpusImage::Barb.generate(size, size);
-            let one = compress_tiled(&img, &cfg, 1).len();
-            let four = compress_tiled(&img, &cfg, 4).len();
+            let one = compress_tiled(&img, &cfg, 1, Parallelism::Auto).len();
+            let four = compress_tiled(&img, &cfg, 4, Parallelism::Auto).len();
             assert!(four >= one, "tiling cannot help compression");
             (four - one) as f64 / one as f64
         };
@@ -202,20 +407,98 @@ mod tests {
     #[test]
     fn rejects_corrupt_tiled_containers() {
         let img = CorpusImage::Boat.generate(24, 24);
-        let bytes = compress_tiled(&img, &CodecConfig::default(), 2);
-        assert_eq!(decompress_tiled(&bytes[..3]), Err(CodecError::Truncated));
+        let bytes = compress_tiled(&img, &CodecConfig::default(), 2, Parallelism::Sequential);
+        let dec = |b: &[u8]| decompress_tiled(b, Parallelism::Sequential);
+        assert_eq!(dec(&bytes[..3]), Err(CodecError::Truncated));
         let mut bad = bytes.clone();
         bad[0] = b'X';
-        assert_eq!(decompress_tiled(&bad), Err(CodecError::BadMagic));
+        assert_eq!(dec(&bad), Err(CodecError::BadMagic));
         let mut short = bytes.clone();
         short.truncate(bytes.len() - 5);
-        assert!(decompress_tiled(&short).is_err());
+        assert!(dec(&short).is_err());
+    }
+
+    #[test]
+    fn rejects_impossible_tile_counts() {
+        let img = CorpusImage::Boat.generate(24, 24);
+        let mut bytes = compress_tiled(&img, &CodecConfig::default(), 2, Parallelism::Sequential);
+        // A count understating the band data errors (extra bytes), one
+        // slightly overstating it errors (truncated third band)...
+        for count in [1u32, 3] {
+            bytes[4..8].copy_from_slice(&count.to_le_bytes());
+            assert!(
+                decompress_tiled(&bytes, Parallelism::Sequential).is_err(),
+                "count {count}"
+            );
+        }
+        // ...and counts the encoder can never fit into this container
+        // length are rejected up front, before any allocation sized by
+        // them (the seed accepted anything below 2^16).
+        for count in [100u32, 65_535, 70_000, u32::MAX] {
+            bytes[4..8].copy_from_slice(&count.to_le_bytes());
+            assert!(
+                matches!(
+                    decompress_tiled(&bytes, Parallelism::Sequential),
+                    Err(CodecError::InvalidHeader(_))
+                ),
+                "count {count}"
+            );
+        }
+        bytes[4..8].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decompress_tiled(&bytes, Parallelism::Sequential),
+            Err(CodecError::InvalidHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_band_shapes_split_bands_cannot_produce() {
+        let cfg = CodecConfig::default();
+        let frame = |bands: &[Image]| -> Vec<u8> {
+            let mut out = Vec::new();
+            out.extend_from_slice(TILE_MAGIC);
+            out.extend_from_slice(&(bands.len() as u32).to_le_bytes());
+            for band in bands {
+                let payload = crate::container::compress(band, &cfg);
+                out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                out.extend_from_slice(&payload);
+            }
+            out
+        };
+        let band = |w: usize, h: usize| Image::from_fn(w, h, |x, y| (x + y) as u8);
+
+        // Heights 3 and 1 differ by two — an equal partition never does.
+        let bad_heights = frame(&[band(16, 3), band(16, 1)]);
+        assert!(matches!(
+            decompress_tiled(&bad_heights, Parallelism::Sequential),
+            Err(CodecError::InvalidHeader(_))
+        ));
+        // The short band must come last, as split_bands emits it.
+        let bad_order = frame(&[band(16, 2), band(16, 3)]);
+        assert!(matches!(
+            decompress_tiled(&bad_order, Parallelism::Sequential),
+            Err(CodecError::InvalidHeader(_))
+        ));
+        // Mismatched widths never come from one image.
+        let bad_widths = frame(&[band(16, 2), band(8, 2)]);
+        assert!(matches!(
+            decompress_tiled(&bad_widths, Parallelism::Sequential),
+            Err(CodecError::InvalidHeader(_))
+        ));
+        // The legal shape still decodes.
+        let good = frame(&[band(16, 3), band(16, 2)]);
+        assert_eq!(
+            decompress_tiled(&good, Parallelism::Sequential)
+                .unwrap()
+                .dimensions(),
+            (16, 5)
+        );
     }
 
     #[test]
     #[should_panic(expected = "outside")]
     fn zero_tiles_panics() {
         let img = CorpusImage::Boat.generate(16, 16);
-        let _ = compress_tiled(&img, &CodecConfig::default(), 0);
+        let _ = compress_tiled(&img, &CodecConfig::default(), 0, Parallelism::Sequential);
     }
 }

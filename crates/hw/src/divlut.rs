@@ -240,7 +240,10 @@ mod tests {
         let lut = DivLut::new();
         for a in 0..=1023 {
             let got = lut.div(a, 1);
-            assert!((got - a).abs() <= i32::from(a > 127) * (a / 64 + 1), "{a} -> {got}");
+            assert!(
+                (got - a).abs() <= i32::from(a > 127) * (a / 64 + 1),
+                "{a} -> {got}"
+            );
         }
     }
 }

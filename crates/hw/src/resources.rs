@@ -254,14 +254,22 @@ pub fn modeling_module() -> Module {
             3,
         )
         .add("pipeline registers", Primitive::Register(24), 9)
-        .add("line buffers (3 x 512 x 8)", Primitive::Ram { bits: 3 * 512 * 8 }, 1)
+        .add(
+            "line buffers (3 x 512 x 8)",
+            Primitive::Ram { bits: 3 * 512 * 8 },
+            1,
+        )
         .add(
             "context store (512 x 19)",
             Primitive::Ram { bits: 512 * 19 },
             1,
         )
         .add("division ROM (1 KB)", Primitive::Rom { bits: 8192 }, 1)
-        .add("two-line sequencing & stall control", Primitive::Control { luts: 360 }, 1)
+        .add(
+            "two-line sequencing & stall control",
+            Primitive::Control { luts: 360 },
+            1,
+        )
         .with_iobs(31); // 8 pixel in + 9 error out + 3 QE + clk/rst/valid/ready...
     m
 }
@@ -298,9 +306,7 @@ pub fn probability_estimator_module() -> Module {
         .add("pipeline registers", Primitive::Register(16), 4)
         .add(
             "tree memory (9 x 255 x 14)",
-            Primitive::Ram {
-                bits: 9 * 255 * 14,
-            },
+            Primitive::Ram { bits: 9 * 255 * 14 },
             1,
         )
         .add("descent/update FSM", Primitive::Control { luts: 220 }, 1)
@@ -323,7 +329,11 @@ pub fn arithmetic_coder_module() -> Module {
         Primitive::Multiplier { a: 16, b: 16 },
         1,
     )
-    .add("reciprocal ROM (64K x 16 folded)", Primitive::Rom { bits: 16 * 1024 }, 1)
+    .add(
+        "reciprocal ROM (64K x 16 folded)",
+        Primitive::Rom { bits: 16 * 1024 },
+        1,
+    )
     .add("low/high/split adders", Primitive::Adder(32), 4)
     .add("interval comparators", Primitive::Comparator(32), 3)
     .add(
@@ -335,11 +345,7 @@ pub fn arithmetic_coder_module() -> Module {
         2,
     )
     .add("follow-bit counter", Primitive::Counter(16), 1)
-    .add(
-        "interval registers",
-        Primitive::Register(32),
-        4,
-    )
+    .add("interval registers", Primitive::Register(32), 4)
     .add(
         "bit staging / byte packer",
         Primitive::Mux {

@@ -49,9 +49,17 @@ use crate::{Image, ImageError};
 /// assert_eq!(codec.bits_per_pixel(&img), 12.0); // 8 header bytes on 16 px
 /// # Ok::<(), ImageError>(())
 /// ```
-pub trait ImageCodec {
+pub trait ImageCodec: Send + Sync {
     /// Short identifier (Table 1 column name).
     fn name(&self) -> &'static str;
+
+    /// The 4-byte container magic, when the codec's output is
+    /// self-describing. Codecs that return `Some` participate in
+    /// magic-byte auto-detection through
+    /// [`CodecRegistry::detect`](crate::registry::CodecRegistry::detect).
+    fn magic(&self) -> Option<[u8; 4]> {
+        None
+    }
 
     /// Compresses an image into a self-describing byte container.
     fn compress(&self, img: &Image) -> Vec<u8>;
@@ -66,5 +74,13 @@ pub trait ImageCodec {
     /// Convenience: compressed size in bits per pixel for `img`.
     fn bits_per_pixel(&self, img: &Image) -> f64 {
         self.compress(img).len() as f64 * 8.0 / img.pixel_count() as f64
+    }
+
+    /// Bits per pixel of the entropy-coded payload alone, excluding
+    /// container framing — the quantity the paper's Table 1 reports.
+    /// Codecs with cheap raw-encode paths override this; the default
+    /// falls back to the full container size.
+    fn payload_bits_per_pixel(&self, img: &Image) -> f64 {
+        self.bits_per_pixel(img)
     }
 }

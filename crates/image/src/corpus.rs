@@ -210,8 +210,7 @@ fn goldhill(seed: u64, x: f64, y: f64, u: f64, v: f64, w: f64, h: f64) -> f64 {
             let cy = 0.52 + f64::from(gy) * 0.11 + jy;
             let bw = 0.045;
             let bh = 0.035;
-            let tone =
-                40.0 * value_noise(seed + 17, f64::from(gx) * 7.0, f64::from(gy) * 5.0, 1.0);
+            let tone = 40.0 * value_noise(seed + 17, f64::from(gx) * 7.0, f64::from(gy) * 5.0, 1.0);
             let m = soft_rect(u, v, cx - bw, cy - bh, cx + bw, cy + bh, 0.004);
             val = val * (1.0 - m) + (95.0 + tone) * m;
             // Roof line: brighter strip on top of each block.
@@ -253,11 +252,10 @@ fn mandrill(seed: u64, x: f64, y: f64, u: f64, v: f64, _w: f64) -> f64 {
     let fur_fine = 30.0 * fbm(seed + 1, x, y, 2.0, 2, 0.7);
     let fur_mid = 18.0 * fbm(seed + 2, x, y, 6.0, 3, 0.6);
     // Bright muzzle flanks.
-    let muzzle = 35.0 * (soft_disk(u, v, 0.38, 0.55, 0.13, 0.06)
-        + soft_disk(u, v, 0.66, 0.55, 0.13, 0.06));
+    let muzzle =
+        35.0 * (soft_disk(u, v, 0.38, 0.55, 0.13, 0.06) + soft_disk(u, v, 0.66, 0.55, 0.13, 0.06));
     // Directional whiskers.
-    let whiskers = 10.0 * stripes(x, y, 0.25, 0.027, 1.0)
-        * soft_disk(u, v, 0.52, 0.75, 0.22, 0.08);
+    let whiskers = 10.0 * stripes(x, y, 0.25, 0.027, 1.0) * soft_disk(u, v, 0.52, 0.75, 0.22, 0.08);
     base + fur_fine + fur_mid + muzzle + whiskers
 }
 
@@ -311,13 +309,22 @@ mod tests {
     #[test]
     fn mandrill_is_hardest_zelda_easiest() {
         let imgs = generate(128);
-        let ge: Vec<(CorpusImage, f64)> =
-            imgs.iter().map(|(c, i)| (*c, i.gradient_entropy())).collect();
-        let mandrill = ge.iter().find(|(c, _)| *c == CorpusImage::Mandrill).unwrap().1;
+        let ge: Vec<(CorpusImage, f64)> = imgs
+            .iter()
+            .map(|(c, i)| (*c, i.gradient_entropy()))
+            .collect();
+        let mandrill = ge
+            .iter()
+            .find(|(c, _)| *c == CorpusImage::Mandrill)
+            .unwrap()
+            .1;
         let zelda = ge.iter().find(|(c, _)| *c == CorpusImage::Zelda).unwrap().1;
         for (c, g) in &ge {
             if *c != CorpusImage::Mandrill {
-                assert!(*g < mandrill, "{c:?} ({g}) not easier than mandrill ({mandrill})");
+                assert!(
+                    *g < mandrill,
+                    "{c:?} ({g}) not easier than mandrill ({mandrill})"
+                );
             }
             if *c != CorpusImage::Zelda {
                 assert!(*g > zelda, "{c:?} ({g}) not harder than zelda ({zelda})");

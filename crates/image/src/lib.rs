@@ -28,7 +28,9 @@ mod codec_trait;
 pub mod corpus;
 mod image;
 pub mod pgm;
+pub mod registry;
 pub mod synth;
 
 pub use codec_trait::ImageCodec;
 pub use image::{Image, ImageError};
+pub use registry::CodecRegistry;

@@ -1,0 +1,178 @@
+//! A registry of [`ImageCodec`] implementations with name lookup and
+//! magic-byte auto-detection.
+//!
+//! Tools that work over *every* codec — the CLI, the Table 1 benchmark
+//! harness, the universal multiplexer's image front end — are written once
+//! against this registry instead of hard-coding one `match` arm per codec.
+//! Adding a codec to the workspace then means implementing [`ImageCodec`]
+//! and registering it in one place (`cbic_universal::codecs::all_codecs`),
+//! not editing every front end.
+
+use crate::{Image, ImageCodec, ImageError};
+
+/// An ordered collection of codecs, addressable by name or container magic.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_image::registry::CodecRegistry;
+/// use cbic_image::{Image, ImageCodec, ImageError};
+///
+/// struct Stored;
+/// impl ImageCodec for Stored {
+///     fn name(&self) -> &'static str { "stored" }
+///     fn magic(&self) -> Option<[u8; 4]> { Some(*b"STOR") }
+///     fn compress(&self, img: &Image) -> Vec<u8> {
+///         let mut out = b"STOR".to_vec();
+///         out.extend_from_slice(&(img.width() as u32).to_le_bytes());
+///         out.extend_from_slice(&(img.height() as u32).to_le_bytes());
+///         out.extend_from_slice(img.pixels());
+///         out
+///     }
+///     fn decompress(&self, bytes: &[u8]) -> Result<Image, ImageError> {
+///         let dims = bytes.get(4..12).ok_or(ImageError::Io("truncated".into()))?;
+///         let w = u32::from_le_bytes(dims[0..4].try_into().unwrap()) as usize;
+///         let h = u32::from_le_bytes(dims[4..8].try_into().unwrap()) as usize;
+///         Image::from_vec(w, h, bytes[12..].to_vec())
+///     }
+/// }
+///
+/// let mut registry = CodecRegistry::new();
+/// registry.register(Box::new(Stored));
+/// let img = Image::from_fn(8, 8, |x, y| (x ^ y) as u8);
+/// let bytes = registry.by_name("stored").unwrap().compress(&img);
+/// assert_eq!(registry.detect(&bytes).unwrap().name(), "stored");
+/// assert_eq!(registry.decompress_auto(&bytes)?, img);
+/// # Ok::<(), ImageError>(())
+/// ```
+#[derive(Default)]
+pub struct CodecRegistry {
+    entries: Vec<Box<dyn ImageCodec>>,
+}
+
+impl CodecRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a codec. Later registrations win neither name nor magic
+    /// lookups — the first match is returned — so register the canonical
+    /// codec for a magic first.
+    pub fn register(&mut self, codec: Box<dyn ImageCodec>) {
+        self.entries.push(codec);
+    }
+
+    /// All registered codecs, in registration order.
+    pub fn codecs(&self) -> impl Iterator<Item = &dyn ImageCodec> {
+        self.entries.iter().map(AsRef::as_ref)
+    }
+
+    /// Number of registered codecs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry holds no codecs.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The registered codec names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.codecs().map(ImageCodec::name).collect()
+    }
+
+    /// Looks a codec up by its [`ImageCodec::name`].
+    pub fn by_name(&self, name: &str) -> Option<&dyn ImageCodec> {
+        self.codecs().find(|c| c.name() == name)
+    }
+
+    /// Identifies which codec produced `bytes` from its container magic.
+    pub fn detect(&self, bytes: &[u8]) -> Option<&dyn ImageCodec> {
+        let magic: [u8; 4] = bytes.get(..4)?.try_into().ok()?;
+        self.codecs().find(|c| c.magic() == Some(magic))
+    }
+
+    /// Auto-detects the producing codec and decompresses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::Codec`] when no registered codec claims the
+    /// container's magic, or the detected codec's error when decoding
+    /// fails.
+    pub fn decompress_auto(&self, bytes: &[u8]) -> Result<Image, ImageError> {
+        match self.detect(bytes) {
+            Some(codec) => codec.decompress(bytes),
+            None => Err(ImageError::Codec(format!(
+                "unrecognized container magic {:?} (registered: {})",
+                bytes.get(..4).unwrap_or_default(),
+                self.names().join(", ")
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Debug for CodecRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CodecRegistry")
+            .field("codecs", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake(&'static str, [u8; 4]);
+
+    impl ImageCodec for Fake {
+        fn name(&self) -> &'static str {
+            self.0
+        }
+        fn magic(&self) -> Option<[u8; 4]> {
+            Some(self.1)
+        }
+        fn compress(&self, _img: &Image) -> Vec<u8> {
+            self.1.to_vec()
+        }
+        fn decompress(&self, _bytes: &[u8]) -> Result<Image, ImageError> {
+            Ok(Image::from_fn(1, 1, |_, _| 0))
+        }
+    }
+
+    fn sample() -> CodecRegistry {
+        let mut r = CodecRegistry::new();
+        r.register(Box::new(Fake("aaaa", *b"AAAA")));
+        r.register(Box::new(Fake("bbbb", *b"BBBB")));
+        r
+    }
+
+    #[test]
+    fn name_lookup_and_listing() {
+        let r = sample();
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.names(), vec!["aaaa", "bbbb"]);
+        assert_eq!(r.by_name("bbbb").unwrap().name(), "bbbb");
+        assert!(r.by_name("cccc").is_none());
+    }
+
+    #[test]
+    fn detection_by_magic() {
+        let r = sample();
+        assert_eq!(r.detect(b"BBBBxyz").unwrap().name(), "bbbb");
+        assert!(r.detect(b"ZZZZ").is_none());
+        assert!(r.detect(b"AB").is_none());
+        assert!(r.detect(b"").is_none());
+    }
+
+    #[test]
+    fn auto_decompress_reports_unknown_magic() {
+        let r = sample();
+        let err = r.decompress_auto(b"ZZZZ....").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("aaaa") && msg.contains("bbbb"), "{msg}");
+    }
+}

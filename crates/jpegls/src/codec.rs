@@ -453,8 +453,8 @@ pub fn decode_raw(bytes: &[u8], width: usize, height: usize, cfg: &JpeglsConfig)
                 let flip = ritype == 0 && ra > rb;
                 let sign = if flip { -1 } else { 1 };
                 let k = st.interruption_k(ritype);
-                let emerr = decode_limited(&mut r, k, st.limit - J[st.run_index] - 1, st.qbpp)
-                    .unwrap_or(0);
+                let emerr =
+                    decode_limited(&mut r, k, st.limit - J[st.run_index] - 1, st.qbpp).unwrap_or(0);
                 // Invert the A.7.2.2 mapping: parity of emerr + RItype
                 // recovers `map`, the predicate recovers the sign.
                 let tmp = emerr as i32 + ritype as i32;

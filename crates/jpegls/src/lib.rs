@@ -102,12 +102,20 @@ impl cbic_image::ImageCodec for Jpegls {
         "jpegls"
     }
 
+    fn magic(&self) -> Option<[u8; 4]> {
+        Some(*MAGIC)
+    }
+
     fn compress(&self, img: &Image) -> Vec<u8> {
         compress(img, &JpeglsConfig::default())
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Image, cbic_image::ImageError> {
         decompress(bytes).map_err(|e| cbic_image::ImageError::Codec(e.to_string()))
+    }
+
+    fn payload_bits_per_pixel(&self, img: &Image) -> f64 {
+        encode_raw(img, &JpeglsConfig::default()).1.bits_per_pixel()
     }
 }
 
@@ -126,10 +134,7 @@ mod container_tests {
     #[test]
     fn container_rejects_garbage() {
         assert_eq!(decompress(b"nope"), Err(JpeglsError::Truncated));
-        assert_eq!(
-            decompress(b"XXXX0000000000000"),
-            Err(JpeglsError::BadMagic)
-        );
+        assert_eq!(decompress(b"XXXX0000000000000"), Err(JpeglsError::BadMagic));
     }
 
     #[test]

@@ -247,8 +247,7 @@ mod tests {
     #[test]
     fn limited_mixed_stream_roundtrip() {
         let (limit, qbpp) = (32u32, 8u32);
-        let values: Vec<(u32, u32)> =
-            (0..300u32).map(|i| ((i * 13) % 256, i % 5)).collect();
+        let values: Vec<(u32, u32)> = (0..300u32).map(|i| ((i * 13) % 256, i % 5)).collect();
         let mut w = BitWriter::new();
         for &(v, k) in &values {
             encode_limited(&mut w, v, k, limit, qbpp);

@@ -122,8 +122,16 @@ fn predict(img: &Image, x: usize, y: usize) -> (usize, i32, usize) {
     } else {
         w
     };
-    let n = if y >= 1 { i32::from(img.get(x, y - 1)) } else { w };
-    let nn = if y >= 2 { i32::from(img.get(x, y - 2)) } else { n };
+    let n = if y >= 1 {
+        i32::from(img.get(x, y - 1))
+    } else {
+        w
+    };
+    let nn = if y >= 2 {
+        i32::from(img.get(x, y - 2))
+    } else {
+        n
+    };
     let nw = if x >= 1 && y >= 1 {
         i32::from(img.get(x - 1, y - 1))
     } else {
@@ -303,12 +311,20 @@ impl cbic_image::ImageCodec for Slp {
         "slp"
     }
 
+    fn magic(&self) -> Option<[u8; 4]> {
+        Some(*MAGIC)
+    }
+
     fn compress(&self, img: &Image) -> Vec<u8> {
         compress(img)
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<Image, cbic_image::ImageError> {
         decompress(bytes).map_err(|e| cbic_image::ImageError::Codec(e.to_string()))
+    }
+
+    fn payload_bits_per_pixel(&self, img: &Image) -> f64 {
+        encode_raw(img).1.bits_per_pixel()
     }
 }
 

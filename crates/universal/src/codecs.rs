@@ -1,0 +1,89 @@
+//! The workspace codec registry: every [`ImageCodec`] the universal system
+//! can reconfigure its image front end to.
+//!
+//! This is the single place a new codec is registered. The CLI, the
+//! Table 1 benchmark harness, and the chunk multiplexer in [`dispatch`]
+//! (crate::dispatch) all enumerate codecs from here instead of hard-coding
+//! per-codec `match` arms.
+
+use cbic_core::tiles::{Parallelism, Tiled};
+use cbic_image::{CodecRegistry, ImageCodec};
+
+/// The four Table 1 codecs — the paper's scheme and its three baselines —
+/// in the paper's column order.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_universal::codecs::all_codecs;
+/// use cbic_image::corpus::CorpusImage;
+///
+/// let img = CorpusImage::Lena.generate(32, 32);
+/// for codec in all_codecs() {
+///     let bytes = codec.compress(&img);
+///     assert_eq!(codec.decompress(&bytes).unwrap(), img, "{}", codec.name());
+/// }
+/// ```
+pub fn all_codecs() -> Vec<Box<dyn ImageCodec>> {
+    vec![
+        Box::new(cbic_jpegls::Jpegls),
+        Box::new(cbic_slp::Slp),
+        Box::new(cbic_calic::Calic),
+        Box::new(cbic_core::Proposed::default()),
+    ]
+}
+
+/// A registry of every decodable container format: the four Table 1
+/// codecs plus the tiled multi-core variant, with `par` workers driving
+/// banded coding.
+pub fn registry_with(par: Parallelism) -> CodecRegistry {
+    let mut registry = CodecRegistry::new();
+    for codec in all_codecs() {
+        registry.register(codec);
+    }
+    registry.register(Box::new(Tiled {
+        parallelism: par,
+        ..Tiled::default()
+    }));
+    registry
+}
+
+/// [`registry_with`] at [`Parallelism::Auto`] — the default decode path.
+pub fn default_registry() -> CodecRegistry {
+    registry_with(Parallelism::Auto)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbic_image::corpus::CorpusImage;
+
+    #[test]
+    fn table1_codecs_are_all_registered() {
+        let names: Vec<_> = all_codecs().iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["jpegls", "slp", "calic", "proposed"]);
+    }
+
+    #[test]
+    fn registry_detects_every_container_format() {
+        let registry = default_registry();
+        assert_eq!(registry.len(), 5);
+        let img = CorpusImage::Peppers.generate(24, 24);
+        for codec in registry.codecs() {
+            let bytes = codec.compress(&img);
+            let detected = registry.detect(&bytes).expect("magic registered");
+            assert_eq!(detected.name(), codec.name());
+            assert_eq!(registry.decompress_auto(&bytes).unwrap(), img);
+        }
+    }
+
+    #[test]
+    fn magics_are_unique() {
+        let registry = default_registry();
+        let mut seen = std::collections::HashSet::new();
+        for codec in registry.codecs() {
+            let magic = codec.magic().expect("all workspace codecs have magics");
+            assert!(seen.insert(magic), "duplicate magic {magic:?}");
+        }
+    }
+}

@@ -11,8 +11,9 @@
 use crate::data::{DataModel, DataStats};
 use crate::video::{decode_frames, encode_frames, VideoConfig, VideoStats};
 use crate::UniversalError;
-use cbic_core::CodecConfig;
-use cbic_image::Image;
+use cbic_image::{Image, ImageCodec};
+use std::fmt;
+use std::sync::Arc;
 
 /// One unit of the multiplexed input stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,13 +31,21 @@ pub enum Chunk {
 pub enum ChunkReport {
     /// Handled by the data model.
     Data(DataStats),
-    /// Handled by the image codec (payload bits).
+    /// Handled by the image codec (stored container bits).
     Image(u64),
     /// Handled by the video model.
     Video(VideoStats),
 }
 
 /// The universal codec: one configuration per front end.
+///
+/// The image front end is any [`ImageCodec`] trait object — the paper's
+/// "dynamic modeling reconfiguration" taken to its conclusion: the
+/// multiplexer does not know which image codec it drives. Image chunks
+/// store the codec's self-describing container, and the decoder routes
+/// each one through the workspace registry
+/// ([`crate::codecs::default_registry`]) by container magic, so a stream
+/// may even mix image codecs.
 ///
 /// # Examples
 ///
@@ -49,18 +58,38 @@ pub enum ChunkReport {
 /// assert_eq!(codec.decode(&bytes)?, chunks);
 /// # Ok::<(), cbic_universal::UniversalError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Clone)]
 pub struct UniversalCodec {
     /// General-data front end.
     pub data_model: DataModel,
-    /// Still-image front end (the paper's codec).
-    pub image_config: CodecConfig,
+    /// Still-image front end (defaults to the paper's codec).
+    pub image_codec: Arc<dyn ImageCodec>,
     /// Video front end.
     pub video_config: VideoConfig,
 }
 
+impl Default for UniversalCodec {
+    fn default() -> Self {
+        Self {
+            data_model: DataModel::default(),
+            image_codec: Arc::new(cbic_core::Proposed::default()),
+            video_config: VideoConfig::default(),
+        }
+    }
+}
+
+impl fmt::Debug for UniversalCodec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UniversalCodec")
+            .field("data_model", &self.data_model)
+            .field("image_codec", &self.image_codec.name())
+            .field("video_config", &self.video_config)
+            .finish()
+    }
+}
+
 const MAGIC: &[u8; 4] = b"CBUN";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
 
 const TAG_DATA: u8 = 0;
 const TAG_IMAGE: u8 = 1;
@@ -92,13 +121,11 @@ impl UniversalCodec {
                     reports.push(ChunkReport::Data(stats));
                 }
                 Chunk::Image(img) => {
-                    let (payload, stats) = cbic_core::encode_raw(img, &self.image_config);
+                    let payload = self.image_codec.compress(img);
                     out.push(TAG_IMAGE);
-                    out.extend_from_slice(&(img.width() as u32).to_le_bytes());
-                    out.extend_from_slice(&(img.height() as u32).to_le_bytes());
                     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
                     out.extend_from_slice(&payload);
-                    reports.push(ChunkReport::Image(stats.payload_bits));
+                    reports.push(ChunkReport::Image(payload.len() as u64 * 8));
                 }
                 Chunk::Video(frames) => {
                     let (payload, stats) = encode_frames(frames, &self.video_config);
@@ -116,18 +143,18 @@ impl UniversalCodec {
         (out, reports)
     }
 
-    /// Decompresses a container produced by [`Self::encode`]. The codec's
-    /// configurations must match the encoder's.
+    /// Decompresses a container produced by [`Self::encode`]. The data and
+    /// video configurations must match the encoder's; image chunks are
+    /// self-describing and auto-detected through the codec registry.
     ///
     /// # Errors
     ///
     /// Returns [`UniversalError`] on malformed containers.
     pub fn decode(&self, bytes: &[u8]) -> Result<Vec<Chunk>, UniversalError> {
+        let registry = crate::codecs::default_registry();
         let mut pos = 0usize;
         let take = |pos: &mut usize, n: usize| -> Result<&[u8], UniversalError> {
-            let s = bytes
-                .get(*pos..*pos + n)
-                .ok_or(UniversalError::Truncated)?;
+            let s = bytes.get(*pos..*pos + n).ok_or(UniversalError::Truncated)?;
             *pos += n;
             Ok(s)
         };
@@ -146,7 +173,9 @@ impl UniversalCodec {
         }
         let count = take_u32(&mut pos)?;
         if count > 1 << 20 {
-            return Err(UniversalError::InvalidStream("chunk count too large".into()));
+            return Err(UniversalError::InvalidStream(
+                "chunk count too large".into(),
+            ));
         }
         let mut chunks = Vec::with_capacity(count);
         for _ in 0..count {
@@ -162,19 +191,17 @@ impl UniversalCodec {
                     chunks.push(Chunk::Data(self.data_model.decode(payload, raw_len)));
                 }
                 TAG_IMAGE => {
-                    let w = take_u32(&mut pos)?;
-                    let h = take_u32(&mut pos)?;
-                    if w == 0 || h == 0 || w.saturating_mul(h) > 1 << 28 {
-                        return Err(UniversalError::InvalidStream("bad image dims".into()));
-                    }
                     let payload_len = take_u32(&mut pos)?;
                     let payload = take(&mut pos, payload_len)?;
-                    chunks.push(Chunk::Image(cbic_core::decode_raw(
-                        payload,
-                        w,
-                        h,
-                        &self.image_config,
-                    )));
+                    // Route by magic through the workspace registry; fall
+                    // back to this codec's own front end so streams from
+                    // custom (unregistered) image codecs still decode.
+                    let img = match registry.detect(payload) {
+                        Some(codec) => codec.decompress(payload),
+                        None => self.image_codec.decompress(payload),
+                    }
+                    .map_err(|e| UniversalError::InvalidStream(e.to_string()))?;
+                    chunks.push(Chunk::Image(img));
                 }
                 TAG_VIDEO => {
                     let w = take_u32(&mut pos)?;
@@ -290,5 +317,45 @@ mod tests {
             "container {} vs raw {raw_size}",
             bytes.len()
         );
+    }
+
+    #[test]
+    fn custom_unregistered_image_codec_roundtrips() {
+        // A codec outside the workspace registry: decode falls back to the
+        // stream codec's own image front end.
+        use cbic_image::ImageError;
+
+        #[derive(Debug)]
+        struct Stored;
+
+        impl ImageCodec for Stored {
+            fn name(&self) -> &'static str {
+                "stored"
+            }
+            fn magic(&self) -> Option<[u8; 4]> {
+                Some(*b"XSTO")
+            }
+            fn compress(&self, img: &Image) -> Vec<u8> {
+                let mut out = b"XSTO".to_vec();
+                out.extend_from_slice(&(img.width() as u32).to_le_bytes());
+                out.extend_from_slice(&(img.height() as u32).to_le_bytes());
+                out.extend_from_slice(img.pixels());
+                out
+            }
+            fn decompress(&self, bytes: &[u8]) -> Result<Image, ImageError> {
+                let dims = bytes.get(4..12).ok_or(ImageError::Io("truncated".into()))?;
+                let w = u32::from_le_bytes(dims[0..4].try_into().expect("sized")) as usize;
+                let h = u32::from_le_bytes(dims[4..8].try_into().expect("sized")) as usize;
+                Image::from_vec(w, h, bytes[12..].to_vec())
+            }
+        }
+
+        let codec = UniversalCodec {
+            image_codec: Arc::new(Stored),
+            ..UniversalCodec::default()
+        };
+        let img = CorpusImage::Boat.generate(16, 16);
+        let bytes = codec.encode(&[Chunk::Image(img.clone())]);
+        assert_eq!(codec.decode(&bytes).unwrap(), vec![Chunk::Image(img)]);
     }
 }

@@ -105,6 +105,7 @@ fn ref_pixel(frame: &Image, x: i64, y: i64) -> u8 {
 
 /// SAD of one block under candidate displacement `(dx, dy)`, with early
 /// exit once `bound` is exceeded.
+#[allow(clippy::too_many_arguments)] // mirrors the datapath port list
 fn block_sad(
     cur: &Image,
     prev: &Image,
@@ -327,9 +328,7 @@ pub fn decode_frames(
     let mut frames: Vec<Image> = Vec::with_capacity(count);
     let mut pos = 0usize;
     let take = |pos: &mut usize, n: usize| -> Result<&[u8], UniversalError> {
-        let s = bytes
-            .get(*pos..*pos + n)
-            .ok_or(UniversalError::Truncated)?;
+        let s = bytes.get(*pos..*pos + n).ok_or(UniversalError::Truncated)?;
         *pos += n;
         Ok(s)
     };
@@ -401,7 +400,11 @@ pub fn synthetic_sequence(
                 let bg = 90.0 + 40.0 * cbic_image::synth::fbm(42, x as f64, y as f64, 24.0, 3, 0.5);
                 let sx = (x + width - ox) % width;
                 let sy = (y + height - oy) % height;
-                let obj = if sx < width / 4 && sy < height / 4 { 90.0 } else { 0.0 };
+                let obj = if sx < width / 4 && sy < height / 4 {
+                    90.0
+                } else {
+                    0.0
+                };
                 cbic_image::synth::quantize(bg + obj)
             })
         })
@@ -462,9 +465,7 @@ mod tests {
                 120.0 + 60.0 * cbic_image::synth::fbm(5, x as f64, y as f64, 8.0, 3, 0.5),
             )
         };
-        let frame = |t: i64| {
-            Image::from_fn(64, 64, |x, y| tex(x as i64 - 3 * t, y as i64 - 2 * t))
-        };
+        let frame = |t: i64| Image::from_fn(64, 64, |x, y| tex(x as i64 - 3 * t, y as i64 - 2 * t));
         let (f0, f1) = (frame(0), frame(1));
         // Interior block, far from borders: the exact shift must win.
         let (dx, dy) = motion_search(&f1, &f0, 32, 32, 16, 7, SearchKind::Full);
@@ -515,8 +516,7 @@ mod tests {
                 120.0 + 60.0 * cbic_image::synth::fbm(5, x as f64, y as f64, 8.0, 3, 0.5),
             )
         };
-        let frame =
-            |t: i64| Image::from_fn(64, 64, |x, y| tex(x as i64 - 3 * t, y as i64 - 2 * t));
+        let frame = |t: i64| Image::from_fn(64, 64, |x, y| tex(x as i64 - 3 * t, y as i64 - 2 * t));
         let (f0, f1) = (frame(0), frame(1));
         let (dx, dy) = motion_search(&f1, &f0, 32, 32, 16, 7, SearchKind::Diamond);
         assert_eq!((dx, dy), (-3, -2));

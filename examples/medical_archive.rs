@@ -35,7 +35,11 @@ fn ct_slice(size: usize, z: u64) -> Image {
         let organ = 45.0 * synth::soft_disk(x, y, -0.10, 0.02 + z as f64 * 0.004, 0.16, 0.05)
             + 30.0 * synth::soft_disk(x, y, 0.14, -0.05, 0.12, 0.04);
         // Bone: bright rim.
-        let rim = if r > 0.40 { 90.0 * ((r - 0.40) / 0.06) } else { 0.0 };
+        let rim = if r > 0.40 {
+            90.0 * ((r - 0.40) / 0.06)
+        } else {
+            0.0
+        };
         let texture = 7.0 * synth::fbm(z + 13, xi as f64, yi as f64, 5.0, 2, 0.6);
         let noise = 2.0 * synth::gauss(z ^ 0xC7, xi as i64, yi as i64);
         synth::quantize(body + organ + rim + texture + noise)
@@ -58,7 +62,10 @@ fn main() {
 
     let study: Vec<Image> = (0..SLICES).map(|z| ct_slice(SIZE, z as u64)).collect();
     let raw_bytes = SLICES * SIZE * SIZE;
-    println!("study: {SLICES} slices of {SIZE}x{SIZE} = {} KB raw", raw_bytes / 1024);
+    println!(
+        "study: {SLICES} slices of {SIZE}x{SIZE} = {} KB raw",
+        raw_bytes / 1024
+    );
 
     // Archive with each codec and audit bit-exactness via checksums.
     let mut results: Vec<(&str, usize)> = Vec::new();
@@ -105,8 +112,14 @@ fn main() {
     }
     results.push(("SLP(M0)", slp_total));
 
-    println!("\nall {} slices audited bit-exact under every codec\n", SLICES);
-    println!("{:<22} {:>10} {:>8} {:>14}", "codec", "archive", "ratio", "studies/TB");
+    println!(
+        "\nall {} slices audited bit-exact under every codec\n",
+        SLICES
+    );
+    println!(
+        "{:<22} {:>10} {:>8} {:>14}",
+        "codec", "archive", "ratio", "studies/TB"
+    );
     for (name, total) in &results {
         println!(
             "{name:<22} {:>7} KB {:>8.2} {:>14.0}",
@@ -115,10 +128,7 @@ fn main() {
             1e12 / *total as f64
         );
     }
-    let (best, best_total) = results
-        .iter()
-        .min_by_key(|(_, t)| *t)
-        .expect("nonempty");
+    let (best, best_total) = results.iter().min_by_key(|(_, t)| *t).expect("nonempty");
     println!(
         "\nbest: {best} stores {:.1}x more studies than raw storage",
         raw_bytes as f64 / *best_total as f64

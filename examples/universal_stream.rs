@@ -38,15 +38,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Chunk::Video(clip.clone()),
         Chunk::Data(trailer.to_vec()),
     ];
-    let raw_size: usize = telemetry.len()
-        + still.pixel_count()
-        + clip.len() * clip[0].pixel_count()
-        + trailer.len();
+    let raw_size: usize =
+        telemetry.len() + still.pixel_count() + clip.len() * clip[0].pixel_count() + trailer.len();
 
     let codec = UniversalCodec::default();
     let (bytes, reports) = codec.encode_with_report(&chunks);
 
-    println!("universal stream: {} chunks, {} KB raw", chunks.len(), raw_size / 1024);
+    println!(
+        "universal stream: {} chunks, {} KB raw",
+        chunks.len(),
+        raw_size / 1024
+    );
     println!("\nchunk  front-end        detail");
     for (i, report) in reports.iter().enumerate() {
         match report {

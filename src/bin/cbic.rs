@@ -1,22 +1,29 @@
 //! `cbic` — command-line front end for the workspace codecs.
 //!
+//! Every codec-facing command is registry-driven: codecs are enumerated
+//! from [`cbic::all_codecs`] / [`cbic::registry_with`] and used through
+//! `&dyn ImageCodec`, so a codec added to the registry appears in
+//! `compress`, `decompress`, `bench`, and `codecs` with no CLI changes.
+//!
 //! ```text
-//! cbic compress   [--codec proposed|calic|jpegls|slp] [--near N] IN.pgm OUT
-//! cbic decompress IN OUT.pgm          (codec auto-detected from the magic)
-//! cbic info       IN                  (describe a compressed container)
-//! cbic corpus     [--size N] OUTDIR   (write the synthetic corpus as PGM)
-//! cbic bench      [--size N] IN.pgm   (bit rates of all codecs on one image)
+//! cbic compress   [--codec NAME] [--near N] [--threads N] IN.pgm OUT
+//! cbic decompress [--threads N] IN OUT.pgm   (codec auto-detected)
+//! cbic info       IN                         (describe a compressed container)
+//! cbic codecs                                (list registered codecs)
+//! cbic corpus     [--size N] OUTDIR          (write the synthetic corpus as PGM)
+//! cbic bench      IN.pgm                     (bit rates of all codecs on one image)
 //! ```
 
+use cbic::core::tiles::{compress_tiled, Parallelism};
 use cbic::core::CodecConfig;
-use cbic::image::{pgm, Image};
+use cbic::image::pgm;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cbic compress [--codec proposed|calic|jpegls|slp] [--near N] IN.pgm OUT\n  \
-         cbic decompress IN OUT.pgm\n  cbic info IN\n  cbic corpus [--size N] OUTDIR\n  \
-         cbic bench IN.pgm"
+        "usage:\n  cbic compress [--codec NAME] [--near N] [--threads N] IN.pgm OUT\n  \
+         cbic decompress [--threads N] IN OUT.pgm\n  cbic info IN\n  cbic codecs\n  \
+         cbic corpus [--size N] OUTDIR\n  cbic bench IN.pgm"
     );
     ExitCode::from(2)
 }
@@ -30,6 +37,7 @@ fn main() -> ExitCode {
         "compress" => cmd_compress(&args[1..]),
         "decompress" => cmd_decompress(&args[1..]),
         "info" => cmd_info(&args[1..]),
+        "codecs" => cmd_codecs(),
         "corpus" => cmd_corpus(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         _ => return usage(),
@@ -65,40 +73,79 @@ fn parse_flags(args: &[String], flags: &[&str]) -> (Vec<(String, String)>, Vec<S
     (out, positional)
 }
 
+fn flag_value<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn parse_threads(flags: &[(String, String)]) -> Result<usize, Box<dyn std::error::Error>> {
+    Ok(flag_value(flags, "threads")
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(0))
+}
+
 fn cmd_compress(args: &[String]) -> CliResult {
-    let (flags, pos) = parse_flags(args, &["codec", "near"]);
+    let (flags, pos) = parse_flags(args, &["codec", "near", "threads"]);
     let [input, output] = pos.as_slice() else {
         return Err("compress needs IN.pgm and OUT".into());
     };
-    let codec = flags
-        .iter()
-        .find(|(k, _)| k == "codec")
-        .map(|(_, v)| v.as_str())
-        .unwrap_or("proposed");
-    let near: u8 = flags
-        .iter()
-        .find(|(k, _)| k == "near")
-        .map(|(_, v)| v.parse())
+    let codec_name = flag_value(&flags, "codec").unwrap_or("proposed");
+    let near: u8 = flag_value(&flags, "near")
+        .map(str::parse)
         .transpose()?
         .unwrap_or(0);
+    let threads = parse_threads(&flags)?;
 
     let img = pgm::read_file(input)?;
-    let bytes = match codec {
-        "proposed" => cbic::core::compress(&img, &CodecConfig::default()),
-        "calic" => cbic::calic::compress(&img),
-        "jpegls" => cbic::jpegls::compress(
+    let mut label = codec_name.to_string();
+    let bytes = if threads > 1 {
+        // Multi-threaded coding uses the tiled container: one band per
+        // worker, each an independent instance of the paper's codec.
+        if codec_name != "proposed" && codec_name != "tiled" {
+            return Err(
+                format!("--threads applies to the proposed codec, not {codec_name}").into(),
+            );
+        }
+        if near > 0 {
+            return Err("--near (jpegls) cannot be combined with --threads".into());
+        }
+        let bands = threads.min(img.height());
+        label = format!("tiled ({bands} bands, {threads} threads)");
+        compress_tiled(
+            &img,
+            &CodecConfig::default(),
+            bands,
+            Parallelism::Threads(threads),
+        )
+    } else if near > 0 {
+        // Near-lossless operation is outside the lossless ImageCodec
+        // contract; reach the JPEG-LS crate directly.
+        if codec_name != "jpegls" {
+            return Err(format!("--near applies to jpegls, not {codec_name}").into());
+        }
+        cbic::jpegls::compress(
             &img,
             &cbic::jpegls::JpeglsConfig {
                 near,
                 ..Default::default()
             },
-        ),
-        "slp" => cbic::slp::compress(&img),
-        other => return Err(format!("unknown codec {other}").into()),
+        )
+    } else {
+        let registry = cbic::default_registry();
+        let codec = registry.by_name(codec_name).ok_or_else(|| {
+            format!(
+                "unknown codec {codec_name} (available: {})",
+                registry.names().join(", ")
+            )
+        })?;
+        codec.compress(&img)
     };
     std::fs::write(output, &bytes)?;
     println!(
-        "{input}: {} pixels -> {} bytes ({:.3} bpp) with {codec}",
+        "{input}: {} pixels -> {} bytes ({:.3} bpp) with {label}",
         img.pixel_count(),
         bytes.len(),
         bytes.len() as f64 * 8.0 / img.pixel_count() as f64
@@ -106,40 +153,25 @@ fn cmd_compress(args: &[String]) -> CliResult {
     Ok(())
 }
 
-fn detect(bytes: &[u8]) -> Option<&'static str> {
-    match bytes.get(..4)? {
-        b"CBIC" => Some("proposed"),
-        b"CBTI" => Some("proposed (tiled)"),
-        b"CBCA" => Some("calic"),
-        b"CBLS" => Some("jpegls"),
-        b"CBSL" => Some("slp"),
-        b"CBUN" => Some("universal"),
-        _ => None,
-    }
-}
-
-fn decode_any(bytes: &[u8]) -> Result<Image, Box<dyn std::error::Error>> {
-    match detect(bytes) {
-        Some("proposed") => Ok(cbic::core::decompress(bytes)?),
-        Some("proposed (tiled)") => Ok(cbic::core::tiles::decompress_tiled(bytes)?),
-        Some("calic") => Ok(cbic::calic::decompress(bytes)?),
-        Some("jpegls") => Ok(cbic::jpegls::decompress(bytes)?),
-        Some("slp") => Ok(cbic::slp::decompress(bytes)?),
-        Some(other) => Err(format!("{other} containers hold more than one image").into()),
-        None => Err("unrecognized container magic".into()),
-    }
-}
-
 fn cmd_decompress(args: &[String]) -> CliResult {
-    let [input, output] = args else {
+    let (flags, pos) = parse_flags(args, &["threads"]);
+    let [input, output] = pos.as_slice() else {
         return Err("decompress needs IN and OUT.pgm".into());
     };
+    let threads = parse_threads(&flags)?;
     let bytes = std::fs::read(input)?;
-    let img = decode_any(&bytes)?;
+    if bytes.get(..4) == Some(b"CBUN") {
+        return Err("universal containers hold more than one image; use the library API".into());
+    }
+    let registry = cbic::registry_with(Parallelism::from_threads(threads));
+    let codec = registry
+        .detect(&bytes)
+        .ok_or("unrecognized container magic")?;
+    let img = codec.decompress(&bytes)?;
     pgm::write_file(output, &img)?;
     println!(
         "{input}: {} ({} bytes) -> {}x{} PGM",
-        detect(&bytes).unwrap_or("?"),
+        codec.name(),
         bytes.len(),
         img.width(),
         img.height()
@@ -152,7 +184,14 @@ fn cmd_info(args: &[String]) -> CliResult {
         return Err("info needs IN".into());
     };
     let bytes = std::fs::read(input)?;
-    let kind = detect(&bytes).ok_or("unrecognized container magic")?;
+    let kind = if bytes.get(..4) == Some(b"CBUN") {
+        "universal"
+    } else {
+        cbic::default_registry()
+            .detect(&bytes)
+            .map(|c| c.name())
+            .ok_or("unrecognized container magic")?
+    };
     println!("container: {kind}, {} bytes", bytes.len());
     if kind == "proposed" {
         let (cfg, w, h, payload) = cbic::core::container::parse_header(&bytes)?;
@@ -176,15 +215,26 @@ fn cmd_info(args: &[String]) -> CliResult {
     Ok(())
 }
 
+fn cmd_codecs() -> CliResult {
+    let registry = cbic::default_registry();
+    println!("registered codecs ({}):", registry.len());
+    for codec in registry.codecs() {
+        let magic = codec
+            .magic()
+            .map(|m| String::from_utf8_lossy(&m).into_owned())
+            .unwrap_or_else(|| "-".into());
+        println!("  {:<10} magic {magic}", codec.name());
+    }
+    Ok(())
+}
+
 fn cmd_corpus(args: &[String]) -> CliResult {
     let (flags, pos) = parse_flags(args, &["size"]);
     let [outdir] = pos.as_slice() else {
         return Err("corpus needs OUTDIR".into());
     };
-    let size: usize = flags
-        .iter()
-        .find(|(k, _)| k == "size")
-        .map(|(_, v)| v.parse())
+    let size: usize = flag_value(&flags, "size")
+        .map(str::parse)
         .transpose()?
         .unwrap_or(512);
     std::fs::create_dir_all(outdir)?;
@@ -207,29 +257,13 @@ fn cmd_bench(args: &[String]) -> CliResult {
         img.height(),
         img.entropy()
     );
-    let results = [
-        (
-            "proposed",
-            cbic::core::encode_raw(&img, &CodecConfig::default())
-                .1
-                .bits_per_pixel(),
-        ),
-        (
-            "calic",
-            cbic::calic::encode_raw(&img, &cbic::calic::CalicConfig::default())
-                .1
-                .bits_per_pixel(),
-        ),
-        (
-            "jpegls",
-            cbic::jpegls::encode_raw(&img, &cbic::jpegls::JpeglsConfig::default())
-                .1
-                .bits_per_pixel(),
-        ),
-        ("slp", cbic::slp::encode_raw(&img).1.bits_per_pixel()),
-    ];
-    for (name, bpp) in results {
-        println!("  {name:<10} {bpp:.3} bpp (ratio {:.2})", 8.0 / bpp);
+    for codec in cbic::all_codecs() {
+        let bpp = codec.payload_bits_per_pixel(&img);
+        println!(
+            "  {:<10} {bpp:.3} bpp (ratio {:.2})",
+            codec.name(),
+            8.0 / bpp
+        );
     }
     Ok(())
 }

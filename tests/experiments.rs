@@ -155,10 +155,7 @@ fn paper_claim_aging_slightly_improves_ratio() {
     });
     // "Experimental results prove that this rescaling technique slightly
     // improves the compression ratio."
-    assert!(
-        aged < frozen,
-        "aging must help: {aged:.4} vs {frozen:.4}"
-    );
+    assert!(aged < frozen, "aging must help: {aged:.4} vs {frozen:.4}");
     assert!(
         frozen - aged < 0.1,
         "aging is a *slight* improvement, got {:.4}",

@@ -18,9 +18,9 @@ fn proposed_codec_bitstream_is_pinned() {
     assert_eq!(
         bytes,
         [
-            240, 23, 29, 165, 51, 150, 14, 192, 172, 221, 81, 223, 80, 46, 60, 102, 184, 94,
-            124, 184, 70, 225, 156, 87, 141, 238, 203, 137, 170, 87, 15, 47, 96, 119, 15, 238,
-            95, 124, 16, 8, 110, 143, 33, 85, 65, 160, 252, 249, 42
+            240, 23, 29, 165, 51, 150, 14, 192, 172, 221, 81, 223, 80, 46, 60, 102, 184, 94, 124,
+            184, 70, 225, 156, 87, 141, 238, 203, 137, 170, 87, 15, 47, 96, 119, 15, 238, 95, 124,
+            16, 8, 110, 143, 33, 85, 65, 160, 252, 249, 42
         ],
         "the proposed codec's bitstream changed — format break!"
     );
@@ -32,9 +32,9 @@ fn jpegls_bitstream_is_pinned() {
     assert_eq!(
         bytes,
         [
-            128, 160, 80, 42, 234, 166, 136, 0, 24, 12, 194, 202, 36, 128, 24, 0, 13, 238, 107,
-            24, 67, 14, 59, 187, 179, 22, 109, 153, 153, 152, 163, 74, 170, 170, 164, 153, 85,
-            86, 217, 70, 27, 108, 6, 128, 0, 80
+            128, 160, 80, 42, 234, 166, 136, 0, 24, 12, 194, 202, 36, 128, 24, 0, 13, 238, 107, 24,
+            67, 14, 59, 187, 179, 22, 109, 153, 153, 152, 163, 74, 170, 170, 164, 153, 85, 86, 217,
+            70, 27, 108, 6, 128, 0, 80
         ],
         "the JPEG-LS bitstream changed — format break!"
     );
@@ -47,8 +47,8 @@ fn calic_bitstream_is_pinned() {
         bytes,
         [
             240, 23, 29, 165, 51, 150, 13, 10, 199, 11, 224, 133, 13, 182, 43, 251, 56, 126, 89,
-            113, 182, 169, 250, 97, 42, 38, 203, 234, 49, 41, 190, 77, 64, 130, 57, 252, 117,
-            73, 109, 15, 73, 19, 240, 182, 53, 150, 172, 160
+            113, 182, 169, 250, 97, 42, 38, 203, 234, 49, 41, 190, 77, 64, 130, 57, 252, 117, 73,
+            109, 15, 73, 19, 240, 182, 53, 150, 172, 160
         ],
         "the CALIC bitstream changed — format break!"
     );
@@ -61,8 +61,8 @@ fn slp_bitstream_is_pinned() {
         bytes,
         [
             0, 0, 1, 254, 154, 3, 48, 178, 137, 32, 120, 12, 6, 97, 101, 18, 96, 88, 12, 6, 97,
-            101, 18, 96, 81, 100, 61, 205, 97, 70, 73, 99, 187, 185, 6, 30, 204, 204, 206, 46,
-            214, 101, 85, 40, 178, 213, 84, 40, 0, 12, 6
+            101, 18, 96, 81, 100, 61, 205, 97, 70, 73, 99, 187, 185, 6, 30, 204, 204, 206, 46, 214,
+            101, 85, 40, 178, 213, 84, 40, 0, 12, 6
         ],
         "the SLP bitstream changed — format break!"
     );

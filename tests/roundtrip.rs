@@ -20,7 +20,11 @@ fn every_codec_roundtrips_the_whole_corpus() {
         );
         // CALIC.
         let bytes = cbic::calic::compress(&img);
-        assert_eq!(cbic::calic::decompress(&bytes).unwrap(), img, "calic on {name:?}");
+        assert_eq!(
+            cbic::calic::decompress(&bytes).unwrap(),
+            img,
+            "calic on {name:?}"
+        );
         // JPEG-LS.
         let bytes = cbic::jpegls::compress(&img, &cbic::jpegls::JpeglsConfig::default());
         assert_eq!(
@@ -30,7 +34,11 @@ fn every_codec_roundtrips_the_whole_corpus() {
         );
         // SLP.
         let bytes = cbic::slp::compress(&img);
-        assert_eq!(cbic::slp::decompress(&bytes).unwrap(), img, "slp on {name:?}");
+        assert_eq!(
+            cbic::slp::decompress(&bytes).unwrap(),
+            img,
+            "slp on {name:?}"
+        );
     }
 }
 
@@ -64,8 +72,14 @@ fn extreme_images_roundtrip_everywhere() {
     let cases: Vec<(&str, Image)> = vec![
         ("all_black", Image::from_fn(40, 40, |_, _| 0)),
         ("all_white", Image::from_fn(40, 40, |_, _| 255)),
-        ("checkerboard", Image::from_fn(40, 40, |x, y| ((x + y) % 2 * 255) as u8)),
-        ("vertical_bars", Image::from_fn(40, 40, |x, _| ((x % 2) * 255) as u8)),
+        (
+            "checkerboard",
+            Image::from_fn(40, 40, |x, y| ((x + y) % 2 * 255) as u8),
+        ),
+        (
+            "vertical_bars",
+            Image::from_fn(40, 40, |x, _| ((x % 2) * 255) as u8),
+        ),
         (
             "impulse",
             Image::from_fn(40, 40, |x, y| if (x, y) == (20, 20) { 255 } else { 0 }),
@@ -78,9 +92,17 @@ fn extreme_images_roundtrip_everywhere() {
         let b = cbic::core::compress(img, &CodecConfig::default());
         assert_eq!(&cbic::core::decompress(&b).unwrap(), img, "core on {name}");
         let b = cbic::calic::compress(img);
-        assert_eq!(&cbic::calic::decompress(&b).unwrap(), img, "calic on {name}");
+        assert_eq!(
+            &cbic::calic::decompress(&b).unwrap(),
+            img,
+            "calic on {name}"
+        );
         let b = cbic::jpegls::compress(img, &cbic::jpegls::JpeglsConfig::default());
-        assert_eq!(&cbic::jpegls::decompress(&b).unwrap(), img, "jpegls on {name}");
+        assert_eq!(
+            &cbic::jpegls::decompress(&b).unwrap(),
+            img,
+            "jpegls on {name}"
+        );
         let b = cbic::slp::compress(img);
         assert_eq!(&cbic::slp::decompress(&b).unwrap(), img, "slp on {name}");
     }
@@ -109,13 +131,8 @@ fn facade_reexports_are_usable_together() {
 
 #[test]
 fn image_codec_trait_objects_are_interchangeable() {
-    use cbic::image::ImageCodec;
-    let codecs: Vec<Box<dyn ImageCodec>> = vec![
-        Box::new(cbic::core::Proposed::default()),
-        Box::new(cbic::calic::Calic),
-        Box::new(cbic::jpegls::Jpegls),
-        Box::new(cbic::slp::Slp),
-    ];
+    // The registry is the single source of codecs; nothing is hand-listed.
+    let codecs = cbic::all_codecs();
     let img = CorpusImage::Goldhill.generate(64, 64);
     let mut seen = std::collections::HashSet::new();
     for codec in &codecs {
@@ -148,11 +165,13 @@ fn random_garbage_never_panics_any_decoder() {
         let mut garbage: Vec<u8> = (0..len)
             .map(|i| (lattice(seed, i as i64, 0) * 256.0) as u8)
             .collect();
+        let registry = cbic::default_registry();
         let _ = cbic::core::decompress(&garbage);
         let _ = cbic::calic::decompress(&garbage);
         let _ = cbic::jpegls::decompress(&garbage);
         let _ = cbic::slp::decompress(&garbage);
-        let _ = cbic::core::tiles::decompress_tiled(&garbage);
+        let _ = cbic::core::tiles::decompress_tiled(&garbage, cbic::core::Parallelism::Auto);
+        let _ = registry.decompress_auto(&garbage);
         // Now with a valid magic but garbage bodies (small dims so a
         // "successful" garbage decode stays cheap).
         for magic in [b"CBIC", b"CBCA", b"CBLS", b"CBSL", b"CBTI"] {
@@ -162,7 +181,8 @@ fn random_garbage_never_panics_any_decoder() {
             let _ = cbic::calic::decompress(&garbage);
             let _ = cbic::jpegls::decompress(&garbage);
             let _ = cbic::slp::decompress(&garbage);
-            let _ = cbic::core::tiles::decompress_tiled(&garbage);
+            let _ = cbic::core::tiles::decompress_tiled(&garbage, cbic::core::Parallelism::Auto);
+            let _ = registry.decompress_auto(&garbage);
         }
     }
 }

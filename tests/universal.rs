@@ -26,14 +26,31 @@ fn converged_channel_roundtrip() {
 #[test]
 fn dispatcher_image_path_equals_direct_codec() {
     // Routing an image through the universal container must cost exactly
-    // the raw image-codec payload (plus the fixed chunk header).
+    // the image codec's own container (plus the fixed chunk header).
     let img = CorpusImage::Lena.generate(96, 96);
     let codec = UniversalCodec::default();
     let (_, reports) = codec.encode_with_report(&[Chunk::Image(img.clone())]);
-    let direct = cbic::core::encode_raw(&img, &codec.image_config).1;
+    let direct = codec.image_codec.compress(&img);
     match &reports[0] {
-        ChunkReport::Image(bits) => assert_eq!(*bits, direct.payload_bits),
+        ChunkReport::Image(bits) => assert_eq!(*bits, direct.len() as u64 * 8),
         other => panic!("expected image report, got {other:?}"),
+    }
+}
+
+#[test]
+fn dispatcher_accepts_any_registered_image_codec() {
+    // The decoder routes image chunks by container magic, so streams from
+    // differently configured encoders — even mixed codecs — all decode.
+    let img = CorpusImage::Goldhill.generate(48, 48);
+    for boxed in cbic::all_codecs() {
+        let encoder = UniversalCodec {
+            image_codec: boxed.into(),
+            ..UniversalCodec::default()
+        };
+        let name = encoder.image_codec.name();
+        let bytes = encoder.encode(&[Chunk::Image(img.clone())]);
+        let decoded = UniversalCodec::default().decode(&bytes).unwrap();
+        assert_eq!(decoded, vec![Chunk::Image(img.clone())], "{name}");
     }
 }
 
@@ -57,12 +74,14 @@ fn video_front_end_beats_intra_coding_on_motion() {
 
 #[test]
 fn data_model_orders_trade_memory_for_ratio() {
-    let text = std::fs::read("Cargo.toml")
-        .unwrap_or_else(|_| b"fallback content ".repeat(500));
+    let text = std::fs::read("Cargo.toml").unwrap_or_else(|_| b"fallback content ".repeat(500));
     let text = text.repeat(3);
     let o0 = DataModel::new(Order::Zero).encode(&text).1.bits_per_byte();
     let o1 = DataModel::new(Order::One).encode(&text).1.bits_per_byte();
-    assert!(o1 < o0, "order-1 ({o1:.3}) must beat order-0 ({o0:.3}) on TOML");
+    assert!(
+        o1 < o0,
+        "order-1 ({o1:.3}) must beat order-0 ({o0:.3}) on TOML"
+    );
     assert!(o1 < 8.0, "real text must compress");
 }
 
@@ -71,8 +90,13 @@ fn image_and_data_models_suit_their_own_content() {
     // "Fast adaptation to the nature of the data": the image front end
     // must beat the byte model on images.
     let img = CorpusImage::Zelda.generate(128, 128);
-    let image_bits = cbic::core::encode_raw(&img, &Default::default()).1.payload_bits;
-    let data_bits = DataModel::new(Order::One).encode(img.pixels()).1.payload_bits;
+    let image_bits = cbic::core::encode_raw(&img, &Default::default())
+        .1
+        .payload_bits;
+    let data_bits = DataModel::new(Order::One)
+        .encode(img.pixels())
+        .1
+        .payload_bits;
     assert!(
         image_bits < data_bits,
         "image model {image_bits} vs byte model {data_bits} on an image"

@@ -1,0 +1,446 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The workspace's property tests were written against the real `proptest`
+//! API, but this build environment has no network access to crates.io, so
+//! this vendored shim provides the subset the tests use:
+//!
+//! * [`Strategy`] with `prop_map` / `prop_flat_map`,
+//! * range strategies (`0u32..100`, `-5i32..=5`, `0.0f64..1.0`),
+//! * [`any`] for primitive types, [`Just`], tuple strategies,
+//! * [`collection::vec`] with exact or ranged lengths,
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_assert_ne!`] macros.
+//!
+//! Unlike the real crate it does no shrinking: failures report the seed and
+//! case number instead. Generation is fully deterministic — the RNG is
+//! seeded from the test's name — so failures reproduce exactly. Set
+//! `PROPTEST_CASES` to change the number of cases per test (default 64).
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Number of generated cases per property, from `PROPTEST_CASES` (default 64).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic RNG seeded from a test name (FNV-1a over the name).
+pub fn rng_for(name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng(h | 1)
+}
+
+/// SplitMix64 pseudo-random generator — small, fast, deterministic.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u128) -> u128 {
+        let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        wide % n
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of test values — the shim's version of proptest's trait.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derives a second strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types that can be drawn uniformly from a range.
+pub trait UniformSample: Copy {
+    /// Uniform sample from `[lo, hi)`.
+    fn from_range(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn from_range_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn from_range(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = (hi as u128) - (lo as u128);
+                lo + rng.below(span) as $t
+            }
+            fn from_range_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! uniform_signed {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn from_range(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = ((hi as i128) - (lo as i128)) as u128;
+                ((lo as i128) + rng.below(span) as i128) as $t
+            }
+            fn from_range_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range");
+                let span = ((hi as i128) - (lo as i128)) as u128 + 1;
+                ((lo as i128) + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+uniform_unsigned!(u8, u16, u32, u64, usize);
+uniform_signed!(i8, i16, i32, i64, isize);
+
+impl UniformSample for f64 {
+    fn from_range(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+    fn from_range_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        Self::from_range(rng, lo, hi)
+    }
+}
+
+impl<T: UniformSample> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::from_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformSample> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::from_range_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Produces arbitrary values of a primitive type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length specification: exact, half-open, or inclusive.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u128;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of values from `elem` with a length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+/// Defines deterministic property tests with `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::cases();
+                let mut rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cases {
+                    let _ = case;
+                    $(let $p = $crate::Strategy::generate(&($s), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The glob-importable API surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rng_for("ranges");
+        for _ in 0..1000 {
+            let v = (3u32..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (-5i32..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&w));
+            let f = (1.0f64..2.0).generate(&mut rng);
+            assert!((1.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = collection::vec(any::<u8>(), 0..64);
+        let a: Vec<Vec<u8>> = {
+            let mut rng = rng_for("det");
+            (0..10).map(|_| strat.generate(&mut rng)).collect()
+        };
+        let b: Vec<Vec<u8>> = {
+            let mut rng = rng_for("det");
+            (0..10).map(|_| strat.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exact_vec_lengths() {
+        let mut rng = rng_for("exact");
+        let v = collection::vec(any::<bool>(), 12).generate(&mut rng);
+        assert_eq!(v.len(), 12);
+    }
+
+    proptest! {
+        /// The macro itself: bindings, tuples, maps and flat maps.
+        #[test]
+        fn macro_smoke(x in 0u8..200, (a, b) in (0u32..10, Just(7u32)),
+                       v in collection::vec(any::<u8>(), 0..9)) {
+            prop_assert!(x < 200);
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 7);
+            prop_assert!(v.len() < 9);
+        }
+
+        #[test]
+        fn flat_map_dependent_values(
+            (n, k) in (1usize..20).prop_flat_map(|n| (Just(n), 0usize..n)),
+        ) {
+            prop_assert!(k < n);
+        }
+    }
+}
