@@ -1,6 +1,7 @@
 //! A single adaptive binary decision context.
 
 use crate::bincoder::{BinaryDecoder, BinaryEncoder};
+use cbic_bitio::{BitSink, BitSource};
 
 /// An adaptive probability for one recurring binary decision.
 ///
@@ -79,14 +80,14 @@ impl AdaptiveBit {
 
     /// Encodes `bit` and adapts.
     #[inline]
-    pub fn encode(&mut self, enc: &mut BinaryEncoder, bit: bool) {
+    pub fn encode<S: BitSink>(&mut self, enc: &mut BinaryEncoder<S>, bit: bool) {
         enc.encode(bit, self.c_false, self.c_false + self.c_true);
         self.update(bit);
     }
 
     /// Decodes one bit and adapts.
     #[inline]
-    pub fn decode(&mut self, dec: &mut BinaryDecoder<'_>) -> bool {
+    pub fn decode<S: BitSource>(&mut self, dec: &mut BinaryDecoder<S>) -> bool {
         let bit = dec.decode(self.c_false, self.c_false + self.c_true);
         self.update(bit);
         bit

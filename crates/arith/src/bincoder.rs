@@ -11,7 +11,7 @@
 //! is zero is a caller bug (the estimator escapes instead) and panics in
 //! debug builds.
 
-use cbic_bitio::{BitReader, BitWriter};
+use cbic_bitio::{BitSink, BitSource, BitWriter};
 
 const HALF: u32 = 1 << 31;
 const QUARTER: u32 = 1 << 30;
@@ -27,8 +27,10 @@ pub(crate) const MAX_TOTAL: u32 = 1 << 16;
 /// Encoding half of the binary arithmetic coder.
 ///
 /// Decisions are pushed with [`encode`](Self::encode); the coder emits bits
-/// into the wrapped [`BitWriter`] as the interval narrows. [`finish`](Self::finish)
-/// flushes the final disambiguating bits and returns the writer.
+/// into the wrapped [`BitSink`] as the interval narrows (a [`BitWriter`] by
+/// default; a [`StreamBitWriter`](cbic_bitio::StreamBitWriter) for the
+/// bounded-memory streaming pipeline). [`finish`](Self::finish) flushes the
+/// final disambiguating bits and returns the sink.
 ///
 /// # Examples
 ///
@@ -46,17 +48,17 @@ pub(crate) const MAX_TOTAL: u32 = 1 << 16;
 /// assert!(dec.decode(1, 4));
 /// ```
 #[derive(Debug)]
-pub struct BinaryEncoder {
+pub struct BinaryEncoder<S = BitWriter> {
     low: u32,
     high: u32,
     pending: u64,
-    writer: BitWriter,
+    writer: S,
     decisions: u64,
 }
 
-impl BinaryEncoder {
-    /// Wraps a bit writer in a fresh encoder covering the full interval.
-    pub fn new(writer: BitWriter) -> Self {
+impl<S: BitSink> BinaryEncoder<S> {
+    /// Wraps a bit sink in a fresh encoder covering the full interval.
+    pub fn new(writer: S) -> Self {
         Self {
             low: 0,
             high: u32::MAX,
@@ -135,11 +137,22 @@ impl BinaryEncoder {
         self.writer.bits_written()
     }
 
-    /// Flushes the interval state and returns the underlying writer.
+    /// Borrows the underlying bit sink (e.g. to poll a streaming sink for
+    /// latched I/O errors mid-encode).
+    pub fn sink(&self) -> &S {
+        &self.writer
+    }
+
+    /// Mutably borrows the underlying bit sink.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.writer
+    }
+
+    /// Flushes the interval state and returns the underlying sink.
     ///
     /// Emits `pending + 2` bits that pin the final code value inside the
     /// interval, after which the decoder's zero-padded reads cannot leave it.
-    pub fn finish(mut self) -> BitWriter {
+    pub fn finish(mut self) -> S {
         self.pending += 1;
         let bit = self.low >= QUARTER;
         self.emit(bit);
@@ -153,19 +166,22 @@ impl BinaryEncoder {
 /// Decoding half of the binary arithmetic coder.
 ///
 /// Must be fed the same `(c0, total)` sequence the encoder used; adaptive
-/// models guarantee this by updating identically on both sides.
+/// models guarantee this by updating identically on both sides. The bit
+/// source is generic: a [`BitReader`](cbic_bitio::BitReader) over a buffered
+/// payload, or a [`StreamBitReader`](cbic_bitio::StreamBitReader) refilled
+/// incrementally from `std::io::Read`.
 #[derive(Debug)]
-pub struct BinaryDecoder<'a> {
+pub struct BinaryDecoder<S> {
     low: u32,
     high: u32,
     value: u32,
-    reader: BitReader<'a>,
+    reader: S,
     decisions: u64,
 }
 
-impl<'a> BinaryDecoder<'a> {
-    /// Wraps a bit reader and pre-loads the first 32 code bits.
-    pub fn new(mut reader: BitReader<'a>) -> Self {
+impl<S: BitSource> BinaryDecoder<S> {
+    /// Wraps a bit source and pre-loads the first 32 code bits.
+    pub fn new(mut reader: S) -> Self {
         let value = reader.read_bits(32) as u32;
         Self {
             low: 0,
@@ -222,8 +238,14 @@ impl<'a> BinaryDecoder<'a> {
         self.decisions
     }
 
+    /// Borrows the underlying bit source (e.g. to inspect
+    /// [`padding_bits`](BitSource::padding_bits) for truncation detection).
+    pub fn source(&self) -> &S {
+        &self.reader
+    }
+
     /// Consumes the decoder, returning the underlying reader.
-    pub fn into_reader(self) -> BitReader<'a> {
+    pub fn into_reader(self) -> S {
         self.reader
     }
 }
@@ -231,6 +253,7 @@ impl<'a> BinaryDecoder<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cbic_bitio::BitReader;
 
     fn roundtrip(decisions: &[(bool, u32, u32)]) {
         let mut enc = BinaryEncoder::new(BitWriter::new());

@@ -5,6 +5,7 @@ use crate::adaptive::AdaptiveBit;
 use crate::bincoder::{BinaryDecoder, BinaryEncoder, MAX_TOTAL};
 use crate::stats::CoderStats;
 use crate::tree::TreeModel;
+use cbic_bitio::{BitSink, BitSource};
 
 /// Tuning knobs of the probability estimator.
 ///
@@ -141,7 +142,7 @@ impl SymbolCoder {
     ///
     /// Panics if `ctx` is out of range, or (for reduced alphabets) if
     /// `symbol` has bits above `depth`.
-    pub fn encode(&mut self, enc: &mut BinaryEncoder, ctx: usize, symbol: u8) {
+    pub fn encode<S: BitSink>(&mut self, enc: &mut BinaryEncoder<S>, ctx: usize, symbol: u8) {
         assert!(
             self.depth == 8 || u32::from(symbol) < (1u32 << self.depth),
             "symbol {symbol} out of range for {}-bit alphabet",
@@ -168,7 +169,7 @@ impl SymbolCoder {
     /// # Panics
     ///
     /// Panics if `ctx` is out of range.
-    pub fn decode(&mut self, dec: &mut BinaryDecoder<'_>, ctx: usize) -> u8 {
+    pub fn decode<S: BitSource>(&mut self, dec: &mut BinaryDecoder<S>, ctx: usize) -> u8 {
         self.stats.symbols += 1;
         let escaped = self.escape[ctx].decode(dec);
         let symbol = if escaped {

@@ -17,6 +17,7 @@
 
 use crate::bincoder::{BinaryDecoder, BinaryEncoder};
 use crate::coder::EstimatorConfig;
+use cbic_bitio::{BitSink, BitSource};
 
 /// One adaptive context tree over a `2^depth`-symbol alphabet.
 ///
@@ -151,7 +152,7 @@ impl TreeModel {
     /// Debug-panics if `symbol` has zero probability (the caller must check
     /// [`Self::path_has_zero`] and escape).
     #[inline]
-    pub fn encode_decisions(&self, enc: &mut BinaryEncoder, symbol: u8) {
+    pub fn encode_decisions<S: BitSink>(&self, enc: &mut BinaryEncoder<S>, symbol: u8) {
         let mut node = 1usize;
         let mut visits = self.total;
         for k in (0..self.depth).rev() {
@@ -167,7 +168,7 @@ impl TreeModel {
     ///
     /// Does **not** update the model; call [`Self::update`] afterwards.
     #[inline]
-    pub fn decode_decisions(&self, dec: &mut BinaryDecoder<'_>) -> u8 {
+    pub fn decode_decisions<S: BitSource>(&self, dec: &mut BinaryDecoder<S>) -> u8 {
         let mut node = 1usize;
         let mut visits = self.total;
         let mut symbol = 0u8;

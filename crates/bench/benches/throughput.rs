@@ -77,6 +77,36 @@ fn bench_tiled(c: &mut Criterion) {
     g.finish();
 }
 
+/// The streaming transport vs the buffered one: identical bits (asserted
+/// by the differential suite), so any delta is pure transport overhead —
+/// the cost of bounded memory.
+fn bench_streaming(c: &mut Criterion) {
+    use cbic_core::stream::{compress_to, decompress_from};
+
+    let img = cbic_bench::bench_image(SIZE);
+    let pixels = img.pixel_count() as u64;
+    let cfg = cbic_core::CodecConfig::default();
+    let bytes = cbic_core::compress(&img, &cfg);
+
+    let mut g = c.benchmark_group("streaming");
+    g.throughput(Throughput::Elements(pixels));
+    g.sample_size(20);
+
+    g.bench_function(BenchmarkId::new("encode_buffered", SIZE), |b| {
+        b.iter(|| cbic_core::compress(&img, &cfg))
+    });
+    g.bench_function(BenchmarkId::new("encode_streaming", SIZE), |b| {
+        b.iter(|| compress_to(&img, &cfg, Vec::new()).expect("Vec sink"))
+    });
+    g.bench_function(BenchmarkId::new("decode_buffered", SIZE), |b| {
+        b.iter(|| cbic_core::decompress(&bytes).expect("own container"))
+    });
+    g.bench_function(BenchmarkId::new("decode_streaming", SIZE), |b| {
+        b.iter(|| decompress_from(&bytes[..]).expect("own container"))
+    });
+    g.finish();
+}
+
 fn bench_universal(c: &mut Criterion) {
     use cbic_universal::data::{DataModel, Order};
 
@@ -111,6 +141,7 @@ criterion_group!(
     bench_encoders,
     bench_decoders,
     bench_tiled,
+    bench_streaming,
     bench_universal
 );
 criterion_main!(benches);

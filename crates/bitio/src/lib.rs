@@ -13,6 +13,10 @@
 //!   decoders rely on when the final code word was truncated at a byte
 //!   boundary. The strict [`BitReader::try_read_bit`] variant reports
 //!   exhaustion instead.
+//! * [`BitSink`] / [`BitSource`] — the traits the coders are generic over,
+//!   implemented by the buffered pair above and by the bounded-memory
+//!   [`StreamBitWriter`] / [`StreamBitReader`] adapters that move bits
+//!   incrementally through `std::io::Write` / `std::io::Read`.
 //!
 //! # Examples
 //!
@@ -34,9 +38,13 @@
 #![warn(missing_docs)]
 
 mod reader;
+mod stream;
+mod traits;
 mod writer;
 
 pub use reader::BitReader;
+pub use stream::{StreamBitReader, StreamBitWriter};
+pub use traits::{BitSink, BitSource};
 pub use writer::BitWriter;
 
 #[cfg(test)]

@@ -1,9 +1,11 @@
 //! Property-based tests: whatever a `BitWriter` produces, a `BitReader`
-//! must read back verbatim, regardless of how the bit stream is chunked.
+//! must read back verbatim, regardless of how the bit stream is chunked —
+//! and the streaming adapters must be bit-for-bit interchangeable with
+//! the buffered pair.
 
 use proptest::prelude::*;
 
-use crate::{BitReader, BitWriter};
+use crate::{BitReader, BitSink, BitSource, BitWriter, StreamBitReader, StreamBitWriter};
 
 proptest! {
     /// Round-trip of an arbitrary bit sequence written bit by bit.
@@ -86,5 +88,38 @@ proptest! {
             seen += 1;
         }
         prop_assert_eq!(seen, nbits.div_ceil(8) * 8);
+    }
+
+    /// The streaming writer produces the exact bytes the buffered writer
+    /// does for an arbitrary chunk sequence, and the streaming reader
+    /// reads them back identically to the buffered reader.
+    #[test]
+    fn streaming_adapters_match_buffered(chunks in proptest::collection::vec((any::<u64>(), 0u32..=64), 0..256)) {
+        let chunks: Vec<(u64, u32)> = chunks
+            .into_iter()
+            .map(|(v, n)| (if n == 64 { v } else { v & ((1u64 << n) - 1) }, n))
+            .collect();
+        let mut buffered = BitWriter::new();
+        let mut streamed = StreamBitWriter::new(Vec::new());
+        for &(v, n) in &chunks {
+            BitWriter::write_bits(&mut buffered, v, n);
+            streamed.write_bits(v, n);
+        }
+        prop_assert_eq!(BitWriter::bits_written(&buffered), BitSink::bits_written(&streamed));
+        let expected = buffered.into_bytes();
+        let bytes = streamed.finish().expect("Vec sink");
+        prop_assert_eq!(&bytes, &expected);
+
+        let mut br = BitReader::new(&bytes);
+        let mut sr = StreamBitReader::new(&bytes[..]);
+        for &(v, n) in &chunks {
+            prop_assert_eq!(BitReader::read_bits(&mut br, n), v);
+            prop_assert_eq!(sr.read_bits(n), v);
+        }
+        // Both pad identically past the end.
+        for _ in 0..16 {
+            prop_assert_eq!(BitReader::read_bit(&mut br), sr.read_bit());
+        }
+        prop_assert_eq!(BitReader::padding_bits(&br), sr.padding_bits());
     }
 }

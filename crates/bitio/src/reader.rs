@@ -1,3 +1,5 @@
+use crate::BitSource;
+
 /// An MSB-first bit source over a byte slice.
 ///
 /// Mirrors [`BitWriter`](crate::BitWriter): the first bit returned is bit 7
@@ -30,6 +32,7 @@ pub struct BitReader<'a> {
     /// Remaining bits of the current byte, left-aligned at bit `nacc - 1`.
     acc: u8,
     bits_read: u64,
+    padding: u64,
 }
 
 impl<'a> BitReader<'a> {
@@ -41,6 +44,7 @@ impl<'a> BitReader<'a> {
             nacc: 0,
             acc: 0,
             bits_read: 0,
+            padding: 0,
         }
     }
 
@@ -52,6 +56,7 @@ impl<'a> BitReader<'a> {
             Some(b) => b,
             None => {
                 self.bits_read += 1;
+                self.padding += 1;
                 false
             }
         }
@@ -130,6 +135,12 @@ impl<'a> BitReader<'a> {
         self.bits_read
     }
 
+    /// Number of zero-padding bits served past the end of the input.
+    #[inline]
+    pub fn padding_bits(&self) -> u64 {
+        self.padding
+    }
+
     /// `true` once all real input bits have been consumed.
     pub fn is_exhausted(&self) -> bool {
         self.nacc == 0 && self.pos == self.bytes.len()
@@ -138,6 +149,28 @@ impl<'a> BitReader<'a> {
     /// Remaining number of real (non-padding) bits.
     pub fn bits_remaining(&self) -> u64 {
         (self.bytes.len() - self.pos) as u64 * 8 + u64::from(self.nacc)
+    }
+}
+
+impl BitSource for BitReader<'_> {
+    #[inline]
+    fn try_read_bit(&mut self) -> Option<bool> {
+        BitReader::try_read_bit(self)
+    }
+
+    #[inline]
+    fn read_bit(&mut self) -> bool {
+        BitReader::read_bit(self)
+    }
+
+    #[inline]
+    fn bits_read(&self) -> u64 {
+        BitReader::bits_read(self)
+    }
+
+    #[inline]
+    fn padding_bits(&self) -> u64 {
+        BitReader::padding_bits(self)
     }
 }
 

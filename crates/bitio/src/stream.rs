@@ -1,0 +1,407 @@
+//! Bounded-memory bit I/O over `std::io::Write` / `std::io::Read`.
+//!
+//! [`BitWriter`](crate::BitWriter) and [`BitReader`](crate::BitReader)
+//! materialize the whole stream in memory. The adapters here keep only a
+//! small fixed buffer and move bytes through the wrapped `io` object as
+//! they fill or drain, so a codec built on them runs in O(1) memory no
+//! matter how long the bit stream gets — the software shape of the paper's
+//! one-pixel-per-cycle hardware output bus.
+//!
+//! # Error handling
+//!
+//! Bit-level writes cannot return `io::Result` without poisoning every
+//! coder signature above them, so [`StreamBitWriter`] latches the first
+//! I/O error, discards subsequent output, and surfaces the error from
+//! [`StreamBitWriter::finish`] (or eagerly via
+//! [`StreamBitWriter::take_error`]). [`StreamBitReader`] likewise treats an
+//! I/O error as end-of-input and reports it through
+//! [`StreamBitReader::io_error`].
+
+use crate::{BitSink, BitSource};
+use std::io::{self, Read, Write};
+
+/// Bytes held before handing them to the wrapped writer / after pulling
+/// them from the wrapped reader. One page: small enough to be "bounded",
+/// large enough to amortize `write`/`read` calls.
+const CHUNK: usize = 4096;
+
+/// An MSB-first bit sink that streams its bytes into an [`io::Write`].
+///
+/// Produces byte-for-byte the stream [`BitWriter`](crate::BitWriter) would
+/// buffer, including the zero-padded final partial byte emitted by
+/// [`Self::finish`].
+///
+/// # Examples
+///
+/// ```
+/// use cbic_bitio::{BitSink, StreamBitWriter};
+///
+/// let mut w = StreamBitWriter::new(Vec::new());
+/// w.write_bits(0b101, 3);
+/// assert_eq!(w.bits_written(), 3);
+/// assert_eq!(w.finish().unwrap(), vec![0xA0]);
+/// ```
+#[derive(Debug)]
+pub struct StreamBitWriter<W: Write> {
+    inner: W,
+    buf: Vec<u8>,
+    /// Bits accumulated in `acc`, always in `0..8`.
+    nacc: u32,
+    /// Pending bits, left-aligned within the low `nacc` bits.
+    acc: u8,
+    bits_written: u64,
+    error: Option<io::Error>,
+    /// Set with `error` and never cleared: once any byte was dropped the
+    /// stream has a gap, so the writer refuses to produce "success" even
+    /// after the error itself was [taken](Self::take_error).
+    poisoned: bool,
+}
+
+impl<W: Write> StreamBitWriter<W> {
+    /// Wraps `inner` in a fresh bit sink.
+    pub fn new(inner: W) -> Self {
+        Self {
+            inner,
+            buf: Vec::with_capacity(CHUNK),
+            nacc: 0,
+            acc: 0,
+            bits_written: 0,
+            error: None,
+            poisoned: false,
+        }
+    }
+
+    fn push_byte(&mut self, byte: u8) {
+        if self.poisoned {
+            return;
+        }
+        self.buf.push(byte);
+        if self.buf.len() >= CHUNK {
+            self.flush_buf();
+        }
+    }
+
+    fn flush_buf(&mut self) {
+        if !self.poisoned {
+            if let Err(e) = self.inner.write_all(&self.buf) {
+                self.error = Some(e);
+                self.poisoned = true;
+            }
+        }
+        self.buf.clear();
+    }
+
+    /// Returns (and clears) the first I/O error hit so far, letting row- or
+    /// chunk-level callers fail fast instead of discovering the error at
+    /// [`Self::finish`].
+    ///
+    /// Taking the error does **not** un-poison the writer: bytes were
+    /// already dropped, so later writes stay discarded and
+    /// [`Self::finish`] keeps failing.
+    pub fn take_error(&mut self) -> io::Result<()> {
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Pads the current partial byte with zero bits up to a byte boundary.
+    ///
+    /// Does nothing when already aligned. The padding bits are *not*
+    /// counted by [`BitSink::bits_written`].
+    pub fn align_to_byte(&mut self) {
+        if self.nacc > 0 {
+            let pad = 8 - self.nacc;
+            let byte = self.acc << pad;
+            self.acc = 0;
+            self.nacc = 0;
+            self.push_byte(byte);
+        }
+    }
+
+    /// Flushes the partial byte (zero-padded), drains the internal buffer,
+    /// flushes the wrapped writer, and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered at any point of the stream's
+    /// life (bits written after the error were discarded). A writer whose
+    /// error was already [taken](Self::take_error) still fails — the
+    /// output has a gap and must not be reported as complete.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.align_to_byte();
+        self.flush_buf();
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        if self.poisoned {
+            return Err(io::Error::other(
+                "bit stream incomplete: an earlier write error dropped bytes",
+            ));
+        }
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+impl<W: Write> BitSink for StreamBitWriter<W> {
+    #[inline]
+    fn write_bit(&mut self, bit: bool) {
+        self.acc = (self.acc << 1) | u8::from(bit);
+        self.nacc += 1;
+        self.bits_written += 1;
+        if self.nacc == 8 {
+            let byte = self.acc;
+            self.acc = 0;
+            self.nacc = 0;
+            self.push_byte(byte);
+        }
+    }
+
+    #[inline]
+    fn bits_written(&self) -> u64 {
+        self.bits_written
+    }
+}
+
+/// An MSB-first bit source that pulls its bytes from an [`io::Read`].
+///
+/// Mirrors [`BitReader`](crate::BitReader): padded reads return `0` bits
+/// once the underlying reader is exhausted, strict reads report
+/// exhaustion. An I/O error is treated as end-of-input and kept for
+/// inspection via [`Self::io_error`].
+///
+/// # Examples
+///
+/// ```
+/// use cbic_bitio::{BitSource, StreamBitReader};
+///
+/// let mut r = StreamBitReader::new(&[0b1011_0000u8][..]);
+/// assert_eq!(r.read_bits(4), 0b1011);
+/// assert_eq!(r.bits_read(), 4);
+/// assert_eq!(r.padding_bits(), 0);
+/// ```
+#[derive(Debug)]
+pub struct StreamBitReader<R: Read> {
+    inner: R,
+    buf: Box<[u8; CHUNK]>,
+    /// Valid prefix of `buf` is `pos..len`.
+    pos: usize,
+    len: usize,
+    /// Bits remaining in `acc`.
+    nacc: u32,
+    /// Remaining bits of the current byte, left-aligned at bit `nacc - 1`.
+    acc: u8,
+    bits_read: u64,
+    padding: u64,
+    eof: bool,
+    error: Option<io::Error>,
+}
+
+impl<R: Read> StreamBitReader<R> {
+    /// Wraps `inner` in a fresh bit source.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            buf: Box::new([0; CHUNK]),
+            pos: 0,
+            len: 0,
+            nacc: 0,
+            acc: 0,
+            bits_read: 0,
+            padding: 0,
+            eof: false,
+            error: None,
+        }
+    }
+
+    /// The first I/O error encountered, if any. After an error the source
+    /// behaves as if the input had ended (padded reads return zeros).
+    pub fn io_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Refills the byte buffer. Returns `false` at end of input.
+    fn refill(&mut self) -> bool {
+        if self.eof {
+            return false;
+        }
+        loop {
+            match self.inner.read(&mut self.buf[..]) {
+                Ok(0) => {
+                    self.eof = true;
+                    return false;
+                }
+                Ok(n) => {
+                    self.pos = 0;
+                    self.len = n;
+                    return true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.error = Some(e);
+                    self.eof = true;
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+impl<R: Read> BitSource for StreamBitReader<R> {
+    #[inline]
+    fn try_read_bit(&mut self) -> Option<bool> {
+        if self.nacc == 0 {
+            if self.pos == self.len && !self.refill() {
+                return None;
+            }
+            self.acc = self.buf[self.pos];
+            self.pos += 1;
+            self.nacc = 8;
+        }
+        self.nacc -= 1;
+        self.bits_read += 1;
+        Some((self.acc >> self.nacc) & 1 == 1)
+    }
+
+    #[inline]
+    fn read_bit(&mut self) -> bool {
+        match self.try_read_bit() {
+            Some(b) => b,
+            None => {
+                self.bits_read += 1;
+                self.padding += 1;
+                false
+            }
+        }
+    }
+
+    #[inline]
+    fn bits_read(&self) -> u64 {
+        self.bits_read
+    }
+
+    #[inline]
+    fn padding_bits(&self) -> u64 {
+        self.padding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BitReader, BitWriter};
+
+    #[test]
+    fn stream_writer_matches_buffered_writer() {
+        let mut buffered = BitWriter::new();
+        let mut streamed = StreamBitWriter::new(Vec::new());
+        for i in 0..1000u64 {
+            let count = (i % 13) as u32 + 1;
+            let value = i.wrapping_mul(0x9e37_79b9) & ((1 << count) - 1);
+            BitWriter::write_bits(&mut buffered, value, count);
+            streamed.write_bits(value, count);
+        }
+        assert_eq!(streamed.bits_written(), buffered.bits_written());
+        assert_eq!(streamed.finish().unwrap(), buffered.into_bytes());
+    }
+
+    #[test]
+    fn stream_writer_aligns_like_buffered() {
+        let mut buffered = BitWriter::new();
+        let mut streamed = StreamBitWriter::new(Vec::new());
+        for w in [&mut buffered as &mut dyn BitSink, &mut streamed] {
+            w.write_bits(0b11, 2);
+        }
+        buffered.align_to_byte();
+        streamed.align_to_byte();
+        for w in [&mut buffered as &mut dyn BitSink, &mut streamed] {
+            w.write_bit(true);
+        }
+        assert_eq!(streamed.finish().unwrap(), buffered.into_bytes());
+    }
+
+    #[test]
+    fn stream_writer_crosses_chunk_boundary() {
+        // More than CHUNK bytes forces at least one mid-stream flush.
+        let n = (CHUNK + 100) * 8;
+        let mut w = StreamBitWriter::new(Vec::new());
+        for i in 0..n {
+            w.write_bit(i % 3 == 0);
+        }
+        let out = w.finish().unwrap();
+        assert_eq!(out.len(), CHUNK + 100);
+        let mut r = BitReader::new(&out);
+        for i in 0..n {
+            assert_eq!(BitReader::read_bit(&mut r), i % 3 == 0, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn stream_writer_latches_io_errors() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = StreamBitWriter::new(Failing);
+        for _ in 0..(CHUNK + 1) * 8 {
+            w.write_bit(true);
+        }
+        assert!(w.take_error().is_err());
+        // Taking the error does not un-poison the writer: bytes were
+        // dropped, so the stream can never be reported complete.
+        w.write_bit(true);
+        assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn stream_reader_matches_buffered_reader() {
+        let bytes: Vec<u8> = (0..=255u8).cycle().take(3 * CHUNK + 17).collect();
+        let mut buffered = BitReader::new(&bytes);
+        let mut streamed = StreamBitReader::new(&bytes[..]);
+        for _ in 0..bytes.len() * 8 {
+            assert_eq!(BitReader::read_bit(&mut buffered), streamed.read_bit());
+        }
+        // Both pad with zeros past the end.
+        assert_eq!(streamed.try_read_bit(), None);
+        assert!(!streamed.read_bit());
+        assert_eq!(streamed.padding_bits(), 1);
+    }
+
+    #[test]
+    fn stream_reader_strict_and_unary() {
+        let mut r = StreamBitReader::new(&[0b0001_0000u8][..]);
+        assert_eq!(r.read_unary(), Some(3));
+        assert_eq!(r.try_read_bits(4), Some(0));
+        assert_eq!(r.try_read_bit(), None);
+        assert_eq!(r.read_unary(), None);
+    }
+
+    #[test]
+    fn stream_reader_reports_io_error_as_eof() {
+        struct Failing;
+        impl Read for Failing {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::other("broken pipe"))
+            }
+        }
+        let mut r = StreamBitReader::new(Failing);
+        assert_eq!(r.try_read_bit(), None);
+        assert!(!r.read_bit());
+        assert!(r.io_error().is_some());
+        assert_eq!(r.padding_bits(), 1);
+    }
+
+    #[test]
+    fn empty_reader_is_all_padding() {
+        let mut r = StreamBitReader::new(&[][..]);
+        assert_eq!(r.read_bits(16), 0);
+        assert_eq!(r.bits_read(), 16);
+        assert_eq!(r.padding_bits(), 16);
+    }
+}

@@ -1,3 +1,5 @@
+use crate::BitSink;
+
 /// An MSB-first bit sink backed by a growable byte buffer.
 ///
 /// Bits are packed into bytes starting from the most significant bit, which
@@ -127,6 +129,18 @@ impl BitWriter {
     /// included since it has not been padded yet.
     pub fn flushed_bytes(&self) -> &[u8] {
         &self.bytes
+    }
+}
+
+impl BitSink for BitWriter {
+    #[inline]
+    fn write_bit(&mut self, bit: bool) {
+        BitWriter::write_bit(self, bit);
+    }
+
+    #[inline]
+    fn bits_written(&self) -> u64 {
+        BitWriter::bits_written(self)
     }
 }
 

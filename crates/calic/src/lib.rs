@@ -139,6 +139,10 @@ impl cbic_image::ImageCodec for Calic {
     }
 }
 
+/// Whole-buffer streaming fallback: CALIC containers move through pipes
+/// via the default [`cbic_image::StreamingCodec`] methods.
+impl cbic_image::StreamingCodec for Calic {}
+
 #[cfg(test)]
 mod container_tests {
     use super::*;

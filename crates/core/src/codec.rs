@@ -8,6 +8,11 @@ use cbic_arith::{BinaryDecoder, BinaryEncoder, EstimatorConfig, SymbolCoder};
 use cbic_bitio::{BitReader, BitWriter};
 use cbic_image::Image;
 
+/// Upper bound on the zero-padding bits a decoder may legally read past the
+/// end of a well-formed payload: a 32-bit register preload plus final-byte
+/// padding, with slack. Anything above this means the stream was truncated.
+pub(crate) const MAX_CODE_PADDING_BITS: u64 = 64;
+
 pub use crate::context::DivisionKind;
 
 /// Number of coding contexts (`QE` levels) — fixed at 8 by the paper.
@@ -220,6 +225,20 @@ pub fn encode_raw(img: &Image, cfg: &CodecConfig) -> (Vec<u8>, EncodeStats) {
 /// Panics if the configuration is invalid. A mismatched payload produces
 /// garbage pixels but never unsafety.
 pub fn decode_raw(bytes: &[u8], width: usize, height: usize, cfg: &CodecConfig) -> Image {
+    decode_raw_with_padding(bytes, width, height, cfg).0
+}
+
+/// [`decode_raw`] plus the number of zero-padding bits the arithmetic
+/// decoder consumed past the end of `bytes`. A count above
+/// [`MAX_CODE_PADDING_BITS`] cannot come from a complete payload, which is
+/// how [`decompress`](crate::decompress) turns mid-stream EOF into an error
+/// instead of silent garbage.
+pub(crate) fn decode_raw_with_padding(
+    bytes: &[u8],
+    width: usize,
+    height: usize,
+    cfg: &CodecConfig,
+) -> (Image, u64) {
     let mut modeler = Modeler::new(width, cfg);
     let mut coder = SymbolCoder::new(CODING_CONTEXTS, cfg.estimator);
     let mut dec = BinaryDecoder::new(BitReader::new(bytes));
@@ -234,7 +253,8 @@ pub fn decode_raw(bytes: &[u8], width: usize, height: usize, cfg: &CodecConfig) 
             modeler.absorb(x, m.ctx, wrapped);
         }
     }
-    img
+    let padding = dec.source().padding_bits();
+    (img, padding)
 }
 
 #[cfg(test)]

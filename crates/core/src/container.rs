@@ -22,12 +22,14 @@
 //! 23      ...   arithmetic-coded payload
 //! ```
 
-use crate::codec::{decode_raw, encode_raw, CodecConfig, DivisionKind};
+use crate::codec::{decode_raw_with_padding, encode_raw, CodecConfig, MAX_CODE_PADDING_BITS};
+use crate::context::DivisionKind;
 use cbic_arith::EstimatorConfig;
-use cbic_image::{Image, ImageCodec, ImageError};
+use cbic_image::{Image, ImageCodec, ImageError, StreamingCodec};
 use std::fmt;
+use std::io::{Read, Write};
 
-const MAGIC: &[u8; 4] = b"CBIC";
+pub(crate) const MAGIC: &[u8; 4] = b"CBIC";
 const VERSION: u8 = 1;
 const CODEC_ID: u8 = 1;
 
@@ -44,10 +46,14 @@ pub enum CodecError {
     UnsupportedVersion(u8),
     /// Unknown codec identifier.
     UnsupportedCodec(u8),
-    /// The stream is shorter than its header claims.
+    /// The stream ended before its content did (short header, or an
+    /// arithmetic payload cut off mid-image).
     Truncated,
     /// A header field holds an invalid value.
     InvalidHeader(String),
+    /// An underlying I/O failure on a streaming source or sink (message
+    /// form, to keep the error `Clone`).
+    Io(String),
 }
 
 impl fmt::Display for CodecError {
@@ -58,6 +64,7 @@ impl fmt::Display for CodecError {
             Self::UnsupportedCodec(c) => write!(f, "unsupported codec id {c}"),
             Self::Truncated => write!(f, "truncated container"),
             Self::InvalidHeader(msg) => write!(f, "invalid header: {msg}"),
+            Self::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }
@@ -80,22 +87,32 @@ impl std::error::Error for CodecError {}
 pub fn compress(img: &Image, cfg: &CodecConfig) -> Vec<u8> {
     let (payload, _) = encode_raw(img, cfg);
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-    out.extend_from_slice(MAGIC);
-    out.push(VERSION);
-    out.push(CODEC_ID);
-    out.extend_from_slice(&(img.width() as u32).to_le_bytes());
-    out.extend_from_slice(&(img.height() as u32).to_le_bytes());
-    out.push(cfg.estimator.count_bits);
-    out.extend_from_slice(&cfg.estimator.increment.to_le_bytes());
-    out.extend_from_slice(&cfg.estimator.escape_init.0.to_le_bytes());
-    out.extend_from_slice(&cfg.estimator.escape_init.1.to_le_bytes());
+    out.extend_from_slice(&header_bytes(cfg, img.width(), img.height()));
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Serializes the container header for a `width`×`height` image coded with
+/// `cfg`. [`compress`] and the streaming
+/// [`StreamEncoder`](crate::stream::StreamEncoder) share this, which is what
+/// keeps their outputs byte-identical.
+pub(crate) fn header_bytes(cfg: &CodecConfig, width: usize, height: usize) -> [u8; HEADER_LEN] {
+    let mut out = [0u8; HEADER_LEN];
+    out[..4].copy_from_slice(MAGIC);
+    out[4] = VERSION;
+    out[5] = CODEC_ID;
+    out[6..10].copy_from_slice(&(width as u32).to_le_bytes());
+    out[10..14].copy_from_slice(&(height as u32).to_le_bytes());
+    out[14] = cfg.estimator.count_bits;
+    out[15..17].copy_from_slice(&cfg.estimator.increment.to_le_bytes());
+    out[17..19].copy_from_slice(&cfg.estimator.escape_init.0.to_le_bytes());
+    out[19..21].copy_from_slice(&cfg.estimator.escape_init.1.to_le_bytes());
     let mut flags = 0u8;
     flags |= u8::from(cfg.error_feedback);
     flags |= u8::from(cfg.aging) << 1;
     flags |= u8::from(cfg.division == DivisionKind::Exact) << 2;
-    out.push(flags);
-    out.push(cfg.texture_bits);
-    out.extend_from_slice(&payload);
+    out[21] = flags;
+    out[22] = cfg.texture_bits;
     out
 }
 
@@ -103,11 +120,17 @@ pub fn compress(img: &Image, cfg: &CodecConfig) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns a [`CodecError`] when the header is malformed; payload bytes
-/// beyond the header are consumed by the arithmetic decoder as-is.
+/// Returns a [`CodecError`] when the header is malformed, or
+/// [`CodecError::Truncated`] when the arithmetic payload ends well before
+/// the header-declared pixel count was decoded (the decoder had to invent
+/// more padding bits than any complete payload requires).
 pub fn decompress(bytes: &[u8]) -> Result<Image, CodecError> {
     let (cfg, width, height, payload) = parse_header(bytes)?;
-    Ok(decode_raw(payload, width, height, &cfg))
+    let (img, padding) = decode_raw_with_padding(payload, width, height, &cfg);
+    if padding > MAX_CODE_PADDING_BITS {
+        return Err(CodecError::Truncated);
+    }
+    Ok(img)
 }
 
 /// Parses a container header, returning the codec configuration,
@@ -124,6 +147,17 @@ pub fn parse_header(bytes: &[u8]) -> Result<(CodecConfig, usize, usize, &[u8]), 
             CodecError::Truncated
         });
     }
+    let hdr: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("sized");
+    let (cfg, width, height) = parse_header_fields(hdr)?;
+    Ok((cfg, width, height, &bytes[HEADER_LEN..]))
+}
+
+/// Parses exactly one header's worth of bytes — the slice-free core of
+/// [`parse_header`], shared with the streaming decoder which reads the
+/// header off an `io::Read`.
+pub(crate) fn parse_header_fields(
+    bytes: &[u8; HEADER_LEN],
+) -> Result<(CodecConfig, usize, usize), CodecError> {
     if &bytes[..4] != MAGIC {
         return Err(CodecError::BadMagic);
     }
@@ -188,7 +222,7 @@ pub fn parse_header(bytes: &[u8]) -> Result<(CodecConfig, usize, usize, &[u8]), 
         },
         texture_bits,
     };
-    Ok((cfg, width, height, &bytes[HEADER_LEN..]))
+    Ok((cfg, width, height))
 }
 
 /// The paper's codec as an [`ImageCodec`] trait object.
@@ -226,6 +260,29 @@ impl ImageCodec for Proposed {
 
     fn payload_bits_per_pixel(&self, img: &Image) -> f64 {
         encode_raw(img, &self.0).1.bits_per_pixel()
+    }
+}
+
+impl StreamingCodec for Proposed {
+    /// True streaming: the container is produced through
+    /// [`StreamEncoder`](crate::stream::StreamEncoder) with O(3 lines)
+    /// codec-side state and no output buffer, byte-identical to
+    /// [`ImageCodec::compress`].
+    fn compress_to(&self, img: &Image, out: &mut dyn Write) -> Result<(), ImageError> {
+        let mut enc = crate::stream::StreamEncoder::new(out, img.width(), img.height(), &self.0)
+            .map_err(ImageError::from)?;
+        for y in 0..img.height() {
+            enc.push_row(img.row(y)).map_err(ImageError::from)?;
+        }
+        enc.finish().map_err(ImageError::from)?;
+        Ok(())
+    }
+
+    /// True streaming: rows are reconstructed one at a time through
+    /// [`StreamDecoder`](crate::stream::StreamDecoder) without slurping the
+    /// compressed stream.
+    fn decompress_from(&self, input: &mut dyn Read) -> Result<Image, ImageError> {
+        crate::stream::decompress_from(input).map_err(|e| ImageError::Codec(e.to_string()))
     }
 }
 

@@ -27,8 +27,8 @@ use crate::context::{error_energy, quantize_energy, texture_pattern, ContextStor
 use crate::neighborhood::Neighborhood;
 use crate::predictor::{gap_predict, Gradients};
 use crate::remap::{fold, wrap_error};
-use cbic_arith::{BinaryEncoder, SymbolCoder};
-use cbic_bitio::BitWriter;
+use cbic_arith::{BinaryDecoder, BinaryEncoder, SymbolCoder};
+use cbic_bitio::{BitReader, BitSink, BitSource, BitWriter};
 use cbic_image::Image;
 
 /// Three rotating line buffers, as the hardware stores them.
@@ -141,6 +141,13 @@ impl LineBuffers {
 /// Streaming hardware-model encoder: feed raster-scan pixels one at a
 /// time, collect the bit stream at the end.
 ///
+/// The encoder is generic over its [`BitSink`]: the default [`BitWriter`]
+/// buffers the stream in memory, while a
+/// [`StreamBitWriter`](cbic_bitio::StreamBitWriter) (via
+/// [`Self::with_sink`]) emits bytes incrementally — the backing of the
+/// bounded-memory [`StreamEncoder`](crate::stream::StreamEncoder). The
+/// produced bits are identical either way.
+///
 /// # Examples
 ///
 /// ```
@@ -161,14 +168,14 @@ impl LineBuffers {
 /// assert_eq!(stream, reference);
 /// ```
 #[derive(Debug)]
-pub struct HwEncoder {
+pub struct HwEncoder<S = BitWriter> {
     buffers: LineBuffers,
     store: ContextStore,
     /// Row buffer of |wrapped error| per column — the hardware register
     /// file feeding `e_W` into the energy term.
     abs_err: Vec<u8>,
     coder: SymbolCoder,
-    ac: BinaryEncoder,
+    ac: BinaryEncoder<S>,
     cfg: CodecConfig,
     x: usize,
     y: usize,
@@ -176,23 +183,78 @@ pub struct HwEncoder {
 }
 
 impl HwEncoder {
-    /// Creates a streaming encoder for `width`-pixel lines.
+    /// Creates a streaming encoder for `width`-pixel lines, buffering the
+    /// bit stream in memory.
     ///
     /// # Panics
     ///
     /// Panics if `width` is zero or the configuration is invalid.
     pub fn new(width: usize, cfg: &CodecConfig) -> Self {
+        Self::with_sink(width, cfg, BitWriter::new())
+    }
+
+    /// Flushes the arithmetic coder and returns the byte stream
+    /// (bit-identical to [`encode_raw`](crate::encode_raw) on the same
+    /// pixels and configuration).
+    pub fn finish(self) -> Vec<u8> {
+        self.finish_sink().into_bytes()
+    }
+
+    /// Convenience: stream a whole image through the hardware model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image width differs from the encoder width.
+    pub fn encode_image(img: &Image, cfg: &CodecConfig) -> Vec<u8> {
+        let mut hw = Self::new(img.width(), cfg);
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                hw.push_pixel(img.get(x, y));
+            }
+        }
+        hw.finish()
+    }
+}
+
+impl<S: BitSink> HwEncoder<S> {
+    /// Creates a streaming encoder for `width`-pixel lines emitting into an
+    /// arbitrary [`BitSink`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or the configuration is invalid.
+    pub fn with_sink(width: usize, cfg: &CodecConfig, sink: S) -> Self {
         Self {
             buffers: LineBuffers::new(width),
             store: ContextStore::new(cfg.compound_contexts(), cfg.division, cfg.aging),
             abs_err: vec![0; width],
             coder: SymbolCoder::new(CODING_CONTEXTS, cfg.estimator),
-            ac: BinaryEncoder::new(BitWriter::new()),
+            ac: BinaryEncoder::new(sink),
             cfg: *cfg,
             x: 0,
             y: 0,
             pixels: 0,
         }
+    }
+
+    /// Width of the lines this encoder consumes.
+    pub fn width(&self) -> usize {
+        self.buffers.width()
+    }
+
+    /// Borrows the bit sink (e.g. to poll a streaming sink for I/O errors).
+    pub fn sink(&self) -> &S {
+        self.ac.sink()
+    }
+
+    /// Mutably borrows the bit sink.
+    pub fn sink_mut(&mut self) -> &mut S {
+        self.ac.sink_mut()
+    }
+
+    /// Flushes the arithmetic coder and returns the underlying bit sink.
+    pub fn finish_sink(self) -> S {
+        self.ac.finish()
     }
 
     /// Pixels consumed so far.
@@ -263,32 +325,17 @@ impl HwEncoder {
             self.buffers.rotate();
         }
     }
-
-    /// Flushes the arithmetic coder and returns the byte stream
-    /// (bit-identical to [`encode_raw`](crate::encode_raw) on the same
-    /// pixels and configuration).
-    pub fn finish(self) -> Vec<u8> {
-        self.ac.finish().into_bytes()
-    }
-
-    /// Convenience: stream a whole image through the hardware model.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the image width differs from the encoder width.
-    pub fn encode_image(img: &Image, cfg: &CodecConfig) -> Vec<u8> {
-        let mut hw = Self::new(img.width(), cfg);
-        for y in 0..img.height() {
-            for x in 0..img.width() {
-                hw.push_pixel(img.get(x, y));
-            }
-        }
-        hw.finish()
-    }
 }
 
 /// Streaming hardware-model decoder: the dual of [`HwEncoder`], producing
 /// one reconstructed pixel per call from the same three-line-buffer state.
+///
+/// Like the encoder it is generic over its bit transport: [`Self::new`]
+/// decodes a buffered byte slice through a [`BitReader`], while
+/// [`Self::with_source`] accepts any [`BitSource`] — in particular a
+/// [`StreamBitReader`](cbic_bitio::StreamBitReader) refilled incrementally
+/// from `std::io::Read`, the backing of
+/// [`StreamDecoder`](crate::stream::StreamDecoder).
 ///
 /// # Examples
 ///
@@ -308,34 +355,58 @@ impl HwEncoder {
 /// }
 /// ```
 #[derive(Debug)]
-pub struct HwDecoder<'a> {
+pub struct HwDecoder<S> {
     buffers: LineBuffers,
     store: ContextStore,
     abs_err: Vec<u8>,
     coder: SymbolCoder,
-    ac: cbic_arith::BinaryDecoder<'a>,
+    ac: BinaryDecoder<S>,
     cfg: CodecConfig,
     x: usize,
     y: usize,
 }
 
-impl<'a> HwDecoder<'a> {
+impl<'a> HwDecoder<BitReader<'a>> {
     /// Creates a streaming decoder over `stream` for `width`-pixel lines.
     ///
     /// # Panics
     ///
     /// Panics if `width` is zero or the configuration is invalid.
     pub fn new(stream: &'a [u8], width: usize, cfg: &CodecConfig) -> Self {
+        Self::with_source(BitReader::new(stream), width, cfg)
+    }
+
+    /// Convenience: decode a whole image through the hardware model.
+    pub fn decode_image(stream: &'a [u8], width: usize, height: usize, cfg: &CodecConfig) -> Image {
+        let mut dec = Self::new(stream, width, cfg);
+        Image::from_fn(width, height, |_, _| dec.next_pixel())
+    }
+}
+
+impl<S: BitSource> HwDecoder<S> {
+    /// Creates a streaming decoder reading code bits from an arbitrary
+    /// [`BitSource`] for `width`-pixel lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or the configuration is invalid.
+    pub fn with_source(source: S, width: usize, cfg: &CodecConfig) -> Self {
         Self {
             buffers: LineBuffers::new(width),
             store: ContextStore::new(cfg.compound_contexts(), cfg.division, cfg.aging),
             abs_err: vec![0; width],
             coder: SymbolCoder::new(CODING_CONTEXTS, cfg.estimator),
-            ac: cbic_arith::BinaryDecoder::new(cbic_bitio::BitReader::new(stream)),
+            ac: BinaryDecoder::new(source),
             cfg: *cfg,
             x: 0,
             y: 0,
         }
+    }
+
+    /// Borrows the bit source (e.g. to inspect padding counts or streaming
+    /// I/O errors).
+    pub fn source(&self) -> &S {
+        self.ac.source()
     }
 
     /// Decodes and returns the next raster-scan pixel.
@@ -375,12 +446,6 @@ impl<'a> HwDecoder<'a> {
             self.buffers.rotate();
         }
         value
-    }
-
-    /// Convenience: decode a whole image through the hardware model.
-    pub fn decode_image(stream: &'a [u8], width: usize, height: usize, cfg: &CodecConfig) -> Image {
-        let mut dec = Self::new(stream, width, cfg);
-        Image::from_fn(width, height, |_, _| dec.next_pixel())
     }
 }
 

@@ -50,10 +50,12 @@ pub mod hwpipe;
 pub mod neighborhood;
 pub mod predictor;
 pub mod remap;
+pub mod stream;
 pub mod tiles;
 
 pub use codec::{decode_raw, encode_raw, CodecConfig, DivisionKind, EncodeStats};
 pub use container::{compress, decompress, CodecError, Proposed};
+pub use stream::{StreamDecoder, StreamEncoder};
 pub use tiles::{Parallelism, Tiled};
 
 #[cfg(test)]

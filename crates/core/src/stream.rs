@@ -1,0 +1,438 @@
+//! Bounded-memory streaming codec over `std::io::Read` / `std::io::Write`.
+//!
+//! The paper's Fig. 3 architecture is a stream machine: three rotating line
+//! buffers, one pixel per cycle, bits trickling out of the arithmetic coder
+//! as they resolve. [`compress`](crate::compress)/[`decompress`](crate::decompress)
+//! hide that behind fully materialized `Vec<u8>` buffers, which caps image
+//! size by RAM. This module exposes the hardware's actual shape in
+//! software:
+//!
+//! * [`StreamEncoder`] — feed pixel rows, bits flow into any `io::Write`;
+//! * [`StreamDecoder`] — pull reconstructed rows out of any `io::Read`.
+//!
+//! Both keep **O(3 lines + estimator tables)** of state — the
+//! [`LineBuffers`](crate::hwpipe::LineBuffers) machinery of the hardware
+//! model plus one 4 KiB transport buffer — independent of image height, so
+//! a 64-megapixel image pipes through in a few hundred kilobytes of codec
+//! memory. The emitted container is **byte-identical** to
+//! [`compress`](crate::compress) (same header, same arithmetic payload),
+//! which the differential test suite and the golden corpus pin down.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbic_core::stream::{StreamDecoder, StreamEncoder};
+//! use cbic_core::CodecConfig;
+//! use cbic_image::corpus::CorpusImage;
+//!
+//! let img = CorpusImage::Boat.generate(32, 32);
+//! let cfg = CodecConfig::default();
+//!
+//! // Encode row-at-a-time into any io::Write.
+//! let mut enc = StreamEncoder::new(Vec::new(), 32, 32, &cfg)?;
+//! for y in 0..32 {
+//!     enc.push_row(img.row(y))?;
+//! }
+//! let bytes = enc.finish()?;
+//! assert_eq!(bytes, cbic_core::compress(&img, &cfg)); // byte-identical
+//!
+//! // Decode row-at-a-time from any io::Read.
+//! let mut dec = StreamDecoder::new(&bytes[..]).unwrap();
+//! let mut row = vec![0u8; 32];
+//! for y in 0..32 {
+//!     dec.next_row(&mut row).unwrap();
+//!     assert_eq!(&row[..], img.row(y));
+//! }
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use crate::codec::{CodecConfig, MAX_CODE_PADDING_BITS};
+use crate::container::{header_bytes, parse_header_fields, CodecError, HEADER_LEN};
+use crate::hwpipe::{HwDecoder, HwEncoder};
+use cbic_bitio::{BitSink, BitSource, StreamBitReader, StreamBitWriter};
+use cbic_image::Image;
+use std::io::{self, Read, Write};
+
+/// Streaming encoder: consumes pixel rows, emits the standard `CBIC`
+/// container incrementally into an [`io::Write`].
+///
+/// Memory is bounded to the hardware model's state (three line buffers, the
+/// context store, the estimator trees) plus a 4 KiB output buffer —
+/// nothing scales with image height.
+#[derive(Debug)]
+pub struct StreamEncoder<W: Write> {
+    hw: HwEncoder<StreamBitWriter<W>>,
+    height: usize,
+    rows_in: usize,
+}
+
+impl<W: Write> StreamEncoder<W> {
+    /// Writes the container header for a `width`×`height` image and
+    /// prepares the pixel pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the header, and returns
+    /// [`io::ErrorKind::InvalidInput`] for dimensions no decoder would
+    /// accept — beyond the container's 2^28-pixel ceiling (or a `u32`
+    /// header field) — so an hours-long encode cannot end in an
+    /// undecodable container.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the configuration is invalid.
+    pub fn new(mut out: W, width: usize, height: usize, cfg: &CodecConfig) -> io::Result<Self> {
+        assert!(width > 0 && height > 0, "image dimensions must be nonzero");
+        if width > u32::MAX as usize
+            || height > u32::MAX as usize
+            || width.saturating_mul(height) > 1 << 28
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("{width}x{height} exceeds the 2^28-pixel container limit"),
+            ));
+        }
+        out.write_all(&header_bytes(cfg, width, height))?;
+        Ok(Self {
+            hw: HwEncoder::with_sink(width, cfg, StreamBitWriter::new(out)),
+            height,
+            rows_in: 0,
+        })
+    }
+
+    /// Row width this encoder expects.
+    pub fn width(&self) -> usize {
+        self.hw.width()
+    }
+
+    /// Total rows the header promised.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Rows consumed so far.
+    pub fn rows_pushed(&self) -> usize {
+        self.rows_in
+    }
+
+    /// Payload bits emitted so far (exact, pre-padding) — the streaming
+    /// equivalent of [`EncodeStats::payload_bits`](crate::EncodeStats).
+    pub fn payload_bits(&self) -> u64 {
+        self.hw.sink().bits_written()
+    }
+
+    /// Encodes one raster row.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces any I/O error the underlying writer hit while this row's
+    /// bits were flushed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the encoder width or all
+    /// `height` rows were already pushed.
+    pub fn push_row(&mut self, row: &[u8]) -> io::Result<()> {
+        assert_eq!(row.len(), self.width(), "row length mismatch");
+        assert!(
+            self.rows_in < self.height,
+            "all {} rows already pushed",
+            self.height
+        );
+        for &pixel in row {
+            self.hw.push_pixel(pixel);
+        }
+        self.rows_in += 1;
+        self.hw.sink_mut().take_error()
+    }
+
+    /// Flushes the arithmetic coder and the transport, returning the
+    /// wrapped writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns any latched or final I/O error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `height` rows were pushed — finishing early
+    /// would emit a container whose header lies about its pixel count.
+    pub fn finish(self) -> io::Result<W> {
+        assert_eq!(
+            self.rows_in, self.height,
+            "only {} of {} rows were pushed",
+            self.rows_in, self.height
+        );
+        self.hw.finish_sink().finish()
+    }
+}
+
+/// Streaming decoder: reads the standard `CBIC` container incrementally
+/// from an [`io::Read`], producing reconstructed rows one at a time.
+///
+/// The compressed stream is never slurped: bytes are pulled through a
+/// 4 KiB refill buffer exactly as the arithmetic decoder consumes them.
+#[derive(Debug)]
+pub struct StreamDecoder<R: Read> {
+    hw: HwDecoder<StreamBitReader<R>>,
+    cfg: CodecConfig,
+    width: usize,
+    height: usize,
+    rows_out: usize,
+}
+
+impl<R: Read> StreamDecoder<R> {
+    /// Reads and validates the container header, preparing the pixel
+    /// pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when the stream ends inside the header,
+    /// [`CodecError::Io`] on transport errors, and the usual header errors
+    /// ([`CodecError::BadMagic`], invalid fields, …) otherwise.
+    pub fn new(mut input: R) -> Result<Self, CodecError> {
+        let mut hdr = [0u8; HEADER_LEN];
+        input.read_exact(&mut hdr).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                CodecError::Truncated
+            } else {
+                CodecError::Io(e.to_string())
+            }
+        })?;
+        let (cfg, width, height) = parse_header_fields(&hdr)?;
+        Ok(Self {
+            hw: HwDecoder::with_source(StreamBitReader::new(input), width, &cfg),
+            cfg,
+            width,
+            height,
+            rows_out: 0,
+        })
+    }
+
+    /// Image dimensions declared by the header.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Codec configuration carried by the header.
+    pub fn config(&self) -> &CodecConfig {
+        &self.cfg
+    }
+
+    /// Rows decoded so far.
+    pub fn rows_decoded(&self) -> usize {
+        self.rows_out
+    }
+
+    /// Decodes the next raster row into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Io`] if the transport failed mid-row, and
+    /// [`CodecError::Truncated`] when — by the final row — the decoder had
+    /// to invent more padding bits than any complete payload requires
+    /// (i.e. the stream ended early and the tail rows are fabrication).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the image width or all rows were
+    /// already decoded.
+    pub fn next_row(&mut self, buf: &mut [u8]) -> Result<(), CodecError> {
+        assert_eq!(buf.len(), self.width, "row buffer length mismatch");
+        assert!(
+            self.rows_out < self.height,
+            "all {} rows already decoded",
+            self.height
+        );
+        for slot in buf.iter_mut() {
+            *slot = self.hw.next_pixel();
+        }
+        self.rows_out += 1;
+        if let Some(e) = self.hw.source().io_error() {
+            return Err(CodecError::Io(e.to_string()));
+        }
+        if self.rows_out == self.height && self.hw.source().padding_bits() > MAX_CODE_PADDING_BITS {
+            return Err(CodecError::Truncated);
+        }
+        Ok(())
+    }
+
+    /// Decodes every remaining row into a full [`Image`] (convenience for
+    /// callers that want the bounded-memory transport but a materialized
+    /// result).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::next_row`].
+    pub fn decode_all(mut self) -> Result<Image, CodecError> {
+        let mut img = Image::new(self.width, self.height);
+        let mut row = vec![0u8; self.width];
+        for y in self.rows_out..self.height {
+            self.next_row(&mut row)?;
+            for (x, &v) in row.iter().enumerate() {
+                img.set(x, y, v);
+            }
+        }
+        Ok(img)
+    }
+}
+
+/// Streams `img` into `out` as a standard container, byte-identical to
+/// [`compress`](crate::compress) but without materializing the output.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn compress_to<W: Write>(img: &Image, cfg: &CodecConfig, out: W) -> io::Result<W> {
+    let mut enc = StreamEncoder::new(out, img.width(), img.height(), cfg)?;
+    for y in 0..img.height() {
+        enc.push_row(img.row(y))?;
+    }
+    enc.finish()
+}
+
+/// Decodes a standard container from `input` without slurping it.
+///
+/// # Errors
+///
+/// As [`StreamDecoder::new`] and [`StreamDecoder::next_row`].
+pub fn decompress_from<R: Read>(input: R) -> Result<Image, CodecError> {
+    StreamDecoder::new(input)?.decode_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::compress;
+    use cbic_image::corpus::CorpusImage;
+
+    #[test]
+    fn streaming_output_is_byte_identical_to_buffered() {
+        let cfg = CodecConfig::default();
+        for (name, img) in cbic_image::corpus::generate(48) {
+            let buffered = compress(&img, &cfg);
+            let streamed = compress_to(&img, &cfg, Vec::new()).unwrap();
+            assert_eq!(streamed, buffered, "{name:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_roundtrip_edge_shapes() {
+        let cfg = CodecConfig::default();
+        for (w, h) in [(1, 1), (1, 17), (17, 1), (3, 5), (64, 2)] {
+            let img = Image::from_fn(w, h, |x, y| (x * 41 + y * 13) as u8);
+            let bytes = compress_to(&img, &cfg, Vec::new()).unwrap();
+            assert_eq!(decompress_from(&bytes[..]).unwrap(), img, "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn decoder_reads_buffered_streams_and_vice_versa() {
+        let img = CorpusImage::Goldhill.generate(40, 40);
+        let cfg = CodecConfig {
+            texture_bits: 3,
+            ..CodecConfig::default()
+        };
+        let buffered = compress(&img, &cfg);
+        // Streaming decoder on buffered bytes.
+        assert_eq!(decompress_from(&buffered[..]).unwrap(), img);
+        // Buffered decoder on streamed bytes.
+        let streamed = compress_to(&img, &cfg, Vec::new()).unwrap();
+        assert_eq!(crate::container::decompress(&streamed).unwrap(), img);
+    }
+
+    #[test]
+    fn decoder_carries_header_config() {
+        let img = CorpusImage::Zelda.generate(16, 16);
+        let cfg = CodecConfig {
+            error_feedback: false,
+            ..CodecConfig::default()
+        };
+        let bytes = compress_to(&img, &cfg, Vec::new()).unwrap();
+        let dec = StreamDecoder::new(&bytes[..]).unwrap();
+        assert_eq!(dec.dimensions(), (16, 16));
+        assert_eq!(dec.config(), &cfg);
+    }
+
+    #[test]
+    fn truncated_header_errors() {
+        let img = CorpusImage::Boat.generate(16, 16);
+        let bytes = compress(&img, &CodecConfig::default());
+        for cut in [0, 4, HEADER_LEN - 1] {
+            assert!(
+                matches!(
+                    StreamDecoder::new(&bytes[..cut]).err(),
+                    Some(CodecError::Truncated)
+                ),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_payload_errors_not_panics() {
+        let img = CorpusImage::Barb.generate(48, 48);
+        let bytes = compress(&img, &CodecConfig::default());
+        assert!(bytes.len() > HEADER_LEN + 64, "test needs a real payload");
+        let cut = &bytes[..bytes.len() / 2];
+        assert_eq!(
+            decompress_from(cut).err(),
+            Some(CodecError::Truncated),
+            "mid-payload EOF must surface as Truncated"
+        );
+    }
+
+    #[test]
+    fn flipped_magic_errors() {
+        let img = CorpusImage::Boat.generate(16, 16);
+        let mut bytes = compress(&img, &CodecConfig::default());
+        bytes[0] ^= 0xFF;
+        assert_eq!(
+            StreamDecoder::new(&bytes[..]).err(),
+            Some(CodecError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn io_error_mid_stream_surfaces() {
+        struct FailAfter(Vec<u8>, usize);
+        impl Read for FailAfter {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Err(io::Error::other("link dropped"));
+                }
+                let n = buf.len().min(self.0.len() - self.1).min(16);
+                buf[..n].copy_from_slice(&self.0[self.1..self.1 + n]);
+                self.1 += n;
+                Ok(n)
+            }
+        }
+        let img = CorpusImage::Lena.generate(64, 64);
+        let bytes = compress(&img, &CodecConfig::default());
+        let half = bytes.len() / 2;
+        let result = decompress_from(FailAfter(bytes[..half].to_vec(), 0));
+        assert!(matches!(result, Err(CodecError::Io(_))), "got {result:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rows were pushed")]
+    fn finishing_early_panics() {
+        let enc = StreamEncoder::new(Vec::new(), 4, 4, &CodecConfig::default()).unwrap();
+        let _ = enc.finish();
+    }
+
+    #[test]
+    fn payload_bits_match_buffered_stats() {
+        let img = CorpusImage::Peppers.generate(32, 32);
+        let cfg = CodecConfig::default();
+        let (_, stats) = crate::codec::encode_raw(&img, &cfg);
+        let mut enc = StreamEncoder::new(Vec::new(), 32, 32, &cfg).unwrap();
+        for y in 0..32 {
+            enc.push_row(img.row(y)).unwrap();
+        }
+        // The final coder flush adds a few bits after the last row, so the
+        // running count must be within the flush slack of the exact total.
+        assert!(enc.payload_bits() <= stats.payload_bits);
+        assert!(enc.payload_bits() + 64 > stats.payload_bits);
+    }
+}

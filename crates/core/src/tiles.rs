@@ -31,9 +31,12 @@
 //! # Ok::<(), cbic_core::CodecError>(())
 //! ```
 
-use crate::codec::{decode_raw, encode_raw, CodecConfig, EncodeStats};
+use crate::codec::{
+    decode_raw_with_padding, encode_raw, CodecConfig, EncodeStats, MAX_CODE_PADDING_BITS,
+};
 use crate::container::{parse_header, CodecError, HEADER_LEN};
-use cbic_image::{Image, ImageCodec, ImageError};
+use cbic_image::{Image, ImageCodec, ImageError, StreamingCodec};
+use std::io::Read;
 
 /// How many worker threads code the bands of a tiled container.
 ///
@@ -242,10 +245,16 @@ pub fn decompress_tiled(bytes: &[u8], par: Parallelism) -> Result<Image, CodecEr
     validate_band_shapes(&bands)?;
 
     // Decoding each band is the step N cores would run concurrently.
-    let mut decoded: Vec<Image> = vec![Image::new(1, 1); bands.len()];
+    let mut decoded: Vec<Result<Image, CodecError>> = vec![Err(CodecError::Truncated); bands.len()];
     run_banded(&bands, &mut decoded, par, |(cfg, w, h, body)| {
-        decode_raw(body, *w, *h, cfg)
+        let (img, padding) = decode_raw_with_padding(body, *w, *h, cfg);
+        if padding > MAX_CODE_PADDING_BITS {
+            Err(CodecError::Truncated)
+        } else {
+            Ok(img)
+        }
     });
+    let decoded = decoded.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     let width = bands[0].1;
     let height: usize = bands.iter().map(|b| b.2).sum();
@@ -312,6 +321,111 @@ impl ImageCodec for Tiled {
 
     fn decompress(&self, bytes: &[u8]) -> Result<Image, ImageError> {
         decompress_tiled(bytes, self.parallelism).map_err(|e| ImageError::Codec(e.to_string()))
+    }
+}
+
+impl StreamingCodec for Tiled {
+    /// Chunked streaming decode: bands are length-prefixed, so each one is
+    /// read, validated, and decoded in turn — peak compressed-side
+    /// buffering is one band, not the whole container.
+    fn decompress_from(&self, input: &mut dyn Read) -> Result<Image, ImageError> {
+        let into = |e: CodecError| ImageError::Codec(e.to_string());
+        let read_exact = |input: &mut dyn Read, buf: &mut [u8]| -> Result<(), ImageError> {
+            input.read_exact(buf).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    into(CodecError::Truncated)
+                } else {
+                    ImageError::Io(e.to_string())
+                }
+            })
+        };
+
+        let mut head = [0u8; 8];
+        read_exact(input, &mut head)?;
+        if &head[..4] != TILE_MAGIC {
+            return Err(into(CodecError::BadMagic));
+        }
+        let tiles = u32::from_le_bytes(head[4..8].try_into().expect("sized")) as usize;
+        // Without the container length in hand, bound the tile count by the
+        // same 2^28-pixel ceiling the band headers enforce: every band has
+        // at least one row, so more bands than pixels is impossible.
+        if tiles == 0 || tiles > 1 << 28 {
+            return Err(into(CodecError::InvalidHeader(format!(
+                "tile count {tiles} impossible"
+            ))));
+        }
+        let mut bands: Vec<Image> = Vec::new();
+        let mut payload = Vec::new();
+        // Shape validation runs on each band header *before* its payload is
+        // arithmetic-decoded, mirroring decompress_tiled's fail-fast order:
+        // equal widths, non-increasing heights, spread of at most one.
+        let (mut min_h, mut max_h) = (usize::MAX, 0usize);
+        for _ in 0..tiles {
+            let mut len_bytes = [0u8; 4];
+            read_exact(input, &mut len_bytes)?;
+            let len = u32::from_le_bytes(len_bytes) as usize;
+            if len < HEADER_LEN {
+                return Err(into(CodecError::Truncated));
+            }
+            payload.clear();
+            // `take` bounds the allocation by what the stream actually
+            // holds, so a forged length cannot trigger a huge reservation.
+            input
+                .take(len as u64)
+                .read_to_end(&mut payload)
+                .map_err(|e| ImageError::Io(e.to_string()))?;
+            if payload.len() != len {
+                return Err(into(CodecError::Truncated));
+            }
+            let (cfg, w, h, body) = parse_header(&payload).map_err(into)?;
+            if let Some(first) = bands.first() {
+                if w != first.width() {
+                    return Err(into(CodecError::InvalidHeader(
+                        "inconsistent band widths".into(),
+                    )));
+                }
+                if h > min_h {
+                    return Err(into(CodecError::InvalidHeader(
+                        "band heights must be non-increasing".into(),
+                    )));
+                }
+            }
+            min_h = min_h.min(h);
+            max_h = max_h.max(h);
+            if max_h - min_h > 1 {
+                return Err(into(CodecError::InvalidHeader(format!(
+                    "band heights {min_h}..{max_h} differ by more than one"
+                ))));
+            }
+            let (img, padding) = decode_raw_with_padding(body, w, h, &cfg);
+            if padding > MAX_CODE_PADDING_BITS {
+                return Err(into(CodecError::Truncated));
+            }
+            bands.push(img);
+        }
+        if input
+            .read(&mut [0u8])
+            .map_err(|e| ImageError::Io(e.to_string()))?
+            != 0
+        {
+            return Err(into(CodecError::InvalidHeader(
+                "trailing bytes after final band".into(),
+            )));
+        }
+
+        let width = bands[0].width();
+        let height: usize = bands.iter().map(Image::height).sum();
+        let mut out = Image::new(width, height);
+        let mut y0 = 0usize;
+        for band in &bands {
+            for y in 0..band.height() {
+                for x in 0..width {
+                    out.set(x, y0 + y, band.get(x, y));
+                }
+            }
+            y0 += band.height();
+        }
+        Ok(out)
     }
 }
 

@@ -29,8 +29,10 @@ pub mod corpus;
 mod image;
 pub mod pgm;
 pub mod registry;
+mod streaming;
 pub mod synth;
 
 pub use codec_trait::ImageCodec;
 pub use image::{Image, ImageError};
-pub use registry::CodecRegistry;
+pub use registry::{CodecRegistry, RegistryError};
+pub use streaming::StreamingCodec;

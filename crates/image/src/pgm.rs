@@ -100,6 +100,92 @@ pub fn decode(bytes: &[u8]) -> Result<Image, ImageError> {
     Image::from_vec(width, height, data.to_vec())
 }
 
+/// Reads a binary PGM header from a stream, leaving the reader positioned
+/// at the first pixel byte. Returns `(width, height)`.
+///
+/// Bytes are pulled one at a time so nothing past the header is consumed
+/// (wrap raw streams in a `BufReader` and keep reading pixel rows from it).
+/// This is the entry point of the CLI's bounded-memory pipe mode: header
+/// first, then rows streamed straight into the codec.
+///
+/// # Errors
+///
+/// Returns [`ImageError::Io`] on read failures and [`ImageError::PgmParse`]
+/// on malformed headers (bad magic, maxval outside `1..=255`, …).
+pub fn read_header<R: Read>(input: &mut R) -> Result<(usize, usize), ImageError> {
+    let mut byte = [0u8; 1];
+    // Pull the next header byte; EOF inside a header is always malformed.
+    let mut next = |input: &mut R| -> Result<u8, ImageError> {
+        match input.read(&mut byte)? {
+            0 => Err(ImageError::PgmParse("unexpected end of header".into())),
+            _ => Ok(byte[0]),
+        }
+    };
+    // Reads one whitespace/comment-delimited token, returning it plus the
+    // delimiter byte that ended it.
+    let mut token = |input: &mut R| -> Result<(Vec<u8>, u8), ImageError> {
+        let mut tok = Vec::new();
+        loop {
+            let b = next(input)?;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    if !tok.is_empty() {
+                        return Ok((tok, b));
+                    }
+                }
+                // `#` starts a comment only between tokens, exactly like
+                // the buffered parser's whitespace skip.
+                b'#' if tok.is_empty() => loop {
+                    if next(input)? == b'\n' {
+                        break;
+                    }
+                },
+                _ => tok.push(b),
+            }
+        }
+    };
+    let number = |tok: &[u8]| -> Result<usize, ImageError> {
+        std::str::from_utf8(tok)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ImageError::PgmParse("malformed number in header".into()))
+    };
+
+    let (magic, _) = token(input)?;
+    if magic != b"P5" {
+        return Err(ImageError::PgmParse(format!(
+            "bad magic {:?}, expected P5",
+            String::from_utf8_lossy(&magic)
+        )));
+    }
+    let width = number(&token(input)?.0)?;
+    let height = number(&token(input)?.0)?;
+    let (maxval_tok, _) = token(input)?;
+    let maxval = number(&maxval_tok)?;
+    if maxval == 0 || maxval > 255 {
+        return Err(ImageError::PgmParse(format!(
+            "unsupported maxval {maxval} (need 1..=255)"
+        )));
+    }
+    if width == 0 || height == 0 {
+        return Err(ImageError::PgmParse("zero dimension".into()));
+    }
+    // The single whitespace byte terminating the maxval token is the
+    // header terminator; pixel data starts at the very next byte.
+    Ok((width, height))
+}
+
+/// Writes a binary PGM header (magic `P5`, maxval 255) to a stream; pixel
+/// rows follow it directly.
+///
+/// # Errors
+///
+/// Returns [`ImageError::Io`] on write failures.
+pub fn write_header<W: Write>(out: &mut W, width: usize, height: usize) -> Result<(), ImageError> {
+    out.write_all(format!("P5\n{width} {height}\n255\n").as_bytes())?;
+    Ok(())
+}
+
 /// Reads a PGM image from a file.
 ///
 /// # Errors
@@ -167,6 +253,47 @@ mod tests {
     #[test]
     fn rejects_empty_input() {
         assert!(decode(b"").is_err());
+    }
+
+    #[test]
+    fn streaming_header_matches_buffered_parser() {
+        let img = Image::from_fn(13, 7, |x, y| (x * 19 + y * 3) as u8);
+        let bytes = encode(&img);
+        let mut reader = &bytes[..];
+        assert_eq!(read_header(&mut reader).unwrap(), (13, 7));
+        // The reader is now positioned exactly at the pixel data.
+        assert_eq!(reader, img.pixels());
+    }
+
+    #[test]
+    fn streaming_header_with_comments() {
+        let bytes = b"P5 # a comment\n# another\n 2 3\n255\nxxxxxx";
+        let mut reader = &bytes[..];
+        assert_eq!(read_header(&mut reader).unwrap(), (2, 3));
+        assert_eq!(reader, b"xxxxxx");
+    }
+
+    #[test]
+    fn streaming_header_rejects_malformed_input() {
+        for bad in [
+            &b"P6\n1 1\n255\n\x00"[..],
+            b"P5\n0 4\n255\n",
+            b"P5\n2 2\n65535\n",
+            b"P5\n2 2",
+            b"",
+        ] {
+            let mut reader = bad;
+            assert!(read_header(&mut reader).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_header_writer_matches_encode() {
+        let img = Image::from_fn(5, 4, |x, y| (x + y) as u8);
+        let mut out = Vec::new();
+        write_header(&mut out, 5, 4).unwrap();
+        out.extend_from_slice(img.pixels());
+        assert_eq!(out, encode(&img));
     }
 
     #[test]

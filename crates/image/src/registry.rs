@@ -1,22 +1,68 @@
-//! A registry of [`ImageCodec`] implementations with name lookup and
+//! A registry of [`StreamingCodec`] implementations with name lookup and
 //! magic-byte auto-detection.
 //!
 //! Tools that work over *every* codec — the CLI, the Table 1 benchmark
 //! harness, the universal multiplexer's image front end — are written once
 //! against this registry instead of hard-coding one `match` arm per codec.
-//! Adding a codec to the workspace then means implementing [`ImageCodec`]
-//! and registering it in one place (`cbic_universal::codecs::all_codecs`),
-//! not editing every front end.
+//! Adding a codec to the workspace then means implementing
+//! [`ImageCodec`] + [`StreamingCodec`] and registering it in one place
+//! (`cbic_universal::codecs::all_codecs`), not editing every front end.
 
-use crate::{Image, ImageCodec, ImageError};
+use crate::{Image, ImageCodec, ImageError, StreamingCodec};
+use std::fmt;
+use std::io::Read;
+
+/// Errors returned by [`CodecRegistry::try_register`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RegistryError {
+    /// A codec with this name is already registered.
+    DuplicateName(String),
+    /// Another registered codec already claims this container magic, so
+    /// auto-detection could never reach the new codec.
+    MagicCollision {
+        /// The contested 4-byte magic.
+        magic: [u8; 4],
+        /// Codec that holds the magic.
+        holder: String,
+        /// Codec whose registration was rejected.
+        rejected: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateName(name) => {
+                write!(f, "codec name {name:?} is already registered")
+            }
+            Self::MagicCollision {
+                magic,
+                holder,
+                rejected,
+            } => write!(
+                f,
+                "magic {:?} of codec {rejected:?} collides with registered codec {holder:?}",
+                String::from_utf8_lossy(magic)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
 
 /// An ordered collection of codecs, addressable by name or container magic.
+///
+/// Registration rejects name duplicates and magic collisions up front
+/// (every magic is exactly the 4 bytes [`detect`](Self::detect) reads, so
+/// two codecs sharing one would make auto-detection silently pick
+/// whichever registered first).
 ///
 /// # Examples
 ///
 /// ```
 /// use cbic_image::registry::CodecRegistry;
-/// use cbic_image::{Image, ImageCodec, ImageError};
+/// use cbic_image::{Image, ImageCodec, ImageError, StreamingCodec};
 ///
 /// struct Stored;
 /// impl ImageCodec for Stored {
@@ -36,6 +82,7 @@ use crate::{Image, ImageCodec, ImageError};
 ///         Image::from_vec(w, h, bytes[12..].to_vec())
 ///     }
 /// }
+/// impl StreamingCodec for Stored {}
 ///
 /// let mut registry = CodecRegistry::new();
 /// registry.register(Box::new(Stored));
@@ -47,7 +94,7 @@ use crate::{Image, ImageCodec, ImageError};
 /// ```
 #[derive(Default)]
 pub struct CodecRegistry {
-    entries: Vec<Box<dyn ImageCodec>>,
+    entries: Vec<Box<dyn StreamingCodec>>,
 }
 
 impl CodecRegistry {
@@ -56,15 +103,46 @@ impl CodecRegistry {
         Self::default()
     }
 
-    /// Appends a codec. Later registrations win neither name nor magic
-    /// lookups — the first match is returned — so register the canonical
-    /// codec for a magic first.
-    pub fn register(&mut self, codec: Box<dyn ImageCodec>) {
+    /// Appends a codec, rejecting registrations that would make
+    /// [`by_name`](Self::by_name) or [`detect`](Self::detect) ambiguous.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::DuplicateName`] when a codec with the same name is
+    /// already present; [`RegistryError::MagicCollision`] when the codec's
+    /// container magic is already claimed.
+    pub fn try_register(&mut self, codec: Box<dyn StreamingCodec>) -> Result<(), RegistryError> {
+        if self.by_name(codec.name()).is_some() {
+            return Err(RegistryError::DuplicateName(codec.name().into()));
+        }
+        if let Some(magic) = codec.magic() {
+            if let Some(holder) = self.codecs().find(|c| c.magic() == Some(magic)) {
+                return Err(RegistryError::MagicCollision {
+                    magic,
+                    holder: holder.name().into(),
+                    rejected: codec.name().into(),
+                });
+            }
+        }
         self.entries.push(codec);
+        Ok(())
+    }
+
+    /// Appends a codec.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the collisions [`try_register`](Self::try_register)
+    /// rejects — duplicate registration is a programming error in the
+    /// registry assembly, not a runtime condition.
+    pub fn register(&mut self, codec: Box<dyn StreamingCodec>) {
+        if let Err(e) = self.try_register(codec) {
+            panic!("invalid codec registration: {e}");
+        }
     }
 
     /// All registered codecs, in registration order.
-    pub fn codecs(&self) -> impl Iterator<Item = &dyn ImageCodec> {
+    pub fn codecs(&self) -> impl Iterator<Item = &dyn StreamingCodec> {
         self.entries.iter().map(AsRef::as_ref)
     }
 
@@ -84,12 +162,12 @@ impl CodecRegistry {
     }
 
     /// Looks a codec up by its [`ImageCodec::name`].
-    pub fn by_name(&self, name: &str) -> Option<&dyn ImageCodec> {
+    pub fn by_name(&self, name: &str) -> Option<&dyn StreamingCodec> {
         self.codecs().find(|c| c.name() == name)
     }
 
     /// Identifies which codec produced `bytes` from its container magic.
-    pub fn detect(&self, bytes: &[u8]) -> Option<&dyn ImageCodec> {
+    pub fn detect(&self, bytes: &[u8]) -> Option<&dyn StreamingCodec> {
         let magic: [u8; 4] = bytes.get(..4)?.try_into().ok()?;
         self.codecs().find(|c| c.magic() == Some(magic))
     }
@@ -110,6 +188,30 @@ impl CodecRegistry {
                 self.names().join(", ")
             ))),
         }
+    }
+
+    /// Streaming [`decompress_auto`](Self::decompress_auto): reads the
+    /// 4-byte magic off `input`, routes to the owning codec, and lets it
+    /// consume the rest of the stream through
+    /// [`StreamingCodec::decompress_from`].
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::Io`] when the magic cannot be read,
+    /// [`ImageError::Codec`] for an unclaimed magic, and the codec's own
+    /// error otherwise.
+    pub fn decompress_stream(&self, input: &mut dyn Read) -> Result<Image, ImageError> {
+        let mut magic = [0u8; 4];
+        input.read_exact(&mut magic)?;
+        let codec = self.detect(&magic).ok_or_else(|| {
+            ImageError::Codec(format!(
+                "unrecognized container magic {:?} (registered: {})",
+                magic,
+                self.names().join(", ")
+            ))
+        })?;
+        let mut chained = (&magic[..]).chain(input);
+        codec.decompress_from(&mut chained)
     }
 }
 
@@ -141,6 +243,8 @@ mod tests {
             Ok(Image::from_fn(1, 1, |_, _| 0))
         }
     }
+
+    impl StreamingCodec for Fake {}
 
     fn sample() -> CodecRegistry {
         let mut r = CodecRegistry::new();
@@ -174,5 +278,80 @@ mod tests {
         let err = r.decompress_auto(b"ZZZZ....").unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("aaaa") && msg.contains("bbbb"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut r = sample();
+        let err = r
+            .try_register(Box::new(Fake("aaaa", *b"CCCC")))
+            .unwrap_err();
+        assert_eq!(err, RegistryError::DuplicateName("aaaa".into()));
+        assert_eq!(r.len(), 2, "rejected codec must not be kept");
+    }
+
+    #[test]
+    fn rejects_magic_collisions() {
+        let mut r = sample();
+        let err = r
+            .try_register(Box::new(Fake("cccc", *b"AAAA")))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RegistryError::MagicCollision {
+                magic: *b"AAAA",
+                holder: "aaaa".into(),
+                rejected: "cccc".into(),
+            }
+        );
+        assert!(err.to_string().contains("AAAA"), "{err}");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid codec registration")]
+    fn register_panics_on_collision() {
+        let mut r = sample();
+        r.register(Box::new(Fake("dddd", *b"BBBB")));
+    }
+
+    #[test]
+    fn magicless_codecs_always_register() {
+        struct NoMagic;
+        impl ImageCodec for NoMagic {
+            fn name(&self) -> &'static str {
+                "nomagic"
+            }
+            fn compress(&self, _img: &Image) -> Vec<u8> {
+                Vec::new()
+            }
+            fn decompress(&self, _bytes: &[u8]) -> Result<Image, ImageError> {
+                Ok(Image::from_fn(1, 1, |_, _| 0))
+            }
+        }
+        impl StreamingCodec for NoMagic {}
+        let mut r = sample();
+        r.try_register(Box::new(NoMagic)).unwrap();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn stream_decompress_routes_by_magic() {
+        let r = sample();
+        let mut input = &b"AAAAtail"[..];
+        assert_eq!(
+            r.decompress_stream(&mut input).unwrap(),
+            Image::from_fn(1, 1, |_, _| 0)
+        );
+        let mut unknown = &b"ZZZZ...."[..];
+        assert!(matches!(
+            r.decompress_stream(&mut unknown),
+            Err(ImageError::Codec(_))
+        ));
+        let mut short = &b"AB"[..];
+        assert!(matches!(
+            r.decompress_stream(&mut short),
+            Err(ImageError::Io(_))
+        ));
     }
 }

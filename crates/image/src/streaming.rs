@@ -1,0 +1,152 @@
+//! The streaming extension of [`ImageCodec`].
+//!
+//! [`StreamingCodec`] adds `io::Read`/`io::Write` entry points to the codec
+//! interface. The default methods fall back to the whole-buffer
+//! [`ImageCodec`] contract — every codec in the registry works through a
+//! pipe out of the box — while codecs with a genuinely incremental pipeline
+//! (the paper's codec, whose hardware model keeps three line buffers)
+//! override them to run in bounded memory.
+
+use crate::{Image, ImageCodec, ImageError};
+use std::io::{Read, Write};
+
+/// An [`ImageCodec`] that can also move containers through
+/// `std::io` streams.
+///
+/// # Contract
+///
+/// The bytes written by [`compress_to`](Self::compress_to) must equal
+/// [`ImageCodec::compress`]'s return value exactly, and
+/// [`decompress_from`](Self::decompress_from) must accept exactly the
+/// containers [`ImageCodec::decompress`] accepts — streaming is a transport
+/// choice, never a format change. The differential test suite holds the
+/// workspace codecs to this.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_image::{Image, ImageCodec, ImageError, StreamingCodec};
+///
+/// struct Stored;
+/// impl ImageCodec for Stored {
+///     fn name(&self) -> &'static str { "stored" }
+///     fn compress(&self, img: &Image) -> Vec<u8> {
+///         let mut out = (img.width() as u32).to_le_bytes().to_vec();
+///         out.extend_from_slice(&(img.height() as u32).to_le_bytes());
+///         out.extend_from_slice(img.pixels());
+///         out
+///     }
+///     fn decompress(&self, bytes: &[u8]) -> Result<Image, ImageError> {
+///         let w = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+///         let h = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+///         Image::from_vec(w, h, bytes[8..].to_vec())
+///     }
+/// }
+/// impl StreamingCodec for Stored {} // whole-buffer fallback
+///
+/// let img = Image::from_fn(4, 4, |x, y| (x + y) as u8);
+/// let mut sink = Vec::new();
+/// Stored.compress_to(&img, &mut sink)?;
+/// assert_eq!(sink, Stored.compress(&img));
+/// assert_eq!(Stored.decompress_from(&mut &sink[..])?, img);
+/// # Ok::<(), ImageError>(())
+/// ```
+pub trait StreamingCodec: ImageCodec {
+    /// Compresses `img` into `out`.
+    ///
+    /// The default buffers the whole container via [`ImageCodec::compress`]
+    /// and writes it out; streaming-capable codecs override this to emit
+    /// bytes incrementally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::Io`] on write failures (plus any
+    /// codec-specific error from an override).
+    fn compress_to(&self, img: &Image, out: &mut dyn Write) -> Result<(), ImageError> {
+        out.write_all(&self.compress(img))?;
+        Ok(())
+    }
+
+    /// Reads one container from `input` and decompresses it.
+    ///
+    /// The default slurps `input` to end-of-stream and delegates to
+    /// [`ImageCodec::decompress`]; streaming-capable codecs override this
+    /// to decode as bytes arrive. Note the default consumes the reader to
+    /// EOF, so it suits one-container streams (files, pipes), not
+    /// multiplexed ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::Io`] on read failures and the codec's own
+    /// error for malformed containers.
+    fn decompress_from(&self, input: &mut dyn Read) -> Result<Image, ImageError> {
+        let mut bytes = Vec::new();
+        input.read_to_end(&mut bytes)?;
+        self.decompress(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Stored;
+
+    impl ImageCodec for Stored {
+        fn name(&self) -> &'static str {
+            "stored"
+        }
+        fn compress(&self, img: &Image) -> Vec<u8> {
+            let mut out = (img.width() as u32).to_le_bytes().to_vec();
+            out.extend_from_slice(&(img.height() as u32).to_le_bytes());
+            out.extend_from_slice(img.pixels());
+            out
+        }
+        fn decompress(&self, bytes: &[u8]) -> Result<Image, ImageError> {
+            if bytes.len() < 8 {
+                return Err(ImageError::Codec("truncated".into()));
+            }
+            let w = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+            let h = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+            Image::from_vec(w, h, bytes[8..].to_vec())
+        }
+    }
+
+    impl StreamingCodec for Stored {}
+
+    #[test]
+    fn default_fallback_matches_buffered_api() {
+        let img = Image::from_fn(5, 3, |x, y| (x * y) as u8);
+        let mut sink = Vec::new();
+        Stored.compress_to(&img, &mut sink).unwrap();
+        assert_eq!(sink, Stored.compress(&img));
+        assert_eq!(Stored.decompress_from(&mut &sink[..]).unwrap(), img);
+    }
+
+    #[test]
+    fn default_fallback_surfaces_io_errors() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let img = Image::from_fn(2, 2, |_, _| 7);
+        assert!(matches!(
+            Stored.compress_to(&img, &mut Failing),
+            Err(ImageError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn trait_objects_stream() {
+        let codec: &dyn StreamingCodec = &Stored;
+        let img = Image::from_fn(3, 3, |x, _| x as u8);
+        let mut sink = Vec::new();
+        codec.compress_to(&img, &mut sink).unwrap();
+        assert_eq!(codec.decompress_from(&mut &sink[..]).unwrap(), img);
+    }
+}

@@ -119,6 +119,10 @@ impl cbic_image::ImageCodec for Jpegls {
     }
 }
 
+/// Whole-buffer streaming fallback: JPEG-LS containers move through pipes
+/// via the default [`cbic_image::StreamingCodec`] methods.
+impl cbic_image::StreamingCodec for Jpegls {}
+
 #[cfg(test)]
 mod container_tests {
     use super::*;

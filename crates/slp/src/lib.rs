@@ -328,6 +328,10 @@ impl cbic_image::ImageCodec for Slp {
     }
 }
 
+/// Whole-buffer streaming fallback: SLP containers move through pipes via
+/// the default [`cbic_image::StreamingCodec`] methods.
+impl cbic_image::StreamingCodec for Slp {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

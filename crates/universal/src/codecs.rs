@@ -7,10 +7,14 @@
 //! per-codec `match` arms.
 
 use cbic_core::tiles::{Parallelism, Tiled};
-use cbic_image::{CodecRegistry, ImageCodec};
+use cbic_image::{CodecRegistry, StreamingCodec};
 
 /// The four Table 1 codecs — the paper's scheme and its three baselines —
 /// in the paper's column order.
+///
+/// Every entry is a [`StreamingCodec`]: the baselines fall back to their
+/// whole-buffer paths when streamed, while the proposed codec runs its
+/// bounded-memory row pipeline.
 ///
 /// # Examples
 ///
@@ -24,7 +28,7 @@ use cbic_image::{CodecRegistry, ImageCodec};
 ///     assert_eq!(codec.decompress(&bytes).unwrap(), img, "{}", codec.name());
 /// }
 /// ```
-pub fn all_codecs() -> Vec<Box<dyn ImageCodec>> {
+pub fn all_codecs() -> Vec<Box<dyn StreamingCodec>> {
     vec![
         Box::new(cbic_jpegls::Jpegls),
         Box::new(cbic_slp::Slp),
@@ -36,6 +40,11 @@ pub fn all_codecs() -> Vec<Box<dyn ImageCodec>> {
 /// A registry of every decodable container format: the four Table 1
 /// codecs plus the tiled multi-core variant, with `par` workers driving
 /// banded coding.
+///
+/// Registration is collision-checked: a new codec whose name or container
+/// magic clashes with an existing one panics here instead of silently
+/// losing auto-detection (see
+/// [`CodecRegistry::try_register`](cbic_image::registry::CodecRegistry::try_register)).
 pub fn registry_with(par: Parallelism) -> CodecRegistry {
     let mut registry = CodecRegistry::new();
     for codec in all_codecs() {

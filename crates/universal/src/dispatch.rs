@@ -13,6 +13,7 @@ use crate::video::{decode_frames, encode_frames, VideoConfig, VideoStats};
 use crate::UniversalError;
 use cbic_image::{Image, ImageCodec};
 use std::fmt;
+use std::io::{self, Read, Write};
 use std::sync::Arc;
 
 /// One unit of the multiplexed input stream.
@@ -95,6 +96,11 @@ const TAG_DATA: u8 = 0;
 const TAG_IMAGE: u8 = 1;
 const TAG_VIDEO: u8 = 2;
 
+/// Ceiling on any single length field in the container (2^28 bytes /
+/// pixels). A corrupt stream may claim arbitrary lengths; nothing larger
+/// than this is ever read or allocated.
+const MAX_SEGMENT: usize = 1 << 28;
+
 impl UniversalCodec {
     /// Compresses a multiplexed chunk stream into one container.
     pub fn encode(&self, chunks: &[Chunk]) -> Vec<u8> {
@@ -106,41 +112,60 @@ impl UniversalCodec {
     /// trace.
     pub fn encode_with_report(&self, chunks: &[Chunk]) -> (Vec<u8>, Vec<ChunkReport>) {
         let mut out = Vec::new();
-        out.extend_from_slice(MAGIC);
-        out.push(VERSION);
-        out.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
+        let reports = self
+            .encode_to(chunks, &mut out)
+            .expect("Vec<u8> writes cannot fail");
+        (out, reports)
+    }
+
+    /// Streaming [`Self::encode`]: writes the container into any
+    /// [`io::Write`], one length-prefixed segment per chunk, buffering only
+    /// the segment currently being coded. The bytes are identical to
+    /// [`Self::encode`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn encode_to<W: Write>(
+        &self,
+        chunks: &[Chunk],
+        out: &mut W,
+    ) -> io::Result<Vec<ChunkReport>> {
+        out.write_all(MAGIC)?;
+        out.write_all(&[VERSION])?;
+        out.write_all(&(chunks.len() as u32).to_le_bytes())?;
         let mut reports = Vec::with_capacity(chunks.len());
         for chunk in chunks {
             match chunk {
                 Chunk::Data(raw) => {
                     let (payload, stats) = self.data_model.encode(raw);
-                    out.push(TAG_DATA);
-                    out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
-                    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-                    out.extend_from_slice(&payload);
+                    out.write_all(&[TAG_DATA])?;
+                    out.write_all(&(raw.len() as u32).to_le_bytes())?;
+                    out.write_all(&(payload.len() as u32).to_le_bytes())?;
+                    out.write_all(&payload)?;
                     reports.push(ChunkReport::Data(stats));
                 }
                 Chunk::Image(img) => {
                     let payload = self.image_codec.compress(img);
-                    out.push(TAG_IMAGE);
-                    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-                    out.extend_from_slice(&payload);
+                    out.write_all(&[TAG_IMAGE])?;
+                    out.write_all(&(payload.len() as u32).to_le_bytes())?;
+                    out.write_all(&payload)?;
                     reports.push(ChunkReport::Image(payload.len() as u64 * 8));
                 }
                 Chunk::Video(frames) => {
                     let (payload, stats) = encode_frames(frames, &self.video_config);
                     let (w, h) = frames[0].dimensions();
-                    out.push(TAG_VIDEO);
-                    out.extend_from_slice(&(w as u32).to_le_bytes());
-                    out.extend_from_slice(&(h as u32).to_le_bytes());
-                    out.extend_from_slice(&(frames.len() as u32).to_le_bytes());
-                    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-                    out.extend_from_slice(&payload);
+                    out.write_all(&[TAG_VIDEO])?;
+                    out.write_all(&(w as u32).to_le_bytes())?;
+                    out.write_all(&(h as u32).to_le_bytes())?;
+                    out.write_all(&(frames.len() as u32).to_le_bytes())?;
+                    out.write_all(&(payload.len() as u32).to_le_bytes())?;
+                    out.write_all(&payload)?;
                     reports.push(ChunkReport::Video(stats));
                 }
             }
         }
-        (out, reports)
+        Ok(reports)
     }
 
     /// Decompresses a container produced by [`Self::encode`]. The data and
@@ -151,73 +176,115 @@ impl UniversalCodec {
     ///
     /// Returns [`UniversalError`] on malformed containers.
     pub fn decode(&self, bytes: &[u8]) -> Result<Vec<Chunk>, UniversalError> {
+        self.decode_from(&mut &bytes[..])
+    }
+
+    /// Streaming [`Self::decode`]: reads length-prefixed segments off any
+    /// [`io::Read`] one at a time, so a multiplexed stream is routed
+    /// without ever being slurped — peak compressed-side buffering is the
+    /// largest single segment.
+    ///
+    /// # Errors
+    ///
+    /// [`UniversalError::Truncated`] when the stream ends inside a declared
+    /// segment, [`UniversalError::Io`] on transport failures, and the
+    /// usual malformed-container errors otherwise.
+    pub fn decode_from<R: Read>(&self, input: &mut R) -> Result<Vec<Chunk>, UniversalError> {
         let registry = crate::codecs::default_registry();
-        let mut pos = 0usize;
-        let take = |pos: &mut usize, n: usize| -> Result<&[u8], UniversalError> {
-            let s = bytes.get(*pos..*pos + n).ok_or(UniversalError::Truncated)?;
-            *pos += n;
-            Ok(s)
+        let io_err = |e: io::Error| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                UniversalError::Truncated
+            } else {
+                UniversalError::Io(e.to_string())
+            }
         };
-        let take_u32 = |pos: &mut usize| -> Result<usize, UniversalError> {
-            Ok(u32::from_le_bytes(take(pos, 4)?.try_into().expect("sized")) as usize)
+        fn fixed<const N: usize, R: Read>(
+            input: &mut R,
+            io_err: &impl Fn(io::Error) -> UniversalError,
+        ) -> Result<[u8; N], UniversalError> {
+            let mut buf = [0u8; N];
+            input.read_exact(&mut buf).map_err(io_err)?;
+            Ok(buf)
+        }
+        let take_u32 = |input: &mut R| -> Result<usize, UniversalError> {
+            Ok(u32::from_le_bytes(fixed::<4, R>(input, &io_err)?) as usize)
+        };
+        // Reads a `len`-byte segment. `take` bounds the read by what the
+        // stream actually holds, so a forged length can neither over-read
+        // nor force a huge up-front allocation.
+        let segment = |input: &mut R, len: usize| -> Result<Vec<u8>, UniversalError> {
+            if len > MAX_SEGMENT {
+                return Err(UniversalError::InvalidStream(format!(
+                    "segment of {len} bytes exceeds the container limit"
+                )));
+            }
+            let mut payload = Vec::new();
+            input
+                .take(len as u64)
+                .read_to_end(&mut payload)
+                .map_err(&io_err)?;
+            if payload.len() != len {
+                return Err(UniversalError::Truncated);
+            }
+            Ok(payload)
         };
 
-        if take(&mut pos, 4)? != MAGIC {
+        if fixed::<4, R>(input, &io_err)? != *MAGIC {
             return Err(UniversalError::BadMagic);
         }
-        let version = take(&mut pos, 1)?[0];
+        let version = fixed::<1, R>(input, &io_err)?[0];
         if version != VERSION {
             return Err(UniversalError::InvalidStream(format!(
                 "unsupported version {version}"
             )));
         }
-        let count = take_u32(&mut pos)?;
+        let count = take_u32(input)?;
         if count > 1 << 20 {
             return Err(UniversalError::InvalidStream(
                 "chunk count too large".into(),
             ));
         }
-        let mut chunks = Vec::with_capacity(count);
+        let mut chunks = Vec::with_capacity(count.min(1 << 10));
         for _ in 0..count {
-            let tag = take(&mut pos, 1)?[0];
+            let tag = fixed::<1, R>(input, &io_err)?[0];
             match tag {
                 TAG_DATA => {
-                    let raw_len = take_u32(&mut pos)?;
-                    if raw_len > 1 << 28 {
+                    let raw_len = take_u32(input)?;
+                    if raw_len > MAX_SEGMENT {
                         return Err(UniversalError::InvalidStream("chunk too large".into()));
                     }
-                    let payload_len = take_u32(&mut pos)?;
-                    let payload = take(&mut pos, payload_len)?;
-                    chunks.push(Chunk::Data(self.data_model.decode(payload, raw_len)));
+                    let payload_len = take_u32(input)?;
+                    let payload = segment(input, payload_len)?;
+                    chunks.push(Chunk::Data(self.data_model.decode(&payload, raw_len)));
                 }
                 TAG_IMAGE => {
-                    let payload_len = take_u32(&mut pos)?;
-                    let payload = take(&mut pos, payload_len)?;
+                    let payload_len = take_u32(input)?;
+                    let payload = segment(input, payload_len)?;
                     // Route by magic through the workspace registry; fall
                     // back to this codec's own front end so streams from
                     // custom (unregistered) image codecs still decode.
-                    let img = match registry.detect(payload) {
-                        Some(codec) => codec.decompress(payload),
-                        None => self.image_codec.decompress(payload),
+                    let img = match registry.detect(&payload) {
+                        Some(codec) => codec.decompress(&payload),
+                        None => self.image_codec.decompress(&payload),
                     }
                     .map_err(|e| UniversalError::InvalidStream(e.to_string()))?;
                     chunks.push(Chunk::Image(img));
                 }
                 TAG_VIDEO => {
-                    let w = take_u32(&mut pos)?;
-                    let h = take_u32(&mut pos)?;
-                    let frames = take_u32(&mut pos)?;
+                    let w = take_u32(input)?;
+                    let h = take_u32(input)?;
+                    let frames = take_u32(input)?;
                     if w == 0
                         || h == 0
                         || frames == 0
-                        || w.saturating_mul(h).saturating_mul(frames) > 1 << 28
+                        || w.saturating_mul(h).saturating_mul(frames) > MAX_SEGMENT
                     {
                         return Err(UniversalError::InvalidStream("bad video dims".into()));
                     }
-                    let payload_len = take_u32(&mut pos)?;
-                    let payload = take(&mut pos, payload_len)?;
+                    let payload_len = take_u32(input)?;
+                    let payload = segment(input, payload_len)?;
                     chunks.push(Chunk::Video(decode_frames(
-                        payload,
+                        &payload,
                         w,
                         h,
                         frames,
@@ -302,6 +369,55 @@ mod tests {
         for cut in [0, 3, 8, 12, bytes.len() - 1] {
             assert!(c.decode(&bytes[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn streaming_encode_is_byte_identical_to_buffered() {
+        let chunks = vec![
+            Chunk::Data(b"stream me ".repeat(40)),
+            Chunk::Image(CorpusImage::Peppers.generate(24, 24)),
+            Chunk::Video(synthetic_sequence(16, 16, 2, 1, 1)),
+        ];
+        let c = codec();
+        let buffered = c.encode(&chunks);
+        let mut streamed = Vec::new();
+        let reports = c.encode_to(&chunks, &mut streamed).unwrap();
+        assert_eq!(streamed, buffered);
+        assert_eq!(reports.len(), chunks.len());
+    }
+
+    #[test]
+    fn streaming_decode_routes_segments_from_a_reader() {
+        let chunks = vec![
+            Chunk::Data(b"abc".repeat(50)),
+            Chunk::Image(CorpusImage::Zelda.generate(20, 20)),
+        ];
+        let c = codec();
+        let bytes = c.encode(&chunks);
+        // Hand the decoder a reader that trickles bytes in small pieces to
+        // prove nothing depends on slurping.
+        struct Trickle<'a>(&'a [u8]);
+        impl Read for Trickle<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                let n = buf.len().min(self.0.len()).min(7);
+                buf[..n].copy_from_slice(&self.0[..n]);
+                self.0 = &self.0[n..];
+                Ok(n)
+            }
+        }
+        assert_eq!(c.decode_from(&mut Trickle(&bytes)).unwrap(), chunks);
+    }
+
+    #[test]
+    fn forged_segment_lengths_error_without_allocation() {
+        let c = codec();
+        let mut bytes = c.encode(&[Chunk::Data(vec![7u8; 100])]);
+        // Forge the payload length to something enormous.
+        bytes[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            c.decode(&bytes),
+            Err(UniversalError::InvalidStream(_))
+        ));
     }
 
     #[test]

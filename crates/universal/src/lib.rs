@@ -57,6 +57,9 @@ pub enum UniversalError {
     Truncated,
     /// Unknown chunk tag or malformed field.
     InvalidStream(String),
+    /// Underlying I/O failure on a streaming source (message form, to keep
+    /// the error `Clone`).
+    Io(String),
 }
 
 impl fmt::Display for UniversalError {
@@ -65,6 +68,7 @@ impl fmt::Display for UniversalError {
             Self::BadMagic => write!(f, "missing CBUN magic"),
             Self::Truncated => write!(f, "truncated stream"),
             Self::InvalidStream(m) => write!(f, "invalid stream: {m}"),
+            Self::Io(m) => write!(f, "i/o error: {m}"),
         }
     }
 }

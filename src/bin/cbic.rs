@@ -13,17 +13,44 @@
 //! cbic corpus     [--size N] OUTDIR          (write the synthetic corpus as PGM)
 //! cbic bench      IN.pgm                     (bit rates of all codecs on one image)
 //! ```
+//!
+//! `compress` and `decompress` accept `-` for stdin/stdout and print their
+//! status lines to stderr, so containers pipe cleanly:
+//! `cbic compress - - < in.pgm | cbic decompress - - > out.pgm`. For the
+//! default `proposed` codec both directions run the bounded-memory
+//! streaming pipeline (three line buffers, the paper's Fig. 3 constraint),
+//! so image size is limited by the format, not by RAM.
 
+use cbic::core::stream::{StreamDecoder, StreamEncoder};
 use cbic::core::tiles::{compress_tiled, Parallelism};
 use cbic::core::CodecConfig;
 use cbic::image::pgm;
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
+
+/// `println!` that tolerates a closed stdout (e.g. `cbic info … | head`):
+/// a broken pipe silently ends the report instead of panicking, while any
+/// other write failure (full disk, dead redirect target) still aborts with
+/// a nonzero exit so a truncated report cannot look like success.
+macro_rules! say {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        if let Err(e) = writeln!(std::io::stdout(), $($arg)*) {
+            if e.kind() == std::io::ErrorKind::BrokenPipe {
+                std::process::exit(0);
+            }
+            eprintln!("error: writing to stdout: {e}");
+            std::process::exit(1);
+        }
+    }};
+}
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  cbic compress [--codec NAME] [--near N] [--threads N] IN.pgm OUT\n  \
          cbic decompress [--threads N] IN OUT.pgm\n  cbic info IN\n  cbic codecs\n  \
-         cbic corpus [--size N] OUTDIR\n  cbic bench IN.pgm"
+         cbic corpus [--size N] OUTDIR\n  cbic bench IN.pgm\n\
+         (compress/decompress accept `-` for stdin/stdout piping)"
     );
     ExitCode::from(2)
 }
@@ -87,10 +114,30 @@ fn parse_threads(flags: &[(String, String)]) -> Result<usize, Box<dyn std::error
         .unwrap_or(0))
 }
 
+/// Opens `path` for buffered reading, with `-` meaning stdin.
+fn open_input(path: &str) -> std::io::Result<BufReader<Box<dyn Read>>> {
+    let inner: Box<dyn Read> = if path == "-" {
+        Box::new(std::io::stdin().lock())
+    } else {
+        Box::new(std::fs::File::open(path)?)
+    };
+    Ok(BufReader::new(inner))
+}
+
+/// Opens `path` for buffered writing, with `-` meaning stdout.
+fn open_output(path: &str) -> std::io::Result<BufWriter<Box<dyn Write>>> {
+    let inner: Box<dyn Write> = if path == "-" {
+        Box::new(std::io::stdout().lock())
+    } else {
+        Box::new(std::fs::File::create(path)?)
+    };
+    Ok(BufWriter::new(inner))
+}
+
 fn cmd_compress(args: &[String]) -> CliResult {
     let (flags, pos) = parse_flags(args, &["codec", "near", "threads"]);
     let [input, output] = pos.as_slice() else {
-        return Err("compress needs IN.pgm and OUT".into());
+        return Err("compress needs IN.pgm and OUT (either may be `-`)".into());
     };
     let codec_name = flag_value(&flags, "codec").unwrap_or("proposed");
     let near: u8 = flag_value(&flags, "near")
@@ -99,7 +146,18 @@ fn cmd_compress(args: &[String]) -> CliResult {
         .unwrap_or(0);
     let threads = parse_threads(&flags)?;
 
-    let img = pgm::read_file(input)?;
+    if codec_name == "proposed" && near == 0 && threads <= 1 {
+        // Bounded-memory path: PGM rows flow straight through the
+        // three-line-buffer pipeline into the output — neither the image
+        // nor the container is ever materialized, so `- -` piping handles
+        // images far larger than RAM-friendly buffers.
+        return compress_streaming(input, output);
+    }
+
+    let mut reader = open_input(input)?;
+    let mut pgm_bytes = Vec::new();
+    reader.read_to_end(&mut pgm_bytes)?;
+    let img = pgm::decode(&pgm_bytes)?;
     let mut label = codec_name.to_string();
     let bytes = if threads > 1 {
         // Multi-threaded coding uses the tiled container: one band per
@@ -143,8 +201,10 @@ fn cmd_compress(args: &[String]) -> CliResult {
         })?;
         codec.compress(&img)
     };
-    std::fs::write(output, &bytes)?;
-    println!(
+    let mut out = open_output(output)?;
+    out.write_all(&bytes)?;
+    out.flush()?;
+    eprintln!(
         "{input}: {} pixels -> {} bytes ({:.3} bpp) with {label}",
         img.pixel_count(),
         bytes.len(),
@@ -153,26 +213,79 @@ fn cmd_compress(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// The bounded-memory compress path: PGM header off the reader, rows
+/// through [`StreamEncoder`], container bytes out as they resolve.
+fn compress_streaming(input: &str, output: &str) -> CliResult {
+    let mut reader = open_input(input)?;
+    let (width, height) = pgm::read_header(&mut reader)?;
+    let out = open_output(output)?;
+    let mut enc = StreamEncoder::new(out, width, height, &CodecConfig::default())?;
+    let mut row = vec![0u8; width];
+    for y in 0..height {
+        reader
+            .read_exact(&mut row)
+            .map_err(|e| format!("reading pixel row {y}: {e}"))?;
+        enc.push_row(&row)?;
+    }
+    let payload_bits = enc.payload_bits();
+    enc.finish()?.flush()?;
+    let pixels = width * height;
+    eprintln!(
+        "{input}: {pixels} pixels -> ~{:.3} bpp with proposed (streamed, O(3 lines) memory)",
+        payload_bits as f64 / pixels as f64
+    );
+    Ok(())
+}
+
 fn cmd_decompress(args: &[String]) -> CliResult {
     let (flags, pos) = parse_flags(args, &["threads"]);
     let [input, output] = pos.as_slice() else {
-        return Err("decompress needs IN and OUT.pgm".into());
+        return Err("decompress needs IN and OUT.pgm (either may be `-`)".into());
     };
     let threads = parse_threads(&flags)?;
-    let bytes = std::fs::read(input)?;
-    if bytes.get(..4) == Some(b"CBUN") {
+    let mut reader = open_input(input)?;
+    let mut magic = [0u8; 4];
+    reader
+        .read_exact(&mut magic)
+        .map_err(|e| format!("reading container magic: {e}"))?;
+    if &magic == b"CBUN" {
         return Err("universal containers hold more than one image; use the library API".into());
     }
+
+    if &magic == b"CBIC" {
+        // Bounded-memory path: decode rows straight to PGM output without
+        // slurping the container or materializing the image.
+        let mut chained = (&magic[..]).chain(reader);
+        let mut dec = StreamDecoder::new(&mut chained)?;
+        let (width, height) = dec.dimensions();
+        let mut out = open_output(output)?;
+        pgm::write_header(&mut out, width, height)?;
+        let mut row = vec![0u8; width];
+        for _ in 0..height {
+            dec.next_row(&mut row)?;
+            out.write_all(&row)?;
+        }
+        out.flush()?;
+        eprintln!("{input}: proposed (streamed) -> {width}x{height} PGM");
+        return Ok(());
+    }
+
+    // Everything else goes through the streaming codec dispatch: tiled
+    // containers read band by band, the remaining codecs through their
+    // whole-buffer fallback.
     let registry = cbic::registry_with(Parallelism::from_threads(threads));
     let codec = registry
-        .detect(&bytes)
+        .detect(&magic)
         .ok_or("unrecognized container magic")?;
-    let img = codec.decompress(&bytes)?;
-    pgm::write_file(output, &img)?;
-    println!(
-        "{input}: {} ({} bytes) -> {}x{} PGM",
+    let mut chained = (&magic[..]).chain(reader);
+    let img = codec.decompress_from(&mut chained)?;
+    let mut out = open_output(output)?;
+    pgm::write_header(&mut out, img.width(), img.height())?;
+    out.write_all(img.pixels())?;
+    out.flush()?;
+    eprintln!(
+        "{input}: {} -> {}x{} PGM",
         codec.name(),
-        bytes.len(),
         img.width(),
         img.height()
     );
@@ -192,11 +305,11 @@ fn cmd_info(args: &[String]) -> CliResult {
             .map(|c| c.name())
             .ok_or("unrecognized container magic")?
     };
-    println!("container: {kind}, {} bytes", bytes.len());
+    say!("container: {kind}, {} bytes", bytes.len());
     if kind == "proposed" {
         let (cfg, w, h, payload) = cbic::core::container::parse_header(&bytes)?;
-        println!("dimensions: {w}x{h}");
-        println!(
+        say!("dimensions: {w}x{h}");
+        say!(
             "config: {} counter bits, increment {}, feedback={}, aging={}, division={:?}, \
              {} compound contexts",
             cfg.estimator.count_bits,
@@ -206,7 +319,7 @@ fn cmd_info(args: &[String]) -> CliResult {
             cfg.division,
             cfg.compound_contexts()
         );
-        println!(
+        say!(
             "payload: {} bytes = {:.3} bpp",
             payload.len(),
             payload.len() as f64 * 8.0 / (w * h) as f64
@@ -217,13 +330,13 @@ fn cmd_info(args: &[String]) -> CliResult {
 
 fn cmd_codecs() -> CliResult {
     let registry = cbic::default_registry();
-    println!("registered codecs ({}):", registry.len());
+    say!("registered codecs ({}):", registry.len());
     for codec in registry.codecs() {
         let magic = codec
             .magic()
             .map(|m| String::from_utf8_lossy(&m).into_owned())
             .unwrap_or_else(|| "-".into());
-        println!("  {:<10} magic {magic}", codec.name());
+        say!("  {:<10} magic {magic}", codec.name());
     }
     Ok(())
 }
@@ -241,7 +354,7 @@ fn cmd_corpus(args: &[String]) -> CliResult {
     for (c, img) in cbic::image::corpus::generate(size) {
         let path = std::path::Path::new(outdir).join(format!("{}.pgm", c.name()));
         pgm::write_file(&path, &img)?;
-        println!("wrote {} ({size}x{size})", path.display());
+        say!("wrote {} ({size}x{size})", path.display());
     }
     Ok(())
 }
@@ -251,7 +364,7 @@ fn cmd_bench(args: &[String]) -> CliResult {
         return Err("bench needs IN.pgm".into());
     };
     let img = pgm::read_file(input)?;
-    println!(
+    say!(
         "{input}: {}x{}, order-0 entropy {:.3} bpp",
         img.width(),
         img.height(),
@@ -259,7 +372,7 @@ fn cmd_bench(args: &[String]) -> CliResult {
     );
     for codec in cbic::all_codecs() {
         let bpp = codec.payload_bits_per_pixel(&img);
-        println!(
+        say!(
             "  {:<10} {bpp:.3} bpp (ratio {:.2})",
             codec.name(),
             8.0 / bpp

@@ -1,0 +1,111 @@
+//! Golden-corpus regression fixtures: the compressed bitstream of every
+//! registry codec on a panel of synthetic image classes is checked in
+//! under `tests/golden/`, and each fresh encode is byte-compared against
+//! its fixture.
+//!
+//! Any change to the bitstream — an estimator tweak, a reordered decision,
+//! a container field — shows up as a failing diff here instead of a silent
+//! format break. If a change is *intentional*, regenerate the fixtures
+//! with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+//!
+//! and commit the resulting `tests/golden/*.bin` files together with the
+//! change that moved the bits.
+
+use cbic::image::corpus::CorpusImage;
+use cbic::universal::dispatch::{Chunk, UniversalCodec};
+use std::path::PathBuf;
+
+/// Fixture image size: small enough that the whole corpus stays a few
+/// kilobytes, large enough to exercise adaptation and escapes.
+const SIZE: usize = 32;
+
+/// One fixture per codec per image class: a smooth portrait stand-in, an
+/// oriented texture, and a high-frequency one.
+const CLASSES: [CorpusImage; 3] = [CorpusImage::Lena, CorpusImage::Barb, CorpusImage::Mandrill];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn check(name: &str, fresh: &[u8]) {
+    let path = golden_dir().join(format!("{name}.bin"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, fresh).expect("write fixture");
+        return;
+    }
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run UPDATE_GOLDEN=1 cargo test --test golden",
+            path.display()
+        )
+    });
+    if golden != fresh {
+        let first_diff = golden
+            .iter()
+            .zip(fresh.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| golden.len().min(fresh.len()));
+        panic!(
+            "bitstream drift for {name}: fixture {} bytes, fresh {} bytes, first diff at \
+             offset {first_diff}.\nIf this change is intentional, regenerate with \
+             UPDATE_GOLDEN=1 cargo test --test golden and commit the new fixtures.",
+            golden.len(),
+            fresh.len()
+        );
+    }
+}
+
+#[test]
+fn every_registry_codec_matches_its_golden_fixtures() {
+    let registry = cbic::default_registry();
+    for codec in registry.codecs() {
+        for class in CLASSES {
+            let img = class.generate(SIZE, SIZE);
+            let bytes = codec.compress(&img);
+            check(
+                &format!("{}_{}_{}", codec.name(), class.name(), SIZE),
+                &bytes,
+            );
+            // The fixture must also still decode to the source image, so a
+            // decoder regression cannot hide behind a matching encoder.
+            assert_eq!(
+                codec.decompress(&bytes).unwrap(),
+                img,
+                "{} on {:?}",
+                codec.name(),
+                class
+            );
+        }
+    }
+}
+
+#[test]
+fn universal_container_matches_its_golden_fixture() {
+    let codec = UniversalCodec::default();
+    let chunks = vec![
+        Chunk::Data(b"status: nominal; queue: empty\n".repeat(8)),
+        Chunk::Image(CorpusImage::Zelda.generate(SIZE, SIZE)),
+    ];
+    let bytes = codec.encode(&chunks);
+    check("universal_mixed", &bytes);
+    assert_eq!(codec.decode(&bytes).unwrap(), chunks);
+}
+
+#[test]
+fn streaming_encoder_matches_the_proposed_golden_fixtures() {
+    // The streaming path must produce the exact fixture bytes too — the
+    // golden corpus pins the format for *both* transports.
+    use cbic::core::{stream::compress_to, CodecConfig};
+    for class in CLASSES {
+        let img = class.generate(SIZE, SIZE);
+        let bytes = compress_to(&img, &CodecConfig::default(), Vec::new()).unwrap();
+        check(&format!("proposed_{}_{}", class.name(), SIZE), &bytes);
+    }
+}

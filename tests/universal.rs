@@ -43,8 +43,11 @@ fn dispatcher_accepts_any_registered_image_codec() {
     // differently configured encoders — even mixed codecs — all decode.
     let img = CorpusImage::Goldhill.generate(48, 48);
     for boxed in cbic::all_codecs() {
+        // Upcast the streaming registry entry to the multiplexer's
+        // ImageCodec front-end handle.
+        let front_end: Box<dyn cbic::ImageCodec> = boxed;
         let encoder = UniversalCodec {
-            image_codec: boxed.into(),
+            image_codec: front_end.into(),
             ..UniversalCodec::default()
         };
         let name = encoder.image_codec.name();
