@@ -85,6 +85,7 @@ pub struct SymbolCoder {
     trees: Vec<TreeModel>,
     escape: Vec<AdaptiveBit>,
     depth: u32,
+    cfg: EstimatorConfig,
     stats: CoderStats,
 }
 
@@ -115,8 +116,25 @@ impl SymbolCoder {
                 .map(|_| AdaptiveBit::with_counts(cfg.escape_init.0, cfg.escape_init.1, max))
                 .collect(),
             depth,
+            cfg,
             stats: CoderStats::default(),
         }
+    }
+
+    /// Restores the start-of-stream state in place — every tree back to
+    /// the uniform distribution, every escape decision to its initial
+    /// counts, statistics zeroed — without reallocating any table. A reset
+    /// coder codes byte-identically to a freshly constructed one, which is
+    /// what lets an encoder *session* reuse its estimator across images.
+    pub fn reset(&mut self) {
+        let max = self.cfg.max_total();
+        for tree in &mut self.trees {
+            tree.reset();
+        }
+        for esc in &mut self.escape {
+            *esc = AdaptiveBit::with_counts(self.cfg.escape_init.0, self.cfg.escape_init.1, max);
+        }
+        self.stats = CoderStats::default();
     }
 
     /// Number of coding contexts (dynamic trees).

@@ -21,7 +21,7 @@ use cbic_bitio::{BitSink, BitSource};
 
 /// One adaptive context tree over a `2^depth`-symbol alphabet.
 ///
-/// See the [module documentation](self) for the representation. The tree
+/// See this module's source documentation for the representation. The tree
 /// maintains the invariant `left[i] <= visits(i)` for every node, where
 /// `visits` is derived top-down from [`Self::total`].
 ///
@@ -82,19 +82,29 @@ impl TreeModel {
             max_total / 2
         );
         let nodes = 1usize << depth; // indices 1..nodes are internal nodes
-        let mut left = vec![0u16; nodes];
-        for (i, slot) in left.iter_mut().enumerate().skip(1) {
-            let node_depth = u32::BITS - 1 - (i as u32).leading_zeros();
-            *slot = 1 << (depth - 1 - node_depth);
-        }
-        Self {
-            left,
-            total: 1 << depth,
+        let mut tree = Self {
+            left: vec![0u16; nodes],
+            total: 0,
             depth,
             max_total,
             increment: u32::from(cfg.increment),
             rescales: 0,
+        };
+        tree.reset();
+        tree
+    }
+
+    /// Restores the initial uniform distribution in place, reusing the
+    /// node storage — the session-reuse path's alternative to
+    /// reconstructing the tree per image.
+    pub fn reset(&mut self) {
+        let depth = self.depth;
+        for (i, slot) in self.left.iter_mut().enumerate().skip(1) {
+            let node_depth = u32::BITS - 1 - (i as u32).leading_zeros();
+            *slot = 1 << (depth - 1 - node_depth);
         }
+        self.total = 1 << depth;
+        self.rescales = 0;
     }
 
     /// Number of symbol bits (tree levels).

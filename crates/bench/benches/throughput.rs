@@ -5,7 +5,9 @@
 //! measure what the software model reaches, and Criterion's reports track
 //! regressions as the codecs evolve.
 
-use cbic_core::tiles::{compress_tiled, decompress_tiled, Parallelism};
+use cbic_core::session::EncoderSession;
+use cbic_core::tiles::{compress_tiled, decompress_tiled};
+use cbic_image::{DecodeOptions, EncodeOptions, Parallelism};
 use cbic_universal::codecs::all_codecs;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -14,6 +16,7 @@ const SIZE: usize = 256;
 fn bench_encoders(c: &mut Criterion) {
     let img = cbic_bench::bench_image(SIZE);
     let pixels = img.pixel_count() as u64;
+    let opts = EncodeOptions::default();
 
     let mut g = c.benchmark_group("encode");
     g.throughput(Throughput::Elements(pixels));
@@ -21,7 +24,7 @@ fn bench_encoders(c: &mut Criterion) {
 
     for codec in all_codecs() {
         g.bench_function(BenchmarkId::new(codec.name(), SIZE), |b| {
-            b.iter(|| codec.compress(&img))
+            b.iter(|| codec.encode_vec(&img, &opts).expect("Vec sink"))
         });
     }
     g.finish();
@@ -30,17 +33,65 @@ fn bench_encoders(c: &mut Criterion) {
 fn bench_decoders(c: &mut Criterion) {
     let img = cbic_bench::bench_image(SIZE);
     let pixels = img.pixel_count() as u64;
+    let opts = DecodeOptions::default();
 
     let mut g = c.benchmark_group("decode");
     g.throughput(Throughput::Elements(pixels));
     g.sample_size(20);
 
     for codec in all_codecs() {
-        let bytes = codec.compress(&img);
+        let bytes = codec
+            .encode_vec(&img, &EncodeOptions::default())
+            .expect("Vec sink");
         g.bench_function(BenchmarkId::new(codec.name(), SIZE), |b| {
-            b.iter(|| codec.decompress(&bytes).expect("own container"))
+            b.iter(|| codec.decode_vec(&bytes, &opts).expect("own container"))
         });
     }
+    g.finish();
+}
+
+/// The session-reuse claim, measured: per-call model construction (context
+/// store + division LUT + estimator trees allocated per image) vs one
+/// [`EncoderSession`] reset in place across the 256px corpus. The bits are
+/// identical (asserted by the session differential tests); the delta is
+/// pure allocation and table-building overhead.
+fn bench_session_reuse(c: &mut Criterion) {
+    let cfg = cbic_core::CodecConfig::default();
+    let corpus = cbic_image::corpus::generate(SIZE);
+    let pixels = corpus.iter().map(|(_, i)| i.pixel_count() as u64).sum();
+
+    let mut g = c.benchmark_group("session_reuse");
+    g.throughput(Throughput::Elements(pixels));
+    g.sample_size(10);
+
+    g.bench_function(BenchmarkId::new("per_call_construction", SIZE), |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut total = 0u64;
+            for (_, img) in &corpus {
+                out.clear();
+                // A fresh session per image = the old per-call cost.
+                let stats = EncoderSession::new(&cfg)
+                    .encode(img, &mut out)
+                    .expect("Vec sink");
+                total += stats.payload_bits;
+            }
+            total
+        })
+    });
+    g.bench_function(BenchmarkId::new("reused_session", SIZE), |b| {
+        let mut session = EncoderSession::new(&cfg);
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut total = 0u64;
+            for (_, img) in &corpus {
+                out.clear();
+                let stats = session.encode(img, &mut out).expect("Vec sink");
+                total += stats.payload_bits;
+            }
+            total
+        })
+    });
     g.finish();
 }
 
@@ -140,6 +191,7 @@ criterion_group!(
     benches,
     bench_encoders,
     bench_decoders,
+    bench_session_reuse,
     bench_tiled,
     bench_streaming,
     bench_universal

@@ -19,7 +19,7 @@
 use cbic_arith::EstimatorConfig;
 use cbic_core::{CodecConfig, DivisionKind};
 use cbic_image::corpus::{self, CorpusImage};
-use cbic_image::Image;
+use cbic_image::{EncodeOptions, Image};
 
 /// The paper's Table 1, verbatim: (image, JPEG-LS, SLP(M0), CALIC,
 /// proposed), in bits per pixel on the original USC-SIPI images.
@@ -54,11 +54,20 @@ pub struct Table1Row {
 }
 
 /// Encodes one image with every registered codec (`all_codecs`), returning
-/// `(name, payload bits/pixel)` pairs in registry order.
+/// `(name, payload bits/pixel)` pairs in registry order. Sizes are
+/// measured through the counting-sink path of
+/// [`Codec::payload_bits_per_pixel`](cbic_image::Codec::payload_bits_per_pixel)
+/// — one encode pass per codec, no container buffers.
 pub fn measure_all(img: &Image) -> Vec<(&'static str, f64)> {
+    let opts = EncodeOptions::default();
     cbic_universal::codecs::all_codecs()
         .iter()
-        .map(|codec| (codec.name(), codec.payload_bits_per_pixel(img)))
+        .map(|codec| {
+            let bpp = codec
+                .payload_bits_per_pixel(img, &opts)
+                .expect("counting sinks cannot fail on corpus-sized images");
+            (codec.name(), bpp)
+        })
         .collect()
 }
 

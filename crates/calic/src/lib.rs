@@ -71,17 +71,40 @@ impl fmt::Display for CalicError {
 
 impl std::error::Error for CalicError {}
 
+impl From<CalicError> for cbic_image::CbicError {
+    fn from(e: CalicError) -> Self {
+        use cbic_image::CbicError;
+        match e {
+            CalicError::BadMagic => CbicError::BadMagic { found: None },
+            CalicError::Truncated => CbicError::Truncated,
+            CalicError::InvalidHeader(msg) => CbicError::InvalidContainer(msg),
+        }
+    }
+}
+
 const MAGIC: &[u8; 4] = b"CBCA";
+
+/// This crate's container framing (magic, dims LE, payload), defined
+/// once and shared by [`compress`] and the [`cbic_image::Codec`] impl so
+/// the two cannot drift apart. (Each baseline crate owns its own,
+/// independent container format.)
+fn write_container(
+    img: &Image,
+    payload: &[u8],
+    out: &mut dyn std::io::Write,
+) -> std::io::Result<()> {
+    out.write_all(MAGIC)?;
+    out.write_all(&(img.width() as u32).to_le_bytes())?;
+    out.write_all(&(img.height() as u32).to_le_bytes())?;
+    out.write_all(payload)
+}
 
 /// Compresses an image with the default CALIC configuration into a
 /// self-describing container.
 pub fn compress(img: &Image) -> Vec<u8> {
     let (payload, _) = encode_raw(img, &CalicConfig::default());
     let mut out = Vec::with_capacity(payload.len() + 12);
-    out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&(img.width() as u32).to_le_bytes());
-    out.extend_from_slice(&(img.height() as u32).to_le_bytes());
-    out.extend_from_slice(&payload);
+    write_container(img, &payload, &mut out).expect("Vec writes cannot fail");
     out
 }
 
@@ -113,11 +136,16 @@ pub fn decompress(bytes: &[u8]) -> Result<Image, CalicError> {
     ))
 }
 
-/// CALIC as an [`cbic_image::ImageCodec`] trait object.
+/// CALIC on the unified [`cbic_image::Codec`] surface.
+///
+/// The encode path writes the container straight to the sink and reports
+/// the exact payload bits from the same pass, so size queries cost one
+/// encode. Decoding buffers the source (the CALIC model is not
+/// incremental), consuming it to end-of-stream.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Calic;
 
-impl cbic_image::ImageCodec for Calic {
+impl cbic_image::Codec for Calic {
     fn name(&self) -> &'static str {
         "calic"
     }
@@ -126,22 +154,31 @@ impl cbic_image::ImageCodec for Calic {
         Some(*MAGIC)
     }
 
-    fn compress(&self, img: &Image) -> Vec<u8> {
-        compress(img)
+    fn encode(
+        &self,
+        img: &Image,
+        _opts: &cbic_image::EncodeOptions,
+        sink: &mut dyn std::io::Write,
+    ) -> Result<cbic_image::EncodeStats, cbic_image::CbicError> {
+        let (payload, stats) = encode_raw(img, &CalicConfig::default());
+        write_container(img, &payload, sink)?;
+        Ok(cbic_image::EncodeStats::new(
+            stats.pixels,
+            12 + payload.len() as u64,
+            Some(stats.payload_bits),
+        ))
     }
 
-    fn decompress(&self, bytes: &[u8]) -> Result<Image, cbic_image::ImageError> {
-        decompress(bytes).map_err(|e| cbic_image::ImageError::Codec(e.to_string()))
-    }
-
-    fn payload_bits_per_pixel(&self, img: &Image) -> f64 {
-        encode_raw(img, &CalicConfig::default()).1.bits_per_pixel()
+    fn decode(
+        &self,
+        source: &mut dyn std::io::Read,
+        _opts: &cbic_image::DecodeOptions,
+    ) -> Result<Image, cbic_image::CbicError> {
+        let mut bytes = Vec::new();
+        source.read_to_end(&mut bytes)?;
+        decompress(&bytes).map_err(cbic_image::CbicError::from)
     }
 }
-
-/// Whole-buffer streaming fallback: CALIC containers move through pipes
-/// via the default [`cbic_image::StreamingCodec`] methods.
-impl cbic_image::StreamingCodec for Calic {}
 
 #[cfg(test)]
 mod container_tests {

@@ -122,7 +122,8 @@ struct PixelModel {
 }
 
 /// The deterministic modeling state both sides keep in lock-step.
-struct Modeler {
+#[derive(Debug)]
+pub(crate) struct Modeler {
     store: ContextStore,
     /// |wrapped error| per column: entry `x` holds the error of the most
     /// recently processed pixel in column `x` (this row if already done,
@@ -134,13 +135,27 @@ struct Modeler {
 }
 
 impl Modeler {
-    fn new(width: usize, cfg: &CodecConfig) -> Self {
+    pub(crate) fn new(width: usize, cfg: &CodecConfig) -> Self {
         Self {
             store: ContextStore::new(cfg.compound_contexts(), cfg.division, cfg.aging),
             abs_err: vec![0; width],
             texture_bits: u32::from(cfg.texture_bits),
             error_feedback: cfg.error_feedback,
         }
+    }
+
+    /// Restores the start-of-image state in place for a `width`-pixel
+    /// image, reusing the context cells and the division LUT. The modeler
+    /// behaves byte-identically to a freshly constructed one.
+    pub(crate) fn reset(&mut self, width: usize) {
+        self.store.reset();
+        self.abs_err.clear();
+        self.abs_err.resize(width, 0);
+    }
+
+    /// Number of overflow-guard halvings since construction or reset.
+    pub(crate) fn halvings(&self) -> u64 {
+        self.store.halvings()
     }
 
     /// Runs prediction + context formation for pixel `(x, y)` against the
@@ -184,21 +199,12 @@ impl Modeler {
 ///
 /// Panics if the configuration is invalid (see [`CodecConfig`]).
 pub fn encode_raw(img: &Image, cfg: &CodecConfig) -> (Vec<u8>, EncodeStats) {
-    let (width, height) = img.dimensions();
-    let mut modeler = Modeler::new(width, cfg);
+    let mut modeler = Modeler::new(img.width(), cfg);
     let mut coder = SymbolCoder::new(CODING_CONTEXTS, cfg.estimator);
     let mut enc = BinaryEncoder::new(BitWriter::new());
+    encode_loop(img, &mut modeler, &mut coder, &mut enc);
 
-    for y in 0..height {
-        for x in 0..width {
-            let m = modeler.model(img, x, y);
-            let e = i32::from(img.get(x, y)) - m.x_tilde;
-            let wrapped = wrap_error(e);
-            coder.encode(&mut enc, m.qe, fold(wrapped));
-            modeler.absorb(x, m.ctx, wrapped);
-        }
-    }
-
+    let (width, height) = img.dimensions();
     let decisions = enc.decisions();
     let payload_bits = enc.bits_written();
     let coder_stats = coder.stats();
@@ -208,10 +214,56 @@ pub fn encode_raw(img: &Image, cfg: &CodecConfig) -> (Vec<u8>, EncodeStats) {
         payload_bits: payload_bits.max(writer.bits_written()),
         escapes: coder_stats.escapes,
         estimator_rescales: coder_stats.rescales,
-        context_halvings: modeler.store.halvings(),
+        context_halvings: modeler.halvings(),
         decisions,
     };
     (writer.into_bytes(), stats)
+}
+
+/// The encoder's pixel loop over prepared model state — shared by
+/// [`encode_raw`] (fresh state, buffered sink) and the reusable
+/// [`EncoderSession`](crate::session::EncoderSession) (reused state, any
+/// [`BitSink`]). The modeler and coder must be freshly constructed or
+/// reset; the produced bits are identical either way.
+pub(crate) fn encode_loop<S: cbic_bitio::BitSink>(
+    img: &Image,
+    modeler: &mut Modeler,
+    coder: &mut SymbolCoder,
+    enc: &mut BinaryEncoder<S>,
+) {
+    let (width, height) = img.dimensions();
+    for y in 0..height {
+        for x in 0..width {
+            let m = modeler.model(img, x, y);
+            let e = i32::from(img.get(x, y)) - m.x_tilde;
+            let wrapped = wrap_error(e);
+            coder.encode(enc, m.qe, fold(wrapped));
+            modeler.absorb(x, m.ctx, wrapped);
+        }
+    }
+}
+
+/// The decoder's pixel loop — the dual of [`encode_loop`], shared by
+/// [`decode_raw`] and the reusable
+/// [`DecoderSession`](crate::session::DecoderSession).
+pub(crate) fn decode_loop<S: cbic_bitio::BitSource>(
+    modeler: &mut Modeler,
+    coder: &mut SymbolCoder,
+    dec: &mut BinaryDecoder<S>,
+    width: usize,
+    height: usize,
+) -> Image {
+    let mut img = Image::new(width, height);
+    for y in 0..height {
+        for x in 0..width {
+            let m = modeler.model(&img, x, y);
+            let folded = coder.decode(dec, m.qe);
+            let wrapped = unfold(folded);
+            img.set(x, y, reconstruct(m.x_tilde, wrapped));
+            modeler.absorb(x, m.ctx, wrapped);
+        }
+    }
+    img
 }
 
 /// Decodes a raw payload produced by [`encode_raw`] with the same
@@ -242,17 +294,7 @@ pub(crate) fn decode_raw_with_padding(
     let mut modeler = Modeler::new(width, cfg);
     let mut coder = SymbolCoder::new(CODING_CONTEXTS, cfg.estimator);
     let mut dec = BinaryDecoder::new(BitReader::new(bytes));
-    let mut img = Image::new(width, height);
-
-    for y in 0..height {
-        for x in 0..width {
-            let m = modeler.model(&img, x, y);
-            let folded = coder.decode(&mut dec, m.qe);
-            let wrapped = unfold(folded);
-            img.set(x, y, reconstruct(m.x_tilde, wrapped));
-            modeler.absorb(x, m.ctx, wrapped);
-        }
-    }
+    let img = decode_loop(&mut modeler, &mut coder, &mut dec, width, height);
     let padding = dec.source().padding_bits();
     (img, padding)
 }

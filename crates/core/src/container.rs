@@ -1,6 +1,6 @@
 //! Self-describing container format.
 //!
-//! The raw codec API ([`encode_raw`](crate::encode_raw)) produces a bare
+//! The raw codec API ([`encode_raw`]) produces a bare
 //! arithmetic-coded payload, as the FPGA core would on its output bus. For
 //! storage and interchange this module frames it with a small header
 //! carrying the dimensions and every model parameter the decoder must
@@ -24,8 +24,9 @@
 
 use crate::codec::{decode_raw_with_padding, encode_raw, CodecConfig, MAX_CODE_PADDING_BITS};
 use crate::context::DivisionKind;
+use crate::session::EncoderSession;
 use cbic_arith::EstimatorConfig;
-use cbic_image::{Image, ImageCodec, ImageError, StreamingCodec};
+use cbic_image::{CbicError, Codec, CountingSink, DecodeOptions, EncodeOptions, Image};
 use std::fmt;
 use std::io::{Read, Write};
 
@@ -51,9 +52,18 @@ pub enum CodecError {
     Truncated,
     /// A header field holds an invalid value.
     InvalidHeader(String),
-    /// An underlying I/O failure on a streaming source or sink (message
-    /// form, to keep the error `Clone`).
-    Io(String),
+    /// An underlying I/O failure on a streaming source or sink. The
+    /// [`io::ErrorKind`](std::io::ErrorKind) is carried alongside the
+    /// message so it survives into [`CbicError::Io`] (the original
+    /// [`std::io::Error`] is not stored, to keep this error `Clone`).
+    Io(std::io::ErrorKind, String),
+}
+
+impl CodecError {
+    /// Captures an [`std::io::Error`], preserving its kind.
+    pub fn io(e: &std::io::Error) -> Self {
+        Self::Io(e.kind(), e.to_string())
+    }
 }
 
 impl fmt::Display for CodecError {
@@ -64,12 +74,28 @@ impl fmt::Display for CodecError {
             Self::UnsupportedCodec(c) => write!(f, "unsupported codec id {c}"),
             Self::Truncated => write!(f, "truncated container"),
             Self::InvalidHeader(msg) => write!(f, "invalid header: {msg}"),
-            Self::Io(msg) => write!(f, "i/o error: {msg}"),
+            Self::Io(_, msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for CodecError {}
+
+impl From<CodecError> for CbicError {
+    /// Structured, lossless mapping into the workspace hierarchy: every
+    /// variant lands on its [`CbicError`] counterpart, and the I/O kind is
+    /// preserved.
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::BadMagic => CbicError::BadMagic { found: None },
+            CodecError::UnsupportedVersion(v) => CbicError::UnsupportedVersion(v),
+            CodecError::UnsupportedCodec(c) => CbicError::UnsupportedCodec(c),
+            CodecError::Truncated => CbicError::Truncated,
+            CodecError::InvalidHeader(msg) => CbicError::InvalidContainer(msg),
+            CodecError::Io(kind, msg) => CbicError::from(std::io::Error::new(kind, msg)),
+        }
+    }
+}
 
 /// Compresses an image into a self-describing container.
 ///
@@ -114,6 +140,28 @@ pub(crate) fn header_bytes(cfg: &CodecConfig, width: usize, height: usize) -> [u
     out[21] = flags;
     out[22] = cfg.texture_bits;
     out
+}
+
+/// The container's pixel ceiling: 2^28 = 256 Mpixel, far beyond any image
+/// this codec targets, small enough that a corrupted header can never
+/// trigger a huge allocation.
+pub(crate) const MAX_PIXELS: usize = 1 << 28;
+
+/// The single dimension gate every path shares — the decode-side header
+/// validation ([`parse_header`]) and the encode-side guards
+/// ([`StreamEncoder::new`](crate::stream::StreamEncoder::new), the
+/// sessions), so an hours-long encode cannot produce a container the
+/// decoder would refuse.
+pub(crate) fn check_container_dimensions(width: usize, height: usize) -> Result<(), CodecError> {
+    if width > u32::MAX as usize
+        || height > u32::MAX as usize
+        || width.saturating_mul(height) > MAX_PIXELS
+    {
+        return Err(CodecError::InvalidHeader(format!(
+            "{width}x{height} exceeds the 2^28-pixel container limit"
+        )));
+    }
+    Ok(())
 }
 
 /// Decompresses a container produced by [`compress`].
@@ -175,12 +223,7 @@ pub(crate) fn parse_header_fields(
         return Err(CodecError::InvalidHeader("zero dimension".into()));
     }
     // Defensive cap: a corrupted header must not trigger a huge allocation.
-    // 2^28 pixels = 256 Mpixel, far beyond any image this codec targets.
-    if width.saturating_mul(height) > 1 << 28 {
-        return Err(CodecError::InvalidHeader(format!(
-            "{width}x{height} exceeds the 2^28-pixel container limit"
-        )));
-    }
+    check_container_dimensions(width, height)?;
     let count_bits = bytes[14];
     if !(10..=16).contains(&count_bits) {
         return Err(CodecError::InvalidHeader(format!(
@@ -225,23 +268,25 @@ pub(crate) fn parse_header_fields(
     Ok((cfg, width, height))
 }
 
-/// The paper's codec as an [`ImageCodec`] trait object.
+/// The paper's codec on the unified [`Codec`] surface.
 ///
 /// # Examples
 ///
 /// ```
-/// use cbic_image::{ImageCodec, Image};
 /// use cbic_core::Proposed;
+/// use cbic_image::{Codec, DecodeOptions, EncodeOptions, Image};
 ///
-/// let codec: &dyn ImageCodec = &Proposed::default();
+/// let codec: &dyn Codec = &Proposed::default();
 /// let img = Image::from_fn(16, 16, |x, y| (x * y) as u8);
-/// assert_eq!(codec.decompress(&codec.compress(&img)).unwrap(), img);
+/// let bytes = codec.encode_vec(&img, &EncodeOptions::default())?;
+/// assert_eq!(codec.decode_vec(&bytes, &DecodeOptions::default())?, img);
 /// assert_eq!(codec.name(), "proposed");
+/// # Ok::<(), cbic_image::CbicError>(())
 /// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Proposed(pub CodecConfig);
 
-impl ImageCodec for Proposed {
+impl Codec for Proposed {
     fn name(&self) -> &'static str {
         "proposed"
     }
@@ -250,39 +295,30 @@ impl ImageCodec for Proposed {
         Some(*MAGIC)
     }
 
-    fn compress(&self, img: &Image) -> Vec<u8> {
-        compress(img, &self.0)
-    }
-
-    fn decompress(&self, bytes: &[u8]) -> Result<Image, ImageError> {
-        decompress(bytes).map_err(|e| ImageError::Codec(e.to_string()))
-    }
-
-    fn payload_bits_per_pixel(&self, img: &Image) -> f64 {
-        encode_raw(img, &self.0).1.bits_per_pixel()
-    }
-}
-
-impl StreamingCodec for Proposed {
-    /// True streaming: the container is produced through
-    /// [`StreamEncoder`](crate::stream::StreamEncoder) with O(3 lines)
-    /// codec-side state and no output buffer, byte-identical to
-    /// [`ImageCodec::compress`].
-    fn compress_to(&self, img: &Image, out: &mut dyn Write) -> Result<(), ImageError> {
-        let mut enc = crate::stream::StreamEncoder::new(out, img.width(), img.height(), &self.0)
-            .map_err(ImageError::from)?;
-        for y in 0..img.height() {
-            enc.push_row(img.row(y)).map_err(ImageError::from)?;
-        }
-        enc.finish().map_err(ImageError::from)?;
-        Ok(())
+    /// Streams the container into `sink` through a one-shot
+    /// [`EncoderSession`] — no output buffer, byte-identical to
+    /// [`compress`]. The returned stats carry the exact payload bits, so
+    /// [`Codec::payload_bits_per_pixel`] costs a single counting pass.
+    fn encode(
+        &self,
+        img: &Image,
+        _opts: &EncodeOptions,
+        sink: &mut dyn Write,
+    ) -> Result<cbic_image::EncodeStats, CbicError> {
+        let mut counting = CountingSink::wrap(sink);
+        let stats = EncoderSession::new(&self.0).encode(img, &mut counting)?;
+        Ok(cbic_image::EncodeStats::new(
+            stats.pixels,
+            counting.bytes_written(),
+            Some(stats.payload_bits),
+        ))
     }
 
     /// True streaming: rows are reconstructed one at a time through
-    /// [`StreamDecoder`](crate::stream::StreamDecoder) without slurping the
-    /// compressed stream.
-    fn decompress_from(&self, input: &mut dyn Read) -> Result<Image, ImageError> {
-        crate::stream::decompress_from(input).map_err(|e| ImageError::Codec(e.to_string()))
+    /// [`StreamDecoder`](crate::stream::StreamDecoder) without slurping
+    /// the compressed stream.
+    fn decode(&self, source: &mut dyn Read, _opts: &DecodeOptions) -> Result<Image, CbicError> {
+        crate::stream::decompress_from(source).map_err(CbicError::from)
     }
 }
 

@@ -123,6 +123,16 @@ impl ContextStore {
         self.sums.len()
     }
 
+    /// Zeroes every context's `(sum, count)` pair and the halving counter
+    /// in place, reusing the cell storage and the division LUT — the
+    /// session-reuse path's alternative to rebuilding the store (and
+    /// re-deriving the 1 KB LUT) per image.
+    pub fn reset(&mut self) {
+        self.sums.fill(0);
+        self.counts.fill(0);
+        self.halvings = 0;
+    }
+
     /// Number of overflow-guard halvings performed so far.
     pub fn halvings(&self) -> u64 {
         self.halvings

@@ -50,11 +50,13 @@ pub mod hwpipe;
 pub mod neighborhood;
 pub mod predictor;
 pub mod remap;
+pub mod session;
 pub mod stream;
 pub mod tiles;
 
 pub use codec::{decode_raw, encode_raw, CodecConfig, DivisionKind, EncodeStats};
 pub use container::{compress, decompress, CodecError, Proposed};
+pub use session::{DecoderSession, EncoderSession};
 pub use stream::{StreamDecoder, StreamEncoder};
 pub use tiles::{Parallelism, Tiled};
 

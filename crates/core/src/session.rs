@@ -1,0 +1,336 @@
+//! Reusable coding sessions: the session, not the call, is the unit of
+//! work.
+//!
+//! [`compress`](crate::compress) / [`decompress`](crate::decompress)
+//! rebuild the whole model per call — the 512-cell context store (plus its
+//! 1 KB division LUT), eight 255-node estimator trees, and the line-error
+//! buffer — which is wasted work for a service coding thousands of images
+//! back to back. [`EncoderSession`] and [`DecoderSession`] own that state
+//! across calls and *reset* it in place between images, eliminating the
+//! model-table allocations and LUT rebuilds from the hot path (what
+//! remains per call is the arithmetic coder's registers and a 4 KiB
+//! transport buffer).
+//!
+//! A reset model is byte-identical to a fresh one (asserted below and by
+//! the `session_reuse` differential tests), so sessions are a pure
+//! performance feature: same containers in, same containers out. The
+//! `session_reuse` criterion group quantifies the win.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbic_core::session::EncoderSession;
+//! use cbic_core::CodecConfig;
+//! use cbic_image::corpus::CorpusImage;
+//!
+//! let cfg = CodecConfig::default();
+//! let mut session = EncoderSession::new(&cfg);
+//! let mut out = Vec::new();
+//! for size in [16, 24, 32] {
+//!     let img = CorpusImage::Lena.generate(size, size);
+//!     out.clear();
+//!     let stats = session.encode(&img, &mut out)?;
+//!     assert_eq!(out, cbic_core::compress(&img, &cfg)); // byte-identical
+//!     assert_eq!(stats.pixels, (size * size) as u64);
+//! }
+//! # Ok::<(), cbic_image::CbicError>(())
+//! ```
+
+use crate::codec::{
+    decode_loop, encode_loop, CodecConfig, EncodeStats, Modeler, CODING_CONTEXTS,
+    MAX_CODE_PADDING_BITS,
+};
+use crate::container::{
+    check_container_dimensions, header_bytes, parse_header_fields, CodecError, HEADER_LEN,
+};
+use cbic_arith::{BinaryDecoder, BinaryEncoder, SymbolCoder};
+use cbic_bitio::{BitSink, BitSource, StreamBitReader, StreamBitWriter};
+use cbic_image::{CbicError, Image};
+use std::io::{self, Read, Write};
+
+/// A reusable encoder: owns the context store, estimator trees, and error
+/// buffers across [`encode`](Self::encode) calls.
+///
+/// Every call emits a standard `CBIC` container byte-identical to
+/// [`compress`](crate::compress) with the session's configuration; between
+/// calls the model state is reset in place instead of reallocated.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_core::session::EncoderSession;
+/// use cbic_core::CodecConfig;
+/// use cbic_image::Image;
+///
+/// let mut session = EncoderSession::new(&CodecConfig::default());
+/// let img = Image::from_fn(16, 16, |x, y| (x * y) as u8);
+/// let mut out = Vec::new();
+/// session.encode(&img, &mut out)?;
+/// assert_eq!(cbic_core::decompress(&out).unwrap(), img);
+/// # Ok::<(), cbic_image::CbicError>(())
+/// ```
+#[derive(Debug)]
+pub struct EncoderSession {
+    cfg: CodecConfig,
+    modeler: Modeler,
+    coder: SymbolCoder,
+}
+
+impl EncoderSession {
+    /// Creates a session for `cfg`, allocating the model state once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`CodecConfig`]).
+    pub fn new(cfg: &CodecConfig) -> Self {
+        Self {
+            cfg: *cfg,
+            modeler: Modeler::new(1, cfg),
+            coder: SymbolCoder::new(CODING_CONTEXTS, cfg.estimator),
+        }
+    }
+
+    /// The configuration every container of this session carries.
+    pub fn config(&self) -> &CodecConfig {
+        &self.cfg
+    }
+
+    /// Encodes `img` into a standard container written to `sink`,
+    /// byte-identical to [`compress`](crate::compress).
+    ///
+    /// # Errors
+    ///
+    /// [`CbicError::Io`] on sink failures (kind preserved) and
+    /// [`CbicError::InvalidContainer`] for dimensions beyond the
+    /// container's 2^28-pixel ceiling.
+    pub fn encode(&mut self, img: &Image, sink: &mut dyn Write) -> Result<EncodeStats, CbicError> {
+        let (width, height) = img.dimensions();
+        check_container_dimensions(width, height).map_err(CbicError::from)?;
+        self.modeler.reset(width);
+        self.coder.reset();
+
+        sink.write_all(&header_bytes(&self.cfg, width, height))
+            .map_err(CbicError::from)?;
+        let mut enc = BinaryEncoder::new(StreamBitWriter::new(sink));
+        encode_loop(img, &mut self.modeler, &mut self.coder, &mut enc);
+        let decisions = enc.decisions();
+        let mut writer = enc.finish();
+        writer.take_error().map_err(CbicError::from)?;
+        let payload_bits = writer.bits_written();
+        writer.finish().map_err(CbicError::from)?;
+
+        let coder_stats = self.coder.stats();
+        Ok(EncodeStats {
+            pixels: (width * height) as u64,
+            payload_bits,
+            escapes: coder_stats.escapes,
+            estimator_rescales: coder_stats.rescales,
+            context_halvings: self.modeler.halvings(),
+            decisions,
+        })
+    }
+}
+
+/// A reusable decoder: the dual of [`EncoderSession`].
+///
+/// Each [`decode`](Self::decode) call decodes one standard `CBIC`
+/// container from the source. The session keeps the model state of the
+/// most recent configuration; when consecutive containers carry the same
+/// configuration (the common case for a service fed by one encoder) the
+/// state is reset in place, otherwise it is rebuilt for the new
+/// configuration.
+///
+/// The container format carries no payload length, so the decoder's
+/// buffered transport may read past the container's last byte — hand each
+/// call a source delivering exactly one container (a file, a
+/// length-delimited slice of a larger stream), not a raw concatenation of
+/// containers.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_core::session::{DecoderSession, EncoderSession};
+/// use cbic_core::CodecConfig;
+/// use cbic_image::Image;
+///
+/// let mut enc = EncoderSession::new(&CodecConfig::default());
+/// let mut dec = DecoderSession::new();
+/// for seed in 0..3u8 {
+///     let img = Image::from_fn(12, 12, |x, y| (x * 7 + y) as u8 ^ seed);
+///     let mut bytes = Vec::new();
+///     enc.encode(&img, &mut bytes)?;
+///     assert_eq!(dec.decode(&mut &bytes[..])?, img);
+/// }
+/// # Ok::<(), cbic_image::CbicError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct DecoderSession {
+    state: Option<(CodecConfig, Modeler, SymbolCoder)>,
+}
+
+impl DecoderSession {
+    /// Creates an empty session; model state is built on first use from
+    /// the first container's header.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads one container from `source` and decodes it.
+    ///
+    /// # Errors
+    ///
+    /// [`CbicError::Truncated`] when the stream ends inside the header or
+    /// the payload, [`CbicError::Io`] on transport failures (kind
+    /// preserved), and the structured header errors otherwise.
+    pub fn decode(&mut self, source: &mut dyn Read) -> Result<Image, CbicError> {
+        let mut hdr = [0u8; HEADER_LEN];
+        source.read_exact(&mut hdr).map_err(CbicError::from)?;
+        let (cfg, width, height) = parse_header_fields(&hdr).map_err(CbicError::from)?;
+
+        let (modeler, coder) = match &mut self.state {
+            Some((held, modeler, coder)) if *held == cfg => {
+                modeler.reset(width);
+                coder.reset();
+                (modeler, coder)
+            }
+            state => {
+                let fresh = (
+                    cfg,
+                    Modeler::new(width, &cfg),
+                    SymbolCoder::new(CODING_CONTEXTS, cfg.estimator),
+                );
+                let (_, modeler, coder) = state.insert(fresh);
+                (modeler, coder)
+            }
+        };
+
+        let mut dec = BinaryDecoder::new(StreamBitReader::new(source));
+        let img = decode_loop(modeler, coder, &mut dec, width, height);
+        if let Some(e) = dec.source().io_error() {
+            // From<io::Error> normalizes UnexpectedEof to Truncated, the
+            // same as every other decode path.
+            return Err(CbicError::from(io::Error::new(e.kind(), e.to_string())));
+        }
+        if dec.source().padding_bits() > MAX_CODE_PADDING_BITS {
+            return Err(CodecError::Truncated.into());
+        }
+        Ok(img)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::compress;
+    use cbic_arith::EstimatorConfig;
+    use cbic_image::corpus::CorpusImage;
+
+    #[test]
+    fn reused_session_is_byte_identical_to_fresh_compress() {
+        let cfg = CodecConfig::default();
+        let mut session = EncoderSession::new(&cfg);
+        let mut out = Vec::new();
+        // Varying content, sizes, and widths across one session.
+        for (i, (_, img)) in cbic_image::corpus::generate(40).into_iter().enumerate() {
+            out.clear();
+            let stats = session.encode(&img, &mut out).unwrap();
+            let reference = compress(&img, &cfg);
+            assert_eq!(out, reference, "image {i} diverged after reuse");
+            let (_, ref_stats) = crate::codec::encode_raw(&img, &cfg);
+            assert_eq!(stats, ref_stats, "stats diverged on image {i}");
+        }
+    }
+
+    #[test]
+    fn session_resizes_between_widths() {
+        let cfg = CodecConfig::default();
+        let mut session = EncoderSession::new(&cfg);
+        for (w, h) in [(1, 1), (64, 2), (2, 64), (17, 5), (1, 40)] {
+            let img = Image::from_fn(w, h, |x, y| (x * 31 + y * 17) as u8);
+            let mut out = Vec::new();
+            session.encode(&img, &mut out).unwrap();
+            assert_eq!(out, compress(&img, &cfg), "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn decoder_session_roundtrips_and_reuses_state() {
+        let cfg = CodecConfig::default();
+        let mut enc = EncoderSession::new(&cfg);
+        let mut dec = DecoderSession::new();
+        for (_, img) in cbic_image::corpus::generate(32) {
+            let mut bytes = Vec::new();
+            enc.encode(&img, &mut bytes).unwrap();
+            assert_eq!(dec.decode(&mut &bytes[..]).unwrap(), img);
+        }
+    }
+
+    #[test]
+    fn decoder_session_rebuilds_on_config_change() {
+        let img = CorpusImage::Barb.generate(24, 24);
+        let mut dec = DecoderSession::new();
+        for cfg in [
+            CodecConfig::default(),
+            CodecConfig {
+                texture_bits: 2,
+                ..CodecConfig::default()
+            },
+            CodecConfig {
+                estimator: EstimatorConfig {
+                    count_bits: 12,
+                    ..EstimatorConfig::default()
+                },
+                ..CodecConfig::default()
+            },
+            CodecConfig::default(),
+        ] {
+            let bytes = compress(&img, &cfg);
+            assert_eq!(dec.decode(&mut &bytes[..]).unwrap(), img, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn session_rejects_oversized_dimensions() {
+        let mut session = EncoderSession::new(&CodecConfig::default());
+        let img = Image::from_fn(1 << 15, 1, |x, _| x as u8);
+        // 2^15 x 1 is fine...
+        assert!(session.encode(&img, &mut Vec::new()).is_ok());
+        // ...but the shared container gate rejects 2^30 pixels, and the
+        // session surfaces it as the structured variant.
+        assert!(matches!(
+            check_container_dimensions(1 << 15, 1 << 15).map_err(CbicError::from),
+            Err(CbicError::InvalidContainer(_))
+        ));
+    }
+
+    #[test]
+    fn decoder_session_surfaces_truncation() {
+        let cfg = CodecConfig::default();
+        let img = CorpusImage::Goldhill.generate(48, 48);
+        let bytes = compress(&img, &cfg);
+        let mut dec = DecoderSession::new();
+        let err = dec.decode(&mut &bytes[..bytes.len() / 2]).unwrap_err();
+        assert!(matches!(err, CbicError::Truncated), "{err:?}");
+        assert_eq!(err.io_kind(), Some(io::ErrorKind::UnexpectedEof));
+        // The session stays usable after an error.
+        assert_eq!(dec.decode(&mut &bytes[..]).unwrap(), img);
+    }
+
+    #[test]
+    fn encoder_session_surfaces_sink_errors_with_kind() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut session = EncoderSession::new(&CodecConfig::default());
+        let img = Image::from_fn(8, 8, |x, y| (x + y) as u8);
+        let err = session.encode(&img, &mut Failing).unwrap_err();
+        assert_eq!(err.io_kind(), Some(io::ErrorKind::BrokenPipe));
+    }
+}

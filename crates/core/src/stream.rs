@@ -83,15 +83,8 @@ impl<W: Write> StreamEncoder<W> {
     /// Panics if either dimension is zero or the configuration is invalid.
     pub fn new(mut out: W, width: usize, height: usize, cfg: &CodecConfig) -> io::Result<Self> {
         assert!(width > 0 && height > 0, "image dimensions must be nonzero");
-        if width > u32::MAX as usize
-            || height > u32::MAX as usize
-            || width.saturating_mul(height) > 1 << 28
-        {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("{width}x{height} exceeds the 2^28-pixel container limit"),
-            ));
-        }
+        crate::container::check_container_dimensions(width, height)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         out.write_all(&header_bytes(cfg, width, height))?;
         Ok(Self {
             hw: HwEncoder::with_sink(width, cfg, StreamBitWriter::new(out)),
@@ -196,7 +189,7 @@ impl<R: Read> StreamDecoder<R> {
             if e.kind() == io::ErrorKind::UnexpectedEof {
                 CodecError::Truncated
             } else {
-                CodecError::Io(e.to_string())
+                CodecError::io(&e)
             }
         })?;
         let (cfg, width, height) = parse_header_fields(&hdr)?;
@@ -249,7 +242,7 @@ impl<R: Read> StreamDecoder<R> {
         }
         self.rows_out += 1;
         if let Some(e) = self.hw.source().io_error() {
-            return Err(CodecError::Io(e.to_string()));
+            return Err(CodecError::io(e));
         }
         if self.rows_out == self.height && self.hw.source().padding_bits() > MAX_CODE_PADDING_BITS {
             return Err(CodecError::Truncated);
@@ -411,7 +404,7 @@ mod tests {
         let bytes = compress(&img, &CodecConfig::default());
         let half = bytes.len() / 2;
         let result = decompress_from(FailAfter(bytes[..half].to_vec(), 0));
-        assert!(matches!(result, Err(CodecError::Io(_))), "got {result:?}");
+        assert!(matches!(result, Err(CodecError::Io(..))), "got {result:?}");
     }
 
     #[test]

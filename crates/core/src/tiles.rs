@@ -35,46 +35,10 @@ use crate::codec::{
     decode_raw_with_padding, encode_raw, CodecConfig, EncodeStats, MAX_CODE_PADDING_BITS,
 };
 use crate::container::{parse_header, CodecError, HEADER_LEN};
-use cbic_image::{Image, ImageCodec, ImageError, StreamingCodec};
-use std::io::Read;
+use cbic_image::{CbicError, Codec, DecodeOptions, EncodeOptions, Image};
+use std::io::{Read, Write};
 
-/// How many worker threads code the bands of a tiled container.
-///
-/// The choice never changes the produced bytes — only the wall-clock time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Parallelism {
-    /// One band after another on the calling thread (the reference path).
-    #[default]
-    Sequential,
-    /// Up to this many worker threads via [`std::thread::scope`]. `0` and
-    /// `1` degrade to [`Parallelism::Sequential`].
-    Threads(usize),
-    /// One worker per available hardware thread
-    /// ([`std::thread::available_parallelism`]).
-    Auto,
-}
-
-impl Parallelism {
-    /// CLI helper: maps a `--threads N` value (`0`/`1` meaning "don't
-    /// spawn") onto the matching variant.
-    pub fn from_threads(n: usize) -> Self {
-        if n <= 1 {
-            Self::Sequential
-        } else {
-            Self::Threads(n)
-        }
-    }
-
-    /// Number of workers to spawn for `jobs` independent jobs.
-    fn workers(self, jobs: usize) -> usize {
-        let cap = match self {
-            Self::Sequential => 1,
-            Self::Threads(n) => n.max(1),
-            Self::Auto => std::thread::available_parallelism().map_or(1, usize::from),
-        };
-        cap.min(jobs.max(1))
-    }
-}
+pub use cbic_image::Parallelism;
 
 /// Runs `job` over `inputs`/`outputs` pairs on `par`-many scoped threads.
 /// Output order matches input order regardless of the schedule.
@@ -271,28 +235,37 @@ pub fn decompress_tiled(bytes: &[u8], par: Parallelism) -> Result<Image, CodecEr
     Ok(out)
 }
 
-/// The tiled multi-core variant as an [`ImageCodec`] trait object, so the
+/// The tiled multi-core variant on the unified [`Codec`] surface, so the
 /// registry can auto-detect and decode `CBTI` containers like any other.
+///
+/// Band count and worker threads come from the
+/// [`EncodeOptions`]/[`DecodeOptions`] of each call
+/// (`opts.tiles`, `opts.parallelism`); the struct holds the model
+/// configuration and the default band geometry.
 ///
 /// # Examples
 ///
 /// ```
-/// use cbic_core::tiles::{Parallelism, Tiled};
-/// use cbic_image::{Image, ImageCodec};
+/// use cbic_core::tiles::Tiled;
+/// use cbic_image::{Codec, DecodeOptions, EncodeOptions, Image, Parallelism};
 ///
 /// let codec = Tiled::default();
 /// let img = Image::from_fn(32, 32, |x, y| (x * 3 + y) as u8);
-/// assert_eq!(codec.decompress(&codec.compress(&img)).unwrap(), img);
+/// let opts = EncodeOptions::new()
+///     .with_tiles(4)
+///     .with_parallelism(Parallelism::Threads(4));
+/// let bytes = codec.encode_vec(&img, &opts)?;
+/// assert_eq!(codec.decode_vec(&bytes, &DecodeOptions::default())?, img);
 /// assert_eq!(codec.name(), "tiled");
+/// # Ok::<(), cbic_image::CbicError>(())
 /// ```
 #[derive(Debug, Clone, Copy)]
 pub struct Tiled {
     /// Configuration shared by every band's codec instance.
     pub cfg: CodecConfig,
-    /// Number of horizontal bands (clamped to the image height).
+    /// Default number of horizontal bands when the encode options do not
+    /// override it (always clamped to the image height).
     pub tiles: usize,
-    /// Worker threads for banded coding.
-    pub parallelism: Parallelism,
 }
 
 impl Default for Tiled {
@@ -300,12 +273,11 @@ impl Default for Tiled {
         Self {
             cfg: CodecConfig::default(),
             tiles: 4,
-            parallelism: Parallelism::Auto,
         }
     }
 }
 
-impl ImageCodec for Tiled {
+impl Codec for Tiled {
     fn name(&self) -> &'static str {
         "tiled"
     }
@@ -314,58 +286,88 @@ impl ImageCodec for Tiled {
         Some(*TILE_MAGIC)
     }
 
-    fn compress(&self, img: &Image) -> Vec<u8> {
-        let tiles = self.tiles.clamp(1, img.height());
-        compress_tiled(img, &self.cfg, tiles, self.parallelism)
+    /// Encodes `opts.tiles` (default: the struct's geometry) independent
+    /// bands on `opts.parallelism` workers. The bytes do not depend on the
+    /// schedule.
+    fn encode(
+        &self,
+        img: &Image,
+        opts: &EncodeOptions,
+        sink: &mut dyn Write,
+    ) -> Result<cbic_image::EncodeStats, CbicError> {
+        let tiles = opts.tiles.unwrap_or(self.tiles).clamp(1, img.height());
+        let bytes = compress_tiled(img, &self.cfg, tiles, opts.parallelism);
+        sink.write_all(&bytes).map_err(CbicError::from)?;
+        Ok(cbic_image::EncodeStats::new(
+            img.pixel_count() as u64,
+            bytes.len() as u64,
+            None,
+        ))
     }
 
-    fn decompress(&self, bytes: &[u8]) -> Result<Image, ImageError> {
-        decompress_tiled(bytes, self.parallelism).map_err(|e| ImageError::Codec(e.to_string()))
+    /// Buffered decode on `opts.parallelism` workers (one band each).
+    fn decode_vec(&self, bytes: &[u8], opts: &DecodeOptions) -> Result<Image, CbicError> {
+        decompress_tiled(bytes, opts.parallelism).map_err(CbicError::from)
     }
-}
 
-impl StreamingCodec for Tiled {
     /// Chunked streaming decode: bands are length-prefixed, so each one is
-    /// read, validated, and decoded in turn — peak compressed-side
-    /// buffering is one band, not the whole container.
-    fn decompress_from(&self, input: &mut dyn Read) -> Result<Image, ImageError> {
-        let into = |e: CodecError| ImageError::Codec(e.to_string());
-        let read_exact = |input: &mut dyn Read, buf: &mut [u8]| -> Result<(), ImageError> {
-            input.read_exact(buf).map_err(|e| {
-                if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                    into(CodecError::Truncated)
-                } else {
-                    ImageError::Io(e.to_string())
-                }
-            })
+    /// read and validated in turn. By default (and at
+    /// [`Parallelism::Sequential`]/[`Parallelism::Auto`]) every band is
+    /// also arithmetic-decoded as it arrives, keeping peak
+    /// compressed-side buffering at one band — the streaming entry point
+    /// favors the bounded-memory guarantee. An explicit
+    /// [`Parallelism::Threads`] request instead collects the validated
+    /// band payloads and decodes them concurrently (compressed-side
+    /// buffering grows to the container, still far below the decoded
+    /// image); the buffered [`Codec::decode_vec`] path parallelizes under
+    /// `Auto` too, since its input is already fully resident.
+    fn decode(&self, input: &mut dyn Read, opts: &DecodeOptions) -> Result<Image, CbicError> {
+        let read_exact = |input: &mut dyn Read, buf: &mut [u8]| -> Result<(), CbicError> {
+            input.read_exact(buf).map_err(CbicError::from)
         };
+        let decode_band =
+            |cfg: &CodecConfig, w: usize, h: usize, body: &[u8]| -> Result<Image, CbicError> {
+                let (img, padding) = decode_raw_with_padding(body, w, h, cfg);
+                if padding > MAX_CODE_PADDING_BITS {
+                    Err(CbicError::Truncated)
+                } else {
+                    Ok(img)
+                }
+            };
 
         let mut head = [0u8; 8];
         read_exact(input, &mut head)?;
         if &head[..4] != TILE_MAGIC {
-            return Err(into(CodecError::BadMagic));
+            return Err(CbicError::bad_magic(&head));
         }
         let tiles = u32::from_le_bytes(head[4..8].try_into().expect("sized")) as usize;
         // Without the container length in hand, bound the tile count by the
         // same 2^28-pixel ceiling the band headers enforce: every band has
         // at least one row, so more bands than pixels is impossible.
         if tiles == 0 || tiles > 1 << 28 {
-            return Err(into(CodecError::InvalidHeader(format!(
+            return Err(CbicError::InvalidContainer(format!(
                 "tile count {tiles} impossible"
-            ))));
+            )));
         }
+        // Only an explicit thread request trades the one-band memory bound
+        // for concurrency; `Auto` must not silently buffer the container.
+        let parallel = matches!(opts.parallelism, Parallelism::Threads(n) if n > 1) && tiles > 1;
         let mut bands: Vec<Image> = Vec::new();
+        // Parallel path: validated `(cfg, w, h, payload)` frames awaiting
+        // the banded decode below.
+        let mut frames: Vec<(CodecConfig, usize, usize, Vec<u8>)> = Vec::new();
         let mut payload = Vec::new();
         // Shape validation runs on each band header *before* its payload is
         // arithmetic-decoded, mirroring decompress_tiled's fail-fast order:
         // equal widths, non-increasing heights, spread of at most one.
+        let mut first_width = None;
         let (mut min_h, mut max_h) = (usize::MAX, 0usize);
         for _ in 0..tiles {
             let mut len_bytes = [0u8; 4];
             read_exact(input, &mut len_bytes)?;
             let len = u32::from_le_bytes(len_bytes) as usize;
             if len < HEADER_LEN {
-                return Err(into(CodecError::Truncated));
+                return Err(CbicError::Truncated);
             }
             payload.clear();
             // `take` bounds the allocation by what the stream actually
@@ -373,44 +375,54 @@ impl StreamingCodec for Tiled {
             input
                 .take(len as u64)
                 .read_to_end(&mut payload)
-                .map_err(|e| ImageError::Io(e.to_string()))?;
+                .map_err(CbicError::from)?;
             if payload.len() != len {
-                return Err(into(CodecError::Truncated));
+                return Err(CbicError::Truncated);
             }
-            let (cfg, w, h, body) = parse_header(&payload).map_err(into)?;
-            if let Some(first) = bands.first() {
-                if w != first.width() {
-                    return Err(into(CodecError::InvalidHeader(
+            let (cfg, w, h, body) = parse_header(&payload).map_err(CbicError::from)?;
+            if let Some(first_width) = first_width {
+                if w != first_width {
+                    return Err(CbicError::InvalidContainer(
                         "inconsistent band widths".into(),
-                    )));
+                    ));
                 }
                 if h > min_h {
-                    return Err(into(CodecError::InvalidHeader(
+                    return Err(CbicError::InvalidContainer(
                         "band heights must be non-increasing".into(),
-                    )));
+                    ));
                 }
             }
+            first_width.get_or_insert(w);
             min_h = min_h.min(h);
             max_h = max_h.max(h);
             if max_h - min_h > 1 {
-                return Err(into(CodecError::InvalidHeader(format!(
+                return Err(CbicError::InvalidContainer(format!(
                     "band heights {min_h}..{max_h} differ by more than one"
-                ))));
+                )));
             }
-            let (img, padding) = decode_raw_with_padding(body, w, h, &cfg);
-            if padding > MAX_CODE_PADDING_BITS {
-                return Err(into(CodecError::Truncated));
+            if parallel {
+                frames.push((cfg, w, h, body.to_vec()));
+            } else {
+                bands.push(decode_band(&cfg, w, h, body)?);
             }
-            bands.push(img);
         }
-        if input
-            .read(&mut [0u8])
-            .map_err(|e| ImageError::Io(e.to_string()))?
-            != 0
-        {
-            return Err(into(CodecError::InvalidHeader(
+        if input.read(&mut [0u8]).map_err(CbicError::from)? != 0 {
+            return Err(CbicError::InvalidContainer(
                 "trailing bytes after final band".into(),
-            )));
+            ));
+        }
+
+        if parallel {
+            let mut decoded: Vec<Result<Image, CbicError>> = (0..frames.len())
+                .map(|_| Err(CbicError::Truncated))
+                .collect();
+            run_banded(
+                &frames,
+                &mut decoded,
+                opts.parallelism,
+                |(cfg, w, h, body)| decode_band(cfg, *w, *h, body),
+            );
+            bands = decoded.into_iter().collect::<Result<Vec<_>, _>>()?;
         }
 
         let width = bands[0].width();

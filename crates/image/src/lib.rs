@@ -26,13 +26,15 @@
 
 mod codec_trait;
 pub mod corpus;
+mod error;
 mod image;
+mod options;
 pub mod pgm;
 pub mod registry;
-mod streaming;
 pub mod synth;
 
-pub use codec_trait::ImageCodec;
+pub use codec_trait::{Codec, CountingSink, EncodeStats};
+pub use error::CbicError;
 pub use image::{Image, ImageError};
+pub use options::{DecodeOptions, EncodeOptions, Parallelism};
 pub use registry::{CodecRegistry, RegistryError};
-pub use streaming::StreamingCodec;

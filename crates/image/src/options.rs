@@ -1,0 +1,174 @@
+//! Typed options for the unified [`Codec`](crate::Codec) surface.
+//!
+//! The knobs that used to be scattered across free functions and codec
+//! struct fields — worker-thread counts, tiling geometry — travel in
+//! [`EncodeOptions`] / [`DecodeOptions`] instead, so every codec is called
+//! the same way and new knobs can be added without breaking signatures
+//! (both structs are `#[non_exhaustive]`; build them with the `with_*`
+//! methods).
+
+/// How many worker threads a codec with a parallel path may use.
+///
+/// The choice never changes the produced bytes — only the wall-clock time.
+/// Codecs without a parallel path ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One job after another on the calling thread (the reference path).
+    #[default]
+    Sequential,
+    /// Up to this many worker threads via [`std::thread::scope`]. `0` and
+    /// `1` degrade to [`Parallelism::Sequential`].
+    Threads(usize),
+    /// One worker per available hardware thread
+    /// ([`std::thread::available_parallelism`]).
+    Auto,
+}
+
+impl Parallelism {
+    /// CLI helper: maps a `--threads N` value (`0`/`1` meaning "don't
+    /// spawn") onto the matching variant.
+    pub fn from_threads(n: usize) -> Self {
+        if n <= 1 {
+            Self::Sequential
+        } else {
+            Self::Threads(n)
+        }
+    }
+
+    /// Number of workers to spawn for `jobs` independent jobs.
+    pub fn workers(self, jobs: usize) -> usize {
+        let cap = match self {
+            Self::Sequential => 1,
+            Self::Threads(n) => n.max(1),
+            Self::Auto => std::thread::available_parallelism().map_or(1, usize::from),
+        };
+        cap.min(jobs.max(1))
+    }
+}
+
+/// Typed knobs for [`Codec::encode`](crate::Codec::encode).
+///
+/// The codec-specific model configuration (e.g. `cbic-core`'s
+/// `CodecConfig`) stays on the codec value itself; these options carry the
+/// orchestration knobs every codec understands the same way.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_image::{EncodeOptions, Parallelism};
+///
+/// let opts = EncodeOptions::new()
+///     .with_parallelism(Parallelism::Threads(4))
+///     .with_tiles(4);
+/// assert_eq!(opts.parallelism, Parallelism::Threads(4));
+/// assert_eq!(opts.tiles, Some(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct EncodeOptions {
+    /// Worker threads for codecs with a parallel encode path (the tiled
+    /// codec runs one band per worker).
+    pub parallelism: Parallelism,
+    /// Horizontal band count for tiling codecs; `None` uses the codec's
+    /// default geometry. Ignored by untiled codecs.
+    pub tiles: Option<usize>,
+}
+
+impl Default for EncodeOptions {
+    /// [`Parallelism::Auto`] and default tiling geometry.
+    fn default() -> Self {
+        Self {
+            parallelism: Parallelism::Auto,
+            tiles: None,
+        }
+    }
+}
+
+impl EncodeOptions {
+    /// The default options ([`Parallelism::Auto`], codec-default tiling).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread policy.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Overrides the band count of tiling codecs.
+    pub fn with_tiles(mut self, tiles: usize) -> Self {
+        self.tiles = Some(tiles);
+        self
+    }
+}
+
+/// Typed knobs for [`Codec::decode`](crate::Codec::decode).
+///
+/// # Examples
+///
+/// ```
+/// use cbic_image::{DecodeOptions, Parallelism};
+///
+/// let opts = DecodeOptions::new().with_parallelism(Parallelism::Sequential);
+/// assert_eq!(opts.parallelism, Parallelism::Sequential);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct DecodeOptions {
+    /// Worker threads for codecs with a parallel decode path.
+    pub parallelism: Parallelism,
+}
+
+impl Default for DecodeOptions {
+    /// [`Parallelism::Auto`].
+    fn default() -> Self {
+        Self {
+            parallelism: Parallelism::Auto,
+        }
+    }
+}
+
+impl DecodeOptions {
+    /// The default options ([`Parallelism::Auto`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread policy.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_threads_degrades_small_counts() {
+        assert_eq!(Parallelism::from_threads(0), Parallelism::Sequential);
+        assert_eq!(Parallelism::from_threads(1), Parallelism::Sequential);
+        assert_eq!(Parallelism::from_threads(8), Parallelism::Threads(8));
+    }
+
+    #[test]
+    fn workers_bounded_by_jobs() {
+        assert_eq!(Parallelism::Sequential.workers(10), 1);
+        assert_eq!(Parallelism::Threads(4).workers(10), 4);
+        assert_eq!(Parallelism::Threads(4).workers(2), 2);
+        assert_eq!(Parallelism::Threads(0).workers(5), 1);
+        assert!(Parallelism::Auto.workers(64) >= 1);
+        assert_eq!(Parallelism::Auto.workers(0), 1);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let e = EncodeOptions::new().with_tiles(7);
+        assert_eq!(e.tiles, Some(7));
+        assert_eq!(EncodeOptions::default().tiles, None);
+        let d = DecodeOptions::new().with_parallelism(Parallelism::Threads(2));
+        assert_eq!(d.parallelism, Parallelism::Threads(2));
+    }
+}

@@ -1,14 +1,14 @@
-//! A registry of [`StreamingCodec`] implementations with name lookup and
-//! magic-byte auto-detection.
+//! A registry of [`Codec`] implementations with name lookup and magic-byte
+//! auto-detection.
 //!
 //! Tools that work over *every* codec — the CLI, the Table 1 benchmark
 //! harness, the universal multiplexer's image front end — are written once
 //! against this registry instead of hard-coding one `match` arm per codec.
-//! Adding a codec to the workspace then means implementing
-//! [`ImageCodec`] + [`StreamingCodec`] and registering it in one place
-//! (`cbic_universal::codecs::all_codecs`), not editing every front end.
+//! Adding a codec to the workspace then means implementing [`Codec`] and
+//! registering it in one place (`cbic_universal::codecs::all_codecs`), not
+//! editing every front end.
 
-use crate::{Image, ImageCodec, ImageError, StreamingCodec};
+use crate::{CbicError, Codec, DecodeOptions, Image};
 use std::fmt;
 use std::io::Read;
 
@@ -62,39 +62,61 @@ impl std::error::Error for RegistryError {}
 ///
 /// ```
 /// use cbic_image::registry::CodecRegistry;
-/// use cbic_image::{Image, ImageCodec, ImageError, StreamingCodec};
+/// use cbic_image::{
+///     CbicError, Codec, DecodeOptions, EncodeOptions, EncodeStats, Image,
+/// };
+/// use std::io::{Read, Write};
 ///
 /// struct Stored;
-/// impl ImageCodec for Stored {
+/// impl Codec for Stored {
 ///     fn name(&self) -> &'static str { "stored" }
 ///     fn magic(&self) -> Option<[u8; 4]> { Some(*b"STOR") }
-///     fn compress(&self, img: &Image) -> Vec<u8> {
-///         let mut out = b"STOR".to_vec();
-///         out.extend_from_slice(&(img.width() as u32).to_le_bytes());
-///         out.extend_from_slice(&(img.height() as u32).to_le_bytes());
-///         out.extend_from_slice(img.pixels());
-///         out
+///     fn encode(
+///         &self,
+///         img: &Image,
+///         _opts: &EncodeOptions,
+///         sink: &mut dyn Write,
+///     ) -> Result<EncodeStats, CbicError> {
+///         sink.write_all(b"STOR")?;
+///         sink.write_all(&(img.width() as u32).to_le_bytes())?;
+///         sink.write_all(&(img.height() as u32).to_le_bytes())?;
+///         sink.write_all(img.pixels())?;
+///         Ok(EncodeStats::new(
+///             img.pixel_count() as u64,
+///             12 + img.pixel_count() as u64,
+///             None,
+///         ))
 ///     }
-///     fn decompress(&self, bytes: &[u8]) -> Result<Image, ImageError> {
-///         let dims = bytes.get(4..12).ok_or(ImageError::Io("truncated".into()))?;
-///         let w = u32::from_le_bytes(dims[0..4].try_into().unwrap()) as usize;
-///         let h = u32::from_le_bytes(dims[4..8].try_into().unwrap()) as usize;
-///         Image::from_vec(w, h, bytes[12..].to_vec())
+///     fn decode(
+///         &self,
+///         source: &mut dyn Read,
+///         _opts: &DecodeOptions,
+///     ) -> Result<Image, CbicError> {
+///         let mut head = [0u8; 12];
+///         source.read_exact(&mut head)?;
+///         if &head[..4] != b"STOR" {
+///             return Err(CbicError::bad_magic(&head));
+///         }
+///         let w = u32::from_le_bytes(head[4..8].try_into().unwrap()) as usize;
+///         let h = u32::from_le_bytes(head[8..12].try_into().unwrap()) as usize;
+///         let mut pixels = vec![0u8; w.saturating_mul(h)];
+///         source.read_exact(&mut pixels)?;
+///         Image::from_vec(w, h, pixels).map_err(CbicError::from)
 ///     }
 /// }
-/// impl StreamingCodec for Stored {}
 ///
 /// let mut registry = CodecRegistry::new();
 /// registry.register(Box::new(Stored));
 /// let img = Image::from_fn(8, 8, |x, y| (x ^ y) as u8);
-/// let bytes = registry.by_name("stored").unwrap().compress(&img);
+/// let opts = EncodeOptions::default();
+/// let bytes = registry.by_name("stored").unwrap().encode_vec(&img, &opts)?;
 /// assert_eq!(registry.detect(&bytes).unwrap().name(), "stored");
-/// assert_eq!(registry.decompress_auto(&bytes)?, img);
-/// # Ok::<(), ImageError>(())
+/// assert_eq!(registry.decode_auto(&bytes, &DecodeOptions::default())?, img);
+/// # Ok::<(), CbicError>(())
 /// ```
 #[derive(Default)]
 pub struct CodecRegistry {
-    entries: Vec<Box<dyn StreamingCodec>>,
+    entries: Vec<Box<dyn Codec>>,
 }
 
 impl CodecRegistry {
@@ -111,7 +133,7 @@ impl CodecRegistry {
     /// [`RegistryError::DuplicateName`] when a codec with the same name is
     /// already present; [`RegistryError::MagicCollision`] when the codec's
     /// container magic is already claimed.
-    pub fn try_register(&mut self, codec: Box<dyn StreamingCodec>) -> Result<(), RegistryError> {
+    pub fn try_register(&mut self, codec: Box<dyn Codec>) -> Result<(), RegistryError> {
         if self.by_name(codec.name()).is_some() {
             return Err(RegistryError::DuplicateName(codec.name().into()));
         }
@@ -135,14 +157,14 @@ impl CodecRegistry {
     /// Panics on the collisions [`try_register`](Self::try_register)
     /// rejects — duplicate registration is a programming error in the
     /// registry assembly, not a runtime condition.
-    pub fn register(&mut self, codec: Box<dyn StreamingCodec>) {
+    pub fn register(&mut self, codec: Box<dyn Codec>) {
         if let Err(e) = self.try_register(codec) {
             panic!("invalid codec registration: {e}");
         }
     }
 
     /// All registered codecs, in registration order.
-    pub fn codecs(&self) -> impl Iterator<Item = &dyn StreamingCodec> {
+    pub fn codecs(&self) -> impl Iterator<Item = &dyn Codec> {
         self.entries.iter().map(AsRef::as_ref)
     }
 
@@ -158,60 +180,67 @@ impl CodecRegistry {
 
     /// The registered codec names, in registration order.
     pub fn names(&self) -> Vec<&'static str> {
-        self.codecs().map(ImageCodec::name).collect()
+        self.codecs().map(Codec::name).collect()
     }
 
-    /// Looks a codec up by its [`ImageCodec::name`].
-    pub fn by_name(&self, name: &str) -> Option<&dyn StreamingCodec> {
+    /// Looks a codec up by its [`Codec::name`].
+    pub fn by_name(&self, name: &str) -> Option<&dyn Codec> {
         self.codecs().find(|c| c.name() == name)
     }
 
+    /// [`by_name`](Self::by_name) with a structured error for service
+    /// code paths.
+    ///
+    /// # Errors
+    ///
+    /// [`CbicError::UnknownCodec`] when no codec answers to `name`.
+    pub fn expect_name(&self, name: &str) -> Result<&dyn Codec, CbicError> {
+        self.by_name(name)
+            .ok_or_else(|| CbicError::UnknownCodec(name.into()))
+    }
+
     /// Identifies which codec produced `bytes` from its container magic.
-    pub fn detect(&self, bytes: &[u8]) -> Option<&dyn StreamingCodec> {
+    pub fn detect(&self, bytes: &[u8]) -> Option<&dyn Codec> {
         let magic: [u8; 4] = bytes.get(..4)?.try_into().ok()?;
         self.codecs().find(|c| c.magic() == Some(magic))
     }
 
-    /// Auto-detects the producing codec and decompresses.
+    /// Auto-detects the producing codec and decodes the buffered
+    /// container.
     ///
     /// # Errors
     ///
-    /// Returns [`ImageError::Codec`] when no registered codec claims the
+    /// [`CbicError::BadMagic`] when no registered codec claims the
     /// container's magic, or the detected codec's error when decoding
     /// fails.
-    pub fn decompress_auto(&self, bytes: &[u8]) -> Result<Image, ImageError> {
+    pub fn decode_auto(&self, bytes: &[u8], opts: &DecodeOptions) -> Result<Image, CbicError> {
         match self.detect(bytes) {
-            Some(codec) => codec.decompress(bytes),
-            None => Err(ImageError::Codec(format!(
-                "unrecognized container magic {:?} (registered: {})",
-                bytes.get(..4).unwrap_or_default(),
-                self.names().join(", ")
-            ))),
+            Some(codec) => codec.decode_vec(bytes, opts),
+            None => Err(CbicError::bad_magic(bytes)),
         }
     }
 
-    /// Streaming [`decompress_auto`](Self::decompress_auto): reads the
-    /// 4-byte magic off `input`, routes to the owning codec, and lets it
-    /// consume the rest of the stream through
-    /// [`StreamingCodec::decompress_from`].
+    /// Streaming [`decode_auto`](Self::decode_auto): reads the 4-byte
+    /// magic off `input`, routes to the owning codec, and lets it consume
+    /// the rest of the stream through [`Codec::decode`].
     ///
     /// # Errors
     ///
-    /// [`ImageError::Io`] when the magic cannot be read,
-    /// [`ImageError::Codec`] for an unclaimed magic, and the codec's own
-    /// error otherwise.
-    pub fn decompress_stream(&self, input: &mut dyn Read) -> Result<Image, ImageError> {
+    /// [`CbicError::Truncated`]/[`CbicError::Io`] when the magic cannot be
+    /// read, [`CbicError::BadMagic`] for an unclaimed magic, and the
+    /// codec's own error otherwise.
+    pub fn decode_stream(
+        &self,
+        input: &mut dyn Read,
+        opts: &DecodeOptions,
+    ) -> Result<Image, CbicError> {
         let mut magic = [0u8; 4];
         input.read_exact(&mut magic)?;
-        let codec = self.detect(&magic).ok_or_else(|| {
-            ImageError::Codec(format!(
-                "unrecognized container magic {:?} (registered: {})",
-                magic,
-                self.names().join(", ")
-            ))
-        })?;
+        let codec = self
+            .detect(&magic)
+            .ok_or(CbicError::BadMagic { found: Some(magic) })?;
         let mut chained = (&magic[..]).chain(input);
-        codec.decompress_from(&mut chained)
+        codec.decode(&mut chained, opts)
     }
 }
 
@@ -226,25 +255,35 @@ impl std::fmt::Debug for CodecRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{EncodeOptions, EncodeStats};
+    use std::io::Write;
 
     struct Fake(&'static str, [u8; 4]);
 
-    impl ImageCodec for Fake {
+    impl Codec for Fake {
         fn name(&self) -> &'static str {
             self.0
         }
         fn magic(&self) -> Option<[u8; 4]> {
             Some(self.1)
         }
-        fn compress(&self, _img: &Image) -> Vec<u8> {
-            self.1.to_vec()
+        fn encode(
+            &self,
+            _img: &Image,
+            _opts: &EncodeOptions,
+            sink: &mut dyn Write,
+        ) -> Result<EncodeStats, CbicError> {
+            sink.write_all(&self.1)?;
+            Ok(EncodeStats::new(1, 4, None))
         }
-        fn decompress(&self, _bytes: &[u8]) -> Result<Image, ImageError> {
+        fn decode(
+            &self,
+            _source: &mut dyn Read,
+            _opts: &DecodeOptions,
+        ) -> Result<Image, CbicError> {
             Ok(Image::from_fn(1, 1, |_, _| 0))
         }
     }
-
-    impl StreamingCodec for Fake {}
 
     fn sample() -> CodecRegistry {
         let mut r = CodecRegistry::new();
@@ -261,6 +300,10 @@ mod tests {
         assert_eq!(r.names(), vec!["aaaa", "bbbb"]);
         assert_eq!(r.by_name("bbbb").unwrap().name(), "bbbb");
         assert!(r.by_name("cccc").is_none());
+        assert!(matches!(
+            r.expect_name("cccc"),
+            Err(CbicError::UnknownCodec(name)) if name == "cccc"
+        ));
     }
 
     #[test]
@@ -273,11 +316,15 @@ mod tests {
     }
 
     #[test]
-    fn auto_decompress_reports_unknown_magic() {
+    fn auto_decode_reports_unknown_magic() {
         let r = sample();
-        let err = r.decompress_auto(b"ZZZZ....").unwrap_err();
-        let msg = err.to_string();
-        assert!(msg.contains("aaaa") && msg.contains("bbbb"), "{msg}");
+        let err = r
+            .decode_auto(b"ZZZZ....", &DecodeOptions::default())
+            .unwrap_err();
+        assert!(
+            matches!(err, CbicError::BadMagic { found: Some(m) } if &m == b"ZZZZ"),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -318,40 +365,49 @@ mod tests {
     #[test]
     fn magicless_codecs_always_register() {
         struct NoMagic;
-        impl ImageCodec for NoMagic {
+        impl Codec for NoMagic {
             fn name(&self) -> &'static str {
                 "nomagic"
             }
-            fn compress(&self, _img: &Image) -> Vec<u8> {
-                Vec::new()
+            fn encode(
+                &self,
+                _img: &Image,
+                _opts: &EncodeOptions,
+                _sink: &mut dyn Write,
+            ) -> Result<EncodeStats, CbicError> {
+                Ok(EncodeStats::default())
             }
-            fn decompress(&self, _bytes: &[u8]) -> Result<Image, ImageError> {
+            fn decode(
+                &self,
+                _source: &mut dyn Read,
+                _opts: &DecodeOptions,
+            ) -> Result<Image, CbicError> {
                 Ok(Image::from_fn(1, 1, |_, _| 0))
             }
         }
-        impl StreamingCodec for NoMagic {}
         let mut r = sample();
         r.try_register(Box::new(NoMagic)).unwrap();
         assert_eq!(r.len(), 3);
     }
 
     #[test]
-    fn stream_decompress_routes_by_magic() {
+    fn stream_decode_routes_by_magic() {
         let r = sample();
+        let opts = DecodeOptions::default();
         let mut input = &b"AAAAtail"[..];
         assert_eq!(
-            r.decompress_stream(&mut input).unwrap(),
+            r.decode_stream(&mut input, &opts).unwrap(),
             Image::from_fn(1, 1, |_, _| 0)
         );
         let mut unknown = &b"ZZZZ...."[..];
         assert!(matches!(
-            r.decompress_stream(&mut unknown),
-            Err(ImageError::Codec(_))
+            r.decode_stream(&mut unknown, &opts),
+            Err(CbicError::BadMagic { .. })
         ));
         let mut short = &b"AB"[..];
         assert!(matches!(
-            r.decompress_stream(&mut short),
-            Err(ImageError::Io(_))
+            r.decode_stream(&mut short, &opts),
+            Err(CbicError::Truncated)
         ));
     }
 }

@@ -49,16 +49,29 @@ use cbic_image::Image;
 
 const MAGIC: &[u8; 4] = b"CBLS";
 
+/// This crate's container framing (magic, dims LE, NEAR byte, payload),
+/// defined once and shared by [`compress`] and the [`cbic_image::Codec`]
+/// impl so the two cannot drift apart. (Each baseline crate owns its
+/// own, independent container format.)
+fn write_container(
+    img: &Image,
+    near: u8,
+    payload: &[u8],
+    out: &mut dyn std::io::Write,
+) -> std::io::Result<()> {
+    out.write_all(MAGIC)?;
+    out.write_all(&(img.width() as u32).to_le_bytes())?;
+    out.write_all(&(img.height() as u32).to_le_bytes())?;
+    out.write_all(&[near])?;
+    out.write_all(payload)
+}
+
 /// Compresses an image into a self-describing container
 /// (`CBLS` magic, width/height, NEAR, then the entropy-coded payload).
 pub fn compress(img: &Image, cfg: &JpeglsConfig) -> Vec<u8> {
     let (payload, _) = encode_raw(img, cfg);
     let mut out = Vec::with_capacity(payload.len() + 16);
-    out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&(img.width() as u32).to_le_bytes());
-    out.extend_from_slice(&(img.height() as u32).to_le_bytes());
-    out.push(cfg.near);
-    out.extend_from_slice(&payload);
+    write_container(img, cfg.near, &payload, &mut out).expect("Vec writes cannot fail");
     out
 }
 
@@ -89,7 +102,18 @@ pub fn decompress(bytes: &[u8]) -> Result<Image, JpeglsError> {
     Ok(decode_raw(&bytes[13..], width, height, &cfg))
 }
 
-/// Lossless JPEG-LS as an [`cbic_image::ImageCodec`] trait object.
+impl From<JpeglsError> for cbic_image::CbicError {
+    fn from(e: JpeglsError) -> Self {
+        use cbic_image::CbicError;
+        match e {
+            JpeglsError::BadMagic => CbicError::BadMagic { found: None },
+            JpeglsError::Truncated => CbicError::Truncated,
+            JpeglsError::InvalidHeader(msg) => CbicError::InvalidContainer(msg),
+        }
+    }
+}
+
+/// Lossless JPEG-LS on the unified [`cbic_image::Codec`] surface.
 ///
 /// Only the lossless configuration implements the trait (the trait's
 /// contract is exact reconstruction); use [`compress`]/[`decompress`]
@@ -97,7 +121,7 @@ pub fn decompress(bytes: &[u8]) -> Result<Image, JpeglsError> {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Jpegls;
 
-impl cbic_image::ImageCodec for Jpegls {
+impl cbic_image::Codec for Jpegls {
     fn name(&self) -> &'static str {
         "jpegls"
     }
@@ -106,22 +130,32 @@ impl cbic_image::ImageCodec for Jpegls {
         Some(*MAGIC)
     }
 
-    fn compress(&self, img: &Image) -> Vec<u8> {
-        compress(img, &JpeglsConfig::default())
+    fn encode(
+        &self,
+        img: &Image,
+        _opts: &cbic_image::EncodeOptions,
+        sink: &mut dyn std::io::Write,
+    ) -> Result<cbic_image::EncodeStats, cbic_image::CbicError> {
+        let cfg = JpeglsConfig::default();
+        let (payload, stats) = encode_raw(img, &cfg);
+        write_container(img, cfg.near, &payload, sink)?;
+        Ok(cbic_image::EncodeStats::new(
+            stats.pixels,
+            13 + payload.len() as u64,
+            Some(stats.payload_bits),
+        ))
     }
 
-    fn decompress(&self, bytes: &[u8]) -> Result<Image, cbic_image::ImageError> {
-        decompress(bytes).map_err(|e| cbic_image::ImageError::Codec(e.to_string()))
-    }
-
-    fn payload_bits_per_pixel(&self, img: &Image) -> f64 {
-        encode_raw(img, &JpeglsConfig::default()).1.bits_per_pixel()
+    fn decode(
+        &self,
+        source: &mut dyn std::io::Read,
+        _opts: &cbic_image::DecodeOptions,
+    ) -> Result<Image, cbic_image::CbicError> {
+        let mut bytes = Vec::new();
+        source.read_to_end(&mut bytes)?;
+        decompress(&bytes).map_err(cbic_image::CbicError::from)
     }
 }
-
-/// Whole-buffer streaming fallback: JPEG-LS containers move through pipes
-/// via the default [`cbic_image::StreamingCodec`] methods.
-impl cbic_image::StreamingCodec for Jpegls {}
 
 #[cfg(test)]
 mod container_tests {

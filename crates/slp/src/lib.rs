@@ -73,6 +73,17 @@ impl fmt::Display for SlpError {
 
 impl std::error::Error for SlpError {}
 
+impl From<SlpError> for cbic_image::CbicError {
+    fn from(e: SlpError) -> Self {
+        use cbic_image::CbicError;
+        match e {
+            SlpError::BadMagic => CbicError::BadMagic { found: None },
+            SlpError::Truncated => CbicError::Truncated,
+            SlpError::InvalidHeader(msg) => CbicError::InvalidContainer(msg),
+        }
+    }
+}
+
 /// Gradient threshold for switching to a directional predictor.
 const SWITCH_T: i32 = 48;
 /// Activity-class thresholds on `dh + dv` (16 classes).
@@ -272,11 +283,23 @@ const MAGIC: &[u8; 4] = b"CBSL";
 pub fn compress(img: &Image) -> Vec<u8> {
     let (payload, _) = encode_raw(img);
     let mut out = Vec::with_capacity(payload.len() + 12);
-    out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&(img.width() as u32).to_le_bytes());
-    out.extend_from_slice(&(img.height() as u32).to_le_bytes());
-    out.extend_from_slice(&payload);
+    write_container(img, &payload, &mut out).expect("Vec writes cannot fail");
     out
+}
+
+/// This crate's container framing (magic, dims LE, payload), defined
+/// once and shared by [`compress`] and the [`cbic_image::Codec`] impl so
+/// the two cannot drift apart. (Each baseline crate owns its own,
+/// independent container format.)
+fn write_container(
+    img: &Image,
+    payload: &[u8],
+    out: &mut dyn std::io::Write,
+) -> std::io::Result<()> {
+    out.write_all(MAGIC)?;
+    out.write_all(&(img.width() as u32).to_le_bytes())?;
+    out.write_all(&(img.height() as u32).to_le_bytes())?;
+    out.write_all(payload)
 }
 
 /// Decompresses a container produced by [`compress`].
@@ -302,11 +325,11 @@ pub fn decompress(bytes: &[u8]) -> Result<Image, SlpError> {
     Ok(decode_raw(&bytes[12..], width, height))
 }
 
-/// SLP(M0) as an [`cbic_image::ImageCodec`] trait object.
+/// SLP(M0) on the unified [`cbic_image::Codec`] surface.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Slp;
 
-impl cbic_image::ImageCodec for Slp {
+impl cbic_image::Codec for Slp {
     fn name(&self) -> &'static str {
         "slp"
     }
@@ -315,22 +338,31 @@ impl cbic_image::ImageCodec for Slp {
         Some(*MAGIC)
     }
 
-    fn compress(&self, img: &Image) -> Vec<u8> {
-        compress(img)
+    fn encode(
+        &self,
+        img: &Image,
+        _opts: &cbic_image::EncodeOptions,
+        sink: &mut dyn std::io::Write,
+    ) -> Result<cbic_image::EncodeStats, cbic_image::CbicError> {
+        let (payload, stats) = encode_raw(img);
+        write_container(img, &payload, sink)?;
+        Ok(cbic_image::EncodeStats::new(
+            stats.pixels,
+            12 + payload.len() as u64,
+            Some(stats.payload_bits),
+        ))
     }
 
-    fn decompress(&self, bytes: &[u8]) -> Result<Image, cbic_image::ImageError> {
-        decompress(bytes).map_err(|e| cbic_image::ImageError::Codec(e.to_string()))
-    }
-
-    fn payload_bits_per_pixel(&self, img: &Image) -> f64 {
-        encode_raw(img).1.bits_per_pixel()
+    fn decode(
+        &self,
+        source: &mut dyn std::io::Read,
+        _opts: &cbic_image::DecodeOptions,
+    ) -> Result<Image, cbic_image::CbicError> {
+        let mut bytes = Vec::new();
+        source.read_to_end(&mut bytes)?;
+        decompress(&bytes).map_err(cbic_image::CbicError::from)
     }
 }
-
-/// Whole-buffer streaming fallback: SLP containers move through pipes via
-/// the default [`cbic_image::StreamingCodec`] methods.
-impl cbic_image::StreamingCodec for Slp {}
 
 #[cfg(test)]
 mod tests {

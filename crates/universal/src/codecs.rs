@@ -1,34 +1,36 @@
-//! The workspace codec registry: every [`ImageCodec`] the universal system
-//! can reconfigure its image front end to.
+//! The workspace codec registry: every [`Codec`] the universal system can
+//! reconfigure its image front end to.
 //!
 //! This is the single place a new codec is registered. The CLI, the
-//! Table 1 benchmark harness, and the chunk multiplexer in [`dispatch`]
-//! (crate::dispatch) all enumerate codecs from here instead of hard-coding
-//! per-codec `match` arms.
+//! Table 1 benchmark harness, and the chunk multiplexer in
+//! [`dispatch`](crate::dispatch) all enumerate codecs from here instead of
+//! hard-coding per-codec `match` arms.
 
-use cbic_core::tiles::{Parallelism, Tiled};
-use cbic_image::{CodecRegistry, StreamingCodec};
+use cbic_core::tiles::Tiled;
+use cbic_image::{Codec, CodecRegistry};
 
 /// The four Table 1 codecs — the paper's scheme and its three baselines —
 /// in the paper's column order.
 ///
-/// Every entry is a [`StreamingCodec`]: the baselines fall back to their
-/// whole-buffer paths when streamed, while the proposed codec runs its
-/// bounded-memory row pipeline.
+/// Every entry is a [`Codec`]: the baselines buffer their containers when
+/// streamed, while the proposed codec runs its bounded-memory row
+/// pipeline through the same `encode`/`decode` signatures.
 ///
 /// # Examples
 ///
 /// ```
-/// use cbic_universal::codecs::all_codecs;
 /// use cbic_image::corpus::CorpusImage;
+/// use cbic_image::{DecodeOptions, EncodeOptions};
+/// use cbic_universal::codecs::all_codecs;
 ///
 /// let img = CorpusImage::Lena.generate(32, 32);
+/// let (enc, dec) = (EncodeOptions::default(), DecodeOptions::default());
 /// for codec in all_codecs() {
-///     let bytes = codec.compress(&img);
-///     assert_eq!(codec.decompress(&bytes).unwrap(), img, "{}", codec.name());
+///     let bytes = codec.encode_vec(&img, &enc).unwrap();
+///     assert_eq!(codec.decode_vec(&bytes, &dec).unwrap(), img, "{}", codec.name());
 /// }
 /// ```
-pub fn all_codecs() -> Vec<Box<dyn StreamingCodec>> {
+pub fn all_codecs() -> Vec<Box<dyn Codec>> {
     vec![
         Box::new(cbic_jpegls::Jpegls),
         Box::new(cbic_slp::Slp),
@@ -38,34 +40,30 @@ pub fn all_codecs() -> Vec<Box<dyn StreamingCodec>> {
 }
 
 /// A registry of every decodable container format: the four Table 1
-/// codecs plus the tiled multi-core variant, with `par` workers driving
-/// banded coding.
+/// codecs plus the tiled multi-core variant. Schedules (worker threads,
+/// band counts) are chosen per call through
+/// [`EncodeOptions`](cbic_image::EncodeOptions) /
+/// [`DecodeOptions`](cbic_image::DecodeOptions), so one registry serves
+/// every configuration.
 ///
 /// Registration is collision-checked: a new codec whose name or container
 /// magic clashes with an existing one panics here instead of silently
 /// losing auto-detection (see
 /// [`CodecRegistry::try_register`](cbic_image::registry::CodecRegistry::try_register)).
-pub fn registry_with(par: Parallelism) -> CodecRegistry {
+pub fn default_registry() -> CodecRegistry {
     let mut registry = CodecRegistry::new();
     for codec in all_codecs() {
         registry.register(codec);
     }
-    registry.register(Box::new(Tiled {
-        parallelism: par,
-        ..Tiled::default()
-    }));
+    registry.register(Box::new(Tiled::default()));
     registry
-}
-
-/// [`registry_with`] at [`Parallelism::Auto`] — the default decode path.
-pub fn default_registry() -> CodecRegistry {
-    registry_with(Parallelism::Auto)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cbic_image::corpus::CorpusImage;
+    use cbic_image::{DecodeOptions, EncodeOptions};
 
     #[test]
     fn table1_codecs_are_all_registered() {
@@ -79,10 +77,15 @@ mod tests {
         assert_eq!(registry.len(), 5);
         let img = CorpusImage::Peppers.generate(24, 24);
         for codec in registry.codecs() {
-            let bytes = codec.compress(&img);
+            let bytes = codec.encode_vec(&img, &EncodeOptions::default()).unwrap();
             let detected = registry.detect(&bytes).expect("magic registered");
             assert_eq!(detected.name(), codec.name());
-            assert_eq!(registry.decompress_auto(&bytes).unwrap(), img);
+            assert_eq!(
+                registry
+                    .decode_auto(&bytes, &DecodeOptions::default())
+                    .unwrap(),
+                img
+            );
         }
     }
 

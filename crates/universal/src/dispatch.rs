@@ -11,7 +11,7 @@
 use crate::data::{DataModel, DataStats};
 use crate::video::{decode_frames, encode_frames, VideoConfig, VideoStats};
 use crate::UniversalError;
-use cbic_image::{Image, ImageCodec};
+use cbic_image::{CbicError, Codec, DecodeOptions, EncodeOptions, Image};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
@@ -40,7 +40,7 @@ pub enum ChunkReport {
 
 /// The universal codec: one configuration per front end.
 ///
-/// The image front end is any [`ImageCodec`] trait object — the paper's
+/// The image front end is any [`Codec`] trait object — the paper's
 /// "dynamic modeling reconfiguration" taken to its conclusion: the
 /// multiplexer does not know which image codec it drives. Image chunks
 /// store the codec's self-describing container, and the decoder routes
@@ -64,7 +64,7 @@ pub struct UniversalCodec {
     /// General-data front end.
     pub data_model: DataModel,
     /// Still-image front end (defaults to the paper's codec).
-    pub image_codec: Arc<dyn ImageCodec>,
+    pub image_codec: Arc<dyn Codec>,
     /// Video front end.
     pub video_config: VideoConfig,
 }
@@ -103,6 +103,12 @@ const MAX_SEGMENT: usize = 1 << 28;
 
 impl UniversalCodec {
     /// Compresses a multiplexed chunk stream into one container.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an image chunk exceeds the image codec's container limit
+    /// (2^28 pixels for the workspace codecs). Use [`Self::encode_to`]
+    /// for a fallible path.
     pub fn encode(&self, chunks: &[Chunk]) -> Vec<u8> {
         self.encode_with_report(chunks).0
     }
@@ -110,11 +116,16 @@ impl UniversalCodec {
     /// Compresses and additionally reports which front end handled each
     /// chunk and at what cost — the "dynamic modeling reconfiguration"
     /// trace.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::encode`]: an image chunk beyond the image codec's
+    /// container limit panics; [`Self::encode_to`] is the fallible path.
     pub fn encode_with_report(&self, chunks: &[Chunk]) -> (Vec<u8>, Vec<ChunkReport>) {
         let mut out = Vec::new();
         let reports = self
             .encode_to(chunks, &mut out)
-            .expect("Vec<u8> writes cannot fail");
+            .expect("Vec<u8> writes cannot fail and chunk images fit the container");
         (out, reports)
     }
 
@@ -146,7 +157,10 @@ impl UniversalCodec {
                     reports.push(ChunkReport::Data(stats));
                 }
                 Chunk::Image(img) => {
-                    let payload = self.image_codec.compress(img);
+                    let payload = self
+                        .image_codec
+                        .encode_vec(img, &EncodeOptions::default())
+                        .map_err(io::Error::from)?;
                     out.write_all(&[TAG_IMAGE])?;
                     out.write_all(&(payload.len() as u32).to_le_bytes())?;
                     out.write_all(&payload)?;
@@ -263,11 +277,18 @@ impl UniversalCodec {
                     // Route by magic through the workspace registry; fall
                     // back to this codec's own front end so streams from
                     // custom (unregistered) image codecs still decode.
+                    let opts = DecodeOptions::default();
+                    // Keep the codec error structured where this layer can:
+                    // a truncated image payload is a truncated stream, not
+                    // an opaque message.
                     let img = match registry.detect(&payload) {
-                        Some(codec) => codec.decompress(&payload),
-                        None => self.image_codec.decompress(&payload),
+                        Some(codec) => codec.decode_vec(&payload, &opts),
+                        None => self.image_codec.decode_vec(&payload, &opts),
                     }
-                    .map_err(|e| UniversalError::InvalidStream(e.to_string()))?;
+                    .map_err(|e| match e {
+                        CbicError::Truncated => UniversalError::Truncated,
+                        other => UniversalError::InvalidStream(other.to_string()),
+                    })?;
                     chunks.push(Chunk::Image(img));
                 }
                 TAG_VIDEO => {
@@ -439,30 +460,46 @@ mod tests {
     fn custom_unregistered_image_codec_roundtrips() {
         // A codec outside the workspace registry: decode falls back to the
         // stream codec's own image front end.
-        use cbic_image::ImageError;
+        use cbic_image::{CbicError, EncodeStats};
 
         #[derive(Debug)]
         struct Stored;
 
-        impl ImageCodec for Stored {
+        impl Codec for Stored {
             fn name(&self) -> &'static str {
                 "stored"
             }
             fn magic(&self) -> Option<[u8; 4]> {
                 Some(*b"XSTO")
             }
-            fn compress(&self, img: &Image) -> Vec<u8> {
-                let mut out = b"XSTO".to_vec();
-                out.extend_from_slice(&(img.width() as u32).to_le_bytes());
-                out.extend_from_slice(&(img.height() as u32).to_le_bytes());
-                out.extend_from_slice(img.pixels());
-                out
+            fn encode(
+                &self,
+                img: &Image,
+                _opts: &EncodeOptions,
+                sink: &mut dyn Write,
+            ) -> Result<EncodeStats, CbicError> {
+                sink.write_all(b"XSTO")?;
+                sink.write_all(&(img.width() as u32).to_le_bytes())?;
+                sink.write_all(&(img.height() as u32).to_le_bytes())?;
+                sink.write_all(img.pixels())?;
+                Ok(EncodeStats::new(
+                    img.pixel_count() as u64,
+                    12 + img.pixel_count() as u64,
+                    None,
+                ))
             }
-            fn decompress(&self, bytes: &[u8]) -> Result<Image, ImageError> {
-                let dims = bytes.get(4..12).ok_or(ImageError::Io("truncated".into()))?;
-                let w = u32::from_le_bytes(dims[0..4].try_into().expect("sized")) as usize;
-                let h = u32::from_le_bytes(dims[4..8].try_into().expect("sized")) as usize;
-                Image::from_vec(w, h, bytes[12..].to_vec())
+            fn decode(
+                &self,
+                source: &mut dyn Read,
+                _opts: &DecodeOptions,
+            ) -> Result<Image, CbicError> {
+                let mut head = [0u8; 12];
+                source.read_exact(&mut head)?;
+                let w = u32::from_le_bytes(head[4..8].try_into().expect("sized")) as usize;
+                let h = u32::from_le_bytes(head[8..12].try_into().expect("sized")) as usize;
+                let mut pixels = vec![0u8; w.saturating_mul(h)];
+                source.read_exact(&mut pixels)?;
+                Image::from_vec(w, h, pixels).map_err(CbicError::from)
             }
         }
 

@@ -74,3 +74,15 @@ impl fmt::Display for UniversalError {
 }
 
 impl std::error::Error for UniversalError {}
+
+impl From<UniversalError> for cbic_image::CbicError {
+    fn from(e: UniversalError) -> Self {
+        use cbic_image::CbicError;
+        match e {
+            UniversalError::BadMagic => CbicError::BadMagic { found: None },
+            UniversalError::Truncated => CbicError::Truncated,
+            UniversalError::InvalidStream(msg) => CbicError::InvalidContainer(msg),
+            UniversalError::Io(msg) => CbicError::Io(std::io::Error::other(msg)),
+        }
+    }
+}

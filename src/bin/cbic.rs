@@ -1,9 +1,9 @@
 //! `cbic` — command-line front end for the workspace codecs.
 //!
 //! Every codec-facing command is registry-driven: codecs are enumerated
-//! from [`cbic::all_codecs`] / [`cbic::registry_with`] and used through
-//! `&dyn ImageCodec`, so a codec added to the registry appears in
-//! `compress`, `decompress`, `bench`, and `codecs` with no CLI changes.
+//! from [`cbic::all_codecs`] / [`cbic::default_registry`] and used through
+//! `&dyn Codec`, so a codec added to the registry appears in `compress`,
+//! `decompress`, `bench`, and `codecs` with no CLI changes.
 //!
 //! ```text
 //! cbic compress   [--codec NAME] [--near N] [--threads N] IN.pgm OUT
@@ -22,9 +22,9 @@
 //! so image size is limited by the format, not by RAM.
 
 use cbic::core::stream::{StreamDecoder, StreamEncoder};
-use cbic::core::tiles::{compress_tiled, Parallelism};
 use cbic::core::CodecConfig;
 use cbic::image::pgm;
+use cbic::{DecodeOptions, EncodeOptions, Parallelism};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
 
@@ -154,14 +154,10 @@ fn cmd_compress(args: &[String]) -> CliResult {
         return compress_streaming(input, output);
     }
 
-    let mut reader = open_input(input)?;
-    let mut pgm_bytes = Vec::new();
-    reader.read_to_end(&mut pgm_bytes)?;
-    let img = pgm::decode(&pgm_bytes)?;
-    let mut label = codec_name.to_string();
-    let bytes = if threads > 1 {
-        // Multi-threaded coding uses the tiled container: one band per
-        // worker, each an independent instance of the paper's codec.
+    // Validate every flag combination *before* touching the output path,
+    // so a typo cannot truncate an existing output file.
+    let registry = cbic::default_registry();
+    if threads > 1 {
         if codec_name != "proposed" && codec_name != "tiled" {
             return Err(
                 format!("--threads applies to the proposed codec, not {codec_name}").into(),
@@ -170,45 +166,61 @@ fn cmd_compress(args: &[String]) -> CliResult {
         if near > 0 {
             return Err("--near (jpegls) cannot be combined with --threads".into());
         }
+    } else if near > 0 && codec_name != "jpegls" {
+        return Err(format!("--near applies to jpegls, not {codec_name}").into());
+    }
+    if near == 0 && registry.by_name(codec_name).is_none() {
+        return Err(format!(
+            "unknown codec {codec_name} (available: {})",
+            registry.names().join(", ")
+        )
+        .into());
+    }
+
+    let mut reader = open_input(input)?;
+    let mut pgm_bytes = Vec::new();
+    reader.read_to_end(&mut pgm_bytes)?;
+    let img = pgm::decode(&pgm_bytes)?;
+    let mut label = codec_name.to_string();
+    // The image is already fully resident here, so encode into memory and
+    // only open (truncate) the output once the encode has succeeded — a
+    // failed encode must not destroy an existing output file. (The
+    // streaming path above trades this for bounded memory.)
+    let mut container = Vec::new();
+    let stats = if threads > 1 {
+        // Multi-threaded coding uses the tiled container: one band per
+        // worker, each an independent instance of the paper's codec.
         let bands = threads.min(img.height());
         label = format!("tiled ({bands} bands, {threads} threads)");
-        compress_tiled(
-            &img,
-            &CodecConfig::default(),
-            bands,
-            Parallelism::Threads(threads),
-        )
+        let opts = EncodeOptions::new()
+            .with_tiles(bands)
+            .with_parallelism(Parallelism::Threads(threads));
+        registry
+            .expect_name("tiled")?
+            .encode(&img, &opts, &mut container)?
     } else if near > 0 {
-        // Near-lossless operation is outside the lossless ImageCodec
-        // contract; reach the JPEG-LS crate directly.
-        if codec_name != "jpegls" {
-            return Err(format!("--near applies to jpegls, not {codec_name}").into());
-        }
-        cbic::jpegls::compress(
+        // Near-lossless operation is outside the lossless Codec contract;
+        // reach the JPEG-LS crate directly.
+        container = cbic::jpegls::compress(
             &img,
             &cbic::jpegls::JpeglsConfig {
                 near,
                 ..Default::default()
             },
-        )
+        );
+        cbic::image::EncodeStats::new(img.pixel_count() as u64, container.len() as u64, None)
     } else {
-        let registry = cbic::default_registry();
-        let codec = registry.by_name(codec_name).ok_or_else(|| {
-            format!(
-                "unknown codec {codec_name} (available: {})",
-                registry.names().join(", ")
-            )
-        })?;
-        codec.compress(&img)
+        let codec = registry.expect_name(codec_name)?;
+        codec.encode(&img, &EncodeOptions::default(), &mut container)?
     };
     let mut out = open_output(output)?;
-    out.write_all(&bytes)?;
+    out.write_all(&container)?;
     out.flush()?;
     eprintln!(
         "{input}: {} pixels -> {} bytes ({:.3} bpp) with {label}",
-        img.pixel_count(),
-        bytes.len(),
-        bytes.len() as f64 * 8.0 / img.pixel_count() as f64
+        stats.pixels,
+        stats.container_bytes,
+        stats.bits_per_pixel()
     );
     Ok(())
 }
@@ -273,12 +285,13 @@ fn cmd_decompress(args: &[String]) -> CliResult {
     // Everything else goes through the streaming codec dispatch: tiled
     // containers read band by band, the remaining codecs through their
     // whole-buffer fallback.
-    let registry = cbic::registry_with(Parallelism::from_threads(threads));
+    let registry = cbic::default_registry();
     let codec = registry
         .detect(&magic)
         .ok_or("unrecognized container magic")?;
+    let opts = DecodeOptions::new().with_parallelism(Parallelism::from_threads(threads));
     let mut chained = (&magic[..]).chain(reader);
-    let img = codec.decompress_from(&mut chained)?;
+    let img = codec.decode(&mut chained, &opts)?;
     let mut out = open_output(output)?;
     pgm::write_header(&mut out, img.width(), img.height())?;
     out.write_all(img.pixels())?;
@@ -371,7 +384,7 @@ fn cmd_bench(args: &[String]) -> CliResult {
         img.entropy()
     );
     for codec in cbic::all_codecs() {
-        let bpp = codec.payload_bits_per_pixel(&img);
+        let bpp = codec.payload_bits_per_pixel(&img, &EncodeOptions::default())?;
         say!(
             "  {:<10} {bpp:.3} bpp (ratio {:.2})",
             codec.name(),

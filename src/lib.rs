@@ -56,5 +56,7 @@ pub use cbic_rice as rice;
 pub use cbic_slp as slp;
 pub use cbic_universal as universal;
 
-pub use cbic_image::{CodecRegistry, ImageCodec, StreamingCodec};
-pub use cbic_universal::codecs::{all_codecs, default_registry, registry_with};
+pub use cbic_image::{
+    CbicError, Codec, CodecRegistry, CountingSink, DecodeOptions, EncodeOptions, Parallelism,
+};
+pub use cbic_universal::codecs::{all_codecs, default_registry};

@@ -65,10 +65,12 @@ fn check(name: &str, fresh: &[u8]) {
 #[test]
 fn every_registry_codec_matches_its_golden_fixtures() {
     let registry = cbic::default_registry();
+    let enc = cbic::EncodeOptions::default();
+    let dec = cbic::DecodeOptions::default();
     for codec in registry.codecs() {
         for class in CLASSES {
             let img = class.generate(SIZE, SIZE);
-            let bytes = codec.compress(&img);
+            let bytes = codec.encode_vec(&img, &enc).unwrap();
             check(
                 &format!("{}_{}_{}", codec.name(), class.name(), SIZE),
                 &bytes,
@@ -76,7 +78,7 @@ fn every_registry_codec_matches_its_golden_fixtures() {
             // The fixture must also still decode to the source image, so a
             // decoder regression cannot hide behind a matching encoder.
             assert_eq!(
-                codec.decompress(&bytes).unwrap(),
+                codec.decode_vec(&bytes, &dec).unwrap(),
                 img,
                 "{} on {:?}",
                 codec.name(),

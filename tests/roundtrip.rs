@@ -130,22 +130,29 @@ fn facade_reexports_are_usable_together() {
 }
 
 #[test]
-fn image_codec_trait_objects_are_interchangeable() {
+fn codec_trait_objects_are_interchangeable() {
     // The registry is the single source of codecs; nothing is hand-listed.
     let codecs = cbic::all_codecs();
     let img = CorpusImage::Goldhill.generate(64, 64);
+    let enc = cbic::EncodeOptions::default();
+    let dec = cbic::DecodeOptions::default();
     let mut seen = std::collections::HashSet::new();
     for codec in &codecs {
         assert!(seen.insert(codec.name()), "duplicate codec name");
-        let bytes = codec.compress(&img);
-        assert_eq!(codec.decompress(&bytes).unwrap(), img, "{}", codec.name());
-        let bpp = codec.bits_per_pixel(&img);
+        let bytes = codec.encode_vec(&img, &enc).unwrap();
+        assert_eq!(
+            codec.decode_vec(&bytes, &dec).unwrap(),
+            img,
+            "{}",
+            codec.name()
+        );
+        let bpp = codec.bits_per_pixel(&img, &enc).unwrap();
         assert!(bpp > 0.0 && bpp < 8.0, "{}: {bpp}", codec.name());
         // Cross-feeding another codec's container must error.
         for other in &codecs {
             if other.name() != codec.name() {
                 assert!(
-                    other.decompress(&bytes).is_err(),
+                    other.decode_vec(&bytes, &dec).is_err(),
                     "{} accepted a {} container",
                     other.name(),
                     codec.name()
@@ -166,12 +173,13 @@ fn random_garbage_never_panics_any_decoder() {
             .map(|i| (lattice(seed, i as i64, 0) * 256.0) as u8)
             .collect();
         let registry = cbic::default_registry();
+        let opts = cbic::DecodeOptions::default();
         let _ = cbic::core::decompress(&garbage);
         let _ = cbic::calic::decompress(&garbage);
         let _ = cbic::jpegls::decompress(&garbage);
         let _ = cbic::slp::decompress(&garbage);
         let _ = cbic::core::tiles::decompress_tiled(&garbage, cbic::core::Parallelism::Auto);
-        let _ = registry.decompress_auto(&garbage);
+        let _ = registry.decode_auto(&garbage, &opts);
         // Now with a valid magic but garbage bodies (small dims so a
         // "successful" garbage decode stays cheap).
         for magic in [b"CBIC", b"CBCA", b"CBLS", b"CBSL", b"CBTI"] {
@@ -182,7 +190,7 @@ fn random_garbage_never_panics_any_decoder() {
             let _ = cbic::jpegls::decompress(&garbage);
             let _ = cbic::slp::decompress(&garbage);
             let _ = cbic::core::tiles::decompress_tiled(&garbage, cbic::core::Parallelism::Auto);
-            let _ = registry.decompress_auto(&garbage);
+            let _ = registry.decode_auto(&garbage, &opts);
         }
     }
 }

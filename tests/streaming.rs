@@ -15,8 +15,9 @@ use cbic::core::stream::{compress_to, decompress_from, StreamDecoder, StreamEnco
 use cbic::core::tiles::{compress_tiled, decompress_tiled, Parallelism};
 use cbic::core::{compress, decompress, encode_raw, CodecConfig, CodecError};
 use cbic::image::corpus::CorpusImage;
-use cbic::image::{Image, StreamingCodec};
+use cbic::image::Image;
 use cbic::universal::dispatch::{Chunk, UniversalCodec};
+use cbic::{Codec, DecodeOptions, EncodeOptions};
 use proptest::prelude::*;
 
 fn arb_image() -> impl Strategy<Value = Image> {
@@ -112,19 +113,32 @@ fn equivalence_holds_across_configs() {
 }
 
 #[test]
-fn streaming_codec_trait_matches_buffered_for_every_registry_codec() {
+fn sink_and_buffered_paths_match_for_every_registry_codec() {
     let img = CorpusImage::Peppers.generate(32, 32);
     let registry = cbic::default_registry();
+    let enc = EncodeOptions::default();
+    let dec = DecodeOptions::default();
     for codec in registry.codecs() {
-        let buffered = codec.compress(&img);
+        let buffered = codec.encode_vec(&img, &enc).unwrap();
         let mut streamed = Vec::new();
-        codec.compress_to(&img, &mut streamed).unwrap();
+        let stats = codec.encode(&img, &enc, &mut streamed).unwrap();
         assert_eq!(streamed, buffered, "{}", codec.name());
-        let back = codec.decompress_from(&mut &buffered[..]).unwrap();
+        assert_eq!(
+            stats.container_bytes,
+            buffered.len() as u64,
+            "{} container_bytes must be exact",
+            codec.name()
+        );
+        // The counting-sink measure path reports the same size without
+        // materializing anything.
+        let measured = codec.measure(&img, &enc).unwrap();
+        assert_eq!(measured, stats, "{}", codec.name());
+        let mut source: &[u8] = &buffered;
+        let back = codec.decode(&mut source, &dec).unwrap();
         assert_eq!(back, img, "{}", codec.name());
         // And through magic-routed stream dispatch.
         assert_eq!(
-            registry.decompress_stream(&mut &buffered[..]).unwrap(),
+            registry.decode_stream(&mut &buffered[..], &dec).unwrap(),
             img,
             "{}",
             codec.name()
@@ -168,8 +182,11 @@ fn tiled_decoder_errors_on_mid_stream_eof() {
         );
         // The Tiled streaming decode path must agree.
         let codec = cbic::core::Tiled::default();
+        let mut source: &[u8] = &bytes[..cut];
         assert!(
-            codec.decompress_from(&mut &bytes[..cut]).is_err(),
+            codec
+                .decode(&mut source, &DecodeOptions::default())
+                .is_err(),
             "stream cut {cut}"
         );
     }

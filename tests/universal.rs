@@ -30,7 +30,10 @@ fn dispatcher_image_path_equals_direct_codec() {
     let img = CorpusImage::Lena.generate(96, 96);
     let codec = UniversalCodec::default();
     let (_, reports) = codec.encode_with_report(&[Chunk::Image(img.clone())]);
-    let direct = codec.image_codec.compress(&img);
+    let direct = codec
+        .image_codec
+        .encode_vec(&img, &cbic::EncodeOptions::default())
+        .unwrap();
     match &reports[0] {
         ChunkReport::Image(bits) => assert_eq!(*bits, direct.len() as u64 * 8),
         other => panic!("expected image report, got {other:?}"),
@@ -43,9 +46,9 @@ fn dispatcher_accepts_any_registered_image_codec() {
     // differently configured encoders — even mixed codecs — all decode.
     let img = CorpusImage::Goldhill.generate(48, 48);
     for boxed in cbic::all_codecs() {
-        // Upcast the streaming registry entry to the multiplexer's
-        // ImageCodec front-end handle.
-        let front_end: Box<dyn cbic::ImageCodec> = boxed;
+        // The registry entry *is* the multiplexer's front-end handle now —
+        // one Codec trait serves both.
+        let front_end: Box<dyn cbic::Codec> = boxed;
         let encoder = UniversalCodec {
             image_codec: front_end.into(),
             ..UniversalCodec::default()
