@@ -94,9 +94,9 @@ fn bench_predictor(c: &mut Criterion) {
             let mut acc = 0i64;
             for y in 1..256 {
                 for x in 1..255 {
-                    let nb = Neighborhood::fetch(&img, x, y);
+                    let nb = Neighborhood::fetch(&img.view(), x, y);
                     let grad = Gradients::compute(&nb);
-                    acc += i64::from(gap_predict(&nb, grad));
+                    acc += i64::from(gap_predict(&nb, grad, 8));
                 }
             }
             acc

@@ -24,7 +24,7 @@ fn bench_encoders(c: &mut Criterion) {
 
     for codec in all_codecs() {
         g.bench_function(BenchmarkId::new(codec.name(), SIZE), |b| {
-            b.iter(|| codec.encode_vec(&img, &opts).expect("Vec sink"))
+            b.iter(|| codec.encode_vec(img.view(), &opts).expect("Vec sink"))
         });
     }
     g.finish();
@@ -41,7 +41,7 @@ fn bench_decoders(c: &mut Criterion) {
 
     for codec in all_codecs() {
         let bytes = codec
-            .encode_vec(&img, &EncodeOptions::default())
+            .encode_vec(img.view(), &EncodeOptions::default())
             .expect("Vec sink");
         g.bench_function(BenchmarkId::new(codec.name(), SIZE), |b| {
             b.iter(|| codec.decode_vec(&bytes, &opts).expect("own container"))
@@ -72,7 +72,7 @@ fn bench_session_reuse(c: &mut Criterion) {
                 out.clear();
                 // A fresh session per image = the old per-call cost.
                 let stats = EncoderSession::new(&cfg)
-                    .encode(img, &mut out)
+                    .encode(img.view(), &mut out)
                     .expect("Vec sink");
                 total += stats.payload_bits;
             }
@@ -86,7 +86,7 @@ fn bench_session_reuse(c: &mut Criterion) {
             let mut total = 0u64;
             for (_, img) in &corpus {
                 out.clear();
-                let stats = session.encode(img, &mut out).expect("Vec sink");
+                let stats = session.encode(img.view(), &mut out).expect("Vec sink");
                 total += stats.payload_bits;
             }
             total
@@ -103,7 +103,7 @@ fn bench_tiled(c: &mut Criterion) {
     let pixels = img.pixel_count() as u64;
     let cfg = cbic_core::CodecConfig::default();
     let bands = 4;
-    let bytes = compress_tiled(&img, &cfg, bands, Parallelism::Auto);
+    let bytes = compress_tiled(img.view(), &cfg, bands, Parallelism::Auto);
 
     let hw = std::thread::available_parallelism().map_or(1, usize::from);
     println!("(tiled: {hw} hardware thread(s) available; speedup requires >1)");
@@ -118,7 +118,7 @@ fn bench_tiled(c: &mut Criterion) {
     ] {
         g.bench_function(
             BenchmarkId::new(format!("encode_{bands}band"), label),
-            |b| b.iter(|| compress_tiled(&img, &cfg, bands, par)),
+            |b| b.iter(|| compress_tiled(img.view(), &cfg, bands, par)),
         );
         g.bench_function(
             BenchmarkId::new(format!("decode_{bands}band"), label),
@@ -137,17 +137,17 @@ fn bench_streaming(c: &mut Criterion) {
     let img = cbic_bench::bench_image(SIZE);
     let pixels = img.pixel_count() as u64;
     let cfg = cbic_core::CodecConfig::default();
-    let bytes = cbic_core::compress(&img, &cfg);
+    let bytes = cbic_core::compress(img.view(), &cfg);
 
     let mut g = c.benchmark_group("streaming");
     g.throughput(Throughput::Elements(pixels));
     g.sample_size(20);
 
     g.bench_function(BenchmarkId::new("encode_buffered", SIZE), |b| {
-        b.iter(|| cbic_core::compress(&img, &cfg))
+        b.iter(|| cbic_core::compress(img.view(), &cfg))
     });
     g.bench_function(BenchmarkId::new("encode_streaming", SIZE), |b| {
-        b.iter(|| compress_to(&img, &cfg, Vec::new()).expect("Vec sink"))
+        b.iter(|| compress_to(img.view(), &cfg, Vec::new()).expect("Vec sink"))
     });
     g.bench_function(BenchmarkId::new("decode_buffered", SIZE), |b| {
         b.iter(|| cbic_core::decompress(&bytes).expect("own container"))
@@ -187,12 +187,63 @@ fn bench_universal(c: &mut Criterion) {
     g.finish();
 }
 
+/// The zero-copy claim of the view redesign, measured: `split_bands`
+/// hands out borrowed row-range views (no pixels move before coding), vs
+/// the pre-redesign behavior of materializing every band as an owned
+/// image first. Both variants produce identical bits; the delta is the
+/// band copy itself, tracked here so a regression reintroducing the copy
+/// shows up in BENCH output.
+fn bench_tiled_view_vs_copy(c: &mut Criterion) {
+    use cbic_core::tiles::split_bands;
+
+    let img = cbic_bench::bench_image(SIZE);
+    let pixels = img.pixel_count() as u64;
+    let cfg = cbic_core::CodecConfig::default();
+    let bands = 4;
+
+    let mut g = c.benchmark_group("tiled_view_vs_copy");
+    g.throughput(Throughput::Elements(pixels));
+    g.sample_size(10);
+
+    // The split alone: O(1) per band vs one full pixel copy.
+    g.bench_function(BenchmarkId::new("split_views", SIZE), |b| {
+        b.iter(|| split_bands(img.view(), bands))
+    });
+    g.bench_function(BenchmarkId::new("split_copies", SIZE), |b| {
+        b.iter(|| {
+            split_bands(img.view(), bands)
+                .into_iter()
+                .map(|band| band.to_image())
+                .collect::<Vec<_>>()
+        })
+    });
+    // The full encode path on top of each split.
+    g.bench_function(BenchmarkId::new("encode_from_views", SIZE), |b| {
+        b.iter(|| {
+            split_bands(img.view(), bands)
+                .into_iter()
+                .map(|band| cbic_core::encode_raw(band, &cfg).0)
+                .collect::<Vec<_>>()
+        })
+    });
+    g.bench_function(BenchmarkId::new("encode_from_copies", SIZE), |b| {
+        b.iter(|| {
+            split_bands(img.view(), bands)
+                .into_iter()
+                .map(|band| cbic_core::encode_raw(band.to_image().view(), &cfg).0)
+                .collect::<Vec<_>>()
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_encoders,
     bench_decoders,
     bench_session_reuse,
     bench_tiled,
+    bench_tiled_view_vs_copy,
     bench_streaming,
     bench_universal
 );

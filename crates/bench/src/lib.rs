@@ -64,7 +64,7 @@ pub fn measure_all(img: &Image) -> Vec<(&'static str, f64)> {
         .iter()
         .map(|codec| {
             let bpp = codec
-                .payload_bits_per_pixel(img, &opts)
+                .payload_bits_per_pixel(img.view(), &opts)
                 .expect("counting sinks cannot fail on corpus-sized images");
             (codec.name(), bpp)
         })
@@ -152,7 +152,7 @@ pub fn fig4_series(size: usize, bits: &[u8]) -> Vec<(u8, f64)> {
             };
             let avg = corpus
                 .iter()
-                .map(|(_, img)| cbic_core::encode_raw(img, &cfg).1.bits_per_pixel())
+                .map(|(_, img)| cbic_core::encode_raw(img.view(), &cfg).1.bits_per_pixel())
                 .sum::<f64>()
                 / corpus.len() as f64;
             (b, avg)
@@ -268,7 +268,7 @@ pub fn ablation_report(size: usize) -> Vec<Ablation> {
     let avg = |cfg: &CodecConfig| -> f64 {
         corpus
             .iter()
-            .map(|(_, img)| cbic_core::encode_raw(img, cfg).1.bits_per_pixel())
+            .map(|(_, img)| cbic_core::encode_raw(img.view(), cfg).1.bits_per_pixel())
             .sum::<f64>()
             / corpus.len() as f64
     };

@@ -1,12 +1,13 @@
-//! The CALIC continuous-tone coding flow.
+//! The CALIC continuous-tone coding flow, at 8–16-bit sample depths.
 
-use cbic_arith::{BinaryDecoder, BinaryEncoder, EstimatorConfig, SymbolCoder};
+use cbic_arith::{BinaryDecoder, BinaryEncoder, EstimatorConfig};
 use cbic_bitio::{BitReader, BitWriter};
+use cbic_core::codec::SampleCoder;
 use cbic_core::context::QE_THRESHOLDS;
 use cbic_core::neighborhood::Neighborhood;
-use cbic_core::predictor::{gap_predict, Gradients};
-use cbic_core::remap::{fold, reconstruct, unfold, wrap_error};
-use cbic_image::Image;
+use cbic_core::predictor::{gap_predict, threshold_shift, Gradients};
+use cbic_core::remap::{fold, half_for_depth, reconstruct, unfold, wrap_error};
+use cbic_image::{Image, ImageView, ImageViewMut};
 
 /// Number of entropy-coding contexts. Software CALIC is not bound by the
 /// hardware codec's 8-tree SRAM budget; a finer 16-level error-energy
@@ -78,14 +79,18 @@ struct FeedbackStore {
     sums: Vec<i32>,
     counts: Vec<u16>,
     cap: u16,
+    /// Mean magnitude clamp: `2^(n-1)` for `n`-bit samples (never binds at
+    /// 8 bits, where |mean| ≤ 128).
+    max_mean: i32,
 }
 
 impl FeedbackStore {
-    fn new(contexts: usize, cap: u16) -> Self {
+    fn new(contexts: usize, cap: u16, max_mean: i32) -> Self {
         Self {
             sums: vec![0; contexts],
             counts: vec![0; contexts],
             cap,
+            max_mean,
         }
     }
 
@@ -97,7 +102,7 @@ impl FeedbackStore {
         } else {
             // Truncating division towards zero, like the hardware reference.
             let s = self.sums[ctx];
-            let q = (s.abs() / i32::from(c)).min(255);
+            let q = (s.abs() / i32::from(c)).min(self.max_mean);
             if s < 0 {
                 -q
             } else {
@@ -174,7 +179,10 @@ fn quantize_energy4(delta: i32) -> usize {
 
 struct Modeler {
     store: FeedbackStore,
-    abs_err: Vec<u8>,
+    abs_err: Vec<u16>,
+    bit_depth: u8,
+    half: i32,
+    energy_shift: u32,
 }
 
 struct PixelModel {
@@ -188,26 +196,29 @@ struct PixelModel {
 }
 
 impl Modeler {
-    fn new(width: usize, cfg: &CalicConfig) -> Self {
+    fn new(width: usize, bit_depth: u8, cfg: &CalicConfig) -> Self {
+        let half = half_for_depth(bit_depth);
         Self {
-            store: FeedbackStore::new(COMPOUND_CONTEXTS, cfg.count_cap),
+            store: FeedbackStore::new(COMPOUND_CONTEXTS, cfg.count_cap, half),
             abs_err: vec![0; width],
+            bit_depth,
+            half,
+            energy_shift: threshold_shift(bit_depth),
         }
     }
 
-    fn model(&self, img: &Image, x: usize, y: usize) -> PixelModel {
-        let nb = Neighborhood::fetch(img, x, y);
-        let g = Gradients::compute(&nb);
-        let x_hat = gap_predict(&nb, g);
+    fn model(&self, nb: &Neighborhood, x: usize) -> PixelModel {
+        let g = Gradients::compute(nb);
+        let x_hat = gap_predict(nb, g, self.bit_depth);
         let e_w = i32::from(if x > 0 {
             self.abs_err[x - 1]
         } else {
             self.abs_err[0]
         });
-        let delta = g.dh + g.dv + 2 * e_w;
+        let delta = (g.dh + g.dv + 2 * e_w) >> self.energy_shift;
         let qe = quantize_energy16(delta);
-        let ctx = (quantize_energy4(delta) << 8) | texture8(&nb, x_hat);
-        let x_tilde = (x_hat + self.store.mean(ctx)).clamp(0, 255);
+        let ctx = (quantize_energy4(delta) << 8) | texture8(nb, x_hat);
+        let x_tilde = (x_hat + self.store.mean(ctx)).clamp(0, 2 * self.half - 1);
         let flip = self.store.sum(ctx) < 0;
         PixelModel {
             qe,
@@ -219,27 +230,37 @@ impl Modeler {
 
     fn absorb(&mut self, x: usize, ctx: usize, wrapped: i32) {
         self.store.update(ctx, wrapped);
-        self.abs_err[x] = wrapped.unsigned_abs().min(255) as u8;
+        self.abs_err[x] = wrapped.unsigned_abs().min(u32::from(u16::MAX)) as u16;
+    }
+
+    #[inline]
+    fn mid(&self) -> u16 {
+        self.half as u16
     }
 }
 
-/// Encodes `img`, returning the raw payload and statistics.
-pub fn encode_raw(img: &Image, cfg: &CalicConfig) -> (Vec<u8>, EncodeStats) {
+/// Encodes the pixels of `img`, returning the raw payload and statistics.
+pub fn encode_raw(img: ImageView<'_>, cfg: &CalicConfig) -> (Vec<u8>, EncodeStats) {
     let (width, height) = img.dimensions();
-    let mut modeler = Modeler::new(width, cfg);
-    let mut coder = SymbolCoder::new(CODING_CONTEXTS, cfg.estimator);
+    let mut modeler = Modeler::new(width, img.bit_depth(), cfg);
+    let half = modeler.half;
+    let mut coder = SampleCoder::new(CODING_CONTEXTS, img.bit_depth(), cfg.estimator);
     let mut enc = BinaryEncoder::new(BitWriter::new());
 
     for y in 0..height {
+        let cur = img.row(y);
+        let n1 = (y >= 1).then(|| img.row(y - 1));
+        let n2 = (y >= 2).then(|| img.row(y - 2));
         for x in 0..width {
-            let m = modeler.model(img, x, y);
-            let wrapped = wrap_error(i32::from(img.get(x, y)) - m.x_tilde);
+            let nb = Neighborhood::from_rows(cur, n1, n2, x, modeler.mid());
+            let m = modeler.model(&nb, x);
+            let wrapped = wrap_error(i32::from(cur[x]) - m.x_tilde, half);
             let coded = if m.flip {
-                wrap_error(-wrapped)
+                wrap_error(-wrapped, half)
             } else {
                 wrapped
             };
-            coder.encode(&mut enc, m.qe, fold(coded));
+            coder.encode(&mut enc, m.qe, fold(coded, half));
             modeler.absorb(x, m.ctx, wrapped);
         }
     }
@@ -255,20 +276,34 @@ pub fn encode_raw(img: &Image, cfg: &CalicConfig) -> (Vec<u8>, EncodeStats) {
     (writer.into_bytes(), stats)
 }
 
-/// Decodes a payload produced by [`encode_raw`] with matching dimensions
-/// and configuration.
-pub fn decode_raw(bytes: &[u8], width: usize, height: usize, cfg: &CalicConfig) -> Image {
-    let mut modeler = Modeler::new(width, cfg);
-    let mut coder = SymbolCoder::new(CODING_CONTEXTS, cfg.estimator);
+/// Decodes a payload produced by [`encode_raw`] with matching dimensions,
+/// bit depth, and configuration.
+pub fn decode_raw(
+    bytes: &[u8],
+    width: usize,
+    height: usize,
+    bit_depth: u8,
+    cfg: &CalicConfig,
+) -> Image {
+    let mut modeler = Modeler::new(width, bit_depth, cfg);
+    let half = modeler.half;
+    let mut coder = SampleCoder::new(CODING_CONTEXTS, bit_depth, cfg.estimator);
     let mut dec = BinaryDecoder::new(BitReader::new(bytes));
-    let mut img = Image::new(width, height);
+    let mut img = Image::with_depth(width, height, bit_depth);
+    let mut out: ImageViewMut<'_> = img.view_mut();
 
     for y in 0..height {
+        let (n2, n1, cur) = out.causal_rows_mut(y);
         for x in 0..width {
-            let m = modeler.model(&img, x, y);
+            let nb = Neighborhood::from_rows(cur, n1, n2, x, modeler.mid());
+            let m = modeler.model(&nb, x);
             let coded = unfold(coder.decode(&mut dec, m.qe));
-            let wrapped = if m.flip { wrap_error(-coded) } else { coded };
-            img.set(x, y, reconstruct(m.x_tilde, wrapped));
+            let wrapped = if m.flip {
+                wrap_error(-coded, half)
+            } else {
+                coded
+            };
+            cur[x] = reconstruct(m.x_tilde, wrapped, half);
             modeler.absorb(x, m.ctx, wrapped);
         }
     }
@@ -282,8 +317,8 @@ mod tests {
 
     fn roundtrip(img: &Image) -> EncodeStats {
         let cfg = CalicConfig::default();
-        let (bytes, stats) = encode_raw(img, &cfg);
-        let back = decode_raw(&bytes, img.width(), img.height(), &cfg);
+        let (bytes, stats) = encode_raw(img.view(), &cfg);
+        let back = decode_raw(&bytes, img.width(), img.height(), img.bit_depth(), &cfg);
         assert_eq!(&back, img, "lossless roundtrip failed");
         stats
     }
@@ -301,6 +336,26 @@ mod tests {
         for (w, h) in [(1, 1), (1, 7), (7, 1), (5, 3)] {
             roundtrip(&Image::from_fn(w, h, |x, y| (x * 41 + y * 13) as u8));
         }
+    }
+
+    #[test]
+    fn roundtrip_deep_depths() {
+        for depth in [10u8, 12, 16] {
+            let img = Image::from_fn16(20, 20, depth, |x, y| {
+                ((x as u32 * 887 + y as u32 * 4099) % (1u32 << depth.min(15))) as u16
+            });
+            roundtrip(&img);
+        }
+    }
+
+    #[test]
+    fn strided_views_encode_identically() {
+        let img = CorpusImage::Boat.generate(32, 32);
+        let window = img.view().crop(4, 6, 20, 18);
+        let cfg = CalicConfig::default();
+        let (v, _) = encode_raw(window, &cfg);
+        let (c, _) = encode_raw(window.to_image().view(), &cfg);
+        assert_eq!(v, c);
     }
 
     #[test]
@@ -339,7 +394,7 @@ mod tests {
 
     #[test]
     fn feedback_store_saturates_at_cap() {
-        let mut s = FeedbackStore::new(4, 255);
+        let mut s = FeedbackStore::new(4, 255, 128);
         for _ in 0..1000 {
             s.update(2, 10);
         }

@@ -29,7 +29,7 @@
 //! use cbic_image::corpus::CorpusImage;
 //!
 //! let img = CorpusImage::Peppers.generate(48, 48);
-//! let bytes = compress(&img);
+//! let bytes = compress(img.view());
 //! assert_eq!(decompress(&bytes)?, img);
 //! # Ok::<(), cbic_calic::CalicError>(())
 //! ```
@@ -44,7 +44,8 @@ mod proptests;
 
 pub use codec::{decode_raw, encode_raw, CalicConfig, EncodeStats};
 
-use cbic_image::Image;
+use cbic_image::framing::{self, FramingError};
+use cbic_image::{Image, ImageView};
 use std::fmt;
 
 /// Errors returned by the container API.
@@ -84,26 +85,41 @@ impl From<CalicError> for cbic_image::CbicError {
 
 const MAGIC: &[u8; 4] = b"CBCA";
 
-/// This crate's container framing (magic, dims LE, payload), defined
-/// once and shared by [`compress`] and the [`cbic_image::Codec`] impl so
-/// the two cannot drift apart. (Each baseline crate owns its own,
-/// independent container format.)
+impl From<FramingError> for CalicError {
+    fn from(e: FramingError) -> Self {
+        match e {
+            FramingError::BadMagic => CalicError::BadMagic,
+            FramingError::Truncated => CalicError::Truncated,
+            FramingError::Invalid(msg) => CalicError::InvalidHeader(msg),
+        }
+    }
+}
+
+/// This crate's container framing — the shared dimensioned header of
+/// [`cbic_image::framing`] (legacy 8-bit layout, deep-sentinel extension)
+/// followed directly by the payload — written once here so [`compress`]
+/// and the [`cbic_image::Codec`] impl cannot drift apart.
 fn write_container(
-    img: &Image,
+    img: ImageView<'_>,
     payload: &[u8],
     out: &mut dyn std::io::Write,
 ) -> std::io::Result<()> {
-    out.write_all(MAGIC)?;
-    out.write_all(&(img.width() as u32).to_le_bytes())?;
-    out.write_all(&(img.height() as u32).to_le_bytes())?;
+    framing::write_dims_header(out, MAGIC, img.width(), img.height(), img.bit_depth())?;
     out.write_all(payload)
 }
 
-/// Compresses an image with the default CALIC configuration into a
-/// self-describing container.
-pub fn compress(img: &Image) -> Vec<u8> {
+/// Parses this crate's container framing, returning
+/// `(width, height, bit_depth, payload)`. Shared by [`decompress`] and
+/// the CLI's `info` reporting.
+pub fn parse_container(bytes: &[u8]) -> Result<(usize, usize, u8, &[u8]), CalicError> {
+    Ok(framing::parse_dims_header(bytes, MAGIC)?)
+}
+
+/// Compresses the pixels of a view with the default CALIC configuration
+/// into a self-describing container.
+pub fn compress(img: ImageView<'_>) -> Vec<u8> {
     let (payload, _) = encode_raw(img, &CalicConfig::default());
-    let mut out = Vec::with_capacity(payload.len() + 12);
+    let mut out = Vec::with_capacity(payload.len() + 17);
     write_container(img, &payload, &mut out).expect("Vec writes cannot fail");
     out
 }
@@ -114,24 +130,12 @@ pub fn compress(img: &Image) -> Vec<u8> {
 ///
 /// Returns [`CalicError`] on malformed headers.
 pub fn decompress(bytes: &[u8]) -> Result<Image, CalicError> {
-    if bytes.len() < 12 {
-        return Err(CalicError::Truncated);
-    }
-    if &bytes[..4] != MAGIC {
-        return Err(CalicError::BadMagic);
-    }
-    let width = u32::from_le_bytes(bytes[4..8].try_into().expect("sized")) as usize;
-    let height = u32::from_le_bytes(bytes[8..12].try_into().expect("sized")) as usize;
-    if width == 0 || height == 0 {
-        return Err(CalicError::InvalidHeader("zero dimension".into()));
-    }
-    if width.saturating_mul(height) > 1 << 28 {
-        return Err(CalicError::InvalidHeader("image too large".into()));
-    }
+    let (width, height, bit_depth, payload) = parse_container(bytes)?;
     Ok(decode_raw(
-        &bytes[12..],
+        payload,
         width,
         height,
+        bit_depth,
         &CalicConfig::default(),
     ))
 }
@@ -156,7 +160,7 @@ impl cbic_image::Codec for Calic {
 
     fn encode(
         &self,
-        img: &Image,
+        img: ImageView<'_>,
         _opts: &cbic_image::EncodeOptions,
         sink: &mut dyn std::io::Write,
     ) -> Result<cbic_image::EncodeStats, cbic_image::CbicError> {
@@ -164,7 +168,7 @@ impl cbic_image::Codec for Calic {
         write_container(img, &payload, sink)?;
         Ok(cbic_image::EncodeStats::new(
             stats.pixels,
-            12 + payload.len() as u64,
+            framing::dims_header_len(img.bit_depth()) + payload.len() as u64,
             Some(stats.payload_bits),
         ))
     }
@@ -188,7 +192,7 @@ mod container_tests {
     #[test]
     fn container_roundtrip() {
         let img = CorpusImage::Boat.generate(32, 32);
-        assert_eq!(decompress(&compress(&img)).unwrap(), img);
+        assert_eq!(decompress(&compress(img.view())).unwrap(), img);
     }
 
     #[test]

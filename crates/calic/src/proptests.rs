@@ -19,8 +19,8 @@ proptest! {
     #[test]
     fn roundtrip_arbitrary_images(img in arb_image()) {
         let cfg = CalicConfig::default();
-        let (bytes, _) = encode_raw(&img, &cfg);
-        prop_assert_eq!(decode_raw(&bytes, img.width(), img.height(), &cfg), img);
+        let (bytes, _) = encode_raw(img.view(), &cfg);
+        prop_assert_eq!(decode_raw(&bytes, img.width(), img.height(), img.bit_depth(), &cfg), img);
     }
 
     /// Arbitrary configurations (count caps, estimator widths) round-trip.
@@ -35,8 +35,8 @@ proptest! {
             estimator: EstimatorConfig { count_bits, increment, ..EstimatorConfig::default() },
             count_cap: cap,
         };
-        let (bytes, _) = encode_raw(&img, &cfg);
-        prop_assert_eq!(decode_raw(&bytes, img.width(), img.height(), &cfg), img);
+        let (bytes, _) = encode_raw(img.view(), &cfg);
+        prop_assert_eq!(decode_raw(&bytes, img.width(), img.height(), img.bit_depth(), &cfg), img);
     }
 
     /// The sign-flipping trick is an involution: encoder and decoder agree
@@ -44,8 +44,8 @@ proptest! {
     #[test]
     fn encoder_decoder_stats_agree(img in arb_image()) {
         let cfg = CalicConfig::default();
-        let (bytes, enc_stats) = encode_raw(&img, &cfg);
-        let back = decode_raw(&bytes, img.width(), img.height(), &cfg);
+        let (bytes, enc_stats) = encode_raw(img.view(), &cfg);
+        let back = decode_raw(&bytes, img.width(), img.height(), img.bit_depth(), &cfg);
         prop_assert_eq!(back, img);
         prop_assert!(enc_stats.payload_bits <= bytes.len() as u64 * 8);
     }

@@ -1,12 +1,21 @@
-//! The full encoder/decoder pipeline (Fig. 3 of the paper).
+//! The full encoder/decoder pipeline (Fig. 3 of the paper), generalized
+//! over 8–16-bit sample depths.
+//!
+//! The 8-bit path is the paper's codec, bit for bit (pinned by the golden
+//! fixtures). Deeper samples reuse the identical model — gradients,
+//! GAP-lite prediction with depth-scaled thresholds, 512 compound
+//! contexts, error feedback — and factor the wider folded-error alphabet
+//! into a high part (the top `n − 8` bits, coded by its own bank of
+//! per-`QE` trees) and a low byte (the paper's 8-bit estimator), see
+//! [`SampleCoder`].
 
 use crate::context::{error_energy, quantize_energy, texture_pattern, ContextStore};
 use crate::neighborhood::Neighborhood;
-use crate::predictor::{gap_predict, Gradients};
-use crate::remap::{fold, reconstruct, unfold, wrap_error};
-use cbic_arith::{BinaryDecoder, BinaryEncoder, EstimatorConfig, SymbolCoder};
+use crate::predictor::{gap_predict, threshold_shift, Gradients};
+use crate::remap::{fold, half_for_depth, reconstruct, unfold, wrap_error};
+use cbic_arith::{BinaryDecoder, BinaryEncoder, CoderStats, EstimatorConfig, SymbolCoder};
 use cbic_bitio::{BitReader, BitWriter};
-use cbic_image::Image;
+use cbic_image::{Image, ImageView, ImageViewMut};
 
 /// Upper bound on the zero-padding bits a decoder may legally read past the
 /// end of a well-formed payload: a 32-bit register preload plus final-byte
@@ -24,7 +33,8 @@ pub const CODING_CONTEXTS: usize = 8;
 /// (6 texture bits × 8 `QE` levels), error feedback with aging and LUT
 /// division, and a 14-bit probability estimator. The other settings exist
 /// for the Fig. 4 sweep and the ablation experiments (A1–A3 in
-/// `DESIGN.md`).
+/// `DESIGN.md`). The sample bit depth is *not* part of the configuration:
+/// it travels on the [`ImageView`] and in the container header.
 ///
 /// # Examples
 ///
@@ -111,13 +121,137 @@ impl EncodeStats {
     }
 }
 
+/// Depth-adaptive coder over folded prediction errors.
+///
+/// For depths up to 8 bits this is exactly the paper's estimator: one
+/// dynamic tree per `QE` coding context over the `2ⁿ`-symbol alphabet.
+/// For deeper samples the folded error is factored into its **high bits**
+/// (`n − 8` of them, coded by a second bank of per-`QE` trees — smooth
+/// content keeps these pinned near zero, costing almost nothing) followed
+/// by its **low byte** through the standard 8-bit estimator. Both banks
+/// share the one arithmetic coder, so the stream stays a single bit
+/// sequence and the 8-bit path is bit-identical to the original design.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_arith::{BinaryDecoder, BinaryEncoder, EstimatorConfig};
+/// use cbic_bitio::{BitReader, BitWriter};
+/// use cbic_core::codec::SampleCoder;
+///
+/// let cfg = EstimatorConfig::default();
+/// let mut enc_coder = SampleCoder::new(8, 12, cfg);
+/// let mut enc = BinaryEncoder::new(BitWriter::new());
+/// enc_coder.encode(&mut enc, 3, 3000);
+/// let bytes = enc.finish().into_bytes();
+///
+/// let mut dec_coder = SampleCoder::new(8, 12, cfg);
+/// let mut dec = BinaryDecoder::new(BitReader::new(&bytes));
+/// assert_eq!(dec_coder.decode(&mut dec, 3), 3000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SampleCoder {
+    /// The low (or only) part: alphabet `2^min(depth, 8)`.
+    lo: SymbolCoder,
+    /// The high part for depths above 8: alphabet `2^(depth - 8)`.
+    hi: Option<SymbolCoder>,
+    bit_depth: u8,
+}
+
+impl SampleCoder {
+    /// Creates a coder with `contexts` trees per bank for folded errors of
+    /// the given sample depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts` is zero, the depth is outside `1..=16`, or the
+    /// estimator configuration is invalid.
+    pub fn new(contexts: usize, bit_depth: u8, cfg: EstimatorConfig) -> Self {
+        assert!(
+            (1..=16).contains(&bit_depth),
+            "bit depth {bit_depth} outside 1..=16"
+        );
+        let lo_depth = u32::from(bit_depth.min(8));
+        Self {
+            lo: SymbolCoder::with_depth(contexts, lo_depth, cfg),
+            hi: (bit_depth > 8)
+                .then(|| SymbolCoder::with_depth(contexts, u32::from(bit_depth) - 8, cfg)),
+            bit_depth,
+        }
+    }
+
+    /// The folded-error bit depth this coder was built for.
+    pub fn bit_depth(&self) -> u8 {
+        self.bit_depth
+    }
+
+    /// Restores the start-of-stream state in place (see
+    /// [`SymbolCoder::reset`]).
+    pub fn reset(&mut self) {
+        self.lo.reset();
+        if let Some(hi) = &mut self.hi {
+            hi.reset();
+        }
+    }
+
+    /// Accumulated coding statistics across both banks.
+    pub fn stats(&self) -> CoderStats {
+        let mut s = self.lo.stats();
+        if let Some(hi) = &self.hi {
+            let h = hi.stats();
+            s.symbols += h.symbols;
+            s.escapes += h.escapes;
+            s.rescales += h.rescales;
+        }
+        s
+    }
+
+    /// Encodes one folded error in coding context `ctx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range or `folded` has bits above the
+    /// coder's depth.
+    #[inline]
+    pub fn encode<S: cbic_bitio::BitSink>(
+        &mut self,
+        enc: &mut BinaryEncoder<S>,
+        ctx: usize,
+        folded: u16,
+    ) {
+        if let Some(hi) = &mut self.hi {
+            hi.encode(enc, ctx, (folded >> 8) as u8);
+            self.lo.encode(enc, ctx, (folded & 0xFF) as u8);
+        } else {
+            debug_assert!(self.bit_depth == 8 || folded < 1 << self.bit_depth);
+            self.lo.encode(enc, ctx, folded as u8);
+        }
+    }
+
+    /// Decodes one folded error from coding context `ctx`.
+    #[inline]
+    pub fn decode<S: cbic_bitio::BitSource>(
+        &mut self,
+        dec: &mut BinaryDecoder<S>,
+        ctx: usize,
+    ) -> u16 {
+        if let Some(hi) = &mut self.hi {
+            let high = u16::from(hi.decode(dec, ctx));
+            let low = u16::from(self.lo.decode(dec, ctx));
+            (high << 8) | low
+        } else {
+            u16::from(self.lo.decode(dec, ctx))
+        }
+    }
+}
+
 /// Per-pixel model outputs shared by encoder and decoder.
 struct PixelModel {
     /// Coding-context index (selects the dynamic tree).
     qe: usize,
     /// Compound-context index (selects the feedback cell).
     ctx: usize,
-    /// Adjusted prediction `X̃` after error feedback, in `0..=255`.
+    /// Adjusted prediction `X̃` after error feedback, in `0..=max_val`.
     x_tilde: i32,
 }
 
@@ -129,25 +263,44 @@ pub(crate) struct Modeler {
     /// recently processed pixel in column `x` (this row if already done,
     /// otherwise the previous row) — the hardware keeps exactly this row
     /// buffer to provide `e_W`.
-    abs_err: Vec<u8>,
+    abs_err: Vec<u16>,
     texture_bits: u32,
     error_feedback: bool,
+    bit_depth: u8,
+    /// `2^(depth-1)`: the wrap modulus half and first-pixel mid-gray.
+    half: i32,
+    /// Energy quantizer scale: `depth - 8` for deep samples, 0 otherwise.
+    energy_shift: u32,
 }
 
 impl Modeler {
-    pub(crate) fn new(width: usize, cfg: &CodecConfig) -> Self {
+    pub(crate) fn new(width: usize, bit_depth: u8, cfg: &CodecConfig) -> Self {
+        let half = half_for_depth(bit_depth);
         Self {
-            store: ContextStore::new(cfg.compound_contexts(), cfg.division, cfg.aging),
+            store: ContextStore::with_max_err(
+                cfg.compound_contexts(),
+                cfg.division,
+                cfg.aging,
+                half,
+            ),
             abs_err: vec![0; width],
             texture_bits: u32::from(cfg.texture_bits),
             error_feedback: cfg.error_feedback,
+            bit_depth,
+            half,
+            energy_shift: threshold_shift(bit_depth),
         }
     }
 
     /// Restores the start-of-image state in place for a `width`-pixel
-    /// image, reusing the context cells and the division LUT. The modeler
-    /// behaves byte-identically to a freshly constructed one.
-    pub(crate) fn reset(&mut self, width: usize) {
+    /// image of the given depth, reusing the context cells and the
+    /// division LUT. The modeler behaves byte-identically to a freshly
+    /// constructed one.
+    pub(crate) fn reset(&mut self, width: usize, bit_depth: u8) {
+        self.bit_depth = bit_depth;
+        self.half = half_for_depth(bit_depth);
+        self.energy_shift = threshold_shift(bit_depth);
+        self.store.set_max_err(self.half);
         self.store.reset();
         self.abs_err.clear();
         self.abs_err.resize(width, 0);
@@ -158,49 +311,69 @@ impl Modeler {
         self.store.halvings()
     }
 
-    /// Runs prediction + context formation for pixel `(x, y)` against the
-    /// causal content of `img`.
-    fn model(&self, img: &Image, x: usize, y: usize) -> PixelModel {
-        let nb = Neighborhood::fetch(img, x, y);
-        let g = Gradients::compute(&nb);
-        let x_hat = gap_predict(&nb, g);
+    pub(crate) fn bit_depth(&self) -> u8 {
+        self.bit_depth
+    }
+
+    #[inline]
+    pub(crate) fn half(&self) -> i32 {
+        self.half
+    }
+
+    #[inline]
+    fn mid(&self) -> u16 {
+        self.half as u16
+    }
+
+    /// Runs prediction + context formation for column `x` given the
+    /// already-fetched causal neighbourhood.
+    #[inline]
+    fn model(&self, nb: &Neighborhood, x: usize) -> PixelModel {
+        let g = Gradients::compute(nb);
+        let x_hat = gap_predict(nb, g, self.bit_depth);
         let e_w = i32::from(if x > 0 {
             self.abs_err[x - 1]
         } else {
             self.abs_err[0]
         });
-        let qe = usize::from(quantize_energy(error_energy(g, e_w)));
-        let t = texture_pattern(&nb, x_hat, self.texture_bits);
+        // The CALIC energy thresholds are 8-bit-scaled; deep samples bring
+        // the energy back to that scale with one shift (no-op at 8 bits).
+        let qe = usize::from(quantize_energy(error_energy(g, e_w) >> self.energy_shift));
+        let t = texture_pattern(nb, x_hat, self.texture_bits);
         let ctx = (qe << self.texture_bits) | usize::from(t);
         let e_bar = if self.error_feedback {
             self.store.mean(ctx)
         } else {
             0
         };
-        let x_tilde = (x_hat + e_bar).clamp(0, 255);
+        let x_tilde = (x_hat + e_bar).clamp(0, 2 * self.half - 1);
         PixelModel { qe, ctx, x_tilde }
     }
 
     /// Folds the coded pixel's wrapped error back into the model state.
+    #[inline]
     fn absorb(&mut self, x: usize, ctx: usize, wrapped: i32) {
         if self.error_feedback {
             self.store.update(ctx, wrapped);
         }
-        self.abs_err[x] = wrapped.unsigned_abs().min(255) as u8;
+        self.abs_err[x] = wrapped.unsigned_abs().min(u32::from(u16::MAX)) as u16;
     }
 }
 
-/// Encodes `img` into a raw arithmetic-coded payload (no container header).
+/// Encodes the pixels of `img` into a raw arithmetic-coded payload (no
+/// container header).
 ///
 /// Returns the payload bytes and the encoding statistics. Use
-/// [`compress`](crate::compress) for the self-describing container.
+/// [`compress`](crate::compress) for the self-describing container. The
+/// view may be strided (a tile band, a crop); the bits depend only on the
+/// pixels and the bit depth, never on the stride.
 ///
 /// # Panics
 ///
 /// Panics if the configuration is invalid (see [`CodecConfig`]).
-pub fn encode_raw(img: &Image, cfg: &CodecConfig) -> (Vec<u8>, EncodeStats) {
-    let mut modeler = Modeler::new(img.width(), cfg);
-    let mut coder = SymbolCoder::new(CODING_CONTEXTS, cfg.estimator);
+pub fn encode_raw(img: ImageView<'_>, cfg: &CodecConfig) -> (Vec<u8>, EncodeStats) {
+    let mut modeler = Modeler::new(img.width(), img.bit_depth(), cfg);
+    let mut coder = SampleCoder::new(CODING_CONTEXTS, img.bit_depth(), cfg.estimator);
     let mut enc = BinaryEncoder::new(BitWriter::new());
     encode_loop(img, &mut modeler, &mut coder, &mut enc);
 
@@ -223,21 +396,34 @@ pub fn encode_raw(img: &Image, cfg: &CodecConfig) -> (Vec<u8>, EncodeStats) {
 /// The encoder's pixel loop over prepared model state — shared by
 /// [`encode_raw`] (fresh state, buffered sink) and the reusable
 /// [`EncoderSession`](crate::session::EncoderSession) (reused state, any
-/// [`BitSink`]). The modeler and coder must be freshly constructed or
-/// reset; the produced bits are identical either way.
+/// [`BitSink`](cbic_bitio::BitSink)). The modeler and coder must be
+/// freshly constructed or reset at the view's depth; the produced bits are
+/// identical either way.
+///
+/// Pixels are read through **row slices** (current row plus the two above
+/// it), so the per-pixel cost is index arithmetic on three slices — no
+/// coordinate-to-offset multiplications, and strided views cost the same
+/// as contiguous ones.
 pub(crate) fn encode_loop<S: cbic_bitio::BitSink>(
-    img: &Image,
+    img: ImageView<'_>,
     modeler: &mut Modeler,
-    coder: &mut SymbolCoder,
+    coder: &mut SampleCoder,
     enc: &mut BinaryEncoder<S>,
 ) {
     let (width, height) = img.dimensions();
+    debug_assert_eq!(modeler.bit_depth(), img.bit_depth());
+    let half = modeler.half();
+    let mid = modeler.mid();
     for y in 0..height {
+        let cur = img.row(y);
+        let n1 = (y >= 1).then(|| img.row(y - 1));
+        let n2 = (y >= 2).then(|| img.row(y - 2));
         for x in 0..width {
-            let m = modeler.model(img, x, y);
-            let e = i32::from(img.get(x, y)) - m.x_tilde;
-            let wrapped = wrap_error(e);
-            coder.encode(enc, m.qe, fold(wrapped));
+            let nb = Neighborhood::from_rows(cur, n1, n2, x, mid);
+            let m = modeler.model(&nb, x);
+            let e = i32::from(cur[x]) - m.x_tilde;
+            let wrapped = wrap_error(e, half);
+            coder.encode(enc, m.qe, fold(wrapped, half));
             modeler.absorb(x, m.ctx, wrapped);
         }
     }
@@ -245,58 +431,67 @@ pub(crate) fn encode_loop<S: cbic_bitio::BitSink>(
 
 /// The decoder's pixel loop — the dual of [`encode_loop`], shared by
 /// [`decode_raw`] and the reusable
-/// [`DecoderSession`](crate::session::DecoderSession).
+/// [`DecoderSession`](crate::session::DecoderSession). Rows are
+/// reconstructed in place into `out` (a band of a larger image, or a whole
+/// one), reading the causal rows through the same slice discipline as the
+/// encoder.
 pub(crate) fn decode_loop<S: cbic_bitio::BitSource>(
     modeler: &mut Modeler,
-    coder: &mut SymbolCoder,
+    coder: &mut SampleCoder,
     dec: &mut BinaryDecoder<S>,
-    width: usize,
-    height: usize,
-) -> Image {
-    let mut img = Image::new(width, height);
+    out: &mut ImageViewMut<'_>,
+) {
+    let (width, height) = out.dimensions();
+    debug_assert_eq!(modeler.bit_depth(), out.bit_depth());
+    let half = modeler.half();
+    let mid = modeler.mid();
     for y in 0..height {
+        let (n2, n1, cur) = out.causal_rows_mut(y);
         for x in 0..width {
-            let m = modeler.model(&img, x, y);
+            let nb = Neighborhood::from_rows(cur, n1, n2, x, mid);
+            let m = modeler.model(&nb, x);
             let folded = coder.decode(dec, m.qe);
             let wrapped = unfold(folded);
-            img.set(x, y, reconstruct(m.x_tilde, wrapped));
+            cur[x] = reconstruct(m.x_tilde, wrapped, half);
             modeler.absorb(x, m.ctx, wrapped);
         }
     }
-    img
 }
 
 /// Decodes a raw payload produced by [`encode_raw`] with the same
-/// dimensions and configuration.
+/// dimensions, bit depth, and configuration.
 ///
 /// The configuration **must** match the encoder's; the container API
 /// handles that automatically.
 ///
 /// # Panics
 ///
-/// Panics if the configuration is invalid. A mismatched payload produces
-/// garbage pixels but never unsafety.
-pub fn decode_raw(bytes: &[u8], width: usize, height: usize, cfg: &CodecConfig) -> Image {
-    decode_raw_with_padding(bytes, width, height, cfg).0
-}
-
-/// [`decode_raw`] plus the number of zero-padding bits the arithmetic
-/// decoder consumed past the end of `bytes`. A count above
-/// [`MAX_CODE_PADDING_BITS`] cannot come from a complete payload, which is
-/// how [`decompress`](crate::decompress) turns mid-stream EOF into an error
-/// instead of silent garbage.
-pub(crate) fn decode_raw_with_padding(
+/// Panics if the configuration or depth is invalid. A mismatched payload
+/// produces garbage pixels but never unsafety.
+pub fn decode_raw(
     bytes: &[u8],
     width: usize,
     height: usize,
+    bit_depth: u8,
     cfg: &CodecConfig,
-) -> (Image, u64) {
-    let mut modeler = Modeler::new(width, cfg);
-    let mut coder = SymbolCoder::new(CODING_CONTEXTS, cfg.estimator);
+) -> Image {
+    let mut img = Image::with_depth(width, height, bit_depth);
+    decode_raw_into(bytes, &mut img.view_mut(), cfg);
+    img
+}
+
+/// [`decode_raw`] writing straight into a caller-provided view (a band of
+/// a preallocated image on the tiled path), returning the number of
+/// zero-padding bits the arithmetic decoder consumed past the end of
+/// `bytes`. A count above [`MAX_CODE_PADDING_BITS`] cannot come from a
+/// complete payload, which is how [`decompress`](crate::decompress) turns
+/// mid-stream EOF into an error instead of silent garbage.
+pub(crate) fn decode_raw_into(bytes: &[u8], out: &mut ImageViewMut<'_>, cfg: &CodecConfig) -> u64 {
+    let mut modeler = Modeler::new(out.width(), out.bit_depth(), cfg);
+    let mut coder = SampleCoder::new(CODING_CONTEXTS, out.bit_depth(), cfg.estimator);
     let mut dec = BinaryDecoder::new(BitReader::new(bytes));
-    let img = decode_loop(&mut modeler, &mut coder, &mut dec, width, height);
-    let padding = dec.source().padding_bits();
-    (img, padding)
+    decode_loop(&mut modeler, &mut coder, &mut dec, out);
+    dec.source().padding_bits()
 }
 
 #[cfg(test)]
@@ -305,8 +500,8 @@ mod tests {
     use cbic_image::corpus::CorpusImage;
 
     fn roundtrip(img: &Image, cfg: &CodecConfig) -> EncodeStats {
-        let (bytes, stats) = encode_raw(img, cfg);
-        let back = decode_raw(&bytes, img.width(), img.height(), cfg);
+        let (bytes, stats) = encode_raw(img.view(), cfg);
+        let back = decode_raw(&bytes, img.width(), img.height(), img.bit_depth(), cfg);
         assert_eq!(&back, img, "lossless roundtrip failed");
         stats
     }
@@ -327,6 +522,61 @@ mod tests {
             let img = Image::from_fn(w, h, |x, y| (x * 31 + y * 17) as u8);
             roundtrip(&img, &cfg);
         }
+    }
+
+    #[test]
+    fn roundtrip_deep_depths() {
+        let cfg = CodecConfig::default();
+        for depth in [9u8, 10, 12, 14, 16] {
+            let max = if depth == 16 {
+                u16::MAX as u32
+            } else {
+                (1u32 << depth) - 1
+            };
+            let img = Image::from_fn16(24, 24, depth, |x, y| {
+                ((x as u32 * 977 + y as u32 * 3301) % (max + 1)) as u16
+            });
+            roundtrip(&img, &cfg);
+        }
+    }
+
+    #[test]
+    fn roundtrip_shallow_depths() {
+        let cfg = CodecConfig::default();
+        for depth in [1u8, 2, 4, 7] {
+            let max = (1u32 << depth) - 1;
+            let img = Image::from_fn16(16, 16, depth, |x, y| {
+                ((x * 3 + y) as u32 % (max + 1)) as u16
+            });
+            roundtrip(&img, &cfg);
+        }
+    }
+
+    #[test]
+    fn smooth_sixteen_bit_content_stays_cheap() {
+        // A smooth 16-bit ramp: the high-bits bank must pin to zero and
+        // the rate should stay far below the raw 16 bpp.
+        let img = Image::from_fn16(96, 96, 16, |x, y| ((x + y) * 300) as u16);
+        let stats = roundtrip(&img, &CodecConfig::default());
+        assert!(
+            stats.bits_per_pixel() < 4.0,
+            "smooth 16-bit ramp cost {} bpp",
+            stats.bits_per_pixel()
+        );
+    }
+
+    #[test]
+    fn strided_band_views_encode_identically_to_copies() {
+        let img = CorpusImage::Goldhill.generate(40, 40);
+        let band = img.view().row_range(10, 16);
+        let (from_view, _) = encode_raw(band, &CodecConfig::default());
+        let (from_copy, _) = encode_raw(band.to_image().view(), &CodecConfig::default());
+        assert_eq!(from_view, from_copy);
+        let crop = img.view().crop(3, 5, 20, 18);
+        assert!(!crop.is_contiguous());
+        let (v, _) = encode_raw(crop, &CodecConfig::default());
+        let (c, _) = encode_raw(crop.to_image().view(), &CodecConfig::default());
+        assert_eq!(v, c, "stride must not leak into the bits");
     }
 
     #[test]
@@ -434,14 +684,22 @@ mod tests {
     #[test]
     fn decisions_are_nine_per_pixel() {
         let img = CorpusImage::Lena.generate(32, 32);
-        let (_, stats) = encode_raw(&img, &CodecConfig::default());
+        let (_, stats) = encode_raw(img.view(), &CodecConfig::default());
         assert!((stats.decisions_per_pixel() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deep_samples_cost_more_decisions_per_pixel() {
+        // 12-bit: 1 + 4 high decisions + 1 + 8 low decisions = 14.
+        let img = Image::from_fn16(16, 16, 12, |x, y| (x * 250 + y) as u16);
+        let (_, stats) = encode_raw(img.view(), &CodecConfig::default());
+        assert!((stats.decisions_per_pixel() - 14.0).abs() < 1e-9);
     }
 
     #[test]
     fn stats_bits_match_payload() {
         let img = CorpusImage::Boat.generate(32, 32);
-        let (bytes, stats) = encode_raw(&img, &CodecConfig::default());
+        let (bytes, stats) = encode_raw(img.view(), &CodecConfig::default());
         assert!(stats.payload_bits <= bytes.len() as u64 * 8);
         assert!(stats.payload_bits + 64 > bytes.len() as u64 * 8);
     }
@@ -449,12 +707,12 @@ mod tests {
     #[test]
     fn mismatched_config_decodes_garbage_not_panic() {
         let img = CorpusImage::Zelda.generate(24, 24);
-        let (bytes, _) = encode_raw(&img, &CodecConfig::default());
+        let (bytes, _) = encode_raw(img.view(), &CodecConfig::default());
         let wrong = CodecConfig {
             texture_bits: 2,
             ..CodecConfig::default()
         };
-        let out = decode_raw(&bytes, 24, 24, &wrong);
+        let out = decode_raw(&bytes, 24, 24, 8, &wrong);
         assert_eq!(out.dimensions(), (24, 24));
     }
 
@@ -477,5 +735,33 @@ mod tests {
             aged.bits_per_pixel(),
             frozen.bits_per_pixel()
         );
+    }
+
+    #[test]
+    fn sample_coder_roundtrips_every_depth() {
+        use cbic_bitio::{BitReader, BitWriter};
+        for depth in [1u8, 4, 8, 9, 12, 16] {
+            let cfg = EstimatorConfig::default();
+            let mask = if depth == 16 {
+                0xFFFFu32
+            } else {
+                (1u32 << depth) - 1
+            };
+            let symbols: Vec<u16> = (0..600u32)
+                .map(|i| (i.wrapping_mul(2654435761) & mask) as u16)
+                .collect();
+            let mut enc_coder = SampleCoder::new(4, depth, cfg);
+            let mut enc = BinaryEncoder::new(BitWriter::new());
+            for (i, &s) in symbols.iter().enumerate() {
+                enc_coder.encode(&mut enc, i % 4, s);
+            }
+            let bytes = enc.finish().into_bytes();
+            let mut dec_coder = SampleCoder::new(4, depth, cfg);
+            let mut dec = BinaryDecoder::new(BitReader::new(&bytes));
+            for (i, &s) in symbols.iter().enumerate() {
+                assert_eq!(dec_coder.decode(&mut dec, i % 4), s, "depth {depth}");
+            }
+            assert_eq!(enc_coder.stats().symbols, dec_coder.stats().symbols);
+        }
     }
 }

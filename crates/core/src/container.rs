@@ -9,7 +9,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "CBIC"
-//! 4       1     version (1)
+//! 4       1     version (1 = 8-bit samples, 2 = explicit bit depth)
 //! 5       1     codec id (1 = SOCC-2007 image codec)
 //! 6       4     width  (LE)
 //! 10      4     height (LE)
@@ -19,23 +19,33 @@
 //! 19      2     escape init: escape count (LE)
 //! 21      1     flags (bit0 feedback, bit1 aging, bit2 exact division)
 //! 22      1     texture bits
-//! 23      ...   arithmetic-coded payload
+//! [23     1     sample bit depth (version 2 only; version 1 means 8)]
+//! 23/24   ...   arithmetic-coded payload
 //! ```
+//!
+//! 8-bit images are written as version 1 — byte-identical to every
+//! container this codec has ever produced — and deeper samples get the
+//! version-2 header with its bit-depth field. Decoders accept both.
 
-use crate::codec::{decode_raw_with_padding, encode_raw, CodecConfig, MAX_CODE_PADDING_BITS};
+use crate::codec::{decode_raw_into, encode_raw, CodecConfig, MAX_CODE_PADDING_BITS};
 use crate::context::DivisionKind;
 use crate::session::EncoderSession;
 use cbic_arith::EstimatorConfig;
-use cbic_image::{CbicError, Codec, CountingSink, DecodeOptions, EncodeOptions, Image};
+use cbic_image::{CbicError, Codec, CountingSink, DecodeOptions, EncodeOptions, Image, ImageView};
 use std::fmt;
 use std::io::{Read, Write};
 
 pub(crate) const MAGIC: &[u8; 4] = b"CBIC";
-const VERSION: u8 = 1;
+const VERSION_V1: u8 = 1;
+const VERSION_V2: u8 = 2;
 const CODEC_ID: u8 = 1;
 
-/// Size in bytes of the container header preceding the coded payload.
+/// Size in bytes of the version-1 container header preceding the coded
+/// payload (the version-2 header adds one bit-depth byte).
 pub const HEADER_LEN: usize = 23;
+
+/// Size in bytes of the longest header any version uses.
+pub const MAX_HEADER_LEN: usize = HEADER_LEN + 1;
 
 /// Errors returned when parsing a container.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,7 +107,21 @@ impl From<CodecError> for CbicError {
     }
 }
 
-/// Compresses an image into a self-describing container.
+/// Everything a container header declares: the model configuration, the
+/// image geometry, and the sample bit depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContainerHeader {
+    /// The model configuration the decoder must mirror.
+    pub cfg: CodecConfig,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Sample bit depth (`1..=16`; version-1 containers are always 8).
+    pub bit_depth: u8,
+}
+
+/// Compresses the pixels of a view into a self-describing container.
 ///
 /// # Examples
 ///
@@ -106,26 +130,42 @@ impl From<CodecError> for CbicError {
 /// use cbic_image::Image;
 ///
 /// let img = Image::from_fn(16, 16, |x, y| (x * y) as u8);
-/// let bytes = compress(&img, &CodecConfig::default());
+/// let bytes = compress(img.view(), &CodecConfig::default());
 /// assert_eq!(decompress(&bytes)?, img);
+///
+/// let deep = Image::from_fn16(16, 16, 12, |x, y| (x * 200 + y) as u16);
+/// let bytes = compress(deep.view(), &CodecConfig::default());
+/// assert_eq!(decompress(&bytes)?, deep);
 /// # Ok::<(), cbic_core::CodecError>(())
 /// ```
-pub fn compress(img: &Image, cfg: &CodecConfig) -> Vec<u8> {
+pub fn compress(img: ImageView<'_>, cfg: &CodecConfig) -> Vec<u8> {
     let (payload, _) = encode_raw(img, cfg);
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-    out.extend_from_slice(&header_bytes(cfg, img.width(), img.height()));
+    let (hdr, len) = header_bytes(cfg, img.width(), img.height(), img.bit_depth());
+    let mut out = Vec::with_capacity(len + payload.len());
+    out.extend_from_slice(&hdr[..len]);
     out.extend_from_slice(&payload);
     out
 }
 
-/// Serializes the container header for a `width`×`height` image coded with
-/// `cfg`. [`compress`] and the streaming
-/// [`StreamEncoder`](crate::stream::StreamEncoder) share this, which is what
-/// keeps their outputs byte-identical.
-pub(crate) fn header_bytes(cfg: &CodecConfig, width: usize, height: usize) -> [u8; HEADER_LEN] {
-    let mut out = [0u8; HEADER_LEN];
+/// Serializes the container header for a `width`×`height` image of the
+/// given depth coded with `cfg`, returning the buffer and the header
+/// length (23 bytes of version 1 for 8-bit samples — byte-identical to the
+/// historical format — and 24 bytes of version 2 otherwise). [`compress`]
+/// and the streaming [`StreamEncoder`](crate::stream::StreamEncoder) share
+/// this, which is what keeps their outputs byte-identical.
+pub(crate) fn header_bytes(
+    cfg: &CodecConfig,
+    width: usize,
+    height: usize,
+    bit_depth: u8,
+) -> ([u8; MAX_HEADER_LEN], usize) {
+    let mut out = [0u8; MAX_HEADER_LEN];
     out[..4].copy_from_slice(MAGIC);
-    out[4] = VERSION;
+    out[4] = if bit_depth == 8 {
+        VERSION_V1
+    } else {
+        VERSION_V2
+    };
     out[5] = CODEC_ID;
     out[6..10].copy_from_slice(&(width as u32).to_le_bytes());
     out[10..14].copy_from_slice(&(height as u32).to_le_bytes());
@@ -139,7 +179,12 @@ pub(crate) fn header_bytes(cfg: &CodecConfig, width: usize, height: usize) -> [u
     flags |= u8::from(cfg.division == DivisionKind::Exact) << 2;
     out[21] = flags;
     out[22] = cfg.texture_bits;
-    out
+    if bit_depth == 8 {
+        (out, HEADER_LEN)
+    } else {
+        out[23] = bit_depth;
+        (out, MAX_HEADER_LEN)
+    }
 }
 
 /// The container's pixel ceiling: 2^28 = 256 Mpixel, far beyond any image
@@ -173,44 +218,54 @@ pub(crate) fn check_container_dimensions(width: usize, height: usize) -> Result<
 /// the header-declared pixel count was decoded (the decoder had to invent
 /// more padding bits than any complete payload requires).
 pub fn decompress(bytes: &[u8]) -> Result<Image, CodecError> {
-    let (cfg, width, height, payload) = parse_header(bytes)?;
-    let (img, padding) = decode_raw_with_padding(payload, width, height, &cfg);
+    let (hdr, payload) = parse_header(bytes)?;
+    let mut img = Image::with_depth(hdr.width, hdr.height, hdr.bit_depth);
+    let padding = decode_raw_into(payload, &mut img.view_mut(), &hdr.cfg);
     if padding > MAX_CODE_PADDING_BITS {
         return Err(CodecError::Truncated);
     }
     Ok(img)
 }
 
-/// Parses a container header, returning the codec configuration,
-/// dimensions, and payload slice.
+/// Parses a container header, returning the declared header fields and
+/// the payload slice.
 ///
 /// # Errors
 ///
 /// Returns a [`CodecError`] describing the first malformed field.
-pub fn parse_header(bytes: &[u8]) -> Result<(CodecConfig, usize, usize, &[u8]), CodecError> {
-    if bytes.len() < HEADER_LEN {
-        return Err(if bytes.len() >= 4 && &bytes[..4] != MAGIC {
-            CodecError::BadMagic
-        } else {
-            CodecError::Truncated
-        });
-    }
-    let hdr: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("sized");
-    let (cfg, width, height) = parse_header_fields(hdr)?;
-    Ok((cfg, width, height, &bytes[HEADER_LEN..]))
+pub fn parse_header(bytes: &[u8]) -> Result<(ContainerHeader, &[u8]), CodecError> {
+    let mut source = bytes;
+    let hdr = read_header(&mut source)?;
+    Ok((hdr, source))
 }
 
-/// Parses exactly one header's worth of bytes — the slice-free core of
-/// [`parse_header`], shared with the streaming decoder which reads the
-/// header off an `io::Read`.
-pub(crate) fn parse_header_fields(
-    bytes: &[u8; HEADER_LEN],
-) -> Result<(CodecConfig, usize, usize), CodecError> {
+/// Reads and validates one container header off a stream, leaving the
+/// reader positioned at the first payload byte — shared by the slice path
+/// ([`parse_header`]) and the streaming decoders.
+pub(crate) fn read_header<R: Read + ?Sized>(input: &mut R) -> Result<ContainerHeader, CodecError> {
+    let eof_is_truncated = |e: std::io::Error| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            CodecError::Truncated
+        } else {
+            CodecError::io(&e)
+        }
+    };
+    // Magic first, before demanding a full header: a short foreign-format
+    // input must report BadMagic (so format sniffers can move on), not
+    // pose as a truncated CBIC stream.
+    let mut bytes = [0u8; HEADER_LEN];
+    input
+        .read_exact(&mut bytes[..4])
+        .map_err(eof_is_truncated)?;
     if &bytes[..4] != MAGIC {
         return Err(CodecError::BadMagic);
     }
-    if bytes[4] != VERSION {
-        return Err(CodecError::UnsupportedVersion(bytes[4]));
+    input
+        .read_exact(&mut bytes[4..])
+        .map_err(eof_is_truncated)?;
+    let version = bytes[4];
+    if version != VERSION_V1 && version != VERSION_V2 {
+        return Err(CodecError::UnsupportedVersion(version));
     }
     if bytes[5] != CODEC_ID {
         return Err(CodecError::UnsupportedCodec(bytes[5]));
@@ -250,6 +305,19 @@ pub(crate) fn parse_header_fields(
             "texture_bits {texture_bits} outside 0..=6"
         )));
     }
+    let bit_depth = if version == VERSION_V2 {
+        let mut depth = [0u8; 1];
+        input.read_exact(&mut depth).map_err(eof_is_truncated)?;
+        if !(1..=16).contains(&depth[0]) {
+            return Err(CodecError::InvalidHeader(format!(
+                "bit depth {} outside 1..=16",
+                depth[0]
+            )));
+        }
+        depth[0]
+    } else {
+        8
+    };
     let cfg = CodecConfig {
         estimator: EstimatorConfig {
             count_bits,
@@ -265,7 +333,12 @@ pub(crate) fn parse_header_fields(
         },
         texture_bits,
     };
-    Ok((cfg, width, height))
+    Ok(ContainerHeader {
+        cfg,
+        width,
+        height,
+        bit_depth,
+    })
 }
 
 /// The paper's codec on the unified [`Codec`] surface.
@@ -278,7 +351,7 @@ pub(crate) fn parse_header_fields(
 ///
 /// let codec: &dyn Codec = &Proposed::default();
 /// let img = Image::from_fn(16, 16, |x, y| (x * y) as u8);
-/// let bytes = codec.encode_vec(&img, &EncodeOptions::default())?;
+/// let bytes = codec.encode_vec(img.view(), &EncodeOptions::default())?;
 /// assert_eq!(codec.decode_vec(&bytes, &DecodeOptions::default())?, img);
 /// assert_eq!(codec.name(), "proposed");
 /// # Ok::<(), cbic_image::CbicError>(())
@@ -301,7 +374,7 @@ impl Codec for Proposed {
     /// [`Codec::payload_bits_per_pixel`] costs a single counting pass.
     fn encode(
         &self,
-        img: &Image,
+        img: ImageView<'_>,
         _opts: &EncodeOptions,
         sink: &mut dyn Write,
     ) -> Result<cbic_image::EncodeStats, CbicError> {
@@ -330,8 +403,31 @@ mod tests {
     #[test]
     fn container_roundtrip_default_config() {
         let img = CorpusImage::Lena.generate(40, 40);
-        let bytes = compress(&img, &CodecConfig::default());
+        let bytes = compress(img.view(), &CodecConfig::default());
         assert_eq!(decompress(&bytes).unwrap(), img);
+    }
+
+    #[test]
+    fn eight_bit_containers_stay_version_one() {
+        let img = CorpusImage::Lena.generate(16, 16);
+        let bytes = compress(img.view(), &CodecConfig::default());
+        assert_eq!(bytes[4], VERSION_V1, "8-bit streams keep the old format");
+        let (hdr, _) = parse_header(&bytes).unwrap();
+        assert_eq!(hdr.bit_depth, 8);
+    }
+
+    #[test]
+    fn deep_containers_carry_their_depth() {
+        let img = Image::from_fn16(20, 12, 12, |x, y| (x * 200 + y) as u16);
+        let bytes = compress(img.view(), &CodecConfig::default());
+        assert_eq!(bytes[4], VERSION_V2);
+        assert_eq!(bytes[23], 12);
+        let (hdr, _) = parse_header(&bytes).unwrap();
+        assert_eq!(hdr.bit_depth, 12);
+        assert_eq!((hdr.width, hdr.height), (20, 12));
+        let back = decompress(&bytes).unwrap();
+        assert_eq!(back, img);
+        assert_eq!(back.bit_depth(), 12);
     }
 
     #[test]
@@ -348,18 +444,18 @@ mod tests {
             division: DivisionKind::Exact,
             texture_bits: 3,
         };
-        let bytes = compress(&img, &cfg);
+        let bytes = compress(img.view(), &cfg);
         // The header must carry the config: decode with no prior knowledge.
         assert_eq!(decompress(&bytes).unwrap(), img);
-        let (parsed, w, h, _) = parse_header(&bytes).unwrap();
-        assert_eq!(parsed, cfg);
-        assert_eq!((w, h), (32, 32));
+        let (hdr, _) = parse_header(&bytes).unwrap();
+        assert_eq!(hdr.cfg, cfg);
+        assert_eq!((hdr.width, hdr.height), (32, 32));
     }
 
     #[test]
     fn rejects_bad_magic() {
         let img = CorpusImage::Zelda.generate(16, 16);
-        let mut bytes = compress(&img, &CodecConfig::default());
+        let mut bytes = compress(img.view(), &CodecConfig::default());
         bytes[0] = b'X';
         assert_eq!(decompress(&bytes), Err(CodecError::BadMagic));
     }
@@ -367,7 +463,7 @@ mod tests {
     #[test]
     fn rejects_bad_version_and_codec() {
         let img = CorpusImage::Zelda.generate(16, 16);
-        let mut bytes = compress(&img, &CodecConfig::default());
+        let mut bytes = compress(img.view(), &CodecConfig::default());
         bytes[4] = 9;
         assert_eq!(decompress(&bytes), Err(CodecError::UnsupportedVersion(9)));
         bytes[4] = 1;
@@ -379,13 +475,32 @@ mod tests {
     fn rejects_truncation() {
         assert_eq!(decompress(b"CBIC"), Err(CodecError::Truncated));
         assert_eq!(decompress(b""), Err(CodecError::Truncated));
+        // A short *foreign* stream is a magic mismatch, not a truncated
+        // CBIC container — format sniffers rely on the distinction.
+        assert_eq!(decompress(b"CBSL\x01\x02\x03"), Err(CodecError::BadMagic));
+        assert_eq!(decompress(b"XYZ"), Err(CodecError::Truncated));
+        // A version-2 header cut off before its depth byte.
+        let img = Image::from_fn16(8, 8, 10, |x, _| x as u16);
+        let bytes = compress(img.view(), &CodecConfig::default());
+        assert_eq!(
+            parse_header(&bytes[..HEADER_LEN]).err(),
+            Some(CodecError::Truncated)
+        );
     }
 
     #[test]
     fn rejects_invalid_fields() {
         let img = CorpusImage::Zelda.generate(16, 16);
-        let mut bytes = compress(&img, &CodecConfig::default());
+        let mut bytes = compress(img.view(), &CodecConfig::default());
         bytes[14] = 42; // count_bits
+        assert!(matches!(
+            decompress(&bytes),
+            Err(CodecError::InvalidHeader(_))
+        ));
+        // A version-2 depth byte outside 1..=16.
+        let deep = Image::from_fn16(8, 8, 10, |x, _| x as u16);
+        let mut bytes = compress(deep.view(), &CodecConfig::default());
+        bytes[23] = 31;
         assert!(matches!(
             decompress(&bytes),
             Err(CodecError::InvalidHeader(_))

@@ -85,6 +85,10 @@ pub enum DivisionKind {
 
 /// Per-compound-context error statistics: the paper's `(sum, count)` pair
 /// with the overflow guard ("aging") and bounded-dividend division.
+///
+/// The store accepts wrapped errors up to a configurable magnitude bound
+/// (`2^(n-1)` for `n`-bit samples; the 8-bit default is the paper's 128),
+/// so one store type serves every sample depth.
 #[derive(Debug, Clone)]
 pub struct ContextStore {
     sums: Vec<i32>,
@@ -94,6 +98,8 @@ pub struct ContextStore {
     /// `true` = halve sum and count when the count saturates (the paper);
     /// `false` = freeze updates at saturation (ablation A1).
     aging: bool,
+    /// Largest |wrapped error| a context may absorb.
+    max_err: i32,
     halvings: u64,
 }
 
@@ -101,21 +107,47 @@ pub struct ContextStore {
 pub const COUNT_MAX: u8 = 31;
 
 impl ContextStore {
-    /// Creates a store with `contexts` zeroed entries.
+    /// Creates a store with `contexts` zeroed entries for 8-bit samples
+    /// (error bound 128, the paper's configuration).
     ///
     /// # Panics
     ///
     /// Panics if `contexts` is zero.
     pub fn new(contexts: usize, division: DivisionKind, aging: bool) -> Self {
+        Self::with_max_err(contexts, division, aging, 128)
+    }
+
+    /// Creates a store accepting wrapped errors up to `max_err` in
+    /// magnitude (`2^(n-1)` for `n`-bit samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts` is zero or `max_err` is not positive.
+    pub fn with_max_err(
+        contexts: usize,
+        division: DivisionKind,
+        aging: bool,
+        max_err: i32,
+    ) -> Self {
         assert!(contexts > 0, "need at least one context");
+        assert!(max_err > 0, "error bound must be positive");
         Self {
             sums: vec![0; contexts],
             counts: vec![0; contexts],
             lut: DivLut::new(),
             division,
             aging,
+            max_err,
             halvings: 0,
         }
+    }
+
+    /// Re-arms the store for a different error magnitude bound (used when
+    /// a session switches to an image of another bit depth). Call
+    /// [`Self::reset`] alongside; the cell storage is reused either way.
+    pub fn set_max_err(&mut self, max_err: i32) {
+        assert!(max_err > 0, "error bound must be positive");
+        self.max_err = max_err;
     }
 
     /// Number of compound contexts.
@@ -164,10 +196,14 @@ impl ContextStore {
     ///
     /// # Panics
     ///
-    /// Panics if `ctx` is out of range or `|err| > 128`.
+    /// Panics if `ctx` is out of range or `|err|` exceeds the store's
+    /// error bound (128 for the 8-bit default).
     #[inline]
     pub fn update(&mut self, ctx: usize, err: i32) {
-        assert!(err.abs() <= 128, "wrapped error {err} out of range");
+        assert!(
+            err.abs() <= self.max_err,
+            "wrapped error {err} out of range"
+        );
         if self.counts[ctx] >= COUNT_MAX {
             if self.aging {
                 // Arithmetic right shift keeps the mean's sign correct.
@@ -180,7 +216,13 @@ impl ContextStore {
         }
         self.sums[ctx] += err;
         self.counts[ctx] += 1;
-        debug_assert!(self.sums[ctx].abs() < 1 << 13, "13-bit sum bound violated");
+        // The paper's 13-bit sum bound holds for the 8-bit error range;
+        // deeper samples get proportionally wider sums (still far inside
+        // i32: 31 x 32768 < 2^21).
+        debug_assert!(
+            self.max_err > 128 || self.sums[ctx].abs() < 1 << 13,
+            "13-bit sum bound violated"
+        );
     }
 
     /// Raw `(sum, count)` of a context (tests/diagnostics).
@@ -193,7 +235,7 @@ impl ContextStore {
 mod tests {
     use super::*;
 
-    fn nb(w: u8, ww: u8, n: u8, nn: u8, ne: u8, nw: u8, nne: u8) -> Neighborhood {
+    fn nb(w: u16, ww: u16, n: u16, nn: u16, ne: u16, nw: u16, nne: u16) -> Neighborhood {
         Neighborhood {
             w,
             ww,

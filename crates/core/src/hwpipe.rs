@@ -2,7 +2,7 @@
 //! register.
 //!
 //! [`encode_raw`](crate::encode_raw) is the *algorithmic* reference — it
-//! reads pixels from a random-access image. The FPGA cannot do that: it
+//! reads pixels from a random-access view. The FPGA cannot do that: it
 //! sees a raster-scan pixel stream and keeps exactly **three image lines**
 //! in rotating buffers (Section III: "we need to store 3 lines of image
 //! pixel values in memory as context and use 3 pointers ... At the end of
@@ -18,18 +18,22 @@
 //!   pixel; Line 1 forms the prediction error, maps it, drives the
 //!   estimator, and updates the context store.
 //!
+//! Both sides carry the sample bit depth (8–16): the line buffers hold
+//! `u16` words and the wrap/fold modulus scales with the depth, exactly as
+//! a parameterized RTL generic would.
+//!
 //! The equivalence suite asserts the byte stream is **identical** to the
 //! software reference on every input — the "golden model vs RTL"
 //! check-off a hardware team would run before tape-out.
 
-use crate::codec::{CodecConfig, CODING_CONTEXTS};
+use crate::codec::{CodecConfig, SampleCoder, CODING_CONTEXTS};
 use crate::context::{error_energy, quantize_energy, texture_pattern, ContextStore};
 use crate::neighborhood::Neighborhood;
-use crate::predictor::{gap_predict, Gradients};
-use crate::remap::{fold, wrap_error};
-use cbic_arith::{BinaryDecoder, BinaryEncoder, SymbolCoder};
+use crate::predictor::{gap_predict, threshold_shift, Gradients};
+use crate::remap::{fold, half_for_depth, wrap_error};
+use cbic_arith::{BinaryDecoder, BinaryEncoder};
 use cbic_bitio::{BitReader, BitSink, BitSource, BitWriter};
-use cbic_image::Image;
+use cbic_image::{Image, ImageView};
 
 /// Three rotating line buffers, as the hardware stores them.
 ///
@@ -40,25 +44,41 @@ use cbic_image::Image;
 /// rotation.
 #[derive(Debug, Clone)]
 pub struct LineBuffers {
-    lines: [Vec<u8>; 3],
+    lines: [Vec<u16>; 3],
     /// Index of the buffer holding the line being written.
     head: usize,
     /// Number of rows completed (bounds the valid history).
     rows_done: usize,
+    /// First-pixel mid-gray fallback (`2^(n-1)`).
+    mid: u16,
 }
 
 impl LineBuffers {
-    /// Creates buffers for images `width` pixels wide.
+    /// Creates buffers for 8-bit images `width` pixels wide.
     ///
     /// # Panics
     ///
     /// Panics if `width` is zero.
     pub fn new(width: usize) -> Self {
+        Self::with_depth(width, 8)
+    }
+
+    /// Creates buffers for images of the given bit depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or the depth is outside `1..=16`.
+    pub fn with_depth(width: usize, bit_depth: u8) -> Self {
         assert!(width > 0, "width must be nonzero");
+        assert!(
+            (1..=16).contains(&bit_depth),
+            "bit depth {bit_depth} outside 1..=16"
+        );
         Self {
             lines: [vec![0; width], vec![0; width], vec![0; width]],
             head: 0,
             rows_done: 0,
+            mid: half_for_depth(bit_depth) as u16,
         }
     }
 
@@ -74,14 +94,14 @@ impl LineBuffers {
 
     /// The line `depth` rows above the current one (0 = current).
     #[inline]
-    fn row(&self, depth: usize) -> &[u8] {
+    fn row(&self, depth: usize) -> &[u16] {
         debug_assert!(depth < 3);
         &self.lines[(self.head + depth) % 3]
     }
 
     /// Writes the just-reconstructed pixel into the current line.
     #[inline]
-    pub fn push(&mut self, x: usize, value: u8) {
+    pub fn push(&mut self, x: usize, value: u16) {
         let head = self.head;
         self.lines[head][x] = value;
     }
@@ -98,43 +118,13 @@ impl LineBuffers {
     /// bit (`y` is passed purely to detect the first rows; pixels never
     /// come from anywhere but the three buffers).
     pub fn neighborhood(&self, x: usize, y: usize) -> Neighborhood {
-        let width = self.width();
-        debug_assert!(x < width);
+        debug_assert!(x < self.width());
         debug_assert_eq!(y, self.rows_done);
-        let cur = self.row(0);
-        let n1 = self.row(1);
-        let n2 = self.row(2);
-
-        let w = if x >= 1 {
-            cur[x - 1]
-        } else if y >= 1 {
-            n1[x]
-        } else {
-            128
-        };
-        let ww = if x >= 2 { cur[x - 2] } else { w };
-        let n = if y >= 1 { n1[x] } else { w };
-        let nn = if y >= 2 { n2[x] } else { n };
-        let nw = if x >= 1 && y >= 1 { n1[x - 1] } else { n };
-        let ne = if x + 1 < width && y >= 1 {
-            n1[x + 1]
-        } else {
-            n
-        };
-        let nne = if x + 1 < width && y >= 2 {
-            n2[x + 1]
-        } else {
-            ne
-        };
-        Neighborhood {
-            w,
-            ww,
-            n,
-            nn,
-            ne,
-            nw,
-            nne,
-        }
+        let n1 = (y >= 1).then(|| self.row(1));
+        let n2 = (y >= 2).then(|| self.row(2));
+        // `from_rows` reads only the causal prefix cur[..x] of the line
+        // being written, matching the hardware's register timing.
+        Neighborhood::from_rows(self.row(0), n1, n2, x, self.mid)
     }
 }
 
@@ -164,7 +154,7 @@ impl LineBuffers {
 /// }
 /// let stream = hw.finish();
 /// // Bit-identical to the software reference:
-/// let (reference, _) = cbic_core::encode_raw(&img, &CodecConfig::default());
+/// let (reference, _) = cbic_core::encode_raw(img.view(), &CodecConfig::default());
 /// assert_eq!(stream, reference);
 /// ```
 #[derive(Debug)]
@@ -173,24 +163,27 @@ pub struct HwEncoder<S = BitWriter> {
     store: ContextStore,
     /// Row buffer of |wrapped error| per column — the hardware register
     /// file feeding `e_W` into the energy term.
-    abs_err: Vec<u8>,
-    coder: SymbolCoder,
+    abs_err: Vec<u16>,
+    coder: SampleCoder,
     ac: BinaryEncoder<S>,
     cfg: CodecConfig,
+    bit_depth: u8,
+    half: i32,
+    energy_shift: u32,
     x: usize,
     y: usize,
     pixels: u64,
 }
 
 impl HwEncoder {
-    /// Creates a streaming encoder for `width`-pixel lines, buffering the
-    /// bit stream in memory.
+    /// Creates a streaming encoder for `width`-pixel 8-bit lines,
+    /// buffering the bit stream in memory.
     ///
     /// # Panics
     ///
     /// Panics if `width` is zero or the configuration is invalid.
     pub fn new(width: usize, cfg: &CodecConfig) -> Self {
-        Self::with_sink(width, cfg, BitWriter::new())
+        Self::with_sink(width, 8, cfg, BitWriter::new())
     }
 
     /// Flushes the arithmetic coder and returns the byte stream
@@ -200,16 +193,12 @@ impl HwEncoder {
         self.finish_sink().into_bytes()
     }
 
-    /// Convenience: stream a whole image through the hardware model.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the image width differs from the encoder width.
-    pub fn encode_image(img: &Image, cfg: &CodecConfig) -> Vec<u8> {
-        let mut hw = Self::new(img.width(), cfg);
-        for y in 0..img.height() {
-            for x in 0..img.width() {
-                hw.push_pixel(img.get(x, y));
+    /// Convenience: stream a whole view through the hardware model.
+    pub fn encode_image(img: ImageView<'_>, cfg: &CodecConfig) -> Vec<u8> {
+        let mut hw = Self::with_sink(img.width(), img.bit_depth(), cfg, BitWriter::new());
+        for row in img.rows() {
+            for &pixel in row {
+                hw.push_pixel(pixel);
             }
         }
         hw.finish()
@@ -217,20 +206,30 @@ impl HwEncoder {
 }
 
 impl<S: BitSink> HwEncoder<S> {
-    /// Creates a streaming encoder for `width`-pixel lines emitting into an
-    /// arbitrary [`BitSink`].
+    /// Creates a streaming encoder for `width`-pixel lines of the given
+    /// sample depth, emitting into an arbitrary [`BitSink`].
     ///
     /// # Panics
     ///
-    /// Panics if `width` is zero or the configuration is invalid.
-    pub fn with_sink(width: usize, cfg: &CodecConfig, sink: S) -> Self {
+    /// Panics if `width` is zero, the depth is outside `1..=16`, or the
+    /// configuration is invalid.
+    pub fn with_sink(width: usize, bit_depth: u8, cfg: &CodecConfig, sink: S) -> Self {
+        let half = half_for_depth(bit_depth);
         Self {
-            buffers: LineBuffers::new(width),
-            store: ContextStore::new(cfg.compound_contexts(), cfg.division, cfg.aging),
+            buffers: LineBuffers::with_depth(width, bit_depth),
+            store: ContextStore::with_max_err(
+                cfg.compound_contexts(),
+                cfg.division,
+                cfg.aging,
+                half,
+            ),
             abs_err: vec![0; width],
-            coder: SymbolCoder::new(CODING_CONTEXTS, cfg.estimator),
+            coder: SampleCoder::new(CODING_CONTEXTS, bit_depth, cfg.estimator),
             ac: BinaryEncoder::new(sink),
             cfg: *cfg,
+            bit_depth,
+            half,
+            energy_shift: threshold_shift(bit_depth),
             x: 0,
             y: 0,
             pixels: 0,
@@ -240,6 +239,11 @@ impl<S: BitSink> HwEncoder<S> {
     /// Width of the lines this encoder consumes.
     pub fn width(&self) -> usize {
         self.buffers.width()
+    }
+
+    /// Sample bit depth of the pixel stream.
+    pub fn bit_depth(&self) -> u8 {
+        self.bit_depth
     }
 
     /// Borrows the bit sink (e.g. to poll a streaming sink for I/O errors).
@@ -273,7 +277,14 @@ impl<S: BitSink> HwEncoder<S> {
     /// Line 2 stages (a)–(e) build the prediction and contexts from the
     /// line buffers; Line 1 stages (a)–(d) form, map, and code the error
     /// and write back the model state.
-    pub fn push_pixel(&mut self, value: u8) {
+    pub fn push_pixel(&mut self, value: u16) {
+        // A hard check: an oversized sample would silently wrap modulo the
+        // sample range downstream and break the losslessness contract.
+        assert!(
+            i32::from(value) < 2 * self.half,
+            "sample {value} exceeds the {}-bit range",
+            self.bit_depth
+        );
         let x = self.x;
         let y = self.y;
 
@@ -283,13 +294,13 @@ impl<S: BitSink> HwEncoder<S> {
         // (b) gradients
         let g = Gradients::compute(&nb);
         // (c) primary prediction + quantized coding context
-        let x_hat = gap_predict(&nb, g);
+        let x_hat = gap_predict(&nb, g, self.bit_depth);
         let e_w = i32::from(if x > 0 {
             self.abs_err[x - 1]
         } else {
             self.abs_err[0]
         });
-        let qe = usize::from(quantize_energy(error_energy(g, e_w)));
+        let qe = usize::from(quantize_energy(error_energy(g, e_w) >> self.energy_shift));
         // (d) texture pattern + compound context index
         let t = texture_pattern(&nb, x_hat, u32::from(self.cfg.texture_bits));
         let ctx = (qe << self.cfg.texture_bits) | usize::from(t);
@@ -299,19 +310,20 @@ impl<S: BitSink> HwEncoder<S> {
         } else {
             0
         };
-        let x_tilde = (x_hat + e_bar).clamp(0, 255);
+        let x_tilde = (x_hat + e_bar).clamp(0, 2 * self.half - 1);
 
         // ---- Line 1: error formation and coding ----
         // (a) prediction error
-        let wrapped = wrap_error(i32::from(value) - x_tilde);
+        let wrapped = wrap_error(i32::from(value) - x_tilde, self.half);
         // (c) map error; estimator + binary arithmetic coder
-        self.coder.encode(&mut self.ac, qe, fold(wrapped));
+        self.coder
+            .encode(&mut self.ac, qe, fold(wrapped, self.half));
         // (b) update sum/count in the compound context
         if self.cfg.error_feedback {
             self.store.update(ctx, wrapped);
         }
         // (d) update coding-context inputs for the next pixel
-        self.abs_err[x] = wrapped.unsigned_abs().min(255) as u8;
+        self.abs_err[x] = wrapped.unsigned_abs().min(u32::from(u16::MAX)) as u16;
 
         // Reconstruction write-back into the line buffer (lossless: the
         // reconstructed pixel equals the input).
@@ -346,7 +358,7 @@ impl<S: BitSink> HwEncoder<S> {
 ///
 /// let img = CorpusImage::Zelda.generate(24, 24);
 /// let cfg = CodecConfig::default();
-/// let stream = HwEncoder::encode_image(&img, &cfg);
+/// let stream = HwEncoder::encode_image(img.view(), &cfg);
 /// let mut dec = HwDecoder::new(&stream, 24, &cfg);
 /// for y in 0..24 {
 ///     for x in 0..24 {
@@ -358,46 +370,60 @@ impl<S: BitSink> HwEncoder<S> {
 pub struct HwDecoder<S> {
     buffers: LineBuffers,
     store: ContextStore,
-    abs_err: Vec<u8>,
-    coder: SymbolCoder,
+    abs_err: Vec<u16>,
+    coder: SampleCoder,
     ac: BinaryDecoder<S>,
     cfg: CodecConfig,
+    bit_depth: u8,
+    half: i32,
+    energy_shift: u32,
     x: usize,
     y: usize,
 }
 
 impl<'a> HwDecoder<BitReader<'a>> {
-    /// Creates a streaming decoder over `stream` for `width`-pixel lines.
+    /// Creates a streaming decoder over `stream` for `width`-pixel 8-bit
+    /// lines.
     ///
     /// # Panics
     ///
     /// Panics if `width` is zero or the configuration is invalid.
     pub fn new(stream: &'a [u8], width: usize, cfg: &CodecConfig) -> Self {
-        Self::with_source(BitReader::new(stream), width, cfg)
+        Self::with_source(BitReader::new(stream), width, 8, cfg)
     }
 
-    /// Convenience: decode a whole image through the hardware model.
+    /// Convenience: decode a whole 8-bit image through the hardware model.
     pub fn decode_image(stream: &'a [u8], width: usize, height: usize, cfg: &CodecConfig) -> Image {
         let mut dec = Self::new(stream, width, cfg);
-        Image::from_fn(width, height, |_, _| dec.next_pixel())
+        Image::from_fn16(width, height, 8, |_, _| dec.next_pixel())
     }
 }
 
 impl<S: BitSource> HwDecoder<S> {
     /// Creates a streaming decoder reading code bits from an arbitrary
-    /// [`BitSource`] for `width`-pixel lines.
+    /// [`BitSource`] for `width`-pixel lines of the given sample depth.
     ///
     /// # Panics
     ///
-    /// Panics if `width` is zero or the configuration is invalid.
-    pub fn with_source(source: S, width: usize, cfg: &CodecConfig) -> Self {
+    /// Panics if `width` is zero, the depth is outside `1..=16`, or the
+    /// configuration is invalid.
+    pub fn with_source(source: S, width: usize, bit_depth: u8, cfg: &CodecConfig) -> Self {
+        let half = half_for_depth(bit_depth);
         Self {
-            buffers: LineBuffers::new(width),
-            store: ContextStore::new(cfg.compound_contexts(), cfg.division, cfg.aging),
+            buffers: LineBuffers::with_depth(width, bit_depth),
+            store: ContextStore::with_max_err(
+                cfg.compound_contexts(),
+                cfg.division,
+                cfg.aging,
+                half,
+            ),
             abs_err: vec![0; width],
-            coder: SymbolCoder::new(CODING_CONTEXTS, cfg.estimator),
+            coder: SampleCoder::new(CODING_CONTEXTS, bit_depth, cfg.estimator),
             ac: BinaryDecoder::new(source),
             cfg: *cfg,
+            bit_depth,
+            half,
+            energy_shift: threshold_shift(bit_depth),
             x: 0,
             y: 0,
         }
@@ -410,18 +436,18 @@ impl<S: BitSource> HwDecoder<S> {
     }
 
     /// Decodes and returns the next raster-scan pixel.
-    pub fn next_pixel(&mut self) -> u8 {
+    pub fn next_pixel(&mut self) -> u16 {
         let x = self.x;
         let y = self.y;
         let nb = self.buffers.neighborhood(x, y);
         let g = Gradients::compute(&nb);
-        let x_hat = gap_predict(&nb, g);
+        let x_hat = gap_predict(&nb, g, self.bit_depth);
         let e_w = i32::from(if x > 0 {
             self.abs_err[x - 1]
         } else {
             self.abs_err[0]
         });
-        let qe = usize::from(quantize_energy(error_energy(g, e_w)));
+        let qe = usize::from(quantize_energy(error_energy(g, e_w) >> self.energy_shift));
         let t = texture_pattern(&nb, x_hat, u32::from(self.cfg.texture_bits));
         let ctx = (qe << self.cfg.texture_bits) | usize::from(t);
         let e_bar = if self.cfg.error_feedback {
@@ -429,15 +455,15 @@ impl<S: BitSource> HwDecoder<S> {
         } else {
             0
         };
-        let x_tilde = (x_hat + e_bar).clamp(0, 255);
+        let x_tilde = (x_hat + e_bar).clamp(0, 2 * self.half - 1);
 
         let wrapped = crate::remap::unfold(self.coder.decode(&mut self.ac, qe));
-        let value = crate::remap::reconstruct(x_tilde, wrapped);
+        let value = crate::remap::reconstruct(x_tilde, wrapped, self.half);
 
         if self.cfg.error_feedback {
             self.store.update(ctx, wrapped);
         }
-        self.abs_err[x] = wrapped.unsigned_abs().min(255) as u8;
+        self.abs_err[x] = wrapped.unsigned_abs().min(u32::from(u16::MAX)) as u16;
         self.buffers.push(x, value);
         self.x += 1;
         if self.x == self.buffers.width() {
@@ -456,8 +482,8 @@ mod tests {
     use cbic_image::corpus::CorpusImage;
 
     fn assert_equivalent(img: &Image, cfg: &CodecConfig) {
-        let (reference, _) = encode_raw(img, cfg);
-        let hw = HwEncoder::encode_image(img, cfg);
+        let (reference, _) = encode_raw(img.view(), cfg);
+        let hw = HwEncoder::encode_image(img.view(), cfg);
         assert_eq!(
             hw, reference,
             "hardware model diverged from the software reference"
@@ -477,6 +503,17 @@ mod tests {
         let cfg = CodecConfig::default();
         for (w, h) in [(1, 1), (1, 9), (9, 1), (3, 3), (17, 2), (2, 17)] {
             let img = Image::from_fn(w, h, |x, y| (x * 73 + y * 31) as u8);
+            assert_equivalent(&img, &cfg);
+        }
+    }
+
+    #[test]
+    fn equivalent_on_deep_samples() {
+        let cfg = CodecConfig::default();
+        for depth in [10u8, 12, 16] {
+            let img = Image::from_fn16(24, 24, depth, |x, y| {
+                ((x as u32 * 523 + y as u32 * 7919) % (1u32 << depth.min(15))) as u16
+            });
             assert_equivalent(&img, &cfg);
         }
     }
@@ -506,8 +543,8 @@ mod tests {
     fn stream_decodes_with_the_standard_decoder() {
         let img = CorpusImage::Lena.generate(40, 40);
         let cfg = CodecConfig::default();
-        let hw = HwEncoder::encode_image(&img, &cfg);
-        let back = crate::codec::decode_raw(&hw, 40, 40, &cfg);
+        let hw = HwEncoder::encode_image(img.view(), &cfg);
+        let back = crate::codec::decode_raw(&hw, 40, 40, 8, &cfg);
         assert_eq!(back, img);
     }
 
@@ -516,18 +553,18 @@ mod tests {
         // Full cross-matrix: {sw, hw} encoder x {sw, hw} decoder.
         let img = CorpusImage::Goldhill.generate(32, 32);
         let cfg = CodecConfig::default();
-        let (sw_stream, _) = encode_raw(&img, &cfg);
-        let hw_stream = HwEncoder::encode_image(&img, &cfg);
+        let (sw_stream, _) = encode_raw(img.view(), &cfg);
+        let hw_stream = HwEncoder::encode_image(img.view(), &cfg);
         assert_eq!(sw_stream, hw_stream);
         assert_eq!(HwDecoder::decode_image(&sw_stream, 32, 32, &cfg), img);
-        assert_eq!(crate::codec::decode_raw(&hw_stream, 32, 32, &cfg), img);
+        assert_eq!(crate::codec::decode_raw(&hw_stream, 32, 32, 8, &cfg), img);
     }
 
     #[test]
     fn hw_decoder_streams_pixel_by_pixel() {
         let img = CorpusImage::Mandrill.generate(16, 16);
         let cfg = CodecConfig::default();
-        let stream = HwEncoder::encode_image(&img, &cfg);
+        let stream = HwEncoder::encode_image(img.view(), &cfg);
         let mut dec = HwDecoder::new(&stream, 16, &cfg);
         // Interleave decoding with position checks: truly streaming.
         for y in 0..16 {
@@ -538,9 +575,22 @@ mod tests {
     }
 
     #[test]
+    fn sixteen_bit_stream_roundtrips_through_hw_pair() {
+        let cfg = CodecConfig::default();
+        let img = Image::from_fn16(20, 20, 16, |x, y| (x * 3001 + y * 17) as u16);
+        let stream = HwEncoder::encode_image(img.view(), &cfg);
+        let mut dec = HwDecoder::with_source(BitReader::new(&stream), 20, 16, &cfg);
+        for y in 0..20 {
+            for x in 0..20 {
+                assert_eq!(dec.next_pixel(), img.get(x, y), "at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
     fn line_buffers_rotate_without_copies() {
         let mut b = LineBuffers::new(4);
-        for v in [10u8, 11, 12, 13] {
+        for v in [10u16, 11, 12, 13] {
             b.push(0, v);
             b.push(1, v);
             b.push(2, v);
@@ -551,6 +601,13 @@ mod tests {
         assert_eq!(b.row(1), &[13, 13, 13, 13]);
         assert_eq!(b.row(2), &[12, 12, 12, 12]);
         assert_eq!(b.rows_done(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 10-bit range")]
+    fn push_pixel_rejects_samples_beyond_the_depth() {
+        let mut hw = HwEncoder::with_sink(4, 10, &CodecConfig::default(), BitWriter::new());
+        hw.push_pixel(1500);
     }
 
     #[test]
@@ -574,7 +631,7 @@ mod tests {
             for x in 0..16 {
                 assert_eq!(
                     b.neighborhood(x, y),
-                    Neighborhood::fetch(&img, x, y),
+                    Neighborhood::fetch(&img.view(), x, y),
                     "at ({x},{y})"
                 );
                 b.push(x, img.get(x, y));

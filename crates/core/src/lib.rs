@@ -18,14 +18,17 @@
 //! 4. **Error feedback**: the context's running error mean
 //!    `ē = sum / count` (5-bit count, 13-bit + sign sum, LUT division,
 //!    overflow-guard aging) corrects the prediction: `X̃ = X̂ + ē`.
-//! 5. **Error mapping**: `e = X − X̃` is wrapped mod 256 and zig-zag folded
-//!    into the `0..=255` alphabet ([`remap`]).
+//! 5. **Error mapping**: `e = X − X̃` is wrapped mod `2ⁿ` and zig-zag
+//!    folded into the `0..2ⁿ` alphabet ([`remap`]).
 //! 6. **Entropy coding**: the folded error is coded by the `QE`-th dynamic
 //!    tree of the probability estimator through the binary arithmetic coder
-//!    (`cbic-arith`).
+//!    (`cbic-arith`); depths above 8 bits factor the alphabet into a
+//!    high-bits bank plus the 8-bit low byte
+//!    ([`SampleCoder`](codec::SampleCoder)).
 //!
 //! The decoder runs the identical model on the reconstructed pixels, so
-//! compression is fully lossless.
+//! compression is fully lossless. Pixels flow in as zero-copy
+//! [`ImageView`](cbic_image::ImageView)s at any 8–16-bit depth.
 //!
 //! # Examples
 //!
@@ -34,7 +37,7 @@
 //! use cbic_image::corpus::CorpusImage;
 //!
 //! let img = CorpusImage::Lena.generate(64, 64);
-//! let bytes = compress(&img, &CodecConfig::default());
+//! let bytes = compress(img.view(), &CodecConfig::default());
 //! let restored = decompress(&bytes)?;
 //! assert_eq!(img, restored);
 //! # Ok::<(), cbic_core::CodecError>(())

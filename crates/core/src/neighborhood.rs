@@ -11,13 +11,19 @@
 //! encoder side, reconstruction on the decoder side — identical for a
 //! lossless codec). Missing neighbours outside the image replicate the
 //! nearest available causal pixel, and the very first pixel falls back to
-//! mid-gray (128); both sides apply the same rules, so no side information
-//! is needed.
+//! mid-gray (`2^(n-1)` at an `n`-bit depth, i.e. 128 for 8-bit); both
+//! sides apply the same rules, so no side information is needed.
+//!
+//! The hot-path constructor is [`Neighborhood::from_rows`], which reads
+//! straight from the three row slices a raster-order codec already holds —
+//! no per-pixel coordinate arithmetic, no bounds re-checks per neighbour.
+//! [`Neighborhood::fetch`] is the random-access convenience over an
+//! [`ImageView`].
 
-use cbic_image::Image;
+use cbic_image::ImageView;
 
 /// The seven causal neighbours of the current pixel, in the paper's
-/// notation (Fig. 2).
+/// notation (Fig. 2). Samples are `u16` so 8–16-bit depths share one type.
 ///
 /// # Examples
 ///
@@ -26,67 +32,72 @@ use cbic_image::Image;
 /// use cbic_image::Image;
 ///
 /// let img = Image::from_fn(4, 4, |x, y| (y * 4 + x) as u8);
-/// let n = Neighborhood::fetch(&img, 2, 2);
+/// let n = Neighborhood::fetch(&img.view(), 2, 2);
 /// assert_eq!(n.w, img.get(1, 2));
 /// assert_eq!(n.nne, img.get(3, 0));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Neighborhood {
     /// West: `(x-1, y)`.
-    pub w: u8,
+    pub w: u16,
     /// West-west: `(x-2, y)`.
-    pub ww: u8,
+    pub ww: u16,
     /// North: `(x, y-1)`.
-    pub n: u8,
+    pub n: u16,
     /// North-north: `(x, y-2)`.
-    pub nn: u8,
+    pub nn: u16,
     /// North-east: `(x+1, y-1)`.
-    pub ne: u8,
+    pub ne: u16,
     /// North-west: `(x-1, y-1)`.
-    pub nw: u8,
+    pub nw: u16,
     /// North-north-east: `(x+1, y-2)`.
-    pub nne: u8,
+    pub nne: u16,
 }
 
 impl Neighborhood {
-    /// Fetches the neighbourhood of `(x, y)` from the causal region of
-    /// `img`, applying the boundary replication rules described in the
-    /// [module documentation](self).
+    /// Builds the neighbourhood of column `x` from the three row slices a
+    /// raster-order codec holds: `cur` (the row being coded, causal up to
+    /// `x`), `n1` (one row up, `None` on the first row), and `n2` (two rows
+    /// up, `None` on the first two rows), applying the boundary replication
+    /// rules of the [module documentation](self). `mid` is the first-pixel
+    /// fallback (`2^(n-1)`).
     ///
-    /// Only pixels *before* `(x, y)` in raster order are read, so this is
-    /// safe to call on a partially reconstructed image during decoding.
+    /// This is the row-slice fast path: one bounds-checked index per
+    /// neighbour, no `y * stride` multiplications.
     ///
     /// # Panics
     ///
-    /// Panics if `(x, y)` is outside the image.
-    pub fn fetch(img: &Image, x: usize, y: usize) -> Self {
-        let (width, height) = img.dimensions();
-        assert!(x < width && y < height, "pixel out of bounds");
-        // Fallback chain: W ← N ← 128 for the origin.
+    /// Panics (via slice indexing) if `x` is outside the rows.
+    #[inline]
+    pub fn from_rows(
+        cur: &[u16],
+        n1: Option<&[u16]>,
+        n2: Option<&[u16]>,
+        x: usize,
+        mid: u16,
+    ) -> Self {
+        let width = cur.len();
         let w = if x >= 1 {
-            img.get(x - 1, y)
-        } else if y >= 1 {
-            img.get(x, y - 1)
+            cur[x - 1]
+        } else if let Some(n1) = n1 {
+            n1[x]
         } else {
-            128
+            mid
         };
-        let ww = if x >= 2 { img.get(x - 2, y) } else { w };
-        let n = if y >= 1 { img.get(x, y - 1) } else { w };
-        let nn = if y >= 2 { img.get(x, y - 2) } else { n };
-        let nw = if x >= 1 && y >= 1 {
-            img.get(x - 1, y - 1)
-        } else {
-            n
+        let ww = if x >= 2 { cur[x - 2] } else { w };
+        let n = n1.map_or(w, |n1| n1[x]);
+        let nn = n2.map_or(n, |n2| n2[x]);
+        let nw = match n1 {
+            Some(n1) if x >= 1 => n1[x - 1],
+            _ => n,
         };
-        let ne = if x + 1 < width && y >= 1 {
-            img.get(x + 1, y - 1)
-        } else {
-            n
+        let ne = match n1 {
+            Some(n1) if x + 1 < width => n1[x + 1],
+            _ => n,
         };
-        let nne = if x + 1 < width && y >= 2 {
-            img.get(x + 1, y - 2)
-        } else {
-            ne
+        let nne = match n2 {
+            Some(n2) if x + 1 < width => n2[x + 1],
+            _ => ne,
         };
         Self {
             w,
@@ -98,11 +109,31 @@ impl Neighborhood {
             nne,
         }
     }
+
+    /// Fetches the neighbourhood of `(x, y)` from the causal region of
+    /// `img` — the random-access convenience over [`Self::from_rows`].
+    ///
+    /// Only pixels *before* `(x, y)` in raster order are read, so this is
+    /// safe to call on a partially reconstructed image during decoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is outside the view.
+    pub fn fetch(img: &ImageView<'_>, x: usize, y: usize) -> Self {
+        let (width, height) = img.dimensions();
+        assert!(x < width && y < height, "pixel out of bounds");
+        let cur = img.row(y);
+        let n1 = (y >= 1).then(|| img.row(y - 1));
+        let n2 = (y >= 2).then(|| img.row(y - 2));
+        let mid = (u32::from(img.max_val()).div_ceil(2)) as u16;
+        Self::from_rows(cur, n1, n2, x, mid)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cbic_image::Image;
 
     fn img4() -> Image {
         // 0  1  2  3
@@ -112,9 +143,13 @@ mod tests {
         Image::from_fn(4, 4, |x, y| (y * 4 + x) as u8)
     }
 
+    fn fetch(img: &Image, x: usize, y: usize) -> Neighborhood {
+        Neighborhood::fetch(&img.view(), x, y)
+    }
+
     #[test]
     fn interior_pixel_reads_all_seven() {
-        let n = Neighborhood::fetch(&img4(), 2, 2);
+        let n = fetch(&img4(), 2, 2);
         assert_eq!(
             n,
             Neighborhood {
@@ -131,7 +166,7 @@ mod tests {
 
     #[test]
     fn origin_is_all_midgray() {
-        let n = Neighborhood::fetch(&img4(), 0, 0);
+        let n = fetch(&img4(), 0, 0);
         assert_eq!(
             n,
             Neighborhood {
@@ -147,8 +182,16 @@ mod tests {
     }
 
     #[test]
+    fn sixteen_bit_origin_uses_scaled_midgray() {
+        let img = Image::from_fn16(2, 2, 16, |x, y| (x * 1000 + y) as u16);
+        let n = Neighborhood::fetch(&img.view(), 0, 0);
+        assert_eq!(n.w, 32768);
+        assert_eq!(n.nne, 32768);
+    }
+
+    #[test]
     fn first_row_replicates_west() {
-        let n = Neighborhood::fetch(&img4(), 2, 0);
+        let n = fetch(&img4(), 2, 0);
         assert_eq!(n.w, 1);
         assert_eq!(n.ww, 0);
         // No row above: N, NN, NE, NW, NNE all collapse to W.
@@ -161,7 +204,7 @@ mod tests {
 
     #[test]
     fn first_column_replicates_north() {
-        let n = Neighborhood::fetch(&img4(), 0, 2);
+        let n = fetch(&img4(), 0, 2);
         assert_eq!(n.n, 4);
         assert_eq!(n.w, 4, "W falls back to N in column 0");
         assert_eq!(n.ww, 4);
@@ -173,7 +216,7 @@ mod tests {
 
     #[test]
     fn last_column_replicates_ne() {
-        let n = Neighborhood::fetch(&img4(), 3, 2);
+        let n = fetch(&img4(), 3, 2);
         assert_eq!(n.ne, 7, "NE off the right edge falls back to N");
         assert_eq!(n.n, 7);
         assert_eq!(n.nne, 7, "NNE follows NE's fallback");
@@ -181,7 +224,7 @@ mod tests {
 
     #[test]
     fn second_row_has_no_nn() {
-        let n = Neighborhood::fetch(&img4(), 1, 1);
+        let n = fetch(&img4(), 1, 1);
         assert_eq!(n.nn, 1, "NN falls back to N");
         assert_eq!(n.nne, 2, "NNE falls back to NE");
     }
@@ -194,12 +237,46 @@ mod tests {
         let mut b = img4();
         b.set(3, 2, 99);
         b.set(0, 3, 77);
-        assert_eq!(Neighborhood::fetch(&a, 2, 2), Neighborhood::fetch(&b, 2, 2));
+        assert_eq!(fetch(&a, 2, 2), fetch(&b, 2, 2));
+    }
+
+    #[test]
+    fn from_rows_agrees_with_fetch_everywhere() {
+        let img = img4();
+        let v = img.view();
+        for y in 0..4 {
+            let cur = v.row(y);
+            let n1 = (y >= 1).then(|| v.row(y - 1));
+            let n2 = (y >= 2).then(|| v.row(y - 2));
+            for x in 0..4 {
+                assert_eq!(
+                    Neighborhood::from_rows(cur, n1, n2, x, 128),
+                    fetch(&img, x, y),
+                    "at ({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strided_views_fetch_like_owned_copies() {
+        let img = Image::from_fn(8, 8, |x, y| (x * 31 + y * 7) as u8);
+        let window = img.view().crop(2, 3, 5, 4);
+        let copy = window.to_image();
+        for y in 0..4 {
+            for x in 0..5 {
+                assert_eq!(
+                    Neighborhood::fetch(&window, x, y),
+                    Neighborhood::fetch(&copy.view(), x, y),
+                    "at ({x},{y})"
+                );
+            }
+        }
     }
 
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn out_of_bounds_panics() {
-        let _ = Neighborhood::fetch(&img4(), 4, 0);
+        let _ = fetch(&img4(), 4, 0);
     }
 }

@@ -5,14 +5,19 @@
 //! shifting so it maps directly onto the FPGA datapath. We use CALIC's
 //! published edge thresholds (80 for sharp edges, 32/8 for weak edges);
 //! every arithmetic step below is realizable as adds and shifts.
+//!
+//! The thresholds are calibrated to 8-bit intensity steps; for deeper
+//! samples they are scaled by `2^(n-8)` (one barrel shift), so edge
+//! classification behaves identically on an image and on its bit-shifted
+//! deep copy, and the 8-bit path is bit-exact to the original.
 
 use crate::neighborhood::Neighborhood;
 
 /// Local gradient magnitudes, the paper's `dh` and `dv`.
 ///
 /// `dh` accumulates horizontal intensity differences, `dv` vertical ones;
-/// both are sums of three absolute differences of 8-bit pixels, so they fit
-/// in 10 bits (0..=765).
+/// both are sums of three absolute differences of `n`-bit pixels, so they
+/// fit in `n + 2` bits (0..=765 for the paper's 8-bit samples).
 ///
 /// # Examples
 ///
@@ -36,7 +41,7 @@ impl Gradients {
     /// Computes `dh`/`dv` from the causal neighbourhood.
     #[inline]
     pub fn compute(n: &Neighborhood) -> Self {
-        let d = |a: u8, b: u8| (i32::from(a) - i32::from(b)).abs();
+        let d = |a: u16, b: u16| (i32::from(a) - i32::from(b)).abs();
         Self {
             dh: d(n.w, n.ww) + d(n.n, n.nw) + d(n.n, n.ne),
             dv: d(n.w, n.nw) + d(n.n, n.nn) + d(n.ne, n.nne),
@@ -44,19 +49,28 @@ impl Gradients {
     }
 }
 
-/// CALIC's sharp-edge threshold.
+/// CALIC's sharp-edge threshold (8-bit scale).
 const T_SHARP: i32 = 80;
-/// CALIC's strong-edge threshold.
+/// CALIC's strong-edge threshold (8-bit scale).
 const T_STRONG: i32 = 32;
-/// CALIC's weak-edge threshold.
+/// CALIC's weak-edge threshold (8-bit scale).
 const T_WEAK: i32 = 8;
 
-/// The gradient-adjusted primary prediction `X̂`, before error feedback.
+/// Threshold scale shift for an `n`-bit depth: thresholds grow by
+/// `2^(n-8)` so they keep their meaning in deeper intensity ranges
+/// (no-op at 8 bits and below).
+#[inline]
+pub fn threshold_shift(bit_depth: u8) -> u32 {
+    u32::from(bit_depth.saturating_sub(8))
+}
+
+/// The gradient-adjusted primary prediction `X̂`, before error feedback,
+/// for samples of the given bit depth.
 ///
 /// Pure shift-and-add datapath: a sharp horizontal edge predicts `W`, a
 /// sharp vertical edge predicts `N`, and in between the base prediction
 /// `(W+N)/2 + (NE−NW)/4` is blended towards `W` or `N` according to the
-/// gradient difference. The result is clamped to the 8-bit pixel range.
+/// gradient difference. The result is clamped to the `n`-bit pixel range.
 ///
 /// # Examples
 ///
@@ -65,44 +79,52 @@ const T_WEAK: i32 = 8;
 /// use cbic_core::predictor::{gap_predict, Gradients};
 ///
 /// let flat = Neighborhood { w: 50, ww: 50, n: 50, nn: 50, ne: 50, nw: 50, nne: 50 };
-/// assert_eq!(gap_predict(&flat, Gradients::compute(&flat)), 50);
+/// assert_eq!(gap_predict(&flat, Gradients::compute(&flat), 8), 50);
+///
+/// let deep = Neighborhood {
+///     w: 50_000, ww: 50_000, n: 50_000, nn: 50_000,
+///     ne: 50_000, nw: 50_000, nne: 50_000,
+/// };
+/// assert_eq!(gap_predict(&deep, Gradients::compute(&deep), 16), 50_000);
 /// ```
 #[inline]
-pub fn gap_predict(n: &Neighborhood, g: Gradients) -> i32 {
+pub fn gap_predict(n: &Neighborhood, g: Gradients, bit_depth: u8) -> i32 {
+    let shift = threshold_shift(bit_depth);
+    let max_val = i32::from(cbic_image::max_val_for(bit_depth));
     let w = i32::from(n.w);
     let nn = i32::from(n.n);
     let ne = i32::from(n.ne);
     let nw = i32::from(n.nw);
 
     let diff = g.dv - g.dh;
-    let pred = if diff > T_SHARP {
+    let pred = if diff > T_SHARP << shift {
         // Sharp horizontal edge: vertical gradient dominates.
         w
-    } else if diff < -T_SHARP {
+    } else if diff < -(T_SHARP << shift) {
         // Sharp vertical edge.
         nn
     } else {
         let base = (w + nn) / 2 + (ne - nw) / 4;
-        if diff > T_STRONG {
+        if diff > T_STRONG << shift {
             (base + w) / 2
-        } else if diff > T_WEAK {
+        } else if diff > T_WEAK << shift {
             (3 * base + w) / 4
-        } else if diff < -T_STRONG {
+        } else if diff < -(T_STRONG << shift) {
             (base + nn) / 2
-        } else if diff < -T_WEAK {
+        } else if diff < -(T_WEAK << shift) {
             (3 * base + nn) / 4
         } else {
             base
         }
     };
-    pred.clamp(0, 255)
+    pred.clamp(0, max_val)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn nb(w: u8, ww: u8, n: u8, nn: u8, ne: u8, nw: u8, nne: u8) -> Neighborhood {
+    fn nb(w: u16, ww: u16, n: u16, nn: u16, ne: u16, nw: u16, nne: u16) -> Neighborhood {
         Neighborhood {
             w,
             ww,
@@ -116,11 +138,11 @@ mod tests {
 
     #[test]
     fn flat_region_predicts_the_constant() {
-        for v in [0u8, 1, 127, 255] {
+        for v in [0u16, 1, 127, 255] {
             let n = nb(v, v, v, v, v, v, v);
             let g = Gradients::compute(&n);
             assert_eq!(g, Gradients { dh: 0, dv: 0 });
-            assert_eq!(gap_predict(&n, g), i32::from(v));
+            assert_eq!(gap_predict(&n, g, 8), i32::from(v));
         }
     }
 
@@ -131,7 +153,7 @@ mod tests {
         let n = nb(200, 200, 50, 50, 50, 50, 50);
         let g = Gradients::compute(&n);
         assert!(g.dv - g.dh > T_SHARP, "dv={} dh={}", g.dv, g.dh);
-        assert_eq!(gap_predict(&n, g), 200);
+        assert_eq!(gap_predict(&n, g, 8), 200);
     }
 
     #[test]
@@ -141,7 +163,7 @@ mod tests {
         let n = nb(200, 200, 50, 50, 50, 200, 50);
         let g = Gradients::compute(&n);
         assert!(g.dh - g.dv > T_SHARP, "dv={} dh={}", g.dv, g.dh);
-        assert_eq!(gap_predict(&n, g), 50);
+        assert_eq!(gap_predict(&n, g, 8), 50);
     }
 
     #[test]
@@ -149,7 +171,7 @@ mod tests {
         // Gentle ramp: prediction should interpolate between W and N.
         let n = nb(100, 98, 104, 106, 106, 102, 108);
         let g = Gradients::compute(&n);
-        let p = gap_predict(&n, g);
+        let p = gap_predict(&n, g, 8);
         let base = (100 + 104) / 2 + (106 - 102) / 4;
         assert_eq!(p, base);
         assert!((100..=106).contains(&p));
@@ -166,7 +188,7 @@ mod tests {
             g.dv - g.dh
         );
         let base = (100 + 110) / 2; // (NE - NW) / 4 contributes nothing here
-        assert_eq!(gap_predict(&n, g), (3 * base + 100) / 4);
+        assert_eq!(gap_predict(&n, g, 8), (3 * base + 100) / 4);
     }
 
     #[test]
@@ -180,29 +202,67 @@ mod tests {
             g.dv - g.dh
         );
         let base = (100 + 130) / 2;
-        assert_eq!(gap_predict(&n, g), (base + 100) / 2);
+        assert_eq!(gap_predict(&n, g, 8), (base + 100) / 2);
+    }
+
+    #[test]
+    fn deep_edges_classify_like_scaled_eight_bit_ones() {
+        // An 8-bit neighbourhood and its 256x-scaled 16-bit copy must pick
+        // the same predictor branch: thresholds scale with the depth.
+        let cases = [
+            nb(200, 200, 50, 50, 50, 50, 50),      // sharp horizontal
+            nb(200, 200, 50, 50, 50, 200, 50),     // sharp vertical
+            nb(100, 100, 110, 120, 110, 110, 120), // weak
+            nb(100, 98, 104, 106, 106, 102, 108),  // planar
+        ];
+        for c in cases {
+            let scale = |v: u16| v << 8;
+            let deep = nb(
+                scale(c.w),
+                scale(c.ww),
+                scale(c.n),
+                scale(c.nn),
+                scale(c.ne),
+                scale(c.nw),
+                scale(c.nne),
+            );
+            let p8 = gap_predict(&c, Gradients::compute(&c), 8);
+            let p16 = gap_predict(&deep, Gradients::compute(&deep), 16);
+            // The scaled prediction keeps fractional precision the 8-bit
+            // path truncated away, so compare at 8-bit resolution.
+            assert_eq!(p16 >> 8, p8, "{c:?}");
+        }
     }
 
     #[test]
     fn prediction_is_always_in_pixel_range() {
         // Exhaustive-ish sweep over extreme corners.
-        let vals = [0u8, 1, 127, 128, 254, 255];
+        let vals = [0u16, 1, 127, 128, 254, 255];
         for &w in &vals {
             for &n_ in &vals {
                 for &ne in &vals {
                     for &nw in &vals {
                         let n = nb(w, w, n_, n_, ne, nw, ne);
                         let g = Gradients::compute(&n);
-                        let p = gap_predict(&n, g);
+                        let p = gap_predict(&n, g, 8);
                         assert!((0..=255).contains(&p), "pred {p} out of range");
                     }
                 }
             }
         }
+        let deep = [0u16, 1, 32767, 32768, 65534, 65535];
+        for &w in &deep {
+            for &n_ in &deep {
+                let n = nb(w, w, n_, n_, n_, w, n_);
+                let g = Gradients::compute(&n);
+                let p = gap_predict(&n, g, 16);
+                assert!((0..=65535).contains(&p), "pred {p} out of 16-bit range");
+            }
+        }
     }
 
     #[test]
-    fn gradients_fit_ten_bits() {
+    fn gradients_fit_ten_bits_at_eight_bit_depth() {
         let n = nb(255, 0, 0, 255, 255, 0, 0);
         let g = Gradients::compute(&n);
         assert!(g.dh <= 765 && g.dv <= 765);

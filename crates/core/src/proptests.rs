@@ -1,5 +1,6 @@
 //! Property-based tests for the codec: losslessness is the headline
-//! invariant, under arbitrary images *and* arbitrary configurations.
+//! invariant, under arbitrary images, arbitrary configurations, and
+//! arbitrary sample depths.
 
 use proptest::prelude::*;
 
@@ -13,6 +14,21 @@ fn arb_image() -> impl Strategy<Value = Image> {
     (1usize..24, 1usize..24).prop_flat_map(|(w, h)| {
         proptest::collection::vec(any::<u8>(), w * h)
             .prop_map(move |data| Image::from_vec(w, h, data).expect("sized to match"))
+    })
+}
+
+/// Arbitrary images at arbitrary 9–16-bit depths, samples masked to fit.
+fn arb_deep_image() -> impl Strategy<Value = Image> {
+    (1usize..16, 1usize..16, 9u8..=16).prop_flat_map(|(w, h, depth)| {
+        proptest::collection::vec(any::<u16>(), w * h).prop_map(move |data| {
+            let mask = if depth == 16 {
+                u16::MAX
+            } else {
+                (1u16 << depth) - 1
+            };
+            let data = data.into_iter().map(|v| v & mask).collect();
+            Image::from_samples(w, h, depth, data).expect("masked to depth")
+        })
     })
 }
 
@@ -50,25 +66,44 @@ proptest! {
     #[test]
     fn roundtrip_arbitrary_images(img in arb_image()) {
         let cfg = CodecConfig::default();
-        let (bytes, stats) = encode_raw(&img, &cfg);
+        let (bytes, stats) = encode_raw(img.view(), &cfg);
         prop_assert_eq!(stats.pixels as usize, img.pixel_count());
-        let back = decode_raw(&bytes, img.width(), img.height(), &cfg);
+        let back = decode_raw(&bytes, img.width(), img.height(), 8, &cfg);
+        prop_assert_eq!(back, img);
+    }
+
+    /// Lossless round-trip for arbitrary deep (9–16-bit) content.
+    #[test]
+    fn roundtrip_arbitrary_deep_images(img in arb_deep_image()) {
+        let cfg = CodecConfig::default();
+        let (bytes, _) = encode_raw(img.view(), &cfg);
+        let back = decode_raw(&bytes, img.width(), img.height(), img.bit_depth(), &cfg);
         prop_assert_eq!(back, img);
     }
 
     /// Lossless round-trip under arbitrary configurations.
     #[test]
     fn roundtrip_arbitrary_configs(img in arb_image(), cfg in arb_config()) {
-        let (bytes, _) = encode_raw(&img, &cfg);
-        let back = decode_raw(&bytes, img.width(), img.height(), &cfg);
+        let (bytes, _) = encode_raw(img.view(), &cfg);
+        let back = decode_raw(&bytes, img.width(), img.height(), 8, &cfg);
         prop_assert_eq!(back, img);
     }
 
-    /// The container round-trips and self-describes arbitrary configs.
+    /// The container round-trips and self-describes arbitrary configs,
+    /// at 8-bit and at deep sample depths.
     #[test]
     fn container_roundtrip(img in arb_image(), cfg in arb_config()) {
-        let bytes = compress(&img, &cfg);
+        let bytes = compress(img.view(), &cfg);
         prop_assert_eq!(decompress(&bytes).expect("valid container"), img);
+    }
+
+    /// Deep containers carry their depth and round-trip losslessly.
+    #[test]
+    fn deep_container_roundtrip(img in arb_deep_image(), cfg in arb_config()) {
+        let bytes = compress(img.view(), &cfg);
+        let back = decompress(&bytes).expect("valid container");
+        prop_assert_eq!(back.bit_depth(), img.bit_depth());
+        prop_assert_eq!(back, img);
     }
 
     /// Corrupted headers parse to an error or to a syntactically valid
@@ -81,10 +116,10 @@ proptest! {
         byte in 0usize..23,
         val in any::<u8>(),
     ) {
-        let mut bytes = compress(&img, &CodecConfig::default());
+        let mut bytes = compress(img.view(), &CodecConfig::default());
         bytes[byte] = val;
-        if let Ok((_, w, h, _)) = crate::container::parse_header(&bytes) {
-            if w * h <= 1 << 16 {
+        if let Ok((hdr, _)) = crate::container::parse_header(&bytes) {
+            if hdr.width * hdr.height <= 1 << 16 {
                 let _ = decompress(&bytes); // garbage pixels are fine
             }
         }
@@ -94,10 +129,39 @@ proptest! {
     /// (escape overhead bounds expansion at ~15%).
     #[test]
     fn bounded_expansion(img in arb_image()) {
-        let (bytes, _) = encode_raw(&img, &CodecConfig::default());
+        let (bytes, _) = encode_raw(img.view(), &CodecConfig::default());
         let budget = img.pixel_count() * 8 * 120 / 100 + 64 * 8;
         prop_assert!(bytes.len() * 8 <= budget,
             "{} pixels -> {} bits", img.pixel_count(), bytes.len() * 8);
+    }
+
+    /// Deep-sample expansion stays bounded too: the two-bank estimator
+    /// costs at most ~20% over the raw depth plus flush slack.
+    #[test]
+    fn bounded_expansion_deep(img in arb_deep_image()) {
+        let (bytes, _) = encode_raw(img.view(), &CodecConfig::default());
+        let depth = usize::from(img.bit_depth());
+        let budget = img.pixel_count() * (depth + 2) * 120 / 100 + 64 * 8;
+        prop_assert!(bytes.len() * 8 <= budget,
+            "{} pixels at {depth} bits -> {} bits", img.pixel_count(), bytes.len() * 8);
+    }
+
+    /// Encoding through a strided window is byte-identical to encoding its
+    /// contiguous copy: the bits depend on pixels, never on the stride.
+    #[test]
+    fn strided_views_encode_identically(
+        img in arb_image(),
+        frac in 0u8..4,
+    ) {
+        let (w, h) = img.dimensions();
+        // A window anchored somewhere inside the image.
+        let x0 = (usize::from(frac) * w / 5).min(w - 1);
+        let y0 = (usize::from(frac) * h / 5).min(h - 1);
+        let window = img.view().crop(x0, y0, w - x0, h - y0);
+        let cfg = CodecConfig::default();
+        let (from_view, _) = encode_raw(window, &cfg);
+        let (from_copy, _) = encode_raw(window.to_image().view(), &cfg);
+        prop_assert_eq!(from_view, from_copy);
     }
 
     /// Golden-model equivalence: the hardware-constrained streaming
@@ -105,8 +169,17 @@ proptest! {
     /// algorithmic reference on arbitrary images and configurations.
     #[test]
     fn hwpipe_matches_reference(img in arb_image(), cfg in arb_config()) {
-        let (reference, _) = encode_raw(&img, &cfg);
-        let hw = crate::hwpipe::HwEncoder::encode_image(&img, &cfg);
+        let (reference, _) = encode_raw(img.view(), &cfg);
+        let hw = crate::hwpipe::HwEncoder::encode_image(img.view(), &cfg);
+        prop_assert_eq!(hw, reference);
+    }
+
+    /// The hardware model agrees with the reference at deep depths too.
+    #[test]
+    fn hwpipe_matches_reference_deep(img in arb_deep_image()) {
+        let cfg = CodecConfig::default();
+        let (reference, _) = encode_raw(img.view(), &cfg);
+        let hw = crate::hwpipe::HwEncoder::encode_image(img.view(), &cfg);
         prop_assert_eq!(hw, reference);
     }
 
@@ -115,7 +188,7 @@ proptest! {
     fn tiles_roundtrip(img in arb_image(), tiles in 1usize..8) {
         use crate::tiles::{compress_tiled, decompress_tiled, Parallelism};
         let tiles = tiles.min(img.height());
-        let bytes = compress_tiled(&img, &CodecConfig::default(), tiles, Parallelism::Auto);
+        let bytes = compress_tiled(img.view(), &CodecConfig::default(), tiles, Parallelism::Auto);
         prop_assert_eq!(
             decompress_tiled(&bytes, Parallelism::Auto).expect("valid container"),
             img
@@ -134,8 +207,8 @@ proptest! {
         use crate::tiles::{compress_tiled, decompress_tiled, Parallelism};
         let cfg = CodecConfig::default();
         let tiles = tiles.min(img.height());
-        let seq = compress_tiled(&img, &cfg, tiles, Parallelism::Sequential);
-        let par = compress_tiled(&img, &cfg, tiles, Parallelism::Threads(workers));
+        let seq = compress_tiled(img.view(), &cfg, tiles, Parallelism::Sequential);
+        let par = compress_tiled(img.view(), &cfg, tiles, Parallelism::Threads(workers));
         prop_assert_eq!(&par, &seq, "encode must not depend on the schedule");
         let seq_img = decompress_tiled(&seq, Parallelism::Sequential).expect("valid");
         let par_img = decompress_tiled(&seq, Parallelism::Threads(workers)).expect("valid");
@@ -150,7 +223,7 @@ proptest! {
     #[test]
     fn single_band_tile_vs_untiled_decoder(img in arb_image()) {
         use crate::tiles::{compress_tiled, Parallelism};
-        let bytes = compress_tiled(&img, &CodecConfig::default(), 1, Parallelism::Sequential);
+        let bytes = compress_tiled(img.view(), &CodecConfig::default(), 1, Parallelism::Sequential);
         prop_assert_eq!(decompress(&bytes), Err(crate::CodecError::BadMagic));
         // CBTI magic (4) + tile count (4) + band length prefix (4).
         prop_assert_eq!(decompress(&bytes[12..]).expect("inner container"), img);

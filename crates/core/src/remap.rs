@@ -1,49 +1,65 @@
-//! Prediction-error remapping.
+//! Prediction-error remapping, generalized over the sample bit depth.
 //!
-//! The raw prediction error `e = X − X̃` lies in `[-255, 255]`, but because
-//! the decoder knows `X̃`, only 256 of those values are distinguishable:
-//! `e` can be wrapped modulo 256 into `[-128, 127]` without losing
-//! information. The wrapped error is then zig-zag *folded* onto the
-//! one-sided alphabet `0..=255` (0, −1→1, 1→2, −2→3, …) — the paper's
-//! "remapped from the range −2ⁿ⁻¹ to 2ⁿ⁻¹, to the range 0 to 2ⁿ−1 to
-//! reduce the alphabet size" — so small-magnitude errors become small
-//! symbols near the top of the probability trees.
+//! For an `n`-bit image the raw prediction error `e = X − X̃` lies in
+//! `[-(2ⁿ−1), 2ⁿ−1]`, but because the decoder knows `X̃`, only `2ⁿ` of
+//! those values are distinguishable: `e` can be wrapped modulo `2ⁿ` into
+//! `[-2ⁿ⁻¹, 2ⁿ⁻¹−1]` without losing information. The wrapped error is then
+//! zig-zag *folded* onto the one-sided alphabet `0..2ⁿ` (0, −1→1, 1→2,
+//! −2→3, …) — the paper's "remapped from the range −2ⁿ⁻¹ to 2ⁿ⁻¹, to the
+//! range 0 to 2ⁿ−1 to reduce the alphabet size" — so small-magnitude errors
+//! become small symbols near the top of the probability trees.
+//!
+//! Every function takes `half = 2ⁿ⁻¹` explicitly (128 for the paper's
+//! 8-bit pixels); the codec derives it once per image from the view's
+//! [`bit_depth`](cbic_image::ImageView::bit_depth).
 
-/// Wraps a raw prediction error into the centered interval `[-128, 127]`
-/// (modulo 256).
+/// `half` for an `n`-bit depth: `2^(n-1)`.
+#[inline]
+pub fn half_for_depth(bit_depth: u8) -> i32 {
+    debug_assert!((1..=16).contains(&bit_depth));
+    1 << (bit_depth - 1)
+}
+
+/// Wraps a raw prediction error into the centered interval
+/// `[-half, half - 1]` (modulo `2 * half`).
 ///
 /// # Examples
 ///
 /// ```
 /// use cbic_core::remap::wrap_error;
 ///
-/// assert_eq!(wrap_error(1), 1);
-/// assert_eq!(wrap_error(-200), 56);
-/// assert_eq!(wrap_error(200), -56);
+/// assert_eq!(wrap_error(1, 128), 1);
+/// assert_eq!(wrap_error(-200, 128), 56);
+/// assert_eq!(wrap_error(200, 128), -56);
+/// assert_eq!(wrap_error(40_000, 32_768), -25_536); // 16-bit samples
 /// ```
 #[inline]
-pub fn wrap_error(e: i32) -> i32 {
-    ((e + 128).rem_euclid(256)) - 128
+pub fn wrap_error(e: i32, half: i32) -> i32 {
+    ((e + half).rem_euclid(2 * half)) - half
 }
 
-/// Zig-zag folds a wrapped error (`[-128, 127]`) onto `0..=255`.
+/// Zig-zag folds a wrapped error (`[-half, half - 1]`) onto
+/// `0 .. 2 * half`.
 ///
 /// # Panics
 ///
-/// Panics if `w` is outside `[-128, 127]`.
+/// Panics if `w` is outside `[-half, half - 1]`.
 #[inline]
-pub fn fold(w: i32) -> u8 {
-    assert!((-128..=127).contains(&w), "wrapped error {w} out of range");
+pub fn fold(w: i32, half: i32) -> u16 {
+    assert!(
+        (-half..half).contains(&w),
+        "wrapped error {w} out of [-{half}, {half})"
+    );
     if w >= 0 {
-        (2 * w) as u8
+        (2 * w) as u16
     } else {
-        (-2 * w - 1) as u8
+        (-2 * w - 1) as u16
     }
 }
 
-/// Inverse of [`fold`].
+/// Inverse of [`fold`] (the fold is depth-blind in this direction).
 #[inline]
-pub fn unfold(f: u8) -> i32 {
+pub fn unfold(f: u16) -> i32 {
     let f = i32::from(f);
     if f % 2 == 0 {
         f / 2
@@ -53,18 +69,18 @@ pub fn unfold(f: u8) -> i32 {
 }
 
 /// Reconstructs the pixel from the adjusted prediction and the wrapped
-/// error: `X = (X̃ + w) mod 256`.
+/// error: `X = (X̃ + w) mod 2·half`.
 ///
 /// # Panics
 ///
-/// Panics if `prediction` is outside `0..=255`.
+/// Panics if `prediction` is outside `0 .. 2 * half`.
 #[inline]
-pub fn reconstruct(prediction: i32, wrapped: i32) -> u8 {
+pub fn reconstruct(prediction: i32, wrapped: i32, half: i32) -> u16 {
     assert!(
-        (0..=255).contains(&prediction),
+        (0..2 * half).contains(&prediction),
         "prediction {prediction} out of range"
     );
-    (prediction + wrapped).rem_euclid(256) as u8
+    (prediction + wrapped).rem_euclid(2 * half) as u16
 }
 
 #[cfg(test)]
@@ -72,26 +88,54 @@ mod tests {
     use super::*;
 
     #[test]
+    fn half_for_depth_matches_powers() {
+        assert_eq!(half_for_depth(8), 128);
+        assert_eq!(half_for_depth(12), 2048);
+        assert_eq!(half_for_depth(16), 32768);
+        assert_eq!(half_for_depth(1), 1);
+    }
+
+    #[test]
     fn wrap_is_identity_in_range() {
         for e in -128..=127 {
-            assert_eq!(wrap_error(e), e);
+            assert_eq!(wrap_error(e, 128), e);
+        }
+        for e in -2048..=2047 {
+            assert_eq!(wrap_error(e, 2048), e);
         }
     }
 
     #[test]
-    fn wrap_is_mod_256() {
+    fn wrap_is_mod_two_half() {
         for e in -255..=255 {
-            let w = wrap_error(e);
+            let w = wrap_error(e, 128);
             assert!((-128..=127).contains(&w));
             assert_eq!((e - w).rem_euclid(256), 0);
         }
+        for e in [-65535, -40000, -1, 0, 1, 40000, 65535] {
+            let w = wrap_error(e, 32768);
+            assert!((-32768..=32767).contains(&w));
+            assert_eq!((e - w).rem_euclid(65536), 0);
+        }
     }
 
     #[test]
-    fn fold_is_bijective() {
+    fn fold_is_bijective_at_eight_bits() {
         let mut seen = [false; 256];
         for w in -128..=127 {
-            let f = fold(w);
+            let f = fold(w, 128);
+            assert!(!seen[usize::from(f)], "duplicate fold value {f}");
+            seen[usize::from(f)] = true;
+            assert_eq!(unfold(f), w);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fold_is_bijective_at_sixteen_bits() {
+        let mut seen = vec![false; 65536];
+        for w in -32768i32..=32767 {
+            let f = fold(w, 32768);
             assert!(!seen[usize::from(f)], "duplicate fold value {f}");
             seen[usize::from(f)] = true;
             assert_eq!(unfold(f), w);
@@ -101,12 +145,13 @@ mod tests {
 
     #[test]
     fn fold_orders_by_magnitude() {
-        assert_eq!(fold(0), 0);
-        assert_eq!(fold(-1), 1);
-        assert_eq!(fold(1), 2);
-        assert_eq!(fold(-2), 3);
-        assert_eq!(fold(2), 4);
-        assert_eq!(fold(-128), 255);
+        assert_eq!(fold(0, 128), 0);
+        assert_eq!(fold(-1, 128), 1);
+        assert_eq!(fold(1, 128), 2);
+        assert_eq!(fold(-2, 128), 3);
+        assert_eq!(fold(2, 128), 4);
+        assert_eq!(fold(-128, 128), 255);
+        assert_eq!(fold(-32768, 32768), 65535);
     }
 
     #[test]
@@ -114,27 +159,28 @@ mod tests {
         for pred in 0..=255 {
             for x in 0..=255u16 {
                 let e = i32::from(x) - pred;
-                let w = wrap_error(e);
-                assert_eq!(reconstruct(pred, w), x as u8, "pred {pred}, x {x}");
+                let w = wrap_error(e, 128);
+                assert_eq!(reconstruct(pred, w, 128), x, "pred {pred}, x {x}");
             }
         }
     }
 
     #[test]
-    fn full_roundtrip_through_the_alphabet() {
-        for pred in [0, 1, 127, 255] {
-            for x in 0..=255u16 {
-                let w = wrap_error(i32::from(x) - pred);
-                let f = fold(w);
+    fn sixteen_bit_roundtrip_through_the_alphabet() {
+        let half = 32768;
+        for pred in [0, 1, 32767, 65535] {
+            for x in [0u16, 1, 255, 256, 32767, 32768, 65534, 65535] {
+                let w = wrap_error(i32::from(x) - pred, half);
+                let f = fold(w, half);
                 let w2 = unfold(f);
-                assert_eq!(reconstruct(pred, w2), x as u8);
+                assert_eq!(reconstruct(pred, w2, half), x);
             }
         }
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
+    #[should_panic(expected = "out of")]
     fn fold_rejects_oversized() {
-        let _ = fold(128);
+        let _ = fold(128, 128);
     }
 }

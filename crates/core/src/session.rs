@@ -9,7 +9,8 @@
 //! across calls and *reset* it in place between images, eliminating the
 //! model-table allocations and LUT rebuilds from the hot path (what
 //! remains per call is the arithmetic coder's registers and a 4 KiB
-//! transport buffer).
+//! transport buffer). Images of different bit depths may be mixed freely;
+//! the estimator banks are rebuilt only when the depth actually changes.
 //!
 //! A reset model is byte-identical to a fresh one (asserted below and by
 //! the `session_reuse` differential tests), so sessions are a pure
@@ -29,23 +30,21 @@
 //! for size in [16, 24, 32] {
 //!     let img = CorpusImage::Lena.generate(size, size);
 //!     out.clear();
-//!     let stats = session.encode(&img, &mut out)?;
-//!     assert_eq!(out, cbic_core::compress(&img, &cfg)); // byte-identical
+//!     let stats = session.encode(img.view(), &mut out)?;
+//!     assert_eq!(out, cbic_core::compress(img.view(), &cfg)); // byte-identical
 //!     assert_eq!(stats.pixels, (size * size) as u64);
 //! }
 //! # Ok::<(), cbic_image::CbicError>(())
 //! ```
 
 use crate::codec::{
-    decode_loop, encode_loop, CodecConfig, EncodeStats, Modeler, CODING_CONTEXTS,
+    decode_loop, encode_loop, CodecConfig, EncodeStats, Modeler, SampleCoder, CODING_CONTEXTS,
     MAX_CODE_PADDING_BITS,
 };
-use crate::container::{
-    check_container_dimensions, header_bytes, parse_header_fields, CodecError, HEADER_LEN,
-};
-use cbic_arith::{BinaryDecoder, BinaryEncoder, SymbolCoder};
+use crate::container::{check_container_dimensions, header_bytes, read_header, CodecError};
+use cbic_arith::{BinaryDecoder, BinaryEncoder};
 use cbic_bitio::{BitSink, BitSource, StreamBitReader, StreamBitWriter};
-use cbic_image::{CbicError, Image};
+use cbic_image::{CbicError, Image, ImageView};
 use std::io::{self, Read, Write};
 
 /// A reusable encoder: owns the context store, estimator trees, and error
@@ -53,7 +52,8 @@ use std::io::{self, Read, Write};
 ///
 /// Every call emits a standard `CBIC` container byte-identical to
 /// [`compress`](crate::compress) with the session's configuration; between
-/// calls the model state is reset in place instead of reallocated.
+/// calls the model state is reset in place instead of reallocated (and
+/// rebuilt only when the sample depth changes).
 ///
 /// # Examples
 ///
@@ -65,7 +65,7 @@ use std::io::{self, Read, Write};
 /// let mut session = EncoderSession::new(&CodecConfig::default());
 /// let img = Image::from_fn(16, 16, |x, y| (x * y) as u8);
 /// let mut out = Vec::new();
-/// session.encode(&img, &mut out)?;
+/// session.encode(img.view(), &mut out)?;
 /// assert_eq!(cbic_core::decompress(&out).unwrap(), img);
 /// # Ok::<(), cbic_image::CbicError>(())
 /// ```
@@ -73,11 +73,12 @@ use std::io::{self, Read, Write};
 pub struct EncoderSession {
     cfg: CodecConfig,
     modeler: Modeler,
-    coder: SymbolCoder,
+    coder: SampleCoder,
 }
 
 impl EncoderSession {
-    /// Creates a session for `cfg`, allocating the model state once.
+    /// Creates a session for `cfg`, allocating the model state once
+    /// (sized for 8-bit samples; a deeper first image re-arms it).
     ///
     /// # Panics
     ///
@@ -86,8 +87,8 @@ impl EncoderSession {
     pub fn new(cfg: &CodecConfig) -> Self {
         Self {
             cfg: *cfg,
-            modeler: Modeler::new(1, cfg),
-            coder: SymbolCoder::new(CODING_CONTEXTS, cfg.estimator),
+            modeler: Modeler::new(1, 8, cfg),
+            coder: SampleCoder::new(CODING_CONTEXTS, 8, cfg.estimator),
         }
     }
 
@@ -96,22 +97,30 @@ impl EncoderSession {
         &self.cfg
     }
 
-    /// Encodes `img` into a standard container written to `sink`,
-    /// byte-identical to [`compress`](crate::compress).
+    /// Encodes the pixels of `img` into a standard container written to
+    /// `sink`, byte-identical to [`compress`](crate::compress).
     ///
     /// # Errors
     ///
     /// [`CbicError::Io`] on sink failures (kind preserved) and
     /// [`CbicError::InvalidContainer`] for dimensions beyond the
     /// container's 2^28-pixel ceiling.
-    pub fn encode(&mut self, img: &Image, sink: &mut dyn Write) -> Result<EncodeStats, CbicError> {
+    pub fn encode(
+        &mut self,
+        img: ImageView<'_>,
+        sink: &mut dyn Write,
+    ) -> Result<EncodeStats, CbicError> {
         let (width, height) = img.dimensions();
         check_container_dimensions(width, height).map_err(CbicError::from)?;
-        self.modeler.reset(width);
-        self.coder.reset();
+        self.modeler.reset(width, img.bit_depth());
+        if self.coder.bit_depth() != img.bit_depth() {
+            self.coder = SampleCoder::new(CODING_CONTEXTS, img.bit_depth(), self.cfg.estimator);
+        } else {
+            self.coder.reset();
+        }
 
-        sink.write_all(&header_bytes(&self.cfg, width, height))
-            .map_err(CbicError::from)?;
+        let (hdr, len) = header_bytes(&self.cfg, width, height, img.bit_depth());
+        sink.write_all(&hdr[..len]).map_err(CbicError::from)?;
         let mut enc = BinaryEncoder::new(StreamBitWriter::new(sink));
         encode_loop(img, &mut self.modeler, &mut self.coder, &mut enc);
         let decisions = enc.decisions();
@@ -137,9 +146,8 @@ impl EncoderSession {
 /// Each [`decode`](Self::decode) call decodes one standard `CBIC`
 /// container from the source. The session keeps the model state of the
 /// most recent configuration; when consecutive containers carry the same
-/// configuration (the common case for a service fed by one encoder) the
-/// state is reset in place, otherwise it is rebuilt for the new
-/// configuration.
+/// configuration and depth (the common case for a service fed by one
+/// encoder) the state is reset in place, otherwise it is rebuilt.
 ///
 /// The container format carries no payload length, so the decoder's
 /// buffered transport may read past the container's last byte — hand each
@@ -159,14 +167,14 @@ impl EncoderSession {
 /// for seed in 0..3u8 {
 ///     let img = Image::from_fn(12, 12, |x, y| (x * 7 + y) as u8 ^ seed);
 ///     let mut bytes = Vec::new();
-///     enc.encode(&img, &mut bytes)?;
+///     enc.encode(img.view(), &mut bytes)?;
 ///     assert_eq!(dec.decode(&mut &bytes[..])?, img);
 /// }
 /// # Ok::<(), cbic_image::CbicError>(())
 /// ```
 #[derive(Debug, Default)]
 pub struct DecoderSession {
-    state: Option<(CodecConfig, Modeler, SymbolCoder)>,
+    state: Option<(CodecConfig, Modeler, SampleCoder)>,
 }
 
 impl DecoderSession {
@@ -184,29 +192,32 @@ impl DecoderSession {
     /// the payload, [`CbicError::Io`] on transport failures (kind
     /// preserved), and the structured header errors otherwise.
     pub fn decode(&mut self, source: &mut dyn Read) -> Result<Image, CbicError> {
-        let mut hdr = [0u8; HEADER_LEN];
-        source.read_exact(&mut hdr).map_err(CbicError::from)?;
-        let (cfg, width, height) = parse_header_fields(&hdr).map_err(CbicError::from)?;
+        let hdr = read_header(source).map_err(CbicError::from)?;
 
         let (modeler, coder) = match &mut self.state {
-            Some((held, modeler, coder)) if *held == cfg => {
-                modeler.reset(width);
-                coder.reset();
+            Some((held, modeler, coder)) if *held == hdr.cfg => {
+                modeler.reset(hdr.width, hdr.bit_depth);
+                if coder.bit_depth() != hdr.bit_depth {
+                    *coder = SampleCoder::new(CODING_CONTEXTS, hdr.bit_depth, hdr.cfg.estimator);
+                } else {
+                    coder.reset();
+                }
                 (modeler, coder)
             }
             state => {
                 let fresh = (
-                    cfg,
-                    Modeler::new(width, &cfg),
-                    SymbolCoder::new(CODING_CONTEXTS, cfg.estimator),
+                    hdr.cfg,
+                    Modeler::new(hdr.width, hdr.bit_depth, &hdr.cfg),
+                    SampleCoder::new(CODING_CONTEXTS, hdr.bit_depth, hdr.cfg.estimator),
                 );
                 let (_, modeler, coder) = state.insert(fresh);
                 (modeler, coder)
             }
         };
 
+        let mut img = Image::with_depth(hdr.width, hdr.height, hdr.bit_depth);
         let mut dec = BinaryDecoder::new(StreamBitReader::new(source));
-        let img = decode_loop(modeler, coder, &mut dec, width, height);
+        decode_loop(modeler, coder, &mut dec, &mut img.view_mut());
         if let Some(e) = dec.source().io_error() {
             // From<io::Error> normalizes UnexpectedEof to Truncated, the
             // same as every other decode path.
@@ -234,10 +245,10 @@ mod tests {
         // Varying content, sizes, and widths across one session.
         for (i, (_, img)) in cbic_image::corpus::generate(40).into_iter().enumerate() {
             out.clear();
-            let stats = session.encode(&img, &mut out).unwrap();
-            let reference = compress(&img, &cfg);
+            let stats = session.encode(img.view(), &mut out).unwrap();
+            let reference = compress(img.view(), &cfg);
             assert_eq!(out, reference, "image {i} diverged after reuse");
-            let (_, ref_stats) = crate::codec::encode_raw(&img, &cfg);
+            let (_, ref_stats) = crate::codec::encode_raw(img.view(), &cfg);
             assert_eq!(stats, ref_stats, "stats diverged on image {i}");
         }
     }
@@ -249,8 +260,27 @@ mod tests {
         for (w, h) in [(1, 1), (64, 2), (2, 64), (17, 5), (1, 40)] {
             let img = Image::from_fn(w, h, |x, y| (x * 31 + y * 17) as u8);
             let mut out = Vec::new();
-            session.encode(&img, &mut out).unwrap();
-            assert_eq!(out, compress(&img, &cfg), "{w}x{h}");
+            session.encode(img.view(), &mut out).unwrap();
+            assert_eq!(out, compress(img.view(), &cfg), "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn session_switches_between_depths() {
+        let cfg = CodecConfig::default();
+        let mut enc = EncoderSession::new(&cfg);
+        let mut dec = DecoderSession::new();
+        for depth in [8u8, 12, 8, 16, 10] {
+            let img = Image::from_fn16(20, 14, depth, |x, y| {
+                ((x * 19 + y * 7) as u32 % (1u32 << depth.min(15))) as u16
+            });
+            let mut out = Vec::new();
+            let stats = enc.encode(img.view(), &mut out).unwrap();
+            assert_eq!(out, compress(img.view(), &cfg), "depth {depth}");
+            assert_eq!(stats.pixels, 20 * 14);
+            let back = dec.decode(&mut &out[..]).unwrap();
+            assert_eq!(back, img, "depth {depth}");
+            assert_eq!(back.bit_depth(), depth);
         }
     }
 
@@ -261,7 +291,7 @@ mod tests {
         let mut dec = DecoderSession::new();
         for (_, img) in cbic_image::corpus::generate(32) {
             let mut bytes = Vec::new();
-            enc.encode(&img, &mut bytes).unwrap();
+            enc.encode(img.view(), &mut bytes).unwrap();
             assert_eq!(dec.decode(&mut &bytes[..]).unwrap(), img);
         }
     }
@@ -285,7 +315,7 @@ mod tests {
             },
             CodecConfig::default(),
         ] {
-            let bytes = compress(&img, &cfg);
+            let bytes = compress(img.view(), &cfg);
             assert_eq!(dec.decode(&mut &bytes[..]).unwrap(), img, "{cfg:?}");
         }
     }
@@ -295,7 +325,7 @@ mod tests {
         let mut session = EncoderSession::new(&CodecConfig::default());
         let img = Image::from_fn(1 << 15, 1, |x, _| x as u8);
         // 2^15 x 1 is fine...
-        assert!(session.encode(&img, &mut Vec::new()).is_ok());
+        assert!(session.encode(img.view(), &mut Vec::new()).is_ok());
         // ...but the shared container gate rejects 2^30 pixels, and the
         // session surfaces it as the structured variant.
         assert!(matches!(
@@ -308,7 +338,7 @@ mod tests {
     fn decoder_session_surfaces_truncation() {
         let cfg = CodecConfig::default();
         let img = CorpusImage::Goldhill.generate(48, 48);
-        let bytes = compress(&img, &cfg);
+        let bytes = compress(img.view(), &cfg);
         let mut dec = DecoderSession::new();
         let err = dec.decode(&mut &bytes[..bytes.len() / 2]).unwrap_err();
         assert!(matches!(err, CbicError::Truncated), "{err:?}");
@@ -330,7 +360,7 @@ mod tests {
         }
         let mut session = EncoderSession::new(&CodecConfig::default());
         let img = Image::from_fn(8, 8, |x, y| (x + y) as u8);
-        let err = session.encode(&img, &mut Failing).unwrap_err();
+        let err = session.encode(img.view(), &mut Failing).unwrap_err();
         assert_eq!(err.io_kind(), Some(io::ErrorKind::BrokenPipe));
     }
 }

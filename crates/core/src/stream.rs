@@ -14,9 +14,10 @@
 //! [`LineBuffers`](crate::hwpipe::LineBuffers) machinery of the hardware
 //! model plus one 4 KiB transport buffer — independent of image height, so
 //! a 64-megapixel image pipes through in a few hundred kilobytes of codec
-//! memory. The emitted container is **byte-identical** to
-//! [`compress`](crate::compress) (same header, same arithmetic payload),
-//! which the differential test suite and the golden corpus pin down.
+//! memory. Rows are `u16` samples at any 8–16-bit depth; the emitted
+//! container is **byte-identical** to [`compress`](crate::compress) (same
+//! header, same arithmetic payload), which the differential test suite and
+//! the golden corpus pin down.
 //!
 //! # Examples
 //!
@@ -34,11 +35,11 @@
 //!     enc.push_row(img.row(y))?;
 //! }
 //! let bytes = enc.finish()?;
-//! assert_eq!(bytes, cbic_core::compress(&img, &cfg)); // byte-identical
+//! assert_eq!(bytes, cbic_core::compress(img.view(), &cfg)); // byte-identical
 //!
 //! // Decode row-at-a-time from any io::Read.
 //! let mut dec = StreamDecoder::new(&bytes[..]).unwrap();
-//! let mut row = vec![0u8; 32];
+//! let mut row = vec![0u16; 32];
 //! for y in 0..32 {
 //!     dec.next_row(&mut row).unwrap();
 //!     assert_eq!(&row[..], img.row(y));
@@ -47,10 +48,10 @@
 //! ```
 
 use crate::codec::{CodecConfig, MAX_CODE_PADDING_BITS};
-use crate::container::{header_bytes, parse_header_fields, CodecError, HEADER_LEN};
+use crate::container::{header_bytes, read_header, CodecError};
 use crate::hwpipe::{HwDecoder, HwEncoder};
 use cbic_bitio::{BitSink, BitSource, StreamBitReader, StreamBitWriter};
-use cbic_image::Image;
+use cbic_image::{Image, ImageView};
 use std::io::{self, Read, Write};
 
 /// Streaming encoder: consumes pixel rows, emits the standard `CBIC`
@@ -67,7 +68,7 @@ pub struct StreamEncoder<W: Write> {
 }
 
 impl<W: Write> StreamEncoder<W> {
-    /// Writes the container header for a `width`×`height` image and
+    /// Writes the container header for a `width`×`height` 8-bit image and
     /// prepares the pixel pipeline.
     ///
     /// # Errors
@@ -81,13 +82,35 @@ impl<W: Write> StreamEncoder<W> {
     /// # Panics
     ///
     /// Panics if either dimension is zero or the configuration is invalid.
-    pub fn new(mut out: W, width: usize, height: usize, cfg: &CodecConfig) -> io::Result<Self> {
+    pub fn new(out: W, width: usize, height: usize, cfg: &CodecConfig) -> io::Result<Self> {
+        Self::with_depth(out, width, height, 8, cfg)
+    }
+
+    /// [`Self::new`] for an arbitrary 8–16-bit sample depth (the header
+    /// gains the version-2 bit-depth field for depths other than 8).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero, the depth is outside `1..=16`,
+    /// or the configuration is invalid.
+    pub fn with_depth(
+        mut out: W,
+        width: usize,
+        height: usize,
+        bit_depth: u8,
+        cfg: &CodecConfig,
+    ) -> io::Result<Self> {
         assert!(width > 0 && height > 0, "image dimensions must be nonzero");
         crate::container::check_container_dimensions(width, height)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
-        out.write_all(&header_bytes(cfg, width, height))?;
+        let (hdr, len) = header_bytes(cfg, width, height, bit_depth);
+        out.write_all(&hdr[..len])?;
         Ok(Self {
-            hw: HwEncoder::with_sink(width, cfg, StreamBitWriter::new(out)),
+            hw: HwEncoder::with_sink(width, bit_depth, cfg, StreamBitWriter::new(out)),
             height,
             rows_in: 0,
         })
@@ -101,6 +124,11 @@ impl<W: Write> StreamEncoder<W> {
     /// Total rows the header promised.
     pub fn height(&self) -> usize {
         self.height
+    }
+
+    /// Sample bit depth the header declared.
+    pub fn bit_depth(&self) -> u8 {
+        self.hw.bit_depth()
     }
 
     /// Rows consumed so far.
@@ -118,20 +146,33 @@ impl<W: Write> StreamEncoder<W> {
     ///
     /// # Errors
     ///
-    /// Surfaces any I/O error the underlying writer hit while this row's
-    /// bits were flushed.
+    /// [`io::ErrorKind::InvalidInput`] when a sample exceeds the declared
+    /// bit depth (an oversized sample would silently wrap modulo the
+    /// sample range and break losslessness — rejected before any of the
+    /// row is coded), and any I/O error the underlying writer hit while
+    /// this row's bits were flushed.
     ///
     /// # Panics
     ///
     /// Panics if `row.len()` differs from the encoder width or all
     /// `height` rows were already pushed.
-    pub fn push_row(&mut self, row: &[u8]) -> io::Result<()> {
+    pub fn push_row(&mut self, row: &[u16]) -> io::Result<()> {
         assert_eq!(row.len(), self.width(), "row length mismatch");
         assert!(
             self.rows_in < self.height,
             "all {} rows already pushed",
             self.height
         );
+        let max_val = crate::remap::half_for_depth(self.bit_depth()) as u32 * 2 - 1;
+        if let Some(&bad) = row.iter().find(|&&p| u32::from(p) > max_val) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "sample {bad} exceeds the {}-bit maximum {max_val}",
+                    self.bit_depth()
+                ),
+            ));
+        }
         for &pixel in row {
             self.hw.push_pixel(pixel);
         }
@@ -171,6 +212,7 @@ pub struct StreamDecoder<R: Read> {
     cfg: CodecConfig,
     width: usize,
     height: usize,
+    bit_depth: u8,
     rows_out: usize,
 }
 
@@ -184,20 +226,18 @@ impl<R: Read> StreamDecoder<R> {
     /// [`CodecError::Io`] on transport errors, and the usual header errors
     /// ([`CodecError::BadMagic`], invalid fields, …) otherwise.
     pub fn new(mut input: R) -> Result<Self, CodecError> {
-        let mut hdr = [0u8; HEADER_LEN];
-        input.read_exact(&mut hdr).map_err(|e| {
-            if e.kind() == io::ErrorKind::UnexpectedEof {
-                CodecError::Truncated
-            } else {
-                CodecError::io(&e)
-            }
-        })?;
-        let (cfg, width, height) = parse_header_fields(&hdr)?;
+        let hdr = read_header(&mut input)?;
         Ok(Self {
-            hw: HwDecoder::with_source(StreamBitReader::new(input), width, &cfg),
-            cfg,
-            width,
-            height,
+            hw: HwDecoder::with_source(
+                StreamBitReader::new(input),
+                hdr.width,
+                hdr.bit_depth,
+                &hdr.cfg,
+            ),
+            cfg: hdr.cfg,
+            width: hdr.width,
+            height: hdr.height,
+            bit_depth: hdr.bit_depth,
             rows_out: 0,
         })
     }
@@ -205,6 +245,11 @@ impl<R: Read> StreamDecoder<R> {
     /// Image dimensions declared by the header.
     pub fn dimensions(&self) -> (usize, usize) {
         (self.width, self.height)
+    }
+
+    /// Sample bit depth declared by the header.
+    pub fn bit_depth(&self) -> u8 {
+        self.bit_depth
     }
 
     /// Codec configuration carried by the header.
@@ -230,7 +275,7 @@ impl<R: Read> StreamDecoder<R> {
     ///
     /// Panics if `buf.len()` differs from the image width or all rows were
     /// already decoded.
-    pub fn next_row(&mut self, buf: &mut [u8]) -> Result<(), CodecError> {
+    pub fn next_row(&mut self, buf: &mut [u16]) -> Result<(), CodecError> {
         assert_eq!(buf.len(), self.width, "row buffer length mismatch");
         assert!(
             self.rows_out < self.height,
@@ -258,28 +303,27 @@ impl<R: Read> StreamDecoder<R> {
     ///
     /// As [`Self::next_row`].
     pub fn decode_all(mut self) -> Result<Image, CodecError> {
-        let mut img = Image::new(self.width, self.height);
-        let mut row = vec![0u8; self.width];
+        let mut img = Image::with_depth(self.width, self.height, self.bit_depth);
+        let mut row = vec![0u16; self.width];
         for y in self.rows_out..self.height {
             self.next_row(&mut row)?;
-            for (x, &v) in row.iter().enumerate() {
-                img.set(x, y, v);
-            }
+            img.row_mut(y).copy_from_slice(&row);
         }
         Ok(img)
     }
 }
 
-/// Streams `img` into `out` as a standard container, byte-identical to
-/// [`compress`](crate::compress) but without materializing the output.
+/// Streams the pixels of `img` into `out` as a standard container,
+/// byte-identical to [`compress`](crate::compress) but without
+/// materializing the output.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from `out`.
-pub fn compress_to<W: Write>(img: &Image, cfg: &CodecConfig, out: W) -> io::Result<W> {
-    let mut enc = StreamEncoder::new(out, img.width(), img.height(), cfg)?;
-    for y in 0..img.height() {
-        enc.push_row(img.row(y))?;
+pub fn compress_to<W: Write>(img: ImageView<'_>, cfg: &CodecConfig, out: W) -> io::Result<W> {
+    let mut enc = StreamEncoder::with_depth(out, img.width(), img.height(), img.bit_depth(), cfg)?;
+    for row in img.rows() {
+        enc.push_row(row)?;
     }
     enc.finish()
 }
@@ -296,15 +340,15 @@ pub fn decompress_from<R: Read>(input: R) -> Result<Image, CodecError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::container::compress;
+    use crate::container::{compress, HEADER_LEN};
     use cbic_image::corpus::CorpusImage;
 
     #[test]
     fn streaming_output_is_byte_identical_to_buffered() {
         let cfg = CodecConfig::default();
         for (name, img) in cbic_image::corpus::generate(48) {
-            let buffered = compress(&img, &cfg);
-            let streamed = compress_to(&img, &cfg, Vec::new()).unwrap();
+            let buffered = compress(img.view(), &cfg);
+            let streamed = compress_to(img.view(), &cfg, Vec::new()).unwrap();
             assert_eq!(streamed, buffered, "{name:?}");
         }
     }
@@ -314,8 +358,24 @@ mod tests {
         let cfg = CodecConfig::default();
         for (w, h) in [(1, 1), (1, 17), (17, 1), (3, 5), (64, 2)] {
             let img = Image::from_fn(w, h, |x, y| (x * 41 + y * 13) as u8);
-            let bytes = compress_to(&img, &cfg, Vec::new()).unwrap();
+            let bytes = compress_to(img.view(), &cfg, Vec::new()).unwrap();
             assert_eq!(decompress_from(&bytes[..]).unwrap(), img, "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_streams_roundtrip_and_match_buffered() {
+        let cfg = CodecConfig::default();
+        for depth in [10u8, 12, 16] {
+            let img = Image::from_fn16(24, 18, depth, |x, y| {
+                ((x as u32 * 331 + y as u32 * 911) % (1u32 << depth.min(15))) as u16
+            });
+            let buffered = compress(img.view(), &cfg);
+            let streamed = compress_to(img.view(), &cfg, Vec::new()).unwrap();
+            assert_eq!(streamed, buffered, "depth {depth}");
+            let back = decompress_from(&streamed[..]).unwrap();
+            assert_eq!(back, img, "depth {depth}");
+            assert_eq!(back.bit_depth(), depth);
         }
     }
 
@@ -326,11 +386,11 @@ mod tests {
             texture_bits: 3,
             ..CodecConfig::default()
         };
-        let buffered = compress(&img, &cfg);
+        let buffered = compress(img.view(), &cfg);
         // Streaming decoder on buffered bytes.
         assert_eq!(decompress_from(&buffered[..]).unwrap(), img);
         // Buffered decoder on streamed bytes.
-        let streamed = compress_to(&img, &cfg, Vec::new()).unwrap();
+        let streamed = compress_to(img.view(), &cfg, Vec::new()).unwrap();
         assert_eq!(crate::container::decompress(&streamed).unwrap(), img);
     }
 
@@ -341,16 +401,17 @@ mod tests {
             error_feedback: false,
             ..CodecConfig::default()
         };
-        let bytes = compress_to(&img, &cfg, Vec::new()).unwrap();
+        let bytes = compress_to(img.view(), &cfg, Vec::new()).unwrap();
         let dec = StreamDecoder::new(&bytes[..]).unwrap();
         assert_eq!(dec.dimensions(), (16, 16));
+        assert_eq!(dec.bit_depth(), 8);
         assert_eq!(dec.config(), &cfg);
     }
 
     #[test]
     fn truncated_header_errors() {
         let img = CorpusImage::Boat.generate(16, 16);
-        let bytes = compress(&img, &CodecConfig::default());
+        let bytes = compress(img.view(), &CodecConfig::default());
         for cut in [0, 4, HEADER_LEN - 1] {
             assert!(
                 matches!(
@@ -365,7 +426,7 @@ mod tests {
     #[test]
     fn truncated_payload_errors_not_panics() {
         let img = CorpusImage::Barb.generate(48, 48);
-        let bytes = compress(&img, &CodecConfig::default());
+        let bytes = compress(img.view(), &CodecConfig::default());
         assert!(bytes.len() > HEADER_LEN + 64, "test needs a real payload");
         let cut = &bytes[..bytes.len() / 2];
         assert_eq!(
@@ -378,7 +439,7 @@ mod tests {
     #[test]
     fn flipped_magic_errors() {
         let img = CorpusImage::Boat.generate(16, 16);
-        let mut bytes = compress(&img, &CodecConfig::default());
+        let mut bytes = compress(img.view(), &CodecConfig::default());
         bytes[0] ^= 0xFF;
         assert_eq!(
             StreamDecoder::new(&bytes[..]).err(),
@@ -401,10 +462,22 @@ mod tests {
             }
         }
         let img = CorpusImage::Lena.generate(64, 64);
-        let bytes = compress(&img, &CodecConfig::default());
+        let bytes = compress(img.view(), &CodecConfig::default());
         let half = bytes.len() / 2;
         let result = decompress_from(FailAfter(bytes[..half].to_vec(), 0));
         assert!(matches!(result, Err(CodecError::Io(..))), "got {result:?}");
+    }
+
+    #[test]
+    fn push_row_rejects_samples_beyond_the_depth() {
+        let mut enc =
+            StreamEncoder::with_depth(Vec::new(), 4, 2, 10, &CodecConfig::default()).unwrap();
+        let err = enc.push_row(&[0, 1023, 1024, 0]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert_eq!(enc.rows_pushed(), 0, "nothing of the bad row was coded");
+        // A legal row still encodes afterwards.
+        enc.push_row(&[0, 1023, 1, 2]).unwrap();
+        assert_eq!(enc.rows_pushed(), 1);
     }
 
     #[test]
@@ -418,7 +491,7 @@ mod tests {
     fn payload_bits_match_buffered_stats() {
         let img = CorpusImage::Peppers.generate(32, 32);
         let cfg = CodecConfig::default();
-        let (_, stats) = crate::codec::encode_raw(&img, &cfg);
+        let (_, stats) = crate::codec::encode_raw(img.view(), &cfg);
         let mut enc = StreamEncoder::new(Vec::new(), 32, 32, &cfg).unwrap();
         for y in 0..32 {
             enc.push_row(img.row(y)).unwrap();

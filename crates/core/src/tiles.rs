@@ -7,6 +7,12 @@
 //! (its own contexts, trees, and arithmetic coder), so `N` hardware cores —
 //! or `N` software threads — can run one band each with zero shared state.
 //!
+//! Bands are **zero-copy**: [`split_bands`] returns borrowed
+//! [`ImageView`] row ranges of the source image (no pixel is copied before
+//! coding starts), and the decode side writes every band straight into
+//! disjoint [`ImageViewMut`] windows of one
+//! preallocated image.
+//!
 //! Both [`compress_tiled`] and [`decompress_tiled`] take a [`Parallelism`]
 //! knob selecting how many worker threads code the bands. Because every
 //! band is a self-contained stream, the schedule cannot change the bits:
@@ -26,67 +32,93 @@
 //! use cbic_image::corpus::CorpusImage;
 //!
 //! let img = CorpusImage::Boat.generate(64, 64);
-//! let bytes = compress_tiled(&img, &CodecConfig::default(), 4, Parallelism::Threads(4));
+//! let bytes = compress_tiled(img.view(), &CodecConfig::default(), 4, Parallelism::Threads(4));
 //! assert_eq!(decompress_tiled(&bytes, Parallelism::Sequential)?, img);
 //! # Ok::<(), cbic_core::CodecError>(())
 //! ```
 
-use crate::codec::{
-    decode_raw_with_padding, encode_raw, CodecConfig, EncodeStats, MAX_CODE_PADDING_BITS,
-};
-use crate::container::{parse_header, CodecError, HEADER_LEN};
-use cbic_image::{CbicError, Codec, DecodeOptions, EncodeOptions, Image};
+use crate::codec::{decode_raw_into, encode_raw, CodecConfig, EncodeStats, MAX_CODE_PADDING_BITS};
+use crate::container::{parse_header, CodecError, ContainerHeader, HEADER_LEN};
+use cbic_image::{CbicError, Codec, DecodeOptions, EncodeOptions, Image, ImageView, ImageViewMut};
 use std::io::{Read, Write};
 
 pub use cbic_image::Parallelism;
 
-/// Runs `job` over `inputs`/`outputs` pairs on `par`-many scoped threads.
-/// Output order matches input order regardless of the schedule.
-fn run_banded<I, O, F>(inputs: &[I], outputs: &mut [O], par: Parallelism, job: F)
+/// Runs `job` over every input on `par`-many scoped threads, consuming the
+/// inputs and returning the outputs in input order regardless of the
+/// schedule.
+fn run_banded<I, O, F>(inputs: Vec<I>, par: Parallelism, job: F) -> Vec<O>
 where
-    I: Sync,
+    I: Send,
     O: Send,
-    F: Fn(&I) -> O + Sync,
+    F: Fn(I) -> O + Sync,
 {
-    debug_assert_eq!(inputs.len(), outputs.len());
     let workers = par.workers(inputs.len());
     if workers <= 1 {
-        for (input, out) in inputs.iter().zip(outputs.iter_mut()) {
-            *out = job(input);
-        }
-        return;
+        return inputs.into_iter().map(job).collect();
     }
-    let chunk = inputs.len().div_ceil(workers);
+    let total = inputs.len();
+    let chunk = total.div_ceil(workers);
+    let mut buckets: Vec<Vec<(usize, I)>> = Vec::new();
+    let mut it = inputs.into_iter().enumerate();
+    loop {
+        let bucket: Vec<(usize, I)> = it.by_ref().take(chunk).collect();
+        if bucket.is_empty() {
+            break;
+        }
+        buckets.push(bucket);
+    }
+    let mut outputs: Vec<Option<O>> = (0..total).map(|_| None).collect();
     std::thread::scope(|scope| {
-        for (ins, outs) in inputs.chunks(chunk).zip(outputs.chunks_mut(chunk)) {
-            scope.spawn(|| {
-                for (input, out) in ins.iter().zip(outs.iter_mut()) {
-                    *out = job(input);
-                }
-            });
+        let job = &job;
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(i, item)| (i, job(item)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, out) in handle.join().expect("band worker panicked") {
+                outputs[i] = Some(out);
+            }
         }
     });
+    outputs
+        .into_iter()
+        .map(|o| o.expect("every band computed"))
+        .collect()
 }
 
-/// Splits `img` into `tiles` horizontal bands of near-equal height
-/// (the first `height % tiles` bands get one extra row).
+/// The near-equal band partition of `height` rows into `tiles` bands (the
+/// first `height % tiles` bands get one extra row).
+fn band_heights(height: usize, tiles: usize) -> Vec<usize> {
+    let base = height / tiles;
+    let extra = height % tiles;
+    (0..tiles).map(|t| base + usize::from(t < extra)).collect()
+}
+
+/// Splits a view into `tiles` horizontal bands of near-equal height —
+/// **zero-copy**: each band is a borrowed row range of `img`, so the
+/// encode path never duplicates a pixel.
 ///
 /// # Panics
 ///
-/// Panics if `tiles` is zero or exceeds the image height.
-pub fn split_bands(img: &Image, tiles: usize) -> Vec<Image> {
-    let (width, height) = img.dimensions();
+/// Panics if `tiles` is zero or exceeds the view height.
+pub fn split_bands<'a>(img: ImageView<'a>, tiles: usize) -> Vec<ImageView<'a>> {
+    let height = img.height();
     assert!(
         tiles >= 1 && tiles <= height,
         "tile count {tiles} outside 1..={height}"
     );
-    let base = height / tiles;
-    let extra = height % tiles;
     let mut bands = Vec::with_capacity(tiles);
     let mut y0 = 0usize;
-    for t in 0..tiles {
-        let h = base + usize::from(t < extra);
-        bands.push(Image::from_fn(width, h, |x, y| img.get(x, y0 + y)));
+    for h in band_heights(height, tiles) {
+        bands.push(img.row_range(y0, h));
         y0 += h;
     }
     debug_assert_eq!(y0, height);
@@ -96,9 +128,13 @@ pub fn split_bands(img: &Image, tiles: usize) -> Vec<Image> {
 /// Encodes each band independently, returning per-band payloads and stats.
 /// Bands can be distributed across cores; this reference implementation
 /// runs them sequentially for determinism.
-pub fn encode_bands(img: &Image, cfg: &CodecConfig, tiles: usize) -> Vec<(Vec<u8>, EncodeStats)> {
+pub fn encode_bands(
+    img: ImageView<'_>,
+    cfg: &CodecConfig,
+    tiles: usize,
+) -> Vec<(Vec<u8>, EncodeStats)> {
     split_bands(img, tiles)
-        .iter()
+        .into_iter()
         .map(|band| encode_raw(band, cfg))
         .collect()
 }
@@ -107,23 +143,28 @@ pub fn encode_bands(img: &Image, cfg: &CodecConfig, tiles: usize) -> Vec<(Vec<u8
 const TILE_MAGIC: &[u8; 4] = b"CBTI";
 
 /// Bytes a band contributes to a container at minimum: its `u32` length
-/// prefix plus a standard container header.
+/// prefix plus a standard (version-1) container header.
 const MIN_BAND_BYTES: usize = 4 + HEADER_LEN;
 
-/// Compresses with `tiles` independent bands into one container:
+/// Compresses a view with `tiles` independent bands into one container:
 /// `CBTI`, tile count (u32 LE), then per tile a length-prefixed standard
-/// container (which carries the config and band dimensions). Bands are
-/// encoded on `par` worker threads; the output does not depend on `par`.
+/// container (which carries the config, band dimensions, and bit depth).
+/// Bands are **borrowed row-range views** encoded on `par` worker threads;
+/// no pixel is copied on this path, and the output does not depend on
+/// `par`.
 ///
 /// # Panics
 ///
-/// Panics if `tiles` is zero or exceeds the image height.
-pub fn compress_tiled(img: &Image, cfg: &CodecConfig, tiles: usize, par: Parallelism) -> Vec<u8> {
+/// Panics if `tiles` is zero or exceeds the view height.
+pub fn compress_tiled(
+    img: ImageView<'_>,
+    cfg: &CodecConfig,
+    tiles: usize,
+    par: Parallelism,
+) -> Vec<u8> {
     let bands = split_bands(img, tiles);
-    let mut payloads: Vec<Vec<u8>> = vec![Vec::new(); bands.len()];
-    run_banded(&bands, &mut payloads, par, |band| {
-        crate::container::compress(band, cfg)
-    });
+    let payloads: Vec<Vec<u8>> =
+        run_banded(bands, par, |band| crate::container::compress(band, cfg));
     let body: usize = payloads.iter().map(|p| 4 + p.len()).sum();
     let mut out = Vec::with_capacity(8 + body);
     out.extend_from_slice(TILE_MAGIC);
@@ -135,27 +176,34 @@ pub fn compress_tiled(img: &Image, cfg: &CodecConfig, tiles: usize, par: Paralle
     out
 }
 
-/// One parsed band: its configuration, dimensions, and coded body.
-type BandHeader<'a> = (CodecConfig, usize, usize, &'a [u8]);
+/// One parsed band: its header fields and coded body.
+type Band<'a> = (ContainerHeader, &'a [u8]);
 
-/// Checks that the band dimensions could have come from [`split_bands`]:
-/// equal widths, heights differing by at most one, taller bands first.
-fn validate_band_shapes(bands: &[BandHeader<'_>]) -> Result<(), CodecError> {
-    let width = bands[0].1;
+/// Checks that the band shapes could have come from [`split_bands`]:
+/// equal widths and depths, heights differing by at most one, taller
+/// bands first.
+fn validate_band_shapes(bands: &[Band<'_>]) -> Result<(), CodecError> {
+    let width = bands[0].0.width;
+    let depth = bands[0].0.bit_depth;
     let mut prev_height = usize::MAX;
     let (mut min_h, mut max_h) = (usize::MAX, 0usize);
-    for &(_, w, h, _) in bands {
-        if w != width {
+    for (hdr, _) in bands {
+        if hdr.width != width {
             return Err(CodecError::InvalidHeader("inconsistent band widths".into()));
         }
-        if h > prev_height {
+        if hdr.bit_depth != depth {
+            return Err(CodecError::InvalidHeader(
+                "inconsistent band bit depths".into(),
+            ));
+        }
+        if hdr.height > prev_height {
             return Err(CodecError::InvalidHeader(
                 "band heights must be non-increasing".into(),
             ));
         }
-        prev_height = h;
-        min_h = min_h.min(h);
-        max_h = max_h.max(h);
+        prev_height = hdr.height;
+        min_h = min_h.min(hdr.height);
+        max_h = max_h.max(hdr.height);
     }
     if max_h - min_h > 1 {
         return Err(CodecError::InvalidHeader(format!(
@@ -165,13 +213,39 @@ fn validate_band_shapes(bands: &[BandHeader<'_>]) -> Result<(), CodecError> {
     Ok(())
 }
 
-/// Decompresses a tiled container, reassembling the bands. Bands are
-/// decoded on `par` worker threads; the result does not depend on `par`.
+/// Decodes parsed bands straight into disjoint windows of one
+/// preallocated image — the zero-copy reassembly both tiled decode paths
+/// share. Shapes must already be validated.
+fn decode_bands_into(bands: Vec<Band<'_>>, par: Parallelism) -> Result<Image, CodecError> {
+    let width = bands[0].0.width;
+    let depth = bands[0].0.bit_depth;
+    let heights: Vec<usize> = bands.iter().map(|(h, _)| h.height).collect();
+    let height: usize = heights.iter().sum();
+    let mut out = Image::with_depth(width, height, depth);
+    let jobs: Vec<(Band<'_>, ImageViewMut<'_>)> = bands
+        .into_iter()
+        .zip(out.view_mut().split_rows(&heights))
+        .collect();
+    let results = run_banded(jobs, par, |((hdr, body), mut window)| {
+        let padding = decode_raw_into(body, &mut window, &hdr.cfg);
+        if padding > MAX_CODE_PADDING_BITS {
+            Err(CodecError::Truncated)
+        } else {
+            Ok(())
+        }
+    });
+    results.into_iter().collect::<Result<(), _>>()?;
+    Ok(out)
+}
+
+/// Decompresses a tiled container, reassembling the bands. Each band is
+/// decoded (on `par` worker threads) directly into its row range of the
+/// one preallocated output image; the result does not depend on `par`.
 ///
 /// # Errors
 ///
 /// Returns [`CodecError`] on malformed containers, tile counts the encoder
-/// cannot produce, or band dimensions inconsistent with [`split_bands`]'s
+/// cannot produce, or band shapes inconsistent with [`split_bands`]'s
 /// equal partition.
 pub fn decompress_tiled(bytes: &[u8], par: Parallelism) -> Result<Image, CodecError> {
     if bytes.len() < 8 {
@@ -191,7 +265,7 @@ pub fn decompress_tiled(bytes: &[u8], par: Parallelism) -> Result<Image, CodecEr
         )));
     }
     let mut pos = 8usize;
-    let mut bands: Vec<BandHeader<'_>> = Vec::with_capacity(tiles);
+    let mut bands: Vec<Band<'_>> = Vec::with_capacity(tiles);
     for _ in 0..tiles {
         let len_bytes = bytes.get(pos..pos + 4).ok_or(CodecError::Truncated)?;
         let len = u32::from_le_bytes(len_bytes.try_into().expect("sized")) as usize;
@@ -207,32 +281,7 @@ pub fn decompress_tiled(bytes: &[u8], par: Parallelism) -> Result<Image, CodecEr
         )));
     }
     validate_band_shapes(&bands)?;
-
-    // Decoding each band is the step N cores would run concurrently.
-    let mut decoded: Vec<Result<Image, CodecError>> = vec![Err(CodecError::Truncated); bands.len()];
-    run_banded(&bands, &mut decoded, par, |(cfg, w, h, body)| {
-        let (img, padding) = decode_raw_with_padding(body, *w, *h, cfg);
-        if padding > MAX_CODE_PADDING_BITS {
-            Err(CodecError::Truncated)
-        } else {
-            Ok(img)
-        }
-    });
-    let decoded = decoded.into_iter().collect::<Result<Vec<_>, _>>()?;
-
-    let width = bands[0].1;
-    let height: usize = bands.iter().map(|b| b.2).sum();
-    let mut out = Image::new(width, height);
-    let mut y0 = 0usize;
-    for band in &decoded {
-        for y in 0..band.height() {
-            for x in 0..width {
-                out.set(x, y0 + y, band.get(x, y));
-            }
-        }
-        y0 += band.height();
-    }
-    Ok(out)
+    decode_bands_into(bands, par)
 }
 
 /// The tiled multi-core variant on the unified [`Codec`] surface, so the
@@ -254,7 +303,7 @@ pub fn decompress_tiled(bytes: &[u8], par: Parallelism) -> Result<Image, CodecEr
 /// let opts = EncodeOptions::new()
 ///     .with_tiles(4)
 ///     .with_parallelism(Parallelism::Threads(4));
-/// let bytes = codec.encode_vec(&img, &opts)?;
+/// let bytes = codec.encode_vec(img.view(), &opts)?;
 /// assert_eq!(codec.decode_vec(&bytes, &DecodeOptions::default())?, img);
 /// assert_eq!(codec.name(), "tiled");
 /// # Ok::<(), cbic_image::CbicError>(())
@@ -287,11 +336,11 @@ impl Codec for Tiled {
     }
 
     /// Encodes `opts.tiles` (default: the struct's geometry) independent
-    /// bands on `opts.parallelism` workers. The bytes do not depend on the
-    /// schedule.
+    /// zero-copy band views on `opts.parallelism` workers. The bytes do
+    /// not depend on the schedule.
     fn encode(
         &self,
-        img: &Image,
+        img: ImageView<'_>,
         opts: &EncodeOptions,
         sink: &mut dyn Write,
     ) -> Result<cbic_image::EncodeStats, CbicError> {
@@ -305,7 +354,8 @@ impl Codec for Tiled {
         ))
     }
 
-    /// Buffered decode on `opts.parallelism` workers (one band each).
+    /// Buffered decode on `opts.parallelism` workers (one band each,
+    /// written straight into the preallocated output image).
     fn decode_vec(&self, bytes: &[u8], opts: &DecodeOptions) -> Result<Image, CbicError> {
         decompress_tiled(bytes, opts.parallelism).map_err(CbicError::from)
     }
@@ -325,15 +375,6 @@ impl Codec for Tiled {
         let read_exact = |input: &mut dyn Read, buf: &mut [u8]| -> Result<(), CbicError> {
             input.read_exact(buf).map_err(CbicError::from)
         };
-        let decode_band =
-            |cfg: &CodecConfig, w: usize, h: usize, body: &[u8]| -> Result<Image, CbicError> {
-                let (img, padding) = decode_raw_with_padding(body, w, h, cfg);
-                if padding > MAX_CODE_PADDING_BITS {
-                    Err(CbicError::Truncated)
-                } else {
-                    Ok(img)
-                }
-            };
 
         let mut head = [0u8; 8];
         read_exact(input, &mut head)?;
@@ -352,15 +393,18 @@ impl Codec for Tiled {
         // Only an explicit thread request trades the one-band memory bound
         // for concurrency; `Auto` must not silently buffer the container.
         let parallel = matches!(opts.parallelism, Parallelism::Threads(n) if n > 1) && tiles > 1;
-        let mut bands: Vec<Image> = Vec::new();
-        // Parallel path: validated `(cfg, w, h, payload)` frames awaiting
+        // Sequential path: bands decoded as they arrive, assembled at the
+        // end with row-wise copies.
+        let mut decoded: Vec<Image> = Vec::new();
+        // Parallel path: validated `(header, payload)` frames awaiting
         // the banded decode below.
-        let mut frames: Vec<(CodecConfig, usize, usize, Vec<u8>)> = Vec::new();
+        let mut frames: Vec<(ContainerHeader, Vec<u8>)> = Vec::new();
         let mut payload = Vec::new();
         // Shape validation runs on each band header *before* its payload is
         // arithmetic-decoded, mirroring decompress_tiled's fail-fast order:
-        // equal widths, non-increasing heights, spread of at most one.
-        let mut first_width = None;
+        // equal widths and depths, non-increasing heights, spread of at
+        // most one.
+        let mut first: Option<ContainerHeader> = None;
         let (mut min_h, mut max_h) = (usize::MAX, 0usize);
         for _ in 0..tiles {
             let mut len_bytes = [0u8; 4];
@@ -379,31 +423,41 @@ impl Codec for Tiled {
             if payload.len() != len {
                 return Err(CbicError::Truncated);
             }
-            let (cfg, w, h, body) = parse_header(&payload).map_err(CbicError::from)?;
-            if let Some(first_width) = first_width {
-                if w != first_width {
+            let (hdr, body) = parse_header(&payload).map_err(CbicError::from)?;
+            if let Some(first) = &first {
+                if hdr.width != first.width {
                     return Err(CbicError::InvalidContainer(
                         "inconsistent band widths".into(),
                     ));
                 }
-                if h > min_h {
+                if hdr.bit_depth != first.bit_depth {
+                    return Err(CbicError::InvalidContainer(
+                        "inconsistent band bit depths".into(),
+                    ));
+                }
+                if hdr.height > min_h {
                     return Err(CbicError::InvalidContainer(
                         "band heights must be non-increasing".into(),
                     ));
                 }
             }
-            first_width.get_or_insert(w);
-            min_h = min_h.min(h);
-            max_h = max_h.max(h);
+            first.get_or_insert(hdr);
+            min_h = min_h.min(hdr.height);
+            max_h = max_h.max(hdr.height);
             if max_h - min_h > 1 {
                 return Err(CbicError::InvalidContainer(format!(
                     "band heights {min_h}..{max_h} differ by more than one"
                 )));
             }
             if parallel {
-                frames.push((cfg, w, h, body.to_vec()));
+                frames.push((hdr, body.to_vec()));
             } else {
-                bands.push(decode_band(&cfg, w, h, body)?);
+                let mut band = Image::with_depth(hdr.width, hdr.height, hdr.bit_depth);
+                let padding = decode_raw_into(body, &mut band.view_mut(), &hdr.cfg);
+                if padding > MAX_CODE_PADDING_BITS {
+                    return Err(CbicError::Truncated);
+                }
+                decoded.push(band);
             }
         }
         if input.read(&mut [0u8]).map_err(CbicError::from)? != 0 {
@@ -413,27 +467,19 @@ impl Codec for Tiled {
         }
 
         if parallel {
-            let mut decoded: Vec<Result<Image, CbicError>> = (0..frames.len())
-                .map(|_| Err(CbicError::Truncated))
-                .collect();
-            run_banded(
-                &frames,
-                &mut decoded,
-                opts.parallelism,
-                |(cfg, w, h, body)| decode_band(cfg, *w, *h, body),
-            );
-            bands = decoded.into_iter().collect::<Result<Vec<_>, _>>()?;
+            let bands: Vec<Band<'_>> = frames.iter().map(|(h, p)| (*h, p.as_slice())).collect();
+            return decode_bands_into(bands, opts.parallelism).map_err(CbicError::from);
         }
 
-        let width = bands[0].width();
-        let height: usize = bands.iter().map(Image::height).sum();
-        let mut out = Image::new(width, height);
+        // Row-wise reassembly of the sequentially decoded bands.
+        let width = decoded[0].width();
+        let depth = decoded[0].bit_depth();
+        let height: usize = decoded.iter().map(Image::height).sum();
+        let mut out = Image::with_depth(width, height, depth);
         let mut y0 = 0usize;
-        for band in &bands {
+        for band in &decoded {
             for y in 0..band.height() {
-                for x in 0..width {
-                    out.set(x, y0 + y, band.get(x, y));
-                }
+                out.row_mut(y0 + y).copy_from_slice(band.row(y));
             }
             y0 += band.height();
         }
@@ -447,16 +493,22 @@ mod tests {
     use cbic_image::corpus::CorpusImage;
 
     #[test]
-    fn split_covers_image_exactly() {
+    fn split_covers_image_exactly_and_borrows() {
         let img = CorpusImage::Lena.generate(32, 50);
         for tiles in [1, 2, 3, 7, 50] {
-            let bands = split_bands(&img, tiles);
+            let bands = split_bands(img.view(), tiles);
             assert_eq!(bands.len(), tiles);
-            let total: usize = bands.iter().map(Image::height).sum();
+            let total: usize = bands.iter().map(ImageView::height).sum();
             assert_eq!(total, 50);
             // Heights differ by at most one.
-            let hs: Vec<_> = bands.iter().map(Image::height).collect();
+            let hs: Vec<_> = bands.iter().map(ImageView::height).collect();
             assert!(hs.iter().max().unwrap() - hs.iter().min().unwrap() <= 1);
+            // Zero-copy: each band's first row *is* the image's row.
+            let mut y0 = 0;
+            for band in &bands {
+                assert_eq!(band.row(0), img.row(y0), "band at row {y0} must borrow");
+                y0 += band.height();
+            }
         }
     }
 
@@ -464,7 +516,12 @@ mod tests {
     fn tiled_roundtrip_various_counts() {
         let img = CorpusImage::Goldhill.generate(48, 48);
         for tiles in [1, 2, 3, 4, 6, 48] {
-            let bytes = compress_tiled(&img, &CodecConfig::default(), tiles, Parallelism::Auto);
+            let bytes = compress_tiled(
+                img.view(),
+                &CodecConfig::default(),
+                tiles,
+                Parallelism::Auto,
+            );
             assert_eq!(
                 decompress_tiled(&bytes, Parallelism::Auto).unwrap(),
                 img,
@@ -474,11 +531,27 @@ mod tests {
     }
 
     #[test]
+    fn sixteen_bit_tiled_roundtrip() {
+        let img = Image::from_fn16(40, 36, 16, |x, y| (x * 1500 + y * 7) as u16);
+        for tiles in [1, 3, 5] {
+            let bytes = compress_tiled(
+                img.view(),
+                &CodecConfig::default(),
+                tiles,
+                Parallelism::Auto,
+            );
+            let back = decompress_tiled(&bytes, Parallelism::Threads(2)).unwrap();
+            assert_eq!(back, img, "{tiles} tiles");
+            assert_eq!(back.bit_depth(), 16);
+        }
+    }
+
+    #[test]
     fn parallel_output_is_byte_identical_to_sequential() {
         let img = CorpusImage::Barb.generate(40, 53);
         let cfg = CodecConfig::default();
         for tiles in [1, 2, 4, 7] {
-            let seq = compress_tiled(&img, &cfg, tiles, Parallelism::Sequential);
+            let seq = compress_tiled(img.view(), &cfg, tiles, Parallelism::Sequential);
             for par in [
                 Parallelism::Threads(2),
                 Parallelism::Threads(4),
@@ -486,7 +559,7 @@ mod tests {
                 Parallelism::Auto,
             ] {
                 assert_eq!(
-                    compress_tiled(&img, &cfg, tiles, par),
+                    compress_tiled(img.view(), &cfg, tiles, par),
                     seq,
                     "{tiles} tiles, {par:?}"
                 );
@@ -502,8 +575,8 @@ mod tests {
     fn one_tile_equals_untiled_payload() {
         let img = CorpusImage::Zelda.generate(40, 40);
         let cfg = CodecConfig::default();
-        let tiled = compress_tiled(&img, &cfg, 1, Parallelism::Sequential);
-        let plain = crate::container::compress(&img, &cfg);
+        let tiled = compress_tiled(img.view(), &cfg, 1, Parallelism::Sequential);
+        let plain = crate::container::compress(img.view(), &cfg);
         // CBTI magic + count + length prefix, then the identical container.
         assert_eq!(&tiled[12..], &plain[..]);
     }
@@ -516,8 +589,8 @@ mod tests {
         let cfg = CodecConfig::default();
         let overhead = |size: usize| -> f64 {
             let img = CorpusImage::Barb.generate(size, size);
-            let one = compress_tiled(&img, &cfg, 1, Parallelism::Auto).len();
-            let four = compress_tiled(&img, &cfg, 4, Parallelism::Auto).len();
+            let one = compress_tiled(img.view(), &cfg, 1, Parallelism::Auto).len();
+            let four = compress_tiled(img.view(), &cfg, 4, Parallelism::Auto).len();
             assert!(four >= one, "tiling cannot help compression");
             (four - one) as f64 / one as f64
         };
@@ -533,7 +606,12 @@ mod tests {
     #[test]
     fn rejects_corrupt_tiled_containers() {
         let img = CorpusImage::Boat.generate(24, 24);
-        let bytes = compress_tiled(&img, &CodecConfig::default(), 2, Parallelism::Sequential);
+        let bytes = compress_tiled(
+            img.view(),
+            &CodecConfig::default(),
+            2,
+            Parallelism::Sequential,
+        );
         let dec = |b: &[u8]| decompress_tiled(b, Parallelism::Sequential);
         assert_eq!(dec(&bytes[..3]), Err(CodecError::Truncated));
         let mut bad = bytes.clone();
@@ -547,7 +625,12 @@ mod tests {
     #[test]
     fn rejects_impossible_tile_counts() {
         let img = CorpusImage::Boat.generate(24, 24);
-        let mut bytes = compress_tiled(&img, &CodecConfig::default(), 2, Parallelism::Sequential);
+        let mut bytes = compress_tiled(
+            img.view(),
+            &CodecConfig::default(),
+            2,
+            Parallelism::Sequential,
+        );
         // A count understating the band data errors (extra bytes), one
         // slightly overstating it errors (truncated third band)...
         for count in [1u32, 3] {
@@ -585,7 +668,7 @@ mod tests {
             out.extend_from_slice(TILE_MAGIC);
             out.extend_from_slice(&(bands.len() as u32).to_le_bytes());
             for band in bands {
-                let payload = crate::container::compress(band, &cfg);
+                let payload = crate::container::compress(band.view(), &cfg);
                 out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
                 out.extend_from_slice(&payload);
             }
@@ -611,6 +694,13 @@ mod tests {
             decompress_tiled(&bad_widths, Parallelism::Sequential),
             Err(CodecError::InvalidHeader(_))
         ));
+        // Mismatched depths never come from one image either.
+        let deep = Image::from_fn16(16, 2, 12, |x, y| (x * 100 + y) as u16);
+        let bad_depths = frame(&[band(16, 2), deep]);
+        assert!(matches!(
+            decompress_tiled(&bad_depths, Parallelism::Sequential),
+            Err(CodecError::InvalidHeader(_))
+        ));
         // The legal shape still decodes.
         let good = frame(&[band(16, 3), band(16, 2)]);
         assert_eq!(
@@ -625,6 +715,11 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn zero_tiles_panics() {
         let img = CorpusImage::Boat.generate(16, 16);
-        let _ = compress_tiled(&img, &CodecConfig::default(), 0, Parallelism::Sequential);
+        let _ = compress_tiled(
+            img.view(),
+            &CodecConfig::default(),
+            0,
+            Parallelism::Sequential,
+        );
     }
 }

@@ -6,8 +6,14 @@
 //! [`Codec::decode`]) are primary; the buffered `Vec<u8>` methods are thin
 //! conveniences layered on top, and size queries run through a
 //! [`CountingSink`] so they never materialize the container.
+//!
+//! Encoding consumes a borrowed [`ImageView`], not an owned `Image`:
+//! sub-image windows (tile bands, crops) are coded zero-copy, and an owned
+//! [`Image`] lends its view with [`Image::view`]. Sample depth travels on
+//! the view (`bit_depth`, 8–16 bits), so deep imagery flows through the
+//! same trait.
 
-use crate::{CbicError, DecodeOptions, EncodeOptions, Image};
+use crate::{CbicError, DecodeOptions, EncodeOptions, Image, ImageView};
 use std::io::{self, Read, Write};
 
 /// A [`Write`] sink that counts bytes instead of (or in addition to)
@@ -151,20 +157,22 @@ impl EncodeStats {
 /// A lossless grayscale image codec with a self-describing container:
 /// the single surface every codec in the workspace implements.
 ///
-/// The required methods are *session-friendly streams*: [`encode`] writes
-/// the container into any [`Write`] and [`decode`] reads one from any
-/// [`Read`], so pipes, sockets, and files all work without intermediate
-/// buffers. The provided methods derive the buffered and measuring
-/// conveniences from them.
+/// The required methods are *session-friendly streams*: [`encode`] reads
+/// pixels from a zero-copy [`ImageView`] and writes the container into any
+/// [`Write`]; [`decode`] reads one container from any [`Read`], so pipes,
+/// sockets, and files all work without intermediate buffers. The provided
+/// methods derive the buffered and measuring conveniences from them.
 ///
 /// [`encode`]: Self::encode
 /// [`decode`]: Self::decode
 ///
 /// # Contract
 ///
-/// For every image `img` and options `opts`, decoding the bytes written by
-/// `encode(img, opts, sink)` must reproduce `img` exactly, under *any*
-/// decode options — options select schedules and transports, never bits.
+/// For every view `img` and options `opts`, decoding the bytes written by
+/// `encode(img, opts, sink)` must reproduce `img`'s pixels (and bit depth)
+/// exactly, under *any* decode options — options select schedules and
+/// transports, never bits. The bits may not depend on the view's stride:
+/// a strided window encodes identically to its contiguous copy.
 /// Near-lossless codecs implement the trait only in their lossless
 /// configuration.
 ///
@@ -173,10 +181,12 @@ impl EncodeStats {
 /// ```
 /// use cbic_image::{
 ///     CbicError, Codec, DecodeOptions, EncodeOptions, EncodeStats, Image,
+///     ImageView,
 /// };
 /// use std::io::{Read, Write};
 ///
-/// /// A trivial stored-only "codec" demonstrating the contract.
+/// /// A trivial stored-only "codec" demonstrating the contract
+/// /// (8-bit only, for brevity).
 /// struct Stored;
 ///
 /// impl Codec for Stored {
@@ -185,13 +195,16 @@ impl EncodeStats {
 ///     }
 ///     fn encode(
 ///         &self,
-///         img: &Image,
+///         img: ImageView<'_>,
 ///         _opts: &EncodeOptions,
 ///         sink: &mut dyn Write,
 ///     ) -> Result<EncodeStats, CbicError> {
 ///         sink.write_all(&(img.width() as u32).to_le_bytes())?;
 ///         sink.write_all(&(img.height() as u32).to_le_bytes())?;
-///         sink.write_all(img.pixels())?;
+///         for row in img.rows() {
+///             let bytes: Vec<u8> = row.iter().map(|&s| s as u8).collect();
+///             sink.write_all(&bytes)?; // row-slice iteration, stride-blind
+///         }
 ///         let bytes = 8 + img.pixel_count() as u64;
 ///         Ok(EncodeStats::new(img.pixel_count() as u64, bytes, None))
 ///     }
@@ -213,10 +226,17 @@ impl EncodeStats {
 /// let img = Image::from_fn(4, 4, |x, y| (x + y) as u8);
 /// let codec: &dyn Codec = &Stored;
 /// let opts = EncodeOptions::default();
-/// let bytes = codec.encode_vec(&img, &opts)?;
+/// let bytes = codec.encode_vec(img.view(), &opts)?;
 /// assert_eq!(codec.decode_vec(&bytes, &DecodeOptions::default())?, img);
 /// // Size queries never materialize the container:
-/// assert_eq!(codec.bits_per_pixel(&img, &opts)?, 12.0); // 8 header bytes on 16 px
+/// assert_eq!(codec.bits_per_pixel(img.view(), &opts)?, 12.0); // 8 header bytes on 16 px
+/// // A zero-copy band encodes without touching the rest of the image:
+/// let band = img.view().row_range(1, 2);
+/// let band_bytes = codec.encode_vec(band, &opts)?;
+/// assert_eq!(
+///     codec.decode_vec(&band_bytes, &DecodeOptions::default())?,
+///     band.to_image()
+/// );
 /// # Ok::<(), CbicError>(())
 /// ```
 pub trait Codec: Send + Sync {
@@ -231,8 +251,15 @@ pub trait Codec: Send + Sync {
         None
     }
 
-    /// Encodes `img` into a self-describing container written to `sink`,
-    /// returning what it cost.
+    /// The sample bit depths this codec encodes, as an inclusive
+    /// `(min, max)` range. The workspace codecs all answer `(1, 16)`;
+    /// front ends can consult this before routing deep imagery.
+    fn bit_depths(&self) -> (u8, u8) {
+        (1, 16)
+    }
+
+    /// Encodes the pixels of `img` into a self-describing container
+    /// written to `sink`, returning what it cost.
     ///
     /// # Errors
     ///
@@ -240,7 +267,7 @@ pub trait Codec: Send + Sync {
     /// codec-specific structured errors otherwise.
     fn encode(
         &self,
-        img: &Image,
+        img: ImageView<'_>,
         opts: &EncodeOptions,
         sink: &mut dyn Write,
     ) -> Result<EncodeStats, CbicError>;
@@ -265,7 +292,7 @@ pub trait Codec: Send + Sync {
     /// # Errors
     ///
     /// As [`encode`](Self::encode) (a `Vec` sink itself cannot fail).
-    fn encode_vec(&self, img: &Image, opts: &EncodeOptions) -> Result<Vec<u8>, CbicError> {
+    fn encode_vec(&self, img: ImageView<'_>, opts: &EncodeOptions) -> Result<Vec<u8>, CbicError> {
         let mut out = Vec::new();
         self.encode(img, opts, &mut out)?;
         Ok(out)
@@ -287,7 +314,7 @@ pub trait Codec: Send + Sync {
     /// # Errors
     ///
     /// As [`encode`](Self::encode).
-    fn measure(&self, img: &Image, opts: &EncodeOptions) -> Result<EncodeStats, CbicError> {
+    fn measure(&self, img: ImageView<'_>, opts: &EncodeOptions) -> Result<EncodeStats, CbicError> {
         let mut sink = CountingSink::new();
         self.encode(img, opts, &mut sink)
     }
@@ -298,7 +325,7 @@ pub trait Codec: Send + Sync {
     /// # Errors
     ///
     /// As [`encode`](Self::encode).
-    fn bits_per_pixel(&self, img: &Image, opts: &EncodeOptions) -> Result<f64, CbicError> {
+    fn bits_per_pixel(&self, img: ImageView<'_>, opts: &EncodeOptions) -> Result<f64, CbicError> {
         Ok(self.measure(img, opts)?.bits_per_pixel())
     }
 
@@ -309,7 +336,11 @@ pub trait Codec: Send + Sync {
     /// # Errors
     ///
     /// As [`encode`](Self::encode).
-    fn payload_bits_per_pixel(&self, img: &Image, opts: &EncodeOptions) -> Result<f64, CbicError> {
+    fn payload_bits_per_pixel(
+        &self,
+        img: ImageView<'_>,
+        opts: &EncodeOptions,
+    ) -> Result<f64, CbicError> {
         Ok(self.measure(img, opts)?.payload_bits_per_pixel())
     }
 }
@@ -326,13 +357,16 @@ mod tests {
         }
         fn encode(
             &self,
-            img: &Image,
+            img: ImageView<'_>,
             _opts: &EncodeOptions,
             sink: &mut dyn Write,
         ) -> Result<EncodeStats, CbicError> {
             sink.write_all(&(img.width() as u32).to_le_bytes())?;
             sink.write_all(&(img.height() as u32).to_le_bytes())?;
-            sink.write_all(img.pixels())?;
+            for row in img.rows() {
+                let bytes: Vec<u8> = row.iter().map(|&s| s as u8).collect();
+                sink.write_all(&bytes)?;
+            }
             Ok(EncodeStats::new(
                 img.pixel_count() as u64,
                 8 + img.pixel_count() as u64,
@@ -354,9 +388,9 @@ mod tests {
     fn buffered_conveniences_match_streams() {
         let img = Image::from_fn(5, 3, |x, y| (x * y) as u8);
         let opts = EncodeOptions::default();
-        let buffered = Stored.encode_vec(&img, &opts).unwrap();
+        let buffered = Stored.encode_vec(img.view(), &opts).unwrap();
         let mut streamed = Vec::new();
-        let stats = Stored.encode(&img, &opts, &mut streamed).unwrap();
+        let stats = Stored.encode(img.view(), &opts, &mut streamed).unwrap();
         assert_eq!(buffered, streamed);
         assert_eq!(stats.container_bytes, buffered.len() as u64);
         assert_eq!(
@@ -368,18 +402,29 @@ mod tests {
     }
 
     #[test]
+    fn strided_views_encode_like_their_copies() {
+        let img = Image::from_fn(9, 7, |x, y| (x * 13 + y * 29) as u8);
+        let opts = EncodeOptions::default();
+        let window = img.view().crop(2, 1, 5, 4);
+        assert!(!window.is_contiguous());
+        let from_view = Stored.encode_vec(window, &opts).unwrap();
+        let from_copy = Stored.encode_vec(window.to_image().view(), &opts).unwrap();
+        assert_eq!(from_view, from_copy, "bits must not depend on the stride");
+    }
+
+    #[test]
     fn measure_never_materializes_but_counts_exactly() {
         let img = Image::from_fn(8, 8, |x, _| x as u8);
         let opts = EncodeOptions::default();
-        let stats = Stored.measure(&img, &opts).unwrap();
+        let stats = Stored.measure(img.view(), &opts).unwrap();
         assert_eq!(stats.container_bytes, 8 + 64);
         assert_eq!(
-            Stored.bits_per_pixel(&img, &opts).unwrap(),
+            Stored.bits_per_pixel(img.view(), &opts).unwrap(),
             72.0 * 8.0 / 64.0
         );
         assert_eq!(
-            Stored.payload_bits_per_pixel(&img, &opts).unwrap(),
-            Stored.bits_per_pixel(&img, &opts).unwrap(),
+            Stored.payload_bits_per_pixel(img.view(), &opts).unwrap(),
+            Stored.bits_per_pixel(img.view(), &opts).unwrap(),
             "no payload_bits tracked -> falls back to container size"
         );
     }
@@ -387,7 +432,9 @@ mod tests {
     #[test]
     fn truncated_decode_surfaces_structured_error() {
         let img = Image::from_fn(4, 4, |_, _| 9);
-        let bytes = Stored.encode_vec(&img, &EncodeOptions::default()).unwrap();
+        let bytes = Stored
+            .encode_vec(img.view(), &EncodeOptions::default())
+            .unwrap();
         let err = Stored
             .decode_vec(&bytes[..bytes.len() - 3], &DecodeOptions::default())
             .unwrap_err();
@@ -408,7 +455,7 @@ mod tests {
         }
         let img = Image::from_fn(2, 2, |_, _| 7);
         let err = Stored
-            .encode(&img, &EncodeOptions::default(), &mut Failing)
+            .encode(img.view(), &EncodeOptions::default(), &mut Failing)
             .unwrap_err();
         assert_eq!(err.io_kind(), Some(io::ErrorKind::StorageFull));
     }
@@ -419,7 +466,7 @@ mod tests {
         let img = Image::from_fn(3, 3, |x, _| x as u8);
         let mut sink = Vec::new();
         codec
-            .encode(&img, &EncodeOptions::default(), &mut sink)
+            .encode(img.view(), &EncodeOptions::default(), &mut sink)
             .unwrap();
         let mut source: &[u8] = &sink;
         assert_eq!(
@@ -428,6 +475,11 @@ mod tests {
                 .unwrap(),
             img
         );
+    }
+
+    #[test]
+    fn default_bit_depth_range_is_full() {
+        assert_eq!(Stored.bit_depths(), (1, 16));
     }
 
     #[test]

@@ -335,8 +335,8 @@ mod tests {
     #[test]
     fn pixel_values_span_a_wide_range() {
         for (c, img) in generate(64) {
-            let min = *img.pixels().iter().min().unwrap();
-            let max = *img.pixels().iter().max().unwrap();
+            let min = *img.samples().iter().min().unwrap();
+            let max = *img.samples().iter().max().unwrap();
             assert!(max - min > 60, "{c:?} spans only {min}..{max}");
         }
     }

@@ -1,0 +1,201 @@
+//! Shared dimensioned-container framing for the baseline codecs.
+//!
+//! The CALIC, JPEG-LS, and SLP crates each own an independent container
+//! format, but all three frame it the same way: a 4-byte magic, the
+//! image dimensions, and (since the bit-depth redesign) an optional
+//! deep-sample header extension. This module defines that scheme once —
+//! the sentinel value, the write/parse logic, and the size accounting —
+//! so a validation fix cannot silently drift between the crates:
+//!
+//! ```text
+//! 8-bit (legacy, byte-identical to the historical format):
+//!     magic(4) width(u32 LE) height(u32 LE) ...
+//! deeper:
+//!     magic(4) 0xFFFFFFFF bit_depth(1) width(u32 LE) height(u32 LE) ...
+//! ```
+//!
+//! The `0xFFFFFFFF` sentinel can never be a legal legacy width (widths
+//! are bounded by the shared 2^28-pixel cap), so old streams keep
+//! decoding unchanged.
+
+use std::io::Write;
+
+/// Sentinel "width" introducing the extended (deep-sample) header.
+const DEEP_SENTINEL: u32 = u32::MAX;
+
+/// The shared pixel ceiling: 2^28, matching the core container's cap.
+const MAX_PIXELS: usize = 1 << 28;
+
+/// Structured outcome of [`parse_dims_header`]; callers map the variants
+/// onto their per-crate error enums.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FramingError {
+    /// The stream does not start with the expected magic.
+    BadMagic,
+    /// The stream ended inside the header.
+    Truncated,
+    /// A header field holds a value no encoder produces.
+    Invalid(String),
+}
+
+/// Writes the magic, the optional deep-sample extension, and the
+/// dimensions. The caller appends any codec-specific fields (e.g.
+/// JPEG-LS's NEAR byte) and the payload.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_dims_header(
+    out: &mut dyn Write,
+    magic: &[u8; 4],
+    width: usize,
+    height: usize,
+    bit_depth: u8,
+) -> std::io::Result<()> {
+    out.write_all(magic)?;
+    if bit_depth != 8 {
+        out.write_all(&DEEP_SENTINEL.to_le_bytes())?;
+        out.write_all(&[bit_depth])?;
+    }
+    out.write_all(&(width as u32).to_le_bytes())?;
+    out.write_all(&(height as u32).to_le_bytes())?;
+    Ok(())
+}
+
+/// Bytes [`write_dims_header`] emits: 12 for the legacy 8-bit layout, 17
+/// with the deep extension.
+pub fn dims_header_len(bit_depth: u8) -> u64 {
+    if bit_depth == 8 {
+        12
+    } else {
+        17
+    }
+}
+
+/// Parses a header written by [`write_dims_header`], returning
+/// `(width, height, bit_depth, rest)` where `rest` starts at the first
+/// byte after the dimensions.
+///
+/// # Errors
+///
+/// [`FramingError::BadMagic`] on a foreign magic,
+/// [`FramingError::Truncated`] when the header is cut short, and
+/// [`FramingError::Invalid`] for zero dimensions, images beyond the
+/// 2^28-pixel cap, or a malformed depth extension.
+pub fn parse_dims_header<'a>(
+    bytes: &'a [u8],
+    magic: &[u8; 4],
+) -> Result<(usize, usize, u8, &'a [u8]), FramingError> {
+    if bytes.len() < 12 {
+        return Err(FramingError::Truncated);
+    }
+    if &bytes[..4] != magic {
+        return Err(FramingError::BadMagic);
+    }
+    let first = u32::from_le_bytes(bytes[4..8].try_into().expect("sized"));
+    let (bit_depth, dims_at) = if first == DEEP_SENTINEL {
+        if bytes.len() < 17 {
+            return Err(FramingError::Truncated);
+        }
+        let depth = bytes[8];
+        if !(1..=16).contains(&depth) || depth == 8 {
+            return Err(FramingError::Invalid(format!(
+                "bit depth {depth} invalid for an extended header"
+            )));
+        }
+        (depth, 9usize)
+    } else {
+        (8u8, 4usize)
+    };
+    let width = u32::from_le_bytes(bytes[dims_at..dims_at + 4].try_into().expect("sized")) as usize;
+    let height =
+        u32::from_le_bytes(bytes[dims_at + 4..dims_at + 8].try_into().expect("sized")) as usize;
+    if width == 0 || height == 0 {
+        return Err(FramingError::Invalid("zero dimension".into()));
+    }
+    if width.saturating_mul(height) > MAX_PIXELS {
+        return Err(FramingError::Invalid("image too large".into()));
+    }
+    Ok((width, height, bit_depth, &bytes[dims_at + 8..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: &[u8; 4] = b"TEST";
+
+    fn roundtrip(width: usize, height: usize, depth: u8) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_dims_header(&mut out, MAGIC, width, height, depth).unwrap();
+        assert_eq!(out.len() as u64, dims_header_len(depth));
+        out
+    }
+
+    #[test]
+    fn legacy_layout_is_twelve_bytes() {
+        let hdr = roundtrip(640, 480, 8);
+        assert_eq!(hdr.len(), 12);
+        let (w, h, d, rest) = parse_dims_header(&hdr, MAGIC).unwrap();
+        assert_eq!((w, h, d), (640, 480, 8));
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn deep_layout_carries_the_depth() {
+        let mut hdr = roundtrip(33, 21, 12);
+        hdr.extend_from_slice(b"payload");
+        let (w, h, d, rest) = parse_dims_header(&hdr, MAGIC).unwrap();
+        assert_eq!((w, h, d), (33, 21, 12));
+        assert_eq!(rest, b"payload");
+    }
+
+    #[test]
+    fn rejects_malformed_headers() {
+        assert_eq!(
+            parse_dims_header(b"TE", MAGIC),
+            Err(FramingError::Truncated)
+        );
+        assert_eq!(
+            parse_dims_header(b"XXXX00000000", MAGIC),
+            Err(FramingError::BadMagic)
+        );
+        // Sentinel with a truncated extension.
+        let mut short = Vec::new();
+        short.extend_from_slice(MAGIC);
+        short.extend_from_slice(&u32::MAX.to_le_bytes());
+        short.extend_from_slice(&[12, 0, 0]);
+        assert_eq!(
+            parse_dims_header(&short, MAGIC),
+            Err(FramingError::Truncated)
+        );
+        // Sentinel claiming depth 8 (must use the legacy layout) or 0.
+        for depth in [0u8, 8, 17] {
+            let mut bad = Vec::new();
+            write_dims_header(&mut bad, MAGIC, 4, 4, 10).unwrap();
+            bad[8] = depth;
+            assert!(
+                matches!(
+                    parse_dims_header(&bad, MAGIC),
+                    Err(FramingError::Invalid(_))
+                ),
+                "depth {depth}"
+            );
+        }
+        // Zero dims and the pixel cap.
+        let zero = roundtrip(4, 4, 8);
+        let mut zero_w = zero.clone();
+        zero_w[4..8].fill(0);
+        assert!(matches!(
+            parse_dims_header(&zero_w, MAGIC),
+            Err(FramingError::Invalid(_))
+        ));
+        let mut huge = zero;
+        huge[4..8].copy_from_slice(&(1u32 << 20).to_le_bytes());
+        huge[8..12].copy_from_slice(&(1u32 << 20).to_le_bytes());
+        assert!(matches!(
+            parse_dims_header(&huge, MAGIC),
+            Err(FramingError::Invalid(_))
+        ));
+    }
+}

@@ -1,5 +1,7 @@
-//! The 8-bit grayscale image container.
+//! The grayscale image container: owned, contiguous `u16` samples at an
+//! 8–16-bit depth, lending zero-copy [`ImageView`]s to the codecs.
 
+use crate::view::{ImageView, ImageViewMut};
 use std::fmt;
 
 /// Errors produced by image construction and I/O.
@@ -17,9 +19,20 @@ pub enum ImageError {
     },
     /// Width or height is zero.
     EmptyImage,
+    /// Bit depth outside the supported `1..=16` range.
+    UnsupportedBitDepth(u8),
+    /// A sample does not fit the declared bit depth.
+    SampleOutOfRange {
+        /// The offending sample value.
+        value: u16,
+        /// The largest value the bit depth allows.
+        max_val: u16,
+    },
+    /// A view's geometry (stride, buffer length) is inconsistent.
+    InvalidView(String),
     /// A PGM stream could not be parsed.
     PgmParse(String),
-    /// A compressed container could not be parsed (used by `ImageCodec`
+    /// A compressed container could not be parsed (used by codec
     /// implementations to surface their codec-specific errors).
     Codec(String),
     /// Underlying I/O failure (message form, to keep the error `Clone`).
@@ -31,9 +44,16 @@ impl fmt::Display for ImageError {
         match self {
             Self::DimensionMismatch { width, height, len } => write!(
                 f,
-                "pixel buffer of {len} bytes does not match {width}x{height} image"
+                "pixel buffer of {len} samples does not match {width}x{height} image"
             ),
             Self::EmptyImage => write!(f, "image dimensions must be nonzero"),
+            Self::UnsupportedBitDepth(d) => {
+                write!(f, "bit depth {d} outside the supported 1..=16 range")
+            }
+            Self::SampleOutOfRange { value, max_val } => {
+                write!(f, "sample {value} exceeds the bit-depth maximum {max_val}")
+            }
+            Self::InvalidView(msg) => write!(f, "invalid view geometry: {msg}"),
             Self::PgmParse(msg) => write!(f, "invalid PGM stream: {msg}"),
             Self::Codec(msg) => write!(f, "invalid compressed container: {msg}"),
             Self::Io(msg) => write!(f, "i/o error: {msg}"),
@@ -49,10 +69,32 @@ impl From<std::io::Error> for ImageError {
     }
 }
 
-/// An 8-bit grayscale image in row-major order.
+/// Largest sample value representable at `bit_depth` bits
+/// (`2^bit_depth − 1`) — the one place the depth-16 edge case lives.
 ///
-/// This is the pixel container every codec in the workspace consumes and
-/// produces. Pixels are `u8` (the paper's n = 8 bits per pixel).
+/// # Examples
+///
+/// ```
+/// assert_eq!(cbic_image::max_val_for(8), 255);
+/// assert_eq!(cbic_image::max_val_for(16), u16::MAX);
+/// ```
+#[inline]
+pub fn max_val_for(bit_depth: u8) -> u16 {
+    debug_assert!((1..=16).contains(&bit_depth));
+    if bit_depth == 16 {
+        u16::MAX
+    } else {
+        (1u16 << bit_depth) - 1
+    }
+}
+
+/// A grayscale image in row-major order: `u16` samples at a declared
+/// 8–16-bit depth (depths down to 1 are accepted for completeness).
+///
+/// This is the *owned* pixel container; every codec consumes the borrowed
+/// [`ImageView`] it lends through [`Self::view`]. 8-bit images (the
+/// paper's n = 8) remain the fast path and the default of every
+/// constructor that does not name a depth.
 ///
 /// # Examples
 ///
@@ -61,31 +103,51 @@ impl From<std::io::Error> for ImageError {
 ///
 /// let img = Image::from_fn(4, 2, |x, y| (x * 10 + y) as u8);
 /// assert_eq!(img.get(3, 1), 31);
-/// assert_eq!(img.pixels().len(), 8);
+/// assert_eq!(img.bit_depth(), 8);
+/// assert_eq!(img.samples().len(), 8);
+///
+/// let deep = Image::from_fn16(4, 2, 12, |x, y| (x * 1000 + y) as u16);
+/// assert_eq!(deep.max_val(), 4095);
+/// assert_eq!(deep.view().row(1)[3], 3001);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Image {
     width: usize,
     height: usize,
-    data: Vec<u8>,
+    bit_depth: u8,
+    data: Vec<u16>,
 }
 
 impl Image {
-    /// Creates a black (all-zero) image.
+    /// Creates a black (all-zero) 8-bit image.
     ///
     /// # Panics
     ///
     /// Panics if either dimension is zero.
     pub fn new(width: usize, height: usize) -> Self {
+        Self::with_depth(width, height, 8)
+    }
+
+    /// Creates a black (all-zero) image at the given bit depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the depth is outside `1..=16`.
+    pub fn with_depth(width: usize, height: usize, bit_depth: u8) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be nonzero");
+        assert!(
+            (1..=16).contains(&bit_depth),
+            "bit depth {bit_depth} outside 1..=16"
+        );
         Self {
             width,
             height,
+            bit_depth,
             data: vec![0; width * height],
         }
     }
 
-    /// Wraps an existing row-major pixel buffer.
+    /// Wraps an existing row-major 8-bit pixel buffer.
     ///
     /// # Errors
     ///
@@ -105,26 +167,90 @@ impl Image {
         Ok(Self {
             width,
             height,
+            bit_depth: 8,
+            data: data.into_iter().map(u16::from).collect(),
+        })
+    }
+
+    /// Wraps an existing row-major `u16` sample buffer at the given depth.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::DimensionMismatch`] / [`ImageError::EmptyImage`] as
+    /// [`Self::from_vec`], [`ImageError::UnsupportedBitDepth`] outside
+    /// `1..=16`, and [`ImageError::SampleOutOfRange`] when a sample does
+    /// not fit the depth.
+    pub fn from_samples(
+        width: usize,
+        height: usize,
+        bit_depth: u8,
+        data: Vec<u16>,
+    ) -> Result<Self, ImageError> {
+        if width == 0 || height == 0 {
+            return Err(ImageError::EmptyImage);
+        }
+        if !(1..=16).contains(&bit_depth) {
+            return Err(ImageError::UnsupportedBitDepth(bit_depth));
+        }
+        if data.len() != width * height {
+            return Err(ImageError::DimensionMismatch {
+                width,
+                height,
+                len: data.len(),
+            });
+        }
+        let max_val = max_val_for(bit_depth);
+        if let Some(&value) = data.iter().find(|&&v| v > max_val) {
+            return Err(ImageError::SampleOutOfRange { value, max_val });
+        }
+        Ok(Self {
+            width,
+            height,
+            bit_depth,
             data,
         })
     }
 
-    /// Builds an image by evaluating `f(x, y)` for every pixel.
+    /// Builds an 8-bit image by evaluating `f(x, y)` for every pixel.
     ///
     /// # Panics
     ///
     /// Panics if either dimension is zero.
     pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> u8) -> Self {
+        Self::from_fn16(width, height, 8, |x, y| u16::from(f(x, y)))
+    }
+
+    /// Builds an image at the given depth by evaluating `f(x, y)` for
+    /// every pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero, the depth is outside `1..=16`,
+    /// or `f` produces a sample that does not fit the depth.
+    pub fn from_fn16(
+        width: usize,
+        height: usize,
+        bit_depth: u8,
+        mut f: impl FnMut(usize, usize) -> u16,
+    ) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be nonzero");
+        assert!(
+            (1..=16).contains(&bit_depth),
+            "bit depth {bit_depth} outside 1..=16"
+        );
+        let max_val = max_val_for(bit_depth);
         let mut data = Vec::with_capacity(width * height);
         for y in 0..height {
             for x in 0..width {
-                data.push(f(x, y));
+                let v = f(x, y);
+                assert!(v <= max_val, "sample {v} exceeds {bit_depth}-bit maximum");
+                data.push(v);
             }
         }
         Self {
             width,
             height,
+            bit_depth,
             data,
         }
     }
@@ -147,10 +273,51 @@ impl Image {
         (self.width, self.height)
     }
 
+    /// Sample bit depth (`1..=16`; 8 for classic grayscale).
+    #[inline]
+    pub fn bit_depth(&self) -> u8 {
+        self.bit_depth
+    }
+
+    /// Largest representable sample value, `2^bit_depth − 1`.
+    #[inline]
+    pub fn max_val(&self) -> u16 {
+        max_val_for(self.bit_depth)
+    }
+
     /// Total number of pixels.
     #[inline]
     pub fn pixel_count(&self) -> usize {
         self.data.len()
+    }
+
+    /// Lends the whole image as a zero-copy read-only [`ImageView`].
+    ///
+    /// The owned buffer was range-validated at construction, so lending a
+    /// view is O(1) — no per-sample re-scan.
+    #[inline]
+    pub fn view(&self) -> ImageView<'_> {
+        ImageView::new_unchecked_samples(
+            &self.data,
+            self.width,
+            self.height,
+            self.width,
+            self.bit_depth,
+        )
+        .expect("owned images always have valid view geometry")
+    }
+
+    /// Lends the whole image as a mutable [`ImageViewMut`].
+    #[inline]
+    pub fn view_mut(&mut self) -> ImageViewMut<'_> {
+        ImageViewMut::new_unchecked_samples(
+            &mut self.data,
+            self.width,
+            self.height,
+            self.width,
+            self.bit_depth,
+        )
+        .expect("owned images always have valid view geometry")
     }
 
     /// Pixel at `(x, y)`.
@@ -159,7 +326,7 @@ impl Image {
     ///
     /// Panics if the coordinates are out of bounds.
     #[inline]
-    pub fn get(&self, x: usize, y: usize) -> u8 {
+    pub fn get(&self, x: usize, y: usize) -> u16 {
         assert!(x < self.width && y < self.height, "pixel out of bounds");
         self.data[y * self.width + x]
     }
@@ -168,10 +335,19 @@ impl Image {
     ///
     /// # Panics
     ///
-    /// Panics if the coordinates are out of bounds.
+    /// Panics if the coordinates are out of bounds or the value exceeds
+    /// the bit depth.
     #[inline]
-    pub fn set(&mut self, x: usize, y: usize, value: u8) {
+    pub fn set(&mut self, x: usize, y: usize, value: u16) {
         assert!(x < self.width && y < self.height, "pixel out of bounds");
+        // A hard check, not a debug assert: `view()` skips the per-sample
+        // range scan on the strength of this invariant, and an oversized
+        // sample would silently wrap inside the codecs.
+        assert!(
+            value <= self.max_val(),
+            "sample {value} exceeds {}-bit maximum",
+            self.bit_depth
+        );
         self.data[y * self.width + x] = value;
     }
 
@@ -181,19 +357,36 @@ impl Image {
     ///
     /// Panics if `y` is out of bounds.
     #[inline]
-    pub fn row(&self, y: usize) -> &[u8] {
+    pub fn row(&self, y: usize) -> &[u16] {
         assert!(y < self.height, "row out of bounds");
         &self.data[y * self.width..(y + 1) * self.width]
     }
 
-    /// The whole pixel buffer, row-major.
+    /// Row `y` as a mutable slice.
+    ///
+    /// This is the raw escape hatch past the range checks of
+    /// [`set`](Self::set)/[`from_samples`](Self::from_samples): the caller
+    /// must keep every written sample within [`max_val`](Self::max_val),
+    /// or a later encode will silently wrap it modulo the sample range
+    /// (the in-workspace decode paths only write already-valid values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of bounds.
     #[inline]
-    pub fn pixels(&self) -> &[u8] {
+    pub fn row_mut(&mut self, y: usize) -> &mut [u16] {
+        assert!(y < self.height, "row out of bounds");
+        &mut self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// The whole sample buffer, row-major.
+    #[inline]
+    pub fn samples(&self) -> &[u16] {
         &self.data
     }
 
-    /// Consumes the image, returning the pixel buffer.
-    pub fn into_vec(self) -> Vec<u8> {
+    /// Consumes the image, returning the sample buffer.
+    pub fn into_samples(self) -> Vec<u16> {
         self.data
     }
 
@@ -202,7 +395,7 @@ impl Image {
     /// An upper bound on what a memoryless coder could achieve; context
     /// modeling exists precisely to beat this.
     pub fn entropy(&self) -> f64 {
-        let mut hist = [0u64; 256];
+        let mut hist = vec![0u64; usize::from(self.max_val()) + 1];
         for &p in &self.data {
             hist[usize::from(p)] += 1;
         }
@@ -224,12 +417,14 @@ impl Image {
     /// Entropy (bits/pixel) of the horizontal first differences — a quick
     /// proxy for how predictable the image is.
     pub fn gradient_entropy(&self) -> f64 {
-        let mut hist = [0u64; 256];
+        let modulus = u32::from(self.max_val()) + 1;
+        let mut hist = vec![0u64; modulus as usize];
         let mut n = 0u64;
         for y in 0..self.height {
             let row = self.row(y);
             for x in 1..self.width {
-                hist[usize::from(row[x].wrapping_sub(row[x - 1]))] += 1;
+                let d = (u32::from(row[x]) + modulus - u32::from(row[x - 1])) % modulus;
+                hist[d as usize] += 1;
                 n += 1;
             }
         }
@@ -255,7 +450,8 @@ mod tests {
     fn new_is_black() {
         let img = Image::new(3, 2);
         assert_eq!(img.dimensions(), (3, 2));
-        assert!(img.pixels().iter().all(|&p| p == 0));
+        assert_eq!(img.bit_depth(), 8);
+        assert!(img.samples().iter().all(|&p| p == 0));
     }
 
     #[test]
@@ -267,9 +463,30 @@ mod tests {
     }
 
     #[test]
+    fn from_samples_validates_depth_and_range() {
+        assert!(Image::from_samples(2, 2, 12, vec![0, 4095, 17, 2000]).is_ok());
+        assert_eq!(
+            Image::from_samples(2, 2, 12, vec![0, 4096, 0, 0]),
+            Err(ImageError::SampleOutOfRange {
+                value: 4096,
+                max_val: 4095
+            })
+        );
+        assert_eq!(
+            Image::from_samples(2, 2, 0, vec![0; 4]),
+            Err(ImageError::UnsupportedBitDepth(0))
+        );
+        assert_eq!(
+            Image::from_samples(2, 2, 17, vec![0; 4]),
+            Err(ImageError::UnsupportedBitDepth(17))
+        );
+        assert!(Image::from_samples(2, 2, 16, vec![u16::MAX; 4]).is_ok());
+    }
+
+    #[test]
     fn from_fn_row_major_order() {
         let img = Image::from_fn(3, 2, |x, y| (y * 3 + x) as u8);
-        assert_eq!(img.pixels(), &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(img.samples(), &[0, 1, 2, 3, 4, 5]);
         assert_eq!(img.row(1), &[3, 4, 5]);
     }
 
@@ -278,6 +495,20 @@ mod tests {
         let mut img = Image::new(4, 4);
         img.set(2, 3, 99);
         assert_eq!(img.get(2, 3), 99);
+    }
+
+    #[test]
+    fn sixteen_bit_images_hold_wide_samples() {
+        let img = Image::from_fn16(4, 4, 16, |x, y| (x * 16000 + y) as u16);
+        assert_eq!(img.max_val(), 65535);
+        assert_eq!(img.get(3, 2), 48002);
+        assert_eq!(img.view().max_val(), 65535);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 10-bit maximum")]
+    fn from_fn16_rejects_oversized_samples() {
+        let _ = Image::from_fn16(2, 2, 10, |_, _| 1024);
     }
 
     #[test]
@@ -304,9 +535,22 @@ mod tests {
     }
 
     #[test]
+    fn sixteen_bit_entropy_uses_full_histogram() {
+        let img = Image::from_fn16(64, 64, 16, |x, y| (y * 64 + x) as u16 * 16);
+        assert!((img.entropy() - 12.0).abs() < 1e-9, "{}", img.entropy());
+        assert!(img.gradient_entropy() < 0.1);
+    }
+
+    #[test]
     fn error_display_messages() {
         let e = ImageError::PgmParse("bad magic".into());
         assert!(e.to_string().contains("bad magic"));
         assert!(ImageError::EmptyImage.to_string().contains("nonzero"));
+        assert!(ImageError::UnsupportedBitDepth(3).to_string().contains('3'));
+        let e = ImageError::SampleOutOfRange {
+            value: 300,
+            max_val: 255,
+        };
+        assert!(e.to_string().contains("300"));
     }
 }

@@ -27,14 +27,20 @@
 mod codec_trait;
 pub mod corpus;
 mod error;
+pub mod framing;
 mod image;
 mod options;
 pub mod pgm;
 pub mod registry;
 pub mod synth;
+mod view;
+
+#[cfg(test)]
+mod proptests;
 
 pub use codec_trait::{Codec, CountingSink, EncodeStats};
 pub use error::CbicError;
-pub use image::{Image, ImageError};
+pub use image::{max_val_for, Image, ImageError};
 pub use options::{DecodeOptions, EncodeOptions, Parallelism};
 pub use registry::{CodecRegistry, RegistryError};
+pub use view::{ImageView, ImageViewMut};

@@ -1,0 +1,131 @@
+//! Property-based robustness tests for the PGM parsers: arbitrary and
+//! adversarial inputs — deep maxvals, comments, truncated payloads,
+//! mutated headers — must produce structured [`ImageError`]s (convertible
+//! to [`CbicError`]), never panics, and well-formed streams must
+//! round-trip at every depth.
+
+use crate::{pgm, CbicError, Image, ImageError};
+use proptest::prelude::*;
+
+/// Arbitrary images at arbitrary 1–16-bit depths, samples masked to fit.
+fn arb_any_depth_image() -> impl Strategy<Value = Image> {
+    (1usize..20, 1usize..20, 1u8..=16).prop_flat_map(|(w, h, depth)| {
+        proptest::collection::vec(any::<u16>(), w * h).prop_map(move |data| {
+            let max = crate::image::max_val_for(depth);
+            let data = data
+                .into_iter()
+                .map(|v| v % (u32::from(max) as u16).max(1))
+                .collect();
+            Image::from_samples(w, h, depth, data).expect("masked to depth")
+        })
+    })
+}
+
+/// A syntactically valid-ish PGM header with arbitrary field values and
+/// optional comments, followed by an arbitrary (often wrong-sized) body.
+fn arb_pgm_stream() -> impl Strategy<Value = Vec<u8>> {
+    (
+        0usize..40,
+        0usize..40,
+        0usize..70_000,
+        any::<bool>(),
+        proptest::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(w, h, maxval, comment, body)| {
+            let mut s = Vec::new();
+            s.extend_from_slice(b"P5");
+            if comment {
+                s.extend_from_slice(b" # fuzz comment\n");
+            }
+            s.extend_from_slice(format!("\n{w} {h}\n{maxval}\n").as_bytes());
+            s.extend_from_slice(&body);
+            s
+        })
+}
+
+proptest! {
+    /// Well-formed PGM streams round-trip losslessly at every depth, in
+    /// both the buffered and the streaming parser.
+    #[test]
+    fn roundtrip_any_depth(img in arb_any_depth_image()) {
+        let bytes = pgm::encode(&img);
+        let back = pgm::decode(&bytes).expect("own encoding parses");
+        // PGM maxval only records the *depth class* the samples fit in;
+        // the pixels must survive exactly.
+        prop_assert_eq!(back.dimensions(), img.dimensions());
+        prop_assert_eq!(back.samples(), img.samples());
+
+        let mut reader = &bytes[..];
+        let header = pgm::read_header(&mut reader).expect("own header parses");
+        prop_assert_eq!((header.width, header.height), img.dimensions());
+        let mut row = vec![0u16; header.width];
+        for y in 0..header.height {
+            pgm::read_row(&mut reader, &header, &mut row).expect("own rows parse");
+            prop_assert_eq!(&row[..], back.row(y));
+        }
+    }
+
+    /// Fuzzed headers (arbitrary dims, maxval 0..70000, comments) over
+    /// arbitrary bodies never panic: they parse or fail structurally, and
+    /// the failure converts into the unified error type.
+    #[test]
+    fn fuzzed_streams_never_panic(stream in arb_pgm_stream()) {
+        match pgm::decode(&stream) {
+            Ok(img) => {
+                prop_assert!(img.width() > 0 && img.height() > 0);
+                prop_assert!((1..=16).contains(&img.bit_depth()));
+            }
+            Err(e) => {
+                let unified = CbicError::from(e);
+                prop_assert!(!unified.to_string().is_empty());
+            }
+        }
+        let mut reader = &stream[..];
+        let _ = pgm::read_header(&mut reader); // must not panic either
+    }
+
+    /// Truncating a valid deep stream anywhere yields a structured error,
+    /// never a panic and never a silently short image.
+    #[test]
+    fn truncation_is_structured(img in arb_any_depth_image(), frac in 0u8..100) {
+        let bytes = pgm::encode(&img);
+        let cut = (bytes.len() * usize::from(frac)) / 100;
+        if cut < bytes.len() {
+            match pgm::decode(&bytes[..cut]) {
+                Ok(short) => prop_assert_eq!(
+                    (short.dimensions(), short.samples()),
+                    (img.dimensions(), img.samples()),
+                    "a truncated stream may only parse if nothing was lost"
+                ),
+                Err(e) => prop_assert!(
+                    matches!(e, ImageError::PgmParse(_)),
+                    "unexpected error class: {e:?}"
+                ),
+            }
+        }
+    }
+
+    /// Mutating any single header byte of a valid 16-bit stream never
+    /// panics; it errors or decodes to *some* structurally valid image.
+    #[test]
+    fn mutated_deep_headers_never_panic(
+        seed in any::<u64>(),
+        pos in 0usize..14,
+        val in any::<u8>(),
+    ) {
+        let img = Image::from_fn16(6, 5, 16, |x, y| {
+            (seed as u16).wrapping_mul((x * 31 + y * 7 + 1) as u16)
+        });
+        let mut bytes = pgm::encode(&img);
+        let pos = pos.min(bytes.len() - 1);
+        bytes[pos] = val;
+        match pgm::decode(&bytes) {
+            Ok(out) => prop_assert!((1..=16).contains(&out.bit_depth())),
+            Err(ImageError::PgmParse(msg)) => prop_assert!(!msg.is_empty()),
+            Err(other) => prop_assert!(
+                matches!(other, ImageError::DimensionMismatch { .. }),
+                "unexpected error class: {other:?}"
+            ),
+        }
+    }
+}

@@ -64,6 +64,7 @@ impl std::error::Error for RegistryError {}
 /// use cbic_image::registry::CodecRegistry;
 /// use cbic_image::{
 ///     CbicError, Codec, DecodeOptions, EncodeOptions, EncodeStats, Image,
+///     ImageView,
 /// };
 /// use std::io::{Read, Write};
 ///
@@ -73,14 +74,18 @@ impl std::error::Error for RegistryError {}
 ///     fn magic(&self) -> Option<[u8; 4]> { Some(*b"STOR") }
 ///     fn encode(
 ///         &self,
-///         img: &Image,
+///         img: ImageView<'_>,
 ///         _opts: &EncodeOptions,
 ///         sink: &mut dyn Write,
 ///     ) -> Result<EncodeStats, CbicError> {
 ///         sink.write_all(b"STOR")?;
 ///         sink.write_all(&(img.width() as u32).to_le_bytes())?;
 ///         sink.write_all(&(img.height() as u32).to_le_bytes())?;
-///         sink.write_all(img.pixels())?;
+///         for row in img.rows() {
+///             // Row-slice iteration: works for strided views too.
+///             let bytes: Vec<u8> = row.iter().map(|&s| s as u8).collect();
+///             sink.write_all(&bytes)?;
+///         }
 ///         Ok(EncodeStats::new(
 ///             img.pixel_count() as u64,
 ///             12 + img.pixel_count() as u64,
@@ -109,7 +114,10 @@ impl std::error::Error for RegistryError {}
 /// registry.register(Box::new(Stored));
 /// let img = Image::from_fn(8, 8, |x, y| (x ^ y) as u8);
 /// let opts = EncodeOptions::default();
-/// let bytes = registry.by_name("stored").unwrap().encode_vec(&img, &opts)?;
+/// let bytes = registry
+///     .by_name("stored")
+///     .unwrap()
+///     .encode_vec(img.view(), &opts)?;
 /// assert_eq!(registry.detect(&bytes).unwrap().name(), "stored");
 /// assert_eq!(registry.decode_auto(&bytes, &DecodeOptions::default())?, img);
 /// # Ok::<(), CbicError>(())
@@ -255,7 +263,7 @@ impl std::fmt::Debug for CodecRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{EncodeOptions, EncodeStats};
+    use crate::{EncodeOptions, EncodeStats, ImageView};
     use std::io::Write;
 
     struct Fake(&'static str, [u8; 4]);
@@ -269,7 +277,7 @@ mod tests {
         }
         fn encode(
             &self,
-            _img: &Image,
+            _img: ImageView<'_>,
             _opts: &EncodeOptions,
             sink: &mut dyn Write,
         ) -> Result<EncodeStats, CbicError> {
@@ -371,7 +379,7 @@ mod tests {
             }
             fn encode(
                 &self,
-                _img: &Image,
+                _img: ImageView<'_>,
                 _opts: &EncodeOptions,
                 _sink: &mut dyn Write,
             ) -> Result<EncodeStats, CbicError> {

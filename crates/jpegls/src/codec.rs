@@ -7,9 +7,9 @@
 //! work with the identical code path — for `NEAR = 0` the reconstruction
 //! equals the source and the codec is lossless.
 
-use crate::params::{JpeglsConfig, J, MAXVAL, MAX_C, MIN_C};
+use crate::params::{JpeglsConfig, J, MAX_C, MIN_C};
 use cbic_bitio::{BitReader, BitWriter};
-use cbic_image::Image;
+use cbic_image::{Image, ImageView};
 use cbic_rice::{decode_limited, encode_limited};
 
 /// Number of regular (gradient) contexts after sign folding.
@@ -45,6 +45,7 @@ impl EncodeStats {
 /// The adaptive state shared by encoder and decoder.
 struct State {
     cfg: JpeglsConfig,
+    maxval: i32,
     range: i32,
     qbpp: u32,
     limit: u32,
@@ -63,6 +64,7 @@ impl State {
         let a_init = cfg.a_init();
         Self {
             cfg: *cfg,
+            maxval: cfg.maxval(),
             range: cfg.range(),
             qbpp: cfg.qbpp(),
             limit: cfg.limit(),
@@ -171,10 +173,10 @@ impl State {
         let mut rx = px + sign * errval * (2 * self.near + 1);
         if rx < -self.near {
             rx += self.range * (2 * self.near + 1);
-        } else if rx > MAXVAL + self.near {
+        } else if rx > self.maxval + self.near {
             rx -= self.range * (2 * self.near + 1);
         }
-        rx.clamp(0, MAXVAL)
+        rx.clamp(0, self.maxval)
     }
 
     /// A/B/N update + bias computation of a regular context (A.6).
@@ -248,8 +250,15 @@ impl State {
     }
 }
 
-/// Encodes `img`, returning the raw payload and statistics.
-pub fn encode_raw(img: &Image, cfg: &JpeglsConfig) -> (Vec<u8>, EncodeStats) {
+/// Encodes the pixels of `img`, returning the raw payload and statistics.
+///
+/// The configuration's `bit_depth` must match the view's.
+pub fn encode_raw(img: ImageView<'_>, cfg: &JpeglsConfig) -> (Vec<u8>, EncodeStats) {
+    assert_eq!(
+        cfg.bit_depth,
+        img.bit_depth(),
+        "configuration depth must match the image"
+    );
     let (width, height) = img.dimensions();
     let mut st = State::new(cfg);
     let mut w = BitWriter::new();
@@ -262,6 +271,7 @@ pub fn encode_raw(img: &Image, cfg: &JpeglsConfig) -> (Vec<u8>, EncodeStats) {
     let mut cur = vec![0i32; width + 2];
 
     for y in 0..height {
+        let src = img.row(y);
         cur[0] = prev[1];
         prev[width + 1] = prev[width];
         let mut x = 0usize;
@@ -279,9 +289,7 @@ pub fn encode_raw(img: &Image, cfg: &JpeglsConfig) -> (Vec<u8>, EncodeStats) {
                 // ---- Run mode (A.7) ----
                 let runval = ra;
                 let mut runcnt = 0usize;
-                while x + runcnt < width
-                    && (i32::from(img.get(x + runcnt, y)) - runval).abs() <= st.near
-                {
+                while x + runcnt < width && (i32::from(src[x + runcnt]) - runval).abs() <= st.near {
                     cur[x + runcnt + 1] = runval;
                     runcnt += 1;
                 }
@@ -313,7 +321,7 @@ pub fn encode_raw(img: &Image, cfg: &JpeglsConfig) -> (Vec<u8>, EncodeStats) {
                 let rb = prev[idx];
                 let ritype = usize::from((ra - rb).abs() <= st.near);
                 let px = if ritype == 1 { ra } else { rb };
-                let mut errval = i32::from(img.get(x, y)) - px;
+                let mut errval = i32::from(src[x]) - px;
                 let flip = ritype == 0 && ra > rb;
                 if flip {
                     errval = -errval;
@@ -347,8 +355,8 @@ pub fn encode_raw(img: &Image, cfg: &JpeglsConfig) -> (Vec<u8>, EncodeStats) {
             } else {
                 // ---- Regular mode (A.4–A.6) ----
                 let (q, sign) = st.context(q1, q2, q3);
-                let px = (State::med(ra, rb, rc) + sign * st.c[q]).clamp(0, MAXVAL);
-                let raw = (i32::from(img.get(x, y)) - px) * sign;
+                let px = (State::med(ra, rb, rc) + sign * st.c[q]).clamp(0, st.maxval);
+                let raw = (i32::from(src[x]) - px) * sign;
                 let errq = st.quantize_error(raw);
                 cur[idx] = st.reconstruct(px, sign, errq);
                 let errval = st.mod_range(errq);
@@ -377,11 +385,12 @@ pub fn encode_raw(img: &Image, cfg: &JpeglsConfig) -> (Vec<u8>, EncodeStats) {
 }
 
 /// Decodes a payload produced by [`encode_raw`] with matching dimensions
-/// and configuration.
+/// and configuration (the configuration's `bit_depth` fixes the output
+/// depth).
 pub fn decode_raw(bytes: &[u8], width: usize, height: usize, cfg: &JpeglsConfig) -> Image {
     let mut st = State::new(cfg);
     let mut r = BitReader::new(bytes);
-    let mut out = Image::new(width, height);
+    let mut out = Image::with_depth(width, height, cfg.bit_depth);
 
     let mut prev = vec![0i32; width + 2];
     let mut cur = vec![0i32; width + 2];
@@ -437,7 +446,7 @@ pub fn decode_raw(bytes: &[u8], width: usize, height: usize, cfg: &JpeglsConfig)
                 }
                 for i in 0..run {
                     cur[x + i + 1] = runval;
-                    out.set(x + i, y, runval as u8);
+                    out.set(x + i, y, runval as u16);
                 }
                 x += run;
                 if eol {
@@ -470,7 +479,7 @@ pub fn decode_raw(bytes: &[u8], width: usize, height: usize, cfg: &JpeglsConfig)
                 };
                 let rx = st.reconstruct(px, sign, errq);
                 cur[idx] = rx;
-                out.set(x, y, rx as u8);
+                out.set(x, y, rx as u16);
                 st.update_interruption(ritype, errq, emerr);
                 if st.run_index > 0 {
                     st.run_index -= 1;
@@ -479,7 +488,7 @@ pub fn decode_raw(bytes: &[u8], width: usize, height: usize, cfg: &JpeglsConfig)
             } else {
                 // ---- Regular mode ----
                 let (q, sign) = st.context(q1, q2, q3);
-                let px = (State::med(ra, rb, rc) + sign * st.c[q]).clamp(0, MAXVAL);
+                let px = (State::med(ra, rb, rc) + sign * st.c[q]).clamp(0, st.maxval);
                 let k = st.golomb_k(q);
                 let merr = decode_limited(&mut r, k, st.limit, st.qbpp).unwrap_or(0) as i32;
                 let errval = if st.near == 0 && k == 0 && 2 * st.b[q] <= -(st.n[q] as i32) {
@@ -495,7 +504,7 @@ pub fn decode_raw(bytes: &[u8], width: usize, height: usize, cfg: &JpeglsConfig)
                 };
                 let rx = st.reconstruct(px, sign, errval);
                 cur[idx] = rx;
-                out.set(x, y, rx as u8);
+                out.set(x, y, rx as u16);
                 st.update_regular(q, errval);
                 x += 1;
             }
@@ -511,12 +520,12 @@ mod tests {
     use cbic_image::corpus::CorpusImage;
 
     fn roundtrip(img: &Image, cfg: &JpeglsConfig) -> EncodeStats {
-        let (bytes, stats) = encode_raw(img, cfg);
+        let (bytes, stats) = encode_raw(img.view(), cfg);
         let back = decode_raw(&bytes, img.width(), img.height(), cfg);
         if cfg.near == 0 {
             assert_eq!(&back, img, "lossless roundtrip failed");
         } else {
-            for (p, q) in img.pixels().iter().zip(back.pixels()) {
+            for (p, q) in img.samples().iter().zip(back.samples()) {
                 assert!(
                     (i32::from(*p) - i32::from(*q)).abs() <= i32::from(cfg.near),
                     "near-lossless bound violated"
@@ -540,6 +549,33 @@ mod tests {
             let img = Image::from_fn(w, h, |x, y| (x * 37 + y * 11) as u8);
             roundtrip(&img, &JpeglsConfig::default());
         }
+    }
+
+    #[test]
+    fn roundtrip_deep_depths() {
+        for depth in [10u8, 12, 16] {
+            let cfg = JpeglsConfig::for_depth(depth, 0);
+            let img = Image::from_fn16(24, 24, depth, |x, y| {
+                ((x as u32 * 709 + y as u32 * 6151) % (1u32 << depth.min(15))) as u16
+            });
+            roundtrip(&img, &cfg);
+        }
+    }
+
+    #[test]
+    fn smooth_sixteen_bit_content_beats_raw_depth() {
+        // T.87's A-accumulator init scales with RANGE (1024 at 16 bits),
+        // so the Golomb parameter starts high and decays over the image —
+        // small frames pay a warm-up cost but must still clearly beat the
+        // 16 bpp raw rate on predictable content.
+        let cfg = JpeglsConfig::for_depth(16, 0);
+        let img = Image::from_fn16(96, 96, 16, |x, y| ((x + y) * 300) as u16);
+        let stats = roundtrip(&img, &cfg);
+        assert!(
+            stats.bits_per_pixel() < 12.0,
+            "smooth 16-bit ramp cost {} bpp",
+            stats.bits_per_pixel()
+        );
     }
 
     #[test]

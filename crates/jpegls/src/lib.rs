@@ -28,7 +28,7 @@
 //! use cbic_jpegls::{compress, decompress, JpeglsConfig};
 //!
 //! let img = CorpusImage::Boat.generate(64, 64);
-//! let bytes = compress(&img, &JpeglsConfig::default());
+//! let bytes = compress(img.view(), &JpeglsConfig::default());
 //! assert_eq!(decompress(&bytes)?, img);
 //! # Ok::<(), cbic_jpegls::JpeglsError>(())
 //! ```
@@ -45,32 +45,61 @@ mod proptests;
 pub use codec::{decode_raw, encode_raw, EncodeStats};
 pub use params::{JpeglsConfig, JpeglsError};
 
-use cbic_image::Image;
+use cbic_image::framing::{self, FramingError};
+use cbic_image::{Image, ImageView};
 
 const MAGIC: &[u8; 4] = b"CBLS";
 
-/// This crate's container framing (magic, dims LE, NEAR byte, payload),
-/// defined once and shared by [`compress`] and the [`cbic_image::Codec`]
-/// impl so the two cannot drift apart. (Each baseline crate owns its
-/// own, independent container format.)
+impl From<FramingError> for JpeglsError {
+    fn from(e: FramingError) -> Self {
+        match e {
+            FramingError::BadMagic => JpeglsError::BadMagic,
+            FramingError::Truncated => JpeglsError::Truncated,
+            FramingError::Invalid(msg) => JpeglsError::InvalidHeader(msg),
+        }
+    }
+}
+
+/// This crate's container framing — the shared dimensioned header of
+/// [`cbic_image::framing`] (legacy 8-bit layout, deep-sentinel extension)
+/// followed by this codec's NEAR byte and the payload — written once here
+/// so [`compress`] and the [`cbic_image::Codec`] impl cannot drift apart.
 fn write_container(
-    img: &Image,
+    img: ImageView<'_>,
     near: u8,
     payload: &[u8],
     out: &mut dyn std::io::Write,
 ) -> std::io::Result<()> {
-    out.write_all(MAGIC)?;
-    out.write_all(&(img.width() as u32).to_le_bytes())?;
-    out.write_all(&(img.height() as u32).to_le_bytes())?;
+    framing::write_dims_header(out, MAGIC, img.width(), img.height(), img.bit_depth())?;
     out.write_all(&[near])?;
     out.write_all(payload)
 }
 
-/// Compresses an image into a self-describing container
+/// Bytes the container framing adds ahead of the payload.
+fn container_overhead(bit_depth: u8) -> u64 {
+    framing::dims_header_len(bit_depth) + 1
+}
+
+/// Parses this crate's container framing, returning
+/// `(width, height, bit_depth, near, payload)`. Shared by [`decompress`]
+/// and the CLI's `info` reporting.
+pub fn parse_container(bytes: &[u8]) -> Result<(usize, usize, u8, u8, &[u8]), JpeglsError> {
+    let (width, height, bit_depth, rest) = framing::parse_dims_header(bytes, MAGIC)?;
+    let (&near, payload) = rest.split_first().ok_or(JpeglsError::Truncated)?;
+    Ok((width, height, bit_depth, near, payload))
+}
+
+/// Compresses the pixels of a view into a self-describing container
 /// (`CBLS` magic, width/height, NEAR, then the entropy-coded payload).
-pub fn compress(img: &Image, cfg: &JpeglsConfig) -> Vec<u8> {
+///
+/// The container records only the depth and the NEAR bound; the decoder
+/// rebuilds the configuration as [`JpeglsConfig::for_depth`] of that
+/// pair (whose thresholds are depth-only, matching every stream this
+/// crate has ever written). Encode with a `for_depth` configuration — as
+/// [`Jpegls`] and the CLI do — for self-describing streams.
+pub fn compress(img: ImageView<'_>, cfg: &JpeglsConfig) -> Vec<u8> {
     let (payload, _) = encode_raw(img, cfg);
-    let mut out = Vec::with_capacity(payload.len() + 16);
+    let mut out = Vec::with_capacity(payload.len() + 18);
     write_container(img, cfg.near, &payload, &mut out).expect("Vec writes cannot fail");
     out
 }
@@ -81,25 +110,16 @@ pub fn compress(img: &Image, cfg: &JpeglsConfig) -> Vec<u8> {
 ///
 /// Returns [`JpeglsError`] on malformed headers.
 pub fn decompress(bytes: &[u8]) -> Result<Image, JpeglsError> {
-    if bytes.len() < 13 {
-        return Err(JpeglsError::Truncated);
-    }
-    if &bytes[..4] != MAGIC {
-        return Err(JpeglsError::BadMagic);
-    }
-    let width = u32::from_le_bytes(bytes[4..8].try_into().expect("sized")) as usize;
-    let height = u32::from_le_bytes(bytes[8..12].try_into().expect("sized")) as usize;
-    if width == 0 || height == 0 {
-        return Err(JpeglsError::InvalidHeader("zero dimension".into()));
-    }
-    if width.saturating_mul(height) > 1 << 28 {
-        return Err(JpeglsError::InvalidHeader("image too large".into()));
-    }
-    let cfg = JpeglsConfig {
-        near: bytes[12],
-        ..JpeglsConfig::default()
-    };
-    Ok(decode_raw(&bytes[13..], width, height, &cfg))
+    let (width, height, bit_depth, near, payload) = parse_container(bytes)?;
+    // `for_depth` thresholds depend only on the depth, so this rebuilds
+    // the encoder's configuration exactly — including for every 8-bit
+    // near-lossless stream the pre-view-API crate ever wrote.
+    Ok(decode_raw(
+        payload,
+        width,
+        height,
+        &JpeglsConfig::for_depth(bit_depth, near),
+    ))
 }
 
 impl From<JpeglsError> for cbic_image::CbicError {
@@ -132,16 +152,16 @@ impl cbic_image::Codec for Jpegls {
 
     fn encode(
         &self,
-        img: &Image,
+        img: ImageView<'_>,
         _opts: &cbic_image::EncodeOptions,
         sink: &mut dyn std::io::Write,
     ) -> Result<cbic_image::EncodeStats, cbic_image::CbicError> {
-        let cfg = JpeglsConfig::default();
+        let cfg = JpeglsConfig::for_depth(img.bit_depth(), 0);
         let (payload, stats) = encode_raw(img, &cfg);
         write_container(img, cfg.near, &payload, sink)?;
         Ok(cbic_image::EncodeStats::new(
             stats.pixels,
-            13 + payload.len() as u64,
+            container_overhead(img.bit_depth()) + payload.len() as u64,
             Some(stats.payload_bits),
         ))
     }
@@ -165,7 +185,7 @@ mod container_tests {
     #[test]
     fn container_roundtrip() {
         let img = CorpusImage::Peppers.generate(32, 32);
-        let bytes = compress(&img, &JpeglsConfig::default());
+        let bytes = compress(img.view(), &JpeglsConfig::default());
         assert_eq!(decompress(&bytes).unwrap(), img);
     }
 
@@ -176,15 +196,38 @@ mod container_tests {
     }
 
     #[test]
+    fn legacy_default_threshold_near_streams_decode() {
+        // Pre-view-API encoders (and direct compress calls with the Annex C
+        // defaults) wrote near-lossless streams at thresholds (3,7,21);
+        // decompress must rebuild exactly that configuration for 8-bit
+        // containers or the context models diverge.
+        let img = CorpusImage::Goldhill.generate(40, 40);
+        let legacy_cfg = JpeglsConfig {
+            near: 3,
+            ..JpeglsConfig::default()
+        };
+        let bytes = compress(img.view(), &legacy_cfg);
+        let out = decompress(&bytes).unwrap();
+        for (p, q) in img.samples().iter().zip(out.samples()) {
+            assert!(
+                (i32::from(*p) - i32::from(*q)).abs() <= 3,
+                "NEAR bound violated on a legacy-config stream"
+            );
+        }
+    }
+
+    #[test]
     fn near_travels_in_header() {
         let img = CorpusImage::Lena.generate(32, 32);
+        // 8-bit near-lossless streams use the Annex C default thresholds
+        // (the historical format decompress rebuilds).
         let cfg = JpeglsConfig {
             near: 2,
             ..JpeglsConfig::default()
         };
-        let bytes = compress(&img, &cfg);
+        let bytes = compress(img.view(), &cfg);
         let out = decompress(&bytes).unwrap();
-        for (p, q) in img.pixels().iter().zip(out.pixels()) {
+        for (p, q) in img.samples().iter().zip(out.samples()) {
             assert!((i32::from(*p) - i32::from(*q)).abs() <= 2);
         }
     }

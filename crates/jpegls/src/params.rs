@@ -1,4 +1,5 @@
-//! JPEG-LS coding parameters (ITU-T T.87 Annex C defaults for 8-bit data).
+//! JPEG-LS coding parameters (ITU-T T.87 Annex C defaults, parameterized
+//! over the 1–16-bit sample depth).
 
 use std::fmt;
 
@@ -27,7 +28,10 @@ impl fmt::Display for JpeglsError {
 impl std::error::Error for JpeglsError {}
 
 /// JPEG-LS parameters. The defaults are the T.87 Annex C values for 8-bit
-/// samples: `T1=3, T2=7, T3=21, RESET=64, NEAR=0` (lossless).
+/// samples: `T1=3, T2=7, T3=21, RESET=64, NEAR=0` (lossless). For other
+/// depths, [`JpeglsConfig::for_depth`] derives the standard's scaled
+/// default thresholds (C.2.4.1.1.1), so 12/16-bit medical imagery gets a
+/// properly calibrated gradient quantizer.
 ///
 /// # Examples
 ///
@@ -38,11 +42,19 @@ impl std::error::Error for JpeglsError {}
 /// assert_eq!(lossless.near, 0);
 /// assert_eq!(lossless.range(), 256);
 /// assert_eq!(lossless.limit(), 32);
+///
+/// let deep = JpeglsConfig::for_depth(16, 0);
+/// assert_eq!(deep.maxval(), 65535);
+/// assert_eq!(deep.qbpp(), 16);
+/// assert_eq!(deep.limit(), 64);
+/// assert!(deep.t3 > deep.t2 && deep.t2 > deep.t1);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct JpeglsConfig {
     /// Near-lossless bound (0 = lossless).
     pub near: u8,
+    /// Sample bit depth (`1..=16`; `MAXVAL = 2^bit_depth − 1`).
+    pub bit_depth: u8,
     /// First gradient quantizer threshold.
     pub t1: i32,
     /// Second gradient quantizer threshold.
@@ -57,6 +69,7 @@ impl Default for JpeglsConfig {
     fn default() -> Self {
         Self {
             near: 0,
+            bit_depth: 8,
             t1: 3,
             t2: 7,
             t3: 21,
@@ -65,13 +78,64 @@ impl Default for JpeglsConfig {
     }
 }
 
-/// Maximum sample value (8-bit data).
-pub const MAXVAL: i32 = 255;
-
 impl JpeglsConfig {
+    /// The default operating point for a sample depth: the T.87
+    /// C.2.4.1.1.1 depth-scaled default thresholds with `RESET = 64`. At
+    /// `bit_depth = 8, near = 0` this is exactly [`Self::default`].
+    ///
+    /// Deviation from T.87: the thresholds depend **only on the depth**,
+    /// never on `NEAR` (whose dead zone the gradient quantizer applies
+    /// separately). That makes the `(depth, NEAR)` pair a container
+    /// records sufficient to reconstruct the whole configuration — 8-bit
+    /// near-lossless streams stay compatible with every stream this crate
+    /// has ever written — and `for_depth` total: no `NEAR` value can make
+    /// the threshold ladder collapse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_depth` is outside `1..=16`.
+    pub fn for_depth(bit_depth: u8, near: u8) -> Self {
+        assert!(
+            (1..=16).contains(&bit_depth),
+            "bit depth {bit_depth} outside 1..=16"
+        );
+        let maxval = i32::from(cbic_image::max_val_for(bit_depth));
+        let (t1, t2, t3) = if maxval >= 128 {
+            let factor = (maxval.min(4095) + 128) / 256;
+            // T.87 writes FACTOR*(3-2); the (3-2) factor is 1.
+            let t1 = (factor + 2).min(maxval);
+            let t2 = (factor * (7 - 3) + 3).clamp(t1, maxval);
+            let t3 = (factor * (21 - 4) + 4).clamp(t2, maxval);
+            (t1, t2, t3)
+        } else {
+            // Low-depth branch: shrink the 8-bit defaults towards the
+            // reduced intensity range, preserving ordering where the
+            // range allows it (an empty quantizer bucket is harmless —
+            // both sides derive the same ladder).
+            let factor = 256 / (maxval + 1);
+            let t1 = (3 / factor).max(2).min(maxval).max(1);
+            let t2 = (7 / factor).max(3).clamp(t1, maxval);
+            let t3 = (21 / factor).max(4).clamp(t2, maxval);
+            (t1, t2, t3)
+        };
+        Self {
+            near,
+            bit_depth,
+            t1,
+            t2,
+            t3,
+            reset: 64,
+        }
+    }
+
+    /// Maximum sample value, `2^bit_depth − 1`.
+    pub fn maxval(&self) -> i32 {
+        i32::from(cbic_image::max_val_for(self.bit_depth))
+    }
+
     /// `RANGE = floor((MAXVAL + 2*NEAR) / (2*NEAR + 1)) + 1` (A.2.1).
     pub fn range(&self) -> i32 {
-        (MAXVAL + 2 * i32::from(self.near)) / (2 * i32::from(self.near) + 1) + 1
+        (self.maxval() + 2 * i32::from(self.near)) / (2 * i32::from(self.near) + 1) + 1
     }
 
     /// `qbpp = ceil(log2(RANGE))`.
@@ -83,9 +147,15 @@ impl JpeglsConfig {
         q
     }
 
-    /// `LIMIT = 2 * (bpp + max(8, bpp))` = 32 for 8-bit samples.
+    /// `bpp = max(2, ceil(log2(MAXVAL + 1)))` (A.2.1).
+    pub fn bpp(&self) -> u32 {
+        u32::from(self.bit_depth).max(2)
+    }
+
+    /// `LIMIT = 2 * (bpp + max(8, bpp))` — 32 for 8-bit samples, 64 for
+    /// 16-bit ones.
     pub fn limit(&self) -> u32 {
-        32
+        2 * (self.bpp() + self.bpp().max(8))
     }
 
     /// Initial value of the `A` accumulators:
@@ -113,10 +183,39 @@ mod tests {
     #[test]
     fn lossless_derived_parameters() {
         let c = JpeglsConfig::default();
+        assert_eq!(c.maxval(), 255);
         assert_eq!(c.range(), 256);
         assert_eq!(c.qbpp(), 8);
         assert_eq!(c.limit(), 32);
         assert_eq!(c.a_init(), 4);
+    }
+
+    #[test]
+    fn for_depth_eight_is_the_default() {
+        assert_eq!(JpeglsConfig::for_depth(8, 0), JpeglsConfig::default());
+    }
+
+    #[test]
+    fn for_depth_scales_thresholds_with_the_range() {
+        let c12 = JpeglsConfig::for_depth(12, 0);
+        assert_eq!(c12.maxval(), 4095);
+        // FACTOR = (4095 + 128) / 256 = 16.
+        assert_eq!((c12.t1, c12.t2, c12.t3), (18, 67, 276));
+        let c16 = JpeglsConfig::for_depth(16, 0);
+        assert_eq!(c16.maxval(), 65535);
+        // FACTOR saturates at (4095 + 128) / 256 = 16 per the standard.
+        assert_eq!((c16.t1, c16.t2, c16.t3), (18, 67, 276));
+        assert_eq!(c16.qbpp(), 16);
+        assert_eq!(c16.limit(), 64);
+    }
+
+    #[test]
+    fn for_depth_low_depths_stay_ordered() {
+        for depth in 1..=7u8 {
+            let c = JpeglsConfig::for_depth(depth, 0);
+            assert!(c.t1 >= 1 && c.t1 <= c.t2 && c.t2 <= c.t3, "{c:?}");
+            assert!(c.t3 <= c.maxval().max(4), "{c:?}");
+        }
     }
 
     #[test]
@@ -127,6 +226,31 @@ mod tests {
         };
         assert_eq!(c.range(), (255 + 4) / 5 + 1);
         assert!(c.qbpp() <= 8);
+    }
+
+    #[test]
+    fn thresholds_ignore_near_so_containers_self_describe() {
+        // The (depth, NEAR) pair a container records must reconstruct the
+        // configuration exactly: thresholds are depth-only.
+        let c = JpeglsConfig::for_depth(8, 2);
+        assert_eq!((c.t1, c.t2, c.t3), (3, 7, 21));
+        assert_eq!(c.near, 2);
+        assert_eq!(
+            JpeglsConfig::for_depth(12, 5).t1,
+            JpeglsConfig::for_depth(12, 0).t1
+        );
+    }
+
+    #[test]
+    fn for_depth_is_total_over_extreme_near_values() {
+        // No (depth, NEAR) combination may panic: a hostile container can
+        // carry any NEAR byte.
+        for depth in 1..=16u8 {
+            for near in [0u8, 1, 2, 127, 255] {
+                let c = JpeglsConfig::for_depth(depth, near);
+                assert!(c.t1 >= 1 && c.t1 <= c.t2 && c.t2 <= c.t3, "{c:?}");
+            }
+        }
     }
 
     #[test]

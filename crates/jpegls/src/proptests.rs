@@ -18,7 +18,7 @@ proptest! {
     #[test]
     fn lossless_roundtrip(img in arb_image()) {
         let cfg = JpeglsConfig::default();
-        let (bytes, stats) = encode_raw(&img, &cfg);
+        let (bytes, stats) = encode_raw(img.view(), &cfg);
         prop_assert_eq!(stats.pixels as usize, img.pixel_count());
         let back = decode_raw(&bytes, img.width(), img.height(), &cfg);
         prop_assert_eq!(back, img);
@@ -28,9 +28,9 @@ proptest! {
     #[test]
     fn near_bound_holds(img in arb_image(), near in 1u8..=6) {
         let cfg = JpeglsConfig { near, ..JpeglsConfig::default() };
-        let (bytes, _) = encode_raw(&img, &cfg);
+        let (bytes, _) = encode_raw(img.view(), &cfg);
         let back = decode_raw(&bytes, img.width(), img.height(), &cfg);
-        for (p, q) in img.pixels().iter().zip(back.pixels()) {
+        for (p, q) in img.samples().iter().zip(back.samples()) {
             prop_assert!(
                 (i32::from(*p) - i32::from(*q)).abs() <= i32::from(near),
                 "pixel {p} decoded as {q} with NEAR {near}"
@@ -43,7 +43,7 @@ proptest! {
     #[test]
     fn expansion_is_bounded(img in arb_image()) {
         let cfg = JpeglsConfig::default();
-        let (bytes, _) = encode_raw(&img, &cfg);
+        let (bytes, _) = encode_raw(img.view(), &cfg);
         prop_assert!(bytes.len() * 8 <= img.pixel_count() * 33 + 64);
     }
 
@@ -57,7 +57,7 @@ proptest! {
         let mut prev: Option<usize> = None;
         for near in [0u8, 1, 2, 4] {
             let cfg = JpeglsConfig { near, ..JpeglsConfig::default() };
-            let (bytes, _) = encode_raw(&img, &cfg);
+            let (bytes, _) = encode_raw(img.view(), &cfg);
             if let Some(p) = prev {
                 // Allow a small tolerance: run-mode boundaries can shift.
                 prop_assert!(bytes.len() <= p + p / 8,

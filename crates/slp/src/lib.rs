@@ -33,7 +33,7 @@
 //! use cbic_slp::{compress, decompress};
 //!
 //! let img = CorpusImage::Goldhill.generate(48, 48);
-//! let bytes = compress(&img);
+//! let bytes = compress(img.view());
 //! assert_eq!(decompress(&bytes)?, img);
 //! # Ok::<(), cbic_slp::SlpError>(())
 //! ```
@@ -45,7 +45,8 @@
 mod proptests;
 
 use cbic_bitio::{BitReader, BitWriter};
-use cbic_image::Image;
+use cbic_image::framing::{self, FramingError};
+use cbic_image::{Image, ImageView, ImageViewMut};
 use cbic_rice::{decode_limited, encode_limited, unzigzag, zigzag, AdaptiveRice};
 use std::fmt;
 
@@ -84,15 +85,23 @@ impl From<SlpError> for cbic_image::CbicError {
     }
 }
 
-/// Gradient threshold for switching to a directional predictor.
+/// Gradient threshold for switching to a directional predictor
+/// (8-bit scale; scaled by `2^(n-8)` for deeper samples).
 const SWITCH_T: i32 = 48;
-/// Activity-class thresholds on `dh + dv` (16 classes).
+/// Activity-class thresholds on `dh + dv` (16 classes, 8-bit scale).
 const CLASS_T: [i32; 15] = [2, 4, 7, 10, 14, 20, 28, 40, 55, 70, 90, 110, 135, 160, 220];
-/// Golomb length limit (same rationale as JPEG-LS: bounds worst-case
-/// expansion).
-const LIMIT: u32 = 32;
-/// Bits of a zig-zagged wrapped residual (0..=255 after wrap+fold).
-const QBPP: u32 = 8;
+
+/// `2^(n-1)`: the residual wrap modulus half for an `n`-bit depth.
+fn half_for_depth(bit_depth: u8) -> i32 {
+    1 << (bit_depth - 1)
+}
+
+/// Golomb length limit for an `n`-bit depth (same rationale as JPEG-LS:
+/// bounds worst-case expansion) — 32 at 8 bits, 64 at 16.
+fn limit(bit_depth: u8) -> u32 {
+    let bpp = u32::from(bit_depth).max(2);
+    2 * (bpp + bpp.max(8))
+}
 
 /// Statistics accumulated while encoding one image.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -117,49 +126,44 @@ impl EncodeStats {
 }
 
 /// The switched prediction shared by encoder and decoder: returns the
-/// predictor index and the (clamped) prediction for pixel `(x, y)` given
-/// the causal content of `img`.
-fn predict(img: &Image, x: usize, y: usize) -> (usize, i32, usize) {
-    let (width, _) = img.dimensions();
+/// predictor index and the (clamped) prediction for column `x` given the
+/// causal row slices (`cur` up to `x`, `n1`/`n2` the rows above when they
+/// exist). `shift` scales the 8-bit thresholds to the sample depth and
+/// `half` is `2^(n-1)`.
+fn predict(
+    cur: &[u16],
+    n1: Option<&[u16]>,
+    n2: Option<&[u16]>,
+    x: usize,
+    shift: u32,
+    half: i32,
+) -> (usize, i32, usize) {
+    let width = cur.len();
     let w = if x >= 1 {
-        i32::from(img.get(x - 1, y))
-    } else if y >= 1 {
-        i32::from(img.get(x, y - 1))
+        i32::from(cur[x - 1])
+    } else if let Some(n1) = n1 {
+        i32::from(n1[x])
     } else {
-        128
+        half
     };
-    let ww = if x >= 2 {
-        i32::from(img.get(x - 2, y))
-    } else {
-        w
+    let ww = if x >= 2 { i32::from(cur[x - 2]) } else { w };
+    let n = n1.map_or(w, |n1| i32::from(n1[x]));
+    let nn = n2.map_or(n, |n2| i32::from(n2[x]));
+    let nw = match n1 {
+        Some(n1) if x >= 1 => i32::from(n1[x - 1]),
+        _ => n,
     };
-    let n = if y >= 1 {
-        i32::from(img.get(x, y - 1))
-    } else {
-        w
-    };
-    let nn = if y >= 2 {
-        i32::from(img.get(x, y - 2))
-    } else {
-        n
-    };
-    let nw = if x >= 1 && y >= 1 {
-        i32::from(img.get(x - 1, y - 1))
-    } else {
-        n
-    };
-    let ne = if x + 1 < width && y >= 1 {
-        i32::from(img.get(x + 1, y - 1))
-    } else {
-        n
+    let ne = match n1 {
+        Some(n1) if x + 1 < width => i32::from(n1[x + 1]),
+        _ => n,
     };
 
     let dh = (w - ww).abs() + (n - nw).abs() + (n - ne).abs();
     let dv = (w - nw).abs() + (n - nn).abs();
 
-    let (idx, p) = if dv - dh > SWITCH_T {
+    let (idx, p) = if dv - dh > SWITCH_T << shift {
         (0, w) // horizontal edge: predict W
-    } else if dh - dv > SWITCH_T {
+    } else if dh - dv > SWITCH_T << shift {
         (1, n) // vertical edge: predict N
     } else if nw >= w.max(n) {
         (3, w.min(n)) // MED switch: edge towards the smaller neighbour
@@ -169,20 +173,20 @@ fn predict(img: &Image, x: usize, y: usize) -> (usize, i32, usize) {
         (2, w + n - nw) // planar fit
     };
 
-    // Activity class from total gradient energy.
-    let act = dh + dv;
+    // Activity class from total gradient energy, at 8-bit scale.
+    let act = (dh + dv) >> shift;
     let mut class = 0usize;
     for &t in &CLASS_T {
         if act > t {
             class += 1;
         }
     }
-    (idx, p.clamp(0, 255), class)
+    (idx, p.clamp(0, 2 * half - 1), class)
 }
 
 #[inline]
-fn wrap(e: i32) -> i32 {
-    ((e + 128).rem_euclid(256)) - 128
+fn wrap(e: i32, half: i32) -> i32 {
+    ((e + half).rem_euclid(2 * half)) - half
 }
 
 /// LOCO-style bias tracker: per context, `B` accumulates signed errors,
@@ -224,9 +228,12 @@ impl Bias {
     }
 }
 
-/// Encodes `img`, returning the raw payload and statistics.
-pub fn encode_raw(img: &Image) -> (Vec<u8>, EncodeStats) {
+/// Encodes the pixels of `img`, returning the raw payload and statistics.
+pub fn encode_raw(img: ImageView<'_>) -> (Vec<u8>, EncodeStats) {
     let (width, height) = img.dimensions();
+    let depth = img.bit_depth();
+    let (half, shift) = (half_for_depth(depth), u32::from(depth.saturating_sub(8)));
+    let (limit, qbpp) = (limit(depth), u32::from(depth));
     let mut w = BitWriter::new();
     let mut contexts: Vec<AdaptiveRice> = (0..64).map(|_| AdaptiveRice::new(4, 64)).collect();
     let mut bias: Vec<Bias> = (0..64).map(|_| Bias::default()).collect();
@@ -236,16 +243,19 @@ pub fn encode_raw(img: &Image) -> (Vec<u8>, EncodeStats) {
     };
 
     for y in 0..height {
+        let cur = img.row(y);
+        let n1 = (y >= 1).then(|| img.row(y - 1));
+        let n2 = (y >= 2).then(|| img.row(y - 2));
         for x in 0..width {
-            let (pidx, p, class) = predict(img, x, y);
+            let (pidx, p, class) = predict(cur, n1, n2, x, shift, half);
             stats.predictor_uses[pidx] += 1;
             let bctx = class * 4 + pidx;
-            let p = (p + bias[bctx].c).clamp(0, 255);
-            let e = wrap(i32::from(img.get(x, y)) - p);
+            let p = (p + bias[bctx].c).clamp(0, 2 * half - 1);
+            let e = wrap(i32::from(cur[x]) - p, half);
             let v = zigzag(e);
-            debug_assert!(v < 256);
+            debug_assert!(v < (2 * half) as u32);
             let k = contexts[bctx].k();
-            encode_limited(&mut w, v, k, LIMIT, QBPP);
+            encode_limited(&mut w, v, k, limit, qbpp);
             contexts[bctx].update(e.unsigned_abs());
             bias[bctx].update(e);
         }
@@ -254,22 +264,30 @@ pub fn encode_raw(img: &Image) -> (Vec<u8>, EncodeStats) {
     (w.into_bytes(), stats)
 }
 
-/// Decodes a payload produced by [`encode_raw`] with matching dimensions.
-pub fn decode_raw(bytes: &[u8], width: usize, height: usize) -> Image {
+/// Decodes a payload produced by [`encode_raw`] with matching dimensions
+/// and bit depth.
+pub fn decode_raw(bytes: &[u8], width: usize, height: usize, bit_depth: u8) -> Image {
+    let (half, shift) = (
+        half_for_depth(bit_depth),
+        u32::from(bit_depth.saturating_sub(8)),
+    );
+    let (limit, qbpp) = (limit(bit_depth), u32::from(bit_depth));
     let mut r = BitReader::new(bytes);
     let mut contexts: Vec<AdaptiveRice> = (0..64).map(|_| AdaptiveRice::new(4, 64)).collect();
     let mut bias: Vec<Bias> = (0..64).map(|_| Bias::default()).collect();
-    let mut img = Image::new(width, height);
+    let mut img = Image::with_depth(width, height, bit_depth);
+    let mut out: ImageViewMut<'_> = img.view_mut();
 
     for y in 0..height {
+        let (n2, n1, cur) = out.causal_rows_mut(y);
         for x in 0..width {
-            let (pidx, p, class) = predict(&img, x, y);
+            let (pidx, p, class) = predict(cur, n1, n2, x, shift, half);
             let bctx = class * 4 + pidx;
-            let p = (p + bias[bctx].c).clamp(0, 255);
+            let p = (p + bias[bctx].c).clamp(0, 2 * half - 1);
             let k = contexts[bctx].k();
-            let v = decode_limited(&mut r, k, LIMIT, QBPP).unwrap_or(0);
+            let v = decode_limited(&mut r, k, limit, qbpp).unwrap_or(0);
             let e = unzigzag(v);
-            img.set(x, y, (p + e).rem_euclid(256) as u8);
+            cur[x] = (p + e).rem_euclid(2 * half) as u16;
             contexts[bctx].update(e.unsigned_abs());
             bias[bctx].update(e);
         }
@@ -279,27 +297,42 @@ pub fn decode_raw(bytes: &[u8], width: usize, height: usize) -> Image {
 
 const MAGIC: &[u8; 4] = b"CBSL";
 
-/// Compresses an image into a self-describing container.
-pub fn compress(img: &Image) -> Vec<u8> {
+impl From<FramingError> for SlpError {
+    fn from(e: FramingError) -> Self {
+        match e {
+            FramingError::BadMagic => SlpError::BadMagic,
+            FramingError::Truncated => SlpError::Truncated,
+            FramingError::Invalid(msg) => SlpError::InvalidHeader(msg),
+        }
+    }
+}
+
+/// Compresses the pixels of a view into a self-describing container.
+pub fn compress(img: ImageView<'_>) -> Vec<u8> {
     let (payload, _) = encode_raw(img);
-    let mut out = Vec::with_capacity(payload.len() + 12);
+    let mut out = Vec::with_capacity(payload.len() + 17);
     write_container(img, &payload, &mut out).expect("Vec writes cannot fail");
     out
 }
 
-/// This crate's container framing (magic, dims LE, payload), defined
-/// once and shared by [`compress`] and the [`cbic_image::Codec`] impl so
-/// the two cannot drift apart. (Each baseline crate owns its own,
-/// independent container format.)
+/// This crate's container framing — the shared dimensioned header of
+/// [`cbic_image::framing`] (legacy 8-bit layout, deep-sentinel extension)
+/// followed directly by the payload — written once here so [`compress`]
+/// and the [`cbic_image::Codec`] impl cannot drift apart.
 fn write_container(
-    img: &Image,
+    img: ImageView<'_>,
     payload: &[u8],
     out: &mut dyn std::io::Write,
 ) -> std::io::Result<()> {
-    out.write_all(MAGIC)?;
-    out.write_all(&(img.width() as u32).to_le_bytes())?;
-    out.write_all(&(img.height() as u32).to_le_bytes())?;
+    framing::write_dims_header(out, MAGIC, img.width(), img.height(), img.bit_depth())?;
     out.write_all(payload)
+}
+
+/// Parses this crate's container framing, returning
+/// `(width, height, bit_depth, payload)`. Shared by [`decompress`] and
+/// the CLI's `info` reporting.
+pub fn parse_container(bytes: &[u8]) -> Result<(usize, usize, u8, &[u8]), SlpError> {
+    Ok(framing::parse_dims_header(bytes, MAGIC)?)
 }
 
 /// Decompresses a container produced by [`compress`].
@@ -308,21 +341,8 @@ fn write_container(
 ///
 /// Returns [`SlpError`] on malformed headers.
 pub fn decompress(bytes: &[u8]) -> Result<Image, SlpError> {
-    if bytes.len() < 12 {
-        return Err(SlpError::Truncated);
-    }
-    if &bytes[..4] != MAGIC {
-        return Err(SlpError::BadMagic);
-    }
-    let width = u32::from_le_bytes(bytes[4..8].try_into().expect("sized")) as usize;
-    let height = u32::from_le_bytes(bytes[8..12].try_into().expect("sized")) as usize;
-    if width == 0 || height == 0 {
-        return Err(SlpError::InvalidHeader("zero dimension".into()));
-    }
-    if width.saturating_mul(height) > 1 << 28 {
-        return Err(SlpError::InvalidHeader("image too large".into()));
-    }
-    Ok(decode_raw(&bytes[12..], width, height))
+    let (width, height, bit_depth, payload) = parse_container(bytes)?;
+    Ok(decode_raw(payload, width, height, bit_depth))
 }
 
 /// SLP(M0) on the unified [`cbic_image::Codec`] surface.
@@ -340,7 +360,7 @@ impl cbic_image::Codec for Slp {
 
     fn encode(
         &self,
-        img: &Image,
+        img: ImageView<'_>,
         _opts: &cbic_image::EncodeOptions,
         sink: &mut dyn std::io::Write,
     ) -> Result<cbic_image::EncodeStats, cbic_image::CbicError> {
@@ -348,7 +368,7 @@ impl cbic_image::Codec for Slp {
         write_container(img, &payload, sink)?;
         Ok(cbic_image::EncodeStats::new(
             stats.pixels,
-            12 + payload.len() as u64,
+            framing::dims_header_len(img.bit_depth()) + payload.len() as u64,
             Some(stats.payload_bits),
         ))
     }
@@ -370,8 +390,8 @@ mod tests {
     use cbic_image::corpus::CorpusImage;
 
     fn roundtrip(img: &Image) -> EncodeStats {
-        let (bytes, stats) = encode_raw(img);
-        let back = decode_raw(&bytes, img.width(), img.height());
+        let (bytes, stats) = encode_raw(img.view());
+        let back = decode_raw(&bytes, img.width(), img.height(), img.bit_depth());
         assert_eq!(&back, img, "lossless roundtrip failed");
         stats
     }
@@ -392,9 +412,21 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_deep_depths() {
+        for depth in [10u8, 12, 16] {
+            let img = Image::from_fn16(20, 20, depth, |x, y| {
+                ((x as u32 * 641 + y as u32 * 2801) % (1u32 << depth.min(15))) as u16
+            });
+            let back = decompress(&compress(img.view())).unwrap();
+            assert_eq!(back, img, "depth {depth}");
+            assert_eq!(back.bit_depth(), depth);
+        }
+    }
+
+    #[test]
     fn container_roundtrip() {
         let img = CorpusImage::Zelda.generate(32, 32);
-        assert_eq!(decompress(&compress(&img)).unwrap(), img);
+        assert_eq!(decompress(&compress(img.view())).unwrap(), img);
     }
 
     #[test]

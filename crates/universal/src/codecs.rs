@@ -26,7 +26,7 @@ use cbic_image::{Codec, CodecRegistry};
 /// let img = CorpusImage::Lena.generate(32, 32);
 /// let (enc, dec) = (EncodeOptions::default(), DecodeOptions::default());
 /// for codec in all_codecs() {
-///     let bytes = codec.encode_vec(&img, &enc).unwrap();
+///     let bytes = codec.encode_vec(img.view(), &enc).unwrap();
 ///     assert_eq!(codec.decode_vec(&bytes, &dec).unwrap(), img, "{}", codec.name());
 /// }
 /// ```
@@ -77,7 +77,9 @@ mod tests {
         assert_eq!(registry.len(), 5);
         let img = CorpusImage::Peppers.generate(24, 24);
         for codec in registry.codecs() {
-            let bytes = codec.encode_vec(&img, &EncodeOptions::default()).unwrap();
+            let bytes = codec
+                .encode_vec(img.view(), &EncodeOptions::default())
+                .unwrap();
             let detected = registry.detect(&bytes).expect("magic registered");
             assert_eq!(detected.name(), codec.name());
             assert_eq!(

@@ -159,7 +159,7 @@ impl UniversalCodec {
                 Chunk::Image(img) => {
                     let payload = self
                         .image_codec
-                        .encode_vec(img, &EncodeOptions::default())
+                        .encode_vec(img.view(), &EncodeOptions::default())
                         .map_err(io::Error::from)?;
                     out.write_all(&[TAG_IMAGE])?;
                     out.write_all(&(payload.len() as u32).to_le_bytes())?;
@@ -474,14 +474,17 @@ mod tests {
             }
             fn encode(
                 &self,
-                img: &Image,
+                img: cbic_image::ImageView<'_>,
                 _opts: &EncodeOptions,
                 sink: &mut dyn Write,
             ) -> Result<EncodeStats, CbicError> {
                 sink.write_all(b"XSTO")?;
                 sink.write_all(&(img.width() as u32).to_le_bytes())?;
                 sink.write_all(&(img.height() as u32).to_le_bytes())?;
-                sink.write_all(img.pixels())?;
+                for row in img.rows() {
+                    let bytes: Vec<u8> = row.iter().map(|&s| s as u8).collect();
+                    sink.write_all(&bytes)?;
+                }
                 Ok(EncodeStats::new(
                     img.pixel_count() as u64,
                     12 + img.pixel_count() as u64,

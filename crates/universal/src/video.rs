@@ -100,7 +100,7 @@ impl VideoStats {
 fn ref_pixel(frame: &Image, x: i64, y: i64) -> u8 {
     let cx = x.clamp(0, frame.width() as i64 - 1) as usize;
     let cy = y.clamp(0, frame.height() as i64 - 1) as usize;
-    frame.get(cx, cy)
+    frame.get(cx, cy) as u8
 }
 
 /// SAD of one block under candidate displacement `(dx, dy)`, with early
@@ -233,6 +233,10 @@ fn compensate(prev: &Image, vectors: &[(i32, i32)], block: usize) -> Image {
 /// Panics if `frames` is empty or dimensions differ.
 pub fn encode_frames(frames: &[Image], cfg: &VideoConfig) -> (Vec<u8>, VideoStats) {
     assert!(!frames.is_empty(), "need at least one frame");
+    assert!(
+        frames.iter().all(|f| f.bit_depth() == 8),
+        "the video front end codes 8-bit frames"
+    );
     let (w, h) = frames[0].dimensions();
     assert!(
         frames.iter().all(|f| f.dimensions() == (w, h)),
@@ -270,9 +274,12 @@ pub fn encode_frames(frames: &[Image], cfg: &VideoConfig) -> (Vec<u8>, VideoStat
             let predicted = compensate(prev, &vectors, cfg.block);
             let mut abs_sum = 0u64;
             let residual = Image::from_fn(w, h, |x, y| {
-                let e = wrap_error(i32::from(frame.get(x, y)) - i32::from(predicted.get(x, y)));
+                let e = wrap_error(
+                    i32::from(frame.get(x, y)) - i32::from(predicted.get(x, y)),
+                    128,
+                );
                 abs_sum += e.unsigned_abs() as u64;
-                fold(e)
+                fold(e, 128) as u8
             });
             let mean_abs = abs_sum as f64 / (w * h) as f64;
             if mean_abs <= cfg.intra_threshold {
@@ -286,7 +293,7 @@ pub fn encode_frames(frames: &[Image], cfg: &VideoConfig) -> (Vec<u8>, VideoStat
             None => {
                 stats.intra_frames += 1;
                 out.push(0u8); // mode: intra
-                let (payload, st) = cbic_core::encode_raw(frame, &cfg.codec);
+                let (payload, st) = cbic_core::encode_raw(frame.view(), &cfg.codec);
                 stats.payload_bits += st.payload_bits + 48; // + frame header bytes
                 out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
                 out.push(0);
@@ -300,7 +307,7 @@ pub fn encode_frames(frames: &[Image], cfg: &VideoConfig) -> (Vec<u8>, VideoStat
                     rice_encode(&mut mv, zigzag(dy), 1);
                 }
                 let mv_bytes = mv.into_bytes();
-                let (payload, st) = cbic_core::encode_raw(&residual, &cfg.codec);
+                let (payload, st) = cbic_core::encode_raw(residual.view(), &cfg.codec);
                 stats.payload_bits += st.payload_bits + mv_bytes.len() as u64 * 8 + 80;
                 out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
                 out.push(1);
@@ -344,7 +351,7 @@ pub fn decode_frames(
         match mode {
             0 => {
                 let payload = take(&mut pos, payload_len)?;
-                frames.push(cbic_core::decode_raw(payload, width, height, &cfg.codec));
+                frames.push(cbic_core::decode_raw(payload, width, height, 8, &cfg.codec));
             }
             1 => {
                 if i == 0 {
@@ -365,7 +372,7 @@ pub fn decode_frames(
                     vectors.push((dx, dy));
                 }
                 let payload = take(&mut pos, payload_len)?;
-                let residual = cbic_core::decode_raw(payload, width, height, &cfg.codec);
+                let residual = cbic_core::decode_raw(payload, width, height, 8, &cfg.codec);
                 let predicted = compensate(&frames[i - 1], &vectors, cfg.block);
                 frames.push(Image::from_fn(width, height, |x, y| {
                     let e = unfold(residual.get(x, y));
@@ -440,7 +447,7 @@ mod tests {
         assert_eq!(stats.intra_frames, 1, "only frame 0 is intra");
         // Frames 1..3 are identical to frame 0: residuals are all zero.
         let bpp = stats.bits_per_pixel();
-        let intra_only = cbic_core::encode_raw(&frames[0], &CodecConfig::default())
+        let intra_only = cbic_core::encode_raw(frames[0].view(), &CodecConfig::default())
             .1
             .bits_per_pixel();
         assert!(

@@ -49,7 +49,7 @@ fn ct_slice(size: usize, z: u64) -> Image {
 /// FNV-1a over pixel data — the archive's integrity checksum.
 fn checksum(img: &Image) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &p in img.pixels() {
+    for &p in img.samples() {
         h ^= u64::from(p);
         h = h.wrapping_mul(0x1000_0000_01b3);
     }
@@ -72,7 +72,7 @@ fn main() {
 
     let mut proposed_total = 0usize;
     for img in &study {
-        let bytes = cbic::core::compress(img, &CodecConfig::default());
+        let bytes = cbic::core::compress(img.view(), &CodecConfig::default());
         let restored = cbic::core::decompress(&bytes).expect("valid container");
         assert_eq!(checksum(&restored), checksum(img), "audit failure");
         proposed_total += bytes.len();
@@ -81,7 +81,7 @@ fn main() {
 
     let mut calic_total = 0usize;
     for img in &study {
-        let bytes = cbic::calic::compress(img);
+        let bytes = cbic::calic::compress(img.view());
         assert_eq!(
             checksum(&cbic::calic::decompress(&bytes).expect("valid")),
             checksum(img)
@@ -92,7 +92,7 @@ fn main() {
 
     let mut jpegls_total = 0usize;
     for img in &study {
-        let bytes = cbic::jpegls::compress(img, &cbic::jpegls::JpeglsConfig::default());
+        let bytes = cbic::jpegls::compress(img.view(), &cbic::jpegls::JpeglsConfig::default());
         assert_eq!(
             checksum(&cbic::jpegls::decompress(&bytes).expect("valid")),
             checksum(img)
@@ -103,7 +103,7 @@ fn main() {
 
     let mut slp_total = 0usize;
     for img in &study {
-        let bytes = cbic::slp::compress(img);
+        let bytes = cbic::slp::compress(img.view());
         assert_eq!(
             checksum(&cbic::slp::decompress(&bytes).expect("valid")),
             checksum(img)

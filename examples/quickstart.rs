@@ -18,12 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // One-call API: self-describing container.
     let cfg = CodecConfig::default();
-    let bytes = compress(&img, &cfg);
+    let bytes = compress(img.view(), &cfg);
     let restored = decompress(&bytes)?;
     assert_eq!(img, restored, "the codec is lossless");
 
     // The raw API exposes coding statistics.
-    let (_, stats) = encode_raw(&img, &cfg);
+    let (_, stats) = encode_raw(img.view(), &cfg);
     println!(
         "compressed: {} bytes = {:.3} bpp ({:.1}% of raw, {:.1}% of the \
          order-0 bound)",
@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         ..CodecConfig::default()
     };
-    let (_, small_stats) = encode_raw(&img, &small);
+    let (_, small_stats) = encode_raw(img.view(), &small);
     println!(
         "with 10-bit counters (Fig. 4 left edge): {:.3} bpp, {} escapes",
         small_stats.bits_per_pixel(),

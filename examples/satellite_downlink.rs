@@ -62,10 +62,10 @@ fn main() {
     println!("block  size          bpp     ratio   cycles      wall@123MHz");
     for b in 0..BLOCKS {
         let strip = terrain_strip(WIDTH, BLOCK_LINES, 0xE5A + b as u64);
-        let (payload, stats) = encode_raw(&strip, &cfg);
+        let (payload, stats) = encode_raw(strip.view(), &cfg);
 
         // Losslessness is non-negotiable for science data: verify.
-        let back = decode_raw(&payload, WIDTH, BLOCK_LINES, &cfg);
+        let back = decode_raw(&payload, WIDTH, BLOCK_LINES, 8, &cfg);
         assert_eq!(back, strip, "downlink block {b} must decode losslessly");
 
         // Real-time check against the paper's clock.

@@ -14,12 +14,14 @@
 //! cbic bench      IN.pgm                     (bit rates of all codecs on one image)
 //! ```
 //!
-//! `compress` and `decompress` accept `-` for stdin/stdout and print their
-//! status lines to stderr, so containers pipe cleanly:
-//! `cbic compress - - < in.pgm | cbic decompress - - > out.pgm`. For the
-//! default `proposed` codec both directions run the bounded-memory
-//! streaming pipeline (three line buffers, the paper's Fig. 3 constraint),
-//! so image size is limited by the format, not by RAM.
+//! PGM input may be 8-bit (`maxval ≤ 255`) or deep (two big-endian bytes
+//! per sample, `maxval ≤ 65535`); the sample depth rides through every
+//! codec and back out to PGM. `compress` and `decompress` accept `-` for
+//! stdin/stdout and print their status lines to stderr, so containers pipe
+//! cleanly: `cbic compress - - < in.pgm | cbic decompress - - > out.pgm`.
+//! For the default `proposed` codec both directions run the
+//! bounded-memory streaming pipeline (three line buffers, the paper's
+//! Fig. 3 constraint), so image size is limited by the format, not by RAM.
 
 use cbic::core::stream::{StreamDecoder, StreamEncoder};
 use cbic::core::CodecConfig;
@@ -50,7 +52,7 @@ fn usage() -> ExitCode {
         "usage:\n  cbic compress [--codec NAME] [--near N] [--threads N] IN.pgm OUT\n  \
          cbic decompress [--threads N] IN OUT.pgm\n  cbic info IN\n  cbic codecs\n  \
          cbic corpus [--size N] OUTDIR\n  cbic bench IN.pgm\n\
-         (compress/decompress accept `-` for stdin/stdout piping)"
+         (compress/decompress accept `-` for stdin/stdout piping; PGM may be 8- or 16-bit)"
     );
     ExitCode::from(2)
 }
@@ -189,7 +191,8 @@ fn cmd_compress(args: &[String]) -> CliResult {
     let mut container = Vec::new();
     let stats = if threads > 1 {
         // Multi-threaded coding uses the tiled container: one band per
-        // worker, each an independent instance of the paper's codec.
+        // worker, each an independent instance of the paper's codec coding
+        // a zero-copy row-range view.
         let bands = threads.min(img.height());
         label = format!("tiled ({bands} bands, {threads} threads)");
         let opts = EncodeOptions::new()
@@ -197,28 +200,27 @@ fn cmd_compress(args: &[String]) -> CliResult {
             .with_parallelism(Parallelism::Threads(threads));
         registry
             .expect_name("tiled")?
-            .encode(&img, &opts, &mut container)?
+            .encode(img.view(), &opts, &mut container)?
     } else if near > 0 {
         // Near-lossless operation is outside the lossless Codec contract;
-        // reach the JPEG-LS crate directly.
+        // reach the JPEG-LS crate directly, with exactly the configuration
+        // `decompress` will rebuild from the container's (depth, NEAR).
         container = cbic::jpegls::compress(
-            &img,
-            &cbic::jpegls::JpeglsConfig {
-                near,
-                ..Default::default()
-            },
+            img.view(),
+            &cbic::jpegls::JpeglsConfig::for_depth(img.bit_depth(), near),
         );
         cbic::image::EncodeStats::new(img.pixel_count() as u64, container.len() as u64, None)
     } else {
         let codec = registry.expect_name(codec_name)?;
-        codec.encode(&img, &EncodeOptions::default(), &mut container)?
+        codec.encode(img.view(), &EncodeOptions::default(), &mut container)?
     };
     let mut out = open_output(output)?;
     out.write_all(&container)?;
     out.flush()?;
     eprintln!(
-        "{input}: {} pixels -> {} bytes ({:.3} bpp) with {label}",
+        "{input}: {} pixels ({}-bit) -> {} bytes ({:.3} bpp) with {label}",
         stats.pixels,
+        img.bit_depth(),
         stats.container_bytes,
         stats.bits_per_pixel()
     );
@@ -229,13 +231,19 @@ fn cmd_compress(args: &[String]) -> CliResult {
 /// through [`StreamEncoder`], container bytes out as they resolve.
 fn compress_streaming(input: &str, output: &str) -> CliResult {
     let mut reader = open_input(input)?;
-    let (width, height) = pgm::read_header(&mut reader)?;
+    let header = pgm::read_header(&mut reader)?;
+    let (width, height) = (header.width, header.height);
     let out = open_output(output)?;
-    let mut enc = StreamEncoder::new(out, width, height, &CodecConfig::default())?;
-    let mut row = vec![0u8; width];
+    let mut enc = StreamEncoder::with_depth(
+        out,
+        width,
+        height,
+        header.bit_depth(),
+        &CodecConfig::default(),
+    )?;
+    let mut row = vec![0u16; width];
     for y in 0..height {
-        reader
-            .read_exact(&mut row)
+        pgm::read_row(&mut reader, &header, &mut row)
             .map_err(|e| format!("reading pixel row {y}: {e}"))?;
         enc.push_row(&row)?;
     }
@@ -243,7 +251,8 @@ fn compress_streaming(input: &str, output: &str) -> CliResult {
     enc.finish()?.flush()?;
     let pixels = width * height;
     eprintln!(
-        "{input}: {pixels} pixels -> ~{:.3} bpp with proposed (streamed, O(3 lines) memory)",
+        "{input}: {pixels} pixels ({}-bit) -> ~{:.3} bpp with proposed (streamed, O(3 lines) memory)",
+        header.bit_depth(),
         payload_bits as f64 / pixels as f64
     );
     Ok(())
@@ -270,15 +279,19 @@ fn cmd_decompress(args: &[String]) -> CliResult {
         let mut chained = (&magic[..]).chain(reader);
         let mut dec = StreamDecoder::new(&mut chained)?;
         let (width, height) = dec.dimensions();
+        let maxval = cbic::image::max_val_for(dec.bit_depth());
         let mut out = open_output(output)?;
-        pgm::write_header(&mut out, width, height)?;
-        let mut row = vec![0u8; width];
+        pgm::write_header(&mut out, width, height, maxval)?;
+        let mut row = vec![0u16; width];
         for _ in 0..height {
             dec.next_row(&mut row)?;
-            out.write_all(&row)?;
+            out.write_all(&pgm::row_bytes(&row, maxval))?;
         }
         out.flush()?;
-        eprintln!("{input}: proposed (streamed) -> {width}x{height} PGM");
+        eprintln!(
+            "{input}: proposed (streamed) -> {width}x{height} {}-bit PGM",
+            dec.bit_depth()
+        );
         return Ok(());
     }
 
@@ -293,18 +306,24 @@ fn cmd_decompress(args: &[String]) -> CliResult {
     let mut chained = (&magic[..]).chain(reader);
     let img = codec.decode(&mut chained, &opts)?;
     let mut out = open_output(output)?;
-    pgm::write_header(&mut out, img.width(), img.height())?;
-    out.write_all(img.pixels())?;
+    // Header then row-by-row wire conversion: no second image-sized buffer.
+    pgm::write_header(&mut out, img.width(), img.height(), img.max_val())?;
+    for y in 0..img.height() {
+        out.write_all(&pgm::row_bytes(img.row(y), img.max_val()))?;
+    }
     out.flush()?;
     eprintln!(
-        "{input}: {} -> {}x{} PGM",
+        "{input}: {} -> {}x{} {}-bit PGM",
         codec.name(),
         img.width(),
-        img.height()
+        img.height(),
+        img.bit_depth()
     );
     Ok(())
 }
 
+/// `info`: describe a compressed container — codec, dimensions, bit depth,
+/// band layout, payload sizes — without decoding any payload.
 fn cmd_info(args: &[String]) -> CliResult {
     let [input] = args else {
         return Err("info needs IN".into());
@@ -319,26 +338,102 @@ fn cmd_info(args: &[String]) -> CliResult {
             .ok_or("unrecognized container magic")?
     };
     say!("container: {kind}, {} bytes", bytes.len());
-    if kind == "proposed" {
-        let (cfg, w, h, payload) = cbic::core::container::parse_header(&bytes)?;
-        say!("dimensions: {w}x{h}");
-        say!(
-            "config: {} counter bits, increment {}, feedback={}, aging={}, division={:?}, \
-             {} compound contexts",
-            cfg.estimator.count_bits,
-            cfg.estimator.increment,
-            cfg.error_feedback,
-            cfg.aging,
-            cfg.division,
-            cfg.compound_contexts()
-        );
-        say!(
-            "payload: {} bytes = {:.3} bpp",
-            payload.len(),
-            payload.len() as f64 * 8.0 / (w * h) as f64
-        );
+    match kind {
+        "proposed" => {
+            let (hdr, payload) = cbic::core::container::parse_header(&bytes)?;
+            print_proposed_header(&hdr, payload.len());
+        }
+        "tiled" => {
+            let count_bytes = bytes
+                .get(4..8)
+                .ok_or("container truncated inside the tiled header")?;
+            let tiles = u32::from_le_bytes(count_bytes.try_into().expect("sized")) as usize;
+            say!("bands: {tiles}");
+            let mut pos = 8usize;
+            for t in 0..tiles {
+                let len_bytes = bytes
+                    .get(pos..pos + 4)
+                    .ok_or("container truncated inside band table")?;
+                let len = u32::from_le_bytes(len_bytes.try_into().expect("sized")) as usize;
+                pos += 4;
+                let band = bytes
+                    .get(pos..pos + len)
+                    .ok_or("container truncated inside a band")?;
+                pos += len;
+                let (hdr, payload) = cbic::core::container::parse_header(band)?;
+                say!(
+                    "  band {t}: {}x{} {}-bit, payload {} bytes ({:.3} bpp)",
+                    hdr.width,
+                    hdr.height,
+                    hdr.bit_depth,
+                    payload.len(),
+                    payload.len() as f64 * 8.0 / (hdr.width * hdr.height) as f64
+                );
+            }
+        }
+        "calic" => {
+            let (w, h, depth, payload) = cbic::calic::parse_container(&bytes)?;
+            print_baseline_header(w, h, depth, payload.len(), None);
+        }
+        "slp" => {
+            let (w, h, depth, payload) = cbic::slp::parse_container(&bytes)?;
+            print_baseline_header(w, h, depth, payload.len(), None);
+        }
+        "jpegls" => {
+            let (w, h, depth, near, payload) = cbic::jpegls::parse_container(&bytes)?;
+            print_baseline_header(w, h, depth, payload.len(), Some(near));
+        }
+        "universal" => {
+            let count = bytes
+                .get(5..9)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("sized")))
+                .ok_or("container truncated inside the universal header")?;
+            say!("version: {}, chunks: {count}", bytes[4]);
+        }
+        _ => {}
     }
     Ok(())
+}
+
+fn print_proposed_header(hdr: &cbic::core::container::ContainerHeader, payload_len: usize) {
+    say!(
+        "dimensions: {}x{}, {}-bit samples",
+        hdr.width,
+        hdr.height,
+        hdr.bit_depth
+    );
+    say!(
+        "config: {} counter bits, increment {}, feedback={}, aging={}, division={:?}, \
+         {} compound contexts",
+        hdr.cfg.estimator.count_bits,
+        hdr.cfg.estimator.increment,
+        hdr.cfg.error_feedback,
+        hdr.cfg.aging,
+        hdr.cfg.division,
+        hdr.cfg.compound_contexts()
+    );
+    say!(
+        "payload: {payload_len} bytes = {:.3} bpp",
+        payload_len as f64 * 8.0 / (hdr.width * hdr.height) as f64
+    );
+}
+
+fn print_baseline_header(w: usize, h: usize, depth: u8, payload_len: usize, near: Option<u8>) {
+    say!("dimensions: {w}x{h}, {depth}-bit samples");
+    if let Some(near) = near {
+        say!(
+            "near: {near} ({})",
+            if near == 0 {
+                "lossless"
+            } else {
+                "near-lossless"
+            }
+        );
+    }
+    say!(
+        "payload: {payload_len} bytes = {:.3} bpp",
+        payload_len as f64 * 8.0 / (w * h) as f64
+    );
 }
 
 fn cmd_codecs() -> CliResult {
@@ -349,7 +444,8 @@ fn cmd_codecs() -> CliResult {
             .magic()
             .map(|m| String::from_utf8_lossy(&m).into_owned())
             .unwrap_or_else(|| "-".into());
-        say!("  {:<10} magic {magic}", codec.name());
+        let (lo, hi) = codec.bit_depths();
+        say!("  {:<10} magic {magic}  depths {lo}..={hi}", codec.name());
     }
     Ok(())
 }
@@ -378,17 +474,19 @@ fn cmd_bench(args: &[String]) -> CliResult {
     };
     let img = pgm::read_file(input)?;
     say!(
-        "{input}: {}x{}, order-0 entropy {:.3} bpp",
+        "{input}: {}x{} at {} bits/sample, order-0 entropy {:.3} bpp",
         img.width(),
         img.height(),
+        img.bit_depth(),
         img.entropy()
     );
+    let raw_bits = f64::from(img.bit_depth());
     for codec in cbic::all_codecs() {
-        let bpp = codec.payload_bits_per_pixel(&img, &EncodeOptions::default())?;
+        let bpp = codec.payload_bits_per_pixel(img.view(), &EncodeOptions::default())?;
         say!(
             "  {:<10} {bpp:.3} bpp (ratio {:.2})",
             codec.name(),
-            8.0 / bpp
+            raw_bits / bpp
         );
     }
     Ok(())

@@ -29,7 +29,7 @@
 //! use cbic::image::corpus::CorpusImage;
 //!
 //! let img = CorpusImage::Lena.generate(64, 64);
-//! let bytes = compress(&img, &CodecConfig::default());
+//! let bytes = compress(img.view(), &CodecConfig::default());
 //! assert_eq!(decompress(&bytes)?, img);
 //! println!(
 //!     "compressed {} pixels into {} bytes",

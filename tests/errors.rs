@@ -142,7 +142,7 @@ fn unexpected_eof_survives_a_truncated_decode() {
     // A cut inside the container header: every codec must report a
     // truncation whose io kind is recoverable as UnexpectedEof.
     for codec in cbic::all_codecs() {
-        let bytes = codec.encode_vec(&img, &enc).unwrap();
+        let bytes = codec.encode_vec(img.view(), &enc).unwrap();
         let err = codec
             .decode_vec(&bytes[..10], &dec)
             .expect_err("truncated header must error");
@@ -167,7 +167,7 @@ fn unexpected_eof_survives_a_truncated_decode() {
     let registry = cbic::default_registry();
     for name in ["proposed", "tiled"] {
         let codec = registry.expect_name(name).unwrap();
-        let bytes = codec.encode_vec(&img, &enc).unwrap();
+        let bytes = codec.encode_vec(img.view(), &enc).unwrap();
         let err = codec
             .decode_vec(&bytes[..bytes.len() / 2], &dec)
             .expect_err("mid-payload truncation must error");
@@ -197,7 +197,9 @@ fn transport_error_kinds_survive_decode() {
 
     let img = CorpusImage::Lena.generate(64, 64);
     let codec = cbic::core::Proposed::default();
-    let bytes = codec.encode_vec(&img, &EncodeOptions::default()).unwrap();
+    let bytes = codec
+        .encode_vec(img.view(), &EncodeOptions::default())
+        .unwrap();
     for kind in [io::ErrorKind::ConnectionReset, io::ErrorKind::TimedOut] {
         let mut source = FailAfter(bytes[..bytes.len() / 2].to_vec(), 0, kind);
         let err = codec
@@ -222,7 +224,7 @@ fn encode_sink_failures_preserve_kind_for_every_codec() {
     for codec in cbic::all_codecs() {
         let err = codec
             .encode(
-                &img,
+                img.view(),
                 &EncodeOptions::default(),
                 &mut Failing(io::ErrorKind::StorageFull),
             )
@@ -271,7 +273,7 @@ proptest! {
         let enc = EncodeOptions::default();
         let dec = DecodeOptions::default();
         for codec in cbic::all_codecs() {
-            let bytes = codec.encode_vec(&img, &enc).unwrap();
+            let bytes = codec.encode_vec(img.view(), &enc).unwrap();
             let cut = cut_permille * bytes.len() / 1000;
             if let Err(e) = codec.decode_vec(&bytes[..cut], &dec) {
                 assert_structured(&e, codec.name());
@@ -294,7 +296,7 @@ proptest! {
         let dec = DecodeOptions::default();
         let registry = cbic::default_registry();
         for codec in registry.codecs() {
-            let mut bytes = codec.encode_vec(&img, &enc).unwrap();
+            let mut bytes = codec.encode_vec(img.view(), &enc).unwrap();
             let pos = (16 + pos_permille * (bytes.len() - 16) / 1000).min(bytes.len() - 1);
             bytes[pos] ^= xor;
             if let Err(e) = registry.decode_auto(&bytes, &dec) {

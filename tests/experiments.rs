@@ -23,7 +23,7 @@ const SIZE: usize = 256;
 fn corpus_avg(cfg: &CodecConfig) -> f64 {
     let c = corpus::generate(SIZE);
     c.iter()
-        .map(|(_, img)| encode_raw(img, cfg).1.bits_per_pixel())
+        .map(|(_, img)| encode_raw(img.view(), cfg).1.bits_per_pixel())
         .sum::<f64>()
         / c.len() as f64
 }
@@ -73,7 +73,7 @@ fn table1_image_hardness_ordering() {
     let c = corpus::generate(SIZE);
     let bpp: std::collections::HashMap<&str, f64> = c
         .iter()
-        .map(|(n, img)| (n.name(), encode_raw(img, &cfg).1.bits_per_pixel()))
+        .map(|(n, img)| (n.name(), encode_raw(img.view(), &cfg).1.bits_per_pixel()))
         .collect();
     // Paper row order (easiest to hardest): zelda < lena < boat < peppers
     // < goldhill ~ barb < mandrill. We assert the robust extremes plus the
@@ -112,7 +112,7 @@ fn fig4_narrow_counters_cost_bits_and_escapes() {
         let mut bpp = 0.0;
         let mut escapes = 0;
         for (_, img) in &c {
-            let stats = encode_raw(img, &cfg).1;
+            let stats = encode_raw(img.view(), &cfg).1;
             bpp += stats.bits_per_pixel();
             escapes += stats.escapes;
         }
@@ -197,7 +197,7 @@ fn more_texture_contexts_help_monotonically_enough() {
 fn compression_beats_order0_entropy_on_every_corpus_image() {
     let cfg = CodecConfig::default();
     for (name, img) in corpus::generate(SIZE) {
-        let bpp = encode_raw(&img, &cfg).1.bits_per_pixel();
+        let bpp = encode_raw(img.view(), &cfg).1.bits_per_pixel();
         assert!(
             bpp < img.entropy(),
             "{name:?}: {bpp:.3} bpp should beat order-0 {:.3}",

@@ -70,7 +70,7 @@ fn every_registry_codec_matches_its_golden_fixtures() {
     for codec in registry.codecs() {
         for class in CLASSES {
             let img = class.generate(SIZE, SIZE);
-            let bytes = codec.encode_vec(&img, &enc).unwrap();
+            let bytes = codec.encode_vec(img.view(), &enc).unwrap();
             check(
                 &format!("{}_{}_{}", codec.name(), class.name(), SIZE),
                 &bytes,
@@ -107,7 +107,7 @@ fn streaming_encoder_matches_the_proposed_golden_fixtures() {
     use cbic::core::{stream::compress_to, CodecConfig};
     for class in CLASSES {
         let img = class.generate(SIZE, SIZE);
-        let bytes = compress_to(&img, &CodecConfig::default(), Vec::new()).unwrap();
+        let bytes = compress_to(img.view(), &CodecConfig::default(), Vec::new()).unwrap();
         check(&format!("proposed_{}_{}", class.name(), SIZE), &bytes);
     }
 }

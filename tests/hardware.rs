@@ -13,14 +13,14 @@ fn codec_decision_rate_matches_pipeline_assumption() {
     // The pipeline model assumes 9 binary decisions per pixel; the encoder
     // must deliver exactly that (1 escape decision + 8 tree levels).
     let img = CorpusImage::Goldhill.generate(128, 128);
-    let (_, stats) = encode_raw(&img, &CodecConfig::default());
+    let (_, stats) = encode_raw(img.view(), &CodecConfig::default());
     assert!((stats.decisions_per_pixel() - 9.0).abs() < 1e-9);
 }
 
 #[test]
 fn measured_trace_reproduces_the_papers_throughput() {
     let img = CorpusImage::Lena.generate(128, 128);
-    let (_, stats) = encode_raw(&img, &CodecConfig::default());
+    let (_, stats) = encode_raw(img.view(), &CodecConfig::default());
     let trace = PixelTrace::uniform(
         img.width(),
         img.height(),

@@ -14,7 +14,7 @@ fn reference_image() -> Image {
 
 #[test]
 fn proposed_codec_bitstream_is_pinned() {
-    let (bytes, _) = cbic::core::encode_raw(&reference_image(), &Default::default());
+    let (bytes, _) = cbic::core::encode_raw(reference_image().view(), &Default::default());
     assert_eq!(
         bytes,
         [
@@ -28,7 +28,7 @@ fn proposed_codec_bitstream_is_pinned() {
 
 #[test]
 fn jpegls_bitstream_is_pinned() {
-    let (bytes, _) = cbic::jpegls::encode_raw(&reference_image(), &Default::default());
+    let (bytes, _) = cbic::jpegls::encode_raw(reference_image().view(), &Default::default());
     assert_eq!(
         bytes,
         [
@@ -42,7 +42,7 @@ fn jpegls_bitstream_is_pinned() {
 
 #[test]
 fn calic_bitstream_is_pinned() {
-    let (bytes, _) = cbic::calic::encode_raw(&reference_image(), &Default::default());
+    let (bytes, _) = cbic::calic::encode_raw(reference_image().view(), &Default::default());
     assert_eq!(
         bytes,
         [
@@ -56,7 +56,7 @@ fn calic_bitstream_is_pinned() {
 
 #[test]
 fn slp_bitstream_is_pinned() {
-    let (bytes, _) = cbic::slp::encode_raw(&reference_image());
+    let (bytes, _) = cbic::slp::encode_raw(reference_image().view());
     assert_eq!(
         bytes,
         [
@@ -74,7 +74,7 @@ fn corpus_is_pinned_by_checksum() {
     // invalidate EXPERIMENTS.md. FNV-1a over each 64x64 stand-in.
     fn fnv(img: &Image) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for &p in img.pixels() {
+        for &p in img.samples() {
             h ^= u64::from(p);
             h = h.wrapping_mul(0x1000_0000_01b3);
         }

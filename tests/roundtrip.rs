@@ -12,28 +12,28 @@ const SIZE: usize = 96;
 fn every_codec_roundtrips_the_whole_corpus() {
     for (name, img) in corpus::generate(SIZE) {
         // Proposed (container API).
-        let bytes = cbic::core::compress(&img, &CodecConfig::default());
+        let bytes = cbic::core::compress(img.view(), &CodecConfig::default());
         assert_eq!(
             cbic::core::decompress(&bytes).unwrap(),
             img,
             "proposed on {name:?}"
         );
         // CALIC.
-        let bytes = cbic::calic::compress(&img);
+        let bytes = cbic::calic::compress(img.view());
         assert_eq!(
             cbic::calic::decompress(&bytes).unwrap(),
             img,
             "calic on {name:?}"
         );
         // JPEG-LS.
-        let bytes = cbic::jpegls::compress(&img, &cbic::jpegls::JpeglsConfig::default());
+        let bytes = cbic::jpegls::compress(img.view(), &cbic::jpegls::JpeglsConfig::default());
         assert_eq!(
             cbic::jpegls::decompress(&bytes).unwrap(),
             img,
             "jpegls on {name:?}"
         );
         // SLP.
-        let bytes = cbic::slp::compress(&img);
+        let bytes = cbic::slp::compress(img.view());
         assert_eq!(
             cbic::slp::decompress(&bytes).unwrap(),
             img,
@@ -49,7 +49,7 @@ fn pgm_to_codec_to_pgm_pipeline() {
     let img = CorpusImage::Peppers.generate(SIZE, SIZE);
     let pgm_bytes = pgm::encode(&img);
     let loaded = pgm::decode(&pgm_bytes).unwrap();
-    let compressed = cbic::core::compress(&loaded, &CodecConfig::default());
+    let compressed = cbic::core::compress(loaded.view(), &CodecConfig::default());
     let restored = cbic::core::decompress(&compressed).unwrap();
     assert_eq!(pgm::encode(&restored), pgm_bytes);
 }
@@ -59,11 +59,11 @@ fn containers_are_mutually_unintelligible() {
     // Feeding one codec's container to another must error, not crash or
     // silently decode.
     let img = CorpusImage::Boat.generate(32, 32);
-    let core_bytes = cbic::core::compress(&img, &CodecConfig::default());
+    let core_bytes = cbic::core::compress(img.view(), &CodecConfig::default());
     assert!(cbic::jpegls::decompress(&core_bytes).is_err());
     assert!(cbic::calic::decompress(&core_bytes).is_err());
     assert!(cbic::slp::decompress(&core_bytes).is_err());
-    let ls_bytes = cbic::jpegls::compress(&img, &cbic::jpegls::JpeglsConfig::default());
+    let ls_bytes = cbic::jpegls::compress(img.view(), &cbic::jpegls::JpeglsConfig::default());
     assert!(cbic::core::decompress(&ls_bytes).is_err());
 }
 
@@ -89,21 +89,21 @@ fn extreme_images_roundtrip_everywhere() {
         ("one_col", Image::from_fn(1, 64, |_, y| (y * 4) as u8)),
     ];
     for (name, img) in &cases {
-        let b = cbic::core::compress(img, &CodecConfig::default());
+        let b = cbic::core::compress(img.view(), &CodecConfig::default());
         assert_eq!(&cbic::core::decompress(&b).unwrap(), img, "core on {name}");
-        let b = cbic::calic::compress(img);
+        let b = cbic::calic::compress(img.view());
         assert_eq!(
             &cbic::calic::decompress(&b).unwrap(),
             img,
             "calic on {name}"
         );
-        let b = cbic::jpegls::compress(img, &cbic::jpegls::JpeglsConfig::default());
+        let b = cbic::jpegls::compress(img.view(), &cbic::jpegls::JpeglsConfig::default());
         assert_eq!(
             &cbic::jpegls::decompress(&b).unwrap(),
             img,
             "jpegls on {name}"
         );
-        let b = cbic::slp::compress(img);
+        let b = cbic::slp::compress(img.view());
         assert_eq!(&cbic::slp::decompress(&b).unwrap(), img, "slp on {name}");
     }
 }
@@ -121,10 +121,10 @@ fn facade_reexports_are_usable_together() {
     let lut = cbic::hw::divlut::DivLut::new();
     assert_eq!(lut.table_bytes(), 1024);
 
-    let (payload, stats) = cbic::core::encode_raw(&img, &CodecConfig::default());
+    let (payload, stats) = cbic::core::encode_raw(img.view(), &CodecConfig::default());
     assert!(stats.bits_per_pixel() > 0.0);
     assert_eq!(
-        cbic::core::decode_raw(&payload, 48, 48, &CodecConfig::default()),
+        cbic::core::decode_raw(&payload, 48, 48, 8, &CodecConfig::default()),
         img
     );
 }
@@ -139,14 +139,14 @@ fn codec_trait_objects_are_interchangeable() {
     let mut seen = std::collections::HashSet::new();
     for codec in &codecs {
         assert!(seen.insert(codec.name()), "duplicate codec name");
-        let bytes = codec.encode_vec(&img, &enc).unwrap();
+        let bytes = codec.encode_vec(img.view(), &enc).unwrap();
         assert_eq!(
             codec.decode_vec(&bytes, &dec).unwrap(),
             img,
             "{}",
             codec.name()
         );
-        let bpp = codec.bits_per_pixel(&img, &enc).unwrap();
+        let bpp = codec.bits_per_pixel(img.view(), &enc).unwrap();
         assert!(bpp > 0.0 && bpp < 8.0, "{}: {bpp}", codec.name());
         // Cross-feeding another codec's container must error.
         for other in &codecs {

@@ -34,13 +34,13 @@ proptest! {
     #[test]
     fn stream_encoder_is_byte_identical_to_all_buffered_encoders(img in arb_image()) {
         let cfg = CodecConfig::default();
-        let buffered = compress(&img, &cfg);
-        let streamed = compress_to(&img, &cfg, Vec::new()).expect("Vec sink");
+        let buffered = compress(img.view(), &cfg);
+        let streamed = compress_to(img.view(), &cfg, Vec::new()).expect("Vec sink");
         prop_assert_eq!(&streamed, &buffered);
 
-        let (raw, _) = encode_raw(&img, &cfg);
+        let (raw, _) = encode_raw(img.view(), &cfg);
         prop_assert_eq!(&buffered[buffered.len() - raw.len()..], &raw[..]);
-        let hw = HwEncoder::encode_image(&img, &cfg);
+        let hw = HwEncoder::encode_image(img.view(), &cfg);
         prop_assert_eq!(&raw, &hw);
     }
 
@@ -48,7 +48,7 @@ proptest! {
     #[test]
     fn stream_roundtrip_is_lossless(img in arb_image()) {
         let cfg = CodecConfig::default();
-        let bytes = compress_to(&img, &cfg, Vec::new()).expect("Vec sink");
+        let bytes = compress_to(img.view(), &cfg, Vec::new()).expect("Vec sink");
         prop_assert_eq!(decompress_from(&bytes[..]).expect("own stream"), img);
     }
 
@@ -56,9 +56,9 @@ proptest! {
     #[test]
     fn stream_and_buffered_decoders_are_interchangeable(img in arb_image()) {
         let cfg = CodecConfig::default();
-        let bytes = compress(&img, &cfg);
+        let bytes = compress(img.view(), &cfg);
         prop_assert_eq!(decompress_from(&bytes[..]).expect("buffered bytes"), img.clone());
-        let streamed = compress_to(&img, &cfg, Vec::new()).expect("Vec sink");
+        let streamed = compress_to(img.view(), &cfg, Vec::new()).expect("Vec sink");
         prop_assert_eq!(decompress(&streamed).expect("streamed bytes"), img);
     }
 }
@@ -81,8 +81,8 @@ fn equivalence_holds_on_edge_shapes() {
         (2, 16384),
     ] {
         let img = Image::from_fn(w, h, |x, y| (x * 31 + y * 17) as u8);
-        let buffered = compress(&img, &cfg);
-        let streamed = compress_to(&img, &cfg, Vec::new()).unwrap();
+        let buffered = compress(img.view(), &cfg);
+        let streamed = compress_to(img.view(), &cfg, Vec::new()).unwrap();
         assert_eq!(streamed, buffered, "{w}x{h}");
         assert_eq!(decompress_from(&streamed[..]).unwrap(), img, "{w}x{h}");
     }
@@ -106,8 +106,8 @@ fn equivalence_holds_across_configs() {
             ..CodecConfig::default()
         },
     ] {
-        let buffered = compress(&img, &cfg);
-        let streamed = compress_to(&img, &cfg, Vec::new()).unwrap();
+        let buffered = compress(img.view(), &cfg);
+        let streamed = compress_to(img.view(), &cfg, Vec::new()).unwrap();
         assert_eq!(streamed, buffered, "{cfg:?}");
     }
 }
@@ -119,9 +119,9 @@ fn sink_and_buffered_paths_match_for_every_registry_codec() {
     let enc = EncodeOptions::default();
     let dec = DecodeOptions::default();
     for codec in registry.codecs() {
-        let buffered = codec.encode_vec(&img, &enc).unwrap();
+        let buffered = codec.encode_vec(img.view(), &enc).unwrap();
         let mut streamed = Vec::new();
-        let stats = codec.encode(&img, &enc, &mut streamed).unwrap();
+        let stats = codec.encode(img.view(), &enc, &mut streamed).unwrap();
         assert_eq!(streamed, buffered, "{}", codec.name());
         assert_eq!(
             stats.container_bytes,
@@ -131,7 +131,7 @@ fn sink_and_buffered_paths_match_for_every_registry_codec() {
         );
         // The counting-sink measure path reports the same size without
         // materializing anything.
-        let measured = codec.measure(&img, &enc).unwrap();
+        let measured = codec.measure(img.view(), &enc).unwrap();
         assert_eq!(measured, stats, "{}", codec.name());
         let mut source: &[u8] = &buffered;
         let back = codec.decode(&mut source, &dec).unwrap();
@@ -153,7 +153,7 @@ fn sink_and_buffered_paths_match_for_every_registry_codec() {
 #[test]
 fn core_decoder_errors_on_mid_stream_eof() {
     let img = CorpusImage::Goldhill.generate(64, 64);
-    let bytes = compress(&img, &CodecConfig::default());
+    let bytes = compress(img.view(), &CodecConfig::default());
     assert!(bytes.len() > 120, "need a real payload for the cuts below");
     // Cuts inside the header, just past it, mid-payload, and near the end.
     for cut in [0, 3, 12, 22, 23, 40, bytes.len() / 2, bytes.len() - 32] {
@@ -174,7 +174,12 @@ fn core_decoder_errors_on_mid_stream_eof() {
 #[test]
 fn tiled_decoder_errors_on_mid_stream_eof() {
     let img = CorpusImage::Boat.generate(48, 48);
-    let bytes = compress_tiled(&img, &CodecConfig::default(), 3, Parallelism::Sequential);
+    let bytes = compress_tiled(
+        img.view(),
+        &CodecConfig::default(),
+        3,
+        Parallelism::Sequential,
+    );
     for cut in [0, 5, 9, 30, bytes.len() / 2, bytes.len() - 24] {
         assert!(
             decompress_tiled(&bytes[..cut], Parallelism::Sequential).is_err(),
@@ -197,7 +202,12 @@ fn tiled_decoder_errors_on_truncated_final_band_payload() {
     // A cut *inside* the last band's arithmetic payload keeps the framing
     // intact-looking from the front but must still be rejected.
     let img = CorpusImage::Barb.generate(48, 48);
-    let mut bytes = compress_tiled(&img, &CodecConfig::default(), 2, Parallelism::Sequential);
+    let mut bytes = compress_tiled(
+        img.view(),
+        &CodecConfig::default(),
+        2,
+        Parallelism::Sequential,
+    );
     let cut = 40;
     bytes.truncate(bytes.len() - cut);
     // Also shrink the final band's length prefix so the container parses.
@@ -229,7 +239,7 @@ fn every_decoder_rejects_flipped_magic() {
     let img = CorpusImage::Zelda.generate(24, 24);
     let cfg = CodecConfig::default();
 
-    let mut core_bytes = compress(&img, &cfg);
+    let mut core_bytes = compress(img.view(), &cfg);
     core_bytes[0] ^= 0x20;
     assert_eq!(decompress(&core_bytes), Err(CodecError::BadMagic));
     assert_eq!(
@@ -237,7 +247,7 @@ fn every_decoder_rejects_flipped_magic() {
         CodecError::BadMagic
     );
 
-    let mut tiled_bytes = compress_tiled(&img, &cfg, 2, Parallelism::Sequential);
+    let mut tiled_bytes = compress_tiled(img.view(), &cfg, 2, Parallelism::Sequential);
     tiled_bytes[1] ^= 0xFF;
     assert_eq!(
         decompress_tiled(&tiled_bytes, Parallelism::Sequential),
@@ -258,7 +268,7 @@ fn forged_headers_cannot_force_huge_allocations() {
     // A corrupted header claiming a gigantic image must be rejected before
     // any allocation proportional to the claim.
     let img = CorpusImage::Boat.generate(16, 16);
-    let mut bytes = compress(&img, &CodecConfig::default());
+    let mut bytes = compress(img.view(), &CodecConfig::default());
     bytes[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
     bytes[10..14].copy_from_slice(&u32::MAX.to_le_bytes());
     assert!(matches!(
@@ -282,10 +292,12 @@ fn forged_headers_cannot_force_huge_allocations() {
 fn sixty_four_megapixel_roundtrip_in_bounded_memory() {
     const N: usize = 8192;
     let cfg = CodecConfig::default();
-    let pixel = |x: usize, y: usize| ((x / 7) as u8).wrapping_add((y / 5) as u8).wrapping_mul(31);
+    let pixel = |x: usize, y: usize| {
+        u16::from(((x / 7) as u8).wrapping_add((y / 5) as u8).wrapping_mul(31))
+    };
 
     let mut enc = StreamEncoder::new(Vec::new(), N, N, &cfg).unwrap();
-    let mut row = vec![0u8; N];
+    let mut row = vec![0u16; N];
     for y in 0..N {
         for (x, slot) in row.iter_mut().enumerate() {
             *slot = pixel(x, y);

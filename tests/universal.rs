@@ -32,7 +32,7 @@ fn dispatcher_image_path_equals_direct_codec() {
     let (_, reports) = codec.encode_with_report(&[Chunk::Image(img.clone())]);
     let direct = codec
         .image_codec
-        .encode_vec(&img, &cbic::EncodeOptions::default())
+        .encode_vec(img.view(), &cbic::EncodeOptions::default())
         .unwrap();
     match &reports[0] {
         ChunkReport::Image(bits) => assert_eq!(*bits, direct.len() as u64 * 8),
@@ -68,7 +68,7 @@ fn video_front_end_beats_intra_coding_on_motion() {
     // All-intra cost of the same frames.
     let intra: u64 = frames
         .iter()
-        .map(|f| cbic::core::encode_raw(f, &cfg.codec).1.payload_bits)
+        .map(|f| cbic::core::encode_raw(f.view(), &cfg.codec).1.payload_bits)
         .sum();
     assert!(
         stats.payload_bits * 2 < intra,
@@ -96,13 +96,11 @@ fn image_and_data_models_suit_their_own_content() {
     // "Fast adaptation to the nature of the data": the image front end
     // must beat the byte model on images.
     let img = CorpusImage::Zelda.generate(128, 128);
-    let image_bits = cbic::core::encode_raw(&img, &Default::default())
+    let image_bits = cbic::core::encode_raw(img.view(), &Default::default())
         .1
         .payload_bits;
-    let data_bits = DataModel::new(Order::One)
-        .encode(img.pixels())
-        .1
-        .payload_bits;
+    let raw_bytes: Vec<u8> = img.samples().iter().map(|&s| s as u8).collect();
+    let data_bits = DataModel::new(Order::One).encode(&raw_bytes).1.payload_bits;
     assert!(
         image_bits < data_bits,
         "image model {image_bits} vs byte model {data_bits} on an image"
