@@ -12,6 +12,7 @@
 //! debug builds.
 
 use cbic_bitio::{BitSink, BitSource, BitWriter};
+use std::sync::OnceLock;
 
 const HALF: u32 = 1 << 31;
 const QUARTER: u32 = 1 << 30;
@@ -23,6 +24,39 @@ const THREE_QUARTERS: u32 = HALF + QUARTER;
 /// spans at least one code value after renormalisation (the interval is
 /// always at least a quarter of the 32-bit range, i.e. 2^30 ≥ 2^16·2^14).
 pub(crate) const MAX_TOTAL: u32 = 1 << 16;
+
+/// Reciprocal ROM for the interval split: entry `d` holds `⌈2⁶⁴ / d⌉`, so
+/// the per-decision `⌊range·c0 / total⌋` becomes one widening multiply and
+/// a shift instead of a hardware divide — the division-free datapath a
+/// hardware coder would synthesize.
+///
+/// **Exactness** (Granlund–Montgomery invariant division): with
+/// `m = ⌈2⁶⁴/d⌉` the error `e = m·d − 2⁶⁴` is in `[0, d)`, so
+/// `n·m/2⁶⁴ = n/d + n·e/(d·2⁶⁴)` and the excess is below `n/2⁶⁴ ≤ 2⁻¹⁶`
+/// for every dividend `n ≤ 2⁴⁸` — too small to carry `⌊n/d⌋` to the next
+/// integer (the fractional part of `n/d` is at most `1 − 2⁻¹⁶`). Here
+/// `n = range·c0 ≤ 2³²·2¹⁶`, so every split is bit-exact; the property
+/// test sweeps the corners.
+///
+/// Entry 1 would need `2⁶⁴` and stays 0 — a divisor of 1 forces `c0 = 0`
+/// or `c0 = total`, which the deterministic-decision shortcut retires
+/// before any division.
+fn recip_table() -> &'static [u64] {
+    static RECIP: OnceLock<Vec<u64>> = OnceLock::new();
+    RECIP.get_or_init(|| {
+        let mut t = vec![0u64; MAX_TOTAL as usize + 1];
+        for (d, slot) in t.iter_mut().enumerate().skip(2) {
+            *slot = (1u128 << 64).div_ceil(d as u128) as u64;
+        }
+        t
+    })
+}
+
+/// `⌊n / d⌋` by reciprocal multiplication (see [`recip_table`]).
+#[inline]
+fn div_by_recip(n: u64, recip: u64) -> u64 {
+    ((u128::from(n) * u128::from(recip)) >> 64) as u64
+}
 
 /// Encoding half of the binary arithmetic coder.
 ///
@@ -54,6 +88,7 @@ pub struct BinaryEncoder<S = BitWriter> {
     pending: u64,
     writer: S,
     decisions: u64,
+    recip: &'static [u64],
 }
 
 impl<S: BitSink> BinaryEncoder<S> {
@@ -65,6 +100,7 @@ impl<S: BitSink> BinaryEncoder<S> {
             pending: 0,
             writer,
             decisions: 0,
+            recip: recip_table(),
         }
     }
 
@@ -94,10 +130,23 @@ impl<S: BitSink> BinaryEncoder<S> {
         );
         self.decisions += 1;
 
+        // Deterministic decisions are free: when the coded side owns the
+        // whole interval (`P = 1`), the split leaves `low`/`high` exactly
+        // where they were, no renormalisation can trigger, and no bit is
+        // emitted — so skip the 64-bit multiply/divide entirely. Adapted
+        // trees hit this constantly (every node whose sibling branch has
+        // decayed to zero), which makes it the hottest shortcut in the
+        // coder. The emitted stream is identical by construction.
+        if if bit { c0 == 0 } else { c0 == total } {
+            return;
+        }
+
         let range = u64::from(self.high) - u64::from(self.low) + 1;
         // First code value of the `1` sub-interval (may be high + 1 when
-        // the `1` side is empty, hence the 64-bit arithmetic).
-        let split = u64::from(self.low) + (range * u64::from(c0)) / u64::from(total);
+        // the `1` side is empty, hence the 64-bit arithmetic). The divide
+        // runs through the reciprocal ROM — bit-exact, see [`recip_table`].
+        let split =
+            u64::from(self.low) + div_by_recip(range * u64::from(c0), self.recip[total as usize]);
         if bit {
             self.low = split as u32;
         } else {
@@ -177,6 +226,7 @@ pub struct BinaryDecoder<S> {
     value: u32,
     reader: S,
     decisions: u64,
+    recip: &'static [u64],
 }
 
 impl<S: BitSource> BinaryDecoder<S> {
@@ -189,6 +239,7 @@ impl<S: BitSource> BinaryDecoder<S> {
             value,
             reader,
             decisions: 0,
+            recip: recip_table(),
         }
     }
 
@@ -203,8 +254,20 @@ impl<S: BitSource> BinaryDecoder<S> {
         assert!(c0 <= total, "c0 {c0} exceeds total {total}");
         self.decisions += 1;
 
+        // The encoder's deterministic-decision shortcut, mirrored: with
+        // `c0 == 0` the split lands on `low` so the decision is always 1;
+        // with `c0 == total` it lands past `high` so it is always 0. The
+        // interval (and the code value) are untouched either way.
+        if c0 == 0 {
+            return true;
+        }
+        if c0 == total {
+            return false;
+        }
+
         let range = u64::from(self.high) - u64::from(self.low) + 1;
-        let split = u64::from(self.low) + (range * u64::from(c0)) / u64::from(total);
+        let split =
+            u64::from(self.low) + div_by_recip(range * u64::from(c0), self.recip[total as usize]);
         let bit = u64::from(self.value) >= split;
         if bit {
             self.low = split as u32;
@@ -317,6 +380,10 @@ mod tests {
         roundtrip(&[(false, 4, 4), (true, 0, 4), (false, 4, 4)]);
     }
 
+    /// The zero-probability guard is a `debug_assert`, so the panic only
+    /// exists in debug builds — release builds would fail the
+    /// `should_panic` expectation.
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "zero-probability")]
     fn zero_probability_decision_panics_in_debug() {
@@ -339,6 +406,36 @@ mod tests {
             decisions.push((i % 3 != 0, 1u32, 65_536u32));
         }
         roundtrip(&decisions);
+    }
+
+    /// The reciprocal ROM must compute the exact truncating quotient for
+    /// every `(range, c0, total)` the coder can form: corners of the range
+    /// register, every divisor width, and both sides of each multiple.
+    #[test]
+    fn reciprocal_division_is_exact_at_the_corners() {
+        let recip = recip_table();
+        let ranges = [
+            1u64 << 30,
+            (1 << 30) + 1,
+            (1 << 31) - 1,
+            1 << 31,
+            (1u64 << 32) - 1,
+            1u64 << 32,
+        ];
+        for total in (2u64..=65536).flat_map(|d| [d]) {
+            // Sample c0 values across the divisor, always including the
+            // extremes and neighbours of total/2.
+            for c0 in [0, 1, total / 2, total / 2 + 1, total - 1, total] {
+                for &range in &ranges {
+                    let n = range * c0;
+                    assert_eq!(
+                        div_by_recip(n, recip[total as usize]),
+                        n / total,
+                        "n {n}, total {total}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

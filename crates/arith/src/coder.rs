@@ -4,7 +4,7 @@
 use crate::adaptive::AdaptiveBit;
 use crate::bincoder::{BinaryDecoder, BinaryEncoder, MAX_TOTAL};
 use crate::stats::CoderStats;
-use crate::tree::TreeModel;
+use crate::tree::{DecisionPath, TreeModel};
 use cbic_bitio::{BitSink, BitSource};
 
 /// Tuning knobs of the probability estimator.
@@ -156,6 +156,13 @@ impl SymbolCoder {
 
     /// Encodes `symbol` in coding context `ctx`.
     ///
+    /// Runs the slice-batched fast path: one
+    /// [`capture_and_update`](TreeModel::capture_and_update) descent
+    /// records the decision probabilities and folds in the count update,
+    /// then the escape decision and the captured slice (or the static
+    /// bits) go to the coder as a batch. Bit-identical to the historical
+    /// probe/code/update sequence.
+    ///
     /// # Panics
     ///
     /// Panics if `ctx` is out of range, or (for reduced alphabets) if
@@ -167,7 +174,16 @@ impl SymbolCoder {
             self.depth
         );
         self.stats.symbols += 1;
-        let escaped = self.trees[ctx].path_has_zero(symbol);
+        if !self.trees[ctx].maybe_escapes(symbol) {
+            // Guaranteed-codable symbol: the escape decision is known
+            // before any tree walk, so code it and run the single fused
+            // descent.
+            self.escape[ctx].encode(enc, false);
+            self.trees[ctx].encode_and_update(enc, symbol);
+            return;
+        }
+        let mut path = DecisionPath::empty();
+        let escaped = self.trees[ctx].capture_and_update(symbol, &mut path);
         self.escape[ctx].encode(enc, escaped);
         if escaped {
             self.stats.escapes += 1;
@@ -177,12 +193,12 @@ impl SymbolCoder {
                 enc.encode((symbol >> k) & 1 == 1, 1, 2);
             }
         } else {
-            self.trees[ctx].encode_decisions(enc, symbol);
+            path.replay(enc, symbol);
         }
-        self.trees[ctx].update(symbol);
     }
 
-    /// Decodes one symbol from coding context `ctx`.
+    /// Decodes one symbol from coding context `ctx` (the fused
+    /// decode-and-update descent, the dual of [`Self::encode`]).
     ///
     /// # Panics
     ///
@@ -190,18 +206,17 @@ impl SymbolCoder {
     pub fn decode<S: BitSource>(&mut self, dec: &mut BinaryDecoder<S>, ctx: usize) -> u8 {
         self.stats.symbols += 1;
         let escaped = self.escape[ctx].decode(dec);
-        let symbol = if escaped {
+        if escaped {
             self.stats.escapes += 1;
             let mut s = 0u8;
             for _ in 0..self.depth {
                 s = (s << 1) | u8::from(dec.decode(1, 2));
             }
+            self.trees[ctx].update(s);
             s
         } else {
-            self.trees[ctx].decode_decisions(dec)
-        };
-        self.trees[ctx].update(symbol);
-        symbol
+            self.trees[ctx].decode_and_update(dec)
+        }
     }
 
     /// Binary decisions needed to code one symbol in the current state

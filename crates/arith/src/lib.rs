@@ -58,7 +58,7 @@ pub use adaptive::AdaptiveBit;
 pub use bincoder::{BinaryDecoder, BinaryEncoder};
 pub use coder::{EstimatorConfig, SymbolCoder};
 pub use stats::CoderStats;
-pub use tree::TreeModel;
+pub use tree::{DecisionPath, TreeModel};
 
 #[cfg(test)]
 mod proptests;

@@ -19,6 +19,65 @@ use crate::bincoder::{BinaryDecoder, BinaryEncoder};
 use crate::coder::EstimatorConfig;
 use cbic_bitio::{BitSink, BitSource};
 
+/// Captured per-level decision probabilities of one symbol's root-to-leaf
+/// path: the `(c0, visits)` pair of every internal node the symbol
+/// traverses, recorded in one descent by
+/// [`TreeModel::capture_and_update`] and replayed into the arithmetic
+/// coder as a batch.
+///
+/// This is the slice-batched fast path the image engine codes through:
+/// instead of three separate descents per symbol (escape probe, decision
+/// coding, count update) the tree is walked **once**, and the coder
+/// consumes the captured slice afterwards. The emitted bits are identical
+/// to the three-descent sequence — only the number of tree traversals
+/// changes.
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionPath {
+    c0: [u32; 8],
+    visits: [u32; 8],
+    len: u32,
+}
+
+impl DecisionPath {
+    /// An empty path, ready to be filled by
+    /// [`TreeModel::capture_and_update`].
+    pub const fn empty() -> Self {
+        Self {
+            c0: [0; 8],
+            visits: [0; 8],
+            len: 0,
+        }
+    }
+
+    /// Number of captured decisions (the tree depth).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` until a capture fills the path.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Replays the captured decision sequence of `symbol` into the coder —
+    /// bit-identical to [`TreeModel::encode_decisions`] with the counts
+    /// that were current at capture time.
+    #[inline]
+    pub fn replay<S: BitSink>(&self, enc: &mut BinaryEncoder<S>, symbol: u8) {
+        for k in 0..self.len {
+            let bit = (symbol >> (self.len - 1 - k)) & 1 == 1;
+            let i = k as usize;
+            enc.encode(bit, self.c0[i], self.visits[i]);
+        }
+    }
+}
+
+impl Default for DecisionPath {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 /// One adaptive context tree over a `2^depth`-symbol alphabet.
 ///
 /// See this module's source documentation for the representation. The tree
@@ -53,6 +112,14 @@ pub struct TreeModel {
     max_total: u32,
     increment: u32,
     rescales: u64,
+    /// One bit per symbol: **may** the symbol's path contain a zero
+    /// branch? Zero branches are *created* only by [`Self::rescale`]
+    /// (which recomputes this mask exactly) and *removed* only by
+    /// [`Self::update`] (which leaves the mask alone), so a clear bit is
+    /// a guarantee — the symbol cannot escape and its decisions can be
+    /// coded in one fused descent — while a set bit merely routes the
+    /// symbol through the exact capture walk.
+    maybe_zero: [u64; 4],
 }
 
 impl TreeModel {
@@ -89,6 +156,7 @@ impl TreeModel {
             max_total,
             increment: u32::from(cfg.increment),
             rescales: 0,
+            maybe_zero: [0; 4],
         };
         tree.reset();
         tree
@@ -105,6 +173,8 @@ impl TreeModel {
         }
         self.total = 1 << depth;
         self.rescales = 0;
+        // The uniform distribution has no zero branch anywhere.
+        self.maybe_zero = [0; 4];
     }
 
     /// Number of symbol bits (tree levels).
@@ -192,6 +262,105 @@ impl TreeModel {
         symbol
     }
 
+    /// The slice-batched fast path: walks `symbol`'s root-to-leaf path
+    /// **once**, capturing each level's `(c0, visits)` pair into `path`,
+    /// detecting whether the symbol must escape, and folding the count
+    /// update into the same descent. Returns `true` when some branch on
+    /// the path has a zero count (the symbol must be escaped; the
+    /// captured probabilities are then meaningless and must not be
+    /// replayed).
+    ///
+    /// Equivalent to `path_has_zero` + `encode_decisions`-capture +
+    /// [`Self::update`], in one traversal instead of three: the captured
+    /// pairs are the **pre-update** counts, and the rare rescale case
+    /// falls back to a separate capture so the coded probabilities never
+    /// see a half-aged tree.
+    #[inline]
+    pub fn capture_and_update(&mut self, symbol: u8, path: &mut DecisionPath) -> bool {
+        path.len = self.depth;
+        if self.total + self.increment > self.max_total {
+            // Aging imminent: capture with the pre-rescale counts the
+            // coder must use, then let the plain update rescale and add.
+            let escaped = self.capture(symbol, path);
+            self.update(symbol);
+            return escaped;
+        }
+        let inc = self.increment as u16;
+        let mut node = 1usize;
+        let mut visits = self.total;
+        let mut escaped = false;
+        for k in 0..self.depth {
+            let bit = (symbol >> (self.depth - 1 - k)) & 1;
+            let c0 = u32::from(self.left[node]);
+            let i = k as usize;
+            path.c0[i] = c0;
+            path.visits[i] = visits;
+            // By the invariant `left[node] <= visits`, both branches are
+            // non-negative; once a branch hits zero every deeper count is
+            // zero too, so the walk stays well-defined.
+            let branch = if bit == 0 { c0 } else { visits - c0 };
+            escaped |= branch == 0;
+            if bit == 0 {
+                self.left[node] += inc;
+            }
+            visits = branch;
+            node = node * 2 + usize::from(bit);
+        }
+        self.total += self.increment;
+        escaped
+    }
+
+    /// Read-only capture of `symbol`'s path (the rescale-imminent slow
+    /// branch of [`Self::capture_and_update`]).
+    fn capture(&self, symbol: u8, path: &mut DecisionPath) -> bool {
+        let mut node = 1usize;
+        let mut visits = self.total;
+        let mut escaped = false;
+        for k in 0..self.depth {
+            let bit = (symbol >> (self.depth - 1 - k)) & 1;
+            let c0 = u32::from(self.left[node]);
+            let i = k as usize;
+            path.c0[i] = c0;
+            path.visits[i] = visits;
+            let branch = if bit == 0 { c0 } else { visits - c0 };
+            escaped |= branch == 0;
+            visits = branch;
+            node = node * 2 + usize::from(bit);
+        }
+        escaped
+    }
+
+    /// The decoder's fused descent: decodes one symbol's decisions and
+    /// applies the count update in the same walk (each node's counter is
+    /// read before it is bumped, so the decoded probabilities match the
+    /// encoder's pre-update capture exactly). Falls back to decode-then-
+    /// update when a rescale is due, mirroring
+    /// [`Self::capture_and_update`].
+    #[inline]
+    pub fn decode_and_update<S: BitSource>(&mut self, dec: &mut BinaryDecoder<S>) -> u8 {
+        if self.total + self.increment > self.max_total {
+            let symbol = self.decode_decisions(dec);
+            self.update(symbol);
+            return symbol;
+        }
+        let inc = self.increment as u16;
+        let mut node = 1usize;
+        let mut visits = self.total;
+        let mut symbol = 0u8;
+        for _ in 0..self.depth {
+            let c0 = u32::from(self.left[node]);
+            let bit = dec.decode(c0, visits);
+            visits = if bit { visits - c0 } else { c0 };
+            if !bit {
+                self.left[node] += inc;
+            }
+            symbol = (symbol << 1) | u8::from(bit);
+            node = node * 2 + usize::from(bit);
+        }
+        self.total += self.increment;
+        symbol
+    }
+
     /// Accumulates `symbol` into the tree, halving all counters first if the
     /// root total would exceed the configured cap (the paper's overflow
     /// rescaling, which "ages" the statistics).
@@ -211,13 +380,94 @@ impl TreeModel {
         self.total += self.increment;
     }
 
-    /// Halves every counter in the tree (and the root total).
+    /// Halves every counter in the tree (and the root total), then
+    /// recomputes the maybe-zero mask exactly — rescaling is the only
+    /// operation that can create zero branches, so the mask is precise at
+    /// this point and only grows stale in the safe direction (updates
+    /// remove zeros but never add them).
     fn rescale(&mut self) {
         for c in &mut self.left[1..] {
             *c >>= 1;
         }
         self.total >>= 1;
         self.rescales += 1;
+        self.maybe_zero = [0; 4];
+        self.mark_zero_paths(1, self.total, 0, self.depth);
+    }
+
+    /// Marks every symbol under `node` whose remaining path crosses an
+    /// empty branch (`visits` is the node's inherited visit count,
+    /// `prefix` the symbol bits chosen so far).
+    fn mark_zero_paths(&mut self, node: usize, visits: u32, prefix: u32, levels_left: u32) {
+        if levels_left == 0 {
+            return;
+        }
+        let c0 = u32::from(self.left[node]);
+        let c1 = visits - c0;
+        for (bit, branch) in [(0u32, c0), (1u32, c1)] {
+            let child_prefix = (prefix << 1) | bit;
+            if branch == 0 {
+                // Every symbol with this prefix escapes: set the whole
+                // 2^(levels_left - 1)-symbol run in one mask pass.
+                let first = (child_prefix << (levels_left - 1)) as usize;
+                let count = 1usize << (levels_left - 1);
+                for s in first..first + count {
+                    self.maybe_zero[s >> 6] |= 1u64 << (s & 63);
+                }
+            } else {
+                self.mark_zero_paths(
+                    node * 2 + bit as usize,
+                    branch,
+                    child_prefix,
+                    levels_left - 1,
+                );
+            }
+        }
+    }
+
+    /// `true` when `symbol`'s path **might** cross a zero branch (a set
+    /// bit in the maybe-zero mask). A `false` answer is a guarantee that
+    /// [`Self::path_has_zero`] is `false`, letting encoders skip the
+    /// escape probe and code in one fused descent.
+    #[inline]
+    pub fn maybe_escapes(&self, symbol: u8) -> bool {
+        let s = usize::from(symbol);
+        self.maybe_zero[s >> 6] & (1u64 << (s & 63)) != 0
+    }
+
+    /// The encoder's fused fast path for symbols whose mask bit is clear:
+    /// codes the decision path and applies the update in a single
+    /// descent, bit-identical to `encode_decisions` + [`Self::update`].
+    /// Falls back to the two-step sequence when a rescale is due (the
+    /// coded probabilities must be the pre-rescale counts).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics (inside the arithmetic coder) if the path does have a
+    /// zero branch — callers must check [`Self::maybe_escapes`] first.
+    #[inline]
+    pub fn encode_and_update<S: BitSink>(&mut self, enc: &mut BinaryEncoder<S>, symbol: u8) {
+        if self.total + self.increment > self.max_total {
+            self.encode_decisions(enc, symbol);
+            self.update(symbol);
+            return;
+        }
+        let inc = self.increment as u16;
+        let mut node = 1usize;
+        let mut visits = self.total;
+        for k in (0..self.depth).rev() {
+            let bit = (symbol >> k) & 1 == 1;
+            let c0 = u32::from(self.left[node]);
+            enc.encode(bit, c0, visits);
+            if bit {
+                visits -= c0;
+            } else {
+                self.left[node] += inc;
+                visits = c0;
+            }
+            node = node * 2 + usize::from(bit);
+        }
+        self.total += self.increment;
     }
 
     /// Probability of `symbol` as a fraction (numerator, denominator-log2
@@ -389,6 +639,136 @@ mod tests {
         let bits = enc.finish().into_bytes().len() * 8;
         let bps = bits as f64 / symbols.len() as f64;
         assert!(bps < 1.0, "skewed source cost {bps} bits/symbol");
+    }
+
+    /// A clear maybe-zero bit must guarantee a nonzero path, at every
+    /// point of a long adapting run with frequent rescales; and the fused
+    /// encode fast path must match the two-step reference bit for bit.
+    #[test]
+    fn maybe_zero_mask_is_sound_and_fast_encode_matches() {
+        let cfg = EstimatorConfig {
+            count_bits: 10,
+            increment: 32,
+            ..EstimatorConfig::default()
+        };
+        let mut fast = TreeModel::new(8, cfg);
+        let mut slow = TreeModel::new(8, cfg);
+        let mut fast_enc = BinaryEncoder::new(BitWriter::new());
+        let mut slow_enc = BinaryEncoder::new(BitWriter::new());
+        let mut fast_hits = 0u32;
+        for i in 0..8000u32 {
+            let s = (i.wrapping_mul(2654435761) >> 18) as u8;
+            // Soundness: a clear bit means the exact probe agrees.
+            if !fast.maybe_escapes(s) {
+                assert!(!fast.path_has_zero(s), "mask lied about symbol {s}");
+            }
+            if fast.path_has_zero(s) {
+                assert!(fast.maybe_escapes(s), "zero path with clear mask bit");
+                fast.update(s);
+                slow.update(s);
+                continue;
+            }
+            if fast.maybe_escapes(s) {
+                // Stale-maybe: exact walk (reference handles it the same).
+                fast.encode_decisions(&mut fast_enc, s);
+                fast.update(s);
+            } else {
+                fast_hits += 1;
+                fast.encode_and_update(&mut fast_enc, s);
+            }
+            slow.encode_decisions(&mut slow_enc, s);
+            slow.update(s);
+            assert_eq!(fast, slow, "state diverged at step {i}");
+        }
+        assert!(fast_hits > 0, "fast path never taken");
+        assert!(fast.rescales() > 0, "test must cross rescales");
+        assert_eq!(
+            fast_enc.finish().into_bytes(),
+            slow_enc.finish().into_bytes()
+        );
+    }
+
+    /// The batched single-descent path must be bit- and state-identical to
+    /// the historical three-descent sequence, including across rescales
+    /// and escapes.
+    #[test]
+    fn capture_and_update_matches_three_descent_reference() {
+        let cfg = EstimatorConfig {
+            count_bits: 10, // narrow: forces frequent rescales and escapes
+            increment: 32,
+            ..EstimatorConfig::default()
+        };
+        let symbols: Vec<u8> = (0..5000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+
+        let mut fast = TreeModel::new(8, cfg);
+        let mut slow = TreeModel::new(8, cfg);
+        let mut fast_enc = BinaryEncoder::new(BitWriter::new());
+        let mut slow_enc = BinaryEncoder::new(BitWriter::new());
+        let mut path = DecisionPath::empty();
+        for &s in &symbols {
+            let fast_escaped = fast.capture_and_update(s, &mut path);
+            let slow_escaped = slow.path_has_zero(s);
+            assert_eq!(fast_escaped, slow_escaped, "escape disagreement on {s}");
+            if !fast_escaped {
+                path.replay(&mut fast_enc, s);
+                slow.encode_decisions(&mut slow_enc, s);
+            }
+            slow.update(s);
+            assert_eq!(fast, slow, "tree state diverged after {s}");
+        }
+        assert_eq!(
+            fast_enc.finish().into_bytes(),
+            slow_enc.finish().into_bytes(),
+            "batched path emitted different bits"
+        );
+    }
+
+    #[test]
+    fn decode_and_update_matches_reference() {
+        let cfg = EstimatorConfig {
+            count_bits: 10,
+            increment: 32,
+            ..EstimatorConfig::default()
+        };
+        // Build a stream with the reference encoder (skipping escapes).
+        let symbols: Vec<u8> = (0..3000u32).map(|i| ((i * 31) % 256) as u8).collect();
+        let mut enc_tree = TreeModel::new(8, cfg);
+        let mut enc = BinaryEncoder::new(BitWriter::new());
+        let mut coded = Vec::new();
+        for &s in &symbols {
+            if !enc_tree.path_has_zero(s) {
+                enc_tree.encode_decisions(&mut enc, s);
+                coded.push(s);
+            }
+            enc_tree.update(s);
+        }
+        let bytes = enc.finish().into_bytes();
+
+        // The fused decoder must reproduce the coded symbols; replay the
+        // skipped (escaped) updates outside the coder, as SymbolCoder does.
+        let mut dec_tree = TreeModel::new(8, cfg);
+        let mut dec = BinaryDecoder::new(BitReader::new(&bytes));
+        let mut it = coded.iter();
+        for &s in &symbols {
+            if dec_tree.path_has_zero(s) {
+                dec_tree.update(s);
+            } else {
+                assert_eq!(dec_tree.decode_and_update(&mut dec), *it.next().unwrap());
+            }
+        }
+        assert_eq!(dec_tree, enc_tree, "decoder state diverged");
+    }
+
+    #[test]
+    fn decision_path_replay_layout() {
+        let t = TreeModel::new(3, cfg());
+        let mut path = DecisionPath::empty();
+        assert!(path.is_empty());
+        let mut t2 = t.clone();
+        assert!(!t2.capture_and_update(0b101, &mut path));
+        assert_eq!(path.len(), 3);
     }
 
     #[test]

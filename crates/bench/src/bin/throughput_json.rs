@@ -1,0 +1,82 @@
+//! Machine-readable throughput harness (the perf-trajectory tracker).
+//!
+//! ```text
+//! cargo run --release -p cbic-bench --bin throughput_json -- \
+//!     [--json] [--size N] [--out PATH] [--baseline PATH] [--label TEXT] [--quick]
+//! ```
+//!
+//! Without `--json`, prints a human-readable table. With `--json`, writes
+//! the report document (schema 1: `{schema, size, label, results,
+//! baseline}`) to `--out` (default `BENCH_throughput.json` in the current
+//! directory). `--baseline PATH` embeds a previous report's `results`
+//! array so the committed file carries its own speed-up reference;
+//! `--quick` caps each cell at a handful of iterations for CI smoke runs.
+
+use cbic_bench::perf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut quick = false;
+    let mut size = 256usize;
+    let mut out_path = "BENCH_throughput.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut label = "current".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("error: {} needs a value", args[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--quick" => quick = true,
+            "--size" => {
+                size = take(&mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("error: bad --size: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => out_path = take(&mut i),
+            "--baseline" => baseline_path = Some(take(&mut i)),
+            "--label" => label = take(&mut i),
+            other => {
+                eprintln!(
+                    "usage: throughput_json [--json] [--size N] [--out PATH] \
+                     [--baseline PATH] [--label TEXT] [--quick] (got {other})"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let (min_secs, max_iters) = if quick { (0.05, 3) } else { (0.4, 40) };
+    eprintln!(
+        "measuring {size}x{size} corpus ({} classes)...",
+        perf::CLASSES.len()
+    );
+    let records = perf::measure_throughput(size, min_secs, max_iters);
+    perf::print_report(&records);
+
+    if json {
+        let baseline_doc = baseline_path.map(|p| {
+            std::fs::read_to_string(&p).unwrap_or_else(|e| {
+                eprintln!("error: reading baseline {p}: {e}");
+                std::process::exit(1);
+            })
+        });
+        let baseline = baseline_doc
+            .as_deref()
+            .and_then(|doc| perf::extract_results(doc).map(|r| ("pre-refactor", r)));
+        let report = perf::render_report(size, &label, &records, baseline);
+        if let Err(e) = std::fs::write(&out_path, report) {
+            eprintln!("error: writing {out_path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {out_path}");
+    }
+}

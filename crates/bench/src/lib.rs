@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use cbic_arith::EstimatorConfig;
 use cbic_core::{CodecConfig, DivisionKind};
 use cbic_image::corpus::{self, CorpusImage};

@@ -9,10 +9,7 @@
 //! per-`QE` trees) and a low byte (the paper's 8-bit estimator), see
 //! [`SampleCoder`].
 
-use crate::context::{error_energy, quantize_energy, texture_pattern, ContextStore};
-use crate::neighborhood::Neighborhood;
-use crate::predictor::{gap_predict, threshold_shift, Gradients};
-use crate::remap::{fold, half_for_depth, reconstruct, unfold, wrap_error};
+use crate::engine::{DecoderState, EncoderState};
 use cbic_arith::{BinaryDecoder, BinaryEncoder, CoderStats, EstimatorConfig, SymbolCoder};
 use cbic_bitio::{BitReader, BitWriter};
 use cbic_image::{Image, ImageView, ImageViewMut};
@@ -245,217 +242,38 @@ impl SampleCoder {
     }
 }
 
-/// Per-pixel model outputs shared by encoder and decoder.
-struct PixelModel {
-    /// Coding-context index (selects the dynamic tree).
-    qe: usize,
-    /// Compound-context index (selects the feedback cell).
-    ctx: usize,
-    /// Adjusted prediction `X̃` after error feedback, in `0..=max_val`.
-    x_tilde: i32,
-}
-
-/// The deterministic modeling state both sides keep in lock-step.
-#[derive(Debug)]
-pub(crate) struct Modeler {
-    store: ContextStore,
-    /// |wrapped error| per column: entry `x` holds the error of the most
-    /// recently processed pixel in column `x` (this row if already done,
-    /// otherwise the previous row) — the hardware keeps exactly this row
-    /// buffer to provide `e_W`.
-    abs_err: Vec<u16>,
-    texture_bits: u32,
-    error_feedback: bool,
-    bit_depth: u8,
-    /// `2^(depth-1)`: the wrap modulus half and first-pixel mid-gray.
-    half: i32,
-    /// Energy quantizer scale: `depth - 8` for deep samples, 0 otherwise.
-    energy_shift: u32,
-}
-
-impl Modeler {
-    pub(crate) fn new(width: usize, bit_depth: u8, cfg: &CodecConfig) -> Self {
-        let half = half_for_depth(bit_depth);
-        Self {
-            store: ContextStore::with_max_err(
-                cfg.compound_contexts(),
-                cfg.division,
-                cfg.aging,
-                half,
-            ),
-            abs_err: vec![0; width],
-            texture_bits: u32::from(cfg.texture_bits),
-            error_feedback: cfg.error_feedback,
-            bit_depth,
-            half,
-            energy_shift: threshold_shift(bit_depth),
-        }
-    }
-
-    /// Restores the start-of-image state in place for a `width`-pixel
-    /// image of the given depth, reusing the context cells and the
-    /// division LUT. The modeler behaves byte-identically to a freshly
-    /// constructed one.
-    pub(crate) fn reset(&mut self, width: usize, bit_depth: u8) {
-        self.bit_depth = bit_depth;
-        self.half = half_for_depth(bit_depth);
-        self.energy_shift = threshold_shift(bit_depth);
-        self.store.set_max_err(self.half);
-        self.store.reset();
-        self.abs_err.clear();
-        self.abs_err.resize(width, 0);
-    }
-
-    /// Number of overflow-guard halvings since construction or reset.
-    pub(crate) fn halvings(&self) -> u64 {
-        self.store.halvings()
-    }
-
-    pub(crate) fn bit_depth(&self) -> u8 {
-        self.bit_depth
-    }
-
-    #[inline]
-    pub(crate) fn half(&self) -> i32 {
-        self.half
-    }
-
-    #[inline]
-    fn mid(&self) -> u16 {
-        self.half as u16
-    }
-
-    /// Runs prediction + context formation for column `x` given the
-    /// already-fetched causal neighbourhood.
-    #[inline]
-    fn model(&self, nb: &Neighborhood, x: usize) -> PixelModel {
-        let g = Gradients::compute(nb);
-        let x_hat = gap_predict(nb, g, self.bit_depth);
-        let e_w = i32::from(if x > 0 {
-            self.abs_err[x - 1]
-        } else {
-            self.abs_err[0]
-        });
-        // The CALIC energy thresholds are 8-bit-scaled; deep samples bring
-        // the energy back to that scale with one shift (no-op at 8 bits).
-        let qe = usize::from(quantize_energy(error_energy(g, e_w) >> self.energy_shift));
-        let t = texture_pattern(nb, x_hat, self.texture_bits);
-        let ctx = (qe << self.texture_bits) | usize::from(t);
-        let e_bar = if self.error_feedback {
-            self.store.mean(ctx)
-        } else {
-            0
-        };
-        let x_tilde = (x_hat + e_bar).clamp(0, 2 * self.half - 1);
-        PixelModel { qe, ctx, x_tilde }
-    }
-
-    /// Folds the coded pixel's wrapped error back into the model state.
-    #[inline]
-    fn absorb(&mut self, x: usize, ctx: usize, wrapped: i32) {
-        if self.error_feedback {
-            self.store.update(ctx, wrapped);
-        }
-        self.abs_err[x] = wrapped.unsigned_abs().min(u32::from(u16::MAX)) as u16;
-    }
-}
-
 /// Encodes the pixels of `img` into a raw arithmetic-coded payload (no
 /// container header).
 ///
 /// Returns the payload bytes and the encoding statistics. Use
 /// [`compress`](crate::compress) for the self-describing container. The
 /// view may be strided (a tile band, a crop); the bits depend only on the
-/// pixels and the bit depth, never on the stride.
+/// pixels and the bit depth, never on the stride. The pixel loop is the
+/// engine's ([`EncoderState::encode_view`]) — the same datapath every
+/// other encode entry point drives.
 ///
 /// # Panics
 ///
 /// Panics if the configuration is invalid (see [`CodecConfig`]).
 pub fn encode_raw(img: ImageView<'_>, cfg: &CodecConfig) -> (Vec<u8>, EncodeStats) {
-    let mut modeler = Modeler::new(img.width(), img.bit_depth(), cfg);
-    let mut coder = SampleCoder::new(CODING_CONTEXTS, img.bit_depth(), cfg.estimator);
+    let mut state = EncoderState::new(img.width(), img.bit_depth(), cfg);
     let mut enc = BinaryEncoder::new(BitWriter::new());
-    encode_loop(img, &mut modeler, &mut coder, &mut enc);
+    state.encode_view(img, &mut enc);
 
     let (width, height) = img.dimensions();
     let decisions = enc.decisions();
     let payload_bits = enc.bits_written();
-    let coder_stats = coder.stats();
+    let coder_stats = state.coder_stats();
     let writer = enc.finish();
     let stats = EncodeStats {
         pixels: (width * height) as u64,
         payload_bits: payload_bits.max(writer.bits_written()),
         escapes: coder_stats.escapes,
         estimator_rescales: coder_stats.rescales,
-        context_halvings: modeler.halvings(),
+        context_halvings: state.halvings(),
         decisions,
     };
     (writer.into_bytes(), stats)
-}
-
-/// The encoder's pixel loop over prepared model state — shared by
-/// [`encode_raw`] (fresh state, buffered sink) and the reusable
-/// [`EncoderSession`](crate::session::EncoderSession) (reused state, any
-/// [`BitSink`](cbic_bitio::BitSink)). The modeler and coder must be
-/// freshly constructed or reset at the view's depth; the produced bits are
-/// identical either way.
-///
-/// Pixels are read through **row slices** (current row plus the two above
-/// it), so the per-pixel cost is index arithmetic on three slices — no
-/// coordinate-to-offset multiplications, and strided views cost the same
-/// as contiguous ones.
-pub(crate) fn encode_loop<S: cbic_bitio::BitSink>(
-    img: ImageView<'_>,
-    modeler: &mut Modeler,
-    coder: &mut SampleCoder,
-    enc: &mut BinaryEncoder<S>,
-) {
-    let (width, height) = img.dimensions();
-    debug_assert_eq!(modeler.bit_depth(), img.bit_depth());
-    let half = modeler.half();
-    let mid = modeler.mid();
-    for y in 0..height {
-        let cur = img.row(y);
-        let n1 = (y >= 1).then(|| img.row(y - 1));
-        let n2 = (y >= 2).then(|| img.row(y - 2));
-        for x in 0..width {
-            let nb = Neighborhood::from_rows(cur, n1, n2, x, mid);
-            let m = modeler.model(&nb, x);
-            let e = i32::from(cur[x]) - m.x_tilde;
-            let wrapped = wrap_error(e, half);
-            coder.encode(enc, m.qe, fold(wrapped, half));
-            modeler.absorb(x, m.ctx, wrapped);
-        }
-    }
-}
-
-/// The decoder's pixel loop — the dual of [`encode_loop`], shared by
-/// [`decode_raw`] and the reusable
-/// [`DecoderSession`](crate::session::DecoderSession). Rows are
-/// reconstructed in place into `out` (a band of a larger image, or a whole
-/// one), reading the causal rows through the same slice discipline as the
-/// encoder.
-pub(crate) fn decode_loop<S: cbic_bitio::BitSource>(
-    modeler: &mut Modeler,
-    coder: &mut SampleCoder,
-    dec: &mut BinaryDecoder<S>,
-    out: &mut ImageViewMut<'_>,
-) {
-    let (width, height) = out.dimensions();
-    debug_assert_eq!(modeler.bit_depth(), out.bit_depth());
-    let half = modeler.half();
-    let mid = modeler.mid();
-    for y in 0..height {
-        let (n2, n1, cur) = out.causal_rows_mut(y);
-        for x in 0..width {
-            let nb = Neighborhood::from_rows(cur, n1, n2, x, mid);
-            let m = modeler.model(&nb, x);
-            let folded = coder.decode(dec, m.qe);
-            let wrapped = unfold(folded);
-            cur[x] = reconstruct(m.x_tilde, wrapped, half);
-            modeler.absorb(x, m.ctx, wrapped);
-        }
-    }
 }
 
 /// Decodes a raw payload produced by [`encode_raw`] with the same
@@ -487,10 +305,9 @@ pub fn decode_raw(
 /// complete payload, which is how [`decompress`](crate::decompress) turns
 /// mid-stream EOF into an error instead of silent garbage.
 pub(crate) fn decode_raw_into(bytes: &[u8], out: &mut ImageViewMut<'_>, cfg: &CodecConfig) -> u64 {
-    let mut modeler = Modeler::new(out.width(), out.bit_depth(), cfg);
-    let mut coder = SampleCoder::new(CODING_CONTEXTS, out.bit_depth(), cfg.estimator);
+    let mut state = DecoderState::new(out.width(), out.bit_depth(), cfg);
     let mut dec = BinaryDecoder::new(BitReader::new(bytes));
-    decode_loop(&mut modeler, &mut coder, &mut dec, out);
+    state.decode_into(&mut dec, out);
     dec.source().padding_bits()
 }
 

@@ -20,7 +20,43 @@ use cbic_hw::divlut::{exact_div, DivLut};
 /// `Δ = dh + dv + 2|e_W|`, giving 8 coding contexts.
 pub const QE_THRESHOLDS: [i32; 7] = [5, 15, 25, 42, 60, 85, 140];
 
-/// Quantizes the error energy `Δ` into the 3-bit coding-context index `QE`.
+/// Entries in [`QE_LUT`]. The last threshold is 140, so every energy at or
+/// above 141 lands in level 7; 256 entries cover the whole quantizer with
+/// one saturating index. (Inside the codec the post-shift energy is
+/// bounded by `7·2⁸ − 6 = 1786` anyway — see
+/// [`threshold_shift`](crate::predictor::threshold_shift) — so the
+/// saturation only ever collapses values that are all level 7.)
+const QE_LUT_LEN: usize = 256;
+
+/// The energy quantizer as a ROM: `QE_LUT[min(Δ, 255)]` — one load and one
+/// clamp instead of seven compares, exactly the table a hardware
+/// implementation would bake into LUT fabric.
+static QE_LUT: [u8; QE_LUT_LEN] = build_qe_lut();
+
+const fn build_qe_lut() -> [u8; QE_LUT_LEN] {
+    let mut lut = [0u8; QE_LUT_LEN];
+    let mut delta = 0usize;
+    while delta < QE_LUT_LEN {
+        let mut qe = 0u8;
+        let mut k = 0usize;
+        while k < QE_THRESHOLDS.len() {
+            if delta as i32 > QE_THRESHOLDS[k] {
+                qe += 1;
+            }
+            k += 1;
+        }
+        lut[delta] = qe;
+        delta += 1;
+    }
+    lut
+}
+
+/// Quantizes the error energy `Δ` into the 3-bit coding-context index
+/// `QE` — the branchless ROM lookup on the codec's hot path.
+///
+/// Equal to [`quantize_energy_ref`] for every `i32` input (negative
+/// energies clamp to level 0, saturated ones to level 7), property-tested
+/// across the full energy range reachable at any supported depth.
 ///
 /// # Examples
 ///
@@ -33,6 +69,22 @@ pub const QE_THRESHOLDS: [i32; 7] = [5, 15, 25, 42, 60, 85, 140];
 /// ```
 #[inline]
 pub fn quantize_energy(delta: i32) -> u8 {
+    QE_LUT[(delta.max(0) as usize).min(QE_LUT_LEN - 1)]
+}
+
+/// The reference comparison-loop quantizer the LUT is derived from — kept
+/// as the executable specification, not used on any coding path.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_core::context::{quantize_energy, quantize_energy_ref};
+///
+/// for delta in -300..2000 {
+///     assert_eq!(quantize_energy(delta), quantize_energy_ref(delta));
+/// }
+/// ```
+pub fn quantize_energy_ref(delta: i32) -> u8 {
     let mut qe = 0u8;
     for &t in &QE_THRESHOLDS {
         if delta > t {
@@ -55,14 +107,17 @@ pub fn quantize_energy(delta: i32) -> u8 {
 #[inline]
 pub fn texture_pattern(n: &Neighborhood, prediction: i32, bits: u32) -> u16 {
     assert!(bits <= 6, "texture pattern has at most 6 bits");
-    let cmp = [n.n, n.w, n.nw, n.ne, n.nn, n.ww];
-    let mut t = 0u16;
-    for (k, &v) in cmp.iter().take(bits as usize).enumerate() {
-        if i32::from(v) < prediction {
-            t |= 1 << k;
-        }
-    }
-    t
+    // Branch-free: all six comparisons become mask bits, then the width
+    // select is one AND — the same dataflow as the hardware comparators
+    // feeding the context-index wires.
+    let below = |v: u16| u16::from(i32::from(v) < prediction);
+    let t = below(n.n)
+        | below(n.w) << 1
+        | below(n.nw) << 2
+        | below(n.ne) << 3
+        | below(n.nn) << 4
+        | below(n.ww) << 5;
+    t & ((1u16 << bits) - 1)
 }
 
 /// Error energy `Δ = dh + dv + 2 |e_W|` (the paper's "local gradients dv,
@@ -86,6 +141,14 @@ pub enum DivisionKind {
 /// Per-compound-context error statistics: the paper's `(sum, count)` pair
 /// with the overflow guard ("aging") and bounded-dividend division.
 ///
+/// The storage is **structure-of-arrays**, mirroring the paper's banked
+/// BRAM layout (see `cbic_hw::memory::ContextBankLayout`): a sum bank, a
+/// count bank, and a *feedback* bank caching each context's current
+/// quotient `ē = sum / count`. The hardware reads the divider output in
+/// the same cycle it writes the sum/count banks; the software equivalent
+/// is recomputing the cached feedback inside [`Self::update`], which turns
+/// the per-pixel [`Self::mean`] on the hot path into a single bank read.
+///
 /// The store accepts wrapped errors up to a configurable magnitude bound
 /// (`2^(n-1)` for `n`-bit samples; the 8-bit default is the paper's 128),
 /// so one store type serves every sample depth.
@@ -93,6 +156,10 @@ pub enum DivisionKind {
 pub struct ContextStore {
     sums: Vec<i32>,
     counts: Vec<u8>,
+    /// Cached `sum / count` per context (0 while the count is 0), kept
+    /// exactly in sync by [`Self::update`]. `i16` is enough: the divider
+    /// saturates its dividend at ±1023.
+    feedback: Vec<i16>,
     lut: DivLut,
     division: DivisionKind,
     /// `true` = halve sum and count when the count saturates (the paper);
@@ -134,6 +201,7 @@ impl ContextStore {
         Self {
             sums: vec![0; contexts],
             counts: vec![0; contexts],
+            feedback: vec![0; contexts],
             lut: DivLut::new(),
             division,
             aging,
@@ -162,6 +230,7 @@ impl ContextStore {
     pub fn reset(&mut self) {
         self.sums.fill(0);
         self.counts.fill(0);
+        self.feedback.fill(0);
         self.halvings = 0;
     }
 
@@ -171,20 +240,26 @@ impl ContextStore {
     }
 
     /// The error-feedback value `ē = sum / count` for context `ctx`
-    /// (0 for a context that has never been observed).
+    /// (0 for a context that has never been observed) — a single read of
+    /// the cached feedback bank; the division happened in
+    /// [`Self::update`].
     ///
     /// # Panics
     ///
     /// Panics if `ctx` is out of range.
     #[inline]
     pub fn mean(&self, ctx: usize) -> i32 {
-        let count = self.counts[ctx];
-        if count == 0 {
-            return 0;
-        }
+        i32::from(self.feedback[ctx])
+    }
+
+    /// Recomputes `sum / count` for one context (the divider stage).
+    #[inline]
+    fn divide(&self, ctx: usize) -> i32 {
+        let count = u32::from(self.counts[ctx]);
+        debug_assert!(count > 0);
         match self.division {
-            DivisionKind::Lut => self.lut.div(self.sums[ctx], u32::from(count)),
-            DivisionKind::Exact => exact_div(self.sums[ctx], u32::from(count)),
+            DivisionKind::Lut => self.lut.div(self.sums[ctx], count),
+            DivisionKind::Exact => exact_div(self.sums[ctx], count),
         }
     }
 
@@ -216,6 +291,7 @@ impl ContextStore {
         }
         self.sums[ctx] += err;
         self.counts[ctx] += 1;
+        self.feedback[ctx] = self.divide(ctx) as i16;
         // The paper's 13-bit sum bound holds for the 8-bit error range;
         // deeper samples get proportionally wider sums (still far inside
         // i32: 31 x 32768 < 2^21).
@@ -376,5 +452,49 @@ mod tests {
     fn oversized_error_rejected() {
         let mut s = ContextStore::new(1, DivisionKind::Exact, true);
         s.update(0, 129);
+    }
+
+    /// The LUT quantizer must equal the comparison-loop reference over the
+    /// entire energy range reachable at any supported depth (post-shift
+    /// `Δ ≤ 7·2⁸ − 6`; test far beyond it) plus the negative clamp.
+    #[test]
+    fn lut_quantizer_matches_reference_over_reachable_range() {
+        for delta in -2048i32..=4096 {
+            assert_eq!(
+                quantize_energy(delta),
+                quantize_energy_ref(delta),
+                "delta {delta}"
+            );
+        }
+        for delta in [i32::MIN, -1_000_000, 1_000_000, i32::MAX] {
+            assert_eq!(quantize_energy(delta), quantize_energy_ref(delta));
+        }
+    }
+
+    /// The cached feedback bank must always equal the lazily computed
+    /// quotient of the current (sum, count) pair — for both dividers, with
+    /// and without aging, through saturation and halving.
+    #[test]
+    fn cached_feedback_equals_lazy_mean() {
+        for division in [DivisionKind::Lut, DivisionKind::Exact] {
+            for aging in [true, false] {
+                let mut s = ContextStore::new(4, division, aging);
+                let mut state = 0x2545F491u32;
+                for i in 0..5000u32 {
+                    state ^= state << 13;
+                    state ^= state >> 17;
+                    state ^= state << 5;
+                    let ctx = (i % 4) as usize;
+                    let err = (state % 257) as i32 - 128;
+                    s.update(ctx, err);
+                    let (sum, count) = s.raw(ctx);
+                    let lazy = match division {
+                        DivisionKind::Lut => s.lut.div(sum, u32::from(count)),
+                        DivisionKind::Exact => exact_div(sum, u32::from(count)),
+                    };
+                    assert_eq!(s.mean(ctx), lazy, "step {i} ctx {ctx} {division:?}");
+                }
+            }
+        }
     }
 }

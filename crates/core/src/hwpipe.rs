@@ -8,15 +8,19 @@
 //! pixel values in memory as context and use 3 pointers ... At the end of
 //! processing each line, the 3 pointers have to be rotated").
 //!
-//! This module re-implements the encoder under those constraints:
+//! This module implements the encoder under those constraints as a **thin
+//! line-buffer wrapper around the one pixel datapath** in
+//! [`engine`](crate::engine):
 //!
 //! * [`LineBuffers`] — three line buffers + rotation, the only pixel
 //!   storage (plus the pipeline registers holding `W`/`WW`);
-//! * [`HwEncoder`] — a streaming, one-pixel-per-call encoder structured as
-//!   the paper's two lines: Line 2 computes gradients, primary prediction,
-//!   texture/coding contexts, and the error feedback for the *incoming*
-//!   pixel; Line 1 forms the prediction error, maps it, drives the
-//!   estimator, and updates the context store.
+//! * [`HwEncoder`] — a streaming, one-pixel-per-call encoder: each call
+//!   fetches the causal neighbourhood from the buffers and hands it to the
+//!   shared [`PixelEngine`](crate::engine::PixelEngine), which runs the
+//!   paper's two lines (Line 2: gradients, primary prediction,
+//!   texture/coding contexts, error feedback; Line 1: error formation,
+//!   remap, estimator, context write-back). No model logic is duplicated
+//!   here — the wrapper owns only the storage discipline.
 //!
 //! Both sides carry the sample bit depth (8–16): the line buffers hold
 //! `u16` words and the wrap/fold modulus scales with the depth, exactly as
@@ -26,11 +30,10 @@
 //! software reference on every input — the "golden model vs RTL"
 //! check-off a hardware team would run before tape-out.
 
-use crate::codec::{CodecConfig, SampleCoder, CODING_CONTEXTS};
-use crate::context::{error_energy, quantize_energy, texture_pattern, ContextStore};
+use crate::codec::CodecConfig;
+use crate::engine::{DecoderState, EncoderState};
 use crate::neighborhood::Neighborhood;
-use crate::predictor::{gap_predict, threshold_shift, Gradients};
-use crate::remap::{fold, half_for_depth, wrap_error};
+use crate::remap::half_for_depth;
 use cbic_arith::{BinaryDecoder, BinaryEncoder};
 use cbic_bitio::{BitReader, BitSink, BitSource, BitWriter};
 use cbic_image::{Image, ImageView};
@@ -160,16 +163,8 @@ impl LineBuffers {
 #[derive(Debug)]
 pub struct HwEncoder<S = BitWriter> {
     buffers: LineBuffers,
-    store: ContextStore,
-    /// Row buffer of |wrapped error| per column — the hardware register
-    /// file feeding `e_W` into the energy term.
-    abs_err: Vec<u16>,
-    coder: SampleCoder,
+    state: EncoderState,
     ac: BinaryEncoder<S>,
-    cfg: CodecConfig,
-    bit_depth: u8,
-    half: i32,
-    energy_shift: u32,
     x: usize,
     y: usize,
     pixels: u64,
@@ -214,22 +209,10 @@ impl<S: BitSink> HwEncoder<S> {
     /// Panics if `width` is zero, the depth is outside `1..=16`, or the
     /// configuration is invalid.
     pub fn with_sink(width: usize, bit_depth: u8, cfg: &CodecConfig, sink: S) -> Self {
-        let half = half_for_depth(bit_depth);
         Self {
             buffers: LineBuffers::with_depth(width, bit_depth),
-            store: ContextStore::with_max_err(
-                cfg.compound_contexts(),
-                cfg.division,
-                cfg.aging,
-                half,
-            ),
-            abs_err: vec![0; width],
-            coder: SampleCoder::new(CODING_CONTEXTS, bit_depth, cfg.estimator),
+            state: EncoderState::new(width, bit_depth, cfg),
             ac: BinaryEncoder::new(sink),
-            cfg: *cfg,
-            bit_depth,
-            half,
-            energy_shift: threshold_shift(bit_depth),
             x: 0,
             y: 0,
             pixels: 0,
@@ -243,7 +226,7 @@ impl<S: BitSink> HwEncoder<S> {
 
     /// Sample bit depth of the pixel stream.
     pub fn bit_depth(&self) -> u8 {
-        self.bit_depth
+        self.state.bit_depth()
     }
 
     /// Borrows the bit sink (e.g. to poll a streaming sink for I/O errors).
@@ -273,57 +256,21 @@ impl<S: BitSink> HwEncoder<S> {
 
     /// Consumes the next raster-scan pixel.
     ///
-    /// One call models one initiation interval of the Fig. 3 pipeline:
-    /// Line 2 stages (a)–(e) build the prediction and contexts from the
-    /// line buffers; Line 1 stages (a)–(d) form, map, and code the error
-    /// and write back the model state.
+    /// One call models one initiation interval of the Fig. 3 pipeline: the
+    /// causal neighbourhood comes out of the line buffers (Line 2 stage
+    /// (a)), and the shared engine runs the remaining stages — prediction,
+    /// context formation, error feedback, remap, and coding.
     pub fn push_pixel(&mut self, value: u16) {
         // A hard check: an oversized sample would silently wrap modulo the
         // sample range downstream and break the losslessness contract.
         assert!(
-            i32::from(value) < 2 * self.half,
+            i32::from(value) < 2 * self.state.half(),
             "sample {value} exceeds the {}-bit range",
-            self.bit_depth
+            self.bit_depth()
         );
         let x = self.x;
-        let y = self.y;
-
-        // ---- Line 2: context computation ----
-        // (a) update context with new symbol -> line-buffer fetch
-        let nb = self.buffers.neighborhood(x, y);
-        // (b) gradients
-        let g = Gradients::compute(&nb);
-        // (c) primary prediction + quantized coding context
-        let x_hat = gap_predict(&nb, g, self.bit_depth);
-        let e_w = i32::from(if x > 0 {
-            self.abs_err[x - 1]
-        } else {
-            self.abs_err[0]
-        });
-        let qe = usize::from(quantize_energy(error_energy(g, e_w) >> self.energy_shift));
-        // (d) texture pattern + compound context index
-        let t = texture_pattern(&nb, x_hat, u32::from(self.cfg.texture_bits));
-        let ctx = (qe << self.cfg.texture_bits) | usize::from(t);
-        // (e) error feedback -> adjusted prediction (LUT division)
-        let e_bar = if self.cfg.error_feedback {
-            self.store.mean(ctx)
-        } else {
-            0
-        };
-        let x_tilde = (x_hat + e_bar).clamp(0, 2 * self.half - 1);
-
-        // ---- Line 1: error formation and coding ----
-        // (a) prediction error
-        let wrapped = wrap_error(i32::from(value) - x_tilde, self.half);
-        // (c) map error; estimator + binary arithmetic coder
-        self.coder
-            .encode(&mut self.ac, qe, fold(wrapped, self.half));
-        // (b) update sum/count in the compound context
-        if self.cfg.error_feedback {
-            self.store.update(ctx, wrapped);
-        }
-        // (d) update coding-context inputs for the next pixel
-        self.abs_err[x] = wrapped.unsigned_abs().min(u32::from(u16::MAX)) as u16;
+        let nb = self.buffers.neighborhood(x, self.y);
+        self.state.encode_pixel(&mut self.ac, &nb, x, value);
 
         // Reconstruction write-back into the line buffer (lossless: the
         // reconstructed pixel equals the input).
@@ -369,14 +316,8 @@ impl<S: BitSink> HwEncoder<S> {
 #[derive(Debug)]
 pub struct HwDecoder<S> {
     buffers: LineBuffers,
-    store: ContextStore,
-    abs_err: Vec<u16>,
-    coder: SampleCoder,
+    state: DecoderState,
     ac: BinaryDecoder<S>,
-    cfg: CodecConfig,
-    bit_depth: u8,
-    half: i32,
-    energy_shift: u32,
     x: usize,
     y: usize,
 }
@@ -408,22 +349,10 @@ impl<S: BitSource> HwDecoder<S> {
     /// Panics if `width` is zero, the depth is outside `1..=16`, or the
     /// configuration is invalid.
     pub fn with_source(source: S, width: usize, bit_depth: u8, cfg: &CodecConfig) -> Self {
-        let half = half_for_depth(bit_depth);
         Self {
             buffers: LineBuffers::with_depth(width, bit_depth),
-            store: ContextStore::with_max_err(
-                cfg.compound_contexts(),
-                cfg.division,
-                cfg.aging,
-                half,
-            ),
-            abs_err: vec![0; width],
-            coder: SampleCoder::new(CODING_CONTEXTS, bit_depth, cfg.estimator),
+            state: DecoderState::new(width, bit_depth, cfg),
             ac: BinaryDecoder::new(source),
-            cfg: *cfg,
-            bit_depth,
-            half,
-            energy_shift: threshold_shift(bit_depth),
             x: 0,
             y: 0,
         }
@@ -435,35 +364,14 @@ impl<S: BitSource> HwDecoder<S> {
         self.ac.source()
     }
 
-    /// Decodes and returns the next raster-scan pixel.
+    /// Decodes and returns the next raster-scan pixel: the neighbourhood
+    /// comes out of the line buffers, the shared engine runs the model and
+    /// the reconstruction, and the pixel is written back for the next
+    /// rows.
     pub fn next_pixel(&mut self) -> u16 {
         let x = self.x;
-        let y = self.y;
-        let nb = self.buffers.neighborhood(x, y);
-        let g = Gradients::compute(&nb);
-        let x_hat = gap_predict(&nb, g, self.bit_depth);
-        let e_w = i32::from(if x > 0 {
-            self.abs_err[x - 1]
-        } else {
-            self.abs_err[0]
-        });
-        let qe = usize::from(quantize_energy(error_energy(g, e_w) >> self.energy_shift));
-        let t = texture_pattern(&nb, x_hat, u32::from(self.cfg.texture_bits));
-        let ctx = (qe << self.cfg.texture_bits) | usize::from(t);
-        let e_bar = if self.cfg.error_feedback {
-            self.store.mean(ctx)
-        } else {
-            0
-        };
-        let x_tilde = (x_hat + e_bar).clamp(0, 2 * self.half - 1);
-
-        let wrapped = crate::remap::unfold(self.coder.decode(&mut self.ac, qe));
-        let value = crate::remap::reconstruct(x_tilde, wrapped, self.half);
-
-        if self.cfg.error_feedback {
-            self.store.update(ctx, wrapped);
-        }
-        self.abs_err[x] = wrapped.unsigned_abs().min(u32::from(u16::MAX)) as u16;
+        let nb = self.buffers.neighborhood(x, self.y);
+        let value = self.state.decode_pixel(&mut self.ac, &nb, x);
         self.buffers.push(x, value);
         self.x += 1;
         if self.x == self.buffers.width() {

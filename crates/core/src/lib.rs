@@ -30,6 +30,12 @@
 //! compression is fully lossless. Pixels flow in as zero-copy
 //! [`ImageView`](cbic_image::ImageView)s at any 8–16-bit depth.
 //!
+//! The whole pipeline is implemented **once**, as the table-driven
+//! [`engine::PixelEngine`]; the raw codec functions, the hardware model
+//! ([`hwpipe`]), the bounded-memory [`stream`] layer, the reusable
+//! [`session`]s, and the [`tiles`] band workers are all front ends over
+//! that one datapath (see the [`engine`] module for the stage map).
+//!
 //! # Examples
 //!
 //! ```
@@ -49,6 +55,7 @@
 pub mod codec;
 pub mod container;
 pub mod context;
+pub mod engine;
 pub mod hwpipe;
 pub mod neighborhood;
 pub mod predictor;
@@ -59,6 +66,7 @@ pub mod tiles;
 
 pub use codec::{decode_raw, encode_raw, CodecConfig, DivisionKind, EncodeStats};
 pub use container::{compress, decompress, CodecError, Proposed};
+pub use engine::{DecoderState, EncoderState, PixelEngine};
 pub use session::{DecoderSession, EncoderSession};
 pub use stream::{StreamDecoder, StreamEncoder};
 pub use tiles::{Parallelism, Tiled};

@@ -58,14 +58,14 @@ pub fn fold(w: i32, half: i32) -> u16 {
 }
 
 /// Inverse of [`fold`] (the fold is depth-blind in this direction).
+///
+/// Branch-free zig-zag decode: `(f >> 1) ^ -(f & 1)` — the shift halves,
+/// the xor-by-all-ones negates-and-decrements exactly when the low bit
+/// says the value was negative.
 #[inline]
 pub fn unfold(f: u16) -> i32 {
     let f = i32::from(f);
-    if f % 2 == 0 {
-        f / 2
-    } else {
-        -(f + 1) / 2
-    }
+    (f >> 1) ^ -(f & 1)
 }
 
 /// Reconstructs the pixel from the adjusted prediction and the wrapped

@@ -37,11 +37,9 @@
 //! # Ok::<(), cbic_image::CbicError>(())
 //! ```
 
-use crate::codec::{
-    decode_loop, encode_loop, CodecConfig, EncodeStats, Modeler, SampleCoder, CODING_CONTEXTS,
-    MAX_CODE_PADDING_BITS,
-};
+use crate::codec::{CodecConfig, EncodeStats, MAX_CODE_PADDING_BITS};
 use crate::container::{check_container_dimensions, header_bytes, read_header, CodecError};
+use crate::engine::{DecoderState, EncoderState};
 use cbic_arith::{BinaryDecoder, BinaryEncoder};
 use cbic_bitio::{BitSink, BitSource, StreamBitReader, StreamBitWriter};
 use cbic_image::{CbicError, Image, ImageView};
@@ -72,12 +70,11 @@ use std::io::{self, Read, Write};
 #[derive(Debug)]
 pub struct EncoderSession {
     cfg: CodecConfig,
-    modeler: Modeler,
-    coder: SampleCoder,
+    state: EncoderState,
 }
 
 impl EncoderSession {
-    /// Creates a session for `cfg`, allocating the model state once
+    /// Creates a session for `cfg`, allocating the engine state once
     /// (sized for 8-bit samples; a deeper first image re-arms it).
     ///
     /// # Panics
@@ -87,8 +84,7 @@ impl EncoderSession {
     pub fn new(cfg: &CodecConfig) -> Self {
         Self {
             cfg: *cfg,
-            modeler: Modeler::new(1, 8, cfg),
-            coder: SampleCoder::new(CODING_CONTEXTS, 8, cfg.estimator),
+            state: EncoderState::new(1, 8, cfg),
         }
     }
 
@@ -112,30 +108,25 @@ impl EncoderSession {
     ) -> Result<EncodeStats, CbicError> {
         let (width, height) = img.dimensions();
         check_container_dimensions(width, height).map_err(CbicError::from)?;
-        self.modeler.reset(width, img.bit_depth());
-        if self.coder.bit_depth() != img.bit_depth() {
-            self.coder = SampleCoder::new(CODING_CONTEXTS, img.bit_depth(), self.cfg.estimator);
-        } else {
-            self.coder.reset();
-        }
+        self.state.reset(width, img.bit_depth());
 
         let (hdr, len) = header_bytes(&self.cfg, width, height, img.bit_depth());
         sink.write_all(&hdr[..len]).map_err(CbicError::from)?;
         let mut enc = BinaryEncoder::new(StreamBitWriter::new(sink));
-        encode_loop(img, &mut self.modeler, &mut self.coder, &mut enc);
+        self.state.encode_view(img, &mut enc);
         let decisions = enc.decisions();
         let mut writer = enc.finish();
         writer.take_error().map_err(CbicError::from)?;
         let payload_bits = writer.bits_written();
         writer.finish().map_err(CbicError::from)?;
 
-        let coder_stats = self.coder.stats();
+        let coder_stats = self.state.coder_stats();
         Ok(EncodeStats {
             pixels: (width * height) as u64,
             payload_bits,
             escapes: coder_stats.escapes,
             estimator_rescales: coder_stats.rescales,
-            context_halvings: self.modeler.halvings(),
+            context_halvings: self.state.halvings(),
             decisions,
         })
     }
@@ -174,7 +165,7 @@ impl EncoderSession {
 /// ```
 #[derive(Debug, Default)]
 pub struct DecoderSession {
-    state: Option<(CodecConfig, Modeler, SampleCoder)>,
+    state: Option<(CodecConfig, DecoderState)>,
 }
 
 impl DecoderSession {
@@ -194,30 +185,23 @@ impl DecoderSession {
     pub fn decode(&mut self, source: &mut dyn Read) -> Result<Image, CbicError> {
         let hdr = read_header(source).map_err(CbicError::from)?;
 
-        let (modeler, coder) = match &mut self.state {
-            Some((held, modeler, coder)) if *held == hdr.cfg => {
-                modeler.reset(hdr.width, hdr.bit_depth);
-                if coder.bit_depth() != hdr.bit_depth {
-                    *coder = SampleCoder::new(CODING_CONTEXTS, hdr.bit_depth, hdr.cfg.estimator);
-                } else {
-                    coder.reset();
-                }
-                (modeler, coder)
+        let state = match &mut self.state {
+            Some((held, state)) if *held == hdr.cfg => {
+                state.reset(hdr.width, hdr.bit_depth);
+                state
             }
             state => {
                 let fresh = (
                     hdr.cfg,
-                    Modeler::new(hdr.width, hdr.bit_depth, &hdr.cfg),
-                    SampleCoder::new(CODING_CONTEXTS, hdr.bit_depth, hdr.cfg.estimator),
+                    DecoderState::new(hdr.width, hdr.bit_depth, &hdr.cfg),
                 );
-                let (_, modeler, coder) = state.insert(fresh);
-                (modeler, coder)
+                &mut state.insert(fresh).1
             }
         };
 
         let mut img = Image::with_depth(hdr.width, hdr.height, hdr.bit_depth);
         let mut dec = BinaryDecoder::new(StreamBitReader::new(source));
-        decode_loop(modeler, coder, &mut dec, &mut img.view_mut());
+        state.decode_into(&mut dec, &mut img.view_mut());
         if let Some(e) = dec.source().io_error() {
             // From<io::Error> normalizes UnexpectedEof to Truncated, the
             // same as every other decode path.

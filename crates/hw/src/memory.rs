@@ -70,6 +70,73 @@ impl ModelingMemory {
     }
 }
 
+/// The structure-of-arrays bank layout of the compound-context store —
+/// the concrete split of [`ModelingMemory::context_store_bytes`] into the
+/// separate BRAMs a hardware implementation instantiates, and the layout
+/// `cbic_core`'s context store (and therefore its `engine`) mirrors in
+/// software: one sum bank, one count bank, and the divider-output
+/// (feedback) bank.
+///
+/// The paper stores `(sum, count)` and reads the divider combinationally;
+/// the software engine instead *caches* the divider output per context
+/// (written on update, read on the per-pixel hot path), which is exactly
+/// the register the hardware divider drives. This type accounts for that
+/// third bank so the software layout and the RTL budget stay in sync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextBankLayout {
+    /// Number of compound contexts (rows in every bank).
+    pub contexts: usize,
+    /// Bits per sum-bank cell (13 + sign in the paper).
+    pub sum_bits: usize,
+    /// Bits per count-bank cell (5 in the paper).
+    pub count_bits: usize,
+    /// Bits per feedback-bank cell: the divider quotient, bounded by the
+    /// 10-bit dividend saturation plus sign.
+    pub feedback_bits: usize,
+}
+
+impl Default for ContextBankLayout {
+    /// The paper's operating point: 512 contexts, 14-bit sums, 5-bit
+    /// counts, 11-bit (sign + 10) feedback.
+    fn default() -> Self {
+        Self {
+            contexts: 512,
+            sum_bits: 14,
+            count_bits: 5,
+            feedback_bits: 11,
+        }
+    }
+}
+
+impl ContextBankLayout {
+    /// Bytes of the sum bank.
+    pub fn sum_bank_bytes(&self) -> usize {
+        (self.contexts * self.sum_bits).div_ceil(8)
+    }
+
+    /// Bytes of the count bank.
+    pub fn count_bank_bytes(&self) -> usize {
+        (self.contexts * self.count_bits).div_ceil(8)
+    }
+
+    /// Bytes of the cached-feedback (divider output) bank.
+    pub fn feedback_bank_bytes(&self) -> usize {
+        (self.contexts * self.feedback_bits).div_ceil(8)
+    }
+
+    /// Total bytes across the three banks.
+    pub fn total_bytes(&self) -> usize {
+        self.sum_bank_bytes() + self.count_bank_bytes() + self.feedback_bank_bytes()
+    }
+
+    /// The paper's two-bank subset (sum + count) — must equal
+    /// [`ModelingMemory::context_store_bytes`] for the matching
+    /// configuration.
+    pub fn paper_store_bytes(&self) -> usize {
+        (self.contexts * (self.sum_bits + self.count_bits)).div_ceil(8)
+    }
+}
+
 /// Parameters of the probability-estimator memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EstimatorMemory {
@@ -149,6 +216,23 @@ mod tests {
             ..EstimatorMemory::default()
         };
         assert!(double.total_kbytes() > 7.5);
+    }
+
+    #[test]
+    fn bank_layout_agrees_with_modeling_memory() {
+        let banks = ContextBankLayout::default();
+        let m = ModelingMemory::default();
+        // The paper's two banks are exactly the modeling-memory figure...
+        assert_eq!(banks.paper_store_bytes(), m.context_store_bytes());
+        // ...and the cached-feedback bank adds 704 bytes on top.
+        assert_eq!(banks.feedback_bank_bytes(), 704);
+        assert_eq!(
+            banks.total_bytes(),
+            banks.paper_store_bytes() + banks.feedback_bank_bytes()
+        );
+        // The feedback width must hold the divider's saturated quotient
+        // (±1023): sign + 10 bits.
+        assert!(banks.feedback_bits >= 11);
     }
 
     #[test]
