@@ -1,7 +1,6 @@
 //! A single adaptive binary decision context.
 
-use crate::bincoder::{BinaryDecoder, BinaryEncoder};
-use cbic_bitio::{BitSink, BitSource};
+use crate::bincoder::{DecisionDecoder, DecisionEncoder};
 
 /// An adaptive probability for one recurring binary decision.
 ///
@@ -80,14 +79,14 @@ impl AdaptiveBit {
 
     /// Encodes `bit` and adapts.
     #[inline]
-    pub fn encode<S: BitSink>(&mut self, enc: &mut BinaryEncoder<S>, bit: bool) {
+    pub fn encode<E: DecisionEncoder>(&mut self, enc: &mut E, bit: bool) {
         enc.encode(bit, self.c_false, self.c_false + self.c_true);
         self.update(bit);
     }
 
     /// Decodes one bit and adapts.
     #[inline]
-    pub fn decode<S: BitSource>(&mut self, dec: &mut BinaryDecoder<S>) -> bool {
+    pub fn decode<D: DecisionDecoder>(&mut self, dec: &mut D) -> bool {
         let bit = dec.decode(self.c_false, self.c_false + self.c_true);
         self.update(bit);
         bit
@@ -111,6 +110,7 @@ impl AdaptiveBit {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{BinaryDecoder, BinaryEncoder};
     use cbic_bitio::{BitReader, BitWriter};
 
     #[test]

@@ -14,9 +14,8 @@
 use cbic_bitio::{BitSink, BitSource, BitWriter};
 use std::sync::OnceLock;
 
-const HALF: u32 = 1 << 31;
-const QUARTER: u32 = 1 << 30;
-const THREE_QUARTERS: u32 = HALF + QUARTER;
+pub(crate) const HALF: u32 = 1 << 31;
+pub(crate) const QUARTER: u32 = 1 << 30;
 
 /// Maximum decision `total` accepted by the coder.
 ///
@@ -41,7 +40,7 @@ pub(crate) const MAX_TOTAL: u32 = 1 << 16;
 /// Entry 1 would need `2⁶⁴` and stays 0 — a divisor of 1 forces `c0 = 0`
 /// or `c0 = total`, which the deterministic-decision shortcut retires
 /// before any division.
-fn recip_table() -> &'static [u64] {
+pub(crate) fn recip_table() -> &'static [u64] {
     static RECIP: OnceLock<Vec<u64>> = OnceLock::new();
     RECIP.get_or_init(|| {
         let mut t = vec![0u64; MAX_TOTAL as usize + 1];
@@ -54,8 +53,42 @@ fn recip_table() -> &'static [u64] {
 
 /// `⌊n / d⌋` by reciprocal multiplication (see [`recip_table`]).
 #[inline]
-fn div_by_recip(n: u64, recip: u64) -> u64 {
+pub(crate) fn div_by_recip(n: u64, recip: u64) -> u64 {
     ((u128::from(n) * u128::from(recip)) >> 64) as u64
+}
+
+/// The low `count` bits set, without branching on `count == 0`. Shift
+/// amounts ≥ 64 wrap (callers mask the result in those lanes).
+#[inline]
+pub(crate) fn mask64(count: u32) -> u64 {
+    (1u64.wrapping_shl(count)).wrapping_sub(1)
+}
+
+/// Anything that can encode a stream of binary decisions.
+///
+/// The adaptive model layer (estimator trees, context banks, symbol coders)
+/// is written against this trait, so the same model code drives a single
+/// [`BinaryEncoder`] or a lane-interleaved
+/// [`LaneEncoder`](crate::LaneEncoder) without knowing which.
+pub trait DecisionEncoder {
+    /// Encodes one binary decision with `P(bit = 0) = c0 / total`.
+    fn encode(&mut self, bit: bool, c0: u32, total: u32);
+
+    /// Number of decisions encoded so far.
+    fn decisions(&self) -> u64;
+}
+
+/// Anything that can decode a stream of binary decisions.
+///
+/// Must be fed the same `(c0, total)` sequence its encoding counterpart
+/// consumed; adaptive models guarantee this by updating identically on
+/// both sides.
+pub trait DecisionDecoder {
+    /// Decodes one binary decision with `P(bit = 0) = c0 / total`.
+    fn decode(&mut self, c0: u32, total: u32) -> bool;
+
+    /// Number of decisions decoded so far.
+    fn decisions(&self) -> u64;
 }
 
 /// Encoding half of the binary arithmetic coder.
@@ -128,7 +161,6 @@ impl<S: BitSink> BinaryEncoder<S> {
             if bit { c0 < total } else { c0 > 0 },
             "coding a zero-probability decision (bit={bit}, c0={c0}, total={total})"
         );
-        self.decisions += 1;
 
         // Deterministic decisions are free: when the coded side owns the
         // whole interval (`P = 1`), the split leaves `low`/`high` exactly
@@ -138,8 +170,37 @@ impl<S: BitSink> BinaryEncoder<S> {
         // decayed to zero), which makes it the hottest shortcut in the
         // coder. The emitted stream is identical by construction.
         if if bit { c0 == 0 } else { c0 == total } {
+            self.decisions += 1;
             return;
         }
+
+        self.encode_coded(bit, c0, total);
+    }
+
+    /// Encodes a decision already known to be non-deterministic
+    /// (`0 < c0 < total`), skipping the deterministic shortcut.
+    ///
+    /// This is the lane entry point: a
+    /// [`LaneEncoder`](crate::LaneEncoder) retires deterministic decisions
+    /// at the mux level — they touch no interval state, so they must not
+    /// advance the lane cursor — and forwards only coded decisions here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero or exceeds 2^16; in debug builds, also if
+    /// `c0 > total` or the decision is deterministic. Release builds do
+    /// not re-validate `c0` (the adaptive model layer guarantees it); a
+    /// violating caller corrupts its own stream but stays memory-safe.
+    #[inline(always)]
+    pub fn encode_coded(&mut self, bit: bool, c0: u32, total: u32) {
+        // This bound doubles as the recip bounds-check, letting LLVM elide
+        // the slice panic branch below.
+        assert!(total > 0 && total <= MAX_TOTAL, "invalid total {total}");
+        debug_assert!(
+            c0 > 0 && c0 < total,
+            "encode_coded requires a non-deterministic decision (c0={c0}, total={total})"
+        );
+        self.decisions += 1;
 
         let range = u64::from(self.high) - u64::from(self.low) + 1;
         // First code value of the `1` sub-interval (may be high + 1 when
@@ -147,29 +208,75 @@ impl<S: BitSink> BinaryEncoder<S> {
         // runs through the reciprocal ROM — bit-exact, see [`recip_table`].
         let split =
             u64::from(self.low) + div_by_recip(range * u64::from(c0), self.recip[total as usize]);
-        if bit {
-            self.low = split as u32;
-        } else {
-            self.high = (split - 1) as u32;
-        }
+        // Value selects, not branches: the outcome bit is data the branch
+        // predictor cannot learn, so this must compile to conditional
+        // moves.
+        self.low = if bit { split as u32 } else { self.low };
+        self.high = if bit { self.high } else { (split - 1) as u32 };
 
-        loop {
-            if self.high < HALF {
-                self.emit(false);
-            } else if self.low >= HALF {
-                self.emit(true);
-                self.low -= HALF;
-                self.high -= HALF;
-            } else if self.low >= QUARTER && self.high < THREE_QUARTERS {
-                self.pending += 1;
-                self.low -= QUARTER;
-                self.high -= QUARTER;
-            } else {
-                break;
+        // Renormalisation, straight-line and branch-free. The classic loop
+        // interleaves two kinds of step, but they cannot actually
+        // alternate: all top bits shared by `low` and `high` are settled
+        // and emit first (an E3 straddle needs the top bits to *differ*),
+        // and once the maximal run of E3 straddles is absorbed the top
+        // bits still differ and no further straddle holds. So: one bulk
+        // emit, one bulk E3, done — bit-for-bit what the loop produces
+        // (the shift-without-subtract is the same discard of the emitted
+        // top bit).
+        //
+        // Branch-freedom matters more than the op count here: whether a
+        // decision settles bits (`n > 0`, roughly half of them, patternless)
+        // is exactly what a branch predictor cannot learn, and one flush
+        // costs more than this whole function.
+        let n = (self.low ^ self.high).leading_zeros(); // ≤ 31: low < high
+        let bits = u64::from(self.low) >> (32 - n);
+        if (n > 0) & (u64::from(n) + self.pending > 48) {
+            // Cold: an E3 run has banked more follow bits than the packed
+            // release below can address. Non-short-circuit `&` keeps this
+            // a single near-never-taken branch rather than a branch on the
+            // patternless `n > 0`.
+            let first = (bits >> (n - 1)) & 1 == 1;
+            self.emit(first);
+            if n > 1 {
+                self.writer
+                    .write_bits(bits & ((1u64 << (n - 1)) - 1), n - 1);
             }
-            self.low <<= 1;
-            self.high = (self.high << 1) | 1;
+        } else {
+            // Packed release: the first settled bit, then `pending`
+            // complements of it, then the remaining settled bits verbatim
+            // — assembled as one `write_bits` word. When n == 0 the
+            // `keep` mask zeroes the pattern and length and preserves
+            // `pending`, so the same straight-line code is a no-op.
+            // (Shift amounts are masked: with n == 0 they go out of range
+            // but their results are discarded by `keep`.)
+            let keep = u64::from(n == 0).wrapping_neg(); // n==0 ? !0 : 0
+            let first = bits.wrapping_shr(n.wrapping_sub(1)) & 1;
+            let comps = ((first ^ 1).wrapping_neg() & mask64(self.pending as u32))
+                .wrapping_shl(n.wrapping_sub(1));
+            let head = first.wrapping_shl((self.pending as u32).wrapping_add(n).wrapping_sub(1));
+            let body = bits & (1u64.wrapping_shl(n.wrapping_sub(1))).wrapping_sub(1);
+            self.writer.write_bits(
+                (head | comps | body) & !keep,
+                ((self.pending + u64::from(n)) & !keep) as u32,
+            );
+            self.pending &= keep;
         }
+        self.low = (u64::from(self.low) << n) as u32;
+        self.high = ((u64::from(self.high) << n) | ((1u64 << n) - 1)) as u32;
+
+        // Bulk E3: `low = 01…`, `high = 10…` straddle the midpoint for
+        // exactly k more steps, where k counts how long low keeps leading
+        // 1s (below its top 0) and high keeps leading 0s (below its top
+        // 1). Each step deletes bit 30 — the straddling bit — from every
+        // register and records one pending complement. At k == 0 every
+        // line below is the identity (low's top bit is 0 and high's is 1
+        // after the emit shift), so again no branch.
+        let k = (self.low << 1)
+            .leading_ones()
+            .min((self.high << 1).leading_zeros());
+        self.pending += u64::from(k);
+        self.low = (self.low << k) & !HALF;
+        self.high = HALF | ((self.high << k) & !HALF) | (1u32.wrapping_shl(k)).wrapping_sub(1);
     }
 
     /// Number of decisions encoded so far.
@@ -209,6 +316,18 @@ impl<S: BitSink> BinaryEncoder<S> {
         // when the decoder pads with zeros.
         self.writer.write_bit(true);
         self.writer
+    }
+}
+
+impl<S: BitSink> DecisionEncoder for BinaryEncoder<S> {
+    #[inline]
+    fn encode(&mut self, bit: bool, c0: u32, total: u32) {
+        BinaryEncoder::encode(self, bit, c0, total);
+    }
+
+    #[inline]
+    fn decisions(&self) -> u64 {
+        BinaryEncoder::decisions(self)
     }
 }
 
@@ -252,47 +371,84 @@ impl<S: BitSource> BinaryDecoder<S> {
     pub fn decode(&mut self, c0: u32, total: u32) -> bool {
         assert!(total > 0 && total <= MAX_TOTAL, "invalid total {total}");
         assert!(c0 <= total, "c0 {c0} exceeds total {total}");
-        self.decisions += 1;
 
         // The encoder's deterministic-decision shortcut, mirrored: with
         // `c0 == 0` the split lands on `low` so the decision is always 1;
         // with `c0 == total` it lands past `high` so it is always 0. The
         // interval (and the code value) are untouched either way.
         if c0 == 0 {
+            self.decisions += 1;
             return true;
         }
         if c0 == total {
+            self.decisions += 1;
             return false;
         }
+
+        self.decode_coded(c0, total)
+    }
+
+    /// Decodes a decision already known to be non-deterministic
+    /// (`0 < c0 < total`), skipping the deterministic check. The lane entry
+    /// point, mirroring [`BinaryEncoder::encode_coded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero or exceeds 2^16 or if `c0 > total`; in
+    /// debug builds, also if the decision is deterministic.
+    #[inline(always)]
+    pub fn decode_coded(&mut self, c0: u32, total: u32) -> bool {
+        // This bound doubles as the recip bounds-check, letting LLVM elide
+        // the slice panic branch below. `c0` is only debug-checked: it
+        // comes from the adaptive model (never from the bitstream), so
+        // corrupt input cannot reach here with a bad value.
+        assert!(total > 0 && total <= MAX_TOTAL, "invalid total {total}");
+        debug_assert!(c0 <= total, "c0 {c0} exceeds total {total}");
+        debug_assert!(
+            c0 > 0 && c0 < total,
+            "decode_coded requires a non-deterministic decision (c0={c0}, total={total})"
+        );
+        self.decisions += 1;
 
         let range = u64::from(self.high) - u64::from(self.low) + 1;
         let split =
             u64::from(self.low) + div_by_recip(range * u64::from(c0), self.recip[total as usize]);
         let bit = u64::from(self.value) >= split;
-        if bit {
-            self.low = split as u32;
-        } else {
-            self.high = (split - 1) as u32;
-        }
+        self.low = if bit { split as u32 } else { self.low };
+        self.high = if bit { self.high } else { (split - 1) as u32 };
 
-        loop {
-            if self.high < HALF {
-                // Top bits are 0; nothing to subtract.
-            } else if self.low >= HALF {
-                self.low -= HALF;
-                self.high -= HALF;
-                self.value -= HALF;
-            } else if self.low >= QUARTER && self.high < THREE_QUARTERS {
-                self.low -= QUARTER;
-                self.high -= QUARTER;
-                self.value -= QUARTER;
-            } else {
-                break;
-            }
-            self.low <<= 1;
-            self.high = (self.high << 1) | 1;
-            self.value = (self.value << 1) | u32::from(self.reader.read_bit());
-        }
+        // Renormalisation, mirroring the encoder's straight-line
+        // branch-free form (one settled-bits shift, then one bulk E3 batch
+        // — see the encoder for why the two steps cannot alternate). The
+        // invariant `low ≤ value ≤ high` holds for *any* input bits (each
+        // decision moves the boundary `value` is already on the right side
+        // of), so `value` shares the settled top bits and the wrapping
+        // shift below discards exactly what the classic subtract-then-shift
+        // would.
+        let n = (self.low ^ self.high).leading_zeros(); // ≤ 31: low < high
+        self.low = (u64::from(self.low) << n) as u32;
+        self.high = ((u64::from(self.high) << n) | ((1u64 << n) - 1)) as u32;
+
+        // Bulk E3: each straddle step deletes bit 30 from low/high/value
+        // (value sits between them, so its top two bits are 01 or 10 and
+        // the subtract-then-shift is the same bit-delete) and shifts one
+        // fresh input bit into value's low end. At k == 0 every line is
+        // the identity (low's top bit is 0, high's is 1, and value keeps
+        // both of its halves), so no branch is needed. `k` depends only on
+        // the post-shift bounds, never on the input bits, so both refills
+        // (n settled-shift bits, then k E3 bits — consecutive in the
+        // stream) merge into one `read_bits(n + k)` call, halving the
+        // refill overhead on this hot path. n + k ≤ 62.
+        let k = (self.low << 1)
+            .leading_ones()
+            .min((self.high << 1).leading_zeros());
+        let fresh = self.reader.read_bits(n + k);
+        let fresh_n = (fresh >> k) as u32;
+        let fresh_k = (fresh & mask64(k)) as u32;
+        self.value = ((u64::from(self.value) << n) as u32) | fresh_n;
+        self.low = (self.low << k) & !HALF;
+        self.high = HALF | ((self.high << k) & !HALF) | (1u32.wrapping_shl(k)).wrapping_sub(1);
+        self.value = (self.value & HALF) | ((self.value << k) & !HALF) | fresh_k;
         bit
     }
 
@@ -310,6 +466,18 @@ impl<S: BitSource> BinaryDecoder<S> {
     /// Consumes the decoder, returning the underlying reader.
     pub fn into_reader(self) -> S {
         self.reader
+    }
+}
+
+impl<S: BitSource> DecisionDecoder for BinaryDecoder<S> {
+    #[inline]
+    fn decode(&mut self, c0: u32, total: u32) -> bool {
+        BinaryDecoder::decode(self, c0, total)
+    }
+
+    #[inline]
+    fn decisions(&self) -> u64 {
+        BinaryDecoder::decisions(self)
     }
 }
 

@@ -2,10 +2,9 @@
 //! coding context, adaptive escape decisions, and the static tree.
 
 use crate::adaptive::AdaptiveBit;
-use crate::bincoder::{BinaryDecoder, BinaryEncoder, MAX_TOTAL};
+use crate::bincoder::{DecisionDecoder, DecisionEncoder, MAX_TOTAL};
 use crate::stats::CoderStats;
 use crate::tree::{DecisionPath, TreeModel};
-use cbic_bitio::{BitSink, BitSource};
 
 /// Tuning knobs of the probability estimator.
 ///
@@ -167,7 +166,7 @@ impl SymbolCoder {
     ///
     /// Panics if `ctx` is out of range, or (for reduced alphabets) if
     /// `symbol` has bits above `depth`.
-    pub fn encode<S: BitSink>(&mut self, enc: &mut BinaryEncoder<S>, ctx: usize, symbol: u8) {
+    pub fn encode<E: DecisionEncoder>(&mut self, enc: &mut E, ctx: usize, symbol: u8) {
         assert!(
             self.depth == 8 || u32::from(symbol) < (1u32 << self.depth),
             "symbol {symbol} out of range for {}-bit alphabet",
@@ -203,7 +202,7 @@ impl SymbolCoder {
     /// # Panics
     ///
     /// Panics if `ctx` is out of range.
-    pub fn decode<S: BitSource>(&mut self, dec: &mut BinaryDecoder<S>, ctx: usize) -> u8 {
+    pub fn decode<D: DecisionDecoder>(&mut self, dec: &mut D, ctx: usize) -> u8 {
         self.stats.symbols += 1;
         let escaped = self.escape[ctx].decode(dec);
         if escaped {
@@ -230,6 +229,7 @@ impl SymbolCoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{BinaryDecoder, BinaryEncoder};
     use cbic_bitio::{BitReader, BitWriter};
 
     fn roundtrip(cfg: EstimatorConfig, contexts: usize, stream: &[(usize, u8)]) -> (u64, u64) {

@@ -1,0 +1,646 @@
+//! Lane-interleaved arithmetic coding: N independent coder lanes over a
+//! round-robin-striped decision stream.
+//!
+//! A single binary arithmetic coder serializes every decision: each one
+//! reads the interval registers the previous decision wrote, so the CPU
+//! sees one long dependency chain and its pipelines sit idle. The fix —
+//! standard in rANS/CABAC accelerator designs — is to keep **N complete
+//! interval states** and deal decisions across them round-robin: decision
+//! `k` of the coded stream goes to lane `k mod N`. Each lane renormalizes
+//! into its **own substream**, so consecutive decisions touch *different*
+//! registers and execute overlapped; the decoder replays the identical
+//! deal, so any lane count round-trips bit-exactly.
+//!
+//! Two invariants make this work with *adaptive* models:
+//!
+//! * **Model state stays shared.** Estimator trees and context banks are
+//!   updated in strict program order on both sides, exactly as with one
+//!   coder; only the interval arithmetic is striped. Compression loss is
+//!   limited to the per-lane flush tails (≤ a few bytes per lane).
+//! * **Deterministic decisions never touch a lane.** A decision whose coded
+//!   side owns the whole interval (`c0 == 0` or `c0 == total`) emits no
+//!   bits and leaves every register untouched, and — crucially — both
+//!   sides can see that from `(c0, total)` *before* coding. Retiring such
+//!   decisions at the mux keeps the lane cursor in lockstep between
+//!   encoder and decoder by construction.
+//!
+//! The independence only pays if the lanes' registers actually live in
+//! registers, so [`LaneEncoder`] does not call into N boxed coders per
+//! decision. It *buffers* coded decisions (the model cannot observe the
+//! coder, so encode-side deferral is free) and drains them in batches
+//! through a lockstep loop whose per-lane interval/accumulator state is
+//! hoisted into locals for the whole batch — the round-robin then costs
+//! loads and stores once per batch instead of once per decision, and the
+//! N renormalization chains overlap in the out-of-order window. The
+//! emitted substreams are bit-identical to feeding N [`BinaryEncoder`]s
+//! decision-by-decision (differentially tested); with one lane the output
+//! is that plain coder's exact stream. Decode cannot defer (each decoded
+//! bit feeds the model that produces the next probability), so
+//! [`LaneDecoder`] simply rotates over N [`BinaryDecoder`]s — its win is
+//! the shortened per-decision dependency chain, not batching.
+//!
+//! [`LaneEncoder`] / [`LaneDecoder`] implement
+//! [`DecisionEncoder`](crate::DecisionEncoder) /
+//! [`DecisionDecoder`](crate::DecisionDecoder), so the whole model layer
+//! (symbol coders, estimator trees) drives them unchanged.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbic_arith::{DecisionDecoder, DecisionEncoder, LaneDecoder, LaneEncoder};
+//! use cbic_bitio::BitReader;
+//!
+//! let decisions = [(false, 3u32, 4u32), (true, 1, 4), (false, 2, 4)];
+//! let mut enc = LaneEncoder::new(2);
+//! for &(bit, c0, total) in &decisions {
+//!     enc.encode(bit, c0, total);
+//! }
+//! let substreams: Vec<Vec<u8>> = enc.finish_to_bytes();
+//! assert_eq!(substreams.len(), 2);
+//!
+//! let sources: Vec<_> = substreams.iter().map(|s| BitReader::new(s)).collect();
+//! let mut dec = LaneDecoder::new(sources);
+//! for &(bit, c0, total) in &decisions {
+//!     assert_eq!(dec.decode(c0, total), bit);
+//! }
+//! ```
+
+use crate::bincoder::{
+    div_by_recip, mask64, recip_table, BinaryDecoder, DecisionDecoder, DecisionEncoder, HALF,
+    MAX_TOTAL, QUARTER,
+};
+use cbic_bitio::BitSource;
+
+/// Upper bound on the lane count accepted by [`LaneEncoder`] and
+/// [`LaneDecoder`] (and encodable in a container's lane byte).
+///
+/// Past roughly a dozen lanes the dependency chains are already fully
+/// overlapped and each extra lane only adds flush-tail overhead, so the
+/// cap costs nothing real while keeping per-lane state (and the decoder's
+/// substream table) trivially bounded.
+pub const MAX_LANES: usize = 32;
+
+/// Coded decisions buffered before a lockstep drain. Small enough that
+/// the buffer (8 bytes per decision) stays L1-resident alongside the lane
+/// accumulators, large enough to amortize hoisting the lane registers.
+const BATCH_TARGET: usize = 1024;
+
+/// One lane's complete coder state: the [`BinaryEncoder`](crate::BinaryEncoder)
+/// interval registers fused with the
+/// [`BitWriter`](cbic_bitio::BitWriter) accumulator, as plain scalars so a
+/// drain loop can hoist the whole thing into locals. The algorithm is a
+/// field-for-field mirror of `BinaryEncoder::encode_coded` over a
+/// `BitWriter` (see `bincoder.rs` for the renormalization derivation);
+/// [`bit_identical_to_per_lane_binary_encoders`](tests) pins the
+/// equivalence.
+#[derive(Debug, Clone, Copy)]
+struct LaneRegs {
+    low: u32,
+    high: u32,
+    /// Banked E3 follow bits awaiting the next settled bit.
+    pending: u64,
+    /// Bit accumulator, right-aligned in the low `nacc` bits.
+    acc: u64,
+    nacc: u32,
+    /// Bits emitted into this lane so far (excluding flush padding).
+    bits: u64,
+}
+
+impl Default for LaneRegs {
+    fn default() -> Self {
+        Self {
+            low: 0,
+            high: u32::MAX,
+            pending: 0,
+            acc: 0,
+            nacc: 0,
+            bits: 0,
+        }
+    }
+}
+
+/// Mirror of `BitWriter::write_bits` on the fused lane state.
+#[inline(always)]
+fn push_bits(r: &mut LaneRegs, out: &mut Vec<u8>, value: u64, count: u32) {
+    debug_assert!(count <= 64 && (count == 64 || value >> count == 0));
+    r.bits += u64::from(count);
+    if count < 64 - r.nacc {
+        r.acc = (r.acc << count) | value;
+        r.nacc += count;
+    } else {
+        push_bits_spill(r, out, value, count);
+    }
+}
+
+/// Cold tail of [`push_bits`]: the append crosses the 64-bit accumulator
+/// boundary (~once per 64 emitted bits).
+#[cold]
+fn push_bits_spill(r: &mut LaneRegs, out: &mut Vec<u8>, value: u64, count: u32) {
+    let space = 64 - r.nacc;
+    let spill = count - space;
+    let filled = if space == 64 {
+        value
+    } else {
+        (r.acc << space) | (value >> spill)
+    };
+    out.extend_from_slice(&filled.to_be_bytes());
+    r.nacc = spill;
+    r.acc = if spill == 0 {
+        0
+    } else {
+        value & ((1u64 << spill) - 1)
+    };
+}
+
+/// `count` copies of `bit` (the cold carry-resolution run).
+fn push_run(r: &mut LaneRegs, out: &mut Vec<u8>, bit: bool, count: u64) {
+    let pattern = if bit { u64::MAX } else { 0 };
+    let mut rem = count;
+    while rem >= 64 {
+        push_bits(r, out, pattern, 64);
+        rem -= 64;
+    }
+    if rem > 0 {
+        push_bits(r, out, pattern >> (64 - rem), rem as u32);
+    }
+}
+
+/// One coded decision through one lane — the body of
+/// `BinaryEncoder::encode_coded` (see there for the branch-free
+/// renormalization derivation) inlined over [`LaneRegs`].
+// Deliberately out of line: the drain loop calls this N times per chunk,
+// and N inlined copies of the body blow past the register file — one
+// shared body with the lane state passed by pointer measures faster at
+// every lane count tried.
+#[inline(never)]
+fn lane_step(r: &mut LaneRegs, out: &mut Vec<u8>, packed: u64, recip: &[u64]) {
+    let total = (packed & 0x1_FFFF) as u32;
+    let c0 = ((packed >> 17) & 0x1_FFFF) as u32;
+    let bit = (packed >> 34) & 1 == 1;
+    // Re-established from the pack in `encode` (asserted there); lets LLVM
+    // elide the `recip` bounds check in this hot loop.
+    assert!(total > 0 && total <= MAX_TOTAL, "invalid total {total}");
+
+    let range = u64::from(r.high) - u64::from(r.low) + 1;
+    let split = u64::from(r.low) + div_by_recip(range * u64::from(c0), recip[total as usize]);
+    r.low = if bit { split as u32 } else { r.low };
+    r.high = if bit { r.high } else { (split - 1) as u32 };
+
+    let n = (r.low ^ r.high).leading_zeros(); // ≤ 31: low < high
+    let bits = u64::from(r.low) >> (32 - n);
+    if (n > 0) & (u64::from(n) + r.pending > 48) {
+        // Cold: an E3 run banked more follow bits than the packed release
+        // can address.
+        let first = (bits >> (n - 1)) & 1 == 1;
+        push_bits(r, out, u64::from(first), 1);
+        let pending = r.pending;
+        r.pending = 0;
+        push_run(r, out, !first, pending);
+        if n > 1 {
+            push_bits(r, out, bits & ((1u64 << (n - 1)) - 1), n - 1);
+        }
+    } else {
+        // Packed release: first settled bit, `pending` complements, then
+        // the remaining settled bits, as one append. No-op when n == 0.
+        let keep = u64::from(n == 0).wrapping_neg();
+        let first = bits.wrapping_shr(n.wrapping_sub(1)) & 1;
+        let comps =
+            ((first ^ 1).wrapping_neg() & mask64(r.pending as u32)).wrapping_shl(n.wrapping_sub(1));
+        let head = first.wrapping_shl((r.pending as u32).wrapping_add(n).wrapping_sub(1));
+        let body = bits & (1u64.wrapping_shl(n.wrapping_sub(1))).wrapping_sub(1);
+        push_bits(
+            r,
+            out,
+            (head | comps | body) & !keep,
+            ((r.pending + u64::from(n)) & !keep) as u32,
+        );
+        r.pending &= keep;
+    }
+    r.low = (u64::from(r.low) << n) as u32;
+    r.high = ((u64::from(r.high) << n) | ((1u64 << n) - 1)) as u32;
+
+    let k = (r.low << 1)
+        .leading_ones()
+        .min((r.high << 1).leading_zeros());
+    r.pending += u64::from(k);
+    r.low = (r.low << k) & !HALF;
+    r.high = HALF | ((r.high << k) & !HALF) | (1u32.wrapping_shl(k)).wrapping_sub(1);
+}
+
+/// Flush one lane: `BinaryEncoder::finish` + `BitWriter::into_bytes`.
+fn lane_finish(mut r: LaneRegs, mut out: Vec<u8>) -> Vec<u8> {
+    r.pending += 1;
+    let bit = r.low >= QUARTER;
+    push_bits(&mut r, &mut out, u64::from(bit), 1);
+    let pending = r.pending;
+    push_run(&mut r, &mut out, !bit, pending);
+    push_bits(&mut r, &mut out, 1, 1);
+    // Align to a byte boundary and flush the accumulator (padding is not
+    // counted in `bits`, mirroring `BitWriter::align_to_byte`).
+    let tail = r.nacc % 8;
+    if tail > 0 {
+        r.acc <<= 8 - tail;
+        r.nacc += 8 - tail;
+    }
+    while r.nacc > 0 {
+        r.nacc -= 8;
+        out.push((r.acc >> r.nacc) as u8);
+    }
+    out
+}
+
+/// Deals coded decisions round-robin across `N` independent coder lanes,
+/// each writing its own substream.
+///
+/// See the [module docs](self) for the striping rule and the batched
+/// drain. Construct with [`new`](Self::new), push decisions through
+/// [`DecisionEncoder::encode`], then call
+/// [`finish_to_bytes`](Self::finish_to_bytes) to flush every lane.
+#[derive(Debug, Default)]
+pub struct LaneEncoder {
+    regs: Vec<LaneRegs>,
+    outs: Vec<Vec<u8>>,
+    /// Coded decisions awaiting a drain, packed as
+    /// `bit << 34 | c0 << 17 | total` (both counts fit 17 bits: the coder
+    /// caps `total` at 2^16).
+    buf: Vec<u64>,
+    /// Drain threshold: the largest multiple of the lane count at or below
+    /// [`BATCH_TARGET`], so every full drain leaves the round-robin cursor
+    /// back at lane 0 and the lockstep loop needs no cursor at all.
+    batch: usize,
+    decisions: u64,
+}
+
+impl LaneEncoder {
+    /// Creates `lanes` coder lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or exceeds [`MAX_LANES`].
+    pub fn new(lanes: usize) -> Self {
+        assert!(
+            (1..=MAX_LANES).contains(&lanes),
+            "lane count {lanes} outside 1..={MAX_LANES}"
+        );
+        Self {
+            regs: vec![LaneRegs::default(); lanes],
+            outs: vec![Vec::new(); lanes],
+            buf: Vec::with_capacity(BATCH_TARGET),
+            batch: (BATCH_TARGET / lanes) * lanes,
+            decisions: 0,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Total bits emitted across all lanes, draining buffered decisions
+    /// first so the count is exact (excludes only un-flushed interval
+    /// state, like a single coder's count).
+    pub fn bits_written(&mut self) -> u64 {
+        self.drain();
+        self.regs.iter().map(|r| r.bits).sum()
+    }
+
+    /// Total bits already coded into the lanes, *excluding* decisions
+    /// still buffered at the mux (up to one batch's worth). The `&self`
+    /// counterpart of [`bits_written`](Self::bits_written) for mid-stream
+    /// progress reporting.
+    pub fn bits_flushed(&self) -> u64 {
+        self.regs.iter().map(|r| r.bits).sum()
+    }
+
+    /// Codes every buffered decision through the lanes, in lockstep
+    /// batches of the lane count with the per-lane registers hoisted into
+    /// locals (the monomorphized widths cover the benched lane counts;
+    /// other counts take the dynamic loop).
+    fn drain(&mut self) {
+        match self.regs.len() {
+            1 => self.drain_const::<1>(),
+            2 => self.drain_const::<2>(),
+            4 => self.drain_const::<4>(),
+            8 => self.drain_const::<8>(),
+            16 => self.drain_const::<16>(),
+            _ => self.drain_dyn(),
+        }
+        self.buf.clear();
+    }
+
+    fn drain_const<const N: usize>(&mut self) {
+        let Self {
+            regs, outs, buf, ..
+        } = self;
+        let mut r: [LaneRegs; N] = regs[..N].try_into().expect("lane count matches N");
+        let recip = recip_table();
+        let mut chunks = buf.chunks_exact(N);
+        for chunk in &mut chunks {
+            // Lane-minor order: the N chains advance abreast, so each
+            // step's interval update overlaps the other lanes' in the
+            // out-of-order window. (Lane-major — one lane's whole stride
+            // in a tight loop — measures ~15% slower here: a single
+            // lane's renormalization chain is latency-bound, and running
+            // it alone serializes on exactly that latency.)
+            for i in 0..N {
+                lane_step(&mut r[i], &mut outs[i], chunk[i], recip);
+            }
+        }
+        // Only the final (finish-time) drain can leave a remainder: full
+        // drains are multiples of the lane count by construction.
+        for (i, &packed) in chunks.remainder().iter().enumerate() {
+            lane_step(&mut r[i], &mut outs[i], packed, recip);
+        }
+        regs[..N].copy_from_slice(&r);
+    }
+
+    fn drain_dyn(&mut self) {
+        let Self {
+            regs, outs, buf, ..
+        } = self;
+        let recip = recip_table();
+        let n = regs.len();
+        for (i, &packed) in buf.iter().enumerate() {
+            let lane = i % n;
+            lane_step(&mut regs[lane], &mut outs[lane], packed, recip);
+        }
+    }
+
+    /// Flushes every lane and returns the per-lane substream bytes, in
+    /// lane order.
+    pub fn finish_to_bytes(mut self) -> Vec<Vec<u8>> {
+        self.drain();
+        self.regs
+            .into_iter()
+            .zip(self.outs)
+            .map(|(r, out)| lane_finish(r, out))
+            .collect()
+    }
+}
+
+impl DecisionEncoder for LaneEncoder {
+    #[inline]
+    fn encode(&mut self, bit: bool, c0: u32, total: u32) {
+        assert!(total > 0 && total <= MAX_TOTAL, "invalid total {total}");
+        debug_assert!(c0 <= total, "c0 {c0} exceeds total {total}");
+        debug_assert!(
+            if bit { c0 < total } else { c0 > 0 },
+            "coding a zero-probability decision (bit={bit}, c0={c0}, total={total})"
+        );
+        self.decisions += 1;
+        // Deterministic decisions retire at the mux: no bits, no interval
+        // change, and — so the decoder's deal stays aligned — no lane
+        // turn. Both sides see `(c0, total)` before coding, so both make
+        // the same call.
+        if if bit { c0 == 0 } else { c0 == total } {
+            return;
+        }
+        self.buf
+            .push(u64::from(bit) << 34 | u64::from(c0) << 17 | u64::from(total));
+        if self.buf.len() == self.batch {
+            self.drain();
+        }
+    }
+
+    #[inline]
+    fn decisions(&self) -> u64 {
+        self.decisions
+    }
+}
+
+/// Replays the [`LaneEncoder`] deal on the decode side: coded decisions
+/// are pulled round-robin from `N` independent [`BinaryDecoder`] lanes.
+#[derive(Debug)]
+pub struct LaneDecoder<S> {
+    lanes: Vec<BinaryDecoder<S>>,
+    cursor: usize,
+    decisions: u64,
+}
+
+impl<S: BitSource> LaneDecoder<S> {
+    /// Wraps one coder lane around each substream source, in lane order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty or holds more than [`MAX_LANES`]
+    /// sources.
+    pub fn new(sources: Vec<S>) -> Self {
+        assert!(
+            (1..=MAX_LANES).contains(&sources.len()),
+            "lane count {} outside 1..={MAX_LANES}",
+            sources.len()
+        );
+        Self {
+            lanes: sources.into_iter().map(BinaryDecoder::new).collect(),
+            cursor: 0,
+            decisions: 0,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The largest number of zero-padding bits any lane has read past the
+    /// end of its substream — the truncation detector for lane-striped
+    /// payloads (compare against the same per-coder budget as a single
+    /// coder's [`padding_bits`](BitSource::padding_bits)).
+    pub fn max_padding_bits(&self) -> u64 {
+        self.lanes
+            .iter()
+            .map(|lane| lane.source().padding_bits())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl<S: BitSource> DecisionDecoder for LaneDecoder<S> {
+    #[inline]
+    fn decode(&mut self, c0: u32, total: u32) -> bool {
+        self.decisions += 1;
+        // Mirror of the encoder mux: deterministic decisions are resolved
+        // here and never touch (or rotate past) a lane.
+        if c0 == 0 {
+            return true;
+        }
+        if c0 == total {
+            return false;
+        }
+        let lane = self.cursor;
+        self.cursor += 1;
+        if self.cursor == self.lanes.len() {
+            self.cursor = 0;
+        }
+        self.lanes[lane].decode_coded(c0, total)
+    }
+
+    #[inline]
+    fn decisions(&self) -> u64 {
+        self.decisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bincoder::BinaryEncoder;
+    use cbic_bitio::{BitReader, BitWriter};
+
+    fn mixed_decisions(n: u32) -> Vec<(bool, u32, u32)> {
+        (0..n)
+            .map(|i| {
+                let h = i.wrapping_mul(2654435761);
+                match i % 5 {
+                    // Deterministic decisions must be retired at the mux.
+                    0 => (false, 7, 7),
+                    1 => (true, 0, 9),
+                    _ => ((h >> 3) % 3 == 0, 1 + h % 99, 100),
+                }
+            })
+            .collect()
+    }
+
+    fn roundtrip(lanes: usize, decisions: &[(bool, u32, u32)]) {
+        let mut enc = LaneEncoder::new(lanes);
+        for &(bit, c0, total) in decisions {
+            enc.encode(bit, c0, total);
+        }
+        assert_eq!(enc.decisions(), decisions.len() as u64);
+        let substreams = enc.finish_to_bytes();
+        assert_eq!(substreams.len(), lanes);
+        let sources = substreams.iter().map(|s| BitReader::new(s)).collect();
+        let mut dec = LaneDecoder::new(sources);
+        for (i, &(bit, c0, total)) in decisions.iter().enumerate() {
+            assert_eq!(dec.decode(c0, total), bit, "decision {i} ({lanes} lanes)");
+        }
+    }
+
+    #[test]
+    fn roundtrips_across_lane_counts() {
+        let decisions = mixed_decisions(5000);
+        for lanes in [1, 2, 3, 4, 8, MAX_LANES] {
+            roundtrip(lanes, &decisions);
+        }
+    }
+
+    /// The fused drain loop must be bit-identical to dealing the same
+    /// decisions across N plain `BinaryEncoder`s by hand — every lane, at
+    /// widths with and without a monomorphized drain, across batch
+    /// boundaries (the stream length is not a batch multiple) and extreme
+    /// probabilities (to reach the cold follow-bit run).
+    #[test]
+    fn bit_identical_to_per_lane_binary_encoders() {
+        let mut decisions = mixed_decisions(BATCH_TARGET as u32 * 3 + 137);
+        // Long improbable runs bank enough pending bits to force the cold
+        // release path.
+        for _ in 0..300 {
+            decisions.push((true, 65_535, 65_536));
+        }
+        for lanes in [1usize, 2, 3, 4, 5, 8, 16, MAX_LANES] {
+            let mut enc = LaneEncoder::new(lanes);
+            let mut reference: Vec<BinaryEncoder<BitWriter>> = (0..lanes)
+                .map(|_| BinaryEncoder::new(BitWriter::new()))
+                .collect();
+            let mut cursor = 0;
+            for &(bit, c0, total) in &decisions {
+                enc.encode(bit, c0, total);
+                if if bit { c0 != 0 } else { c0 != total } {
+                    reference[cursor].encode_coded(bit, c0, total);
+                    cursor = (cursor + 1) % lanes;
+                }
+            }
+            let expected: Vec<Vec<u8>> = reference
+                .into_iter()
+                .map(|e| e.finish().into_bytes())
+                .collect();
+            assert_eq!(enc.finish_to_bytes(), expected, "{lanes} lanes");
+        }
+    }
+
+    #[test]
+    fn single_lane_matches_plain_coder() {
+        let decisions = mixed_decisions(2000);
+        let mut plain = BinaryEncoder::new(BitWriter::new());
+        let mut laned = LaneEncoder::new(1);
+        for &(bit, c0, total) in &decisions {
+            plain.encode(bit, c0, total);
+            laned.encode(bit, c0, total);
+        }
+        let plain_bytes = plain.finish().into_bytes();
+        let lane_bytes = laned.finish_to_bytes();
+        assert_eq!(lane_bytes.len(), 1);
+        assert_eq!(lane_bytes[0], plain_bytes);
+    }
+
+    #[test]
+    fn deterministic_decisions_do_not_rotate_the_deal() {
+        // Two streams that differ only in interleaved deterministic
+        // decisions must produce identical substreams.
+        let coded = [(true, 3u32, 8u32), (false, 5, 8), (true, 1, 8)];
+        let mut without = LaneEncoder::new(2);
+        let mut with = LaneEncoder::new(2);
+        for &(bit, c0, total) in &coded {
+            without.encode(bit, c0, total);
+            with.encode(false, 4, 4);
+            with.encode(bit, c0, total);
+            with.encode(true, 0, 4);
+        }
+        assert_eq!(without.finish_to_bytes(), with.finish_to_bytes());
+    }
+
+    #[test]
+    fn bits_written_is_exact_mid_stream() {
+        let decisions = mixed_decisions(3000);
+        let mut enc = LaneEncoder::new(4);
+        let mut reference = LaneEncoder::new(4);
+        for &(bit, c0, total) in &decisions {
+            enc.encode(bit, c0, total);
+            reference.encode(bit, c0, total);
+        }
+        let exact = enc.bits_written();
+        assert!(exact >= reference.bits_flushed());
+        // Draining for the count must not change the output.
+        assert_eq!(enc.finish_to_bytes(), reference.finish_to_bytes());
+    }
+
+    #[test]
+    fn empty_stream_flushes_every_lane() {
+        let substreams = LaneEncoder::new(4).finish_to_bytes();
+        assert_eq!(substreams.len(), 4);
+        for s in substreams {
+            assert!(s.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn truncated_substreams_report_padding_not_panic() {
+        let decisions = mixed_decisions(4000);
+        let mut enc = LaneEncoder::new(4);
+        for &(bit, c0, total) in &decisions {
+            enc.encode(bit, c0, total);
+        }
+        let mut substreams = enc.finish_to_bytes();
+        // Cut one lane's substream in half.
+        let cut = substreams[2].len() / 2;
+        substreams[2].truncate(cut);
+        let sources = substreams.iter().map(|s| BitReader::new(s)).collect();
+        let mut dec = LaneDecoder::new(sources);
+        for &(_, c0, total) in &decisions {
+            let _ = dec.decode(c0, total);
+        }
+        assert!(dec.max_padding_bits() > 64, "truncation must be visible");
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count")]
+    fn zero_lanes_rejected() {
+        let _ = LaneEncoder::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count")]
+    fn oversized_lane_count_rejected() {
+        let _ = LaneEncoder::new(MAX_LANES + 1);
+    }
+}

@@ -51,12 +51,14 @@
 mod adaptive;
 mod bincoder;
 mod coder;
+mod lanes;
 mod stats;
 mod tree;
 
 pub use adaptive::AdaptiveBit;
-pub use bincoder::{BinaryDecoder, BinaryEncoder};
+pub use bincoder::{BinaryDecoder, BinaryEncoder, DecisionDecoder, DecisionEncoder};
 pub use coder::{EstimatorConfig, SymbolCoder};
+pub use lanes::{LaneDecoder, LaneEncoder, MAX_LANES};
 pub use stats::CoderStats;
 pub use tree::{DecisionPath, TreeModel};
 

@@ -15,9 +15,8 @@
 //! ≈ 4 KBytes of SRAM, exactly the figure the paper reports. Storing
 //! (left, right) pairs would double that.
 
-use crate::bincoder::{BinaryDecoder, BinaryEncoder};
+use crate::bincoder::{DecisionDecoder, DecisionEncoder};
 use crate::coder::EstimatorConfig;
-use cbic_bitio::{BitSink, BitSource};
 
 /// Captured per-level decision probabilities of one symbol's root-to-leaf
 /// path: the `(c0, visits)` pair of every internal node the symbol
@@ -63,7 +62,7 @@ impl DecisionPath {
     /// bit-identical to [`TreeModel::encode_decisions`] with the counts
     /// that were current at capture time.
     #[inline]
-    pub fn replay<S: BitSink>(&self, enc: &mut BinaryEncoder<S>, symbol: u8) {
+    pub fn replay<E: DecisionEncoder>(&self, enc: &mut E, symbol: u8) {
         for k in 0..self.len {
             let bit = (symbol >> (self.len - 1 - k)) & 1 == 1;
             let i = k as usize;
@@ -232,7 +231,7 @@ impl TreeModel {
     /// Debug-panics if `symbol` has zero probability (the caller must check
     /// [`Self::path_has_zero`] and escape).
     #[inline]
-    pub fn encode_decisions<S: BitSink>(&self, enc: &mut BinaryEncoder<S>, symbol: u8) {
+    pub fn encode_decisions<E: DecisionEncoder>(&self, enc: &mut E, symbol: u8) {
         let mut node = 1usize;
         let mut visits = self.total;
         for k in (0..self.depth).rev() {
@@ -248,7 +247,7 @@ impl TreeModel {
     ///
     /// Does **not** update the model; call [`Self::update`] afterwards.
     #[inline]
-    pub fn decode_decisions<S: BitSource>(&self, dec: &mut BinaryDecoder<S>) -> u8 {
+    pub fn decode_decisions<D: DecisionDecoder>(&self, dec: &mut D) -> u8 {
         let mut node = 1usize;
         let mut visits = self.total;
         let mut symbol = 0u8;
@@ -300,9 +299,10 @@ impl TreeModel {
             // zero too, so the walk stays well-defined.
             let branch = if bit == 0 { c0 } else { visits - c0 };
             escaped |= branch == 0;
-            if bit == 0 {
-                self.left[node] += inc;
-            }
+            // Branchless conditional bump: the symbol bits are close to
+            // random, so a `if bit == 0` store would mispredict every
+            // other level of the descent.
+            self.left[node] += inc & u16::from(bit).wrapping_sub(1);
             visits = branch;
             node = node * 2 + usize::from(bit);
         }
@@ -337,7 +337,7 @@ impl TreeModel {
     /// update when a rescale is due, mirroring
     /// [`Self::capture_and_update`].
     #[inline]
-    pub fn decode_and_update<S: BitSource>(&mut self, dec: &mut BinaryDecoder<S>) -> u8 {
+    pub fn decode_and_update<D: DecisionDecoder>(&mut self, dec: &mut D) -> u8 {
         if self.total + self.increment > self.max_total {
             let symbol = self.decode_decisions(dec);
             self.update(symbol);
@@ -351,9 +351,8 @@ impl TreeModel {
             let c0 = u32::from(self.left[node]);
             let bit = dec.decode(c0, visits);
             visits = if bit { visits - c0 } else { c0 };
-            if !bit {
-                self.left[node] += inc;
-            }
+            // Branchless conditional bump (see `capture_and_update`).
+            self.left[node] += inc & u16::from(bit).wrapping_sub(1);
             symbol = (symbol << 1) | u8::from(bit);
             node = node * 2 + usize::from(bit);
         }
@@ -369,12 +368,12 @@ impl TreeModel {
         if self.total + self.increment > self.max_total {
             self.rescale();
         }
+        let inc = self.increment as u16;
         let mut node = 1usize;
         for k in (0..self.depth).rev() {
             let bit = (symbol >> k) & 1;
-            if bit == 0 {
-                self.left[node] += self.increment as u16;
-            }
+            // Branchless conditional bump (see `capture_and_update`).
+            self.left[node] += inc & u16::from(bit).wrapping_sub(1);
             node = node * 2 + usize::from(bit);
         }
         self.total += self.increment;
@@ -446,7 +445,7 @@ impl TreeModel {
     /// Debug-panics (inside the arithmetic coder) if the path does have a
     /// zero branch — callers must check [`Self::maybe_escapes`] first.
     #[inline]
-    pub fn encode_and_update<S: BitSink>(&mut self, enc: &mut BinaryEncoder<S>, symbol: u8) {
+    pub fn encode_and_update<E: DecisionEncoder>(&mut self, enc: &mut E, symbol: u8) {
         if self.total + self.increment > self.max_total {
             self.encode_decisions(enc, symbol);
             self.update(symbol);
@@ -459,12 +458,9 @@ impl TreeModel {
             let bit = (symbol >> k) & 1 == 1;
             let c0 = u32::from(self.left[node]);
             enc.encode(bit, c0, visits);
-            if bit {
-                visits -= c0;
-            } else {
-                self.left[node] += inc;
-                visits = c0;
-            }
+            // Branchless conditional bump (see `capture_and_update`).
+            self.left[node] += inc & u16::from(bit).wrapping_sub(1);
+            visits = if bit { visits - c0 } else { c0 };
             node = node * 2 + usize::from(bit);
         }
         self.total += self.increment;
@@ -518,6 +514,7 @@ impl TreeModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{BinaryDecoder, BinaryEncoder};
     use cbic_bitio::{BitReader, BitWriter};
 
     fn cfg() -> EstimatorConfig {

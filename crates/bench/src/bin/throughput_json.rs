@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p cbic-bench --bin throughput_json -- \
-//!     [--json] [--size N] [--out PATH] [--baseline PATH] [--label TEXT] [--quick]
+//!     [--json] [--size N] [--out PATH] [--baseline PATH] [--label TEXT] \
+//!     [--lanes L1,L2,...] [--check PATH] [--quick]
 //! ```
 //!
 //! Without `--json`, prints a human-readable table. With `--json`, writes
@@ -10,9 +11,23 @@
 //! baseline}`) to `--out` (default `BENCH_throughput.json` in the current
 //! directory). `--baseline PATH` embeds a previous report's `results`
 //! array so the committed file carries its own speed-up reference;
-//! `--quick` caps each cell at a handful of iterations for CI smoke runs.
+//! `--lanes` sweeps the proposed codec over the given coder-lane counts
+//! (default `1,2,4,8`; other codecs always run single-lane); `--quick`
+//! caps each cell at a handful of iterations for CI smoke runs.
+//!
+//! `--check PATH` turns the run into a regression gate: after measuring,
+//! the proposed-codec cells are compared against the `results` array of
+//! the committed report at PATH, and the process exits non-zero if any
+//! matching cell (same class and lane count) lost more than 25% encode or
+//! decode throughput. Cells present on only one side are ignored, so the
+//! sweep may widen without breaking the gate.
 
 use cbic_bench::perf;
+
+/// Fraction of baseline throughput a cell may lose before `--check` fails.
+/// Generous because CI runners share cores; within-run ratios are stable
+/// but absolute MP/s drifts (see `BENCH_*.json` measurement notes).
+const CHECK_TOLERANCE: f64 = 0.25;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,7 +36,9 @@ fn main() {
     let mut size = 256usize;
     let mut out_path = "BENCH_throughput.json".to_string();
     let mut baseline_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
     let mut label = "current".to_string();
+    let mut lane_settings = vec![1usize, 2, 4, 8];
     let mut i = 0;
     while i < args.len() {
         let take = |i: &mut usize| -> String {
@@ -42,11 +59,35 @@ fn main() {
             }
             "--out" => out_path = take(&mut i),
             "--baseline" => baseline_path = Some(take(&mut i)),
+            "--check" => check_path = Some(take(&mut i)),
             "--label" => label = take(&mut i),
+            "--lanes" => {
+                lane_settings = take(&mut i)
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|l| (1..=cbic_core::MAX_LANES).contains(l))
+                            .unwrap_or_else(|| {
+                                eprintln!(
+                                    "error: bad --lanes entry {s:?} (want 1..={})",
+                                    cbic_core::MAX_LANES
+                                );
+                                std::process::exit(2);
+                            })
+                    })
+                    .collect();
+                if lane_settings.is_empty() {
+                    eprintln!("error: --lanes needs at least one lane count");
+                    std::process::exit(2);
+                }
+            }
             other => {
                 eprintln!(
                     "usage: throughput_json [--json] [--size N] [--out PATH] \
-                     [--baseline PATH] [--label TEXT] [--quick] (got {other})"
+                     [--baseline PATH] [--label TEXT] [--lanes L1,L2,...] \
+                     [--check PATH] [--quick] (got {other})"
                 );
                 std::process::exit(2);
             }
@@ -56,10 +97,10 @@ fn main() {
 
     let (min_secs, max_iters) = if quick { (0.05, 3) } else { (0.4, 40) };
     eprintln!(
-        "measuring {size}x{size} corpus ({} classes)...",
+        "measuring {size}x{size} corpus ({} classes, lanes {lane_settings:?})...",
         perf::CLASSES.len()
     );
-    let records = perf::measure_throughput(size, min_secs, max_iters);
+    let records = perf::measure_throughput_lanes(size, min_secs, max_iters, &lane_settings);
     perf::print_report(&records);
 
     if json {
@@ -78,5 +119,31 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote {out_path}");
+    }
+
+    if let Some(path) = check_path {
+        let doc = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: reading check baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let baseline_records = perf::parse_records(&doc);
+        if baseline_records.is_empty() {
+            eprintln!("error: no records parsed from {path}");
+            std::process::exit(1);
+        }
+        let regressions =
+            perf::throughput_regressions(&records, &baseline_records, CHECK_TOLERANCE);
+        if regressions.is_empty() {
+            eprintln!(
+                "perf check OK: proposed-codec throughput within {:.0}% of {path}",
+                CHECK_TOLERANCE * 100.0
+            );
+        } else {
+            eprintln!("perf check FAILED against {path}:");
+            for msg in &regressions {
+                eprintln!("  {msg}");
+            }
+            std::process::exit(1);
+        }
     }
 }

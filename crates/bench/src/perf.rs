@@ -19,13 +19,16 @@ use std::time::Instant;
 /// golden fixtures pin.
 pub const CLASSES: [CorpusImage; 3] = [CorpusImage::Lena, CorpusImage::Barb, CorpusImage::Mandrill];
 
-/// One measured cell: a codec on a corpus class.
+/// One measured cell: a codec on a corpus class at a lane setting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThroughputRecord {
     /// Registry codec name.
     pub codec: String,
     /// Corpus class name.
     pub class: String,
+    /// Interleaved coder lanes (1 = the classic single-coder stream; only
+    /// lane-aware codecs are measured above 1).
+    pub lanes: usize,
     /// Encode throughput in megapixels per second.
     pub encode_mps: f64,
     /// Decode throughput in megapixels per second.
@@ -64,46 +67,66 @@ fn time_per_iter<F: FnMut()>(mut f: F, min_secs: f64, max_iters: u32) -> f64 {
 /// under a minute on one core while averaging enough iterations to be
 /// stable.
 pub fn measure_throughput(size: usize, min_secs: f64, max_iters: u32) -> Vec<ThroughputRecord> {
-    let enc_opts = EncodeOptions::default();
+    measure_throughput_lanes(size, min_secs, max_iters, &[1])
+}
+
+/// [`measure_throughput`] with a lane sweep: the lane-aware `proposed`
+/// codec is measured once per entry of `lane_settings`, every other codec
+/// once (at one lane — they have no lane knob).
+pub fn measure_throughput_lanes(
+    size: usize,
+    min_secs: f64,
+    max_iters: u32,
+    lane_settings: &[usize],
+) -> Vec<ThroughputRecord> {
     let dec_opts = DecodeOptions::default();
     let mut out = Vec::new();
     for class in CLASSES {
         let img: Image = class.generate(size, size);
         let pixels = img.pixel_count() as f64;
         for codec in cbic_universal::codecs::all_codecs() {
-            let bytes = codec
-                .encode_vec(img.view(), &enc_opts)
-                .expect("Vec sink cannot fail");
-            let bpp = bytes.len() as f64 * 8.0 / pixels;
-            let enc_secs = time_per_iter(
-                || {
-                    std::hint::black_box(
-                        codec
-                            .encode_vec(img.view(), &enc_opts)
-                            .expect("Vec sink cannot fail"),
-                    );
-                },
-                min_secs,
-                max_iters,
-            );
-            let dec_secs = time_per_iter(
-                || {
-                    std::hint::black_box(
-                        codec
-                            .decode_vec(&bytes, &dec_opts)
-                            .expect("own container decodes"),
-                    );
-                },
-                min_secs,
-                max_iters,
-            );
-            out.push(ThroughputRecord {
-                codec: codec.name().to_string(),
-                class: class.name().to_string(),
-                encode_mps: pixels / enc_secs / 1e6,
-                decode_mps: pixels / dec_secs / 1e6,
-                bpp,
-            });
+            let settings: &[usize] = if codec.name() == "proposed" {
+                lane_settings
+            } else {
+                &[1]
+            };
+            for &lanes in settings {
+                let enc_opts = EncodeOptions::default().with_lanes(lanes);
+                let bytes = codec
+                    .encode_vec(img.view(), &enc_opts)
+                    .expect("Vec sink cannot fail");
+                let bpp = bytes.len() as f64 * 8.0 / pixels;
+                let enc_secs = time_per_iter(
+                    || {
+                        std::hint::black_box(
+                            codec
+                                .encode_vec(img.view(), &enc_opts)
+                                .expect("Vec sink cannot fail"),
+                        );
+                    },
+                    min_secs,
+                    max_iters,
+                );
+                let dec_secs = time_per_iter(
+                    || {
+                        std::hint::black_box(
+                            codec
+                                .decode_vec(&bytes, &dec_opts)
+                                .expect("own container decodes"),
+                        );
+                    },
+                    min_secs,
+                    max_iters,
+                );
+                out.push(ThroughputRecord {
+                    codec: codec.name().to_string(),
+                    class: class.name().to_string(),
+                    lanes,
+                    encode_mps: pixels / enc_secs / 1e6,
+                    decode_mps: pixels / dec_secs / 1e6,
+                    bpp,
+                });
+            }
         }
     }
     out
@@ -128,10 +151,11 @@ pub fn records_to_json(records: &[ThroughputRecord]) -> String {
         .iter()
         .map(|r| {
             format!(
-                "    {{\"codec\": \"{}\", \"class\": \"{}\", \"encode_mps\": {:.3}, \
-                 \"decode_mps\": {:.3}, \"bpp\": {:.4}}}",
+                "    {{\"codec\": \"{}\", \"class\": \"{}\", \"lanes\": {}, \
+                 \"encode_mps\": {:.3}, \"decode_mps\": {:.3}, \"bpp\": {:.4}}}",
                 json_escape(&r.codec),
                 json_escape(&r.class),
+                r.lanes,
                 r.encode_mps,
                 r.decode_mps,
                 r.bpp
@@ -193,16 +217,103 @@ pub fn extract_results(report: &str) -> Option<&str> {
     None
 }
 
+/// Parses the record objects out of a `results` array previously rendered
+/// by [`records_to_json`] (or a whole report — the first array wins).
+/// Objects missing a `lanes` key (pre-lane reports) default to one lane;
+/// objects missing any other key are skipped. The parser only understands
+/// the flat one-object-per-cell shape this module itself emits.
+pub fn parse_records(json: &str) -> Vec<ThroughputRecord> {
+    let array = extract_results(json).unwrap_or(json);
+    let field = |obj: &str, key: &str| -> Option<String> {
+        let pos = obj.find(&format!("\"{key}\":"))?;
+        let rest = obj[pos..].split_once(':')?.1.trim_start();
+        let value = if let Some(stripped) = rest.strip_prefix('"') {
+            stripped.split_once('"')?.0.to_string()
+        } else {
+            rest.split([',', '}']).next()?.trim().to_string()
+        };
+        Some(value)
+    };
+    let mut out = Vec::new();
+    for obj in array.split('{').skip(1) {
+        let Some(obj) = obj.split('}').next() else {
+            continue;
+        };
+        let parsed = (|| -> Option<ThroughputRecord> {
+            Some(ThroughputRecord {
+                codec: field(obj, "codec")?,
+                class: field(obj, "class")?,
+                lanes: field(obj, "lanes").map_or(Some(1), |v| v.parse().ok())?,
+                encode_mps: field(obj, "encode_mps")?.parse().ok()?,
+                decode_mps: field(obj, "decode_mps")?.parse().ok()?,
+                bpp: field(obj, "bpp")?.parse().ok()?,
+            })
+        })();
+        if let Some(r) = parsed {
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// Compares the `proposed`-codec rows of `current` against `baseline`,
+/// returning one message per cell whose encode or decode throughput fell
+/// below `1 - tolerance` of the baseline value (cells only present on one
+/// side are ignored — a lane sweep may widen between runs). An empty
+/// result means no regression beyond the tolerance.
+pub fn throughput_regressions(
+    current: &[ThroughputRecord],
+    baseline: &[ThroughputRecord],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for cur in current.iter().filter(|r| r.codec == "proposed") {
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.codec == cur.codec && b.class == cur.class && b.lanes == cur.lanes)
+        else {
+            continue;
+        };
+        let floor_enc = base.encode_mps * (1.0 - tolerance);
+        let floor_dec = base.decode_mps * (1.0 - tolerance);
+        if cur.encode_mps < floor_enc {
+            out.push(format!(
+                "{}/{} lanes={}: encode {:.3} MP/s < {:.3} ({:.1}% below baseline {:.3})",
+                cur.codec,
+                cur.class,
+                cur.lanes,
+                cur.encode_mps,
+                floor_enc,
+                (1.0 - cur.encode_mps / base.encode_mps) * 100.0,
+                base.encode_mps
+            ));
+        }
+        if cur.decode_mps < floor_dec {
+            out.push(format!(
+                "{}/{} lanes={}: decode {:.3} MP/s < {:.3} ({:.1}% below baseline {:.3})",
+                cur.codec,
+                cur.class,
+                cur.lanes,
+                cur.decode_mps,
+                floor_dec,
+                (1.0 - cur.decode_mps / base.decode_mps) * 100.0,
+                base.decode_mps
+            ));
+        }
+    }
+    out
+}
+
 /// Prints the human-readable table (the non-`--json` mode).
 pub fn print_report(records: &[ThroughputRecord]) {
     println!(
-        "{:<10} {:<10} {:>12} {:>12} {:>8}",
-        "codec", "class", "enc MP/s", "dec MP/s", "bpp"
+        "{:<10} {:<10} {:>5} {:>12} {:>12} {:>8}",
+        "codec", "class", "lanes", "enc MP/s", "dec MP/s", "bpp"
     );
     for r in records {
         println!(
-            "{:<10} {:<10} {:>12.3} {:>12.3} {:>8.4}",
-            r.codec, r.class, r.encode_mps, r.decode_mps, r.bpp
+            "{:<10} {:<10} {:>5} {:>12.3} {:>12.3} {:>8.4}",
+            r.codec, r.class, r.lanes, r.encode_mps, r.decode_mps, r.bpp
         );
     }
 }
@@ -215,6 +326,7 @@ mod tests {
         ThroughputRecord {
             codec: codec.into(),
             class: "lena".into(),
+            lanes: 1,
             encode_mps: mps,
             decode_mps: mps / 2.0,
             bpp: 4.5,
@@ -256,6 +368,68 @@ mod tests {
                 r.encode_mps > 0.0 && r.decode_mps > 0.0 && r.bpp > 0.0,
                 "{r:?}"
             );
+            assert_eq!(r.lanes, 1);
         }
+    }
+
+    #[test]
+    fn lane_sweep_multiplies_only_the_proposed_rows() {
+        let records = measure_throughput_lanes(16, 0.0, 1, &[1, 2]);
+        let proposed = records.iter().filter(|r| r.codec == "proposed").count();
+        let others = records.iter().filter(|r| r.codec != "proposed").count();
+        assert_eq!(proposed, CLASSES.len() * 2);
+        assert_eq!(
+            others,
+            CLASSES.len() * (cbic_universal::codecs::all_codecs().len() - 1)
+        );
+        assert!(records
+            .iter()
+            .any(|r| r.codec == "proposed" && r.lanes == 2));
+    }
+
+    #[test]
+    fn records_roundtrip_through_json() {
+        let records = vec![
+            ThroughputRecord {
+                lanes: 4,
+                ..record("proposed", 10.0)
+            },
+            record("slp", 20.0),
+        ];
+        let report = render_report(64, "x", &records, None);
+        let parsed = parse_records(&report);
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn parser_defaults_missing_lanes_to_one() {
+        let legacy = r#"[
+    {"codec": "proposed", "class": "lena", "encode_mps": 6.612, "decode_mps": 6.215, "bpp": 4.7}
+  ]"#;
+        let parsed = parse_records(legacy);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].lanes, 1);
+        assert_eq!(parsed[0].encode_mps, 6.612);
+    }
+
+    #[test]
+    fn regression_check_flags_only_real_regressions() {
+        let base = vec![record("proposed", 10.0), record("slp", 20.0)];
+        // Within tolerance: no findings.
+        let ok = vec![record("proposed", 8.0), record("slp", 1.0)];
+        assert!(throughput_regressions(&ok, &base, 0.25).is_empty());
+        // Beyond tolerance on encode: one finding naming the cell. A
+        // non-proposed collapse stays ignored (only the paper codec is
+        // gated).
+        let bad = vec![record("proposed", 7.0), record("slp", 1.0)];
+        let msgs = throughput_regressions(&bad, &base, 0.25);
+        assert_eq!(msgs.len(), 2, "encode and decode both fell: {msgs:?}");
+        assert!(msgs[0].contains("proposed/lena"));
+        // Cells only in the current run (wider sweep) are ignored.
+        let wider = vec![ThroughputRecord {
+            lanes: 8,
+            ..record("proposed", 0.1)
+        }];
+        assert!(throughput_regressions(&wider, &base, 0.25).is_empty());
     }
 }

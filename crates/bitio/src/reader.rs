@@ -13,6 +13,10 @@ use crate::BitSource;
 ///   — strict reads that return `None` past the end, for formats where
 ///   over-reading indicates corruption.
 ///
+/// Internally the reader refills a 64-bit cache eight input bytes at a time,
+/// so multi-bit reads (the arithmetic decoder's bulk renormalization, the
+/// Golomb remainder fetch) cost one shift-mask instead of a bit loop.
+///
 /// # Examples
 ///
 /// ```
@@ -25,12 +29,13 @@ use crate::BitSource;
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
     bytes: &'a [u8],
-    /// Index of the next byte to load.
+    /// Index of the next byte to load into the cache.
     pos: usize,
-    /// Bits remaining in `acc`.
+    /// Valid bits remaining in `acc`, in `0..=64`.
     nacc: u32,
-    /// Remaining bits of the current byte, left-aligned at bit `nacc - 1`.
-    acc: u8,
+    /// Bit cache: the next bit to serve is bit `nacc - 1`; bits at or above
+    /// `nacc` are stale (already served).
+    acc: u64,
     bits_read: u64,
     padding: u64,
 }
@@ -45,6 +50,26 @@ impl<'a> BitReader<'a> {
             acc: 0,
             bits_read: 0,
             padding: 0,
+        }
+    }
+
+    /// Reloads the cache from the input. Only called with `nacc == 0`;
+    /// leaves `nacc == 0` at end of input.
+    #[inline]
+    fn refill(&mut self) {
+        let rest = &self.bytes[self.pos..];
+        if let Some(chunk) = rest.first_chunk::<8>() {
+            self.acc = u64::from_be_bytes(*chunk);
+            self.nacc = 64;
+            self.pos += 8;
+        } else {
+            let mut acc = 0u64;
+            for &b in rest {
+                acc = (acc << 8) | u64::from(b);
+            }
+            self.acc = acc;
+            self.nacc = rest.len() as u32 * 8;
+            self.pos = self.bytes.len();
         }
     }
 
@@ -66,12 +91,10 @@ impl<'a> BitReader<'a> {
     #[inline]
     pub fn try_read_bit(&mut self) -> Option<bool> {
         if self.nacc == 0 {
-            if self.pos == self.bytes.len() {
+            self.refill();
+            if self.nacc == 0 {
                 return None;
             }
-            self.acc = self.bytes[self.pos];
-            self.pos += 1;
-            self.nacc = 8;
         }
         self.nacc -= 1;
         self.bits_read += 1;
@@ -83,14 +106,66 @@ impl<'a> BitReader<'a> {
     /// # Panics
     ///
     /// Panics if `count > 64`.
-    #[inline]
+    #[inline(always)]
     pub fn read_bits(&mut self, count: u32) -> u64 {
         assert!(count <= 64, "cannot read more than 64 bits at once");
-        let mut v = 0u64;
-        for _ in 0..count {
-            v = (v << 1) | u64::from(self.read_bit());
+        if count <= self.nacc {
+            // Fast path: the whole read is cached. Branch-free in `count`:
+            // the arithmetic decoder calls this with a patternless count
+            // (including 0 about half the time), so a `count == 0`
+            // early-out would be an unpredictable branch. The mask zeroes
+            // the result when count == 0 even though the shift amount
+            // wraps, and the `== 64` term widens it for full-width reads.
+            self.nacc -= count;
+            self.bits_read += u64::from(count);
+            let m = mask0(count) | 0u64.wrapping_sub(u64::from(count == 64));
+            return self.acc.wrapping_shr(self.nacc) & m;
         }
-        v
+        self.read_bits_spanning(count)
+    }
+
+    /// Cold tail of [`read_bits`](Self::read_bits): the read spans the
+    /// cached word. Kept out of line so the fast path stays small enough
+    /// to inline into the arithmetic decoder's per-decision loop (the
+    /// refill machinery below is an order of magnitude more code than the
+    /// fast path, and runs about once per 64 decoded bits).
+    #[cold]
+    fn read_bits_spanning(&mut self, count: u32) -> u64 {
+        // Drain the cache, refill, and take the remainder (padding with
+        // zeros if the input runs out).
+        let have = self.nacc;
+        let mut v = if have > 0 {
+            self.nacc = 0;
+            self.bits_read += u64::from(have);
+            self.acc & mask(have)
+        } else {
+            0
+        };
+        let mut rem = count - have;
+        self.refill();
+        if rem > self.nacc {
+            // Input exhausted mid-read: serve what is left, pad the rest.
+            let tail = self.nacc;
+            if tail > 0 {
+                v = (v << tail) | (self.acc & mask(tail));
+                self.nacc = 0;
+                self.bits_read += u64::from(tail);
+            }
+            let pad = rem - tail;
+            self.bits_read += u64::from(pad);
+            self.padding += u64::from(pad);
+            return if pad == 64 { 0 } else { v << pad };
+        }
+        self.nacc -= rem;
+        self.bits_read += u64::from(rem);
+        if rem == 64 {
+            // Only reachable when the cache was empty and fully refilled.
+            self.acc
+        } else {
+            v = (v << rem) | ((self.acc >> self.nacc) & mask(rem));
+            let _ = &mut rem;
+            v
+        }
     }
 
     /// Reads `count` bits MSB-first, or `None` if fewer than `count` remain.
@@ -103,11 +178,10 @@ impl<'a> BitReader<'a> {
     /// Panics if `count > 64`.
     pub fn try_read_bits(&mut self, count: u32) -> Option<u64> {
         assert!(count <= 64, "cannot read more than 64 bits at once");
-        let mut v = 0u64;
-        for _ in 0..count {
-            v = (v << 1) | u64::from(self.try_read_bit()?);
+        if u64::from(count) > self.bits_remaining() {
+            return None;
         }
-        Some(v)
+        Some(self.read_bits(count))
     }
 
     /// Reads bits until a `true` bit is consumed, returning the number of
@@ -117,16 +191,33 @@ impl<'a> BitReader<'a> {
     pub fn read_unary(&mut self) -> Option<u64> {
         let mut zeros = 0u64;
         loop {
-            match self.try_read_bit()? {
-                true => return Some(zeros),
-                false => zeros += 1,
+            if self.nacc == 0 {
+                self.refill();
+                if self.nacc == 0 {
+                    return None;
+                }
             }
+            // Left-align the unread bits so their leading zeros are the
+            // run's continuation.
+            let window = self.acc << (64 - self.nacc);
+            let lz = window.leading_zeros();
+            if lz >= self.nacc {
+                // The whole cache is zeros: absorb it and keep scanning.
+                zeros += u64::from(self.nacc);
+                self.bits_read += u64::from(self.nacc);
+                self.nacc = 0;
+                continue;
+            }
+            zeros += u64::from(lz);
+            self.nacc -= lz + 1;
+            self.bits_read += u64::from(lz + 1);
+            return Some(zeros);
         }
     }
 
     /// Skips forward to the next byte boundary (no-op when aligned).
     pub fn align_to_byte(&mut self) {
-        self.nacc = 0;
+        self.nacc -= self.nacc % 8;
     }
 
     /// Total bits consumed so far, including zero-padding reads.
@@ -152,6 +243,19 @@ impl<'a> BitReader<'a> {
     }
 }
 
+/// Low-bits mask for `count` in `1..=64`.
+#[inline]
+fn mask(count: u32) -> u64 {
+    u64::MAX >> (64 - count)
+}
+
+/// Low-bits mask for `count` in `0..=63`, without branching on zero
+/// (`count == 64` wraps to 0; callers handle it separately).
+#[inline]
+fn mask0(count: u32) -> u64 {
+    (1u64.wrapping_shl(count)).wrapping_sub(1)
+}
+
 impl BitSource for BitReader<'_> {
     #[inline]
     fn try_read_bit(&mut self) -> Option<bool> {
@@ -171,6 +275,21 @@ impl BitSource for BitReader<'_> {
     #[inline]
     fn padding_bits(&self) -> u64 {
         BitReader::padding_bits(self)
+    }
+
+    #[inline]
+    fn read_bits(&mut self, count: u32) -> u64 {
+        BitReader::read_bits(self, count)
+    }
+
+    #[inline]
+    fn try_read_bits(&mut self, count: u32) -> Option<u64> {
+        BitReader::try_read_bits(self, count)
+    }
+
+    #[inline]
+    fn read_unary(&mut self) -> Option<u64> {
+        BitReader::read_unary(self)
     }
 }
 
@@ -203,6 +322,49 @@ mod tests {
     }
 
     #[test]
+    fn read_bits_straddling_the_end_pads_low_zeros() {
+        // 12 real bits, a 16-bit read: the low 4 bits must be padding.
+        let mut r = BitReader::new(&[0xAB, 0xC0]);
+        r.read_bits(4);
+        assert_eq!(r.read_bits(16), 0xBC00);
+        assert_eq!(r.padding_bits(), 4);
+        assert_eq!(r.bits_read(), 20);
+    }
+
+    /// Every split of a long stream into chunked reads must agree with the
+    /// bit-at-a-time reference (the u64 cache has corners at multiples of
+    /// 64 and at the end of input).
+    #[test]
+    fn read_bits_differential_across_chunkings() {
+        let bytes: Vec<u8> = (0..97u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        let mut reference = Vec::new();
+        {
+            let mut r = BitReader::new(&bytes);
+            for _ in 0..bytes.len() * 8 + 70 {
+                reference.push(r.read_bit());
+            }
+        }
+        for seed in 0..5u64 {
+            let mut r = BitReader::new(&bytes);
+            let mut at = 0usize;
+            let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+            while at < reference.len() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let count = ((state >> 59) as u32 + 1).min((reference.len() - at) as u32);
+                let got = r.read_bits(count);
+                for k in 0..count {
+                    let bit = (got >> (count - 1 - k)) & 1 == 1;
+                    assert_eq!(bit, reference[at + k as usize], "seed {seed} bit {at}");
+                }
+                at += count as usize;
+            }
+            assert_eq!(r.bits_read(), reference.len() as u64);
+        }
+    }
+
+    #[test]
     fn strict_reads_stop_at_end() {
         let mut r = BitReader::new(&[0b1000_0000]);
         assert_eq!(r.try_read_bits(8), Some(0b1000_0000));
@@ -218,6 +380,16 @@ mod tests {
     }
 
     #[test]
+    fn unary_spanning_many_zero_bytes() {
+        let mut bytes = vec![0u8; 20];
+        bytes[19] = 0b0000_0100;
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_unary(), Some(19 * 8 + 5));
+        assert_eq!(r.read_bits(2), 0);
+        assert_eq!(r.padding_bits(), 0);
+    }
+
+    #[test]
     fn unary_none_when_no_terminator() {
         let mut r = BitReader::new(&[0x00]);
         assert_eq!(r.read_unary(), None);
@@ -229,6 +401,15 @@ mod tests {
         r.read_bits(3);
         r.align_to_byte();
         assert_eq!(r.read_bits(8), 0x01);
+    }
+
+    #[test]
+    fn align_with_deep_cache_only_drops_the_partial_byte() {
+        let bytes: Vec<u8> = (1..=10u8).collect();
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(5); // cache holds 59 bits now
+        r.align_to_byte();
+        assert_eq!(r.read_bits(8), 2, "must resume at byte 1");
     }
 
     #[test]

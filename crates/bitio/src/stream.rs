@@ -7,6 +7,10 @@
 //! matter how long the bit stream gets — the software shape of the paper's
 //! one-pixel-per-cycle hardware output bus.
 //!
+//! Like their buffered counterparts, both adapters stage bits in a 64-bit
+//! register so multi-bit transfers (the arithmetic coder's bulk
+//! renormalization) cost one shift-or instead of a bit loop.
+//!
 //! # Error handling
 //!
 //! Bit-level writes cannot return `io::Result` without poisoning every
@@ -24,6 +28,12 @@ use std::io::{self, Read, Write};
 /// them from the wrapped reader. One page: small enough to be "bounded",
 /// large enough to amortize `write`/`read` calls.
 const CHUNK: usize = 4096;
+
+/// Low-bits mask for `count` in `1..=64`.
+#[inline]
+fn mask(count: u32) -> u64 {
+    u64::MAX >> (64 - count)
+}
 
 /// An MSB-first bit sink that streams its bytes into an [`io::Write`].
 ///
@@ -45,10 +55,11 @@ const CHUNK: usize = 4096;
 pub struct StreamBitWriter<W: Write> {
     inner: W,
     buf: Vec<u8>,
-    /// Bits accumulated in `acc`, always in `0..8`.
+    /// Bits accumulated in `acc`, always in `0..64`.
     nacc: u32,
-    /// Pending bits, left-aligned within the low `nacc` bits.
-    acc: u8,
+    /// Pending bits, right-aligned in the low `nacc` bits (bits at or above
+    /// `nacc` are always zero).
+    acc: u64,
     bits_written: u64,
     error: Option<io::Error>,
     /// Set with `error` and never cleared: once any byte was dropped the
@@ -81,6 +92,37 @@ impl<W: Write> StreamBitWriter<W> {
         }
     }
 
+    /// Moves a full 64-bit accumulator into the byte buffer.
+    #[inline]
+    fn push_acc(&mut self, acc: u64) {
+        if self.poisoned {
+            return;
+        }
+        self.buf.extend_from_slice(&acc.to_be_bytes());
+        if self.buf.len() >= CHUNK {
+            self.flush_buf();
+        }
+    }
+
+    /// Cold tail of [`BitSink::write_bits`]: the append crosses a 64-bit
+    /// accumulator boundary, so top the accumulator off to exactly 64 bits,
+    /// flush it, and restart it with the spill (possibly zero bits). Kept
+    /// out of line so the fast path stays small enough to inline into the
+    /// arithmetic encoder's per-decision loop.
+    #[cold]
+    fn write_bits_spill(&mut self, value: u64, count: u32) {
+        let space = 64 - self.nacc;
+        let spill = count - space;
+        let filled = if space == 64 {
+            value
+        } else {
+            (self.acc << space) | (value >> spill)
+        };
+        self.nacc = spill;
+        self.acc = if spill == 0 { 0 } else { value & mask(spill) };
+        self.push_acc(filled);
+    }
+
     fn flush_buf(&mut self) {
         if !self.poisoned {
             if let Err(e) = self.inner.write_all(&self.buf) {
@@ -110,13 +152,17 @@ impl<W: Write> StreamBitWriter<W> {
     /// Does nothing when already aligned. The padding bits are *not*
     /// counted by [`BitSink::bits_written`].
     pub fn align_to_byte(&mut self) {
-        if self.nacc > 0 {
-            let pad = 8 - self.nacc;
-            let byte = self.acc << pad;
-            self.acc = 0;
-            self.nacc = 0;
+        let tail = self.nacc % 8;
+        if tail > 0 {
+            self.acc <<= 8 - tail;
+            self.nacc += 8 - tail;
+        }
+        while self.nacc > 0 {
+            self.nacc -= 8;
+            let byte = (self.acc >> self.nacc) as u8;
             self.push_byte(byte);
         }
+        self.acc = 0;
     }
 
     /// Flushes the partial byte (zero-padded), drains the internal buffer,
@@ -147,20 +193,51 @@ impl<W: Write> StreamBitWriter<W> {
 impl<W: Write> BitSink for StreamBitWriter<W> {
     #[inline]
     fn write_bit(&mut self, bit: bool) {
-        self.acc = (self.acc << 1) | u8::from(bit);
+        self.acc = (self.acc << 1) | u64::from(bit);
         self.nacc += 1;
         self.bits_written += 1;
-        if self.nacc == 8 {
-            let byte = self.acc;
+        if self.nacc == 64 {
+            let acc = self.acc;
             self.acc = 0;
             self.nacc = 0;
-            self.push_byte(byte);
+            self.push_acc(acc);
         }
     }
 
     #[inline]
     fn bits_written(&self) -> u64 {
         self.bits_written
+    }
+
+    #[inline(always)]
+    fn write_bits(&mut self, value: u64, count: u32) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        if count < 64 {
+            assert!(
+                value >> count == 0,
+                "value {value:#x} does not fit in {count} bits"
+            );
+        }
+        self.bits_written += u64::from(count);
+        if count < 64 - self.nacc {
+            self.acc = (self.acc << count) | value;
+            self.nacc += count;
+        } else {
+            self.write_bits_spill(value, count);
+        }
+    }
+
+    #[inline]
+    fn write_run(&mut self, bit: bool, count: u64) {
+        let pattern = if bit { u64::MAX } else { 0 };
+        let mut rem = count;
+        while rem >= 64 {
+            self.write_bits(pattern, 64);
+            rem -= 64;
+        }
+        if rem > 0 {
+            self.write_bits(pattern >> (64 - rem), rem as u32);
+        }
     }
 }
 
@@ -188,10 +265,11 @@ pub struct StreamBitReader<R: Read> {
     /// Valid prefix of `buf` is `pos..len`.
     pos: usize,
     len: usize,
-    /// Bits remaining in `acc`.
+    /// Valid bits remaining in `acc`, in `0..=64`.
     nacc: u32,
-    /// Remaining bits of the current byte, left-aligned at bit `nacc - 1`.
-    acc: u8,
+    /// Bit cache: the next bit to serve is bit `nacc - 1`; bits at or above
+    /// `nacc` are stale.
+    acc: u64,
     bits_read: u64,
     padding: u64,
     eof: bool,
@@ -222,7 +300,7 @@ impl<R: Read> StreamBitReader<R> {
     }
 
     /// Refills the byte buffer. Returns `false` at end of input.
-    fn refill(&mut self) -> bool {
+    fn refill_buf(&mut self) -> bool {
         if self.eof {
             return false;
         }
@@ -246,18 +324,87 @@ impl<R: Read> StreamBitReader<R> {
             }
         }
     }
+
+    /// Reloads the bit cache from the byte buffer, topping up to 64 bits
+    /// from bytes already buffered. A blocking `read` on the wrapped reader
+    /// is only issued while fewer than `need` bits are cached, so the
+    /// adapter never stalls on bits the decoder has not demanded (the
+    /// wrapped reader may be a pipe that stays open after the last byte).
+    ///
+    /// Returning with `nacc < need` therefore means true end of input.
+    #[inline]
+    fn refill_acc(&mut self, need: u32) {
+        debug_assert!((1..=64).contains(&need));
+        while self.nacc < 64 {
+            if self.pos == self.len && (self.nacc >= need || !self.refill_buf()) {
+                return;
+            }
+            let avail = &self.buf[self.pos..self.len];
+            if self.nacc == 0 {
+                if let Some(chunk) = avail.first_chunk::<8>() {
+                    self.acc = u64::from_be_bytes(*chunk);
+                    self.nacc = 64;
+                    self.pos += 8;
+                    return;
+                }
+            }
+            // Near a buffer boundary: take whole bytes while they fit.
+            let take = (((64 - self.nacc) / 8) as usize).min(avail.len());
+            for _ in 0..take {
+                self.acc = (self.acc << 8) | u64::from(self.buf[self.pos]);
+                self.pos += 1;
+                self.nacc += 8;
+            }
+        }
+    }
+
+    /// Cold tail of [`BitSource::read_bits`]: the read straddles the cached
+    /// accumulator, so drain it, refill from the underlying reader, and take
+    /// the remainder (padding with zeros if the input runs out). Kept out of
+    /// line so the fast path stays small enough to inline into the
+    /// arithmetic decoder's per-decision loop.
+    #[cold]
+    fn read_bits_spanning(&mut self, count: u32) -> u64 {
+        let have = self.nacc;
+        let mut v = if have > 0 {
+            self.nacc = 0;
+            self.bits_read += u64::from(have);
+            self.acc & mask(have)
+        } else {
+            0
+        };
+        let rem = count - have;
+        self.refill_acc(rem);
+        if rem > self.nacc {
+            let tail = self.nacc;
+            if tail > 0 {
+                v = (v << tail) | (self.acc & mask(tail));
+                self.nacc = 0;
+                self.bits_read += u64::from(tail);
+            }
+            let pad = rem - tail;
+            self.bits_read += u64::from(pad);
+            self.padding += u64::from(pad);
+            return if pad == 64 { 0 } else { v << pad };
+        }
+        self.nacc -= rem;
+        self.bits_read += u64::from(rem);
+        if rem == 64 {
+            self.acc
+        } else {
+            (v << rem) | ((self.acc >> self.nacc) & mask(rem))
+        }
+    }
 }
 
 impl<R: Read> BitSource for StreamBitReader<R> {
     #[inline]
     fn try_read_bit(&mut self) -> Option<bool> {
         if self.nacc == 0 {
-            if self.pos == self.len && !self.refill() {
+            self.refill_acc(1);
+            if self.nacc == 0 {
                 return None;
             }
-            self.acc = self.buf[self.pos];
-            self.pos += 1;
-            self.nacc = 8;
         }
         self.nacc -= 1;
         self.bits_read += 1;
@@ -285,6 +432,48 @@ impl<R: Read> BitSource for StreamBitReader<R> {
     fn padding_bits(&self) -> u64 {
         self.padding
     }
+
+    #[inline(always)]
+    fn read_bits(&mut self, count: u32) -> u64 {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        if count <= self.nacc {
+            // Fast path: the whole read is cached. Branch-free in `count`
+            // (the arithmetic decoder passes a patternless count, often 0,
+            // so an early-out here would mispredict constantly): the mask
+            // zeroes the result when count == 0 even though the shift
+            // amount wraps, and the `== 64` term widens full-width reads.
+            self.nacc -= count;
+            self.bits_read += u64::from(count);
+            let m = (1u64.wrapping_shl(count)).wrapping_sub(1)
+                | 0u64.wrapping_sub(u64::from(count == 64));
+            return self.acc.wrapping_shr(self.nacc) & m;
+        }
+        self.read_bits_spanning(count)
+    }
+
+    fn read_unary(&mut self) -> Option<u64> {
+        let mut zeros = 0u64;
+        loop {
+            if self.nacc == 0 {
+                self.refill_acc(1);
+                if self.nacc == 0 {
+                    return None;
+                }
+            }
+            let window = self.acc << (64 - self.nacc);
+            let lz = window.leading_zeros();
+            if lz >= self.nacc {
+                zeros += u64::from(self.nacc);
+                self.bits_read += u64::from(self.nacc);
+                self.nacc = 0;
+                continue;
+            }
+            zeros += u64::from(lz);
+            self.nacc -= lz + 1;
+            self.bits_read += u64::from(lz + 1);
+            return Some(zeros);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -301,6 +490,28 @@ mod tests {
             let value = i.wrapping_mul(0x9e37_79b9) & ((1 << count) - 1);
             BitWriter::write_bits(&mut buffered, value, count);
             streamed.write_bits(value, count);
+        }
+        assert_eq!(streamed.bits_written(), buffered.bits_written());
+        assert_eq!(streamed.finish().unwrap(), buffered.into_bytes());
+    }
+
+    #[test]
+    fn stream_writer_handles_full_width_appends() {
+        let mut buffered = BitWriter::new();
+        let mut streamed = StreamBitWriter::new(Vec::new());
+        for i in 0..300u64 {
+            let count = (i % 65) as u32;
+            let value = if count == 64 {
+                i.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            } else {
+                i.wrapping_mul(0x9e37_79b9_7f4a_7c15) & ((1u64 << count) - 1)
+            };
+            BitWriter::write_bits(&mut buffered, value, count);
+            streamed.write_bits(value, count);
+            if i % 17 == 0 {
+                BitWriter::write_run(&mut buffered, i % 2 == 0, i % 130);
+                streamed.write_run(i % 2 == 0, i % 130);
+            }
         }
         assert_eq!(streamed.bits_written(), buffered.bits_written());
         assert_eq!(streamed.finish().unwrap(), buffered.into_bytes());
@@ -374,12 +585,42 @@ mod tests {
     }
 
     #[test]
+    fn stream_reader_chunked_reads_match_buffered() {
+        let bytes: Vec<u8> = (0..(2 * CHUNK + 11) as u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 11) as u8)
+            .collect();
+        let mut buffered = BitReader::new(&bytes);
+        let mut streamed = StreamBitReader::new(&bytes[..]);
+        let mut state = 1u64;
+        let mut left = bytes.len() as u64 * 8 + 100;
+        while left > 0 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let count = ((state >> 59) as u32 + 1).min(left as u32);
+            assert_eq!(
+                streamed.read_bits(count),
+                BitReader::read_bits(&mut buffered, count)
+            );
+            left -= u64::from(count);
+        }
+        assert_eq!(streamed.bits_read(), buffered.bits_read());
+        assert_eq!(streamed.padding_bits(), buffered.padding_bits());
+    }
+
+    #[test]
     fn stream_reader_strict_and_unary() {
         let mut r = StreamBitReader::new(&[0b0001_0000u8][..]);
         assert_eq!(r.read_unary(), Some(3));
         assert_eq!(r.try_read_bits(4), Some(0));
         assert_eq!(r.try_read_bit(), None);
         assert_eq!(r.read_unary(), None);
+    }
+
+    #[test]
+    fn stream_reader_unary_across_chunks() {
+        let mut bytes = vec![0u8; CHUNK + 3];
+        bytes[CHUNK + 2] = 0b0100_0000;
+        let mut r = StreamBitReader::new(&bytes[..]);
+        assert_eq!(r.read_unary(), Some((CHUNK as u64 + 2) * 8 + 1));
     }
 
     #[test]

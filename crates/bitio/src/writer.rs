@@ -6,6 +6,13 @@ use crate::BitSink;
 /// matches the serialization order of the hardware shift registers the paper
 /// targets: the first bit written becomes bit 7 of the first byte.
 ///
+/// Internally the writer accumulates up to 64 bits in one register and
+/// flushes eight output bytes at a time, so multi-bit appends
+/// ([`Self::write_bits`], the arithmetic coder's bulk renormalization) cost
+/// one shift-or instead of a bit loop. The emitted bytes are identical to a
+/// bit-at-a-time writer; only the flush granularity differs (observable via
+/// [`Self::flushed_bytes`] alone).
+///
 /// The writer counts every bit pushed into it, so codecs can report exact
 /// code lengths (in bits) even before the final partial byte is flushed.
 ///
@@ -23,10 +30,11 @@ use crate::BitSink;
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BitWriter {
     bytes: Vec<u8>,
-    /// Bits accumulated in `acc`, always in `0..8`.
+    /// Bits accumulated in `acc`, always in `0..64`.
     nacc: u32,
-    /// Pending bits, left-aligned within the low `nacc` bits.
-    acc: u8,
+    /// Pending bits, right-aligned in the low `nacc` bits (bits at or above
+    /// `nacc` are always zero).
+    acc: u64,
     bits_written: u64,
 }
 
@@ -49,11 +57,11 @@ impl BitWriter {
     /// Appends a single bit (`true` = 1).
     #[inline]
     pub fn write_bit(&mut self, bit: bool) {
-        self.acc = (self.acc << 1) | u8::from(bit);
+        self.acc = (self.acc << 1) | u64::from(bit);
         self.nacc += 1;
         self.bits_written += 1;
-        if self.nacc == 8 {
-            self.bytes.push(self.acc);
+        if self.nacc == 64 {
+            self.bytes.extend_from_slice(&self.acc.to_be_bytes());
             self.acc = 0;
             self.nacc = 0;
         }
@@ -65,7 +73,7 @@ impl BitWriter {
     ///
     /// Panics if `count > 64`, or if `value` has bits set above `count`
     /// (that would silently lose data).
-    #[inline]
+    #[inline(always)]
     pub fn write_bits(&mut self, value: u64, count: u32) {
         assert!(count <= 64, "cannot write more than 64 bits at once");
         if count < 64 {
@@ -74,16 +82,50 @@ impl BitWriter {
                 "value {value:#x} does not fit in {count} bits"
             );
         }
-        for i in (0..count).rev() {
-            self.write_bit((value >> i) & 1 == 1);
+        self.bits_written += u64::from(count);
+        if count < 64 - self.nacc {
+            self.acc = (self.acc << count) | value;
+            self.nacc += count;
+        } else {
+            self.write_bits_spill(value, count);
         }
+    }
+
+    /// Cold tail of [`Self::write_bits`]: the append crosses a 64-bit
+    /// accumulator boundary, so top the accumulator off to exactly 64 bits,
+    /// flush it, and restart it with the spill (possibly zero bits). Kept
+    /// out of line so the fast path stays small enough to inline into the
+    /// arithmetic encoder's per-decision loop (this runs about once per 64
+    /// emitted bits).
+    #[cold]
+    fn write_bits_spill(&mut self, value: u64, count: u32) {
+        let space = 64 - self.nacc;
+        let spill = count - space;
+        let filled = if space == 64 {
+            value
+        } else {
+            (self.acc << space) | (value >> spill)
+        };
+        self.bytes.extend_from_slice(&filled.to_be_bytes());
+        self.nacc = spill;
+        self.acc = if spill == 0 {
+            0
+        } else {
+            value & ((1u64 << spill) - 1)
+        };
     }
 
     /// Appends `count` copies of `bit`. Used by unary (Golomb) coders.
     #[inline]
     pub fn write_run(&mut self, bit: bool, count: u64) {
-        for _ in 0..count {
-            self.write_bit(bit);
+        let pattern = if bit { u64::MAX } else { 0 };
+        let mut rem = count;
+        while rem >= 64 {
+            self.write_bits(pattern, 64);
+            rem -= 64;
+        }
+        if rem > 0 {
+            self.write_bits(pattern >> (64 - rem), rem as u32);
         }
     }
 
@@ -95,7 +137,7 @@ impl BitWriter {
 
     /// Number of whole bytes the output will occupy once flushed.
     pub fn byte_len(&self) -> usize {
-        self.bytes.len() + usize::from(self.nacc > 0)
+        self.bytes.len() + (self.nacc as usize).div_ceil(8)
     }
 
     /// Returns `true` if no bits have been written.
@@ -108,13 +150,16 @@ impl BitWriter {
     /// Does nothing when already aligned. The padding bits are *not* counted
     /// by [`Self::bits_written`].
     pub fn align_to_byte(&mut self) {
-        if self.nacc > 0 {
-            let pad = 8 - self.nacc;
-            self.acc <<= pad;
-            self.bytes.push(self.acc);
-            self.acc = 0;
-            self.nacc = 0;
+        let tail = self.nacc % 8;
+        if tail > 0 {
+            self.acc <<= 8 - tail;
+            self.nacc += 8 - tail;
         }
+        while self.nacc > 0 {
+            self.nacc -= 8;
+            self.bytes.push((self.acc >> self.nacc) as u8);
+        }
+        self.acc = 0;
     }
 
     /// Flushes the partial byte (zero-padded) and returns the output buffer.
@@ -123,10 +168,11 @@ impl BitWriter {
         self.bytes
     }
 
-    /// Borrows the fully flushed bytes written so far.
+    /// Borrows the bytes already flushed out of the accumulator.
     ///
-    /// Unlike [`Self::into_bytes`], the trailing partial byte (if any) is not
-    /// included since it has not been padded yet.
+    /// Unlike [`Self::into_bytes`], bits still in the accumulator (up to 63
+    /// of them, i.e. up to 7 whole bytes plus a partial one) are not
+    /// included since they have not been flushed yet.
     pub fn flushed_bytes(&self) -> &[u8] {
         &self.bytes
     }
@@ -141,6 +187,16 @@ impl BitSink for BitWriter {
     #[inline]
     fn bits_written(&self) -> u64 {
         BitWriter::bits_written(self)
+    }
+
+    #[inline(always)]
+    fn write_bits(&mut self, value: u64, count: u32) {
+        BitWriter::write_bits(self, value, count);
+    }
+
+    #[inline]
+    fn write_run(&mut self, bit: bool, count: u64) {
+        BitWriter::write_run(self, bit, count);
     }
 }
 
@@ -187,6 +243,29 @@ mod tests {
         assert_eq!(a.into_bytes(), b.into_bytes());
     }
 
+    /// Mixed-width appends must agree with the reference bit-at-a-time
+    /// sequence across every accumulator offset (the u64 accumulator has
+    /// fill/spill corners at multiples of 64).
+    #[test]
+    fn write_bits_differential_across_offsets() {
+        let mut fast = BitWriter::new();
+        let mut slow = BitWriter::new();
+        for i in 0..2000u64 {
+            let count = (i % 65) as u32;
+            let value = if count == 64 {
+                i.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            } else {
+                i.wrapping_mul(0x9e37_79b9_7f4a_7c15) & ((1u64 << count) - 1)
+            };
+            fast.write_bits(value, count);
+            for k in (0..count).rev() {
+                slow.write_bit((value >> k) & 1 == 1);
+            }
+        }
+        assert_eq!(fast.bits_written(), slow.bits_written());
+        assert_eq!(fast.into_bytes(), slow.into_bytes());
+    }
+
     #[test]
     fn write_bits_zero_count_is_noop() {
         let mut w = BitWriter::new();
@@ -218,6 +297,21 @@ mod tests {
     }
 
     #[test]
+    fn long_runs_cross_accumulator_flushes() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        w.write_run(false, 130);
+        w.write_bit(true);
+        assert_eq!(w.bits_written(), 132);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 17);
+        assert_eq!(bytes[0], 0b1000_0000);
+        assert!(bytes[1..16].iter().all(|&b| b == 0));
+        // Bit 131 (0-based) is the final 1: byte 16, bit position 3.
+        assert_eq!(bytes[16], 0b0001_0000);
+    }
+
+    #[test]
     fn align_pads_with_zeros_and_keeps_count() {
         let mut w = BitWriter::new();
         w.write_bits(0b11, 2);
@@ -237,11 +331,28 @@ mod tests {
     }
 
     #[test]
-    fn flushed_bytes_excludes_partial_byte() {
+    fn align_flushes_whole_buffered_bytes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xDEAD, 16);
+        w.write_bits(0b101, 3);
+        w.align_to_byte();
+        assert_eq!(w.flushed_bytes(), &[0xDE, 0xAD, 0b1010_0000]);
+        assert_eq!(w.bits_written(), 19);
+    }
+
+    #[test]
+    fn flushed_bytes_excludes_accumulator() {
         let mut w = BitWriter::new();
         w.write_bits(0xAB, 8);
         w.write_bits(0b1, 1);
-        assert_eq!(w.flushed_bytes(), &[0xAB]);
+        // Nine bits all still fit the 64-bit accumulator.
+        assert_eq!(w.flushed_bytes(), &[] as &[u8]);
         assert_eq!(w.byte_len(), 2);
+        // Crossing 64 accumulated bits flushes the first eight bytes.
+        w.write_bits(u64::MAX >> 9, 55);
+        w.write_bit(false);
+        assert_eq!(w.flushed_bytes().len(), 8);
+        assert_eq!(w.flushed_bytes()[0], 0xAB);
+        assert_eq!(w.byte_len(), 9);
     }
 }

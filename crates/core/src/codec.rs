@@ -10,7 +10,10 @@
 //! [`SampleCoder`].
 
 use crate::engine::{DecoderState, EncoderState};
-use cbic_arith::{BinaryDecoder, BinaryEncoder, CoderStats, EstimatorConfig, SymbolCoder};
+use cbic_arith::{
+    BinaryDecoder, BinaryEncoder, CoderStats, DecisionDecoder, DecisionEncoder, EstimatorConfig,
+    LaneDecoder, LaneEncoder, SymbolCoder,
+};
 use cbic_bitio::{BitReader, BitWriter};
 use cbic_image::{Image, ImageView, ImageViewMut};
 
@@ -210,12 +213,7 @@ impl SampleCoder {
     /// Panics if `ctx` is out of range or `folded` has bits above the
     /// coder's depth.
     #[inline]
-    pub fn encode<S: cbic_bitio::BitSink>(
-        &mut self,
-        enc: &mut BinaryEncoder<S>,
-        ctx: usize,
-        folded: u16,
-    ) {
+    pub fn encode<E: DecisionEncoder>(&mut self, enc: &mut E, ctx: usize, folded: u16) {
         if let Some(hi) = &mut self.hi {
             hi.encode(enc, ctx, (folded >> 8) as u8);
             self.lo.encode(enc, ctx, (folded & 0xFF) as u8);
@@ -227,11 +225,7 @@ impl SampleCoder {
 
     /// Decodes one folded error from coding context `ctx`.
     #[inline]
-    pub fn decode<S: cbic_bitio::BitSource>(
-        &mut self,
-        dec: &mut BinaryDecoder<S>,
-        ctx: usize,
-    ) -> u16 {
+    pub fn decode<D: DecisionDecoder>(&mut self, dec: &mut D, ctx: usize) -> u16 {
         if let Some(hi) = &mut self.hi {
             let high = u16::from(hi.decode(dec, ctx));
             let low = u16::from(self.lo.decode(dec, ctx));
@@ -274,6 +268,68 @@ pub fn encode_raw(img: ImageView<'_>, cfg: &CodecConfig) -> (Vec<u8>, EncodeStat
         decisions,
     };
     (writer.into_bytes(), stats)
+}
+
+/// [`encode_raw`] over `lanes` interleaved coder lanes, returning one raw
+/// substream per lane (no container header, no length table).
+///
+/// The engine's decision stream is dealt round-robin across `lanes`
+/// independent arithmetic-coder interval states (see
+/// [`LaneEncoder`]); the adaptive model is shared and updated in strict
+/// program order, so the *decisions* are identical for every lane count —
+/// only their packing into substreams changes. `lanes == 1` produces the
+/// exact [`encode_raw`] payload.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or `lanes` is zero or above
+/// [`cbic_arith::MAX_LANES`].
+pub fn encode_raw_lanes(
+    img: ImageView<'_>,
+    cfg: &CodecConfig,
+    lanes: usize,
+) -> (Vec<Vec<u8>>, EncodeStats) {
+    let mut state = EncoderState::new(img.width(), img.bit_depth(), cfg);
+    let mut enc = LaneEncoder::new(lanes);
+    state.encode_view(img, &mut enc);
+
+    let (width, height) = img.dimensions();
+    let decisions = enc.decisions();
+    let payload_bits = enc.bits_written();
+    let coder_stats = state.coder_stats();
+    let stats = EncodeStats {
+        pixels: (width * height) as u64,
+        payload_bits,
+        escapes: coder_stats.escapes,
+        estimator_rescales: coder_stats.rescales,
+        context_halvings: state.halvings(),
+        decisions,
+    };
+    (enc.finish_to_bytes(), stats)
+}
+
+/// [`decode_raw_into`] over the per-lane substreams produced by
+/// [`encode_raw_lanes`], returning the worst per-lane padding overrun (the
+/// maximum number of zero bits any lane's decoder consumed past the end of
+/// its substream — same truncation signal as the single-lane path).
+///
+/// # Panics
+///
+/// Panics if the configuration or depth is invalid, or `substreams` is
+/// empty or longer than [`cbic_arith::MAX_LANES`].
+pub(crate) fn decode_raw_lanes_into<B: AsRef<[u8]>>(
+    substreams: &[B],
+    out: &mut ImageViewMut<'_>,
+    cfg: &CodecConfig,
+) -> u64 {
+    let mut state = DecoderState::new(out.width(), out.bit_depth(), cfg);
+    let sources = substreams
+        .iter()
+        .map(|s| BitReader::new(s.as_ref()))
+        .collect();
+    let mut dec = LaneDecoder::new(sources);
+    state.decode_into(&mut dec, out);
+    dec.max_padding_bits()
 }
 
 /// Decodes a raw payload produced by [`encode_raw`] with the same

@@ -9,7 +9,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "CBIC"
-//! 4       1     version (1 = 8-bit samples, 2 = explicit bit depth)
+//! 4       1     version (1 = 8-bit, 2 = explicit depth, 3 = coder lanes)
 //! 5       1     codec id (1 = SOCC-2007 image codec)
 //! 6       4     width  (LE)
 //! 10      4     height (LE)
@@ -19,18 +19,37 @@
 //! 19      2     escape init: escape count (LE)
 //! 21      1     flags (bit0 feedback, bit1 aging, bit2 exact division)
 //! 22      1     texture bits
-//! [23     1     sample bit depth (version 2 only; version 1 means 8)]
-//! 23/24   ...   arithmetic-coded payload
+//! [23     1     sample bit depth (versions 2 and 3; version 1 means 8)]
+//! [24     1     lane count N, 2..=32 (version 3 only; earlier means 1)]
+//! [25     4×N   per-lane substream lengths in bytes (LE, version 3 only)]
+//! ...     ...   arithmetic-coded payload
 //! ```
 //!
 //! 8-bit images are written as version 1 — byte-identical to every
 //! container this codec has ever produced — and deeper samples get the
 //! version-2 header with its bit-depth field. Decoders accept both.
+//!
+//! # Version 3: lane-interleaved payloads
+//!
+//! Version 3 carries the same model parameters (its bit-depth byte is
+//! always present) plus a **lane count** `N` and a length table, and its
+//! payload is `N` independent arithmetic-coded substreams, concatenated in
+//! lane order with no padding between them. The encoder deals the coded
+//! binary decisions round-robin across `N` coder interval states while the
+//! adaptive model stays shared and sequential, so the *decisions* are
+//! identical for every lane count — only their packing changes (see
+//! [`cbic_arith::LaneEncoder`] for the striping rule). Version 3 is only
+//! emitted when `lanes ≥ 2`: single-lane encodes keep producing version
+//! 1/2 containers, so the format upgrade cannot perturb existing streams,
+//! and version-1/2 decoding is untouched.
 
-use crate::codec::{decode_raw_into, encode_raw, CodecConfig, MAX_CODE_PADDING_BITS};
+use crate::codec::{
+    decode_raw_into, decode_raw_lanes_into, encode_raw, encode_raw_lanes, CodecConfig,
+    MAX_CODE_PADDING_BITS,
+};
 use crate::context::DivisionKind;
 use crate::session::EncoderSession;
-use cbic_arith::EstimatorConfig;
+use cbic_arith::{EstimatorConfig, MAX_LANES};
 use cbic_image::{CbicError, Codec, CountingSink, DecodeOptions, EncodeOptions, Image, ImageView};
 use std::fmt;
 use std::io::{Read, Write};
@@ -38,14 +57,17 @@ use std::io::{Read, Write};
 pub(crate) const MAGIC: &[u8; 4] = b"CBIC";
 const VERSION_V1: u8 = 1;
 const VERSION_V2: u8 = 2;
+const VERSION_V3: u8 = 3;
 const CODEC_ID: u8 = 1;
 
 /// Size in bytes of the version-1 container header preceding the coded
-/// payload (the version-2 header adds one bit-depth byte).
+/// payload (the version-2 header adds one bit-depth byte, version 3 a
+/// bit-depth and a lane-count byte, followed by its per-lane length table).
 pub const HEADER_LEN: usize = 23;
 
-/// Size in bytes of the longest header any version uses.
-pub const MAX_HEADER_LEN: usize = HEADER_LEN + 1;
+/// Size in bytes of the longest fixed header any version uses (the
+/// version-3 lane length table that follows is sized by the lane count).
+pub const MAX_HEADER_LEN: usize = HEADER_LEN + 2;
 
 /// Errors returned when parsing a container.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,6 +141,9 @@ pub struct ContainerHeader {
     pub height: usize,
     /// Sample bit depth (`1..=16`; version-1 containers are always 8).
     pub bit_depth: u8,
+    /// Interleaved coder lanes (`1` for version-1/2 containers, `2..=32`
+    /// for version 3; see [`compress_with_lanes`]).
+    pub lanes: u8,
 }
 
 /// Compresses the pixels of a view into a self-describing container.
@@ -140,28 +165,83 @@ pub struct ContainerHeader {
 /// ```
 pub fn compress(img: ImageView<'_>, cfg: &CodecConfig) -> Vec<u8> {
     let (payload, _) = encode_raw(img, cfg);
-    let (hdr, len) = header_bytes(cfg, img.width(), img.height(), img.bit_depth());
+    let (hdr, len) = header_bytes(cfg, img.width(), img.height(), img.bit_depth(), 1);
     let mut out = Vec::with_capacity(len + payload.len());
     out.extend_from_slice(&hdr[..len]);
     out.extend_from_slice(&payload);
     out
 }
 
+/// [`compress`] over `lanes` interleaved coder lanes.
+///
+/// With one lane this is exactly [`compress`] (same version-1/2 container,
+/// byte for byte). With `lanes ≥ 2` the decisions are dealt round-robin
+/// across independent coder interval states (see
+/// [`encode_raw_lanes`](crate::codec::encode_raw_lanes)) and the result is
+/// a version-3 container: lane-count byte, per-lane length table, then the
+/// concatenated substreams. The decoded pixels are identical for every
+/// lane count.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_core::{compress_with_lanes, decompress, CodecConfig};
+/// use cbic_image::Image;
+///
+/// let img = Image::from_fn(32, 32, |x, y| (x * 3 + y) as u8);
+/// let bytes = compress_with_lanes(img.view(), &CodecConfig::default(), 4);
+/// assert_eq!(decompress(&bytes)?, img);
+/// # Ok::<(), cbic_core::CodecError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or `lanes` is zero or above
+/// [`cbic_arith::MAX_LANES`].
+pub fn compress_with_lanes(img: ImageView<'_>, cfg: &CodecConfig, lanes: usize) -> Vec<u8> {
+    assert!(
+        (1..=MAX_LANES).contains(&lanes),
+        "lane count {lanes} outside 1..={MAX_LANES}"
+    );
+    if lanes < 2 {
+        return compress(img, cfg);
+    }
+    let (subs, _) = encode_raw_lanes(img, cfg, lanes);
+    let (hdr, len) = header_bytes(cfg, img.width(), img.height(), img.bit_depth(), lanes as u8);
+    let body: usize = subs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(len + 4 * lanes + body);
+    out.extend_from_slice(&hdr[..len]);
+    for sub in &subs {
+        out.extend_from_slice(&(sub.len() as u32).to_le_bytes());
+    }
+    for sub in &subs {
+        out.extend_from_slice(sub);
+    }
+    out
+}
+
 /// Serializes the container header for a `width`×`height` image of the
-/// given depth coded with `cfg`, returning the buffer and the header
-/// length (23 bytes of version 1 for 8-bit samples — byte-identical to the
-/// historical format — and 24 bytes of version 2 otherwise). [`compress`]
-/// and the streaming [`StreamEncoder`](crate::stream::StreamEncoder) share
-/// this, which is what keeps their outputs byte-identical.
+/// given depth coded with `cfg` over `lanes` coder lanes, returning the
+/// buffer and the header length (23 bytes of version 1 for single-lane
+/// 8-bit samples — byte-identical to the historical format — 24 bytes of
+/// version 2 for deeper single-lane images, and 25 bytes of version 3 when
+/// `lanes ≥ 2`; the v3 per-lane length table is written separately, once
+/// the substream lengths are known). [`compress`], the sessions, and the
+/// streaming [`StreamEncoder`](crate::stream::StreamEncoder) share this,
+/// which is what keeps their outputs byte-identical.
 pub(crate) fn header_bytes(
     cfg: &CodecConfig,
     width: usize,
     height: usize,
     bit_depth: u8,
+    lanes: u8,
 ) -> ([u8; MAX_HEADER_LEN], usize) {
+    debug_assert!((1..=MAX_LANES as u8).contains(&lanes));
     let mut out = [0u8; MAX_HEADER_LEN];
     out[..4].copy_from_slice(MAGIC);
-    out[4] = if bit_depth == 8 {
+    out[4] = if lanes >= 2 {
+        VERSION_V3
+    } else if bit_depth == 8 {
         VERSION_V1
     } else {
         VERSION_V2
@@ -179,11 +259,16 @@ pub(crate) fn header_bytes(
     flags |= u8::from(cfg.division == DivisionKind::Exact) << 2;
     out[21] = flags;
     out[22] = cfg.texture_bits;
-    if bit_depth == 8 {
+    if lanes >= 2 {
+        // Version 3 always spells out the depth, then the lane count.
+        out[23] = bit_depth;
+        out[24] = lanes;
+        (out, HEADER_LEN + 2)
+    } else if bit_depth == 8 {
         (out, HEADER_LEN)
     } else {
         out[23] = bit_depth;
-        (out, MAX_HEADER_LEN)
+        (out, HEADER_LEN + 1)
     }
 }
 
@@ -220,10 +305,7 @@ pub(crate) fn check_container_dimensions(width: usize, height: usize) -> Result<
 pub fn decompress(bytes: &[u8]) -> Result<Image, CodecError> {
     let (hdr, payload) = parse_header(bytes)?;
     let mut img = Image::with_depth(hdr.width, hdr.height, hdr.bit_depth);
-    let padding = decode_raw_into(payload, &mut img.view_mut(), &hdr.cfg);
-    if padding > MAX_CODE_PADDING_BITS {
-        return Err(CodecError::Truncated);
-    }
+    decode_payload_into(&hdr, payload, &mut img.view_mut())?;
     Ok(img)
 }
 
@@ -243,13 +325,6 @@ pub fn parse_header(bytes: &[u8]) -> Result<(ContainerHeader, &[u8]), CodecError
 /// reader positioned at the first payload byte — shared by the slice path
 /// ([`parse_header`]) and the streaming decoders.
 pub(crate) fn read_header<R: Read + ?Sized>(input: &mut R) -> Result<ContainerHeader, CodecError> {
-    let eof_is_truncated = |e: std::io::Error| {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            CodecError::Truncated
-        } else {
-            CodecError::io(&e)
-        }
-    };
     // Magic first, before demanding a full header: a short foreign-format
     // input must report BadMagic (so format sniffers can move on), not
     // pose as a truncated CBIC stream.
@@ -264,7 +339,7 @@ pub(crate) fn read_header<R: Read + ?Sized>(input: &mut R) -> Result<ContainerHe
         .read_exact(&mut bytes[4..])
         .map_err(eof_is_truncated)?;
     let version = bytes[4];
-    if version != VERSION_V1 && version != VERSION_V2 {
+    if !(VERSION_V1..=VERSION_V3).contains(&version) {
         return Err(CodecError::UnsupportedVersion(version));
     }
     if bytes[5] != CODEC_ID {
@@ -305,7 +380,7 @@ pub(crate) fn read_header<R: Read + ?Sized>(input: &mut R) -> Result<ContainerHe
             "texture_bits {texture_bits} outside 0..=6"
         )));
     }
-    let bit_depth = if version == VERSION_V2 {
+    let bit_depth = if version >= VERSION_V2 {
         let mut depth = [0u8; 1];
         input.read_exact(&mut depth).map_err(eof_is_truncated)?;
         if !(1..=16).contains(&depth[0]) {
@@ -317,6 +392,21 @@ pub(crate) fn read_header<R: Read + ?Sized>(input: &mut R) -> Result<ContainerHe
         depth[0]
     } else {
         8
+    };
+    let lanes = if version == VERSION_V3 {
+        let mut lanes = [0u8; 1];
+        input.read_exact(&mut lanes).map_err(eof_is_truncated)?;
+        // Single-lane streams are written as version 1/2, so a version-3
+        // lane byte below 2 can only come from corruption.
+        if !(2..=MAX_LANES as u8).contains(&lanes[0]) {
+            return Err(CodecError::InvalidHeader(format!(
+                "lane count {} outside 2..={MAX_LANES}",
+                lanes[0]
+            )));
+        }
+        lanes[0]
+    } else {
+        1
     };
     let cfg = CodecConfig {
         estimator: EstimatorConfig {
@@ -338,7 +428,84 @@ pub(crate) fn read_header<R: Read + ?Sized>(input: &mut R) -> Result<ContainerHe
         width,
         height,
         bit_depth,
+        lanes,
     })
+}
+
+/// Maps mid-header/table EOF to [`CodecError::Truncated`], any other I/O
+/// failure to [`CodecError::Io`].
+fn eof_is_truncated(e: std::io::Error) -> CodecError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        CodecError::Truncated
+    } else {
+        CodecError::io(&e)
+    }
+}
+
+/// Reads the version-3 per-lane length table (`lanes` little-endian `u32`
+/// byte counts) following the fixed header — shared by every v3 decode
+/// path so the framing is parsed exactly one way.
+pub(crate) fn read_lane_table<R: Read + ?Sized>(
+    input: &mut R,
+    lanes: usize,
+) -> Result<Vec<u32>, CodecError> {
+    let mut table = vec![0u8; lanes * 4];
+    input.read_exact(&mut table).map_err(eof_is_truncated)?;
+    Ok(table
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("sized")))
+        .collect())
+}
+
+/// Parses the per-lane length table and substream slices out of a
+/// version-3 payload (the bytes following the fixed header, as returned by
+/// [`parse_header`]).
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] when the payload ends inside the table or a
+/// substream, and [`CodecError::InvalidHeader`] for non-v3 headers.
+pub fn split_lane_payload<'a>(
+    hdr: &ContainerHeader,
+    payload: &'a [u8],
+) -> Result<Vec<&'a [u8]>, CodecError> {
+    if hdr.lanes < 2 {
+        return Err(CodecError::InvalidHeader(
+            "single-lane containers carry no lane table".into(),
+        ));
+    }
+    let lanes = hdr.lanes as usize;
+    let mut source = payload;
+    let table = read_lane_table(&mut source, lanes)?;
+    let mut subs = Vec::with_capacity(lanes);
+    let mut pos = 0usize;
+    for len in table {
+        let len = len as usize;
+        subs.push(source.get(pos..pos + len).ok_or(CodecError::Truncated)?);
+        pos += len;
+    }
+    Ok(subs)
+}
+
+/// Arithmetic-decodes one container's payload (everything after the fixed
+/// header) into `out`, dispatching on the header's lane count — the one
+/// decode step the slice path ([`decompress`]) and the tiled band decoders
+/// share.
+pub(crate) fn decode_payload_into(
+    hdr: &ContainerHeader,
+    payload: &[u8],
+    out: &mut cbic_image::ImageViewMut<'_>,
+) -> Result<(), CodecError> {
+    let padding = if hdr.lanes >= 2 {
+        let subs = split_lane_payload(hdr, payload)?;
+        decode_raw_lanes_into(&subs, out, &hdr.cfg)
+    } else {
+        decode_raw_into(payload, out, &hdr.cfg)
+    };
+    if padding > MAX_CODE_PADDING_BITS {
+        return Err(CodecError::Truncated);
+    }
+    Ok(())
 }
 
 /// The paper's codec on the unified [`Codec`] surface.
@@ -370,16 +537,23 @@ impl Codec for Proposed {
 
     /// Streams the container into `sink` through a one-shot
     /// [`EncoderSession`] — no output buffer, byte-identical to
-    /// [`compress`]. The returned stats carry the exact payload bits, so
+    /// [`compress`] (or, for `opts.lanes ≥ 2`, to [`compress_with_lanes`]).
+    /// The returned stats carry the exact payload bits, so
     /// [`Codec::payload_bits_per_pixel`] costs a single counting pass.
     fn encode(
         &self,
         img: ImageView<'_>,
-        _opts: &EncodeOptions,
+        opts: &EncodeOptions,
         sink: &mut dyn Write,
     ) -> Result<cbic_image::EncodeStats, CbicError> {
+        if !(1..=MAX_LANES).contains(&opts.lanes) {
+            return Err(CbicError::InvalidContainer(format!(
+                "lane count {} outside 1..={MAX_LANES}",
+                opts.lanes
+            )));
+        }
         let mut counting = CountingSink::wrap(sink);
-        let stats = EncoderSession::new(&self.0).encode(img, &mut counting)?;
+        let stats = EncoderSession::with_lanes(&self.0, opts.lanes).encode(img, &mut counting)?;
         Ok(cbic_image::EncodeStats::new(
             stats.pixels,
             counting.bytes_written(),
@@ -510,6 +684,114 @@ mod tests {
     #[test]
     fn error_messages_are_informative() {
         assert!(CodecError::BadMagic.to_string().contains("magic"));
-        assert!(CodecError::UnsupportedVersion(3).to_string().contains('3'));
+        assert!(CodecError::UnsupportedVersion(9).to_string().contains('9'));
+    }
+
+    #[test]
+    fn lane_striped_containers_use_version_three() {
+        let img = CorpusImage::Lena.generate(32, 24);
+        for lanes in [2usize, 4, 8, MAX_LANES] {
+            let bytes = compress_with_lanes(img.view(), &CodecConfig::default(), lanes);
+            assert_eq!(bytes[4], VERSION_V3, "lanes={lanes}");
+            assert_eq!(bytes[24] as usize, lanes, "lane byte");
+            let (hdr, payload) = parse_header(&bytes).unwrap();
+            assert_eq!(hdr.lanes as usize, lanes);
+            assert_eq!(hdr.bit_depth, 8, "v3 always carries the depth byte");
+            // The length table accounts for every payload byte.
+            let subs = split_lane_payload(&hdr, payload).unwrap();
+            assert_eq!(subs.len(), lanes);
+            let total: usize = subs.iter().map(|s| s.len()).sum();
+            assert_eq!(lanes * 4 + total, payload.len());
+            assert_eq!(decompress(&bytes).unwrap(), img, "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn single_lane_stays_on_the_legacy_container() {
+        let img = CorpusImage::Mandrill.generate(24, 24);
+        let cfg = CodecConfig::default();
+        assert_eq!(
+            compress_with_lanes(img.view(), &cfg, 1),
+            compress(img.view(), &cfg),
+            "lanes=1 must be byte-identical to the classic v1 stream"
+        );
+    }
+
+    #[test]
+    fn decoded_output_is_identical_across_lane_counts() {
+        // Striping splits the *carrier*, not the model: every lane count
+        // must reconstruct the same pixels, 8-bit and deep alike.
+        let images = [
+            CorpusImage::Zelda.generate(33, 17),
+            Image::from_fn16(21, 13, 12, |x, y| ((x * 331 + y * 17) % 4096) as u16),
+        ];
+        for img in &images {
+            for lanes in [2usize, 3, 8] {
+                let bytes = compress_with_lanes(img.view(), &CodecConfig::default(), lanes);
+                assert_eq!(&decompress(&bytes).unwrap(), img, "lanes={lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_lane_containers_carry_depth_and_lanes() {
+        let img = Image::from_fn16(16, 16, 10, |x, y| ((x + y) * 3) as u16);
+        let bytes = compress_with_lanes(img.view(), &CodecConfig::default(), 4);
+        assert_eq!(bytes[4], VERSION_V3);
+        assert_eq!(bytes[23], 10, "depth byte");
+        assert_eq!(bytes[24], 4, "lane byte");
+        let back = decompress(&bytes).unwrap();
+        assert_eq!(back, img);
+        assert_eq!(back.bit_depth(), 10);
+    }
+
+    #[test]
+    fn rejects_bad_lane_byte() {
+        let img = CorpusImage::Lena.generate(16, 16);
+        let mut bytes = compress_with_lanes(img.view(), &CodecConfig::default(), 2);
+        for bad in [0u8, 1, MAX_LANES as u8 + 1, 255] {
+            bytes[24] = bad;
+            assert!(
+                matches!(decompress(&bytes), Err(CodecError::InvalidHeader(_))),
+                "lane byte {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_lane_table_and_substreams() {
+        let img = CorpusImage::Lena.generate(24, 24);
+        let bytes = compress_with_lanes(img.view(), &CodecConfig::default(), 4);
+        let table_end = MAX_HEADER_LEN + 4 * 4;
+        // Cut inside the fixed header, inside the length table, and inside
+        // the substream area: all must surface as Truncated, never panic.
+        for cut in [MAX_HEADER_LEN - 1, MAX_HEADER_LEN + 3, table_end + 1] {
+            assert_eq!(
+                decompress(&bytes[..cut]),
+                Err(CodecError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn forged_lane_lengths_fail_without_allocating() {
+        let img = CorpusImage::Lena.generate(24, 24);
+        let mut bytes = compress_with_lanes(img.view(), &CodecConfig::default(), 2);
+        // Claim lane 0 holds 4 GiB - 1 bytes: the slice-bounds check must
+        // reject it as truncation before any decode work happens.
+        bytes[MAX_HEADER_LEN..MAX_HEADER_LEN + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decompress(&bytes), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn split_lane_payload_rejects_single_lane_headers() {
+        let img = CorpusImage::Lena.generate(16, 16);
+        let bytes = compress(img.view(), &CodecConfig::default());
+        let (hdr, payload) = parse_header(&bytes).unwrap();
+        assert!(matches!(
+            split_lane_payload(&hdr, payload),
+            Err(CodecError::InvalidHeader(_))
+        ));
     }
 }

@@ -54,8 +54,7 @@ use crate::context::{error_energy, quantize_energy, texture_pattern, ContextStor
 use crate::neighborhood::Neighborhood;
 use crate::predictor::{gap_predict, threshold_shift, Gradients};
 use crate::remap::{fold, half_for_depth, unfold, wrap_error};
-use cbic_arith::{BinaryDecoder, BinaryEncoder, CoderStats, EstimatorConfig};
-use cbic_bitio::{BitSink, BitSource};
+use cbic_arith::{CoderStats, DecisionDecoder, DecisionEncoder, EstimatorConfig};
 use cbic_image::{ImageView, ImageViewMut};
 
 /// The wrap-and-fold stage as a ROM: raw prediction error
@@ -274,9 +273,9 @@ impl PixelEngine {
     /// model, error formation, fold-ROM remap, estimator + arithmetic
     /// coder, state write-back.
     #[inline]
-    pub fn encode_pixel<S: BitSink>(
+    pub fn encode_pixel<E: DecisionEncoder>(
         &mut self,
-        enc: &mut BinaryEncoder<S>,
+        enc: &mut E,
         nb: &Neighborhood,
         x: usize,
         value: u16,
@@ -290,9 +289,9 @@ impl PixelEngine {
     /// The decoder-side dual of [`Self::encode_pixel`]: model, estimator
     /// decode, branch-free unfold, masked reconstruction, write-back.
     #[inline]
-    pub fn decode_pixel<S: BitSource>(
+    pub fn decode_pixel<D: DecisionDecoder>(
         &mut self,
-        dec: &mut BinaryDecoder<S>,
+        dec: &mut D,
         nb: &Neighborhood,
         x: usize,
     ) -> u16 {
@@ -319,7 +318,7 @@ impl PixelEngine {
     /// Boundary pixels (first two rows, first two and last columns) go
     /// through `from_rows`, whose replication rules are the reference the
     /// fast path is differentially tested against.
-    pub fn encode_view<S: BitSink>(&mut self, img: ImageView<'_>, enc: &mut BinaryEncoder<S>) {
+    pub fn encode_view<E: DecisionEncoder>(&mut self, img: ImageView<'_>, enc: &mut E) {
         debug_assert_eq!(self.bit_depth, img.bit_depth());
         debug_assert_eq!(self.abs_err.len(), img.width());
         let (width, height) = img.dimensions();
@@ -341,34 +340,87 @@ impl PixelEngine {
                 let nb = Neighborhood::from_rows(cur, Some(n1), Some(n2), x, mid);
                 self.encode_pixel(enc, &nb, x, cur[x]);
             }
-            // Pipeline registers, loaded for x = 2 and shifted per pixel.
-            let mut ww = cur[0];
-            let mut w = cur[1];
-            let mut nw = n1[1];
-            let mut n = n1[2];
-            let mut nn = n2[2];
-            for x in 2..width - 1 {
-                let ne = n1[x + 1];
-                let nne = n2[x + 1];
+            self.encode_interior_chunked(enc, cur, n1, n2);
+            let x = width - 1;
+            let nb = Neighborhood::from_rows(cur, Some(n1), Some(n2), x, mid);
+            self.encode_pixel(enc, &nb, x, cur[x]);
+        }
+    }
+
+    /// Chunk width of the encoder's two-phase interior loop: small enough
+    /// that the per-chunk `(qe, folded)` windows live in registers/L1,
+    /// large enough to amortize the phase switch.
+    const ENC_CHUNK: usize = 64;
+
+    /// The interior pixels of one interior row (`x in 2..width-1`), coded
+    /// in two phases per [`Self::ENC_CHUNK`]-pixel window.
+    ///
+    /// On the *encoder* side every model quantity — gradients, prediction,
+    /// texture context, error feedback, and the folded error itself — is
+    /// computable from the input pixels alone, without consulting the
+    /// arithmetic coder. Phase A therefore runs the whole prediction/
+    /// context datapath for a chunk, writing the per-pixel `(qe, folded)`
+    /// pairs into two small stack windows (and retiring the context-bank
+    /// write-back immediately, exactly as the fused loop did). Phase B
+    /// replays the window through the estimator and coder lanes as one
+    /// tight loop with no prediction state live across it.
+    ///
+    /// The coder sees the identical `(ctx, symbol)` sequence, and the
+    /// model banks see the identical read/update interleaving, so the
+    /// emitted bytes are bit-identical to the fused per-pixel loop (the
+    /// golden fixtures pin this). Decoding cannot be split this way — the
+    /// next pixel's neighbourhood needs the previous pixel decoded — so
+    /// the decoder keeps the fused loop.
+    fn encode_interior_chunked<E: DecisionEncoder>(
+        &mut self,
+        enc: &mut E,
+        cur: &[u16],
+        n1: &[u16],
+        n2: &[u16],
+    ) {
+        let width = cur.len();
+        // Pipeline registers, loaded for x = 2 and shifted per pixel.
+        let mut ww = cur[0];
+        let mut w = cur[1];
+        let mut nw = n1[1];
+        let mut nc = n1[2];
+        let mut nn = n2[2];
+        let mut qes = [0u8; Self::ENC_CHUNK];
+        let mut folded = [0u16; Self::ENC_CHUNK];
+        let mut x = 2;
+        while x < width - 1 {
+            let len = Self::ENC_CHUNK.min(width - 1 - x);
+            // Phase A: prediction and context formation, no coder state.
+            for i in 0..len {
+                let xi = x + i;
+                let ne = n1[xi + 1];
+                let nne = n2[xi + 1];
                 let nb = Neighborhood {
                     w,
                     ww,
-                    n,
+                    n: nc,
                     nn,
                     ne,
                     nw,
                     nne,
                 };
-                self.encode_pixel(enc, &nb, x, cur[x]);
+                let m = self.model(&nb, xi);
+                let f = self.fold.fold(i32::from(cur[xi]) - m.x_tilde);
+                qes[i] = m.qe as u8;
+                folded[i] = f;
+                self.absorb(xi, m.ctx, unfold(f));
                 ww = w;
-                w = cur[x];
-                nw = n;
-                n = ne;
+                w = cur[xi];
+                nw = nc;
+                nc = ne;
                 nn = nne;
             }
-            let x = width - 1;
-            let nb = Neighborhood::from_rows(cur, Some(n1), Some(n2), x, mid);
-            self.encode_pixel(enc, &nb, x, cur[x]);
+            // Phase B: estimator descent + arithmetic coding, no
+            // prediction state.
+            for i in 0..len {
+                self.coder.encode(enc, usize::from(qes[i]), folded[i]);
+            }
+            x += len;
         }
     }
 
@@ -376,11 +428,7 @@ impl PixelEngine {
     /// reconstructing rows in place into `out` (a band of a larger image,
     /// or a whole one) through the same slice discipline and the same
     /// register-carried interior fast path.
-    pub fn decode_into<S: BitSource>(
-        &mut self,
-        dec: &mut BinaryDecoder<S>,
-        out: &mut ImageViewMut<'_>,
-    ) {
+    pub fn decode_into<D: DecisionDecoder>(&mut self, dec: &mut D, out: &mut ImageViewMut<'_>) {
         debug_assert_eq!(self.bit_depth, out.bit_depth());
         debug_assert_eq!(self.abs_err.len(), out.width());
         let (width, height) = out.dimensions();
@@ -482,9 +530,9 @@ impl EncoderState {
 
     /// Encodes one pixel (see [`PixelEngine::encode_pixel`]).
     #[inline]
-    pub fn encode_pixel<S: BitSink>(
+    pub fn encode_pixel<E: DecisionEncoder>(
         &mut self,
-        enc: &mut BinaryEncoder<S>,
+        enc: &mut E,
         nb: &Neighborhood,
         x: usize,
         value: u16,
@@ -493,7 +541,7 @@ impl EncoderState {
     }
 
     /// Encodes a whole view (see [`PixelEngine::encode_view`]).
-    pub fn encode_view<S: BitSink>(&mut self, img: ImageView<'_>, enc: &mut BinaryEncoder<S>) {
+    pub fn encode_view<E: DecisionEncoder>(&mut self, img: ImageView<'_>, enc: &mut E) {
         self.engine.encode_view(img, enc);
     }
 }
@@ -531,9 +579,9 @@ impl DecoderState {
 
     /// Decodes one pixel (see [`PixelEngine::decode_pixel`]).
     #[inline]
-    pub fn decode_pixel<S: BitSource>(
+    pub fn decode_pixel<D: DecisionDecoder>(
         &mut self,
-        dec: &mut BinaryDecoder<S>,
+        dec: &mut D,
         nb: &Neighborhood,
         x: usize,
     ) -> u16 {
@@ -541,11 +589,7 @@ impl DecoderState {
     }
 
     /// Decodes a whole view in place (see [`PixelEngine::decode_into`]).
-    pub fn decode_into<S: BitSource>(
-        &mut self,
-        dec: &mut BinaryDecoder<S>,
-        out: &mut ImageViewMut<'_>,
-    ) {
+    pub fn decode_into<D: DecisionDecoder>(&mut self, dec: &mut D, out: &mut ImageViewMut<'_>) {
         self.engine.decode_into(dec, out);
     }
 }
@@ -575,6 +619,7 @@ mod tests {
 
     #[test]
     fn reset_engine_codes_identically_to_fresh() {
+        use cbic_arith::BinaryEncoder;
         use cbic_bitio::BitWriter;
         let cfg = CodecConfig::default();
         let images = [
@@ -605,6 +650,7 @@ mod tests {
 
     #[test]
     fn engine_roundtrips_through_both_states() {
+        use cbic_arith::{BinaryDecoder, BinaryEncoder};
         use cbic_bitio::{BitReader, BitWriter};
         let cfg = CodecConfig::default();
         for depth in [1u8, 8, 11, 16] {

@@ -34,7 +34,7 @@ use crate::codec::CodecConfig;
 use crate::engine::{DecoderState, EncoderState};
 use crate::neighborhood::Neighborhood;
 use crate::remap::half_for_depth;
-use cbic_arith::{BinaryDecoder, BinaryEncoder};
+use cbic_arith::{BinaryDecoder, BinaryEncoder, DecisionDecoder, DecisionEncoder};
 use cbic_bitio::{BitReader, BitSink, BitSource, BitWriter};
 use cbic_image::{Image, ImageView};
 
@@ -134,12 +134,16 @@ impl LineBuffers {
 /// Streaming hardware-model encoder: feed raster-scan pixels one at a
 /// time, collect the bit stream at the end.
 ///
-/// The encoder is generic over its [`BitSink`]: the default [`BitWriter`]
-/// buffers the stream in memory, while a
-/// [`StreamBitWriter`](cbic_bitio::StreamBitWriter) (via
-/// [`Self::with_sink`]) emits bytes incrementally — the backing of the
-/// bounded-memory [`StreamEncoder`](crate::stream::StreamEncoder). The
-/// produced bits are identical either way.
+/// The encoder is generic over its [`DecisionEncoder`]: by default a
+/// [`BinaryEncoder`] over an in-memory [`BitWriter`], with
+/// [`Self::with_sink`] swapping in any [`BitSink`] — e.g. a
+/// [`StreamBitWriter`](cbic_bitio::StreamBitWriter) emitting bytes
+/// incrementally, the backing of the bounded-memory
+/// [`StreamEncoder`](crate::stream::StreamEncoder). [`Self::with_coder`]
+/// accepts an arbitrary decision coder instead, which is how the
+/// lane-interleaved [`LaneEncoder`](cbic_arith::LaneEncoder) drives the
+/// same line-buffer pipeline. The coded decisions are identical in every
+/// case; only their packing differs.
 ///
 /// # Examples
 ///
@@ -161,10 +165,10 @@ impl LineBuffers {
 /// assert_eq!(stream, reference);
 /// ```
 #[derive(Debug)]
-pub struct HwEncoder<S = BitWriter> {
+pub struct HwEncoder<E = BinaryEncoder<BitWriter>> {
     buffers: LineBuffers,
     state: EncoderState,
-    ac: BinaryEncoder<S>,
+    ac: E,
     x: usize,
     y: usize,
     pixels: u64,
@@ -200,7 +204,7 @@ impl HwEncoder {
     }
 }
 
-impl<S: BitSink> HwEncoder<S> {
+impl<S: BitSink> HwEncoder<BinaryEncoder<S>> {
     /// Creates a streaming encoder for `width`-pixel lines of the given
     /// sample depth, emitting into an arbitrary [`BitSink`].
     ///
@@ -209,10 +213,40 @@ impl<S: BitSink> HwEncoder<S> {
     /// Panics if `width` is zero, the depth is outside `1..=16`, or the
     /// configuration is invalid.
     pub fn with_sink(width: usize, bit_depth: u8, cfg: &CodecConfig, sink: S) -> Self {
+        Self::with_coder(width, bit_depth, cfg, BinaryEncoder::new(sink))
+    }
+
+    /// Borrows the bit sink (e.g. to poll a streaming sink for I/O errors).
+    pub fn sink(&self) -> &S {
+        self.ac.sink()
+    }
+
+    /// Mutably borrows the bit sink.
+    pub fn sink_mut(&mut self) -> &mut S {
+        self.ac.sink_mut()
+    }
+
+    /// Flushes the arithmetic coder and returns the underlying bit sink.
+    pub fn finish_sink(self) -> S {
+        self.ac.finish()
+    }
+}
+
+impl<E: DecisionEncoder> HwEncoder<E> {
+    /// Creates a streaming encoder for `width`-pixel lines of the given
+    /// sample depth, driving an arbitrary [`DecisionEncoder`] — the entry
+    /// point for lane-interleaved coding
+    /// ([`LaneEncoder`](cbic_arith::LaneEncoder)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero, the depth is outside `1..=16`, or the
+    /// configuration is invalid.
+    pub fn with_coder(width: usize, bit_depth: u8, cfg: &CodecConfig, coder: E) -> Self {
         Self {
             buffers: LineBuffers::with_depth(width, bit_depth),
             state: EncoderState::new(width, bit_depth, cfg),
-            ac: BinaryEncoder::new(sink),
+            ac: coder,
             x: 0,
             y: 0,
             pixels: 0,
@@ -229,19 +263,16 @@ impl<S: BitSink> HwEncoder<S> {
         self.state.bit_depth()
     }
 
-    /// Borrows the bit sink (e.g. to poll a streaming sink for I/O errors).
-    pub fn sink(&self) -> &S {
-        self.ac.sink()
+    /// Borrows the decision coder.
+    pub fn coder(&self) -> &E {
+        &self.ac
     }
 
-    /// Mutably borrows the bit sink.
-    pub fn sink_mut(&mut self) -> &mut S {
-        self.ac.sink_mut()
-    }
-
-    /// Flushes the arithmetic coder and returns the underlying bit sink.
-    pub fn finish_sink(self) -> S {
-        self.ac.finish()
+    /// Consumes the encoder and returns the decision coder *without*
+    /// flushing it — the caller finalizes (e.g.
+    /// [`LaneEncoder::finish_to_bytes`](cbic_arith::LaneEncoder::finish_to_bytes)).
+    pub fn into_coder(self) -> E {
+        self.ac
     }
 
     /// Pixels consumed so far.
@@ -289,12 +320,15 @@ impl<S: BitSink> HwEncoder<S> {
 /// Streaming hardware-model decoder: the dual of [`HwEncoder`], producing
 /// one reconstructed pixel per call from the same three-line-buffer state.
 ///
-/// Like the encoder it is generic over its bit transport: [`Self::new`]
-/// decodes a buffered byte slice through a [`BitReader`], while
+/// Like the encoder it is generic over its decision coder: [`Self::new`]
+/// decodes a buffered byte slice through a [`BitReader`],
 /// [`Self::with_source`] accepts any [`BitSource`] — in particular a
 /// [`StreamBitReader`](cbic_bitio::StreamBitReader) refilled incrementally
 /// from `std::io::Read`, the backing of
-/// [`StreamDecoder`](crate::stream::StreamDecoder).
+/// [`StreamDecoder`](crate::stream::StreamDecoder) — and
+/// [`Self::with_coder`] accepts a whole [`DecisionDecoder`], which is how
+/// the lane-interleaved [`LaneDecoder`](cbic_arith::LaneDecoder) reuses
+/// the same line-buffer pipeline.
 ///
 /// # Examples
 ///
@@ -314,15 +348,15 @@ impl<S: BitSink> HwEncoder<S> {
 /// }
 /// ```
 #[derive(Debug)]
-pub struct HwDecoder<S> {
+pub struct HwDecoder<D> {
     buffers: LineBuffers,
     state: DecoderState,
-    ac: BinaryDecoder<S>,
+    ac: D,
     x: usize,
     y: usize,
 }
 
-impl<'a> HwDecoder<BitReader<'a>> {
+impl<'a> HwDecoder<BinaryDecoder<BitReader<'a>>> {
     /// Creates a streaming decoder over `stream` for `width`-pixel 8-bit
     /// lines.
     ///
@@ -340,7 +374,7 @@ impl<'a> HwDecoder<BitReader<'a>> {
     }
 }
 
-impl<S: BitSource> HwDecoder<S> {
+impl<S: BitSource> HwDecoder<BinaryDecoder<S>> {
     /// Creates a streaming decoder reading code bits from an arbitrary
     /// [`BitSource`] for `width`-pixel lines of the given sample depth.
     ///
@@ -349,19 +383,40 @@ impl<S: BitSource> HwDecoder<S> {
     /// Panics if `width` is zero, the depth is outside `1..=16`, or the
     /// configuration is invalid.
     pub fn with_source(source: S, width: usize, bit_depth: u8, cfg: &CodecConfig) -> Self {
-        Self {
-            buffers: LineBuffers::with_depth(width, bit_depth),
-            state: DecoderState::new(width, bit_depth, cfg),
-            ac: BinaryDecoder::new(source),
-            x: 0,
-            y: 0,
-        }
+        Self::with_coder(BinaryDecoder::new(source), width, bit_depth, cfg)
     }
 
     /// Borrows the bit source (e.g. to inspect padding counts or streaming
     /// I/O errors).
     pub fn source(&self) -> &S {
         self.ac.source()
+    }
+}
+
+impl<D: DecisionDecoder> HwDecoder<D> {
+    /// Creates a streaming decoder driving an arbitrary
+    /// [`DecisionDecoder`] for `width`-pixel lines of the given sample
+    /// depth — the entry point for lane-interleaved decoding
+    /// ([`LaneDecoder`](cbic_arith::LaneDecoder)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero, the depth is outside `1..=16`, or the
+    /// configuration is invalid.
+    pub fn with_coder(coder: D, width: usize, bit_depth: u8, cfg: &CodecConfig) -> Self {
+        Self {
+            buffers: LineBuffers::with_depth(width, bit_depth),
+            state: DecoderState::new(width, bit_depth, cfg),
+            ac: coder,
+            x: 0,
+            y: 0,
+        }
+    }
+
+    /// Borrows the decision coder (e.g. to inspect per-lane padding
+    /// counts).
+    pub fn coder(&self) -> &D {
+        &self.ac
     }
 
     /// Decodes and returns the next raster-scan pixel: the neighbourhood

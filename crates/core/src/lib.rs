@@ -64,12 +64,13 @@ pub mod session;
 pub mod stream;
 pub mod tiles;
 
+pub use cbic_arith::MAX_LANES;
 pub use codec::{decode_raw, encode_raw, CodecConfig, DivisionKind, EncodeStats};
-pub use container::{compress, decompress, CodecError, Proposed};
+pub use container::{compress, compress_with_lanes, decompress, CodecError, Proposed};
 pub use engine::{DecoderState, EncoderState, PixelEngine};
 pub use session::{DecoderSession, EncoderSession};
 pub use stream::{StreamDecoder, StreamEncoder};
-pub use tiles::{Parallelism, Tiled};
+pub use tiles::{compress_tiled_with_lanes, Parallelism, Tiled};
 
 #[cfg(test)]
 mod proptests;

@@ -48,21 +48,35 @@
 //! ```
 
 use crate::codec::{CodecConfig, MAX_CODE_PADDING_BITS};
-use crate::container::{header_bytes, read_header, CodecError};
+use crate::container::{header_bytes, read_header, read_lane_table, CodecError};
 use crate::hwpipe::{HwDecoder, HwEncoder};
+use cbic_arith::{BinaryDecoder, BinaryEncoder, LaneDecoder, LaneEncoder, MAX_LANES};
 use cbic_bitio::{BitSink, BitSource, StreamBitReader, StreamBitWriter};
 use cbic_image::{Image, ImageView};
 use std::io::{self, Read, Write};
 
+/// The encoder's coding backend: a single coder flushing bits straight to
+/// the transport (container v1/v2), or `N` interleaved lanes buffering
+/// their substreams until [`StreamEncoder::finish`] can emit the v3
+/// length table (substream lengths are only known at the end).
+#[derive(Debug)]
+enum EncBackend<W: Write> {
+    Single(HwEncoder<BinaryEncoder<StreamBitWriter<W>>>),
+    Lanes { hw: HwEncoder<LaneEncoder>, out: W },
+}
+
 /// Streaming encoder: consumes pixel rows, emits the standard `CBIC`
 /// container incrementally into an [`io::Write`].
 ///
-/// Memory is bounded to the hardware model's state (three line buffers, the
-/// context store, the estimator trees) plus a 4 KiB output buffer —
-/// nothing scales with image height.
+/// With one lane (the default), memory is bounded to the hardware model's
+/// state (three line buffers, the context store, the estimator trees) plus
+/// a 4 KiB output buffer — nothing scales with image height. With
+/// [`Self::with_lanes`] ≥ 2 the per-lane substreams are buffered in memory
+/// until [`Self::finish`], because the v3 container prefixes each
+/// substream with its length; memory then scales with the compressed size.
 #[derive(Debug)]
 pub struct StreamEncoder<W: Write> {
-    hw: HwEncoder<StreamBitWriter<W>>,
+    backend: EncBackend<W>,
     height: usize,
     rows_in: usize,
 }
@@ -98,19 +112,62 @@ impl<W: Write> StreamEncoder<W> {
     /// Panics if either dimension is zero, the depth is outside `1..=16`,
     /// or the configuration is invalid.
     pub fn with_depth(
-        mut out: W,
+        out: W,
         width: usize,
         height: usize,
         bit_depth: u8,
         cfg: &CodecConfig,
     ) -> io::Result<Self> {
+        Self::with_lanes(out, width, height, bit_depth, cfg, 1)
+    }
+
+    /// [`Self::with_depth`] over `lanes` interleaved coder lanes: for
+    /// `lanes >= 2` the emitted container is version 3 (lane byte +
+    /// length-prefixed substreams), byte-identical to
+    /// [`compress_with_lanes`](crate::compress_with_lanes); `lanes == 1`
+    /// keeps the v1/v2 single-stream format and the bounded-memory
+    /// guarantee.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::new`].
+    ///
+    /// # Panics
+    ///
+    /// Additionally panics if `lanes` is zero or above
+    /// [`MAX_LANES`](cbic_arith::MAX_LANES).
+    pub fn with_lanes(
+        mut out: W,
+        width: usize,
+        height: usize,
+        bit_depth: u8,
+        cfg: &CodecConfig,
+        lanes: usize,
+    ) -> io::Result<Self> {
         assert!(width > 0 && height > 0, "image dimensions must be nonzero");
+        assert!(
+            (1..=MAX_LANES).contains(&lanes),
+            "lane count {lanes} outside 1..={MAX_LANES}"
+        );
         crate::container::check_container_dimensions(width, height)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
-        let (hdr, len) = header_bytes(cfg, width, height, bit_depth);
+        let (hdr, len) = header_bytes(cfg, width, height, bit_depth, lanes as u8);
         out.write_all(&hdr[..len])?;
+        let backend = if lanes >= 2 {
+            EncBackend::Lanes {
+                hw: HwEncoder::with_coder(width, bit_depth, cfg, LaneEncoder::new(lanes)),
+                out,
+            }
+        } else {
+            EncBackend::Single(HwEncoder::with_sink(
+                width,
+                bit_depth,
+                cfg,
+                StreamBitWriter::new(out),
+            ))
+        };
         Ok(Self {
-            hw: HwEncoder::with_sink(width, bit_depth, cfg, StreamBitWriter::new(out)),
+            backend,
             height,
             rows_in: 0,
         })
@@ -118,7 +175,10 @@ impl<W: Write> StreamEncoder<W> {
 
     /// Row width this encoder expects.
     pub fn width(&self) -> usize {
-        self.hw.width()
+        match &self.backend {
+            EncBackend::Single(hw) => hw.width(),
+            EncBackend::Lanes { hw, .. } => hw.width(),
+        }
     }
 
     /// Total rows the header promised.
@@ -128,7 +188,18 @@ impl<W: Write> StreamEncoder<W> {
 
     /// Sample bit depth the header declared.
     pub fn bit_depth(&self) -> u8 {
-        self.hw.bit_depth()
+        match &self.backend {
+            EncBackend::Single(hw) => hw.bit_depth(),
+            EncBackend::Lanes { hw, .. } => hw.bit_depth(),
+        }
+    }
+
+    /// Number of interleaved coder lanes (1 = v1/v2 single stream).
+    pub fn lanes(&self) -> usize {
+        match &self.backend {
+            EncBackend::Single(_) => 1,
+            EncBackend::Lanes { hw, .. } => hw.coder().lane_count(),
+        }
     }
 
     /// Rows consumed so far.
@@ -136,10 +207,18 @@ impl<W: Write> StreamEncoder<W> {
         self.rows_in
     }
 
-    /// Payload bits emitted so far (exact, pre-padding) — the streaming
-    /// equivalent of [`EncodeStats::payload_bits`](crate::EncodeStats).
+    /// Payload bits emitted so far (pre-padding, summed over all lanes) —
+    /// the streaming equivalent of
+    /// [`EncodeStats::payload_bits`](crate::EncodeStats). On a
+    /// lane-striped encoder this excludes decisions still buffered at the
+    /// lane mux (at most a few hundred), so it can trail the single-coder
+    /// count slightly mid-stream; [`finish`](Self::finish) always settles
+    /// the exact total.
     pub fn payload_bits(&self) -> u64 {
-        self.hw.sink().bits_written()
+        match &self.backend {
+            EncBackend::Single(hw) => hw.sink().bits_written(),
+            EncBackend::Lanes { hw, .. } => hw.coder().bits_flushed(),
+        }
     }
 
     /// Encodes one raster row.
@@ -173,11 +252,22 @@ impl<W: Write> StreamEncoder<W> {
                 ),
             ));
         }
-        for &pixel in row {
-            self.hw.push_pixel(pixel);
-        }
         self.rows_in += 1;
-        self.hw.sink_mut().take_error()
+        match &mut self.backend {
+            EncBackend::Single(hw) => {
+                for &pixel in row {
+                    hw.push_pixel(pixel);
+                }
+                hw.sink_mut().take_error()
+            }
+            EncBackend::Lanes { hw, .. } => {
+                // Lane substreams buffer in memory; no I/O until `finish`.
+                for &pixel in row {
+                    hw.push_pixel(pixel);
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Flushes the arithmetic coder and the transport, returning the
@@ -197,49 +287,117 @@ impl<W: Write> StreamEncoder<W> {
             "only {} of {} rows were pushed",
             self.rows_in, self.height
         );
-        self.hw.finish_sink().finish()
+        match self.backend {
+            EncBackend::Single(hw) => hw.finish_sink().finish(),
+            EncBackend::Lanes { hw, mut out } => {
+                let subs = hw.into_coder().finish_to_bytes();
+                for sub in &subs {
+                    let len = u32::try_from(sub.len()).map_err(|_| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            "lane substream exceeds the u32 length field",
+                        )
+                    })?;
+                    out.write_all(&len.to_le_bytes())?;
+                }
+                for sub in &subs {
+                    out.write_all(sub)?;
+                }
+                Ok(out)
+            }
+        }
     }
+}
+
+/// The decoder's coding backend: a single coder pulling bits straight off
+/// the transport (container v1/v2), or a lane demultiplexer over the v3
+/// per-lane substreams, each slurped up front (their lengths bound the
+/// reads) and decoded from memory.
+#[derive(Debug)]
+enum DecBackend<R: Read> {
+    Single(HwDecoder<BinaryDecoder<StreamBitReader<R>>>),
+    Lanes(HwDecoder<LaneDecoder<StreamBitReader<io::Cursor<Vec<u8>>>>>),
 }
 
 /// Streaming decoder: reads the standard `CBIC` container incrementally
 /// from an [`io::Read`], producing reconstructed rows one at a time.
 ///
-/// The compressed stream is never slurped: bytes are pulled through a
-/// 4 KiB refill buffer exactly as the arithmetic decoder consumes them.
+/// For v1/v2 containers the compressed stream is never slurped: bytes are
+/// pulled through a 4 KiB refill buffer exactly as the arithmetic decoder
+/// consumes them. A v3 (lane-interleaved) container instead reads its
+/// length-prefixed substreams into memory up front — the lane muxing needs
+/// random access across substreams, so memory scales with the compressed
+/// size there.
 #[derive(Debug)]
 pub struct StreamDecoder<R: Read> {
-    hw: HwDecoder<StreamBitReader<R>>,
+    backend: DecBackend<R>,
     cfg: CodecConfig,
     width: usize,
     height: usize,
     bit_depth: u8,
+    lanes: usize,
     rows_out: usize,
 }
 
 impl<R: Read> StreamDecoder<R> {
     /// Reads and validates the container header, preparing the pixel
-    /// pipeline.
+    /// pipeline (for v3, this also reads the lane table and all
+    /// substreams).
     ///
     /// # Errors
     ///
     /// [`CodecError::Truncated`] when the stream ends inside the header,
-    /// [`CodecError::Io`] on transport errors, and the usual header errors
+    /// lane table, or a promised substream, [`CodecError::Io`] on
+    /// transport errors, and the usual header errors
     /// ([`CodecError::BadMagic`], invalid fields, …) otherwise.
     pub fn new(mut input: R) -> Result<Self, CodecError> {
         let hdr = read_header(&mut input)?;
-        Ok(Self {
-            hw: HwDecoder::with_source(
+        let lanes = usize::from(hdr.lanes);
+        let backend = if lanes >= 2 {
+            let lens = read_lane_table(&mut input, lanes)?;
+            let mut sources = Vec::with_capacity(lanes);
+            for &len in &lens {
+                // `take` bounds each read by the declared length, so a
+                // forged table cannot force an oversized allocation; a
+                // short read is a truncated substream.
+                let mut sub = Vec::new();
+                (&mut input)
+                    .take(u64::from(len))
+                    .read_to_end(&mut sub)
+                    .map_err(|e| CodecError::io(&e))?;
+                if sub.len() != len as usize {
+                    return Err(CodecError::Truncated);
+                }
+                sources.push(StreamBitReader::new(io::Cursor::new(sub)));
+            }
+            DecBackend::Lanes(HwDecoder::with_coder(
+                LaneDecoder::new(sources),
+                hdr.width,
+                hdr.bit_depth,
+                &hdr.cfg,
+            ))
+        } else {
+            DecBackend::Single(HwDecoder::with_source(
                 StreamBitReader::new(input),
                 hdr.width,
                 hdr.bit_depth,
                 &hdr.cfg,
-            ),
+            ))
+        };
+        Ok(Self {
+            backend,
             cfg: hdr.cfg,
             width: hdr.width,
             height: hdr.height,
             bit_depth: hdr.bit_depth,
+            lanes,
             rows_out: 0,
         })
+    }
+
+    /// Number of interleaved coder lanes (1 for v1/v2 containers).
+    pub fn lanes(&self) -> usize {
+        self.lanes
     }
 
     /// Image dimensions declared by the header.
@@ -282,15 +440,31 @@ impl<R: Read> StreamDecoder<R> {
             "all {} rows already decoded",
             self.height
         );
-        for slot in buf.iter_mut() {
-            *slot = self.hw.next_pixel();
-        }
         self.rows_out += 1;
-        if let Some(e) = self.hw.source().io_error() {
-            return Err(CodecError::io(e));
-        }
-        if self.rows_out == self.height && self.hw.source().padding_bits() > MAX_CODE_PADDING_BITS {
-            return Err(CodecError::Truncated);
+        let last = self.rows_out == self.height;
+        match &mut self.backend {
+            DecBackend::Single(hw) => {
+                for slot in buf.iter_mut() {
+                    *slot = hw.next_pixel();
+                }
+                if let Some(e) = hw.source().io_error() {
+                    return Err(CodecError::io(e));
+                }
+                if last && hw.source().padding_bits() > MAX_CODE_PADDING_BITS {
+                    return Err(CodecError::Truncated);
+                }
+            }
+            DecBackend::Lanes(hw) => {
+                for slot in buf.iter_mut() {
+                    *slot = hw.next_pixel();
+                }
+                // Substreams were length-checked up front, so the only
+                // residual truncation signal is a lane overrunning into
+                // padding.
+                if last && hw.coder().max_padding_bits() > MAX_CODE_PADDING_BITS {
+                    return Err(CodecError::Truncated);
+                }
+            }
         }
         Ok(())
     }

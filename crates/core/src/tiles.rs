@@ -37,8 +37,10 @@
 //! # Ok::<(), cbic_core::CodecError>(())
 //! ```
 
-use crate::codec::{decode_raw_into, encode_raw, CodecConfig, EncodeStats, MAX_CODE_PADDING_BITS};
-use crate::container::{parse_header, CodecError, ContainerHeader, HEADER_LEN};
+use crate::codec::{encode_raw, CodecConfig, EncodeStats};
+use crate::container::{
+    compress_with_lanes, decode_payload_into, parse_header, CodecError, ContainerHeader, HEADER_LEN,
+};
 use cbic_image::{CbicError, Codec, DecodeOptions, EncodeOptions, Image, ImageView, ImageViewMut};
 use std::io::{Read, Write};
 
@@ -162,9 +164,30 @@ pub fn compress_tiled(
     tiles: usize,
     par: Parallelism,
 ) -> Vec<u8> {
+    compress_tiled_with_lanes(img, cfg, tiles, par, 1)
+}
+
+/// [`compress_tiled`] with every band coded over `lanes` interleaved coder
+/// lanes: each band embeds a standard container, so for `lanes ≥ 2` the
+/// bands are version-3 containers (see
+/// [`compress_with_lanes`](crate::compress_with_lanes)) while the `CBTI`
+/// framing is unchanged. Decoded pixels are identical for every lane
+/// count.
+///
+/// # Panics
+///
+/// As [`compress_tiled`]; additionally if `lanes` is zero or above
+/// [`cbic_arith::MAX_LANES`].
+pub fn compress_tiled_with_lanes(
+    img: ImageView<'_>,
+    cfg: &CodecConfig,
+    tiles: usize,
+    par: Parallelism,
+    lanes: usize,
+) -> Vec<u8> {
     let bands = split_bands(img, tiles);
     let payloads: Vec<Vec<u8>> =
-        run_banded(bands, par, |band| crate::container::compress(band, cfg));
+        run_banded(bands, par, |band| compress_with_lanes(band, cfg, lanes));
     let body: usize = payloads.iter().map(|p| 4 + p.len()).sum();
     let mut out = Vec::with_capacity(8 + body);
     out.extend_from_slice(TILE_MAGIC);
@@ -227,12 +250,7 @@ fn decode_bands_into(bands: Vec<Band<'_>>, par: Parallelism) -> Result<Image, Co
         .zip(out.view_mut().split_rows(&heights))
         .collect();
     let results = run_banded(jobs, par, |((hdr, body), mut window)| {
-        let padding = decode_raw_into(body, &mut window, &hdr.cfg);
-        if padding > MAX_CODE_PADDING_BITS {
-            Err(CodecError::Truncated)
-        } else {
-            Ok(())
-        }
+        decode_payload_into(&hdr, body, &mut window)
     });
     results.into_iter().collect::<Result<(), _>>()?;
     Ok(out)
@@ -336,16 +354,23 @@ impl Codec for Tiled {
     }
 
     /// Encodes `opts.tiles` (default: the struct's geometry) independent
-    /// zero-copy band views on `opts.parallelism` workers. The bytes do
-    /// not depend on the schedule.
+    /// zero-copy band views on `opts.parallelism` workers, each band over
+    /// `opts.lanes` coder lanes. The bytes do not depend on the schedule.
     fn encode(
         &self,
         img: ImageView<'_>,
         opts: &EncodeOptions,
         sink: &mut dyn Write,
     ) -> Result<cbic_image::EncodeStats, CbicError> {
+        if !(1..=cbic_arith::MAX_LANES).contains(&opts.lanes) {
+            return Err(CbicError::InvalidContainer(format!(
+                "lane count {} outside 1..={}",
+                opts.lanes,
+                cbic_arith::MAX_LANES
+            )));
+        }
         let tiles = opts.tiles.unwrap_or(self.tiles).clamp(1, img.height());
-        let bytes = compress_tiled(img, &self.cfg, tiles, opts.parallelism);
+        let bytes = compress_tiled_with_lanes(img, &self.cfg, tiles, opts.parallelism, opts.lanes);
         sink.write_all(&bytes).map_err(CbicError::from)?;
         Ok(cbic_image::EncodeStats::new(
             img.pixel_count() as u64,
@@ -453,10 +478,7 @@ impl Codec for Tiled {
                 frames.push((hdr, body.to_vec()));
             } else {
                 let mut band = Image::with_depth(hdr.width, hdr.height, hdr.bit_depth);
-                let padding = decode_raw_into(body, &mut band.view_mut(), &hdr.cfg);
-                if padding > MAX_CODE_PADDING_BITS {
-                    return Err(CbicError::Truncated);
-                }
+                decode_payload_into(&hdr, body, &mut band.view_mut()).map_err(CbicError::from)?;
                 decoded.push(band);
             }
         }

@@ -72,14 +72,19 @@ pub struct EncodeOptions {
     /// Horizontal band count for tiling codecs; `None` uses the codec's
     /// default geometry. Ignored by untiled codecs.
     pub tiles: Option<usize>,
+    /// Interleaved coder lanes for codecs with a lane-parallel entropy
+    /// stage (`1` = the classic single-coder stream). Codecs without lane
+    /// support ignore it; lane-aware codecs validate the count themselves.
+    pub lanes: usize,
 }
 
 impl Default for EncodeOptions {
-    /// [`Parallelism::Auto`] and default tiling geometry.
+    /// [`Parallelism::Auto`], default tiling geometry, one coder lane.
     fn default() -> Self {
         Self {
             parallelism: Parallelism::Auto,
             tiles: None,
+            lanes: 1,
         }
     }
 }
@@ -99,6 +104,12 @@ impl EncodeOptions {
     /// Overrides the band count of tiling codecs.
     pub fn with_tiles(mut self, tiles: usize) -> Self {
         self.tiles = Some(tiles);
+        self
+    }
+
+    /// Sets the interleaved coder lane count of lane-aware codecs.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes;
         self
     }
 }
@@ -165,9 +176,11 @@ mod tests {
 
     #[test]
     fn builders_set_fields() {
-        let e = EncodeOptions::new().with_tiles(7);
+        let e = EncodeOptions::new().with_tiles(7).with_lanes(4);
         assert_eq!(e.tiles, Some(7));
+        assert_eq!(e.lanes, 4);
         assert_eq!(EncodeOptions::default().tiles, None);
+        assert_eq!(EncodeOptions::default().lanes, 1);
         let d = DecodeOptions::new().with_parallelism(Parallelism::Threads(2));
         assert_eq!(d.parallelism, Parallelism::Threads(2));
     }

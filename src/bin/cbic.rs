@@ -49,7 +49,7 @@ macro_rules! say {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cbic compress [--codec NAME] [--near N] [--threads N] IN.pgm OUT\n  \
+        "usage:\n  cbic compress [--codec NAME] [--near N] [--threads N] [--lanes N] IN.pgm OUT\n  \
          cbic decompress [--threads N] IN OUT.pgm\n  cbic info IN\n  cbic codecs\n  \
          cbic corpus [--size N] OUTDIR\n  cbic bench [--iters N] IN.pgm\n\
          (compress/decompress accept `-` for stdin/stdout piping; PGM may be 8- or 16-bit)"
@@ -137,7 +137,7 @@ fn open_output(path: &str) -> std::io::Result<BufWriter<Box<dyn Write>>> {
 }
 
 fn cmd_compress(args: &[String]) -> CliResult {
-    let (flags, pos) = parse_flags(args, &["codec", "near", "threads"]);
+    let (flags, pos) = parse_flags(args, &["codec", "near", "threads", "lanes"]);
     let [input, output] = pos.as_slice() else {
         return Err("compress needs IN.pgm and OUT (either may be `-`)".into());
     };
@@ -147,13 +147,27 @@ fn cmd_compress(args: &[String]) -> CliResult {
         .transpose()?
         .unwrap_or(0);
     let threads = parse_threads(&flags)?;
+    let lanes: usize = flag_value(&flags, "lanes")
+        .map(str::parse)
+        .transpose()?
+        .unwrap_or(1);
+    if lanes == 0 || lanes > cbic::core::MAX_LANES {
+        return Err(format!("--lanes {lanes} outside 1..={}", cbic::core::MAX_LANES).into());
+    }
+    if lanes > 1 && (codec_name != "proposed" && codec_name != "tiled" || near > 0) {
+        return Err(
+            format!("--lanes applies to the proposed and tiled codecs, not {codec_name}").into(),
+        );
+    }
 
     if codec_name == "proposed" && near == 0 && threads <= 1 {
         // Bounded-memory path: PGM rows flow straight through the
         // three-line-buffer pipeline into the output — neither the image
         // nor the container is ever materialized, so `- -` piping handles
-        // images far larger than RAM-friendly buffers.
-        return compress_streaming(input, output);
+        // images far larger than RAM-friendly buffers. (With --lanes ≥ 2
+        // the per-lane substreams buffer until the end, since the v3
+        // length table precedes them.)
+        return compress_streaming(input, output, lanes);
     }
 
     // Validate every flag combination *before* touching the output path,
@@ -195,9 +209,13 @@ fn cmd_compress(args: &[String]) -> CliResult {
         // a zero-copy row-range view.
         let bands = threads.min(img.height());
         label = format!("tiled ({bands} bands, {threads} threads)");
+        if lanes > 1 {
+            label.push_str(&format!(" x {lanes} lanes"));
+        }
         let opts = EncodeOptions::new()
             .with_tiles(bands)
-            .with_parallelism(Parallelism::Threads(threads));
+            .with_parallelism(Parallelism::Threads(threads))
+            .with_lanes(lanes);
         registry
             .expect_name("tiled")?
             .encode(img.view(), &opts, &mut container)?
@@ -212,7 +230,14 @@ fn cmd_compress(args: &[String]) -> CliResult {
         cbic::image::EncodeStats::new(img.pixel_count() as u64, container.len() as u64, None)
     } else {
         let codec = registry.expect_name(codec_name)?;
-        codec.encode(img.view(), &EncodeOptions::default(), &mut container)?
+        if lanes > 1 {
+            label = format!("{codec_name} ({lanes} lanes, v3 container)");
+        }
+        codec.encode(
+            img.view(),
+            &EncodeOptions::default().with_lanes(lanes),
+            &mut container,
+        )?
     };
     let mut out = open_output(output)?;
     out.write_all(&container)?;
@@ -229,17 +254,18 @@ fn cmd_compress(args: &[String]) -> CliResult {
 
 /// The bounded-memory compress path: PGM header off the reader, rows
 /// through [`StreamEncoder`], container bytes out as they resolve.
-fn compress_streaming(input: &str, output: &str) -> CliResult {
+fn compress_streaming(input: &str, output: &str, lanes: usize) -> CliResult {
     let mut reader = open_input(input)?;
     let header = pgm::read_header(&mut reader)?;
     let (width, height) = (header.width, header.height);
     let out = open_output(output)?;
-    let mut enc = StreamEncoder::with_depth(
+    let mut enc = StreamEncoder::with_lanes(
         out,
         width,
         height,
         header.bit_depth(),
         &CodecConfig::default(),
+        lanes,
     )?;
     let mut row = vec![0u16; width];
     for y in 0..height {
@@ -250,8 +276,13 @@ fn compress_streaming(input: &str, output: &str) -> CliResult {
     let payload_bits = enc.payload_bits();
     enc.finish()?.flush()?;
     let pixels = width * height;
+    let label = if lanes > 1 {
+        format!("proposed ({lanes} lanes, v3 container)")
+    } else {
+        "proposed (streamed, O(3 lines) memory)".into()
+    };
     eprintln!(
-        "{input}: {pixels} pixels ({}-bit) -> ~{:.3} bpp with proposed (streamed, O(3 lines) memory)",
+        "{input}: {pixels} pixels ({}-bit) -> ~{:.3} bpp with {label}",
         header.bit_depth(),
         payload_bits as f64 / pixels as f64
     );
@@ -341,7 +372,7 @@ fn cmd_info(args: &[String]) -> CliResult {
     match kind {
         "proposed" => {
             let (hdr, payload) = cbic::core::container::parse_header(&bytes)?;
-            print_proposed_header(&hdr, payload.len());
+            print_proposed_header(&hdr, payload);
         }
         "tiled" => {
             let count_bytes = bytes
@@ -361,8 +392,13 @@ fn cmd_info(args: &[String]) -> CliResult {
                     .ok_or("container truncated inside a band")?;
                 pos += len;
                 let (hdr, payload) = cbic::core::container::parse_header(band)?;
+                let lanes = if hdr.lanes > 1 {
+                    format!(", {} lanes", hdr.lanes)
+                } else {
+                    String::new()
+                };
                 say!(
-                    "  band {t}: {}x{} {}-bit, payload {} bytes ({:.3} bpp)",
+                    "  band {t}: {}x{} {}-bit, payload {} bytes ({:.3} bpp){lanes}",
                     hdr.width,
                     hdr.height,
                     hdr.bit_depth,
@@ -395,9 +431,17 @@ fn cmd_info(args: &[String]) -> CliResult {
     Ok(())
 }
 
-fn print_proposed_header(hdr: &cbic::core::container::ContainerHeader, payload_len: usize) {
+fn print_proposed_header(hdr: &cbic::core::container::ContainerHeader, payload: &[u8]) {
+    let payload_len = payload.len();
+    let version = if hdr.lanes > 1 {
+        3
+    } else if hdr.bit_depth != 8 {
+        2
+    } else {
+        1
+    };
     say!(
-        "dimensions: {}x{}, {}-bit samples",
+        "version: {version}, dimensions: {}x{}, {}-bit samples",
         hdr.width,
         hdr.height,
         hdr.bit_depth
@@ -416,6 +460,19 @@ fn print_proposed_header(hdr: &cbic::core::container::ContainerHeader, payload_l
         "payload: {payload_len} bytes = {:.3} bpp",
         payload_len as f64 * 8.0 / (hdr.width * hdr.height) as f64
     );
+    if hdr.lanes > 1 {
+        match cbic::core::container::split_lane_payload(hdr, payload) {
+            Ok(subs) => {
+                let sizes: Vec<String> = subs.iter().map(|s| s.len().to_string()).collect();
+                say!(
+                    "lanes: {} (substream bytes: {})",
+                    hdr.lanes,
+                    sizes.join(", ")
+                );
+            }
+            Err(e) => say!("lanes: {} (malformed lane table: {e})", hdr.lanes),
+        }
+    }
 }
 
 fn print_baseline_header(w: usize, h: usize, depth: u8, payload_len: usize, near: Option<u8>) {
@@ -510,29 +567,42 @@ fn cmd_bench(args: &[String]) -> CliResult {
         "dec MP/s"
     );
     for codec in cbic::all_codecs() {
-        let opts = EncodeOptions::default();
-        let bytes = codec.encode_vec(img.view(), &opts)?;
-        // The bpp column stays payload-only (as it always was), so bench
-        // numbers remain comparable across versions; container framing is
-        // not charged to the codec.
-        let bpp = codec.payload_bits_per_pixel(img.view(), &opts)?;
-        let enc_secs = min_time(&mut || {
-            std::hint::black_box(codec.encode_vec(img.view(), &opts).expect("Vec sink"));
-        });
-        let dec_secs = min_time(&mut || {
-            std::hint::black_box(
-                codec
-                    .decode_vec(&bytes, &DecodeOptions::default())
-                    .expect("own container"),
+        // Lane-aware codecs get one row per lane setting; the rest a
+        // single row at the default options.
+        let lane_settings: &[usize] = if codec.name() == "proposed" {
+            &[1, 2, 4, 8]
+        } else {
+            &[1]
+        };
+        for &lanes in lane_settings {
+            let opts = EncodeOptions::default().with_lanes(lanes);
+            let bytes = codec.encode_vec(img.view(), &opts)?;
+            // The bpp column stays payload-only (as it always was), so
+            // bench numbers remain comparable across versions; container
+            // framing is not charged to the codec.
+            let bpp = codec.payload_bits_per_pixel(img.view(), &opts)?;
+            let enc_secs = min_time(&mut || {
+                std::hint::black_box(codec.encode_vec(img.view(), &opts).expect("Vec sink"));
+            });
+            let dec_secs = min_time(&mut || {
+                std::hint::black_box(
+                    codec
+                        .decode_vec(&bytes, &DecodeOptions::default())
+                        .expect("own container"),
+                );
+            });
+            let label = if lanes > 1 {
+                format!("{}/{lanes}", codec.name())
+            } else {
+                codec.name().to_string()
+            };
+            say!(
+                "  {label:<10} {bpp:>9.3} {:>7.2} {:>12.2} {:>12.2}",
+                raw_bits / bpp,
+                pixels / enc_secs / 1e6,
+                pixels / dec_secs / 1e6
             );
-        });
-        say!(
-            "  {:<10} {bpp:>9.3} {:>7.2} {:>12.2} {:>12.2}",
-            codec.name(),
-            raw_bits / bpp,
-            pixels / enc_secs / 1e6,
-            pixels / dec_secs / 1e6
-        );
+        }
     }
     Ok(())
 }

@@ -101,6 +101,46 @@ fn universal_container_matches_its_golden_fixture() {
 }
 
 #[test]
+fn lane_striped_containers_match_their_golden_fixtures() {
+    // Container v3: the proposed codec with the decision stream striped
+    // round-robin across independent coder lanes. Two lane counts pin the
+    // framing (lane byte + length table) and the striping order itself.
+    use cbic::core::{compress_with_lanes, decompress, CodecConfig};
+    for lanes in [4usize, 8] {
+        for class in CLASSES {
+            let img = class.generate(SIZE, SIZE);
+            let bytes = compress_with_lanes(img.view(), &CodecConfig::default(), lanes);
+            check(
+                &format!("proposed_lanes{lanes}_{}_{}", class.name(), SIZE),
+                &bytes,
+            );
+            assert_eq!(decompress(&bytes).unwrap(), img, "lanes={lanes}");
+        }
+    }
+}
+
+#[test]
+fn legacy_fixtures_stay_on_pre_lane_container_versions() {
+    // Lane striping added container v3, but single-lane streams must keep
+    // the exact pre-lane format: decode the committed v1 fixtures straight
+    // off disk and check their version byte. (Skipped while regenerating —
+    // the fixtures may not exist yet on a fresh checkout.)
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return;
+    }
+    for class in CLASSES {
+        let path = golden_dir().join(format!("proposed_{}_{}.bin", class.name(), SIZE));
+        let bytes = std::fs::read(&path).expect("committed fixture");
+        assert_eq!(bytes[4], 1, "single-lane fixtures stay container v1");
+        assert_eq!(
+            cbic::core::decompress(&bytes).unwrap(),
+            class.generate(SIZE, SIZE),
+            "{class:?}"
+        );
+    }
+}
+
+#[test]
 fn streaming_encoder_matches_the_proposed_golden_fixtures() {
     // The streaming path must produce the exact fixture bytes too — the
     // golden corpus pins the format for *both* transports.

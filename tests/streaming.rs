@@ -63,6 +63,53 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Container v3 (lane-striped): the streaming encoder, the buffered
+    /// `compress_with_lanes`, and the reusable `EncoderSession` emit
+    /// byte-identical v3 streams, and streaming + buffered decoders are
+    /// interchangeable over them.
+    #[test]
+    fn lane_streaming_matches_buffered_paths(img in arb_image(), lanes in 2usize..=8) {
+        use cbic::core::{compress_with_lanes, EncoderSession};
+        let cfg = CodecConfig::default();
+        let buffered = compress_with_lanes(img.view(), &cfg, lanes);
+
+        let mut enc = StreamEncoder::with_lanes(
+            Vec::new(), img.width(), img.height(), img.bit_depth(), &cfg, lanes,
+        ).expect("Vec sink");
+        for row in img.view().rows() {
+            enc.push_row(row).expect("Vec sink");
+        }
+        let streamed = enc.finish().expect("Vec sink");
+        prop_assert_eq!(&streamed, &buffered);
+
+        let mut session_out = Vec::new();
+        EncoderSession::with_lanes(&cfg, lanes)
+            .encode(img.view(), &mut session_out)
+            .expect("Vec sink");
+        prop_assert_eq!(&session_out, &buffered);
+
+        prop_assert_eq!(&decompress_from(&buffered[..]).expect("v3 stream"), &img);
+        prop_assert_eq!(&decompress(&buffered).expect("v3 slice"), &img);
+    }
+
+    /// Truncating a v3 stream anywhere produces a structured error from
+    /// the *streaming* decoder — the per-lane length table makes every
+    /// short read detectable before pixels are trusted.
+    #[test]
+    fn lane_streaming_decoder_errors_on_truncation(
+        img in arb_image(),
+        lanes in 2usize..=8,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        use cbic::core::compress_with_lanes;
+        let bytes = compress_with_lanes(img.view(), &CodecConfig::default(), lanes);
+        let cut = (((bytes.len() - 1) as f64) * cut_frac) as usize;
+        let result = StreamDecoder::new(&bytes[..cut]).and_then(|d| d.decode_all());
+        prop_assert!(result.is_err(), "strict prefix decoded at cut {}", cut);
+    }
+}
+
 #[test]
 fn equivalence_holds_on_edge_shapes() {
     // 1-pixel-wide, 1-row, and maximum-aspect shapes: the line-buffer
