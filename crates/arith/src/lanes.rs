@@ -228,7 +228,10 @@ fn lane_step(r: &mut LaneRegs, out: &mut Vec<u8>, packed: u64, recip: &[u64]) {
 }
 
 /// Flush one lane: `BinaryEncoder::finish` + `BitWriter::into_bytes`.
-fn lane_finish(mut r: LaneRegs, mut out: Vec<u8>) -> Vec<u8> {
+/// Returns the substream bytes and the lane's total emitted bits
+/// (coded + flush tail, excluding the byte-align padding — the same
+/// pre-padding count a single coder's transport reports after `finish`).
+fn lane_finish(mut r: LaneRegs, mut out: Vec<u8>) -> (Vec<u8>, u64) {
     r.pending += 1;
     let bit = r.low >= QUARTER;
     push_bits(&mut r, &mut out, u64::from(bit), 1);
@@ -246,13 +249,13 @@ fn lane_finish(mut r: LaneRegs, mut out: Vec<u8>) -> Vec<u8> {
         r.nacc -= 8;
         out.push((r.acc >> r.nacc) as u8);
     }
-    out
+    (out, r.bits)
 }
 
 /// Deals coded decisions round-robin across `N` independent coder lanes,
 /// each writing its own substream.
 ///
-/// See the [module docs](self) for the striping rule and the batched
+/// See the module-level docs for the striping rule and the batched
 /// drain. Construct with [`new`](Self::new), push decisions through
 /// [`DecisionEncoder::encode`], then call
 /// [`finish_to_bytes`](Self::finish_to_bytes) to flush every lane.
@@ -368,13 +371,30 @@ impl LaneEncoder {
 
     /// Flushes every lane and returns the per-lane substream bytes, in
     /// lane order.
-    pub fn finish_to_bytes(mut self) -> Vec<Vec<u8>> {
+    pub fn finish_to_bytes(self) -> Vec<Vec<u8>> {
+        self.finish_with_bits().0
+    }
+
+    /// [`finish_to_bytes`](Self::finish_to_bytes) that also reports the
+    /// exact payload bits emitted across all lanes *including* each lane's
+    /// flush tail (but not the byte-align padding) — the lane-striped
+    /// equivalent of a single coder's post-`finish`
+    /// [`bits_written`](cbic_bitio::BitSink::bits_written) count, which is
+    /// what encode statistics report.
+    pub fn finish_with_bits(mut self) -> (Vec<Vec<u8>>, u64) {
         self.drain();
-        self.regs
+        let mut bits = 0u64;
+        let subs = self
+            .regs
             .into_iter()
             .zip(self.outs)
-            .map(|(r, out)| lane_finish(r, out))
-            .collect()
+            .map(|(r, out)| {
+                let (sub, lane_bits) = lane_finish(r, out);
+                bits += lane_bits;
+                sub
+            })
+            .collect();
+        (subs, bits)
     }
 }
 
@@ -602,6 +622,31 @@ mod tests {
         assert!(exact >= reference.bits_flushed());
         // Draining for the count must not change the output.
         assert_eq!(enc.finish_to_bytes(), reference.finish_to_bytes());
+    }
+
+    /// `finish_with_bits` must account every lane's flush tail: the total
+    /// sits within one byte-align padding per lane of the substream byte
+    /// count, and is never below the pre-finish running count.
+    #[test]
+    fn finish_with_bits_counts_every_lane_flush() {
+        let decisions = mixed_decisions(3000);
+        for lanes in [1usize, 2, 4, 8, MAX_LANES] {
+            let mut enc = LaneEncoder::new(lanes);
+            let mut reference = LaneEncoder::new(lanes);
+            for &(bit, c0, total) in &decisions {
+                enc.encode(bit, c0, total);
+                reference.encode(bit, c0, total);
+            }
+            let pre = enc.bits_written();
+            let (subs, bits) = enc.finish_with_bits();
+            assert!(bits >= pre, "{lanes} lanes: flush tail lost");
+            let byte_bits: u64 = subs.iter().map(|s| s.len() as u64 * 8).sum();
+            assert!(
+                bits <= byte_bits && byte_bits - bits < 8 * lanes as u64,
+                "{lanes} lanes: {bits} bits vs {byte_bits} substream bits"
+            );
+            assert_eq!(subs, reference.finish_to_bytes(), "{lanes} lanes");
+        }
     }
 
     #[test]

@@ -295,8 +295,10 @@ pub fn encode_raw_lanes(
 
     let (width, height) = img.dimensions();
     let decisions = enc.decisions();
-    let payload_bits = enc.bits_written();
     let coder_stats = state.coder_stats();
+    // The flush tail of every lane counts toward the payload, exactly as
+    // the single coder's post-`finish` count does in `encode_raw`.
+    let (subs, payload_bits) = enc.finish_with_bits();
     let stats = EncodeStats {
         pixels: (width * height) as u64,
         payload_bits,
@@ -305,7 +307,7 @@ pub fn encode_raw_lanes(
         context_halvings: state.halvings(),
         decisions,
     };
-    (enc.finish_to_bytes(), stats)
+    (subs, stats)
 }
 
 /// [`decode_raw_into`] over the per-lane substreams produced by

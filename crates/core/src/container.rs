@@ -177,7 +177,7 @@ pub fn compress(img: ImageView<'_>, cfg: &CodecConfig) -> Vec<u8> {
 /// With one lane this is exactly [`compress`] (same version-1/2 container,
 /// byte for byte). With `lanes ≥ 2` the decisions are dealt round-robin
 /// across independent coder interval states (see
-/// [`encode_raw_lanes`](crate::codec::encode_raw_lanes)) and the result is
+/// [`encode_raw_lanes`]) and the result is
 /// a version-3 container: lane-count byte, per-lane length table, then the
 /// concatenated substreams. The decoded pixels are identical for every
 /// lane count.

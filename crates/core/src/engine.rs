@@ -44,7 +44,8 @@
 //!   not three times.
 //!
 //! The inner loops are monomorphized over their
-//! [`BitSink`]/[`BitSource`], so the buffered and streaming transports
+//! [`BitSink`](cbic_bitio::BitSink)/[`BitSource`](cbic_bitio::BitSource),
+//! so the buffered and streaming transports
 //! compile to separate, branch-free specializations. Every byte of output
 //! is identical to the pre-engine implementation: the 16 golden fixtures
 //! and the cross-path differential proptests (`tests/engine.rs`) pin this.
@@ -308,7 +309,7 @@ impl PixelEngine {
     /// every whole-image encode path runs. Pixels are read through row
     /// slices (current row plus the two above), so strided views cost the
     /// same as contiguous ones; the loop is monomorphized per
-    /// [`BitSink`].
+    /// [`BitSink`](cbic_bitio::BitSink).
     ///
     /// Interior pixels of interior rows take the register-carried fast
     /// path: the seven neighbours live in locals that shift along the row

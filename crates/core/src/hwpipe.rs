@@ -268,6 +268,13 @@ impl<E: DecisionEncoder> HwEncoder<E> {
         &self.ac
     }
 
+    /// Mutably borrows the decision coder (e.g. to drain a
+    /// [`LaneEncoder`](cbic_arith::LaneEncoder)'s buffered decisions for
+    /// an exact mid-stream bit count).
+    pub fn coder_mut(&mut self) -> &mut E {
+        &mut self.ac
+    }
+
     /// Consumes the encoder and returns the decision coder *without*
     /// flushing it — the caller finalizes (e.g.
     /// [`LaneEncoder::finish_to_bytes`](cbic_arith::LaneEncoder::finish_to_bytes)).

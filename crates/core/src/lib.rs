@@ -69,7 +69,7 @@ pub use codec::{decode_raw, encode_raw, CodecConfig, DivisionKind, EncodeStats};
 pub use container::{compress, compress_with_lanes, decompress, CodecError, Proposed};
 pub use engine::{DecoderState, EncoderState, PixelEngine};
 pub use session::{DecoderSession, EncoderSession};
-pub use stream::{StreamDecoder, StreamEncoder};
+pub use stream::{StreamDecoder, StreamEncodeStats, StreamEncoder};
 pub use tiles::{compress_tiled_with_lanes, Parallelism, Tiled};
 
 #[cfg(test)]

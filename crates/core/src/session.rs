@@ -97,7 +97,7 @@ impl EncoderSession {
     /// # Panics
     ///
     /// Panics if the configuration is invalid or `lanes` is zero or above
-    /// [`MAX_LANES`](cbic_arith::MAX_LANES).
+    /// [`MAX_LANES`].
     pub fn with_lanes(cfg: &CodecConfig, lanes: usize) -> Self {
         assert!(
             (1..=MAX_LANES).contains(&lanes),
@@ -118,6 +118,23 @@ impl EncoderSession {
     /// Number of interleaved coder lanes per container (1 = v1/v2).
     pub fn lanes(&self) -> usize {
         self.lanes
+    }
+
+    /// Changes the lane count for subsequent [`encode`](Self::encode)
+    /// calls without rebuilding the model state — the lane count only
+    /// selects the entropy-stage packing, never the model, so a long-lived
+    /// worker (e.g. a `cbic-server` shard) can honor per-request lane
+    /// options on one session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or above [`MAX_LANES`].
+    pub fn set_lanes(&mut self, lanes: usize) {
+        assert!(
+            (1..=MAX_LANES).contains(&lanes),
+            "lane count {lanes} outside 1..={MAX_LANES}"
+        );
+        self.lanes = lanes;
     }
 
     /// Encodes the pixels of `img` into a standard container written to
@@ -147,8 +164,9 @@ impl EncoderSession {
             let mut enc = LaneEncoder::new(self.lanes);
             self.state.encode_view(img, &mut enc);
             let decisions = enc.decisions();
-            let payload_bits = enc.bits_written();
-            let subs = enc.finish_to_bytes();
+            // Flush tails count, matching the single-coder path below
+            // (which reads `bits_written` after the coder's `finish`).
+            let (subs, payload_bits) = enc.finish_with_bits();
             for sub in &subs {
                 sink.write_all(&(sub.len() as u32).to_le_bytes())
                     .map_err(CbicError::from)?;

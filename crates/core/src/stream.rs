@@ -79,6 +79,27 @@ pub struct StreamEncoder<W: Write> {
     backend: EncBackend<W>,
     height: usize,
     rows_in: usize,
+    header_len: usize,
+}
+
+/// What one finished [`StreamEncoder`] wrote — the streaming counterpart
+/// of [`EncodeStats`](crate::EncodeStats), returned by
+/// [`StreamEncoder::finish_with_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct StreamEncodeStats {
+    /// Exact entropy-coded payload bits, including every coder's flush
+    /// tail (summed over all lanes, excluding byte-align padding and the
+    /// v3 lane table) — matches
+    /// [`EncodeStats::payload_bits`](crate::EncodeStats) for the same
+    /// pixels and lane count.
+    pub payload_bits: u64,
+    /// Bytes following the fixed container header: the padded payload
+    /// plus, for v3, the per-lane length table — the quantity `cbic info`
+    /// reports as "payload".
+    pub payload_bytes: u64,
+    /// Total container bytes written (header + payload).
+    pub container_bytes: u64,
 }
 
 impl<W: Write> StreamEncoder<W> {
@@ -135,7 +156,7 @@ impl<W: Write> StreamEncoder<W> {
     /// # Panics
     ///
     /// Additionally panics if `lanes` is zero or above
-    /// [`MAX_LANES`](cbic_arith::MAX_LANES).
+    /// [`MAX_LANES`].
     pub fn with_lanes(
         mut out: W,
         width: usize,
@@ -170,6 +191,7 @@ impl<W: Write> StreamEncoder<W> {
             backend,
             height,
             rows_in: 0,
+            header_len: len,
         })
     }
 
@@ -210,14 +232,18 @@ impl<W: Write> StreamEncoder<W> {
     /// Payload bits emitted so far (pre-padding, summed over all lanes) —
     /// the streaming equivalent of
     /// [`EncodeStats::payload_bits`](crate::EncodeStats). On a
-    /// lane-striped encoder this excludes decisions still buffered at the
-    /// lane mux (at most a few hundred), so it can trail the single-coder
-    /// count slightly mid-stream; [`finish`](Self::finish) always settles
-    /// the exact total.
-    pub fn payload_bits(&self) -> u64 {
-        match &self.backend {
+    /// lane-striped encoder this drains the decisions buffered at the lane
+    /// mux first, so the count is exact up to the decisions coded so far
+    /// (it excludes only each coder's final flush tail, like the
+    /// single-coder count; [`finish_with_stats`](Self::finish_with_stats)
+    /// settles the exact total including the tails).
+    pub fn payload_bits(&mut self) -> u64 {
+        match &mut self.backend {
             EncBackend::Single(hw) => hw.sink().bits_written(),
-            EncBackend::Lanes { hw, .. } => hw.coder().bits_flushed(),
+            // `bits_flushed` alone would miss everything still buffered at
+            // the mux — on a small image that is the *entire* payload
+            // (the `compress --lanes N` "0.000 bpp" bug).
+            EncBackend::Lanes { hw, .. } => hw.coder_mut().bits_written(),
         }
     }
 
@@ -282,15 +308,49 @@ impl<W: Write> StreamEncoder<W> {
     /// Panics if fewer than `height` rows were pushed — finishing early
     /// would emit a container whose header lies about its pixel count.
     pub fn finish(self) -> io::Result<W> {
+        Ok(self.finish_with_stats()?.0)
+    }
+
+    /// [`finish`](Self::finish) that also reports what was written: the
+    /// exact payload bits (flush tails included) and the payload/container
+    /// byte counts, so a caller reporting sizes — the CLI, a service —
+    /// needs no second pass over the output. The byte counts match what
+    /// `cbic info` derives from the container.
+    ///
+    /// # Errors
+    ///
+    /// As [`finish`](Self::finish).
+    ///
+    /// # Panics
+    ///
+    /// As [`finish`](Self::finish).
+    pub fn finish_with_stats(self) -> io::Result<(W, StreamEncodeStats)> {
         assert_eq!(
             self.rows_in, self.height,
             "only {} of {} rows were pushed",
             self.rows_in, self.height
         );
+        let header_len = self.header_len as u64;
         match self.backend {
-            EncBackend::Single(hw) => hw.finish_sink().finish(),
+            EncBackend::Single(hw) => {
+                let mut writer = hw.finish_sink();
+                writer.take_error()?;
+                // The coder flush already ran, so this is the exact
+                // pre-padding total; `finish` pads to the byte boundary.
+                let payload_bits = writer.bits_written();
+                let payload_bytes = payload_bits.div_ceil(8);
+                let out = writer.finish()?;
+                Ok((
+                    out,
+                    StreamEncodeStats {
+                        payload_bits,
+                        payload_bytes,
+                        container_bytes: header_len + payload_bytes,
+                    },
+                ))
+            }
             EncBackend::Lanes { hw, mut out } => {
-                let subs = hw.into_coder().finish_to_bytes();
+                let (subs, payload_bits) = hw.into_coder().finish_with_bits();
                 for sub in &subs {
                     let len = u32::try_from(sub.len()).map_err(|_| {
                         io::Error::new(
@@ -303,7 +363,16 @@ impl<W: Write> StreamEncoder<W> {
                 for sub in &subs {
                     out.write_all(sub)?;
                 }
-                Ok(out)
+                let payload_bytes =
+                    (4 * subs.len() + subs.iter().map(Vec::len).sum::<usize>()) as u64;
+                Ok((
+                    out,
+                    StreamEncodeStats {
+                        payload_bits,
+                        payload_bytes,
+                        container_bytes: header_len + payload_bytes,
+                    },
+                ))
             }
         }
     }

@@ -170,7 +170,7 @@ pub fn compress_tiled(
 /// [`compress_tiled`] with every band coded over `lanes` interleaved coder
 /// lanes: each band embeds a standard container, so for `lanes ≥ 2` the
 /// bands are version-3 containers (see
-/// [`compress_with_lanes`](crate::compress_with_lanes)) while the `CBTI`
+/// [`compress_with_lanes`]) while the `CBTI`
 /// framing is unchanged. Decoded pixels are identical for every lane
 /// count.
 ///

@@ -207,10 +207,17 @@ impl CodecRegistry {
             .ok_or_else(|| CbicError::UnknownCodec(name.into()))
     }
 
+    /// Looks a codec up by its exact 4-byte container magic — the routing
+    /// primitive for wire protocols that carry the magic instead of a
+    /// codec name (e.g. `cbic-server` requests).
+    pub fn by_magic(&self, magic: [u8; 4]) -> Option<&dyn Codec> {
+        self.codecs().find(|c| c.magic() == Some(magic))
+    }
+
     /// Identifies which codec produced `bytes` from its container magic.
     pub fn detect(&self, bytes: &[u8]) -> Option<&dyn Codec> {
         let magic: [u8; 4] = bytes.get(..4)?.try_into().ok()?;
-        self.codecs().find(|c| c.magic() == Some(magic))
+        self.by_magic(magic)
     }
 
     /// Auto-detects the producing codec and decodes the buffered
@@ -317,6 +324,8 @@ mod tests {
     #[test]
     fn detection_by_magic() {
         let r = sample();
+        assert_eq!(r.by_magic(*b"AAAA").unwrap().name(), "aaaa");
+        assert!(r.by_magic(*b"ZZZZ").is_none());
         assert_eq!(r.detect(b"BBBBxyz").unwrap().name(), "bbbb");
         assert!(r.detect(b"ZZZZ").is_none());
         assert!(r.detect(b"AB").is_none());

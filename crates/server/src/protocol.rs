@@ -1,0 +1,347 @@
+//! The wire protocol: length-framed binary requests and replies.
+//!
+//! Every message is one *frame*: a `u32` little-endian body length
+//! followed by that many body bytes. Frames never exceed the server's
+//! configured ceiling; a request frame whose declared length is larger is
+//! answered with [`Status::TooLarge`] and the connection is closed without
+//! reading the body.
+//!
+//! Request bodies start with an [`Op`] byte:
+//!
+//! ```text
+//! ENCODE  = [1][magic 4B][lanes u8][threads u8][depth u8][width u32][height u32][samples]
+//! DECODE  = [2][container bytes]
+//! PROBE   = [3][container bytes]
+//! METRICS = [4]
+//! ```
+//!
+//! `samples` are row-major, one byte per sample for depths ≤ 8 and two
+//! little-endian bytes otherwise. `magic` routes the request to a codec by
+//! its container magic (`CBIC`, `CBTI`, …); `lanes`/`threads` map onto
+//! [`EncodeOptions`](cbic_image::EncodeOptions) lanes and parallelism.
+//!
+//! Reply bodies start with a [`Status`] byte:
+//!
+//! ```text
+//! OK(ENCODE)  = [0][payload_bits u64][container]       payload_bits = u64::MAX when untracked
+//! OK(DECODE)  = [0][width u32][height u32][depth u8][samples]
+//! OK(PROBE)   = [0][name_len u8][name][width u32][height u32][depth u8]
+//! OK(METRICS) = [0][utf-8 text]
+//! error       = [status][msg_len u16][msg utf-8]
+//! ```
+
+use std::io::{self, Read, Write};
+
+/// Sentinel `payload_bits` value in an ENCODE reply: the codec does not
+/// track exact payload bits for this container.
+pub const PAYLOAD_BITS_UNTRACKED: u64 = u64::MAX;
+
+/// Request operations (first body byte of a request frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    /// Compress raw samples into a container.
+    Encode = 1,
+    /// Decompress a container into raw samples.
+    Decode = 2,
+    /// Decode a container but return only its geometry and codec name.
+    Probe = 3,
+    /// Fetch the metrics registry as Prometheus-style text.
+    Metrics = 4,
+}
+
+impl Op {
+    /// Parses an op byte; `None` for unknown operations.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(Op::Encode),
+            2 => Some(Op::Decode),
+            3 => Some(Op::Probe),
+            4 => Some(Op::Metrics),
+            _ => None,
+        }
+    }
+}
+
+/// Reply status (first body byte of a reply frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Request served; payload follows per op.
+    Ok = 0,
+    /// Work queue full — retry later. The connection is closed.
+    Busy = 1,
+    /// Malformed frame body (bad op, short fields, invalid samples).
+    BadRequest = 2,
+    /// Frame or image larger than the server's configured ceiling.
+    TooLarge = 3,
+    /// The codec rejected the payload (bad magic, truncation, …).
+    CodecError = 4,
+    /// Server is draining for shutdown; no further requests are served.
+    Draining = 5,
+}
+
+impl Status {
+    /// Parses a status byte; `None` for unknown statuses.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Busy),
+            2 => Some(Status::BadRequest),
+            3 => Some(Status::TooLarge),
+            4 => Some(Status::CodecError),
+            5 => Some(Status::Draining),
+            _ => None,
+        }
+    }
+}
+
+/// Writes one frame: `u32` LE length then the body.
+///
+/// # Errors
+///
+/// Propagates the sink's I/O errors.
+pub fn write_frame(sink: &mut dyn Write, body: &[u8]) -> io::Result<()> {
+    sink.write_all(&(body.len() as u32).to_le_bytes())?;
+    sink.write_all(body)?;
+    sink.flush()
+}
+
+/// What [`read_frame`] found at the head of the stream.
+#[derive(Debug)]
+pub enum Frame {
+    /// A complete frame body.
+    Body(Vec<u8>),
+    /// The peer closed the stream cleanly before a length prefix.
+    Eof,
+    /// The length prefix exceeds `max_len`; the body was *not* read.
+    TooLarge(u32),
+}
+
+/// Reads one frame, enforcing the body-length ceiling *before* any
+/// allocation proportional to the declared length.
+///
+/// # Errors
+///
+/// Propagates the source's I/O errors; EOF mid-frame (after the length
+/// prefix) surfaces as [`io::ErrorKind::UnexpectedEof`].
+pub fn read_frame(source: &mut dyn Read, max_len: usize) -> io::Result<Frame> {
+    let mut len_buf = [0u8; 4];
+    // A clean EOF before any length byte means the peer is done.
+    match source.read(&mut len_buf) {
+        Ok(0) => return Ok(Frame::Eof),
+        Ok(n) => source.read_exact(&mut len_buf[n..])?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len as usize > max_len {
+        return Ok(Frame::TooLarge(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    source.read_exact(&mut body)?;
+    Ok(Frame::Body(body))
+}
+
+/// A parsed ENCODE request body (everything after the op byte).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeRequest {
+    /// Container magic selecting the codec.
+    pub magic: [u8; 4],
+    /// Coder lanes (`1` = classic single-coder stream).
+    pub lanes: u8,
+    /// Worker threads for codecs with a parallel path (`0`/`1` =
+    /// sequential).
+    pub threads: u8,
+    /// Sample bit depth, `1..=16`.
+    pub bit_depth: u8,
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Row-major samples, already widened to `u16`.
+    pub samples: Vec<u16>,
+}
+
+impl EncodeRequest {
+    /// Serializes the full request body (op byte included).
+    pub fn to_body(&self) -> Vec<u8> {
+        let wide = self.bit_depth > 8;
+        let mut body = Vec::with_capacity(16 + self.samples.len() * if wide { 2 } else { 1 });
+        body.push(Op::Encode as u8);
+        body.extend_from_slice(&self.magic);
+        body.push(self.lanes);
+        body.push(self.threads);
+        body.push(self.bit_depth);
+        body.extend_from_slice(&self.width.to_le_bytes());
+        body.extend_from_slice(&self.height.to_le_bytes());
+        if wide {
+            for &s in &self.samples {
+                body.extend_from_slice(&s.to_le_bytes());
+            }
+        } else {
+            body.extend(self.samples.iter().map(|&s| s as u8));
+        }
+        body
+    }
+
+    /// Parses the fields after the op byte.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed field.
+    pub fn parse(rest: &[u8]) -> Result<Self, String> {
+        if rest.len() < 15 {
+            return Err(format!("encode header needs 15 bytes, got {}", rest.len()));
+        }
+        let magic = [rest[0], rest[1], rest[2], rest[3]];
+        let (lanes, threads, bit_depth) = (rest[4], rest[5], rest[6]);
+        let width = u32::from_le_bytes(rest[7..11].try_into().expect("sized"));
+        let height = u32::from_le_bytes(rest[11..15].try_into().expect("sized"));
+        let pixels = (width as u64) * (height as u64);
+        let data = &rest[15..];
+        let wide = bit_depth > 8;
+        let expect = pixels * if wide { 2 } else { 1 };
+        if data.len() as u64 != expect {
+            return Err(format!(
+                "{width}x{height} at {bit_depth}-bit needs {expect} sample bytes, got {}",
+                data.len()
+            ));
+        }
+        let samples = if wide {
+            data.chunks_exact(2)
+                .map(|c| u16::from_le_bytes([c[0], c[1]]))
+                .collect()
+        } else {
+            data.iter().map(|&b| u16::from(b)).collect()
+        };
+        Ok(Self {
+            magic,
+            lanes,
+            threads,
+            bit_depth,
+            width,
+            height,
+            samples,
+        })
+    }
+}
+
+/// Serializes an error reply body: `[status][msg_len u16][msg]`.
+pub fn error_body(status: Status, msg: &str) -> Vec<u8> {
+    let msg = msg.as_bytes();
+    let len = msg.len().min(u16::MAX as usize);
+    let mut body = Vec::with_capacity(3 + len);
+    body.push(status as u8);
+    body.extend_from_slice(&(len as u16).to_le_bytes());
+    body.extend_from_slice(&msg[..len]);
+    body
+}
+
+/// Parses an error reply body's message (the bytes after the status).
+pub fn parse_error_msg(rest: &[u8]) -> String {
+    if rest.len() < 2 {
+        return String::new();
+    }
+    let len = u16::from_le_bytes([rest[0], rest[1]]) as usize;
+    String::from_utf8_lossy(&rest[2..rest.len().min(2 + len)]).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        assert_eq!(&wire[..4], &5u32.to_le_bytes());
+        match read_frame(&mut &wire[..], 64).unwrap() {
+            Frame::Body(b) => assert_eq!(b, b"hello"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_reports_clean_eof_and_oversize_without_reading_body() {
+        assert!(matches!(read_frame(&mut &[][..], 64).unwrap(), Frame::Eof));
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[0u8; 100]).unwrap();
+        match read_frame(&mut &wire[..], 64).unwrap() {
+            Frame::TooLarge(len) => assert_eq!(len, 100),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_errors_on_mid_frame_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[7u8; 32]).unwrap();
+        let err = read_frame(&mut &wire[..10], 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Cut inside the length prefix itself.
+        let err = read_frame(&mut &wire[..2], 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn encode_request_roundtrips_both_sample_widths() {
+        for (depth, samples) in [(8u8, vec![0u16, 255, 7]), (12, vec![0, 4095, 300])] {
+            let req = EncodeRequest {
+                magic: *b"CBIC",
+                lanes: 4,
+                threads: 2,
+                bit_depth: depth,
+                width: 3,
+                height: 1,
+                samples,
+            };
+            let body = req.to_body();
+            assert_eq!(body[0], Op::Encode as u8);
+            assert_eq!(EncodeRequest::parse(&body[1..]).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn encode_request_rejects_sample_count_mismatch() {
+        let req = EncodeRequest {
+            magic: *b"CBIC",
+            lanes: 1,
+            threads: 0,
+            bit_depth: 8,
+            width: 4,
+            height: 4,
+            samples: vec![0; 16],
+        };
+        let mut body = req.to_body();
+        body.pop();
+        assert!(EncodeRequest::parse(&body[1..]).is_err());
+        assert!(EncodeRequest::parse(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn error_body_roundtrips_and_truncates() {
+        let body = error_body(Status::BadRequest, "nope");
+        assert_eq!(body[0], Status::BadRequest as u8);
+        assert_eq!(parse_error_msg(&body[1..]), "nope");
+        assert_eq!(parse_error_msg(&[]), "");
+    }
+
+    #[test]
+    fn op_and_status_bytes_roundtrip() {
+        for op in [Op::Encode, Op::Decode, Op::Probe, Op::Metrics] {
+            assert_eq!(Op::from_byte(op as u8), Some(op));
+        }
+        assert_eq!(Op::from_byte(0), None);
+        for st in [
+            Status::Ok,
+            Status::Busy,
+            Status::BadRequest,
+            Status::TooLarge,
+            Status::CodecError,
+            Status::Draining,
+        ] {
+            assert_eq!(Status::from_byte(st as u8), Some(st));
+        }
+        assert_eq!(Status::from_byte(99), None);
+    }
+}

@@ -1,0 +1,335 @@
+//! Live-socket integration tests: a real [`Server`] on an ephemeral
+//! port, driven through the real [`Client`] — per-codec round-trips,
+//! structured rejection of oversized and truncated requests, busy
+//! backpressure, a concurrent soak, and the graceful drain.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering::Relaxed;
+use std::time::Duration;
+
+use cbic_core::{compress_with_lanes, CodecConfig};
+use cbic_image::corpus::CorpusImage;
+use cbic_image::Image;
+use cbic_server::client::{Client, Reply};
+use cbic_server::protocol::Status;
+use cbic_server::server::{Server, ServerConfig, ServerHandle};
+use cbic_universal::codecs::default_registry;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn spawn_server(config: ServerConfig) -> ServerHandle {
+    Server::bind("127.0.0.1:0", config)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server thread")
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn every_registry_codec_roundtrips_over_the_socket() {
+    let handle = spawn_server(test_config());
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let img = CorpusImage::Goldhill.generate(32, 32);
+    let registry = default_registry();
+    for codec in registry.codecs() {
+        let magic = codec.magic().expect("workspace codecs are magic-routed");
+        // Threads exercise the tiled codec's parallel path; others ignore it.
+        let threads = if codec.name() == "tiled" { 2 } else { 0 };
+        let Reply::Encoded { container, .. } = client
+            .encode(img.view(), magic, 1, threads)
+            .expect("encode rpc")
+        else {
+            panic!("{} encode refused", codec.name());
+        };
+        assert_eq!(&container[..4], &magic, "{}", codec.name());
+        let Reply::Decoded(back) = client.decode(&container).expect("decode rpc") else {
+            panic!("{} decode refused", codec.name());
+        };
+        assert_eq!(back, img, "{}", codec.name());
+        // And the service identifies its own output.
+        let Reply::Probed {
+            codec: probed,
+            width,
+            height,
+            bit_depth,
+        } = client.probe(&container).expect("probe rpc")
+        else {
+            panic!("{} probe refused", codec.name());
+        };
+        assert_eq!(probed, codec.name());
+        assert_eq!((width, height, bit_depth), (32, 32, 8));
+    }
+    drop(client);
+    handle.shutdown_and_join().expect("clean drain");
+}
+
+#[test]
+fn lane_encodes_match_the_local_v3_container_bit_for_bit() {
+    let handle = spawn_server(test_config());
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let img = CorpusImage::Lena.generate(24, 24);
+    for lanes in [1u8, 2, 4, 8] {
+        let Reply::Encoded {
+            container,
+            payload_bits,
+        } = client
+            .encode(img.view(), *b"CBIC", lanes, 0)
+            .expect("encode rpc")
+        else {
+            panic!("lanes {lanes}: encode refused");
+        };
+        let local = compress_with_lanes(img.view(), &CodecConfig::default(), lanes as usize);
+        assert_eq!(container, local, "lanes {lanes}");
+        // The session path reports exact payload bits (satellite 1's
+        // accounting), bounded by the container's payload bytes.
+        let bits = payload_bits.expect("proposed codec tracks payload bits");
+        assert!(
+            bits > 0 && bits <= container.len() as u64 * 8,
+            "lanes {lanes}"
+        );
+    }
+    // 16-bit samples over the same wire format.
+    let deep = Image::from_fn16(20, 20, 12, |x, y| ((x * 101 + y * 57) % 4096) as u16);
+    let Reply::Encoded { container, .. } = client
+        .encode(deep.view(), *b"CBIC", 2, 0)
+        .expect("encode rpc")
+    else {
+        panic!("12-bit encode refused");
+    };
+    let Reply::Decoded(back) = client.decode(&container).expect("decode rpc") else {
+        panic!("12-bit decode refused");
+    };
+    assert_eq!(back, deep);
+    drop(client);
+    handle.shutdown_and_join().expect("clean drain");
+}
+
+#[test]
+fn session_reuse_is_deterministic_across_requests() {
+    // The same image encoded twice on one connection (same worker
+    // session, reset in place) must produce identical bytes — and they
+    // must match a fresh server's first encode.
+    let handle = spawn_server(ServerConfig {
+        workers: 1,
+        ..test_config()
+    });
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let img = CorpusImage::Barb.generate(32, 32);
+    let mut encodes = Vec::new();
+    for lanes in [4u8, 1, 4] {
+        let Reply::Encoded { container, .. } = client
+            .encode(img.view(), *b"CBIC", lanes, 0)
+            .expect("encode rpc")
+        else {
+            panic!("encode refused");
+        };
+        encodes.push(container);
+    }
+    assert_eq!(encodes[0], encodes[2], "session reuse must be stateless");
+    assert_eq!(
+        encodes[1],
+        cbic_core::compress(img.view(), &CodecConfig::default()),
+        "interleaved lane counts must not leak state"
+    );
+    drop(client);
+    handle.shutdown_and_join().expect("clean drain");
+}
+
+#[test]
+fn oversized_frames_are_refused_before_the_body_is_read() {
+    let handle = spawn_server(ServerConfig {
+        max_frame_bytes: 1024,
+        ..test_config()
+    });
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    // Declare a 2 MiB frame; send only the prefix. The server must
+    // answer TooLarge immediately without waiting for (or allocating)
+    // the body.
+    client
+        .send_raw(&(2u32 << 20).to_le_bytes())
+        .expect("send oversized length");
+    let reply = client.read_reply().expect("too-large reply");
+    assert_eq!(Status::from_byte(reply[0]), Some(Status::TooLarge));
+    assert_eq!(handle.metrics().too_large.load(Relaxed), 1);
+    handle.shutdown_and_join().expect("clean drain");
+}
+
+#[test]
+fn truncated_frames_and_garbage_never_kill_the_server() {
+    let handle = spawn_server(test_config());
+
+    // Half a frame, then EOF.
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    client.send_raw(&100u32.to_le_bytes()).expect("length");
+    client.send_raw(&[0u8; 10]).expect("partial body");
+    client.finish().expect("half-close");
+    client.drain();
+
+    // A complete frame holding a malformed encode body.
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let reply = client.roundtrip(&[1u8, 2, 3]).expect("reply");
+    assert_eq!(Status::from_byte(reply[0]), Some(Status::BadRequest));
+
+    // An unknown op byte.
+    let reply = client.roundtrip(&[99u8]).expect("reply");
+    assert_eq!(Status::from_byte(reply[0]), Some(Status::BadRequest));
+
+    // Garbage container bytes to DECODE.
+    let mut body = vec![2u8];
+    body.extend_from_slice(b"NOPE this is not a container");
+    let reply = client.roundtrip(&body).expect("reply");
+    assert_eq!(Status::from_byte(reply[0]), Some(Status::CodecError));
+
+    // A truncated (but magic-valid) container to DECODE.
+    let img = CorpusImage::Zelda.generate(16, 16);
+    let container = cbic_core::compress(img.view(), &CodecConfig::default());
+    let mut body = vec![2u8];
+    body.extend_from_slice(&container[..container.len() / 2]);
+    let reply = client.roundtrip(&body).expect("reply");
+    assert_eq!(Status::from_byte(reply[0]), Some(Status::CodecError));
+
+    // After all of that, the server still serves correct work.
+    let Reply::Encoded { container, .. } = client
+        .encode(img.view(), *b"CBIC", 1, 0)
+        .expect("encode rpc")
+    else {
+        panic!("encode refused");
+    };
+    let Reply::Decoded(back) = client.decode(&container).expect("decode rpc") else {
+        panic!("decode refused");
+    };
+    assert_eq!(back, img);
+    assert!(handle.metrics().io_errors.load(Relaxed) >= 1);
+    drop(client);
+    handle.shutdown_and_join().expect("clean drain");
+}
+
+#[test]
+fn full_queue_answers_busy_instead_of_queueing_unboundedly() {
+    let handle = spawn_server(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    });
+
+    // Occupy the single worker: a connection holding an unfinished frame
+    // keeps it blocked in read until the 2 s socket timeout.
+    let mut hog = TcpStream::connect(handle.addr()).expect("connect hog");
+    hog.write_all(&64u32.to_le_bytes()).expect("partial frame");
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Fill the one queue slot with an idle connection.
+    let _queued = TcpStream::connect(handle.addr()).expect("connect queued");
+    std::thread::sleep(Duration::from_millis(300));
+
+    // The next connection must be refused with a structured Busy reply.
+    let mut refused = Client::connect(handle.addr(), TIMEOUT).expect("connect refused");
+    let reply = refused.read_reply().expect("busy reply");
+    assert_eq!(Status::from_byte(reply[0]), Some(Status::Busy));
+    assert!(handle.metrics().busy_rejections.load(Relaxed) >= 1);
+    drop(hog);
+    handle.shutdown_and_join().expect("clean drain");
+}
+
+#[test]
+fn concurrent_soak_counts_every_request_exactly_once() {
+    const CONNS: usize = 8;
+    const REQS: usize = 12;
+    let handle = spawn_server(ServerConfig {
+        workers: 4,
+        ..test_config()
+    });
+    let addr = handle.addr();
+    std::thread::scope(|scope| {
+        for worker in 0..CONNS {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr, TIMEOUT).expect("connect");
+                let img = CorpusImage::ALL[worker % CorpusImage::ALL.len()].generate(24, 24);
+                for i in 0..REQS {
+                    let lanes = [1u8, 2, 4][i % 3];
+                    let Reply::Encoded { container, .. } = client
+                        .encode(img.view(), *b"CBIC", lanes, 0)
+                        .expect("encode rpc")
+                    else {
+                        panic!("encode refused");
+                    };
+                    let Reply::Decoded(back) = client.decode(&container).expect("decode rpc")
+                    else {
+                        panic!("decode refused");
+                    };
+                    assert_eq!(back, img, "conn {worker} req {i}");
+                }
+            });
+        }
+    });
+    let metrics = handle.metrics();
+    assert_eq!(metrics.encode_ok.load(Relaxed), (CONNS * REQS) as u64);
+    assert_eq!(metrics.decode_ok.load(Relaxed), (CONNS * REQS) as u64);
+    assert_eq!(
+        metrics.pixels_encoded.load(Relaxed),
+        (CONNS * REQS * 24 * 24) as u64
+    );
+    assert_eq!(metrics.queue_depth.load(Relaxed), 0);
+    handle.shutdown_and_join().expect("clean drain");
+}
+
+#[test]
+fn metrics_endpoint_renders_the_counters() {
+    let handle = spawn_server(test_config());
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let img = CorpusImage::Peppers.generate(16, 16);
+    let Reply::Encoded { .. } = client
+        .encode(img.view(), *b"CBIC", 1, 0)
+        .expect("encode rpc")
+    else {
+        panic!("encode refused");
+    };
+    let Reply::Metrics(text) = client.metrics().expect("metrics rpc") else {
+        panic!("metrics refused");
+    };
+    assert!(text.contains("cbic_encode_requests_total 1"), "{text}");
+    assert!(text.contains("cbic_connections_total 1"), "{text}");
+    assert!(text.contains("cbic_encode_bpp_bucket"), "{text}");
+    drop(client);
+    handle.shutdown_and_join().expect("clean drain");
+}
+
+#[test]
+fn drain_answers_draining_then_exits_cleanly() {
+    let handle = spawn_server(test_config());
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let img = CorpusImage::Boat.generate(16, 16);
+
+    // A request before the drain is served normally.
+    let Reply::Encoded { container, .. } = client
+        .encode(img.view(), *b"CBIC", 1, 0)
+        .expect("encode rpc")
+    else {
+        panic!("encode refused");
+    };
+
+    handle.begin_shutdown();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The live connection's next request gets a structured Draining
+    // reply, not a dropped socket mid-write.
+    let mut body = vec![2u8];
+    body.extend_from_slice(&container);
+    let reply = client.roundtrip(&body).expect("draining reply");
+    assert_eq!(Status::from_byte(reply[0]), Some(Status::Draining));
+    assert!(handle.metrics().draining_rejections.load(Relaxed) >= 1);
+
+    drop(client);
+    handle.shutdown_and_join().expect("clean drain");
+}

@@ -273,18 +273,21 @@ fn compress_streaming(input: &str, output: &str, lanes: usize) -> CliResult {
             .map_err(|e| format!("reading pixel row {y}: {e}"))?;
         enc.push_row(&row)?;
     }
-    let payload_bits = enc.payload_bits();
-    enc.finish()?.flush()?;
+    let (mut out, stats) = enc.finish_with_stats()?;
+    out.flush()?;
     let pixels = width * height;
     let label = if lanes > 1 {
         format!("proposed ({lanes} lanes, v3 container)")
     } else {
         "proposed (streamed, O(3 lines) memory)".into()
     };
+    // Same payload-bytes-over-pixels rate `cbic info` reports for the
+    // finished container, so the two commands agree on every lane count.
     eprintln!(
-        "{input}: {pixels} pixels ({}-bit) -> ~{:.3} bpp with {label}",
+        "{input}: {pixels} pixels ({}-bit) -> {} bytes ({:.3} bpp) with {label}",
         header.bit_depth(),
-        payload_bits as f64 / pixels as f64
+        stats.container_bytes,
+        stats.payload_bytes as f64 * 8.0 / pixels as f64
     );
     Ok(())
 }

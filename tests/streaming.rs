@@ -364,6 +364,86 @@ fn sixty_four_megapixel_roundtrip_in_bounded_memory() {
     }
 }
 
+/// Regression: `StreamEncoder::payload_bits()` returned 0 on lane paths
+/// until the first 1024-decision batch drained, so `cbic compress
+/// --lanes N` printed ~0.000 bpp for any small image while `cbic info`
+/// reported the true rate. Pin, for lanes {1, 2, 4, 8}: a live non-zero
+/// mid-stream count, an exact final count shared by every encode path,
+/// and `StreamEncodeStats` payload/container byte totals that match the
+/// finished v3 container (the quantities `info` prints).
+#[test]
+fn lane_payload_bits_match_v3_payload_exactly() {
+    use cbic::core::{compress_with_lanes, EncoderSession};
+    let img = CorpusImage::Lena.generate(32, 32);
+    let cfg = CodecConfig::default();
+    for lanes in [1usize, 2, 4, 8] {
+        let buffered = compress_with_lanes(img.view(), &cfg, lanes);
+
+        let mut enc = StreamEncoder::with_lanes(
+            Vec::new(),
+            img.width(),
+            img.height(),
+            img.bit_depth(),
+            &cfg,
+            lanes,
+        )
+        .unwrap();
+        let mut mid_stream_bits = 0;
+        for (y, row) in img.view().rows().enumerate() {
+            enc.push_row(row).unwrap();
+            if y == img.height() / 2 {
+                mid_stream_bits = enc.payload_bits();
+            }
+        }
+        assert!(
+            mid_stream_bits > 0,
+            "lanes {lanes}: payload_bits() must count buffered decisions mid-stream"
+        );
+        let (out, stats) = enc.finish_with_stats().unwrap();
+        assert_eq!(out, buffered, "lanes {lanes}");
+        assert_eq!(
+            stats.container_bytes as usize,
+            buffered.len(),
+            "lanes {lanes}"
+        );
+        assert!(stats.payload_bits >= mid_stream_bits, "lanes {lanes}");
+
+        // `cbic info`'s payload is the container minus its fixed header
+        // (23 bytes for v1, 25 for v3) — `payload_bytes` must be exactly
+        // that, so the CLI's bpp agrees with `info` on every lane count.
+        let header_len = if lanes > 1 { 25 } else { 23 };
+        assert_eq!(
+            stats.payload_bytes,
+            (buffered.len() - header_len) as u64,
+            "lanes {lanes}"
+        );
+
+        // The exact coded-bit count: at most the byte-aligned substream
+        // total (payload minus the v3 lane table), short of it only by the
+        // per-lane align padding — strictly under 8 bits per lane.
+        let table_bytes = if lanes > 1 { 4 * lanes as u64 } else { 0 };
+        let substream_bits = (stats.payload_bytes - table_bytes) * 8;
+        assert!(stats.payload_bits <= substream_bits, "lanes {lanes}");
+        assert!(
+            substream_bits - stats.payload_bits < 8 * lanes as u64,
+            "lanes {lanes}: {} vs {}",
+            stats.payload_bits,
+            substream_bits
+        );
+
+        // Both buffered encode paths report the identical exact count.
+        let mut session_out = Vec::new();
+        let session_stats = EncoderSession::with_lanes(&cfg, lanes)
+            .encode(img.view(), &mut session_out)
+            .unwrap();
+        assert_eq!(
+            session_stats.payload_bits, stats.payload_bits,
+            "lanes {lanes}"
+        );
+        assert_eq!(session_out, buffered, "lanes {lanes}");
+    }
+}
+
 #[test]
 fn stream_encoder_counts_rows_and_rejects_overflow() {
     let cfg = CodecConfig::default();
