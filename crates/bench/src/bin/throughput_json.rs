@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run --release -p cbic-bench --bin throughput_json -- \
 //!     [--json] [--size N] [--out PATH] [--baseline PATH] [--label TEXT] \
-//!     [--lanes L1,L2,...] [--check PATH] [--quick]
+//!     [--lanes L1,L2,...] [--threads T1,T2,...] [--grid WxH] \
+//!     [--check PATH] [--quick]
 //! ```
 //!
 //! Without `--json`, prints a human-readable table. With `--json`, writes
@@ -12,8 +13,11 @@
 //! directory). `--baseline PATH` embeds a previous report's `results`
 //! array so the committed file carries its own speed-up reference;
 //! `--lanes` sweeps the proposed codec over the given coder-lane counts
-//! (default `1,2,4,8`; other codecs always run single-lane); `--quick`
-//! caps each cell at a handful of iterations for CI smoke runs.
+//! (default `1,2,4,8`; other codecs always run single-lane); `--threads`
+//! additionally measures the v4 tile-grid wavefront path on one
+//! `--grid`-sized frame (default 3840x2160, i.e. 4K) once per thread
+//! count — the multi-core scaling cells; `--quick` caps each cell at a
+//! handful of iterations for CI smoke runs.
 //!
 //! `--check PATH` turns the run into a regression gate: after measuring,
 //! the proposed-codec cells are compared against the `results` array of
@@ -39,6 +43,8 @@ fn main() {
     let mut check_path: Option<String> = None;
     let mut label = "current".to_string();
     let mut lane_settings = vec![1usize, 2, 4, 8];
+    let mut thread_settings: Vec<usize> = Vec::new();
+    let mut grid = (3840usize, 2160usize);
     let mut i = 0;
     while i < args.len() {
         let take = |i: &mut usize| -> String {
@@ -83,11 +89,38 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--threads" => {
+                thread_settings = take(&mut i)
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&t| t >= 1)
+                            .unwrap_or_else(|| {
+                                eprintln!("error: bad --threads entry {s:?} (want >= 1)");
+                                std::process::exit(2);
+                            })
+                    })
+                    .collect();
+            }
+            "--grid" => {
+                let value = take(&mut i);
+                grid = value
+                    .split_once(['x', 'X'])
+                    .and_then(|(w, h)| Some((w.parse().ok()?, h.parse().ok()?)))
+                    .filter(|&(w, h)| w >= 1 && h >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("error: bad --grid {value:?} (want WxH)");
+                        std::process::exit(2);
+                    });
+            }
             other => {
                 eprintln!(
                     "usage: throughput_json [--json] [--size N] [--out PATH] \
                      [--baseline PATH] [--label TEXT] [--lanes L1,L2,...] \
-                     [--check PATH] [--quick] (got {other})"
+                     [--threads T1,T2,...] [--grid WxH] [--check PATH] \
+                     [--quick] (got {other})"
                 );
                 std::process::exit(2);
             }
@@ -100,7 +133,18 @@ fn main() {
         "measuring {size}x{size} corpus ({} classes, lanes {lane_settings:?})...",
         perf::CLASSES.len()
     );
-    let records = perf::measure_throughput_lanes(size, min_secs, max_iters, &lane_settings);
+    let mut records = perf::measure_throughput_lanes(size, min_secs, max_iters, &lane_settings);
+    if !thread_settings.is_empty() {
+        let (gw, gh) = grid;
+        eprintln!("measuring {gw}x{gh} v4 tile grid (threads {thread_settings:?})...");
+        records.extend(perf::measure_grid_threads(
+            gw,
+            gh,
+            min_secs,
+            max_iters.min(if quick { 2 } else { 5 }),
+            &thread_settings,
+        ));
+    }
     perf::print_report(&records);
 
     if json {

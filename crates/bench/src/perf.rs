@@ -29,6 +29,9 @@ pub struct ThroughputRecord {
     /// Interleaved coder lanes (1 = the classic single-coder stream; only
     /// lane-aware codecs are measured above 1).
     pub lanes: usize,
+    /// Worker threads driving the tile-grid wavefront (1 = sequential;
+    /// only the v4 grid cells are measured above 1).
+    pub threads: usize,
     /// Encode throughput in megapixels per second.
     pub encode_mps: f64,
     /// Decode throughput in megapixels per second.
@@ -122,12 +125,69 @@ pub fn measure_throughput_lanes(
                     codec: codec.name().to_string(),
                     class: class.name().to_string(),
                     lanes,
+                    threads: 1,
                     encode_mps: pixels / enc_secs / 1e6,
                     decode_mps: pixels / dec_secs / 1e6,
                     bpp,
                 });
             }
         }
+    }
+    out
+}
+
+/// Measures the proposed codec's v4 tile-grid path (256×256 tiles,
+/// wavefront scheduler) on one `width`×`height` Lena frame, once per
+/// entry of `thread_settings` — the multi-core scaling cells.
+///
+/// The class name carries the geometry (`lena_3840x2160_grid`) so these
+/// rows never collide with the flat `size`×`size` cells in the regression
+/// gate's `(codec, class, lanes, threads)` key. On a single-core host the
+/// `threads > 1` rows measure scheduler overhead rather than speedup;
+/// commit them anyway — the trajectory file is for honest numbers.
+pub fn measure_grid_threads(
+    width: usize,
+    height: usize,
+    min_secs: f64,
+    max_iters: u32,
+    thread_settings: &[usize],
+) -> Vec<ThroughputRecord> {
+    use cbic_core::{compress_grid, decompress_grid, CodecConfig, TileGeometry};
+    use cbic_image::Parallelism;
+
+    let img: Image = CorpusImage::Lena.generate(width, height);
+    let pixels = img.pixel_count() as f64;
+    let cfg = CodecConfig::default();
+    let geom = TileGeometry::default();
+    let class = format!("lena_{width}x{height}_grid");
+    let mut out = Vec::new();
+    for &threads in thread_settings {
+        let par = Parallelism::from_threads(threads);
+        let bytes = compress_grid(img.view(), &cfg, geom, 1, par);
+        let bpp = bytes.len() as f64 * 8.0 / pixels;
+        let enc_secs = time_per_iter(
+            || {
+                std::hint::black_box(compress_grid(img.view(), &cfg, geom, 1, par));
+            },
+            min_secs,
+            max_iters,
+        );
+        let dec_secs = time_per_iter(
+            || {
+                std::hint::black_box(decompress_grid(&bytes, par).expect("own container decodes"));
+            },
+            min_secs,
+            max_iters,
+        );
+        out.push(ThroughputRecord {
+            codec: "proposed".to_string(),
+            class: class.clone(),
+            lanes: 1,
+            threads,
+            encode_mps: pixels / enc_secs / 1e6,
+            decode_mps: pixels / dec_secs / 1e6,
+            bpp,
+        });
     }
     out
 }
@@ -151,11 +211,12 @@ pub fn records_to_json(records: &[ThroughputRecord]) -> String {
         .iter()
         .map(|r| {
             format!(
-                "    {{\"codec\": \"{}\", \"class\": \"{}\", \"lanes\": {}, \
+                "    {{\"codec\": \"{}\", \"class\": \"{}\", \"lanes\": {}, \"threads\": {}, \
                  \"encode_mps\": {:.3}, \"decode_mps\": {:.3}, \"bpp\": {:.4}}}",
                 json_escape(&r.codec),
                 json_escape(&r.class),
                 r.lanes,
+                r.threads,
                 r.encode_mps,
                 r.decode_mps,
                 r.bpp
@@ -219,8 +280,9 @@ pub fn extract_results(report: &str) -> Option<&str> {
 
 /// Parses the record objects out of a `results` array previously rendered
 /// by [`records_to_json`] (or a whole report — the first array wins).
-/// Objects missing a `lanes` key (pre-lane reports) default to one lane;
-/// objects missing any other key are skipped. The parser only understands
+/// Objects missing a `lanes` key (pre-lane reports) default to one lane,
+/// and likewise a missing `threads` key (pre-grid reports) defaults to
+/// one thread; objects missing any other key are skipped. The parser only understands
 /// the flat one-object-per-cell shape this module itself emits.
 pub fn parse_records(json: &str) -> Vec<ThroughputRecord> {
     let array = extract_results(json).unwrap_or(json);
@@ -244,6 +306,7 @@ pub fn parse_records(json: &str) -> Vec<ThroughputRecord> {
                 codec: field(obj, "codec")?,
                 class: field(obj, "class")?,
                 lanes: field(obj, "lanes").map_or(Some(1), |v| v.parse().ok())?,
+                threads: field(obj, "threads").map_or(Some(1), |v| v.parse().ok())?,
                 encode_mps: field(obj, "encode_mps")?.parse().ok()?,
                 decode_mps: field(obj, "decode_mps")?.parse().ok()?,
                 bpp: field(obj, "bpp")?.parse().ok()?,
@@ -268,20 +331,23 @@ pub fn throughput_regressions(
 ) -> Vec<String> {
     let mut out = Vec::new();
     for cur in current.iter().filter(|r| r.codec == "proposed") {
-        let Some(base) = baseline
-            .iter()
-            .find(|b| b.codec == cur.codec && b.class == cur.class && b.lanes == cur.lanes)
-        else {
+        let Some(base) = baseline.iter().find(|b| {
+            b.codec == cur.codec
+                && b.class == cur.class
+                && b.lanes == cur.lanes
+                && b.threads == cur.threads
+        }) else {
             continue;
         };
         let floor_enc = base.encode_mps * (1.0 - tolerance);
         let floor_dec = base.decode_mps * (1.0 - tolerance);
         if cur.encode_mps < floor_enc {
             out.push(format!(
-                "{}/{} lanes={}: encode {:.3} MP/s < {:.3} ({:.1}% below baseline {:.3})",
+                "{}/{} lanes={} threads={}: encode {:.3} MP/s < {:.3} ({:.1}% below baseline {:.3})",
                 cur.codec,
                 cur.class,
                 cur.lanes,
+                cur.threads,
                 cur.encode_mps,
                 floor_enc,
                 (1.0 - cur.encode_mps / base.encode_mps) * 100.0,
@@ -290,10 +356,11 @@ pub fn throughput_regressions(
         }
         if cur.decode_mps < floor_dec {
             out.push(format!(
-                "{}/{} lanes={}: decode {:.3} MP/s < {:.3} ({:.1}% below baseline {:.3})",
+                "{}/{} lanes={} threads={}: decode {:.3} MP/s < {:.3} ({:.1}% below baseline {:.3})",
                 cur.codec,
                 cur.class,
                 cur.lanes,
+                cur.threads,
                 cur.decode_mps,
                 floor_dec,
                 (1.0 - cur.decode_mps / base.decode_mps) * 100.0,
@@ -307,13 +374,13 @@ pub fn throughput_regressions(
 /// Prints the human-readable table (the non-`--json` mode).
 pub fn print_report(records: &[ThroughputRecord]) {
     println!(
-        "{:<10} {:<10} {:>5} {:>12} {:>12} {:>8}",
-        "codec", "class", "lanes", "enc MP/s", "dec MP/s", "bpp"
+        "{:<10} {:<20} {:>5} {:>7} {:>12} {:>12} {:>8}",
+        "codec", "class", "lanes", "threads", "enc MP/s", "dec MP/s", "bpp"
     );
     for r in records {
         println!(
-            "{:<10} {:<10} {:>5} {:>12.3} {:>12.3} {:>8.4}",
-            r.codec, r.class, r.lanes, r.encode_mps, r.decode_mps, r.bpp
+            "{:<10} {:<20} {:>5} {:>7} {:>12.3} {:>12.3} {:>8.4}",
+            r.codec, r.class, r.lanes, r.threads, r.encode_mps, r.decode_mps, r.bpp
         );
     }
 }
@@ -327,6 +394,7 @@ mod tests {
             codec: codec.into(),
             class: "lena".into(),
             lanes: 1,
+            threads: 1,
             encode_mps: mps,
             decode_mps: mps / 2.0,
             bpp: 4.5,
@@ -402,14 +470,60 @@ mod tests {
     }
 
     #[test]
-    fn parser_defaults_missing_lanes_to_one() {
+    fn parser_defaults_missing_lanes_and_threads_to_one() {
         let legacy = r#"[
     {"codec": "proposed", "class": "lena", "encode_mps": 6.612, "decode_mps": 6.215, "bpp": 4.7}
   ]"#;
         let parsed = parse_records(legacy);
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].lanes, 1);
+        assert_eq!(parsed[0].threads, 1);
         assert_eq!(parsed[0].encode_mps, 6.612);
+    }
+
+    #[test]
+    fn grid_cells_carry_their_thread_count_and_a_geometry_class() {
+        let records = measure_grid_threads(48, 32, 0.0, 1, &[1, 2]);
+        assert_eq!(records.len(), 2);
+        for (r, threads) in records.iter().zip([1usize, 2]) {
+            assert_eq!(r.codec, "proposed");
+            assert_eq!(r.class, "lena_48x32_grid");
+            assert_eq!((r.lanes, r.threads), (1, threads));
+            assert!(
+                r.encode_mps > 0.0 && r.decode_mps > 0.0 && r.bpp > 0.0,
+                "{r:?}"
+            );
+        }
+        // Thread count must not change the bytes, so bpp is identical.
+        assert_eq!(records[0].bpp, records[1].bpp);
+        // And the cells survive a JSON roundtrip with threads intact
+        // (throughputs are rounded by the serializer, so compare keys).
+        let parsed = parse_records(&records_to_json(&records));
+        let keys = |rs: &[ThroughputRecord]| -> Vec<(String, String, usize, usize)> {
+            rs.iter()
+                .map(|r| (r.codec.clone(), r.class.clone(), r.lanes, r.threads))
+                .collect()
+        };
+        assert_eq!(keys(&parsed), keys(&records));
+    }
+
+    #[test]
+    fn regression_check_keys_on_threads() {
+        let base = vec![ThroughputRecord {
+            threads: 2,
+            ..record("proposed", 10.0)
+        }];
+        // Same cell, too slow: flagged, and the message names the threads.
+        let bad = vec![ThroughputRecord {
+            threads: 2,
+            ..record("proposed", 5.0)
+        }];
+        let msgs = throughput_regressions(&bad, &base, 0.25);
+        assert_eq!(msgs.len(), 2);
+        assert!(msgs[0].contains("threads=2"), "{msgs:?}");
+        // A threads=1 cell does not match the threads=2 baseline.
+        let other = vec![record("proposed", 5.0)];
+        assert!(throughput_regressions(&other, &base, 0.25).is_empty());
     }
 
     #[test]

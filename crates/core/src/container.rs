@@ -9,7 +9,8 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "CBIC"
-//! 4       1     version (1 = 8-bit, 2 = explicit depth, 3 = coder lanes)
+//! 4       1     version (1 = 8-bit, 2 = explicit depth, 3 = coder lanes,
+//!               4 = 2D tile grid with seekable index)
 //! 5       1     codec id (1 = SOCC-2007 image codec)
 //! 6       4     width  (LE)
 //! 10      4     height (LE)
@@ -19,9 +20,13 @@
 //! 19      2     escape init: escape count (LE)
 //! 21      1     flags (bit0 feedback, bit1 aging, bit2 exact division)
 //! 22      1     texture bits
-//! [23     1     sample bit depth (versions 2 and 3; version 1 means 8)]
-//! [24     1     lane count N, 2..=32 (version 3 only; earlier means 1)]
+//! [23     1     sample bit depth (versions 2–4; version 1 means 8)]
+//! [24     1     lane count N (version 3: 2..=32; version 4: 1..=32)]
 //! [25     4×N   per-lane substream lengths in bytes (LE, version 3 only)]
+//! [25     4     tile width in pixels (LE, version 4 only)]
+//! [29     4     tile height in pixels (LE, version 4 only)]
+//! [33     16×T  tile index, T = cols×rows entries (version 4 only; see
+//!               the `grid` module for the entry layout)]
 //! ...     ...   arithmetic-coded payload
 //! ```
 //!
@@ -42,6 +47,17 @@
 //! emitted when `lanes ≥ 2`: single-lane encodes keep producing version
 //! 1/2 containers, so the format upgrade cannot perturb existing streams,
 //! and version-1/2 decoding is untouched.
+//!
+//! # Version 4: 2D tile grid with a seekable index
+//!
+//! Version 4 partitions the image into a 2D grid of independently
+//! decodable tiles and records a serialized tile index (per-tile byte
+//! offset, length, and CRC-32 checksum) right after the fixed header, so
+//! a decoder can seek to any tile in `O(1)` without touching the rest of
+//! the payload — random-access crop decodes and parallel whole-image
+//! decodes both fall out of that. The v4 read/write paths live in the
+//! [`grid`](crate::grid) module; this module's [`decompress`] and
+//! internal header reader recognize the version and dispatch.
 
 use crate::codec::{
     decode_raw_into, decode_raw_lanes_into, encode_raw, encode_raw_lanes, CodecConfig,
@@ -58,6 +74,7 @@ pub(crate) const MAGIC: &[u8; 4] = b"CBIC";
 const VERSION_V1: u8 = 1;
 const VERSION_V2: u8 = 2;
 const VERSION_V3: u8 = 3;
+pub(crate) const VERSION_V4: u8 = 4;
 const CODEC_ID: u8 = 1;
 
 /// Size in bytes of the version-1 container header preceding the coded
@@ -142,8 +159,13 @@ pub struct ContainerHeader {
     /// Sample bit depth (`1..=16`; version-1 containers are always 8).
     pub bit_depth: u8,
     /// Interleaved coder lanes (`1` for version-1/2 containers, `2..=32`
-    /// for version 3; see [`compress_with_lanes`]).
+    /// for version 3, `1..=32` for version 4; see [`compress_with_lanes`]).
     pub lanes: u8,
+    /// Tile geometry `(tile_w, tile_h)` of a version-4 grid container;
+    /// `None` for the flat v1–v3 formats. When set, the bytes following
+    /// the fixed header are the tile index and the per-tile substreams
+    /// (see [`grid`](crate::grid)), not a flat payload.
+    pub tile: Option<(u32, u32)>,
 }
 
 /// Compresses the pixels of a view into a self-describing container.
@@ -304,13 +326,20 @@ pub(crate) fn check_container_dimensions(width: usize, height: usize) -> Result<
 /// more padding bits than any complete payload requires).
 pub fn decompress(bytes: &[u8]) -> Result<Image, CodecError> {
     let (hdr, payload) = parse_header(bytes)?;
+    if hdr.tile.is_some() {
+        // Version 4: the bytes after the fixed header are the tile index
+        // plus per-tile substreams, decoded by the grid subsystem.
+        return crate::grid::decompress_grid(bytes, cbic_image::Parallelism::Sequential);
+    }
     let mut img = Image::with_depth(hdr.width, hdr.height, hdr.bit_depth);
     decode_payload_into(&hdr, payload, &mut img.view_mut())?;
     Ok(img)
 }
 
 /// Parses a container header, returning the declared header fields and
-/// the payload slice.
+/// the payload slice (for a version-4 grid container the "payload" is the
+/// tile index followed by the per-tile substreams; see
+/// [`grid::parse_grid`](crate::grid::parse_grid) for the structured view).
 ///
 /// # Errors
 ///
@@ -339,7 +368,7 @@ pub(crate) fn read_header<R: Read + ?Sized>(input: &mut R) -> Result<ContainerHe
         .read_exact(&mut bytes[4..])
         .map_err(eof_is_truncated)?;
     let version = bytes[4];
-    if !(VERSION_V1..=VERSION_V3).contains(&version) {
+    if !(VERSION_V1..=VERSION_V4).contains(&version) {
         return Err(CodecError::UnsupportedVersion(version));
     }
     if bytes[5] != CODEC_ID {
@@ -393,20 +422,34 @@ pub(crate) fn read_header<R: Read + ?Sized>(input: &mut R) -> Result<ContainerHe
     } else {
         8
     };
-    let lanes = if version == VERSION_V3 {
+    let lanes = if version >= VERSION_V3 {
         let mut lanes = [0u8; 1];
         input.read_exact(&mut lanes).map_err(eof_is_truncated)?;
         // Single-lane streams are written as version 1/2, so a version-3
-        // lane byte below 2 can only come from corruption.
-        if !(2..=MAX_LANES as u8).contains(&lanes[0]) {
+        // lane byte below 2 can only come from corruption. Version 4
+        // always carries the lane byte and legitimately allows 1.
+        let floor = if version == VERSION_V3 { 2 } else { 1 };
+        if !(floor..=MAX_LANES as u8).contains(&lanes[0]) {
             return Err(CodecError::InvalidHeader(format!(
-                "lane count {} outside 2..={MAX_LANES}",
+                "lane count {} outside {floor}..={MAX_LANES}",
                 lanes[0]
             )));
         }
         lanes[0]
     } else {
         1
+    };
+    let tile = if version == VERSION_V4 {
+        let mut t = [0u8; 8];
+        input.read_exact(&mut t).map_err(eof_is_truncated)?;
+        let tile_w = u32::from_le_bytes(t[..4].try_into().expect("sized"));
+        let tile_h = u32::from_le_bytes(t[4..].try_into().expect("sized"));
+        if tile_w == 0 || tile_h == 0 {
+            return Err(CodecError::InvalidHeader("zero tile dimension".into()));
+        }
+        Some((tile_w, tile_h))
+    } else {
+        None
     };
     let cfg = CodecConfig {
         estimator: EstimatorConfig {
@@ -429,6 +472,7 @@ pub(crate) fn read_header<R: Read + ?Sized>(input: &mut R) -> Result<ContainerHe
         height,
         bit_depth,
         lanes,
+        tile,
     })
 }
 
@@ -540,6 +584,11 @@ impl Codec for Proposed {
     /// [`compress`] (or, for `opts.lanes ≥ 2`, to [`compress_with_lanes`]).
     /// The returned stats carry the exact payload bits, so
     /// [`Codec::payload_bits_per_pixel`] costs a single counting pass.
+    ///
+    /// When `opts.tile` is set the output is a version-4 grid container
+    /// instead ([`grid::compress_grid`](crate::grid::compress_grid)),
+    /// with its tiles coded on `opts.parallelism` workers — the bytes
+    /// still do not depend on the schedule.
     fn encode(
         &self,
         img: ImageView<'_>,
@@ -552,6 +601,28 @@ impl Codec for Proposed {
                 opts.lanes
             )));
         }
+        if let Some((tile_w, tile_h)) = opts.tile {
+            if tile_w == 0 || tile_h == 0 {
+                return Err(CbicError::InvalidContainer(
+                    "tile dimensions must be nonzero".into(),
+                ));
+            }
+            check_container_dimensions(img.width(), img.height()).map_err(CbicError::from)?;
+            let geom = crate::grid::TileGeometry::new(tile_w, tile_h);
+            let (bytes, payload_bits) = crate::grid::compress_grid_with_bits(
+                img,
+                &self.0,
+                geom,
+                opts.lanes,
+                opts.parallelism,
+            );
+            sink.write_all(&bytes).map_err(CbicError::from)?;
+            return Ok(cbic_image::EncodeStats::new(
+                img.pixel_count() as u64,
+                bytes.len() as u64,
+                Some(payload_bits),
+            ));
+        }
         let mut counting = CountingSink::wrap(sink);
         let stats = EncoderSession::with_lanes(&self.0, opts.lanes).encode(img, &mut counting)?;
         Ok(cbic_image::EncodeStats::new(
@@ -563,9 +634,26 @@ impl Codec for Proposed {
 
     /// True streaming: rows are reconstructed one at a time through
     /// [`StreamDecoder`](crate::stream::StreamDecoder) without slurping
-    /// the compressed stream.
-    fn decode(&self, source: &mut dyn Read, _opts: &DecodeOptions) -> Result<Image, CbicError> {
-        crate::stream::decompress_from(source).map_err(CbicError::from)
+    /// the compressed stream. Version-4 grid containers are dispatched to
+    /// the [`grid`](crate::grid) decoder instead (buffered, with tiles
+    /// decoded on `opts.parallelism` workers), and `opts.roi` requests a
+    /// random-access crop — tile-selective on v4, decode-then-crop on the
+    /// flat v1–v3 formats.
+    fn decode(&self, source: &mut dyn Read, opts: &DecodeOptions) -> Result<Image, CbicError> {
+        if let Some(roi) = opts.roi {
+            let mut bytes = Vec::new();
+            source.read_to_end(&mut bytes).map_err(CbicError::from)?;
+            return crate::grid::decode_roi_any(&bytes, roi, opts.parallelism)
+                .map_err(CbicError::from);
+        }
+        let hdr = read_header(source).map_err(CbicError::from)?;
+        if hdr.tile.is_some() {
+            return crate::grid::decode_grid_after_header(&hdr, source, opts.parallelism)
+                .map_err(CbicError::from);
+        }
+        crate::stream::StreamDecoder::with_header(hdr, source)
+            .and_then(crate::stream::StreamDecoder::decode_all)
+            .map_err(CbicError::from)
     }
 }
 

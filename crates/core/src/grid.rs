@@ -1,0 +1,1323 @@
+//! 2D wavefront tile subsystem — container v4: a seekable tile grid with
+//! random-access crop decode and multi-core whole-image decode.
+//!
+//! The [`tiles`](crate::tiles) module scales the encoder across cores by
+//! splitting the image into horizontal bands, but every decode still has
+//! to consume the whole payload front to back. This module generalizes
+//! the decomposition to a **2D grid** (configurable tile size, default
+//! 256×256) and, crucially, records a **serialized tile index** right
+//! after the container header: per tile a byte offset, a length, and a
+//! CRC-32 checksum. The index makes every tile `O(1)`-seekable, which
+//! buys two things the band format cannot offer:
+//!
+//! * **random access** — [`decode_roi`] reads *only* the tiles covering a
+//!   requested rectangle (the seekable variant [`decode_roi_from`] never
+//!   even reads the other tiles' bytes off the source), and
+//! * **decode-side parallelism** — [`decompress_grid`] hands tiles to
+//!   worker threads, the first parallel decode path in the repo (bands
+//!   only parallelized the *encoder* usefully, since `CBTI` banded
+//!   decode still slurps every band).
+//!
+//! # Container v4 layout
+//!
+//! ```text
+//! offset  size   field
+//! 0       23     fixed header (magic, version=4, codec id, dimensions,
+//!                model parameters — identical to v1–v3, see `container`)
+//! 23      1      sample bit depth (1..=16)
+//! 24      1      lane count N (1..=32; v4 allows 1, unlike v3)
+//! 25      4      tile width in pixels  (u32 LE)
+//! 29      4      tile height in pixels (u32 LE)
+//! 33      16×T   tile index: T = cols×rows row-major entries of
+//!                  [0..8)   substream offset (u64 LE, relative to the
+//!                           first byte after the index)
+//!                  [8..12)  substream length in bytes (u32 LE)
+//!                  [12..16) CRC-32 (IEEE) of the substream bytes
+//! ...     ...    concatenated tile substreams, in index order
+//! ```
+//!
+//! Each tile substream is exactly what the flat formats would carry for
+//! that tile's pixels: the raw arithmetic payload for one coder lane, or
+//! a per-tile lane length table (`N`×u32 LE) followed by the `N` lane
+//! substreams for `N ≥ 2`. A 1×1 grid therefore carries the *same
+//! payload bits* as the v3 (or v1/v2) container of the whole image —
+//! asserted by this module's tests.
+//!
+//! Offsets are required to be cumulative (`offset[0] = 0`,
+//! `offset[i] = offset[i-1] + len[i-1]`) so the index can never alias or
+//! reorder substreams; any other arrangement is a structured
+//! [`CodecError::InvalidHeader`], and a payload shorter than the index
+//! promises is [`CodecError::Truncated`] — never a panic.
+//!
+//! # Wavefront scheduling
+//!
+//! Tiles are independent, so any order decodes correctly; workers claim
+//! tiles from a shared atomic cursor (work stealing off one queue — an
+//! idle worker always finds the next unclaimed tile) walked in
+//! **anti-diagonal wavefront order**, the classic 2D dependency-free
+//! sweep. Each worker owns a single resettable
+//! [`EncoderState`]/[`DecoderState`] reused across every tile it claims
+//! (a reset model is byte-identical to a fresh one — the session
+//! invariant), so model-table allocations do not scale with tile count.
+//! The schedule can never change the bytes: outputs are reassembled in
+//! index order regardless of which worker coded what.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbic_core::grid::{compress_grid, decode_roi, decompress_grid, TileGeometry};
+//! use cbic_core::CodecConfig;
+//! use cbic_image::{corpus::CorpusImage, Parallelism, Rect};
+//!
+//! let img = CorpusImage::Lena.generate(64, 64);
+//! let cfg = CodecConfig::default();
+//! let bytes = compress_grid(
+//!     img.view(),
+//!     &cfg,
+//!     TileGeometry::new(32, 32),
+//!     1,
+//!     Parallelism::Auto,
+//! );
+//! // Whole-image decode, tiles in parallel.
+//! assert_eq!(decompress_grid(&bytes, Parallelism::Threads(4))?, img);
+//! // Random-access crop: only the covering tiles are decoded.
+//! let crop = decode_roi(&bytes, Rect::new(40, 8, 16, 20), Parallelism::Sequential)?;
+//! assert_eq!(crop.dimensions(), (16, 20));
+//! assert_eq!(crop.row(0), &img.row(8)[40..56]);
+//! # Ok::<(), cbic_core::CodecError>(())
+//! ```
+
+use crate::codec::{CodecConfig, MAX_CODE_PADDING_BITS};
+use crate::container::{
+    header_bytes, read_header, read_lane_table, CodecError, ContainerHeader, HEADER_LEN, VERSION_V4,
+};
+use crate::engine::{DecoderState, EncoderState};
+use cbic_arith::{BinaryDecoder, BinaryEncoder, LaneDecoder, LaneEncoder, MAX_LANES};
+use cbic_bitio::{BitReader, BitWriter};
+use cbic_image::{Image, ImageView, ImageViewMut, Parallelism, Rect};
+use std::io::{Read, Seek, SeekFrom};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default tile edge in pixels (256×256 tiles), chosen so a tile is large
+/// enough to amortize model cold-start (~64 KP) yet small enough that a
+/// 4K frame yields a healthy 15×9 grid for the scheduler.
+pub const DEFAULT_TILE_SIZE: u32 = 256;
+
+/// Ceiling on the tile count of one container. At the 256 MP image cap a
+/// forged header could otherwise claim 2^28 1×1 tiles and demand a 4 GiB
+/// index allocation; one million tiles covers every sane geometry (a
+/// 16384×16384 image at 16×16 tiles) while bounding the index at 16 MiB.
+pub const MAX_TILES: usize = 1 << 20;
+
+/// Bytes of one serialized tile-index entry (offset u64 + len u32 + crc u32).
+pub const INDEX_ENTRY_LEN: usize = 16;
+
+/// The 2D tile partition of an image: tiles of `tile_w`×`tile_h` pixels,
+/// laid out row-major; right/bottom edge tiles are clamped to the image.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_core::grid::TileGeometry;
+///
+/// let geom = TileGeometry::new(256, 256);
+/// assert_eq!(geom.grid(1000, 600), (4, 3));
+/// assert_eq!(geom.tile_rect(3, 2, 1000, 600), (768, 512, 232, 88));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileGeometry {
+    tile_w: u32,
+    tile_h: u32,
+}
+
+impl Default for TileGeometry {
+    /// [`DEFAULT_TILE_SIZE`]-square tiles.
+    fn default() -> Self {
+        Self::new(DEFAULT_TILE_SIZE, DEFAULT_TILE_SIZE)
+    }
+}
+
+impl TileGeometry {
+    /// Tiles of `tile_w`×`tile_h` pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(tile_w: u32, tile_h: u32) -> Self {
+        assert!(tile_w > 0 && tile_h > 0, "tile dimensions must be nonzero");
+        Self { tile_w, tile_h }
+    }
+
+    /// Tile size in pixels, `(tile_w, tile_h)`.
+    pub fn tile_size(&self) -> (u32, u32) {
+        (self.tile_w, self.tile_h)
+    }
+
+    /// Grid shape `(cols, rows)` covering a `width`×`height` image.
+    pub fn grid(&self, width: usize, height: usize) -> (usize, usize) {
+        (
+            width.div_ceil(self.tile_w as usize).max(1),
+            height.div_ceil(self.tile_h as usize).max(1),
+        )
+    }
+
+    /// Pixel rectangle `(x, y, w, h)` of the tile at `(col, row)` in a
+    /// `width`×`height` image — edge tiles are clamped to the image.
+    pub fn tile_rect(
+        &self,
+        col: usize,
+        row: usize,
+        width: usize,
+        height: usize,
+    ) -> (usize, usize, usize, usize) {
+        let x = col * self.tile_w as usize;
+        let y = row * self.tile_h as usize;
+        let w = (self.tile_w as usize).min(width - x);
+        let h = (self.tile_h as usize).min(height - y);
+        (x, y, w, h)
+    }
+}
+
+/// One tile's entry in the serialized index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileEntry {
+    /// Byte offset of the tile's substream, relative to the first byte
+    /// after the index. Entry `i`'s offset always equals the sum of the
+    /// preceding lengths.
+    pub offset: u64,
+    /// Substream length in bytes.
+    pub len: u32,
+    /// CRC-32 (IEEE) of the substream bytes.
+    pub crc32: u32,
+}
+
+/// The parsed (and validated) tile index of a v4 container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileIndex {
+    /// Tile geometry declared by the header.
+    pub geometry: TileGeometry,
+    /// Grid columns (`ceil(width / tile_w)`).
+    pub cols: usize,
+    /// Grid rows (`ceil(height / tile_h)`).
+    pub rows: usize,
+    /// Image width in pixels (from the header; kept here so the index
+    /// can answer geometry queries on its own).
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// One entry per tile, row-major.
+    pub entries: Vec<TileEntry>,
+}
+
+impl TileIndex {
+    /// Total payload bytes the index accounts for (the sum of every
+    /// tile's length).
+    pub fn payload_len(&self) -> u64 {
+        self.entries
+            .last()
+            .map_or(0, |e| e.offset + u64::from(e.len))
+    }
+
+    /// Pixel rectangle `(x, y, w, h)` of the tile at `(col, row)`.
+    pub fn tile_rect(&self, col: usize, row: usize) -> (usize, usize, usize, usize) {
+        self.geometry.tile_rect(col, row, self.width, self.height)
+    }
+
+    /// Column/row ranges `(c0..=c1, r0..=r1)` of the tiles covering
+    /// `roi`, which must lie inside the image.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::InvalidHeader`] for an empty or out-of-bounds
+    /// rectangle.
+    pub fn covering(&self, roi: Rect) -> Result<(usize, usize, usize, usize), CodecError> {
+        check_roi(roi, self.width, self.height)?;
+        let (tw, th) = self.geometry.tile_size();
+        let c0 = roi.x as usize / tw as usize;
+        let c1 = (roi.x + roi.w - 1) as usize / tw as usize;
+        let r0 = roi.y as usize / th as usize;
+        let r1 = (roi.y + roi.h - 1) as usize / th as usize;
+        Ok((c0, c1, r0, r1))
+    }
+
+    /// Reads and validates a serialized index (`cols × rows` entries) off
+    /// a stream positioned right after the v4 fixed header.
+    fn read_from<R: Read + ?Sized>(
+        input: &mut R,
+        geometry: TileGeometry,
+        width: usize,
+        height: usize,
+    ) -> Result<Self, CodecError> {
+        let (cols, rows) = geometry.grid(width, height);
+        let tiles = cols
+            .checked_mul(rows)
+            .filter(|&t| t <= MAX_TILES)
+            .ok_or_else(|| {
+                CodecError::InvalidHeader(format!(
+                    "{cols}x{rows} tile grid exceeds the {MAX_TILES}-tile limit"
+                ))
+            })?;
+        // `take` bounds the allocation by what the stream actually holds,
+        // so a forged grid shape cannot trigger an oversized reservation.
+        let mut raw = Vec::new();
+        input
+            .take((tiles * INDEX_ENTRY_LEN) as u64)
+            .read_to_end(&mut raw)
+            .map_err(|e| CodecError::io(&e))?;
+        if raw.len() != tiles * INDEX_ENTRY_LEN {
+            return Err(CodecError::Truncated);
+        }
+        let mut entries = Vec::with_capacity(tiles);
+        let mut expected_offset = 0u64;
+        for (i, chunk) in raw.chunks_exact(INDEX_ENTRY_LEN).enumerate() {
+            let offset = u64::from_le_bytes(chunk[..8].try_into().expect("sized"));
+            let len = u32::from_le_bytes(chunk[8..12].try_into().expect("sized"));
+            let crc32 = u32::from_le_bytes(chunk[12..16].try_into().expect("sized"));
+            if offset != expected_offset {
+                return Err(CodecError::InvalidHeader(format!(
+                    "tile {i} offset {offset} is not cumulative (expected {expected_offset})"
+                )));
+            }
+            expected_offset += u64::from(len);
+            entries.push(TileEntry { offset, len, crc32 });
+        }
+        Ok(Self {
+            geometry,
+            cols,
+            rows,
+            width,
+            height,
+            entries,
+        })
+    }
+}
+
+/// Rejects an empty or out-of-bounds region of interest with a
+/// structured error naming both rectangles.
+fn check_roi(roi: Rect, width: usize, height: usize) -> Result<(), CodecError> {
+    let x1 = u64::from(roi.x) + u64::from(roi.w);
+    let y1 = u64::from(roi.y) + u64::from(roi.h);
+    if roi.w == 0 || roi.h == 0 || x1 > width as u64 || y1 > height as u64 {
+        return Err(CodecError::InvalidHeader(format!(
+            "ROI {}x{} at ({}, {}) outside the {width}x{height} image",
+            roi.w, roi.h, roi.x, roi.y
+        )));
+    }
+    Ok(())
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes` —
+/// the checksum the tile index carries per substream.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_core::grid::crc32;
+///
+/// assert_eq!(crc32(b""), 0);
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926); // the standard check value
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = TABLE[usize::from((crc as u8) ^ b)] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Anti-diagonal wavefront enumeration of a `cols`×`rows` grid: all tiles
+/// with `col + row == d` before any with `d + 1`, top to bottom within a
+/// diagonal. Returns row-major indices (`row * cols + col`).
+fn wavefront_order(cols: usize, rows: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(cols * rows);
+    for d in 0..cols + rows - 1 {
+        let r0 = d.saturating_sub(cols - 1);
+        let r1 = d.min(rows - 1);
+        for row in r0..=r1 {
+            order.push(row * cols + (d - row));
+        }
+    }
+    debug_assert_eq!(order.len(), cols * rows);
+    order
+}
+
+/// Runs `job` over every index in `order` on `par`-many scoped workers.
+/// Workers *claim* positions off a shared atomic cursor (work stealing
+/// from one queue: a fast worker keeps claiming while a slow one finishes
+/// its tile) and each owns one `make_state()` value reused across all its
+/// claims. Outputs land in job-index order regardless of the schedule.
+fn run_wavefront<O, S, G, F>(
+    jobs: usize,
+    order: &[usize],
+    par: Parallelism,
+    make_state: G,
+    job: F,
+) -> Vec<O>
+where
+    O: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> O + Sync,
+{
+    debug_assert_eq!(order.len(), jobs);
+    let workers = par.workers(jobs);
+    if workers <= 1 {
+        let mut state = make_state();
+        let mut outputs: Vec<Option<O>> = (0..jobs).map(|_| None).collect();
+        for &idx in order {
+            outputs[idx] = Some(job(&mut state, idx));
+        }
+        return outputs
+            .into_iter()
+            .map(|o| o.expect("every tile coded"))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut outputs: Vec<Option<O>> = (0..jobs).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let (cursor, make_state, job) = (&cursor, &make_state, &job);
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut state = make_state();
+                    let mut done = Vec::new();
+                    loop {
+                        let pos = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&idx) = order.get(pos) else { break };
+                        done.push((idx, job(&mut state, idx)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (idx, out) in handle.join().expect("tile worker panicked") {
+                outputs[idx] = Some(out);
+            }
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|o| o.expect("every tile coded"))
+        .collect()
+}
+
+/// Encodes one tile on a reused engine state, returning the framed
+/// substream and its exact payload bits. With one lane the substream is
+/// exactly the raw arithmetic payload ([`encode_raw`](crate::encode_raw)
+/// of the tile view); with `lanes ≥ 2` it is the per-tile lane length
+/// table followed by the lane substreams — the v3 payload framing.
+fn encode_tile(state: &mut EncoderState, tile: ImageView<'_>, lanes: usize) -> (Vec<u8>, u64) {
+    state.reset(tile.width(), tile.bit_depth());
+    if lanes >= 2 {
+        let mut enc = LaneEncoder::new(lanes);
+        state.encode_view(tile, &mut enc);
+        let (subs, bits) = enc.finish_with_bits();
+        let body: usize = subs.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(4 * lanes + body);
+        for sub in &subs {
+            let len = u32::try_from(sub.len()).expect("lane substream below 4 GiB");
+            out.extend_from_slice(&len.to_le_bytes());
+        }
+        for sub in &subs {
+            out.extend_from_slice(sub);
+        }
+        (out, bits)
+    } else {
+        let mut enc = BinaryEncoder::new(BitWriter::new());
+        state.encode_view(tile, &mut enc);
+        let writer = enc.finish();
+        let bits = writer.bits_written();
+        (writer.into_bytes(), bits)
+    }
+}
+
+/// Decodes one tile substream on a reused engine state into a fresh
+/// `w`×`h` tile image, mirroring [`encode_tile`]'s framing.
+fn decode_tile(
+    state: &mut DecoderState,
+    hdr: &ContainerHeader,
+    sub: &[u8],
+    w: usize,
+    h: usize,
+) -> Result<Image, CodecError> {
+    state.reset(w, hdr.bit_depth);
+    let mut img = Image::with_depth(w, h, hdr.bit_depth);
+    let padding = if hdr.lanes >= 2 {
+        let lanes = usize::from(hdr.lanes);
+        let mut source = sub;
+        let lens = read_lane_table(&mut source, lanes)?;
+        let mut subs = Vec::with_capacity(lanes);
+        let mut pos = 0usize;
+        for len in lens {
+            let len = len as usize;
+            subs.push(source.get(pos..pos + len).ok_or(CodecError::Truncated)?);
+            pos += len;
+        }
+        if pos != source.len() {
+            return Err(CodecError::InvalidHeader(
+                "tile lane table does not account for the tile's bytes".into(),
+            ));
+        }
+        let sources = subs.iter().map(|s| BitReader::new(s)).collect();
+        let mut dec = LaneDecoder::new(sources);
+        state.decode_into(&mut dec, &mut img.view_mut());
+        dec.max_padding_bits()
+    } else {
+        let mut dec = BinaryDecoder::new(BitReader::new(sub));
+        state.decode_into(&mut dec, &mut img.view_mut());
+        dec.source().padding_bits()
+    };
+    if padding > MAX_CODE_PADDING_BITS {
+        return Err(CodecError::Truncated);
+    }
+    Ok(img)
+}
+
+/// Copies a `w`×`h` window of `src` (anchored at `src_xy`) into `dst` at
+/// `dst_xy` — the row-wise reassembly every tile decode shares, since
+/// safe code cannot hand workers disjoint 2D windows of one buffer.
+fn blit(
+    dst: &mut ImageViewMut<'_>,
+    dst_xy: (usize, usize),
+    src: &Image,
+    src_xy: (usize, usize),
+    w: usize,
+    h: usize,
+) {
+    let (dst_x, dst_y) = dst_xy;
+    let (src_x, src_y) = src_xy;
+    for y in 0..h {
+        let src_row = &src.row(src_y + y)[src_x..src_x + w];
+        dst.row_mut(dst_y + y)[dst_x..dst_x + w].copy_from_slice(src_row);
+    }
+}
+
+/// Compresses a view into a version-4 grid container: fixed header, tile
+/// index, then one independently decodable substream per tile, coded on
+/// `par` worker threads in wavefront order. The bytes never depend on the
+/// schedule.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_core::grid::{compress_grid, decompress_grid, TileGeometry};
+/// use cbic_core::CodecConfig;
+/// use cbic_image::{corpus::CorpusImage, Parallelism};
+///
+/// let img = CorpusImage::Barb.generate(48, 48);
+/// let bytes = compress_grid(
+///     img.view(),
+///     &CodecConfig::default(),
+///     TileGeometry::new(16, 16),
+///     1,
+///     Parallelism::Auto,
+/// );
+/// assert_eq!(bytes[4], 4, "version byte");
+/// assert_eq!(decompress_grid(&bytes, Parallelism::Auto)?, img);
+/// # Ok::<(), cbic_core::CodecError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, `lanes` is outside
+/// `1..=MAX_LANES`, the image exceeds the container's 2^28-pixel
+/// ceiling, or the grid would exceed [`MAX_TILES`].
+pub fn compress_grid(
+    img: ImageView<'_>,
+    cfg: &CodecConfig,
+    geom: TileGeometry,
+    lanes: usize,
+    par: Parallelism,
+) -> Vec<u8> {
+    compress_grid_with_bits(img, cfg, geom, lanes, par).0
+}
+
+/// [`compress_grid`] that also returns the exact entropy-coded payload
+/// bits summed over every tile (flush tails included; excludes headers,
+/// the index, and per-tile lane tables) — what the bench harness reports
+/// as bits per pixel.
+pub fn compress_grid_with_bits(
+    img: ImageView<'_>,
+    cfg: &CodecConfig,
+    geom: TileGeometry,
+    lanes: usize,
+    par: Parallelism,
+) -> (Vec<u8>, u64) {
+    assert!(
+        (1..=MAX_LANES).contains(&lanes),
+        "lane count {lanes} outside 1..=MAX_LANES"
+    );
+    let (width, height) = img.dimensions();
+    crate::container::check_container_dimensions(width, height)
+        .expect("image within the container's pixel ceiling");
+    let (cols, rows) = geom.grid(width, height);
+    let tiles = cols * rows;
+    assert!(
+        tiles <= MAX_TILES,
+        "{cols}x{rows} tile grid exceeds the {MAX_TILES}-tile limit"
+    );
+
+    let order = wavefront_order(cols, rows);
+    let bit_depth = img.bit_depth();
+    let coded: Vec<(Vec<u8>, u64)> = run_wavefront(
+        tiles,
+        &order,
+        par,
+        || EncoderState::new(1, bit_depth, cfg),
+        |state, idx| {
+            let (col, row) = (idx % cols, idx / cols);
+            let (x, y, w, h) = geom.tile_rect(col, row, width, height);
+            encode_tile(state, img.crop(x, y, w, h), lanes)
+        },
+    );
+
+    let payload_bits: u64 = coded.iter().map(|(_, bits)| bits).sum();
+    let body: usize = coded.iter().map(|(sub, _)| sub.len()).sum();
+    let mut out = Vec::with_capacity(HEADER_LEN + 10 + tiles * INDEX_ENTRY_LEN + body);
+    // The shared fixed-header serializer keeps the first 23 bytes
+    // byte-identical to every other path; v4 then owns the extension.
+    let (base, _) = header_bytes(cfg, width, height, bit_depth, 1);
+    out.extend_from_slice(&base[..HEADER_LEN]);
+    out[4] = VERSION_V4;
+    out.push(bit_depth);
+    out.push(lanes as u8);
+    let (tw, th) = geom.tile_size();
+    out.extend_from_slice(&tw.to_le_bytes());
+    out.extend_from_slice(&th.to_le_bytes());
+    let mut offset = 0u64;
+    for (sub, _) in &coded {
+        let len = u32::try_from(sub.len()).expect("tile substream below 4 GiB");
+        out.extend_from_slice(&offset.to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&crc32(sub).to_le_bytes());
+        offset += u64::from(len);
+    }
+    for (sub, _) in &coded {
+        out.extend_from_slice(sub);
+    }
+    (out, payload_bits)
+}
+
+/// Parses a version-4 container into its header, validated tile index,
+/// and payload slice (the concatenated substreams).
+///
+/// # Errors
+///
+/// [`CodecError::InvalidHeader`] for non-v4 containers, impossible grid
+/// shapes, non-cumulative index offsets, or trailing bytes beyond what
+/// the index accounts for; [`CodecError::Truncated`] when the bytes end
+/// inside the header, the index, or the promised payload.
+pub fn parse_grid(bytes: &[u8]) -> Result<(ContainerHeader, TileIndex, &[u8]), CodecError> {
+    let mut source = bytes;
+    let hdr = read_header(&mut source)?;
+    let Some((tile_w, tile_h)) = hdr.tile else {
+        return Err(CodecError::InvalidHeader(
+            "not a version-4 tiled container".into(),
+        ));
+    };
+    let geom = TileGeometry::new(tile_w, tile_h);
+    let index = TileIndex::read_from(&mut source, geom, hdr.width, hdr.height)?;
+    let promised = index.payload_len();
+    match (source.len() as u64).cmp(&promised) {
+        std::cmp::Ordering::Less => Err(CodecError::Truncated),
+        std::cmp::Ordering::Greater => Err(CodecError::InvalidHeader(format!(
+            "{} payload bytes but the tile index accounts for {promised}",
+            source.len()
+        ))),
+        std::cmp::Ordering::Equal => Ok((hdr, index, source)),
+    }
+}
+
+/// The substream slice of tile `idx`, CRC-checked against its index entry.
+fn tile_substream<'a>(
+    index: &TileIndex,
+    payload: &'a [u8],
+    idx: usize,
+) -> Result<&'a [u8], CodecError> {
+    let entry = &index.entries[idx];
+    let start = entry.offset as usize;
+    let sub = payload
+        .get(start..start + entry.len as usize)
+        .ok_or(CodecError::Truncated)?;
+    if crc32(sub) != entry.crc32 {
+        return Err(CodecError::InvalidHeader(format!(
+            "tile ({}, {}) checksum mismatch",
+            idx % index.cols,
+            idx / index.cols
+        )));
+    }
+    Ok(sub)
+}
+
+/// Decodes every tile of a parsed v4 container into one image, tiles on
+/// `par` workers. Each worker decodes into per-tile buffers (safe code
+/// cannot split one buffer into disjoint 2D windows), reassembled
+/// row-wise afterwards — the copy is linear in pixels and vanishes next
+/// to the arithmetic decode.
+fn decode_all_tiles(
+    hdr: &ContainerHeader,
+    index: &TileIndex,
+    payload: &[u8],
+    par: Parallelism,
+) -> Result<Image, CodecError> {
+    let tiles = index.entries.len();
+    let order = wavefront_order(index.cols, index.rows);
+    let decoded: Vec<Result<Image, CodecError>> = run_wavefront(
+        tiles,
+        &order,
+        par,
+        || DecoderState::new(1, hdr.bit_depth, &hdr.cfg),
+        |state, idx| {
+            let sub = tile_substream(index, payload, idx)?;
+            let (_, _, w, h) = index.tile_rect(idx % index.cols, idx / index.cols);
+            decode_tile(state, hdr, sub, w, h)
+        },
+    );
+    let mut out = Image::with_depth(hdr.width, hdr.height, hdr.bit_depth);
+    let mut view = out.view_mut();
+    for (idx, tile) in decoded.into_iter().enumerate() {
+        let tile = tile?;
+        let (x, y, w, h) = index.tile_rect(idx % index.cols, idx / index.cols);
+        blit(&mut view, (x, y), &tile, (0, 0), w, h);
+    }
+    Ok(out)
+}
+
+/// Decompresses a version-4 grid container produced by [`compress_grid`],
+/// decoding tiles on `par` worker threads — the repo's first decode-side
+/// parallelism. The pixels never depend on the schedule.
+///
+/// # Errors
+///
+/// As [`parse_grid`], plus [`CodecError::Truncated`] when a tile's
+/// arithmetic payload ends before its pixels do and
+/// [`CodecError::InvalidHeader`] on a checksum mismatch.
+pub fn decompress_grid(bytes: &[u8], par: Parallelism) -> Result<Image, CodecError> {
+    let (hdr, index, payload) = parse_grid(bytes)?;
+    decode_all_tiles(&hdr, &index, payload, par)
+}
+
+/// Decodes a v4 container whose fixed header was already consumed off
+/// `input` — the dispatch point for the streaming entry paths
+/// ([`decompress_from`](crate::stream::decompress_from), the sessions,
+/// [`Proposed::decode`](crate::Proposed)). The index and payload are
+/// buffered (random access needs them resident), then decoded like
+/// [`decompress_grid`].
+pub(crate) fn decode_grid_after_header<R: Read + ?Sized>(
+    hdr: &ContainerHeader,
+    input: &mut R,
+    par: Parallelism,
+) -> Result<Image, CodecError> {
+    let Some((tile_w, tile_h)) = hdr.tile else {
+        return Err(CodecError::InvalidHeader(
+            "not a version-4 tiled container".into(),
+        ));
+    };
+    let geom = TileGeometry::new(tile_w, tile_h);
+    let index = TileIndex::read_from(input, geom, hdr.width, hdr.height)?;
+    let promised = index.payload_len();
+    let mut payload = Vec::new();
+    input
+        .take(promised)
+        .read_to_end(&mut payload)
+        .map_err(|e| CodecError::io(&e))?;
+    if (payload.len() as u64) < promised {
+        return Err(CodecError::Truncated);
+    }
+    decode_all_tiles(hdr, &index, &payload, par)
+}
+
+/// Decodes the covering tiles of `roi` and assembles the crop.
+fn decode_roi_tiles(
+    hdr: &ContainerHeader,
+    index: &TileIndex,
+    roi: Rect,
+    subs: &[(usize, &[u8])],
+    par: Parallelism,
+) -> Result<Image, CodecError> {
+    // Wavefront over the covering sub-grid: `subs` is already in
+    // row-major covering order, so claim positions directly.
+    let order: Vec<usize> = (0..subs.len()).collect();
+    let decoded: Vec<Result<Image, CodecError>> = run_wavefront(
+        subs.len(),
+        &order,
+        par,
+        || DecoderState::new(1, hdr.bit_depth, &hdr.cfg),
+        |state, i| {
+            let (idx, sub) = subs[i];
+            let (_, _, w, h) = index.tile_rect(idx % index.cols, idx / index.cols);
+            decode_tile(state, hdr, sub, w, h)
+        },
+    );
+    let mut out = Image::with_depth(roi.w as usize, roi.h as usize, hdr.bit_depth);
+    let mut view = out.view_mut();
+    let (rx, ry) = (roi.x as usize, roi.y as usize);
+    let (rw, rh) = (roi.w as usize, roi.h as usize);
+    for (&(idx, _), tile) in subs.iter().zip(decoded) {
+        let tile = tile?;
+        let (tx, ty, tw, th) = index.tile_rect(idx % index.cols, idx / index.cols);
+        // Intersection of the tile with the ROI, in both coordinate frames.
+        let x0 = rx.max(tx);
+        let y0 = ry.max(ty);
+        let x1 = (rx + rw).min(tx + tw);
+        let y1 = (ry + rh).min(ty + th);
+        blit(
+            &mut view,
+            (x0 - rx, y0 - ry),
+            &tile,
+            (x0 - tx, y0 - ty),
+            x1 - x0,
+            y1 - y0,
+        );
+    }
+    Ok(out)
+}
+
+/// Row-major indices of the tiles covering `roi`.
+fn covering_indices(index: &TileIndex, roi: Rect) -> Result<Vec<usize>, CodecError> {
+    let (c0, c1, r0, r1) = index.covering(roi)?;
+    let mut indices = Vec::with_capacity((c1 - c0 + 1) * (r1 - r0 + 1));
+    for row in r0..=r1 {
+        for col in c0..=c1 {
+            indices.push(row * index.cols + col);
+        }
+    }
+    Ok(indices)
+}
+
+/// Random-access crop decode: decodes **only** the tiles covering `roi`
+/// out of a version-4 container and returns the exact `roi.w`×`roi.h`
+/// crop — identical to cropping a full decode, at the cost of the
+/// covering tiles alone.
+///
+/// # Errors
+///
+/// As [`parse_grid`], plus [`CodecError::InvalidHeader`] for an empty or
+/// out-of-bounds rectangle.
+pub fn decode_roi(bytes: &[u8], roi: Rect, par: Parallelism) -> Result<Image, CodecError> {
+    let (hdr, index, payload) = parse_grid(bytes)?;
+    let indices = covering_indices(&index, roi)?;
+    let mut subs = Vec::with_capacity(indices.len());
+    for idx in indices {
+        subs.push((idx, tile_substream(&index, payload, idx)?));
+    }
+    decode_roi_tiles(&hdr, &index, roi, &subs, par)
+}
+
+/// [`decode_roi`] over any container version: tile-selective on v4,
+/// full-decode-then-crop on the flat v1–v3 formats (they have no index
+/// to seek by). Either way the result is exactly the `roi` crop.
+///
+/// # Errors
+///
+/// As [`decode_roi`] / [`decompress`](crate::decompress).
+pub fn decode_roi_any(bytes: &[u8], roi: Rect, par: Parallelism) -> Result<Image, CodecError> {
+    let (hdr, _) = crate::container::parse_header(bytes)?;
+    if hdr.tile.is_some() {
+        return decode_roi(bytes, roi, par);
+    }
+    check_roi(roi, hdr.width, hdr.height)?;
+    let img = crate::container::decompress(bytes)?;
+    Ok(img
+        .view()
+        .crop(
+            roi.x as usize,
+            roi.y as usize,
+            roi.w as usize,
+            roi.h as usize,
+        )
+        .to_image())
+}
+
+/// [`decode_roi`] over a seekable source: reads the header and index,
+/// then **seeks straight to the covering tiles** — the bytes of every
+/// other tile are never read, which is what makes crop decodes of huge
+/// archive files cheap (asserted by the counting-reader test). The
+/// source's final position is unspecified.
+///
+/// # Errors
+///
+/// As [`decode_roi`]; transport failures surface as [`CodecError::Io`].
+/// A source whose length disagrees with the tile index is
+/// [`CodecError::Truncated`] (shorter) or a structured
+/// [`CodecError::InvalidHeader`] (trailing bytes).
+pub fn decode_roi_from<R: Read + Seek>(
+    input: &mut R,
+    roi: Rect,
+    par: Parallelism,
+) -> Result<Image, CodecError> {
+    let hdr = read_header(input)?;
+    let Some((tile_w, tile_h)) = hdr.tile else {
+        return Err(CodecError::InvalidHeader(
+            "not a version-4 tiled container".into(),
+        ));
+    };
+    let geom = TileGeometry::new(tile_w, tile_h);
+    let index = TileIndex::read_from(input, geom, hdr.width, hdr.height)?;
+    let base = input.stream_position().map_err(|e| CodecError::io(&e))?;
+    // Validate the source length against the index *by seeking*, not
+    // reading: the whole point of the index is that non-covering tiles'
+    // bytes stay untouched.
+    let end = input
+        .seek(SeekFrom::End(0))
+        .map_err(|e| CodecError::io(&e))?;
+    let promised = index.payload_len();
+    match (end - base).cmp(&promised) {
+        std::cmp::Ordering::Less => return Err(CodecError::Truncated),
+        std::cmp::Ordering::Greater => {
+            return Err(CodecError::InvalidHeader(format!(
+                "{} payload bytes but the tile index accounts for {promised}",
+                end - base
+            )))
+        }
+        std::cmp::Ordering::Equal => {}
+    }
+    let indices = covering_indices(&index, roi)?;
+    let mut bufs: Vec<(usize, Vec<u8>)> = Vec::with_capacity(indices.len());
+    for idx in indices {
+        let entry = &index.entries[idx];
+        input
+            .seek(SeekFrom::Start(base + entry.offset))
+            .map_err(|e| CodecError::io(&e))?;
+        let mut buf = Vec::new();
+        input
+            .take(u64::from(entry.len))
+            .read_to_end(&mut buf)
+            .map_err(|e| CodecError::io(&e))?;
+        if buf.len() != entry.len as usize {
+            return Err(CodecError::Truncated);
+        }
+        if crc32(&buf) != entry.crc32 {
+            return Err(CodecError::InvalidHeader(format!(
+                "tile ({}, {}) checksum mismatch",
+                idx % index.cols,
+                idx / index.cols
+            )));
+        }
+        bufs.push((idx, buf));
+    }
+    let subs: Vec<(usize, &[u8])> = bufs.iter().map(|(i, b)| (*i, b.as_slice())).collect();
+    decode_roi_tiles(&hdr, &index, roi, &subs, par)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::{compress_with_lanes, decompress, parse_header, MAX_HEADER_LEN};
+    use cbic_image::corpus::CorpusImage;
+    use std::io::Cursor;
+
+    fn geom(tw: u32, th: u32) -> TileGeometry {
+        TileGeometry::new(tw, th)
+    }
+
+    #[test]
+    fn wavefront_order_visits_every_tile_once_in_diagonal_order() {
+        for (cols, rows) in [(1, 1), (1, 5), (5, 1), (3, 4), (7, 7)] {
+            let order = wavefront_order(cols, rows);
+            assert_eq!(order.len(), cols * rows);
+            let mut seen = vec![false; cols * rows];
+            let mut last_diag = 0;
+            for idx in order {
+                assert!(!seen[idx], "tile {idx} visited twice");
+                seen[idx] = true;
+                let diag = idx % cols + idx / cols;
+                assert!(diag >= last_diag, "diagonals must not regress");
+                last_diag = diag;
+            }
+            assert!(seen.into_iter().all(|s| s), "{cols}x{rows}");
+        }
+    }
+
+    #[test]
+    fn grid_roundtrip_various_geometries() {
+        let img = CorpusImage::Goldhill.generate(48, 40);
+        let cfg = CodecConfig::default();
+        for (tw, th) in [(48, 40), (16, 16), (17, 13), (48, 8), (8, 40), (1, 1000)] {
+            let bytes = compress_grid(img.view(), &cfg, geom(tw, th), 1, Parallelism::Sequential);
+            assert_eq!(
+                decompress_grid(&bytes, Parallelism::Sequential).unwrap(),
+                img,
+                "{tw}x{th} tiles"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_and_shallow_depths_roundtrip() {
+        let cfg = CodecConfig::default();
+        for depth in [1u8, 4, 8, 12, 16] {
+            let max = if depth == 16 {
+                u16::MAX as u32
+            } else {
+                (1 << depth) - 1
+            };
+            let img = Image::from_fn16(37, 29, depth, |x, y| {
+                ((x as u32 * 977 + y as u32 * 331) % (max + 1)) as u16
+            });
+            let bytes = compress_grid(img.view(), &cfg, geom(16, 16), 1, Parallelism::Auto);
+            let back = decompress_grid(&bytes, Parallelism::Auto).unwrap();
+            assert_eq!(back, img, "depth {depth}");
+            assert_eq!(back.bit_depth(), depth);
+        }
+    }
+
+    #[test]
+    fn lanes_compose_with_the_grid() {
+        let img = CorpusImage::Barb.generate(40, 40);
+        let cfg = CodecConfig::default();
+        for lanes in [2usize, 4, 8] {
+            let bytes = compress_grid(img.view(), &cfg, geom(16, 16), lanes, Parallelism::Auto);
+            let (hdr, _, _) = parse_grid(&bytes).unwrap();
+            assert_eq!(hdr.lanes as usize, lanes);
+            assert_eq!(
+                decompress_grid(&bytes, Parallelism::Threads(3)).unwrap(),
+                img,
+                "lanes={lanes}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_encode_is_byte_identical_to_sequential() {
+        let img = CorpusImage::Mandrill.generate(50, 34);
+        let cfg = CodecConfig::default();
+        let seq = compress_grid(img.view(), &cfg, geom(16, 16), 1, Parallelism::Sequential);
+        for par in [
+            Parallelism::Threads(2),
+            Parallelism::Threads(7),
+            Parallelism::Auto,
+        ] {
+            assert_eq!(
+                compress_grid(img.view(), &cfg, geom(16, 16), 1, par),
+                seq,
+                "{par:?}"
+            );
+        }
+        // And the parallel decoder agrees with the sequential one.
+        assert_eq!(
+            decompress_grid(&seq, Parallelism::Threads(4)).unwrap(),
+            decompress_grid(&seq, Parallelism::Sequential).unwrap()
+        );
+    }
+
+    #[test]
+    fn one_by_one_grid_carries_the_flat_payload_bits() {
+        // The acceptance pin: a 1x1 grid's single substream is exactly the
+        // flat container's payload — for one lane (v1 payload) and for
+        // striped lanes (v3 lane table + substreams).
+        let images = [
+            CorpusImage::Lena.generate(32, 32),
+            Image::from_fn16(24, 18, 12, |x, y| (x * 150 + y) as u16),
+        ];
+        let cfg = CodecConfig::default();
+        for img in &images {
+            for lanes in [1usize, 4] {
+                let g = geom(img.width() as u32, img.height() as u32);
+                let grid = compress_grid(img.view(), &cfg, g, lanes, Parallelism::Sequential);
+                let flat = compress_with_lanes(img.view(), &cfg, lanes);
+                let (hdr, payload) = parse_header(&flat).unwrap();
+                assert_eq!(hdr.tile, None);
+                let (ghdr, index, gpayload) = parse_grid(&grid).unwrap();
+                assert_eq!((index.cols, index.rows), (1, 1));
+                assert_eq!(ghdr.cfg, hdr.cfg);
+                assert_eq!(
+                    gpayload, payload,
+                    "1x1 grid must carry the flat payload bits (lanes={lanes})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_entries_are_cumulative_and_crc_checked() {
+        let img = CorpusImage::Lena.generate(40, 40);
+        let bytes = compress_grid(
+            img.view(),
+            &CodecConfig::default(),
+            geom(16, 16),
+            1,
+            Parallelism::Sequential,
+        );
+        let (_, index, payload) = parse_grid(&bytes).unwrap();
+        assert_eq!((index.cols, index.rows), (3, 3));
+        let mut expected = 0u64;
+        for (i, e) in index.entries.iter().enumerate() {
+            assert_eq!(e.offset, expected, "entry {i}");
+            let sub = &payload[e.offset as usize..(e.offset + u64::from(e.len)) as usize];
+            assert_eq!(crc32(sub), e.crc32, "entry {i} checksum");
+            expected += u64::from(e.len);
+        }
+        assert_eq!(expected, payload.len() as u64);
+    }
+
+    #[test]
+    fn decompress_dispatches_v4() {
+        // The universal slice decoder must route v4 to the grid path.
+        let img = CorpusImage::Zelda.generate(33, 47);
+        let bytes = compress_grid(
+            img.view(),
+            &CodecConfig::default(),
+            geom(16, 16),
+            4,
+            Parallelism::Auto,
+        );
+        assert_eq!(decompress(&bytes).unwrap(), img);
+    }
+
+    #[test]
+    fn corrupt_index_and_payload_error_structurally() {
+        let img = CorpusImage::Boat.generate(32, 32);
+        let bytes = compress_grid(
+            img.view(),
+            &CodecConfig::default(),
+            geom(16, 16),
+            1,
+            Parallelism::Sequential,
+        );
+        let index_start = MAX_HEADER_LEN + 8;
+        // Truncations: inside the tile-geometry words, inside the index,
+        // and inside the payload all surface as Truncated.
+        for cut in [MAX_HEADER_LEN + 3, index_start + 7, bytes.len() - 1] {
+            assert_eq!(
+                decompress_grid(&bytes[..cut], Parallelism::Sequential),
+                Err(CodecError::Truncated),
+                "cut at {cut}"
+            );
+        }
+        // A non-cumulative offset is an InvalidHeader, not a panic.
+        let mut bad = bytes.clone();
+        bad[index_start] ^= 1;
+        assert!(matches!(
+            decompress_grid(&bad, Parallelism::Sequential),
+            Err(CodecError::InvalidHeader(_))
+        ));
+        // A flipped payload byte trips the tile checksum.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        let err = decompress_grid(&bad, Parallelism::Sequential).unwrap_err();
+        assert!(
+            matches!(&err, CodecError::InvalidHeader(m) if m.contains("checksum")),
+            "{err:?}"
+        );
+        // Trailing bytes beyond the index's accounting are rejected.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(matches!(
+            decompress_grid(&bad, Parallelism::Sequential),
+            Err(CodecError::InvalidHeader(_))
+        ));
+        // Zero tile dimensions are rejected at the header.
+        let mut bad = bytes;
+        bad[MAX_HEADER_LEN..MAX_HEADER_LEN + 4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decompress_grid(&bad, Parallelism::Sequential),
+            Err(CodecError::InvalidHeader(_))
+        ));
+    }
+
+    #[test]
+    fn forged_grid_shapes_are_rejected_before_allocation() {
+        let img = CorpusImage::Boat.generate(32, 32);
+        let mut bytes = compress_grid(
+            img.view(),
+            &CodecConfig::default(),
+            geom(16, 16),
+            1,
+            Parallelism::Sequential,
+        );
+        // Forge 1x1-pixel tiles over a claimed-huge image: the tile-count
+        // cap must reject it before any index-sized allocation.
+        bytes[6..10].copy_from_slice(&(1u32 << 14).to_le_bytes());
+        bytes[10..14].copy_from_slice(&(1u32 << 14).to_le_bytes());
+        bytes[MAX_HEADER_LEN..MAX_HEADER_LEN + 4].copy_from_slice(&1u32.to_le_bytes());
+        bytes[MAX_HEADER_LEN + 4..MAX_HEADER_LEN + 8].copy_from_slice(&1u32.to_le_bytes());
+        let err = decompress_grid(&bytes, Parallelism::Sequential).unwrap_err();
+        assert!(
+            matches!(&err, CodecError::InvalidHeader(m) if m.contains("tile")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn roi_equals_crop_of_full_decode() {
+        let img = CorpusImage::Barb.generate(64, 48);
+        let bytes = compress_grid(
+            img.view(),
+            &CodecConfig::default(),
+            geom(16, 16),
+            1,
+            Parallelism::Sequential,
+        );
+        let full = decompress_grid(&bytes, Parallelism::Sequential).unwrap();
+        for roi in [
+            Rect::new(0, 0, 64, 48),   // full image
+            Rect::new(17, 5, 1, 1),    // single pixel
+            Rect::new(15, 15, 18, 18), // straddles four tile boundaries
+            Rect::new(48, 32, 16, 16), // exactly the last tile
+            Rect::new(0, 47, 64, 1),   // bottom row
+        ] {
+            let crop = decode_roi(&bytes, roi, Parallelism::Sequential).unwrap();
+            let reference = full
+                .view()
+                .crop(
+                    roi.x as usize,
+                    roi.y as usize,
+                    roi.w as usize,
+                    roi.h as usize,
+                )
+                .to_image();
+            assert_eq!(crop, reference, "{roi:?}");
+            // The seekable path agrees.
+            let mut cursor = Cursor::new(&bytes);
+            let seeked = decode_roi_from(&mut cursor, roi, Parallelism::Sequential).unwrap();
+            assert_eq!(seeked, reference, "seek path, {roi:?}");
+        }
+    }
+
+    #[test]
+    fn roi_rejects_out_of_bounds_rects() {
+        let img = CorpusImage::Lena.generate(32, 32);
+        let bytes = compress_grid(
+            img.view(),
+            &CodecConfig::default(),
+            geom(16, 16),
+            1,
+            Parallelism::Sequential,
+        );
+        for roi in [
+            Rect::new(0, 0, 0, 4),
+            Rect::new(0, 0, 33, 1),
+            Rect::new(32, 0, 1, 1),
+            Rect::new(30, 30, 4, 4),
+            Rect::new(u32::MAX, u32::MAX, 1, 1),
+        ] {
+            assert!(
+                matches!(
+                    decode_roi(&bytes, roi, Parallelism::Sequential),
+                    Err(CodecError::InvalidHeader(_))
+                ),
+                "{roi:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_roi_any_crops_flat_containers_too() {
+        let img = CorpusImage::Peppers.generate(40, 40);
+        let cfg = CodecConfig::default();
+        let roi = Rect::new(5, 9, 13, 17);
+        let reference = img.view().crop(5, 9, 13, 17).to_image();
+        for bytes in [
+            compress_with_lanes(img.view(), &cfg, 1),
+            compress_with_lanes(img.view(), &cfg, 4),
+            compress_grid(img.view(), &cfg, geom(16, 16), 1, Parallelism::Sequential),
+        ] {
+            assert_eq!(
+                decode_roi_any(&bytes, roi, Parallelism::Sequential).unwrap(),
+                reference
+            );
+        }
+    }
+
+    /// A reader that counts the payload bytes actually read — the
+    /// acceptance harness for "a crop decode touches only the covering
+    /// tiles' bytes".
+    struct CountingReader<R> {
+        inner: R,
+        read: u64,
+    }
+
+    impl<R: Read> Read for CountingReader<R> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.inner.read(buf)?;
+            self.read += n as u64;
+            Ok(n)
+        }
+    }
+
+    impl<R: Seek> Seek for CountingReader<R> {
+        fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+            self.inner.seek(pos)
+        }
+    }
+
+    #[test]
+    fn seekable_roi_reads_only_the_covering_tiles() {
+        // 1024x512 at 256-pixel tiles: a 4x2 grid. A one-tile crop must
+        // read the header + index + exactly that tile's bytes — no other
+        // tile's payload.
+        let img = Image::from_fn(1024, 512, |x, y| {
+            ((x / 7) as u8).wrapping_add((y / 5) as u8).wrapping_mul(31)
+        });
+        let bytes = compress_grid(
+            img.view(),
+            &CodecConfig::default(),
+            TileGeometry::default(),
+            1,
+            Parallelism::Auto,
+        );
+        let (_, index, payload) = parse_grid(&bytes).unwrap();
+        assert_eq!((index.cols, index.rows), (4, 2));
+        let header_and_index = bytes.len() - payload.len();
+
+        // A crop strictly inside tile (1, 1).
+        let roi = Rect::new(300, 300, 100, 100);
+        let covered = &index.entries[index.cols + 1];
+        let mut reader = CountingReader {
+            inner: Cursor::new(&bytes),
+            read: 0,
+        };
+        let crop = decode_roi_from(&mut reader, roi, Parallelism::Sequential).unwrap();
+        assert_eq!(
+            crop,
+            img.view().crop(300, 300, 100, 100).to_image(),
+            "crop pixels must match the source"
+        );
+        assert_eq!(
+            reader.read,
+            (header_and_index as u64) + u64::from(covered.len),
+            "crop decode must read exactly the header, index, and the one covering tile"
+        );
+        assert!(
+            reader.read < bytes.len() as u64 / 4,
+            "one tile of eight plus the index must be far below the container size"
+        );
+    }
+
+    #[test]
+    fn tile_geometry_accessors() {
+        let g = TileGeometry::default();
+        assert_eq!(g.tile_size(), (DEFAULT_TILE_SIZE, DEFAULT_TILE_SIZE));
+        assert_eq!(g.grid(1, 1), (1, 1));
+        assert_eq!(g.grid(257, 256), (2, 1));
+        let g = TileGeometry::new(10, 10);
+        assert_eq!(g.tile_rect(1, 1, 25, 15), (10, 10, 10, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_tile_geometry_panics() {
+        let _ = TileGeometry::new(0, 16);
+    }
+}

@@ -56,6 +56,7 @@ pub mod codec;
 pub mod container;
 pub mod context;
 pub mod engine;
+pub mod grid;
 pub mod hwpipe;
 pub mod neighborhood;
 pub mod predictor;
@@ -68,6 +69,9 @@ pub use cbic_arith::MAX_LANES;
 pub use codec::{decode_raw, encode_raw, CodecConfig, DivisionKind, EncodeStats};
 pub use container::{compress, compress_with_lanes, decompress, CodecError, Proposed};
 pub use engine::{DecoderState, EncoderState, PixelEngine};
+pub use grid::{
+    compress_grid, decode_roi, decode_roi_any, decode_roi_from, decompress_grid, TileGeometry,
+};
 pub use session::{DecoderSession, EncoderSession};
 pub use stream::{StreamDecoder, StreamEncodeStats, StreamEncoder};
 pub use tiles::{compress_tiled_with_lanes, Parallelism, Tiled};

@@ -313,3 +313,64 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Random-access crop decode is exact: `decode_roi(rect)` over a v4
+    /// grid container equals the same crop of a full decode, for random
+    /// rects (the generator's endpoints cover single-pixel and
+    /// full-image rects, and free tile sizes make boundary-straddling
+    /// the common case) across depths 1–16 and lane counts {1, 4}.
+    #[test]
+    fn decode_roi_equals_crop_of_full_decode(
+        img in arb_graded_depth_image(),
+        lane_ix in 0usize..2,
+        (tw, th) in (1u32..=20, 1u32..=20),
+        (fx, fy, fw, fh) in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..=1.0, 0.0f64..=1.0),
+    ) {
+        use crate::grid::{compress_grid, decode_roi, decompress_grid, TileGeometry};
+        use cbic_image::{Parallelism, Rect};
+
+        let lanes = [1usize, 4][lane_ix];
+
+        let (w, h) = img.dimensions();
+        let x = (fx * (w - 1) as f64) as u32;
+        let y = (fy * (h - 1) as f64) as u32;
+        let rw = 1 + (fw * (w as u32 - x - 1) as f64) as u32;
+        let rh = 1 + (fh * (h as u32 - y - 1) as f64) as u32;
+        let roi = Rect::new(x, y, rw, rh);
+
+        let bytes = compress_grid(
+            img.view(),
+            &CodecConfig::default(),
+            TileGeometry::new(tw, th),
+            lanes,
+            Parallelism::Sequential,
+        );
+        let full = decompress_grid(&bytes, Parallelism::Sequential)
+            .expect("fresh container decodes");
+        prop_assert_eq!(&full, &img, "grid container must be lossless");
+        let crop = decode_roi(&bytes, roi, Parallelism::Sequential)
+            .expect("in-bounds ROI decodes");
+        let reference = full
+            .view()
+            .crop(x as usize, y as usize, rw as usize, rh as usize)
+            .to_image();
+        prop_assert_eq!(crop, reference);
+    }
+}
+
+/// Arbitrary images across the full 1–16-bit depth range, samples masked
+/// to fit — the ROI property runs the whole depth ladder, not just 8-bit.
+fn arb_graded_depth_image() -> impl Strategy<Value = Image> {
+    (1usize..40, 1usize..40, 1u8..=16).prop_flat_map(|(w, h, depth)| {
+        proptest::collection::vec(any::<u16>(), w * h).prop_map(move |data| {
+            let mask = if depth == 16 {
+                u16::MAX
+            } else {
+                (1u16 << depth) - 1
+            };
+            let data = data.into_iter().map(|v| v & mask).collect();
+            Image::from_samples(w, h, depth, data).expect("masked to depth")
+        })
+    })
+}

@@ -258,6 +258,19 @@ impl DecoderSession {
     pub fn decode(&mut self, source: &mut dyn Read) -> Result<Image, CbicError> {
         let hdr = read_header(source).map_err(CbicError::from)?;
 
+        if hdr.tile.is_some() {
+            // A version-4 grid container: the tile index wants random
+            // access, not the session's row-streaming state, so hand it
+            // to the grid decoder (sequential — the session is the
+            // latency-oriented path).
+            return crate::grid::decode_grid_after_header(
+                &hdr,
+                source,
+                cbic_image::Parallelism::Sequential,
+            )
+            .map_err(CbicError::from);
+        }
+
         let state = match &mut self.state {
             Some((held, state)) if *held == hdr.cfg => {
                 state.reset(hdr.width, hdr.bit_depth);

@@ -48,7 +48,7 @@
 //! ```
 
 use crate::codec::{CodecConfig, MAX_CODE_PADDING_BITS};
-use crate::container::{header_bytes, read_header, read_lane_table, CodecError};
+use crate::container::{header_bytes, read_header, read_lane_table, CodecError, ContainerHeader};
 use crate::hwpipe::{HwDecoder, HwEncoder};
 use cbic_arith::{BinaryDecoder, BinaryEncoder, LaneDecoder, LaneEncoder, MAX_LANES};
 use cbic_bitio::{BitSink, BitSource, StreamBitReader, StreamBitWriter};
@@ -421,6 +421,25 @@ impl<R: Read> StreamDecoder<R> {
     /// ([`CodecError::BadMagic`], invalid fields, …) otherwise.
     pub fn new(mut input: R) -> Result<Self, CodecError> {
         let hdr = read_header(&mut input)?;
+        Self::with_header(hdr, input)
+    }
+
+    /// [`StreamDecoder::new`] for a source whose header was already
+    /// consumed — the shared entry point of the dispatching callers
+    /// ([`decompress_from`], the sessions), which must inspect the header
+    /// before choosing a decoder.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamDecoder::new`]; a version-4 tiled container is
+    /// [`CodecError::InvalidHeader`] here (its index wants random access,
+    /// not row streaming) — route it to [`crate::grid`] instead.
+    pub(crate) fn with_header(hdr: ContainerHeader, mut input: R) -> Result<Self, CodecError> {
+        if hdr.tile.is_some() {
+            return Err(CodecError::InvalidHeader(
+                "version-4 tiled container: use the grid decoder".into(),
+            ));
+        }
         let lanes = usize::from(hdr.lanes);
         let backend = if lanes >= 2 {
             let lens = read_lane_table(&mut input, lanes)?;
@@ -575,9 +594,21 @@ pub fn compress_to<W: Write>(img: ImageView<'_>, cfg: &CodecConfig, out: W) -> i
 ///
 /// # Errors
 ///
-/// As [`StreamDecoder::new`] and [`StreamDecoder::next_row`].
-pub fn decompress_from<R: Read>(input: R) -> Result<Image, CodecError> {
-    StreamDecoder::new(input)?.decode_all()
+/// As [`StreamDecoder::new`] and [`StreamDecoder::next_row`]. A
+/// version-4 tiled container is routed to the grid decoder
+/// (sequentially — pass a [`Parallelism`](cbic_image::Parallelism) via
+/// [`grid::decompress_grid`](crate::grid::decompress_grid) to decode its
+/// tiles in parallel).
+pub fn decompress_from<R: Read>(mut input: R) -> Result<Image, CodecError> {
+    let hdr = read_header(&mut input)?;
+    if hdr.tile.is_some() {
+        return crate::grid::decode_grid_after_header(
+            &hdr,
+            &mut input,
+            cbic_image::Parallelism::Sequential,
+        );
+    }
+    StreamDecoder::with_header(hdr, input)?.decode_all()
 }
 
 #[cfg(test)]

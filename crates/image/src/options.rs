@@ -46,6 +46,41 @@ impl Parallelism {
     }
 }
 
+/// A rectangular region of an image, in pixels.
+///
+/// Used by [`DecodeOptions::with_roi`] to request a random-access crop
+/// decode: codecs with a seekable tile index (container v4 of the
+/// proposed codec) decode only the tiles covering the rectangle, while
+/// other codecs decode the full image and crop. Either way the returned
+/// image is exactly `w`×`h` with its origin at `(x, y)` of the source.
+///
+/// # Examples
+///
+/// ```
+/// use cbic_image::Rect;
+///
+/// let r = Rect::new(10, 20, 30, 40);
+/// assert_eq!((r.x, r.y, r.w, r.h), (10, 20, 30, 40));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// Left edge, in pixels from the image's left edge.
+    pub x: u32,
+    /// Top edge, in pixels from the image's top edge.
+    pub y: u32,
+    /// Width in pixels.
+    pub w: u32,
+    /// Height in pixels.
+    pub h: u32,
+}
+
+impl Rect {
+    /// A rectangle of `w`×`h` pixels whose top-left corner is `(x, y)`.
+    pub fn new(x: u32, y: u32, w: u32, h: u32) -> Self {
+        Self { x, y, w, h }
+    }
+}
+
 /// Typed knobs for [`Codec::encode`](crate::Codec::encode).
 ///
 /// The codec-specific model configuration (e.g. `cbic-core`'s
@@ -76,15 +111,22 @@ pub struct EncodeOptions {
     /// stage (`1` = the classic single-coder stream). Codecs without lane
     /// support ignore it; lane-aware codecs validate the count themselves.
     pub lanes: usize,
+    /// 2D tile size `(tile_w, tile_h)` for codecs with a seekable tile
+    /// grid (container v4 of the proposed codec). `None` keeps the flat
+    /// single-stream container. Codecs without a grid path ignore it;
+    /// grid-aware codecs validate the geometry themselves.
+    pub tile: Option<(u32, u32)>,
 }
 
 impl Default for EncodeOptions {
-    /// [`Parallelism::Auto`], default tiling geometry, one coder lane.
+    /// [`Parallelism::Auto`], default tiling geometry, one coder lane,
+    /// no 2D tile grid.
     fn default() -> Self {
         Self {
             parallelism: Parallelism::Auto,
             tiles: None,
             lanes: 1,
+            tile: None,
         }
     }
 }
@@ -112,6 +154,13 @@ impl EncodeOptions {
         self.lanes = lanes;
         self
     }
+
+    /// Requests a 2D tile grid of `tile_w`×`tile_h`-pixel tiles from
+    /// grid-aware codecs (container v4 of the proposed codec).
+    pub fn with_tile(mut self, tile_w: u32, tile_h: u32) -> Self {
+        self.tile = Some((tile_w, tile_h));
+        self
+    }
 }
 
 /// Typed knobs for [`Codec::decode`](crate::Codec::decode).
@@ -129,13 +178,21 @@ impl EncodeOptions {
 pub struct DecodeOptions {
     /// Worker threads for codecs with a parallel decode path.
     pub parallelism: Parallelism,
+    /// Region of interest: decode only this rectangle of the image. This
+    /// is the one option that changes the *returned pixels* (a `w`×`h`
+    /// crop instead of the full image), never the interpretation of the
+    /// container bytes. Codecs with a seekable tile index touch only the
+    /// covering tiles; others decode fully and crop. `None` (the default)
+    /// decodes the whole image.
+    pub roi: Option<Rect>,
 }
 
 impl Default for DecodeOptions {
-    /// [`Parallelism::Auto`].
+    /// [`Parallelism::Auto`], full-image decode.
     fn default() -> Self {
         Self {
             parallelism: Parallelism::Auto,
+            roi: None,
         }
     }
 }
@@ -149,6 +206,12 @@ impl DecodeOptions {
     /// Sets the worker-thread policy.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Requests a region-of-interest decode: only `roi` is returned.
+    pub fn with_roi(mut self, roi: Rect) -> Self {
+        self.roi = Some(roi);
         self
     }
 }
@@ -181,7 +244,15 @@ mod tests {
         assert_eq!(e.lanes, 4);
         assert_eq!(EncodeOptions::default().tiles, None);
         assert_eq!(EncodeOptions::default().lanes, 1);
+        assert_eq!(EncodeOptions::default().tile, None);
+        assert_eq!(
+            EncodeOptions::new().with_tile(256, 128).tile,
+            Some((256, 128))
+        );
         let d = DecodeOptions::new().with_parallelism(Parallelism::Threads(2));
         assert_eq!(d.parallelism, Parallelism::Threads(2));
+        assert_eq!(d.roi, None);
+        let r = DecodeOptions::new().with_roi(Rect::new(1, 2, 3, 4));
+        assert_eq!(r.roi, Some(Rect::new(1, 2, 3, 4)));
     }
 }

@@ -9,7 +9,7 @@ use std::time::Duration;
 use cbic_image::{Image, ImageView};
 
 use crate::protocol::{
-    parse_error_msg, read_frame, write_frame, EncodeRequest, Frame, Op, Status,
+    encode_decode_roi, parse_error_msg, read_frame, write_frame, EncodeRequest, Frame, Op, Status,
     PAYLOAD_BITS_UNTRACKED,
 };
 
@@ -105,6 +105,23 @@ impl Client {
         lanes: u8,
         threads: u8,
     ) -> io::Result<Reply> {
+        self.encode_tiled(img, magic, lanes, threads, None)
+    }
+
+    /// [`encode`](Self::encode) with an optional v4 tile-grid geometry
+    /// (proposed codec only; `None` keeps the flat container).
+    ///
+    /// # Errors
+    ///
+    /// As [`encode`](Self::encode).
+    pub fn encode_tiled(
+        &mut self,
+        img: ImageView<'_>,
+        magic: [u8; 4],
+        lanes: u8,
+        threads: u8,
+        tile: Option<(u16, u16)>,
+    ) -> io::Result<Reply> {
         let req = EncodeRequest {
             magic,
             lanes,
@@ -112,6 +129,7 @@ impl Client {
             bit_depth: img.bit_depth(),
             width: img.width() as u32,
             height: img.height() as u32,
+            tile,
             samples: img.rows().flat_map(<[u16]>::to_vec).collect(),
         };
         let reply = self.roundtrip(&req.to_body())?;
@@ -138,6 +156,33 @@ impl Client {
         let mut body = Vec::with_capacity(1 + container.len());
         body.push(Op::Decode as u8);
         body.extend_from_slice(container);
+        self.decode_body(body)
+    }
+
+    /// Region-of-interest decode: the reply holds only the `w`×`h` crop
+    /// at `(x, y)`. Over a v4 tile-grid container the server decodes only
+    /// the covering tiles.
+    ///
+    /// # Errors
+    ///
+    /// As [`decode`](Self::decode); an out-of-bounds rect comes back as
+    /// [`Reply::Error`].
+    pub fn decode_roi(
+        &mut self,
+        container: &[u8],
+        x: u32,
+        y: u32,
+        w: u32,
+        h: u32,
+    ) -> io::Result<Reply> {
+        let mut body = Vec::with_capacity(18 + container.len());
+        body.push(Op::Decode as u8);
+        body.extend_from_slice(&encode_decode_roi(x, y, w, h));
+        body.extend_from_slice(container);
+        self.decode_body(body)
+    }
+
+    fn decode_body(&mut self, body: Vec<u8>) -> io::Result<Reply> {
         let reply = self.roundtrip(&body)?;
         let Some(rest) = check_status(&reply)? else {
             return parse_error(&reply);

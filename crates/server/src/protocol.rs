@@ -9,8 +9,9 @@
 //! Request bodies start with an [`Op`] byte:
 //!
 //! ```text
-//! ENCODE  = [1][magic 4B][lanes u8][threads u8][depth u8][width u32][height u32][samples]
-//! DECODE  = [2][container bytes]
+//! ENCODE  = [1][magic 4B][lanes u8][threads u8][depth u8][width u32][height u32]
+//!              [tile_w u16][tile_h u16][samples]
+//! DECODE  = [2][roi?][container bytes]    roi = [0x01][x u32][y u32][w u32][h u32]
 //! PROBE   = [3][container bytes]
 //! METRICS = [4]
 //! ```
@@ -19,6 +20,15 @@
 //! little-endian bytes otherwise. `magic` routes the request to a codec by
 //! its container magic (`CBIC`, `CBTI`, …); `lanes`/`threads` map onto
 //! [`EncodeOptions`](cbic_image::EncodeOptions) lanes and parallelism.
+//! `tile_w`/`tile_h` of `0, 0` keep the flat container; nonzero values
+//! request the proposed codec's v4 seekable tile grid.
+//!
+//! A DECODE body may carry an optional region-of-interest prefix: a
+//! `0x01` sentinel byte then four `u32` LE fields (x, y, w, h in pixels).
+//! The sentinel can never collide with a container, because every
+//! registered magic starts with an ASCII letter (`C` = `0x43`). With an
+//! ROI the reply holds only the crop's samples — over a v4 grid the
+//! server decodes just the covering tiles.
 //!
 //! Reply bodies start with a [`Status`] byte:
 //!
@@ -158,6 +168,10 @@ pub struct EncodeRequest {
     pub width: u32,
     /// Image height in pixels.
     pub height: u32,
+    /// 2D tile size for the proposed codec's v4 seekable grid; `None`
+    /// keeps the flat container. Carried as two `u16`s on the wire
+    /// (`0, 0` = untiled).
+    pub tile: Option<(u16, u16)>,
     /// Row-major samples, already widened to `u16`.
     pub samples: Vec<u16>,
 }
@@ -166,7 +180,7 @@ impl EncodeRequest {
     /// Serializes the full request body (op byte included).
     pub fn to_body(&self) -> Vec<u8> {
         let wide = self.bit_depth > 8;
-        let mut body = Vec::with_capacity(16 + self.samples.len() * if wide { 2 } else { 1 });
+        let mut body = Vec::with_capacity(20 + self.samples.len() * if wide { 2 } else { 1 });
         body.push(Op::Encode as u8);
         body.extend_from_slice(&self.magic);
         body.push(self.lanes);
@@ -174,6 +188,9 @@ impl EncodeRequest {
         body.push(self.bit_depth);
         body.extend_from_slice(&self.width.to_le_bytes());
         body.extend_from_slice(&self.height.to_le_bytes());
+        let (tw, th) = self.tile.unwrap_or((0, 0));
+        body.extend_from_slice(&tw.to_le_bytes());
+        body.extend_from_slice(&th.to_le_bytes());
         if wide {
             for &s in &self.samples {
                 body.extend_from_slice(&s.to_le_bytes());
@@ -190,15 +207,26 @@ impl EncodeRequest {
     ///
     /// A human-readable description of the first malformed field.
     pub fn parse(rest: &[u8]) -> Result<Self, String> {
-        if rest.len() < 15 {
-            return Err(format!("encode header needs 15 bytes, got {}", rest.len()));
+        if rest.len() < 19 {
+            return Err(format!("encode header needs 19 bytes, got {}", rest.len()));
         }
         let magic = [rest[0], rest[1], rest[2], rest[3]];
         let (lanes, threads, bit_depth) = (rest[4], rest[5], rest[6]);
         let width = u32::from_le_bytes(rest[7..11].try_into().expect("sized"));
         let height = u32::from_le_bytes(rest[11..15].try_into().expect("sized"));
+        let tile_w = u16::from_le_bytes([rest[15], rest[16]]);
+        let tile_h = u16::from_le_bytes([rest[17], rest[18]]);
+        let tile = match (tile_w, tile_h) {
+            (0, 0) => None,
+            (0, _) | (_, 0) => {
+                return Err(format!(
+                    "tile geometry {tile_w}x{tile_h}: both dimensions must be nonzero (or both 0 for untiled)"
+                ))
+            }
+            _ => Some((tile_w, tile_h)),
+        };
         let pixels = (width as u64) * (height as u64);
-        let data = &rest[15..];
+        let data = &rest[19..];
         let wide = bit_depth > 8;
         let expect = pixels * if wide { 2 } else { 1 };
         if data.len() as u64 != expect {
@@ -221,9 +249,53 @@ impl EncodeRequest {
             bit_depth,
             width,
             height,
+            tile,
             samples,
         })
     }
+}
+
+/// The `0x01` sentinel introducing an optional DECODE region-of-interest
+/// prefix. Container bytes can never start with it: every registered
+/// magic begins with an ASCII letter.
+pub const DECODE_ROI_SENTINEL: u8 = 0x01;
+
+/// A parsed DECODE body: the optional ROI rect `(x, y, w, h)` and the
+/// container bytes that follow it.
+pub type DecodeRoiSplit<'a> = (Option<(u32, u32, u32, u32)>, &'a [u8]);
+
+/// Splits a DECODE body (the bytes after the op byte) into its optional
+/// ROI rect and the container bytes.
+///
+/// # Errors
+///
+/// A human-readable message when the sentinel is present but the 16-byte
+/// rect is cut short.
+pub fn split_decode_roi(rest: &[u8]) -> Result<DecodeRoiSplit<'_>, String> {
+    match rest.first() {
+        Some(&DECODE_ROI_SENTINEL) => {
+            if rest.len() < 17 {
+                return Err(format!(
+                    "decode ROI prefix needs 17 bytes (sentinel + 4 u32 fields), got {}",
+                    rest.len()
+                ));
+            }
+            let f = |i: usize| u32::from_le_bytes(rest[i..i + 4].try_into().expect("sized"));
+            Ok((Some((f(1), f(5), f(9), f(13))), &rest[17..]))
+        }
+        _ => Ok((None, rest)),
+    }
+}
+
+/// Serializes a DECODE ROI prefix (sentinel + x, y, w, h as `u32` LE).
+pub fn encode_decode_roi(x: u32, y: u32, w: u32, h: u32) -> [u8; 17] {
+    let mut out = [0u8; 17];
+    out[0] = DECODE_ROI_SENTINEL;
+    out[1..5].copy_from_slice(&x.to_le_bytes());
+    out[5..9].copy_from_slice(&y.to_le_bytes());
+    out[9..13].copy_from_slice(&w.to_le_bytes());
+    out[13..17].copy_from_slice(&h.to_le_bytes());
+    out
 }
 
 /// Serializes an error reply body: `[status][msg_len u16][msg]`.
@@ -286,18 +358,21 @@ mod tests {
     #[test]
     fn encode_request_roundtrips_both_sample_widths() {
         for (depth, samples) in [(8u8, vec![0u16, 255, 7]), (12, vec![0, 4095, 300])] {
-            let req = EncodeRequest {
-                magic: *b"CBIC",
-                lanes: 4,
-                threads: 2,
-                bit_depth: depth,
-                width: 3,
-                height: 1,
-                samples,
-            };
-            let body = req.to_body();
-            assert_eq!(body[0], Op::Encode as u8);
-            assert_eq!(EncodeRequest::parse(&body[1..]).unwrap(), req);
+            for tile in [None, Some((256u16, 128u16))] {
+                let req = EncodeRequest {
+                    magic: *b"CBIC",
+                    lanes: 4,
+                    threads: 2,
+                    bit_depth: depth,
+                    width: 3,
+                    height: 1,
+                    tile,
+                    samples: samples.clone(),
+                };
+                let body = req.to_body();
+                assert_eq!(body[0], Op::Encode as u8);
+                assert_eq!(EncodeRequest::parse(&body[1..]).unwrap(), req);
+            }
         }
     }
 
@@ -310,12 +385,49 @@ mod tests {
             bit_depth: 8,
             width: 4,
             height: 4,
+            tile: None,
             samples: vec![0; 16],
         };
         let mut body = req.to_body();
         body.pop();
         assert!(EncodeRequest::parse(&body[1..]).is_err());
         assert!(EncodeRequest::parse(&[0u8; 3]).is_err());
+    }
+
+    #[test]
+    fn encode_request_rejects_half_zero_tile() {
+        let req = EncodeRequest {
+            magic: *b"CBIC",
+            lanes: 1,
+            threads: 0,
+            bit_depth: 8,
+            width: 2,
+            height: 2,
+            tile: Some((16, 16)),
+            samples: vec![0; 4],
+        };
+        let mut body = req.to_body();
+        body[18] = 0; // tile_w low byte -> 0x0000 while tile_h stays nonzero
+        body[19] = 0;
+        assert!(EncodeRequest::parse(&body[1..]).is_err());
+    }
+
+    #[test]
+    fn decode_roi_prefix_roundtrips_and_absent_means_whole_image() {
+        let prefix = encode_decode_roi(7, 9, 100, 50);
+        let mut body = prefix.to_vec();
+        body.extend_from_slice(b"CBICrest");
+        let (roi, container) = split_decode_roi(&body).unwrap();
+        assert_eq!(roi, Some((7, 9, 100, 50)));
+        assert_eq!(container, b"CBICrest");
+        // No sentinel: the whole body is the container.
+        let (roi, container) = split_decode_roi(b"CBICrest").unwrap();
+        assert_eq!(roi, None);
+        assert_eq!(container, b"CBICrest");
+        // Sentinel with a short rect is an error, not a panic.
+        assert!(split_decode_roi(&[DECODE_ROI_SENTINEL, 1, 2]).is_err());
+        // Empty body passes through (the codec will reject it).
+        assert_eq!(split_decode_roi(&[]).unwrap(), (None, &[][..]));
     }
 
     #[test]

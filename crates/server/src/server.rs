@@ -37,7 +37,8 @@ use cbic_universal::codecs::default_registry;
 
 use crate::metrics::Metrics;
 use crate::protocol::{
-    error_body, read_frame, write_frame, EncodeRequest, Frame, Op, Status, PAYLOAD_BITS_UNTRACKED,
+    error_body, read_frame, split_decode_roi, write_frame, EncodeRequest, Frame, Op, Status,
+    PAYLOAD_BITS_UNTRACKED,
 };
 
 /// Tuning knobs for [`Server::bind`].
@@ -429,7 +430,36 @@ fn handle_encode(rest: &[u8], state: &mut WorkerState, metrics: &Metrics) -> Vec
     };
 
     let mut container = Vec::new();
-    let payload_bits = if req.magic == state.proposed_magic && req.threads <= 1 {
+    let payload_bits = if let Some((tile_w, tile_h)) = req.tile {
+        // A v4 seekable tile grid: the registry codec carries the tile
+        // geometry through EncodeOptions (the resident session is the
+        // flat-container fast path and does not tile).
+        if req.magic != state.proposed_magic {
+            metrics.bad_requests.fetch_add(1, Relaxed);
+            return error_body(
+                Status::BadRequest,
+                &format!(
+                    "tile geometry applies to the proposed codec, not magic {:?}",
+                    req.magic
+                ),
+            );
+        }
+        let Some(codec) = state.registry.by_magic(req.magic) else {
+            metrics.bad_requests.fetch_add(1, Relaxed);
+            return error_body(
+                Status::BadRequest,
+                &format!("no codec with magic {:?}", req.magic),
+            );
+        };
+        let opts = EncodeOptions::new()
+            .with_lanes(lanes)
+            .with_tile(u32::from(tile_w), u32::from(tile_h))
+            .with_parallelism(Parallelism::from_threads(req.threads as usize));
+        match codec.encode(img.view(), &opts, &mut container) {
+            Ok(stats) => stats.payload_bits,
+            Err(e) => return codec_error(metrics, &e),
+        }
+    } else if req.magic == state.proposed_magic && req.threads <= 1 {
         // The hot path: the worker's resident EncoderSession — context
         // banks, line buffers, and lane coders reset in place.
         state.encoder.set_lanes(lanes);
@@ -478,9 +508,50 @@ fn decode_container(rest: &[u8], state: &mut WorkerState) -> Result<Image, CbicE
 }
 
 fn handle_decode(rest: &[u8], state: &mut WorkerState, metrics: &Metrics) -> Vec<u8> {
-    let img = match decode_container(rest, state) {
-        Ok(img) => img,
-        Err(e) => return codec_error(metrics, &e),
+    let (roi, rest) = match split_decode_roi(rest) {
+        Ok(parts) => parts,
+        Err(msg) => {
+            metrics.bad_requests.fetch_add(1, Relaxed);
+            return error_body(Status::BadRequest, &msg);
+        }
+    };
+    let img = if let Some((x, y, w, h)) = roi {
+        let rect = cbic_image::Rect::new(x, y, w, h);
+        if rest.get(..4) == Some(&state.proposed_magic[..]) {
+            // Proposed-codec containers: over a v4 grid only the
+            // covering tiles are decoded; flat v1–v3 decode fully and
+            // crop. Out-of-bounds rects come back as structured errors.
+            match cbic_core::decode_roi_any(rest, rect, Parallelism::Sequential) {
+                Ok(img) => img,
+                Err(e) => return codec_error(metrics, &e),
+            }
+        } else {
+            // Other codecs have no random-access path: decode, then crop.
+            let full = match decode_container(rest, state) {
+                Ok(img) => img,
+                Err(e) => return codec_error(metrics, &e),
+            };
+            let (x1, y1) = (u64::from(x) + u64::from(w), u64::from(y) + u64::from(h));
+            if w == 0 || h == 0 || x1 > full.width() as u64 || y1 > full.height() as u64 {
+                metrics.bad_requests.fetch_add(1, Relaxed);
+                return error_body(
+                    Status::BadRequest,
+                    &format!(
+                        "ROI {w}x{h} at ({x}, {y}) outside the {}x{} image",
+                        full.width(),
+                        full.height()
+                    ),
+                );
+            }
+            full.view()
+                .crop(x as usize, y as usize, w as usize, h as usize)
+                .to_image()
+        }
+    } else {
+        match decode_container(rest, state) {
+            Ok(img) => img,
+            Err(e) => return codec_error(metrics, &e),
+        }
     };
     metrics.decode_ok.fetch_add(1, Relaxed);
     metrics

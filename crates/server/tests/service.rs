@@ -333,3 +333,75 @@ fn drain_answers_draining_then_exits_cleanly() {
     drop(client);
     handle.shutdown_and_join().expect("clean drain");
 }
+
+#[test]
+fn tiled_encode_and_roi_decode_over_a_live_socket() {
+    let handle = spawn_server(test_config());
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let img = CorpusImage::Barb.generate(64, 48);
+
+    // ENCODE with v4 tile geometry: the container must be a v4 grid.
+    let Reply::Encoded { container, .. } = client
+        .encode_tiled(img.view(), *b"CBIC", 2, 2, Some((16, 16)))
+        .expect("tiled encode rpc")
+    else {
+        panic!("tiled encode refused");
+    };
+    assert_eq!(&container[..4], b"CBIC");
+    assert_eq!(container[4], 4, "tile geometry must produce a v4 container");
+
+    // Whole-image DECODE of the v4 container still round-trips.
+    let Reply::Decoded(back) = client.decode(&container).expect("decode rpc") else {
+        panic!("v4 decode refused");
+    };
+    assert_eq!(back, img);
+
+    // ROI decode returns exactly the crop — including one straddling
+    // tile boundaries and a single pixel.
+    for (x, y, w, h) in [(10u32, 12u32, 20u32, 20u32), (15, 15, 2, 2), (63, 47, 1, 1)] {
+        let Reply::Decoded(crop) = client
+            .decode_roi(&container, x, y, w, h)
+            .expect("roi decode rpc")
+        else {
+            panic!("roi decode refused");
+        };
+        let reference = img
+            .view()
+            .crop(x as usize, y as usize, w as usize, h as usize)
+            .to_image();
+        assert_eq!(crop, reference, "roi ({x}, {y}) {w}x{h}");
+    }
+
+    // ROI over a *flat* container decodes fully server-side and crops.
+    let flat = compress_with_lanes(img.view(), &CodecConfig::default(), 1);
+    let Reply::Decoded(crop) = client
+        .decode_roi(&flat, 5, 5, 10, 10)
+        .expect("flat roi rpc")
+    else {
+        panic!("flat roi refused");
+    };
+    assert_eq!(crop, img.view().crop(5, 5, 10, 10).to_image());
+
+    // Out-of-bounds rects are structured codec errors, not hangups.
+    let Reply::Error { status, .. } = client
+        .decode_roi(&container, 60, 40, 10, 10)
+        .expect("oob roi rpc")
+    else {
+        panic!("out-of-bounds roi must be refused");
+    };
+    assert_eq!(status, Status::CodecError);
+
+    // Tile geometry on a codec without a grid path is a BadRequest.
+    let Reply::Error { status, .. } = client
+        .encode_tiled(img.view(), *b"CBT1", 1, 0, Some((16, 16)))
+        .expect("bad tiled encode rpc")
+    else {
+        panic!("tiled encode for a gridless codec must be refused");
+    };
+    assert!(
+        matches!(status, Status::BadRequest),
+        "expected BadRequest, got {status:?}"
+    );
+
+    handle.shutdown_and_join().expect("clean drain");
+}

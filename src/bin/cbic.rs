@@ -6,8 +6,9 @@
 //! `decompress`, `bench`, and `codecs` with no CLI changes.
 //!
 //! ```text
-//! cbic compress   [--codec NAME] [--near N] [--threads N] IN.pgm OUT
+//! cbic compress   [--codec NAME] [--near N] [--threads N] [--tile WxH] IN.pgm OUT
 //! cbic decompress [--threads N] IN OUT.pgm   (codec auto-detected)
+//! cbic crop       --rect X,Y,W,H [--threads N] IN OUT.pgm  (random-access ROI decode)
 //! cbic info       IN                         (describe a compressed container)
 //! cbic codecs                                (list registered codecs)
 //! cbic corpus     [--size N] OUTDIR          (write the synthetic corpus as PGM)
@@ -49,10 +50,12 @@ macro_rules! say {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cbic compress [--codec NAME] [--near N] [--threads N] [--lanes N] IN.pgm OUT\n  \
-         cbic decompress [--threads N] IN OUT.pgm\n  cbic info IN\n  cbic codecs\n  \
+        "usage:\n  cbic compress [--codec NAME] [--near N] [--threads N] [--lanes N] [--tile WxH] IN.pgm OUT\n  \
+         cbic decompress [--threads N] IN OUT.pgm\n  \
+         cbic crop --rect X,Y,W,H [--threads N] IN OUT.pgm\n  cbic info IN\n  cbic codecs\n  \
          cbic corpus [--size N] OUTDIR\n  cbic bench [--iters N] IN.pgm\n\
-         (compress/decompress accept `-` for stdin/stdout piping; PGM may be 8- or 16-bit)"
+         (compress/decompress accept `-` for stdin/stdout piping; PGM may be 8- or 16-bit;\n \
+         --tile writes the v4 seekable tile grid, which `crop` decodes without reading other tiles)"
     );
     ExitCode::from(2)
 }
@@ -65,6 +68,7 @@ fn main() -> ExitCode {
     let r = match cmd.as_str() {
         "compress" => cmd_compress(&args[1..]),
         "decompress" => cmd_decompress(&args[1..]),
+        "crop" => cmd_crop(&args[1..]),
         "info" => cmd_info(&args[1..]),
         "codecs" => cmd_codecs(),
         "corpus" => cmd_corpus(&args[1..]),
@@ -136,8 +140,34 @@ fn open_output(path: &str) -> std::io::Result<BufWriter<Box<dyn Write>>> {
     Ok(BufWriter::new(inner))
 }
 
+/// Parses a `--tile WxH` value like `256x256`.
+fn parse_tile(value: &str) -> Result<(u32, u32), Box<dyn std::error::Error>> {
+    let (w, h) = value
+        .split_once(['x', 'X'])
+        .ok_or_else(|| format!("--tile wants WxH (e.g. 256x256), got {value}"))?;
+    let (w, h): (u32, u32) = (w.trim().parse()?, h.trim().parse()?);
+    if w == 0 || h == 0 {
+        return Err(format!("--tile {value}: tile dimensions must be nonzero").into());
+    }
+    Ok((w, h))
+}
+
+/// Parses a `--rect X,Y,W,H` value like `1024,512,256,256`.
+fn parse_rect(value: &str) -> Result<cbic::Rect, Box<dyn std::error::Error>> {
+    let parts: Vec<&str> = value.split(',').map(str::trim).collect();
+    let [x, y, w, h] = parts.as_slice() else {
+        return Err(format!("--rect wants X,Y,W,H (e.g. 1024,512,256,256), got {value}").into());
+    };
+    Ok(cbic::Rect::new(
+        x.parse()?,
+        y.parse()?,
+        w.parse()?,
+        h.parse()?,
+    ))
+}
+
 fn cmd_compress(args: &[String]) -> CliResult {
-    let (flags, pos) = parse_flags(args, &["codec", "near", "threads", "lanes"]);
+    let (flags, pos) = parse_flags(args, &["codec", "near", "threads", "lanes", "tile"]);
     let [input, output] = pos.as_slice() else {
         return Err("compress needs IN.pgm and OUT (either may be `-`)".into());
     };
@@ -158,6 +188,46 @@ fn cmd_compress(args: &[String]) -> CliResult {
         return Err(
             format!("--lanes applies to the proposed and tiled codecs, not {codec_name}").into(),
         );
+    }
+    let tile = flag_value(&flags, "tile").map(parse_tile).transpose()?;
+    if tile.is_some() && (codec_name != "proposed" || near > 0) {
+        return Err(format!("--tile applies to the proposed codec, not {codec_name}").into());
+    }
+
+    if let Some((tile_w, tile_h)) = tile {
+        // The v4 seekable tile grid: every tile an independently
+        // decodable substream, coded on the wavefront scheduler.
+        let mut reader = open_input(input)?;
+        let mut pgm_bytes = Vec::new();
+        reader.read_to_end(&mut pgm_bytes)?;
+        let img = pgm::decode(&pgm_bytes)?;
+        let opts = EncodeOptions::new()
+            .with_tile(tile_w, tile_h)
+            .with_lanes(lanes)
+            .with_parallelism(Parallelism::from_threads(threads));
+        let mut container = Vec::new();
+        let stats = cbic::default_registry().expect_name("proposed")?.encode(
+            img.view(),
+            &opts,
+            &mut container,
+        )?;
+        let mut out = open_output(output)?;
+        out.write_all(&container)?;
+        out.flush()?;
+        let lane_note = if lanes > 1 {
+            format!(" x {lanes} lanes")
+        } else {
+            String::new()
+        };
+        eprintln!(
+            "{input}: {} pixels ({}-bit) -> {} bytes ({:.3} bpp) with proposed \
+             (v4 grid, {tile_w}x{tile_h} tiles{lane_note}, {threads} threads)",
+            stats.pixels,
+            img.bit_depth(),
+            stats.container_bytes,
+            stats.bits_per_pixel()
+        );
+        return Ok(());
     }
 
     if codec_name == "proposed" && near == 0 && threads <= 1 {
@@ -308,9 +378,34 @@ fn cmd_decompress(args: &[String]) -> CliResult {
     }
 
     if &magic == b"CBIC" {
+        // Peek the version byte: a v4 tile grid wants the (optionally
+        // parallel) grid decoder, everything flat streams row by row.
+        let mut version = [0u8; 1];
+        reader
+            .read_exact(&mut version)
+            .map_err(|e| format!("reading container version: {e}"))?;
+        if version[0] == 4 {
+            let mut bytes = magic.to_vec();
+            bytes.push(version[0]);
+            reader.read_to_end(&mut bytes)?;
+            let img = cbic::core::decompress_grid(&bytes, Parallelism::from_threads(threads))?;
+            let mut out = open_output(output)?;
+            pgm::write_header(&mut out, img.width(), img.height(), img.max_val())?;
+            for y in 0..img.height() {
+                out.write_all(&pgm::row_bytes(img.row(y), img.max_val()))?;
+            }
+            out.flush()?;
+            eprintln!(
+                "{input}: proposed (v4 grid, {threads} threads) -> {}x{} {}-bit PGM",
+                img.width(),
+                img.height(),
+                img.bit_depth()
+            );
+            return Ok(());
+        }
         // Bounded-memory path: decode rows straight to PGM output without
         // slurping the container or materializing the image.
-        let mut chained = (&magic[..]).chain(reader);
+        let mut chained = (&magic[..]).chain(&version[..]).chain(reader);
         let mut dec = StreamDecoder::new(&mut chained)?;
         let (width, height) = dec.dimensions();
         let maxval = cbic::image::max_val_for(dec.bit_depth());
@@ -356,6 +451,56 @@ fn cmd_decompress(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// `crop`: random-access ROI decode. On a seekable file holding a v4 tile
+/// grid this reads the header, the index, and *only the covering tiles'
+/// bytes*; on stdin (or a flat v1–v3 container) it decodes what it must
+/// and crops. Either way the output PGM is exactly the requested rect.
+fn cmd_crop(args: &[String]) -> CliResult {
+    let (flags, pos) = parse_flags(args, &["rect", "threads"]);
+    let [input, output] = pos.as_slice() else {
+        return Err(
+            "crop needs IN and OUT.pgm (IN may be `-`; seekable files skip non-covering tiles)"
+                .into(),
+        );
+    };
+    let rect = parse_rect(flag_value(&flags, "rect").ok_or("crop needs --rect X,Y,W,H (pixels)")?)?;
+    let threads = parse_threads(&flags)?;
+    let par = Parallelism::from_threads(threads);
+    let (img, how) = if input == "-" {
+        let mut bytes = Vec::new();
+        std::io::stdin().lock().read_to_end(&mut bytes)?;
+        (cbic::core::decode_roi_any(&bytes, rect, par)?, "buffered")
+    } else {
+        // A real file seeks: non-covering tiles' bytes are never read.
+        let mut file = std::fs::File::open(input)?;
+        match cbic::core::decode_roi_from(&mut file, rect, par) {
+            Ok(img) => (img, "seek"),
+            Err(cbic::core::CodecError::InvalidHeader(_)) => {
+                // Not a v4 grid (flat v1–v3 container): fall back to a
+                // full decode + crop of the slurped bytes.
+                let bytes = std::fs::read(input)?;
+                (cbic::core::decode_roi_any(&bytes, rect, par)?, "buffered")
+            }
+            Err(e) => return Err(e.into()),
+        }
+    };
+    let mut out = open_output(output)?;
+    pgm::write_header(&mut out, img.width(), img.height(), img.max_val())?;
+    for y in 0..img.height() {
+        out.write_all(&pgm::row_bytes(img.row(y), img.max_val()))?;
+    }
+    out.flush()?;
+    eprintln!(
+        "{input}: {}x{} crop at ({}, {}) -> {}-bit PGM ({how} path)",
+        rect.w,
+        rect.h,
+        rect.x,
+        rect.y,
+        img.bit_depth()
+    );
+    Ok(())
+}
+
 /// `info`: describe a compressed container — codec, dimensions, bit depth,
 /// band layout, payload sizes — without decoding any payload.
 fn cmd_info(args: &[String]) -> CliResult {
@@ -376,6 +521,13 @@ fn cmd_info(args: &[String]) -> CliResult {
         "proposed" => {
             let (hdr, payload) = cbic::core::container::parse_header(&bytes)?;
             print_proposed_header(&hdr, payload);
+            if hdr.tile.is_some() {
+                // v4: validate and print the tile index. Length
+                // mismatches and malformed indexes surface as the
+                // library's structured InvalidHeader/Truncated errors.
+                let (_, index, grid_payload) = cbic::core::grid::parse_grid(&bytes)?;
+                print_grid_index(&index, grid_payload.len());
+            }
         }
         "tiled" => {
             let count_bytes = bytes
@@ -436,7 +588,9 @@ fn cmd_info(args: &[String]) -> CliResult {
 
 fn print_proposed_header(hdr: &cbic::core::container::ContainerHeader, payload: &[u8]) {
     let payload_len = payload.len();
-    let version = if hdr.lanes > 1 {
+    let version = if hdr.tile.is_some() {
+        4
+    } else if hdr.lanes > 1 {
         3
     } else if hdr.bit_depth != 8 {
         2
@@ -463,7 +617,12 @@ fn print_proposed_header(hdr: &cbic::core::container::ContainerHeader, payload: 
         "payload: {payload_len} bytes = {:.3} bpp",
         payload_len as f64 * 8.0 / (hdr.width * hdr.height) as f64
     );
-    if hdr.lanes > 1 {
+    if hdr.tile.is_some() {
+        // v4 frames its lanes per tile; the caller prints the index.
+        if hdr.lanes > 1 {
+            say!("lanes: {} (framed per tile)", hdr.lanes);
+        }
+    } else if hdr.lanes > 1 {
         match cbic::core::container::split_lane_payload(hdr, payload) {
             Ok(subs) => {
                 let sizes: Vec<String> = subs.iter().map(|s| s.len().to_string()).collect();
@@ -475,6 +634,30 @@ fn print_proposed_header(hdr: &cbic::core::container::ContainerHeader, payload: 
             }
             Err(e) => say!("lanes: {} (malformed lane table: {e})", hdr.lanes),
         }
+    }
+}
+
+/// Prints a v4 container's tile index: grid shape, tile geometry, and the
+/// per-tile (offset, length, checksum) entries the random-access paths
+/// seek by.
+fn print_grid_index(index: &cbic::core::grid::TileIndex, payload_len: usize) {
+    let (tw, th) = index.geometry.tile_size();
+    say!(
+        "grid: {}x{} tiles of {tw}x{th} px, index {} bytes, substreams {payload_len} bytes",
+        index.cols,
+        index.rows,
+        index.entries.len() * cbic::core::grid::INDEX_ENTRY_LEN
+    );
+    for (i, e) in index.entries.iter().enumerate() {
+        let (x, y, w, h) = index.tile_rect(i % index.cols, i / index.cols);
+        say!(
+            "  tile ({}, {}): {w}x{h} px at ({x}, {y}), offset {}, {} bytes, crc32 {:08x}",
+            i % index.cols,
+            i / index.cols,
+            e.offset,
+            e.len,
+            e.crc32
+        );
     }
 }
 

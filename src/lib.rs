@@ -57,6 +57,6 @@ pub use cbic_slp as slp;
 pub use cbic_universal as universal;
 
 pub use cbic_image::{
-    CbicError, Codec, CodecRegistry, CountingSink, DecodeOptions, EncodeOptions, Parallelism,
+    CbicError, Codec, CodecRegistry, CountingSink, DecodeOptions, EncodeOptions, Parallelism, Rect,
 };
 pub use cbic_universal::codecs::{all_codecs, default_registry};

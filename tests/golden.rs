@@ -141,6 +141,97 @@ fn legacy_fixtures_stay_on_pre_lane_container_versions() {
 }
 
 #[test]
+fn grid_v4_containers_match_their_golden_fixtures() {
+    // Container v4: the 2D tile grid with its seekable index. Two
+    // geometries pin the index layout and the per-tile substream framing —
+    // a 2×2 grid of single-lane tiles and a 4×4 grid of 4-lane tiles
+    // (tile-local lane tables). Each fixture must also decode losslessly,
+    // both whole and through a random-access crop.
+    use cbic::core::grid::{compress_grid, decode_roi, decompress_grid, TileGeometry};
+    use cbic::core::CodecConfig;
+    use cbic::image::Parallelism;
+    use cbic::Rect;
+    let cfg = CodecConfig::default();
+    for (grid_name, tile, lanes) in [("grid2x2", 16u32, 1usize), ("grid4x4", 8, 4)] {
+        for class in CLASSES {
+            let img = class.generate(SIZE, SIZE);
+            let bytes = compress_grid(
+                img.view(),
+                &cfg,
+                TileGeometry::new(tile, tile),
+                lanes,
+                Parallelism::Sequential,
+            );
+            assert_eq!(bytes[4], 4, "v4 version byte");
+            check(
+                &format!("proposed_{grid_name}_{}_{}", class.name(), SIZE),
+                &bytes,
+            );
+            assert_eq!(
+                decompress_grid(&bytes, Parallelism::Sequential).unwrap(),
+                img,
+                "{grid_name} on {class:?}"
+            );
+            // A crop straddling all four interior tile corners.
+            let roi = Rect::new(tile - 3, tile - 3, 7, 7);
+            assert_eq!(
+                decode_roi(&bytes, roi, Parallelism::Sequential).unwrap(),
+                img.view()
+                    .crop(roi.x as usize, roi.y as usize, 7, 7)
+                    .to_image(),
+                "{grid_name} ROI on {class:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pre_v4_fixtures_stay_byte_identical() {
+    // Shipping container v4 must not move a single bit of v1–v3: pin the
+    // checksum and length of every fixture that existed before the grid
+    // subsystem. A mismatch here means an old container version changed —
+    // that is a format break, never something to regenerate past.
+    // (Skipped while regenerating, like the other committed-file checks.)
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return;
+    }
+    const PRE_V4: [(&str, u32, usize); 22] = [
+        ("calic_barb_32.bin", 0x4B52_924C, 900),
+        ("calic_lena_32.bin", 0x58E8_1651, 846),
+        ("calic_mandrill_32.bin", 0x63BC_7A0F, 940),
+        ("jpegls_barb_32.bin", 0x936A_F0BE, 735),
+        ("jpegls_lena_32.bin", 0x2682_7387, 662),
+        ("jpegls_mandrill_32.bin", 0xEDA3_CF50, 933),
+        ("proposed_barb_32.bin", 0xB82F_A693, 859),
+        ("proposed_lanes4_barb_32.bin", 0x8D69_F991, 879),
+        ("proposed_lanes4_lena_32.bin", 0x7629_15DF, 824),
+        ("proposed_lanes4_mandrill_32.bin", 0x72DD_8446, 948),
+        ("proposed_lanes8_barb_32.bin", 0x2761_43F3, 898),
+        ("proposed_lanes8_lena_32.bin", 0x1406_5DFA, 840),
+        ("proposed_lanes8_mandrill_32.bin", 0x4306_516B, 967),
+        ("proposed_lena_32.bin", 0xDA99_2458, 803),
+        ("proposed_mandrill_32.bin", 0x0BCA_39C8, 928),
+        ("slp_barb_32.bin", 0x4A23_FCDF, 701),
+        ("slp_lena_32.bin", 0x8C1E_8A3B, 648),
+        ("slp_mandrill_32.bin", 0xEAB8_667D, 830),
+        ("tiled_barb_32.bin", 0x032A_7ED5, 1063),
+        ("tiled_lena_32.bin", 0x4A23_AD83, 1017),
+        ("tiled_mandrill_32.bin", 0xF975_995F, 1099),
+        ("universal_mixed.bin", 0x38CC_299E, 897),
+    ];
+    for (name, crc, len) in PRE_V4 {
+        let bytes = std::fs::read(golden_dir().join(name))
+            .unwrap_or_else(|e| panic!("pre-v4 fixture {name} must stay committed: {e}"));
+        assert_eq!(bytes.len(), len, "{name} length drifted");
+        assert_eq!(
+            cbic::core::grid::crc32(&bytes),
+            crc,
+            "{name} bytes drifted — a pre-v4 container format changed"
+        );
+    }
+}
+
+#[test]
 fn streaming_encoder_matches_the_proposed_golden_fixtures() {
     // The streaming path must produce the exact fixture bytes too — the
     // golden corpus pins the format for *both* transports.

@@ -364,6 +364,44 @@ fn sixty_four_megapixel_roundtrip_in_bounded_memory() {
     }
 }
 
+/// The 64-megapixel soak for the v4 tile grid: an 8192×8192 frame goes
+/// through `compress_grid` on four worker threads (32×32 grid of 256×256
+/// tiles), decodes back bit-exactly in parallel, the parallel bytes match
+/// the sequential bytes, and a random-access crop out of the middle needs
+/// only the covering tiles. Ignored by default for the same reason as the
+/// streaming soak above; run with `cargo test --release --test streaming
+/// -- --ignored`.
+#[test]
+#[ignore = "64-megapixel tiled soak test; run with --ignored in release"]
+fn sixty_four_megapixel_tiled_roundtrip_and_roi() {
+    use cbic::core::grid::{compress_grid, decode_roi, decompress_grid, parse_grid, TileGeometry};
+    use cbic::Rect;
+
+    const N: usize = 8192;
+    let cfg = CodecConfig::default();
+    let pixel = |x: usize, y: usize| ((x / 7) as u8).wrapping_add((y / 5) as u8).wrapping_mul(31);
+    let img = Image::from_fn(N, N, pixel);
+    let geom = TileGeometry::default(); // 256×256 → a 32×32 grid
+
+    let par = Parallelism::Threads(4);
+    let bytes = compress_grid(img.view(), &cfg, geom, 1, par);
+    assert!(bytes.len() < N * N, "synthetic content must compress");
+    let (_, index, _) = parse_grid(&bytes).unwrap();
+    assert_eq!((index.cols, index.rows), (32, 32));
+
+    // The wavefront schedule must never leak into the bytes.
+    let sequential = compress_grid(img.view(), &cfg, geom, 1, Parallelism::Sequential);
+    assert_eq!(bytes, sequential, "parallel encode must be deterministic");
+
+    let back = decompress_grid(&bytes, par).unwrap();
+    assert_eq!(back, img, "64 MP tiled roundtrip must be lossless");
+
+    // Random access: a 300×200 crop straddling tile boundaries.
+    let roi = Rect::new(4000, 4000, 300, 200);
+    let crop = decode_roi(&bytes, roi, Parallelism::Sequential).unwrap();
+    assert_eq!(crop, img.view().crop(4000, 4000, 300, 200).to_image());
+}
+
 /// Regression: `StreamEncoder::payload_bits()` returned 0 on lane paths
 /// until the first 1024-decision batch drained, so `cbic compress
 /// --lanes N` printed ~0.000 bpp for any small image while `cbic info`
