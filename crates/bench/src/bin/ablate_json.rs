@@ -1,0 +1,160 @@
+//! Machine-readable bit-rate + wide-model ablation harness (the
+//! compression-trajectory tracker).
+//!
+//! ```text
+//! cargo run --release -p cbic-bench --bin ablate_json -- \
+//!     [--json] [--size N] [--out PATH] [--quick] [--check PATH]
+//! ```
+//!
+//! Without `--json`, prints two human-readable tables: payload bpp per
+//! codec per corpus class per context-model mode, then the wide-model
+//! ablation sweep (window × banks × mixer with measured bank collision
+//! and occupancy rates). With `--json`, writes the report document
+//! (schema 1: `{schema, size, results, ablation}`) to `--out` (default
+//! `BENCH_bpp.json` in the current directory). `--quick` trims the
+//! ablation sweep to the wire-default window for CI smoke runs.
+//!
+//! `--check PATH` turns the run into a regression gate: the document is
+//! regenerated (full sweep at the committed file's size) and compared
+//! **byte-for-byte** against PATH — every number is deterministic, so
+//! any drift means the coding behavior changed and the file must be
+//! regenerated and reviewed. The gate also re-asserts the headline
+//! claim the committed file carries: the wide model beats CALIC's
+//! payload bpp on at least 2 of the 3 corpus classes.
+
+use cbic_bench::bpp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut quick = false;
+    let mut size = 256usize;
+    let mut out_path = "BENCH_bpp.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("error: {} needs a value", args[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--quick" => quick = true,
+            "--size" => {
+                size = take(&mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("error: bad --size: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => out_path = take(&mut i),
+            "--check" => check_path = Some(take(&mut i)),
+            other => {
+                eprintln!(
+                    "error: unknown argument {other}\nusage: ablate_json [--json] [--size N] \
+                     [--out PATH] [--quick] [--check PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = check_path {
+        check(&path, size);
+        return;
+    }
+
+    let records = bpp::measure_bpp(size);
+    let ablation = bpp::measure_ablation(size, quick);
+    let wins = bpp::classes_where_wide_beats_calic(&records);
+
+    if json {
+        let doc = bpp::render_report(size, &records, &ablation);
+        std::fs::write(&out_path, doc).unwrap_or_else(|e| {
+            eprintln!("error: writing {out_path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "wrote {out_path} ({} bpp cells, {} ablation cells, wide beats calic on {wins}/3 \
+             classes)",
+            records.len(),
+            ablation.len()
+        );
+        return;
+    }
+
+    println!("payload bpp at {size}x{size} (per codec x class x model):");
+    println!(
+        "  {:<10} {:<10} {:<10} {:>8}",
+        "codec", "class", "model", "bpp"
+    );
+    for r in &records {
+        println!(
+            "  {:<10} {:<10} {:<10} {:>8.4}",
+            r.codec, r.class, r.model, r.bpp
+        );
+    }
+    println!();
+    println!(
+        "wide-model ablation ({}):",
+        if quick { "quick sweep" } else { "full sweep" }
+    );
+    println!(
+        "  {:<10} {:<6} {:>5} {:<5} {:>8} {:>10} {:>10}",
+        "class", "window", "banks", "mixer", "bpp", "collision", "occupancy"
+    );
+    for r in &ablation {
+        println!(
+            "  {:<10} {:<6} {:>5} {:<5} {:>8.4} {:>10.4} {:>10.4}",
+            r.class,
+            r.window,
+            format!("2^{}", r.banks_log2),
+            r.mixer,
+            r.bpp,
+            r.collision_rate,
+            r.occupancy
+        );
+    }
+    println!();
+    println!("wide beats calic on {wins}/3 classes");
+}
+
+/// The `--check` gate: regenerate the committed document and compare
+/// byte-for-byte, then re-assert the wide-beats-CALIC claim.
+fn check(path: &str, default_size: usize) {
+    let committed = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: reading {path}: {e}");
+        std::process::exit(1);
+    });
+    // Regenerate at the committed document's size so `--check` doesn't
+    // need a matching `--size` flag.
+    let size = committed
+        .lines()
+        .find_map(|l| {
+            l.trim()
+                .strip_prefix("\"size\": ")?
+                .trim_end_matches(',')
+                .parse()
+                .ok()
+        })
+        .unwrap_or(default_size);
+    let records = bpp::measure_bpp(size);
+    let ablation = bpp::measure_ablation(size, false);
+    let fresh = bpp::render_report(size, &records, &ablation);
+    if fresh != committed {
+        eprintln!(
+            "FAIL: {path} is stale — regenerate with `cargo run --release -p cbic-bench --bin \
+             ablate_json -- --json --size {size} --out {path}` and review the diff"
+        );
+        std::process::exit(1);
+    }
+    let wins = bpp::classes_where_wide_beats_calic(&records);
+    if wins < 2 {
+        eprintln!("FAIL: wide model beats calic on only {wins}/3 classes (claim requires >= 2)");
+        std::process::exit(1);
+    }
+    println!("OK: {path} matches a fresh run; wide beats calic on {wins}/3 classes");
+}

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bpp;
 pub mod perf;
 
 use cbic_arith::EstimatorConfig;

@@ -23,6 +23,7 @@ use cbic_image::{Image, ImageView, ImageViewMut};
 pub(crate) const MAX_CODE_PADDING_BITS: u64 = 64;
 
 pub use crate::context::DivisionKind;
+pub use cbic_image::ModelMode;
 
 /// Number of coding contexts (`QE` levels) — fixed at 8 by the paper.
 pub const CODING_CONTEXTS: usize = 8;
@@ -58,6 +59,11 @@ pub struct CodecConfig {
     /// Texture-pattern width in bits, `0..=6`; compound contexts =
     /// `8 × 2^texture_bits` (the paper uses 6 → 512).
     pub texture_bits: u8,
+    /// Context-modeling mode: the paper's classic 7-pixel window
+    /// (default, byte-identical to every pre-v5 container) or the
+    /// enlarged hash-banked contexts of [`crate::bigctx`]. Non-classic
+    /// modes travel in a v5 container header.
+    pub model: ModelMode,
 }
 
 impl Default for CodecConfig {
@@ -68,6 +74,7 @@ impl Default for CodecConfig {
             aging: true,
             division: DivisionKind::Lut,
             texture_bits: 6,
+            model: ModelMode::Classic,
         }
     }
 }

@@ -10,7 +10,8 @@
 //! offset  size  field
 //! 0       4     magic "CBIC"
 //! 4       1     version (1 = 8-bit, 2 = explicit depth, 3 = coder lanes,
-//!               4 = 2D tile grid with seekable index)
+//!               4 = 2D tile grid with seekable index, 5 = non-classic
+//!               context model)
 //! 5       1     codec id (1 = SOCC-2007 image codec)
 //! 6       4     width  (LE)
 //! 10      4     height (LE)
@@ -20,14 +21,19 @@
 //! 19      2     escape init: escape count (LE)
 //! 21      1     flags (bit0 feedback, bit1 aging, bit2 exact division)
 //! 22      1     texture bits
-//! [23     1     sample bit depth (versions 2–4; version 1 means 8)]
-//! [24     1     lane count N (version 3: 2..=32; version 4: 1..=32)]
+//! [23     1     sample bit depth (versions 2–5; version 1 means 8)]
+//! [24     1     lane count N (version 3: 2..=32; versions 4–5: 1..=32)]
 //! [25     4×N   per-lane substream lengths in bytes (LE, version 3 only)]
 //! [25     4     tile width in pixels (LE, version 4 only)]
 //! [29     4     tile height in pixels (LE, version 4 only)]
 //! [33     16×T  tile index, T = cols×rows entries (version 4 only; see
 //!               the `grid` module for the entry layout)]
-//! ...     ...   arithmetic-coded payload
+//! [25     1     model byte: wide-hash banks_log2, 4..=16 (version 5)]
+//! [26     1     layout flag: 0 = flat payload, 1 = tile grid (version 5)]
+//! [27     4+4   tile width/height (LE, version 5 with layout flag 1),
+//!               followed by the 16×T tile index as in version 4]
+//! ...     ...   arithmetic-coded payload (after the v3 lane table when
+//!               N ≥ 2 on a flat container)
 //! ```
 //!
 //! 8-bit images are written as version 1 — byte-identical to every
@@ -58,15 +64,28 @@
 //! decodes both fall out of that. The v4 read/write paths live in the
 //! [`grid`](crate::grid) module; this module's [`decompress`] and
 //! internal header reader recognize the version and dispatch.
+//!
+//! # Version 5: non-classic context models
+//!
+//! Version 5 carries one extra **model byte** — the `banks_log2` of the
+//! enlarged hash-banked context model ([`crate::bigctx`]) — plus a layout
+//! flag selecting a flat payload (with the v3 lane table when striped) or
+//! a v4-style tile grid. It is emitted **only** when the encoder was
+//! explicitly asked for [`ModelMode::WideHash`](crate::ModelMode): classic
+//! encodes keep producing versions 1–4 byte-identically, so every
+//! pre-existing container and fixture is untouched.
 
 use crate::codec::{
-    decode_raw_into, decode_raw_lanes_into, encode_raw, encode_raw_lanes, CodecConfig,
+    decode_raw_into, decode_raw_lanes_into, encode_raw, encode_raw_lanes, CodecConfig, ModelMode,
     MAX_CODE_PADDING_BITS,
 };
 use crate::context::DivisionKind;
 use crate::session::EncoderSession;
 use cbic_arith::{EstimatorConfig, MAX_LANES};
-use cbic_image::{CbicError, Codec, CountingSink, DecodeOptions, EncodeOptions, Image, ImageView};
+use cbic_image::{
+    CbicError, Codec, CountingSink, DecodeOptions, EncodeOptions, Image, ImageView,
+    BANKS_LOG2_RANGE,
+};
 use std::fmt;
 use std::io::{Read, Write};
 
@@ -75,6 +94,7 @@ const VERSION_V1: u8 = 1;
 const VERSION_V2: u8 = 2;
 const VERSION_V3: u8 = 3;
 pub(crate) const VERSION_V4: u8 = 4;
+pub(crate) const VERSION_V5: u8 = 5;
 const CODEC_ID: u8 = 1;
 
 /// Size in bytes of the version-1 container header preceding the coded
@@ -82,9 +102,17 @@ const CODEC_ID: u8 = 1;
 /// bit-depth and a lane-count byte, followed by its per-lane length table).
 pub const HEADER_LEN: usize = 23;
 
-/// Size in bytes of the longest fixed header any version uses (the
-/// version-3 lane length table that follows is sized by the lane count).
+/// Size in bytes of the longest fixed header the pre-v5 versions use
+/// (the version-3 lane length table that follows is sized by the lane
+/// count), and the offset of the v3 lane table / v4 tile-dimension words.
+/// Version 5 extends the fixed prefix further (model byte, layout flag,
+/// optional tile dimensions — the internal header writer sizes its
+/// buffer for the longest case).
 pub const MAX_HEADER_LEN: usize = HEADER_LEN + 2;
+
+/// Buffer size covering the longest fixed header any version can emit:
+/// the 27-byte flat v5 prefix plus the tiled layout's two dimension words.
+pub(crate) const HEADER_BUF_LEN: usize = HEADER_LEN + 4 + 8;
 
 /// Errors returned when parsing a container.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -246,22 +274,28 @@ pub fn compress_with_lanes(img: ImageView<'_>, cfg: &CodecConfig, lanes: usize) 
 /// given depth coded with `cfg` over `lanes` coder lanes, returning the
 /// buffer and the header length (23 bytes of version 1 for single-lane
 /// 8-bit samples — byte-identical to the historical format — 24 bytes of
-/// version 2 for deeper single-lane images, and 25 bytes of version 3 when
-/// `lanes ≥ 2`; the v3 per-lane length table is written separately, once
-/// the substream lengths are known). [`compress`], the sessions, and the
-/// streaming [`StreamEncoder`](crate::stream::StreamEncoder) share this,
-/// which is what keeps their outputs byte-identical.
+/// version 2 for deeper single-lane images, 25 bytes of version 3 when
+/// `lanes ≥ 2`, and 27 bytes of version 5 whenever `cfg.model` is
+/// non-classic; the v3 per-lane length table is written separately, once
+/// the substream lengths are known, and the v5 layout flag starts at 0 —
+/// the grid writer flips it and appends the tile dimensions).
+/// [`compress`], the sessions, and the streaming
+/// [`StreamEncoder`](crate::stream::StreamEncoder) share this, which is
+/// what keeps their outputs byte-identical.
 pub(crate) fn header_bytes(
     cfg: &CodecConfig,
     width: usize,
     height: usize,
     bit_depth: u8,
     lanes: u8,
-) -> ([u8; MAX_HEADER_LEN], usize) {
+) -> ([u8; HEADER_BUF_LEN], usize) {
     debug_assert!((1..=MAX_LANES as u8).contains(&lanes));
-    let mut out = [0u8; MAX_HEADER_LEN];
+    let mut out = [0u8; HEADER_BUF_LEN];
     out[..4].copy_from_slice(MAGIC);
-    out[4] = if lanes >= 2 {
+    let wide_banks = cfg.model.banks_log2();
+    out[4] = if wide_banks.is_some() {
+        VERSION_V5
+    } else if lanes >= 2 {
         VERSION_V3
     } else if bit_depth == 8 {
         VERSION_V1
@@ -281,7 +315,16 @@ pub(crate) fn header_bytes(
     flags |= u8::from(cfg.division == DivisionKind::Exact) << 2;
     out[21] = flags;
     out[22] = cfg.texture_bits;
-    if lanes >= 2 {
+    if let Some(banks_log2) = wide_banks {
+        debug_assert!(BANKS_LOG2_RANGE.contains(&banks_log2));
+        // Version 5: depth, lane count (floor 1, like v4), the model
+        // byte, and the flat/tiled layout flag.
+        out[23] = bit_depth;
+        out[24] = lanes;
+        out[25] = banks_log2;
+        out[26] = 0;
+        (out, HEADER_LEN + 4)
+    } else if lanes >= 2 {
         // Version 3 always spells out the depth, then the lane count.
         out[23] = bit_depth;
         out[24] = lanes;
@@ -368,7 +411,7 @@ pub(crate) fn read_header<R: Read + ?Sized>(input: &mut R) -> Result<ContainerHe
         .read_exact(&mut bytes[4..])
         .map_err(eof_is_truncated)?;
     let version = bytes[4];
-    if !(VERSION_V1..=VERSION_V4).contains(&version) {
+    if !(VERSION_V1..=VERSION_V5).contains(&version) {
         return Err(CodecError::UnsupportedVersion(version));
     }
     if bytes[5] != CODEC_ID {
@@ -426,8 +469,8 @@ pub(crate) fn read_header<R: Read + ?Sized>(input: &mut R) -> Result<ContainerHe
         let mut lanes = [0u8; 1];
         input.read_exact(&mut lanes).map_err(eof_is_truncated)?;
         // Single-lane streams are written as version 1/2, so a version-3
-        // lane byte below 2 can only come from corruption. Version 4
-        // always carries the lane byte and legitimately allows 1.
+        // lane byte below 2 can only come from corruption. Versions 4 and
+        // 5 always carry the lane byte and legitimately allow 1.
         let floor = if version == VERSION_V3 { 2 } else { 1 };
         if !(floor..=MAX_LANES as u8).contains(&lanes[0]) {
             return Err(CodecError::InvalidHeader(format!(
@@ -439,7 +482,31 @@ pub(crate) fn read_header<R: Read + ?Sized>(input: &mut R) -> Result<ContainerHe
     } else {
         1
     };
-    let tile = if version == VERSION_V4 {
+    let (model, v5_tiled) = if version == VERSION_V5 {
+        // The model byte and the flat/tiled layout flag. Version 5 exists
+        // only for non-classic models, so a model byte outside the wide
+        // bank range can only come from corruption.
+        let mut mb = [0u8; 2];
+        input.read_exact(&mut mb).map_err(eof_is_truncated)?;
+        let banks_log2 = mb[0];
+        if !BANKS_LOG2_RANGE.contains(&banks_log2) {
+            return Err(CodecError::InvalidHeader(format!(
+                "model banks_log2 {banks_log2} outside {}..={}",
+                BANKS_LOG2_RANGE.start(),
+                BANKS_LOG2_RANGE.end()
+            )));
+        }
+        if mb[1] > 1 {
+            return Err(CodecError::InvalidHeader(format!(
+                "layout flag {} outside 0..=1",
+                mb[1]
+            )));
+        }
+        (ModelMode::WideHash { banks_log2 }, mb[1] == 1)
+    } else {
+        (ModelMode::Classic, false)
+    };
+    let tile = if version == VERSION_V4 || v5_tiled {
         let mut t = [0u8; 8];
         input.read_exact(&mut t).map_err(eof_is_truncated)?;
         let tile_w = u32::from_le_bytes(t[..4].try_into().expect("sized"));
@@ -465,6 +532,7 @@ pub(crate) fn read_header<R: Read + ?Sized>(input: &mut R) -> Result<ContainerHe
             DivisionKind::Lut
         },
         texture_bits,
+        model,
     };
     Ok(ContainerHeader {
         cfg,
@@ -579,6 +647,13 @@ impl Codec for Proposed {
         Some(*MAGIC)
     }
 
+    /// Classic compound contexts plus the wide-hash model of
+    /// [`bigctx`](crate::bigctx), selected per encode via
+    /// [`EncodeOptions::with_model`].
+    fn model_modes(&self) -> &'static [&'static str] {
+        &["classic", "wide"]
+    }
+
     /// Streams the container into `sink` through a one-shot
     /// [`EncoderSession`] — no output buffer, byte-identical to
     /// [`compress`] (or, for `opts.lanes ≥ 2`, to [`compress_with_lanes`]).
@@ -601,6 +676,14 @@ impl Codec for Proposed {
                 opts.lanes
             )));
         }
+        // A non-classic request on the options overrides the codec's own
+        // model; the classic default defers to it, so existing configs
+        // keep encoding byte-identically.
+        let mut cfg = self.0;
+        if !opts.model.is_classic() {
+            cfg.model = opts.model;
+        }
+        cfg.model.validate().map_err(CbicError::InvalidContainer)?;
         if let Some((tile_w, tile_h)) = opts.tile {
             if tile_w == 0 || tile_h == 0 {
                 return Err(CbicError::InvalidContainer(
@@ -609,13 +692,8 @@ impl Codec for Proposed {
             }
             check_container_dimensions(img.width(), img.height()).map_err(CbicError::from)?;
             let geom = crate::grid::TileGeometry::new(tile_w, tile_h);
-            let (bytes, payload_bits) = crate::grid::compress_grid_with_bits(
-                img,
-                &self.0,
-                geom,
-                opts.lanes,
-                opts.parallelism,
-            );
+            let (bytes, payload_bits) =
+                crate::grid::compress_grid_with_bits(img, &cfg, geom, opts.lanes, opts.parallelism);
             sink.write_all(&bytes).map_err(CbicError::from)?;
             return Ok(cbic_image::EncodeStats::new(
                 img.pixel_count() as u64,
@@ -624,7 +702,7 @@ impl Codec for Proposed {
             ));
         }
         let mut counting = CountingSink::wrap(sink);
-        let stats = EncoderSession::with_lanes(&self.0, opts.lanes).encode(img, &mut counting)?;
+        let stats = EncoderSession::with_lanes(&cfg, opts.lanes).encode(img, &mut counting)?;
         Ok(cbic_image::EncodeStats::new(
             stats.pixels,
             counting.bytes_written(),
@@ -705,6 +783,7 @@ mod tests {
             aging: false,
             division: DivisionKind::Exact,
             texture_bits: 3,
+            model: ModelMode::Classic,
         };
         let bytes = compress(img.view(), &cfg);
         // The header must carry the config: decode with no prior knowledge.

@@ -305,6 +305,14 @@ impl ContextStore {
     pub fn raw(&self, ctx: usize) -> (i32, u8) {
         (self.sums[ctx], self.counts[ctx])
     }
+
+    /// Host bytes actually allocated by the three SoA banks
+    /// (`i32` sums, `u8` counts, `i16` cached feedback) — the quantity
+    /// `cbic_hw::memory::ContextBankLayout::host_soa` accounts, checked
+    /// byte-for-byte by `tests/hardware.rs`.
+    pub fn allocated_bytes(&self) -> usize {
+        self.sums.len() * 4 + self.counts.len() + self.feedback.len() * 2
+    }
 }
 
 #[cfg(test)]

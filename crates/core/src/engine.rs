@@ -50,6 +50,7 @@
 //! is identical to the pre-engine implementation: the 16 golden fixtures
 //! and the cross-path differential proptests (`tests/engine.rs`) pin this.
 
+use crate::bigctx::{WideConfig, WideNeighborhood, BANKS_LOG2_RANGE};
 use crate::codec::{CodecConfig, SampleCoder, CODING_CONTEXTS};
 use crate::context::{error_energy, quantize_energy, texture_pattern, ContextStore};
 use crate::neighborhood::Neighborhood;
@@ -153,24 +154,53 @@ pub struct PixelEngine {
     max_val: i32,
     /// Energy quantizer scale: `depth − 8` for deep samples, 0 otherwise.
     energy_shift: u32,
+    /// `Some` switches the *feedback* context from the paper's compound
+    /// index to the hash-banked wide contexts of [`crate::bigctx`]; the
+    /// coding contexts and decision stream stay classic either way.
+    wide: Option<WideConfig>,
 }
 
 impl PixelEngine {
     /// Builds an engine for a `width`-pixel stream of the given depth.
+    /// `cfg.model` selects the feedback-context model: classic compound
+    /// contexts, or the wire-format wide configuration for
+    /// [`ModelMode::WideHash`](crate::ModelMode::WideHash).
     ///
     /// # Panics
     ///
     /// Panics if the depth is outside `1..=16` or the configuration is
     /// invalid (see [`CodecConfig`]).
     pub fn new(width: usize, bit_depth: u8, cfg: &CodecConfig) -> Self {
+        Self::build(width, bit_depth, cfg, WideConfig::from_mode(cfg.model))
+    }
+
+    /// Builds an engine with an explicit wide configuration (any
+    /// window/mixer/bank combination) regardless of `cfg.model` — the
+    /// ablation harness's entry point.
+    ///
+    /// # Panics
+    ///
+    /// As [`PixelEngine::new`], plus if `wide.banks_log2` is outside
+    /// [`BANKS_LOG2_RANGE`].
+    pub fn with_wide(width: usize, bit_depth: u8, cfg: &CodecConfig, wide: WideConfig) -> Self {
+        Self::build(width, bit_depth, cfg, Some(wide))
+    }
+
+    fn build(width: usize, bit_depth: u8, cfg: &CodecConfig, wide: Option<WideConfig>) -> Self {
+        if let Some(w) = wide {
+            assert!(
+                BANKS_LOG2_RANGE.contains(&w.banks_log2),
+                "banks_log2 {} outside {:?}",
+                w.banks_log2,
+                BANKS_LOG2_RANGE
+            );
+        }
         let half = half_for_depth(bit_depth);
+        // The wide model still stores its feedback in the same SoA
+        // ContextStore — only the bank count and the index change.
+        let contexts = wide.map_or(cfg.compound_contexts(), WideConfig::banks);
         Self {
-            banks: ContextStore::with_max_err(
-                cfg.compound_contexts(),
-                cfg.division,
-                cfg.aging,
-                half,
-            ),
+            banks: ContextStore::with_max_err(contexts, cfg.division, cfg.aging, half),
             fold: FoldLut::new(bit_depth),
             abs_err: vec![0; width],
             coder: SampleCoder::new(CODING_CONTEXTS, bit_depth, cfg.estimator),
@@ -181,6 +211,7 @@ impl PixelEngine {
             half,
             max_val: 2 * half - 1,
             energy_shift: threshold_shift(bit_depth),
+            wide,
         }
     }
 
@@ -228,6 +259,24 @@ impl PixelEngine {
     /// Number of overflow-guard halvings since construction or reset.
     pub fn halvings(&self) -> u64 {
         self.banks.halvings()
+    }
+
+    /// The wide-model configuration, if the engine runs hash-banked
+    /// contexts (`None` on the classic path).
+    pub fn wide(&self) -> Option<WideConfig> {
+        self.wide
+    }
+
+    /// Number of feedback-context banks the engine allocated (compound
+    /// contexts on the classic path, `2^banks_log2` on the wide path).
+    pub fn context_banks(&self) -> usize {
+        self.banks.contexts()
+    }
+
+    /// Host bytes actually allocated by the SoA context store — the
+    /// quantity `cbic_hw::memory::ContextBankLayout::host_soa` accounts.
+    pub fn context_bytes(&self) -> usize {
+        self.banks.allocated_bytes()
     }
 
     /// Accumulated estimator statistics since construction or reset.
@@ -305,6 +354,100 @@ impl PixelEngine {
         value
     }
 
+    /// Line 2 of the pipeline under the wide model: classic gradients,
+    /// primary prediction, and `QE` coding context (so the decision stream
+    /// is unchanged), but the *feedback* context keeps `QE` as its top
+    /// bits and refines within the energy class by hashing the enlarged
+    /// neighbourhood's feature key — the classic `(QE, texture)` compound
+    /// context with the 6-bit texture pattern generalized to a hashed
+    /// wide-window feature.
+    #[inline]
+    fn model_wide(
+        &self,
+        wc: WideConfig,
+        cur: &[u16],
+        n1: Option<&[u16]>,
+        n2: Option<&[u16]>,
+        x: usize,
+    ) -> PixelModel {
+        let mid = self.mid();
+        let nb = Neighborhood::from_rows(cur, n1, n2, x, mid);
+        let g = Gradients::compute(&nb);
+        let x_hat = gap_predict(&nb, g, self.bit_depth);
+        let e_w = i32::from(self.abs_err[x.saturating_sub(1)]);
+        let qe = usize::from(quantize_energy(error_energy(g, e_w) >> self.energy_shift));
+        let t = texture_pattern(&nb, x_hat, wc.texture_log2(self.texture_bits));
+        let wn = WideNeighborhood::from_rows(cur, n1, n2, x, mid, wc.window);
+        let ctx = wc.bank_of(
+            wn.feature_key(x_hat, self.energy_shift),
+            qe,
+            t,
+            self.texture_bits,
+        );
+        let e_bar = if self.error_feedback {
+            self.banks.mean(ctx)
+        } else {
+            0
+        };
+        let x_tilde = (x_hat + e_bar).clamp(0, self.max_val);
+        PixelModel { qe, ctx, x_tilde }
+    }
+
+    /// Rows-based single-pixel encode: the model-dispatching entry point
+    /// the incremental paths ([`hwpipe`](crate::hwpipe)) drive. Classic
+    /// engines gather the 7-pixel [`Neighborhood`] and take the exact
+    /// [`Self::encode_pixel`] path (byte-identical); wide engines gather
+    /// the enlarged window as well.
+    #[inline]
+    pub fn encode_pixel_rows<E: DecisionEncoder>(
+        &mut self,
+        enc: &mut E,
+        cur: &[u16],
+        n1: Option<&[u16]>,
+        n2: Option<&[u16]>,
+        x: usize,
+        value: u16,
+    ) {
+        match self.wide {
+            None => {
+                let nb = Neighborhood::from_rows(cur, n1, n2, x, self.mid());
+                self.encode_pixel(enc, &nb, x, value);
+            }
+            Some(wc) => {
+                let m = self.model_wide(wc, cur, n1, n2, x);
+                let folded = self.fold.fold(i32::from(value) - m.x_tilde);
+                self.coder.encode(enc, m.qe, folded);
+                self.absorb(x, m.ctx, unfold(folded));
+            }
+        }
+    }
+
+    /// The decoder-side dual of [`Self::encode_pixel_rows`]. `cur` must
+    /// hold the already-decoded pixels left of `x`.
+    #[inline]
+    pub fn decode_pixel_rows<D: DecisionDecoder>(
+        &mut self,
+        dec: &mut D,
+        cur: &[u16],
+        n1: Option<&[u16]>,
+        n2: Option<&[u16]>,
+        x: usize,
+    ) -> u16 {
+        match self.wide {
+            None => {
+                let nb = Neighborhood::from_rows(cur, n1, n2, x, self.mid());
+                self.decode_pixel(dec, &nb, x)
+            }
+            Some(wc) => {
+                let m = self.model_wide(wc, cur, n1, n2, x);
+                let wrapped = unfold(self.coder.decode(dec, m.qe));
+                let value = ((m.x_tilde + wrapped) & self.max_val) as u16;
+                self.absorb(x, m.ctx, wrapped);
+                value
+            }
+        }
+    }
+
     /// The encoder's row loop over a prepared view — the one pixel loop
     /// every whole-image encode path runs. Pixels are read through row
     /// slices (current row plus the two above), so strided views cost the
@@ -323,6 +466,19 @@ impl PixelEngine {
         debug_assert_eq!(self.bit_depth, img.bit_depth());
         debug_assert_eq!(self.abs_err.len(), img.width());
         let (width, height) = img.dimensions();
+        if self.wide.is_some() {
+            // The wide window reaches further than the classic pipeline
+            // registers carry, so every pixel takes the rows-based fetch.
+            for y in 0..height {
+                let cur = img.row(y);
+                let n1 = (y >= 1).then(|| img.row(y - 1));
+                let n2 = (y >= 2).then(|| img.row(y - 2));
+                for x in 0..width {
+                    self.encode_pixel_rows(enc, cur, n1, n2, x, cur[x]);
+                }
+            }
+            return;
+        }
         let mid = self.mid();
         for y in 0..height {
             let cur = img.row(y);
@@ -433,6 +589,15 @@ impl PixelEngine {
         debug_assert_eq!(self.bit_depth, out.bit_depth());
         debug_assert_eq!(self.abs_err.len(), out.width());
         let (width, height) = out.dimensions();
+        if self.wide.is_some() {
+            for y in 0..height {
+                let (n2, n1, cur) = out.causal_rows_mut(y);
+                for x in 0..width {
+                    cur[x] = self.decode_pixel_rows(dec, cur, n1, n2, x);
+                }
+            }
+            return;
+        }
         let mid = self.mid();
         for y in 0..height {
             let (n2, n1, cur) = out.causal_rows_mut(y);
@@ -504,6 +669,18 @@ impl EncoderState {
         }
     }
 
+    /// Builds encoder-side state with an explicit wide configuration (see
+    /// [`PixelEngine::with_wide`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`PixelEngine::with_wide`].
+    pub fn with_wide(width: usize, bit_depth: u8, cfg: &CodecConfig, wide: WideConfig) -> Self {
+        Self {
+            engine: PixelEngine::with_wide(width, bit_depth, cfg, wide),
+        }
+    }
+
     /// Re-arms the state in place (see [`PixelEngine::reset`]).
     pub fn reset(&mut self, width: usize, bit_depth: u8) {
         self.engine.reset(width, bit_depth);
@@ -517,6 +694,12 @@ impl EncoderState {
     /// `2^(depth-1)` (the wrap-modulus half).
     pub fn half(&self) -> i32 {
         self.engine.half()
+    }
+
+    /// The underlying engine (for memory accounting and ablation
+    /// instrumentation).
+    pub fn engine(&self) -> &PixelEngine {
+        &self.engine
     }
 
     /// Overflow-guard halvings since construction or reset.
@@ -539,6 +722,21 @@ impl EncoderState {
         value: u16,
     ) {
         self.engine.encode_pixel(enc, nb, x, value);
+    }
+
+    /// Encodes one pixel from row slices, dispatching the model (see
+    /// [`PixelEngine::encode_pixel_rows`]).
+    #[inline]
+    pub fn encode_pixel_rows<E: DecisionEncoder>(
+        &mut self,
+        enc: &mut E,
+        cur: &[u16],
+        n1: Option<&[u16]>,
+        n2: Option<&[u16]>,
+        x: usize,
+        value: u16,
+    ) {
+        self.engine.encode_pixel_rows(enc, cur, n1, n2, x, value);
     }
 
     /// Encodes a whole view (see [`PixelEngine::encode_view`]).
@@ -568,6 +766,18 @@ impl DecoderState {
         }
     }
 
+    /// Builds decoder-side state with an explicit wide configuration (see
+    /// [`PixelEngine::with_wide`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`PixelEngine::with_wide`].
+    pub fn with_wide(width: usize, bit_depth: u8, cfg: &CodecConfig, wide: WideConfig) -> Self {
+        Self {
+            engine: PixelEngine::with_wide(width, bit_depth, cfg, wide),
+        }
+    }
+
     /// Re-arms the state in place (see [`PixelEngine::reset`]).
     pub fn reset(&mut self, width: usize, bit_depth: u8) {
         self.engine.reset(width, bit_depth);
@@ -576,6 +786,12 @@ impl DecoderState {
     /// Sample bit depth the state is armed for.
     pub fn bit_depth(&self) -> u8 {
         self.engine.bit_depth()
+    }
+
+    /// The underlying engine (for memory accounting and ablation
+    /// instrumentation).
+    pub fn engine(&self) -> &PixelEngine {
+        &self.engine
     }
 
     /// Decodes one pixel (see [`PixelEngine::decode_pixel`]).
@@ -587,6 +803,20 @@ impl DecoderState {
         x: usize,
     ) -> u16 {
         self.engine.decode_pixel(dec, nb, x)
+    }
+
+    /// Decodes one pixel from row slices, dispatching the model (see
+    /// [`PixelEngine::decode_pixel_rows`]).
+    #[inline]
+    pub fn decode_pixel_rows<D: DecisionDecoder>(
+        &mut self,
+        dec: &mut D,
+        cur: &[u16],
+        n1: Option<&[u16]>,
+        n2: Option<&[u16]>,
+        x: usize,
+    ) -> u16 {
+        self.engine.decode_pixel_rows(dec, cur, n1, n2, x)
     }
 
     /// Decodes a whole view in place (see [`PixelEngine::decode_into`]).

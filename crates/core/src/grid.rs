@@ -89,7 +89,8 @@
 
 use crate::codec::{CodecConfig, MAX_CODE_PADDING_BITS};
 use crate::container::{
-    header_bytes, read_header, read_lane_table, CodecError, ContainerHeader, HEADER_LEN, VERSION_V4,
+    header_bytes, read_header, read_lane_table, CodecError, ContainerHeader, HEADER_LEN,
+    VERSION_V4, VERSION_V5,
 };
 use crate::engine::{DecoderState, EncoderState};
 use cbic_arith::{BinaryDecoder, BinaryEncoder, LaneDecoder, LaneEncoder, MAX_LANES};
@@ -592,14 +593,24 @@ pub fn compress_grid_with_bits(
 
     let payload_bits: u64 = coded.iter().map(|(_, bits)| bits).sum();
     let body: usize = coded.iter().map(|(sub, _)| sub.len()).sum();
-    let mut out = Vec::with_capacity(HEADER_LEN + 10 + tiles * INDEX_ENTRY_LEN + body);
-    // The shared fixed-header serializer keeps the first 23 bytes
-    // byte-identical to every other path; v4 then owns the extension.
-    let (base, _) = header_bytes(cfg, width, height, bit_depth, 1);
-    out.extend_from_slice(&base[..HEADER_LEN]);
-    out[4] = VERSION_V4;
-    out.push(bit_depth);
-    out.push(lanes as u8);
+    let mut out = Vec::with_capacity(HEADER_LEN + 12 + tiles * INDEX_ENTRY_LEN + body);
+    if cfg.model.is_classic() {
+        // The shared fixed-header serializer keeps the first 23 bytes
+        // byte-identical to every other path; v4 then owns the extension.
+        let (base, _) = header_bytes(cfg, width, height, bit_depth, 1);
+        out.extend_from_slice(&base[..HEADER_LEN]);
+        out[4] = VERSION_V4;
+        out.push(bit_depth);
+        out.push(lanes as u8);
+    } else {
+        // Non-classic models need the v5 model byte, so the grid rides
+        // the full v5 header and flips its layout flag to "tiled".
+        let (base, len) = header_bytes(cfg, width, height, bit_depth, lanes as u8);
+        debug_assert_eq!(base[4], VERSION_V5);
+        out.extend_from_slice(&base[..len]);
+        let flag = out.len() - 1;
+        out[flag] = 1;
+    }
     let (tw, th) = geom.tile_size();
     out.extend_from_slice(&tw.to_le_bytes());
     out.extend_from_slice(&th.to_le_bytes());

@@ -129,6 +129,25 @@ impl LineBuffers {
         // being written, matching the hardware's register timing.
         Neighborhood::from_rows(self.row(0), n1, n2, x, self.mid)
     }
+
+    /// The raw causal row slices for the current scan row `y`: the line
+    /// being written plus up to two completed lines above (`None` above
+    /// the image top) — what the model-dispatching engine entry points
+    /// ([`PixelEngine::encode_pixel_rows`](crate::engine::PixelEngine::encode_pixel_rows))
+    /// consume, wide and classic alike.
+    pub fn causal_rows(&self, y: usize) -> (&[u16], Option<&[u16]>, Option<&[u16]>) {
+        debug_assert_eq!(y, self.rows_done);
+        (
+            self.row(0),
+            (y >= 1).then(|| self.row(1)),
+            (y >= 2).then(|| self.row(2)),
+        )
+    }
+
+    /// First-pixel mid-gray fallback the buffers were armed with.
+    pub fn mid(&self) -> u16 {
+        self.mid
+    }
 }
 
 /// Streaming hardware-model encoder: feed raster-scan pixels one at a
@@ -307,8 +326,9 @@ impl<E: DecisionEncoder> HwEncoder<E> {
             self.bit_depth()
         );
         let x = self.x;
-        let nb = self.buffers.neighborhood(x, self.y);
-        self.state.encode_pixel(&mut self.ac, &nb, x, value);
+        let (cur, n1, n2) = self.buffers.causal_rows(self.y);
+        self.state
+            .encode_pixel_rows(&mut self.ac, cur, n1, n2, x, value);
 
         // Reconstruction write-back into the line buffer (lossless: the
         // reconstructed pixel equals the input).
@@ -432,8 +452,8 @@ impl<D: DecisionDecoder> HwDecoder<D> {
     /// rows.
     pub fn next_pixel(&mut self) -> u16 {
         let x = self.x;
-        let nb = self.buffers.neighborhood(x, self.y);
-        let value = self.state.decode_pixel(&mut self.ac, &nb, x);
+        let (cur, n1, n2) = self.buffers.causal_rows(self.y);
+        let value = self.state.decode_pixel_rows(&mut self.ac, cur, n1, n2, x);
         self.buffers.push(x, value);
         self.x += 1;
         if self.x == self.buffers.width() {

@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bigctx;
 pub mod codec;
 pub mod container;
 pub mod context;
@@ -65,8 +66,9 @@ pub mod session;
 pub mod stream;
 pub mod tiles;
 
+pub use bigctx::WideConfig;
 pub use cbic_arith::MAX_LANES;
-pub use codec::{decode_raw, encode_raw, CodecConfig, DivisionKind, EncodeStats};
+pub use codec::{decode_raw, encode_raw, CodecConfig, DivisionKind, EncodeStats, ModelMode};
 pub use container::{compress, compress_with_lanes, decompress, CodecError, Proposed};
 pub use engine::{DecoderState, EncoderState, PixelEngine};
 pub use grid::{

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use crate::codec::{decode_raw, encode_raw, CodecConfig};
+use crate::codec::{decode_raw, encode_raw, CodecConfig, ModelMode};
 use crate::container::{compress, decompress};
 use crate::context::DivisionKind;
 use cbic_arith::EstimatorConfig;
@@ -40,22 +40,30 @@ fn arb_config() -> impl Strategy<Value = CodecConfig> {
         any::<bool>(),
         any::<bool>(),
         0u8..=6,
+        (any::<bool>(), 4u8..=12),
     )
         .prop_map(
-            |(count_bits, increment, feedback, aging, exact, texture_bits)| CodecConfig {
-                estimator: EstimatorConfig {
-                    count_bits,
-                    increment,
-                    ..EstimatorConfig::default()
-                },
-                error_feedback: feedback,
-                aging,
-                division: if exact {
-                    DivisionKind::Exact
-                } else {
-                    DivisionKind::Lut
-                },
-                texture_bits,
+            |(count_bits, increment, feedback, aging, exact, texture_bits, (wide, banks))| {
+                CodecConfig {
+                    estimator: EstimatorConfig {
+                        count_bits,
+                        increment,
+                        ..EstimatorConfig::default()
+                    },
+                    error_feedback: feedback,
+                    aging,
+                    division: if exact {
+                        DivisionKind::Exact
+                    } else {
+                        DivisionKind::Lut
+                    },
+                    texture_bits,
+                    model: if wide {
+                        ModelMode::WideHash { banks_log2: banks }
+                    } else {
+                        ModelMode::Classic
+                    },
+                }
             },
         )
 }
@@ -315,15 +323,17 @@ proptest! {
 }
 
 proptest! {
-    /// Random-access crop decode is exact: `decode_roi(rect)` over a v4
-    /// grid container equals the same crop of a full decode, for random
-    /// rects (the generator's endpoints cover single-pixel and
-    /// full-image rects, and free tile sizes make boundary-straddling
-    /// the common case) across depths 1–16 and lane counts {1, 4}.
+    /// Random-access crop decode is exact: `decode_roi(rect)` over a
+    /// grid container (v4 classic, v5 wide) equals the same crop of a
+    /// full decode, for random rects (the generator's endpoints cover
+    /// single-pixel and full-image rects, and free tile sizes make
+    /// boundary-straddling the common case) across depths 1–16, lane
+    /// counts {1, 4}, and both context-model modes.
     #[test]
     fn decode_roi_equals_crop_of_full_decode(
         img in arb_graded_depth_image(),
         lane_ix in 0usize..2,
+        wide in any::<bool>(),
         (tw, th) in (1u32..=20, 1u32..=20),
         (fx, fy, fw, fh) in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..=1.0, 0.0f64..=1.0),
     ) {
@@ -331,6 +341,16 @@ proptest! {
         use cbic_image::{Parallelism, Rect};
 
         let lanes = [1usize, 4][lane_ix];
+        let cfg = CodecConfig {
+            model: if wide {
+                ModelMode::WideHash {
+                    banks_log2: crate::bigctx::DEFAULT_BANKS_LOG2,
+                }
+            } else {
+                ModelMode::Classic
+            },
+            ..CodecConfig::default()
+        };
 
         let (w, h) = img.dimensions();
         let x = (fx * (w - 1) as f64) as u32;
@@ -341,7 +361,7 @@ proptest! {
 
         let bytes = compress_grid(
             img.view(),
-            &CodecConfig::default(),
+            &cfg,
             TileGeometry::new(tw, th),
             lanes,
             Parallelism::Sequential,

@@ -353,6 +353,12 @@ impl Codec for Tiled {
         Some(*TILE_MAGIC)
     }
 
+    /// Each band embeds a standard container, so the bands carry any
+    /// model the flat format supports — classic or wide-hash.
+    fn model_modes(&self) -> &'static [&'static str] {
+        &["classic", "wide"]
+    }
+
     /// Encodes `opts.tiles` (default: the struct's geometry) independent
     /// zero-copy band views on `opts.parallelism` workers, each band over
     /// `opts.lanes` coder lanes. The bytes do not depend on the schedule.
@@ -369,8 +375,16 @@ impl Codec for Tiled {
                 cbic_arith::MAX_LANES
             )));
         }
+        // A non-classic request on the options overrides the codec's own
+        // model (mirroring `Proposed::encode`); each band then embeds a
+        // version-5 container carrying the model byte.
+        let mut cfg = self.cfg;
+        if !opts.model.is_classic() {
+            cfg.model = opts.model;
+        }
+        cfg.model.validate().map_err(CbicError::InvalidContainer)?;
         let tiles = opts.tiles.unwrap_or(self.tiles).clamp(1, img.height());
-        let bytes = compress_tiled_with_lanes(img, &self.cfg, tiles, opts.parallelism, opts.lanes);
+        let bytes = compress_tiled_with_lanes(img, &cfg, tiles, opts.parallelism, opts.lanes);
         sink.write_all(&bytes).map_err(CbicError::from)?;
         Ok(cbic_image::EncodeStats::new(
             img.pixel_count() as u64,

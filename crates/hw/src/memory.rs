@@ -135,6 +135,32 @@ impl ContextBankLayout {
     pub fn paper_store_bytes(&self) -> usize {
         (self.contexts * (self.sum_bits + self.count_bits)).div_ceil(8)
     }
+
+    /// The paper's bit widths over `contexts` rows — how the hash-banked
+    /// wide-context model scales the RTL budget: same three banks, more
+    /// rows. `with_contexts(512)` is exactly [`Default`].
+    pub fn with_contexts(contexts: usize) -> Self {
+        Self {
+            contexts,
+            ..Self::default()
+        }
+    }
+
+    /// The **host** (software) realization of the same banks over
+    /// `contexts` rows: the engine's structure-of-arrays context store
+    /// holds each sum in an `i32`, each count in a `u8`, and each cached
+    /// feedback in an `i16` — 32 + 8 + 16 bits per context, byte-aligned
+    /// per bank. Its [`total_bytes`](Self::total_bytes) equals the bytes
+    /// the store actually allocates (asserted by the cross-crate test in
+    /// `cbic-core`), while the paper-width layouts bound the RTL budget.
+    pub fn host_soa(contexts: usize) -> Self {
+        Self {
+            contexts,
+            sum_bits: 32,
+            count_bits: 8,
+            feedback_bits: 16,
+        }
+    }
 }
 
 /// Parameters of the probability-estimator memory.
@@ -233,6 +259,24 @@ mod tests {
         // The feedback width must hold the divider's saturated quotient
         // (±1023): sign + 10 bits.
         assert!(banks.feedback_bits >= 11);
+    }
+
+    #[test]
+    fn wide_bank_layouts_scale_rows_not_widths() {
+        assert_eq!(
+            ContextBankLayout::with_contexts(512),
+            ContextBankLayout::default()
+        );
+        // The wide model's default operating point: 2048 hash banks at the
+        // paper's 30 bits/context is exactly 4x the classic 1920-byte
+        // budget — the memory ceiling the ablation harness reports against.
+        let classic = ContextBankLayout::default().total_bytes();
+        assert_eq!(classic, 1920);
+        let wide = ContextBankLayout::with_contexts(2048).total_bytes();
+        assert_eq!(wide, 4 * classic);
+        // The host SoA realization widens each cell to its machine type.
+        let host = ContextBankLayout::host_soa(512);
+        assert_eq!(host.total_bytes(), 512 * (4 + 1 + 2));
     }
 
     #[test]

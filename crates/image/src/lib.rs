@@ -41,6 +41,6 @@ mod proptests;
 pub use codec_trait::{Codec, CountingSink, EncodeStats};
 pub use error::CbicError;
 pub use image::{max_val_for, Image, ImageError};
-pub use options::{DecodeOptions, EncodeOptions, Parallelism, Rect};
+pub use options::{DecodeOptions, EncodeOptions, ModelMode, Parallelism, Rect, BANKS_LOG2_RANGE};
 pub use registry::{CodecRegistry, RegistryError};
 pub use view::{ImageView, ImageViewMut};

@@ -122,6 +122,26 @@ impl Client {
         threads: u8,
         tile: Option<(u16, u16)>,
     ) -> io::Result<Reply> {
+        self.encode_with_model(img, magic, lanes, threads, tile, 0)
+    }
+
+    /// [`encode_tiled`](Self::encode_tiled) with an explicit context-model
+    /// byte: `0` keeps the classic compound context, any other value asks
+    /// for the wide-hash model with that `banks_log2` (the server rejects
+    /// values outside `4..=16`, and codecs without wide support).
+    ///
+    /// # Errors
+    ///
+    /// As [`encode`](Self::encode).
+    pub fn encode_with_model(
+        &mut self,
+        img: ImageView<'_>,
+        magic: [u8; 4],
+        lanes: u8,
+        threads: u8,
+        tile: Option<(u16, u16)>,
+        model: u8,
+    ) -> io::Result<Reply> {
         let req = EncodeRequest {
             magic,
             lanes,
@@ -130,6 +150,7 @@ impl Client {
             width: img.width() as u32,
             height: img.height() as u32,
             tile,
+            model,
             samples: img.rows().flat_map(<[u16]>::to_vec).collect(),
         };
         let reply = self.roundtrip(&req.to_body())?;

@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! ENCODE  = [1][magic 4B][lanes u8][threads u8][depth u8][width u32][height u32]
-//!              [tile_w u16][tile_h u16][samples]
+//!              [tile_w u16][tile_h u16][model u8][samples]
 //! DECODE  = [2][roi?][container bytes]    roi = [0x01][x u32][y u32][w u32][h u32]
 //! PROBE   = [3][container bytes]
 //! METRICS = [4]
@@ -21,7 +21,10 @@
 //! its container magic (`CBIC`, `CBTI`, …); `lanes`/`threads` map onto
 //! [`EncodeOptions`](cbic_image::EncodeOptions) lanes and parallelism.
 //! `tile_w`/`tile_h` of `0, 0` keep the flat container; nonzero values
-//! request the proposed codec's v4 seekable tile grid.
+//! request the proposed codec's v4 seekable tile grid. `model` selects
+//! the context model: `0` is the classic compound context, any other
+//! value is the wide-hash model's `banks_log2` (the codec validates the
+//! `4..=16` range and answers out-of-range values with a codec error).
 //!
 //! A DECODE body may carry an optional region-of-interest prefix: a
 //! `0x01` sentinel byte then four `u32` LE fields (x, y, w, h in pixels).
@@ -172,6 +175,10 @@ pub struct EncodeRequest {
     /// keeps the flat container. Carried as two `u16`s on the wire
     /// (`0, 0` = untiled).
     pub tile: Option<(u16, u16)>,
+    /// Context model byte: `0` = classic compound context, any other
+    /// value = the wide-hash model's `banks_log2` (validated by the
+    /// codec, which accepts `4..=16`).
+    pub model: u8,
     /// Row-major samples, already widened to `u16`.
     pub samples: Vec<u16>,
 }
@@ -180,7 +187,7 @@ impl EncodeRequest {
     /// Serializes the full request body (op byte included).
     pub fn to_body(&self) -> Vec<u8> {
         let wide = self.bit_depth > 8;
-        let mut body = Vec::with_capacity(20 + self.samples.len() * if wide { 2 } else { 1 });
+        let mut body = Vec::with_capacity(21 + self.samples.len() * if wide { 2 } else { 1 });
         body.push(Op::Encode as u8);
         body.extend_from_slice(&self.magic);
         body.push(self.lanes);
@@ -191,6 +198,7 @@ impl EncodeRequest {
         let (tw, th) = self.tile.unwrap_or((0, 0));
         body.extend_from_slice(&tw.to_le_bytes());
         body.extend_from_slice(&th.to_le_bytes());
+        body.push(self.model);
         if wide {
             for &s in &self.samples {
                 body.extend_from_slice(&s.to_le_bytes());
@@ -207,8 +215,8 @@ impl EncodeRequest {
     ///
     /// A human-readable description of the first malformed field.
     pub fn parse(rest: &[u8]) -> Result<Self, String> {
-        if rest.len() < 19 {
-            return Err(format!("encode header needs 19 bytes, got {}", rest.len()));
+        if rest.len() < 20 {
+            return Err(format!("encode header needs 20 bytes, got {}", rest.len()));
         }
         let magic = [rest[0], rest[1], rest[2], rest[3]];
         let (lanes, threads, bit_depth) = (rest[4], rest[5], rest[6]);
@@ -225,8 +233,9 @@ impl EncodeRequest {
             }
             _ => Some((tile_w, tile_h)),
         };
+        let model = rest[19];
         let pixels = (width as u64) * (height as u64);
-        let data = &rest[19..];
+        let data = &rest[20..];
         let wide = bit_depth > 8;
         let expect = pixels * if wide { 2 } else { 1 };
         if data.len() as u64 != expect {
@@ -250,6 +259,7 @@ impl EncodeRequest {
             width,
             height,
             tile,
+            model,
             samples,
         })
     }
@@ -359,19 +369,23 @@ mod tests {
     fn encode_request_roundtrips_both_sample_widths() {
         for (depth, samples) in [(8u8, vec![0u16, 255, 7]), (12, vec![0, 4095, 300])] {
             for tile in [None, Some((256u16, 128u16))] {
-                let req = EncodeRequest {
-                    magic: *b"CBIC",
-                    lanes: 4,
-                    threads: 2,
-                    bit_depth: depth,
-                    width: 3,
-                    height: 1,
-                    tile,
-                    samples: samples.clone(),
-                };
-                let body = req.to_body();
-                assert_eq!(body[0], Op::Encode as u8);
-                assert_eq!(EncodeRequest::parse(&body[1..]).unwrap(), req);
+                for model in [0u8, 11] {
+                    let req = EncodeRequest {
+                        magic: *b"CBIC",
+                        lanes: 4,
+                        threads: 2,
+                        bit_depth: depth,
+                        width: 3,
+                        height: 1,
+                        tile,
+                        model,
+                        samples: samples.clone(),
+                    };
+                    let body = req.to_body();
+                    assert_eq!(body[0], Op::Encode as u8);
+                    assert_eq!(body[20], model, "model byte after the tile words");
+                    assert_eq!(EncodeRequest::parse(&body[1..]).unwrap(), req);
+                }
             }
         }
     }
@@ -386,6 +400,7 @@ mod tests {
             width: 4,
             height: 4,
             tile: None,
+            model: 0,
             samples: vec![0; 16],
         };
         let mut body = req.to_body();
@@ -404,6 +419,7 @@ mod tests {
             width: 2,
             height: 2,
             tile: Some((16, 16)),
+            model: 0,
             samples: vec![0; 4],
         };
         let mut body = req.to_body();

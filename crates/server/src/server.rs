@@ -32,7 +32,7 @@ use std::time::Duration;
 
 use cbic_core::{CodecConfig, DecoderSession, EncoderSession, MAX_LANES};
 use cbic_image::registry::CodecRegistry;
-use cbic_image::{CbicError, DecodeOptions, EncodeOptions, Image, Parallelism};
+use cbic_image::{CbicError, DecodeOptions, EncodeOptions, Image, ModelMode, Parallelism};
 use cbic_universal::codecs::default_registry;
 
 use crate::metrics::Metrics;
@@ -416,6 +416,33 @@ fn handle_encode(rest: &[u8], state: &mut WorkerState, metrics: &Metrics) -> Vec
             &format!("lane count {lanes} outside 1..={MAX_LANES}"),
         );
     }
+    let model = if req.model == 0 {
+        ModelMode::Classic
+    } else {
+        ModelMode::WideHash {
+            banks_log2: req.model,
+        }
+    };
+    if let Err(msg) = model.validate() {
+        metrics.bad_requests.fetch_add(1, Relaxed);
+        return error_body(Status::BadRequest, &msg);
+    }
+    if !model.is_classic() {
+        // Codecs that cannot honor the request must refuse it up front —
+        // silently encoding with the classic model would hand back a
+        // container the client did not ask for.
+        let supported = state
+            .registry
+            .by_magic(req.magic)
+            .is_some_and(|c| c.model_modes().contains(&"wide"));
+        if !supported {
+            metrics.bad_requests.fetch_add(1, Relaxed);
+            return error_body(
+                Status::BadRequest,
+                &format!("magic {:?} does not support the wide-hash model", req.magic),
+            );
+        }
+    }
     let img = match Image::from_samples(
         req.width as usize,
         req.height as usize,
@@ -454,14 +481,17 @@ fn handle_encode(rest: &[u8], state: &mut WorkerState, metrics: &Metrics) -> Vec
         let opts = EncodeOptions::new()
             .with_lanes(lanes)
             .with_tile(u32::from(tile_w), u32::from(tile_h))
+            .with_model(model)
             .with_parallelism(Parallelism::from_threads(req.threads as usize));
         match codec.encode(img.view(), &opts, &mut container) {
             Ok(stats) => stats.payload_bits,
             Err(e) => return codec_error(metrics, &e),
         }
-    } else if req.magic == state.proposed_magic && req.threads <= 1 {
+    } else if req.magic == state.proposed_magic && req.threads <= 1 && model.is_classic() {
         // The hot path: the worker's resident EncoderSession — context
-        // banks, line buffers, and lane coders reset in place.
+        // banks, line buffers, and lane coders reset in place. Wide-model
+        // requests go through the registry codec below, so the resident
+        // session's classic context banks are never resized per request.
         state.encoder.set_lanes(lanes);
         match state.encoder.encode(img.view(), &mut container) {
             Ok(stats) => Some(stats.payload_bits),
@@ -477,6 +507,7 @@ fn handle_encode(rest: &[u8], state: &mut WorkerState, metrics: &Metrics) -> Vec
         };
         let opts = EncodeOptions::new()
             .with_lanes(lanes)
+            .with_model(model)
             .with_parallelism(Parallelism::from_threads(req.threads as usize));
         match codec.encode(img.view(), &opts, &mut container) {
             Ok(stats) => stats.payload_bits,

@@ -6,7 +6,7 @@
 //! `decompress`, `bench`, and `codecs` with no CLI changes.
 //!
 //! ```text
-//! cbic compress   [--codec NAME] [--near N] [--threads N] [--tile WxH] IN.pgm OUT
+//! cbic compress   [--codec NAME] [--near N] [--threads N] [--tile WxH] [--model M] IN.pgm OUT
 //! cbic decompress [--threads N] IN OUT.pgm   (codec auto-detected)
 //! cbic crop       --rect X,Y,W,H [--threads N] IN OUT.pgm  (random-access ROI decode)
 //! cbic info       IN                         (describe a compressed container)
@@ -50,12 +50,14 @@ macro_rules! say {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cbic compress [--codec NAME] [--near N] [--threads N] [--lanes N] [--tile WxH] IN.pgm OUT\n  \
+        "usage:\n  cbic compress [--codec NAME] [--near N] [--threads N] [--lanes N] [--tile WxH] \
+         [--model classic|wide[:B]] IN.pgm OUT\n  \
          cbic decompress [--threads N] IN OUT.pgm\n  \
          cbic crop --rect X,Y,W,H [--threads N] IN OUT.pgm\n  cbic info IN\n  cbic codecs\n  \
          cbic corpus [--size N] OUTDIR\n  cbic bench [--iters N] IN.pgm\n\
          (compress/decompress accept `-` for stdin/stdout piping; PGM may be 8- or 16-bit;\n \
-         --tile writes the v4 seekable tile grid, which `crop` decodes without reading other tiles)"
+         --tile writes the seekable tile grid, which `crop` decodes without reading other tiles;\n \
+         --model wide[:B] uses the enlarged hash-banked context model with 2^B banks, v5 container)"
     );
     ExitCode::from(2)
 }
@@ -152,6 +154,26 @@ fn parse_tile(value: &str) -> Result<(u32, u32), Box<dyn std::error::Error>> {
     Ok((w, h))
 }
 
+/// Parses a `--model` value: `classic`, `wide`, or `wide:B` where `B`
+/// is the base-2 log of the hash bank count (`4..=16`).
+fn parse_model(value: &str) -> Result<cbic::core::ModelMode, Box<dyn std::error::Error>> {
+    use cbic::core::ModelMode;
+    let model = match value.strip_prefix("wide") {
+        None if value == "classic" => ModelMode::Classic,
+        Some("") => ModelMode::WideHash {
+            banks_log2: cbic::core::bigctx::DEFAULT_BANKS_LOG2,
+        },
+        Some(rest) if rest.starts_with(':') => ModelMode::WideHash {
+            banks_log2: rest[1..].trim().parse()?,
+        },
+        _ => return Err(format!("--model wants classic or wide[:B], got {value}").into()),
+    };
+    model
+        .validate()
+        .map_err(|e| format!("--model {value}: {e}"))?;
+    Ok(model)
+}
+
 /// Parses a `--rect X,Y,W,H` value like `1024,512,256,256`.
 fn parse_rect(value: &str) -> Result<cbic::Rect, Box<dyn std::error::Error>> {
     let parts: Vec<&str> = value.split(',').map(str::trim).collect();
@@ -167,7 +189,10 @@ fn parse_rect(value: &str) -> Result<cbic::Rect, Box<dyn std::error::Error>> {
 }
 
 fn cmd_compress(args: &[String]) -> CliResult {
-    let (flags, pos) = parse_flags(args, &["codec", "near", "threads", "lanes", "tile"]);
+    let (flags, pos) = parse_flags(
+        args,
+        &["codec", "near", "threads", "lanes", "tile", "model"],
+    );
     let [input, output] = pos.as_slice() else {
         return Err("compress needs IN.pgm and OUT (either may be `-`)".into());
     };
@@ -193,6 +218,16 @@ fn cmd_compress(args: &[String]) -> CliResult {
     if tile.is_some() && (codec_name != "proposed" || near > 0) {
         return Err(format!("--tile applies to the proposed codec, not {codec_name}").into());
     }
+    let model = flag_value(&flags, "model")
+        .map(parse_model)
+        .transpose()?
+        .unwrap_or_default();
+    if !model.is_classic() && (codec_name != "proposed" && codec_name != "tiled" || near > 0) {
+        return Err(format!(
+            "--model wide applies to the proposed and tiled codecs, not {codec_name}"
+        )
+        .into());
+    }
 
     if let Some((tile_w, tile_h)) = tile {
         // The v4 seekable tile grid: every tile an independently
@@ -204,6 +239,7 @@ fn cmd_compress(args: &[String]) -> CliResult {
         let opts = EncodeOptions::new()
             .with_tile(tile_w, tile_h)
             .with_lanes(lanes)
+            .with_model(model)
             .with_parallelism(Parallelism::from_threads(threads));
         let mut container = Vec::new();
         let stats = cbic::default_registry().expect_name("proposed")?.encode(
@@ -219,9 +255,16 @@ fn cmd_compress(args: &[String]) -> CliResult {
         } else {
             String::new()
         };
+        let model_note = if model.is_classic() {
+            String::new()
+        } else {
+            format!(", {model} model")
+        };
+        let grid_version = if model.is_classic() { 4 } else { 5 };
         eprintln!(
             "{input}: {} pixels ({}-bit) -> {} bytes ({:.3} bpp) with proposed \
-             (v4 grid, {tile_w}x{tile_h} tiles{lane_note}, {threads} threads)",
+             (v{grid_version} grid, {tile_w}x{tile_h} tiles{lane_note}{model_note}, \
+             {threads} threads)",
             stats.pixels,
             img.bit_depth(),
             stats.container_bytes,
@@ -237,7 +280,7 @@ fn cmd_compress(args: &[String]) -> CliResult {
         // images far larger than RAM-friendly buffers. (With --lanes ≥ 2
         // the per-lane substreams buffer until the end, since the v3
         // length table precedes them.)
-        return compress_streaming(input, output, lanes);
+        return compress_streaming(input, output, lanes, model);
     }
 
     // Validate every flag combination *before* touching the output path,
@@ -282,10 +325,14 @@ fn cmd_compress(args: &[String]) -> CliResult {
         if lanes > 1 {
             label.push_str(&format!(" x {lanes} lanes"));
         }
+        if !model.is_classic() {
+            label.push_str(&format!(" [{model}]"));
+        }
         let opts = EncodeOptions::new()
             .with_tiles(bands)
             .with_parallelism(Parallelism::Threads(threads))
-            .with_lanes(lanes);
+            .with_lanes(lanes)
+            .with_model(model);
         registry
             .expect_name("tiled")?
             .encode(img.view(), &opts, &mut container)?
@@ -301,11 +348,15 @@ fn cmd_compress(args: &[String]) -> CliResult {
     } else {
         let codec = registry.expect_name(codec_name)?;
         if lanes > 1 {
-            label = format!("{codec_name} ({lanes} lanes, v3 container)");
+            let container_version = if model.is_classic() { 3 } else { 5 };
+            label = format!("{codec_name} ({lanes} lanes, v{container_version} container)");
+        }
+        if !model.is_classic() {
+            label.push_str(&format!(" [{model}]"));
         }
         codec.encode(
             img.view(),
-            &EncodeOptions::default().with_lanes(lanes),
+            &EncodeOptions::default().with_lanes(lanes).with_model(model),
             &mut container,
         )?
     };
@@ -324,19 +375,21 @@ fn cmd_compress(args: &[String]) -> CliResult {
 
 /// The bounded-memory compress path: PGM header off the reader, rows
 /// through [`StreamEncoder`], container bytes out as they resolve.
-fn compress_streaming(input: &str, output: &str, lanes: usize) -> CliResult {
+fn compress_streaming(
+    input: &str,
+    output: &str,
+    lanes: usize,
+    model: cbic::core::ModelMode,
+) -> CliResult {
     let mut reader = open_input(input)?;
     let header = pgm::read_header(&mut reader)?;
     let (width, height) = (header.width, header.height);
     let out = open_output(output)?;
-    let mut enc = StreamEncoder::with_lanes(
-        out,
-        width,
-        height,
-        header.bit_depth(),
-        &CodecConfig::default(),
-        lanes,
-    )?;
+    let cfg = CodecConfig {
+        model,
+        ..CodecConfig::default()
+    };
+    let mut enc = StreamEncoder::with_lanes(out, width, height, header.bit_depth(), &cfg, lanes)?;
     let mut row = vec![0u16; width];
     for y in 0..height {
         pgm::read_row(&mut reader, &header, &mut row)
@@ -346,10 +399,11 @@ fn compress_streaming(input: &str, output: &str, lanes: usize) -> CliResult {
     let (mut out, stats) = enc.finish_with_stats()?;
     out.flush()?;
     let pixels = width * height;
-    let label = if lanes > 1 {
-        format!("proposed ({lanes} lanes, v3 container)")
-    } else {
-        "proposed (streamed, O(3 lines) memory)".into()
+    let label = match (lanes > 1, model.is_classic()) {
+        (true, true) => format!("proposed ({lanes} lanes, v3 container)"),
+        (true, false) => format!("proposed ({lanes} lanes, v5 container, {model} model)"),
+        (false, true) => "proposed (streamed, O(3 lines) memory)".into(),
+        (false, false) => format!("proposed (streamed, {model} model)"),
     };
     // Same payload-bytes-over-pixels rate `cbic info` reports for the
     // finished container, so the two commands agree on every lane count.
@@ -378,15 +432,26 @@ fn cmd_decompress(args: &[String]) -> CliResult {
     }
 
     if &magic == b"CBIC" {
-        // Peek the version byte: a v4 tile grid wants the (optionally
-        // parallel) grid decoder, everything flat streams row by row.
+        // Peek the version byte: a v4 tile grid (or a v5 container whose
+        // layout flag says "tiled") wants the (optionally parallel) grid
+        // decoder, everything flat streams row by row.
         let mut version = [0u8; 1];
         reader
             .read_exact(&mut version)
             .map_err(|e| format!("reading container version: {e}"))?;
-        if version[0] == 4 {
-            let mut bytes = magic.to_vec();
-            bytes.push(version[0]);
+        let mut prefix = magic.to_vec();
+        prefix.push(version[0]);
+        if version[0] == 5 {
+            // The v5 layout flag sits at byte 26 (0 flat, 1 tiled); read
+            // through it so a flat container can still stream row by row.
+            let mut rest = [0u8; 22];
+            reader
+                .read_exact(&mut rest)
+                .map_err(|e| format!("reading v5 container header: {e}"))?;
+            prefix.extend_from_slice(&rest);
+        }
+        if version[0] == 4 || (version[0] == 5 && prefix[26] == 1) {
+            let mut bytes = prefix;
             reader.read_to_end(&mut bytes)?;
             let img = cbic::core::decompress_grid(&bytes, Parallelism::from_threads(threads))?;
             let mut out = open_output(output)?;
@@ -396,7 +461,8 @@ fn cmd_decompress(args: &[String]) -> CliResult {
             }
             out.flush()?;
             eprintln!(
-                "{input}: proposed (v4 grid, {threads} threads) -> {}x{} {}-bit PGM",
+                "{input}: proposed (v{} grid, {threads} threads) -> {}x{} {}-bit PGM",
+                version[0],
                 img.width(),
                 img.height(),
                 img.bit_depth()
@@ -405,7 +471,7 @@ fn cmd_decompress(args: &[String]) -> CliResult {
         }
         // Bounded-memory path: decode rows straight to PGM output without
         // slurping the container or materializing the image.
-        let mut chained = (&magic[..]).chain(&version[..]).chain(reader);
+        let mut chained = (&prefix[..]).chain(reader);
         let mut dec = StreamDecoder::new(&mut chained)?;
         let (width, height) = dec.dimensions();
         let maxval = cbic::image::max_val_for(dec.bit_depth());
@@ -588,7 +654,9 @@ fn cmd_info(args: &[String]) -> CliResult {
 
 fn print_proposed_header(hdr: &cbic::core::container::ContainerHeader, payload: &[u8]) {
     let payload_len = payload.len();
-    let version = if hdr.tile.is_some() {
+    let version = if !hdr.cfg.model.is_classic() {
+        5
+    } else if hdr.tile.is_some() {
         4
     } else if hdr.lanes > 1 {
         3
@@ -603,6 +671,7 @@ fn print_proposed_header(hdr: &cbic::core::container::ContainerHeader, payload: 
         hdr.height,
         hdr.bit_depth
     );
+    say!("model: {}", hdr.cfg.model);
     say!(
         "config: {} counter bits, increment {}, feedback={}, aging={}, division={:?}, \
          {} compound contexts",
@@ -688,7 +757,11 @@ fn cmd_codecs() -> CliResult {
             .map(|m| String::from_utf8_lossy(&m).into_owned())
             .unwrap_or_else(|| "-".into());
         let (lo, hi) = codec.bit_depths();
-        say!("  {:<10} magic {magic}  depths {lo}..={hi}", codec.name());
+        say!(
+            "  {:<10} magic {magic}  depths {lo}..={hi}  models {}",
+            codec.name(),
+            codec.model_modes().join(", ")
+        );
     }
     Ok(())
 }

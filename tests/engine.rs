@@ -13,7 +13,7 @@
 use cbic::core::hwpipe::{HwDecoder, HwEncoder};
 use cbic::core::session::{DecoderSession, EncoderSession};
 use cbic::core::stream::{compress_to, decompress_from};
-use cbic::core::{compress, decompress, encode_raw, CodecConfig, DivisionKind};
+use cbic::core::{compress, decompress, encode_raw, CodecConfig, DivisionKind, ModelMode};
 use cbic::image::Image;
 use cbic_arith::EstimatorConfig;
 use cbic_bitio::BitReader;
@@ -35,7 +35,9 @@ fn arb_any_depth_image() -> impl Strategy<Value = Image> {
     })
 }
 
-/// The full configuration sweep the container can carry.
+/// The full configuration sweep the container can carry, including both
+/// context-model modes (classic compound and wide-hash banks across the
+/// header's `banks_log2` range).
 fn arb_config() -> impl Strategy<Value = CodecConfig> {
     (
         10u8..=16,
@@ -44,22 +46,30 @@ fn arb_config() -> impl Strategy<Value = CodecConfig> {
         any::<bool>(),
         any::<bool>(),
         0u8..=6,
+        (any::<bool>(), 4u8..=12),
     )
         .prop_map(
-            |(count_bits, increment, feedback, aging, exact, texture_bits)| CodecConfig {
-                estimator: EstimatorConfig {
-                    count_bits,
-                    increment,
-                    ..EstimatorConfig::default()
-                },
-                error_feedback: feedback,
-                aging,
-                division: if exact {
-                    DivisionKind::Exact
-                } else {
-                    DivisionKind::Lut
-                },
-                texture_bits,
+            |(count_bits, increment, feedback, aging, exact, texture_bits, (wide, banks))| {
+                CodecConfig {
+                    estimator: EstimatorConfig {
+                        count_bits,
+                        increment,
+                        ..EstimatorConfig::default()
+                    },
+                    error_feedback: feedback,
+                    aging,
+                    division: if exact {
+                        DivisionKind::Exact
+                    } else {
+                        DivisionKind::Lut
+                    },
+                    texture_bits,
+                    model: if wide {
+                        ModelMode::WideHash { banks_log2: banks }
+                    } else {
+                        ModelMode::Classic
+                    },
+                }
             },
         )
 }

@@ -326,6 +326,57 @@ proptest! {
 }
 
 #[test]
+fn v5_model_header_corruption_yields_structured_errors() {
+    // Container v5 carries two new header bytes — the model byte
+    // (banks_log2 at offset 25) and the flat/tiled layout flag (offset
+    // 26). Forging either outside its legal range must be rejected as a
+    // structured header error, and truncating the stream at every v5
+    // header boundary must surface as Truncated — never a panic, never a
+    // garbage image that silently used the wrong context model.
+    use cbic::core::bigctx::DEFAULT_BANKS_LOG2;
+    use cbic::core::{compress, decompress, CodecConfig, ModelMode};
+    let img = CorpusImage::Lena.generate(16, 16);
+    let cfg = CodecConfig {
+        model: ModelMode::WideHash {
+            banks_log2: DEFAULT_BANKS_LOG2,
+        },
+        ..CodecConfig::default()
+    };
+    let bytes = compress(img.view(), &cfg);
+    assert_eq!(bytes[4], 5, "wide streams ride container v5");
+
+    // Forged model byte: every value outside BANKS_LOG2_RANGE (4..=16).
+    for forged in [0u8, 1, 3, 17, 64, 255] {
+        let mut c = bytes.clone();
+        c[25] = forged;
+        let err = decompress(&c).expect_err("forged model byte must be rejected");
+        assert!(
+            matches!(&err, CodecError::InvalidHeader(m) if m.contains("banks_log2")),
+            "banks_log2={forged} gave {err:?}"
+        );
+    }
+
+    // Forged layout flag: anything past {flat, tiled}.
+    for forged in [2u8, 7, 255] {
+        let mut c = bytes.clone();
+        c[26] = forged;
+        let err = decompress(&c).expect_err("forged layout flag must be rejected");
+        assert!(
+            matches!(&err, CodecError::InvalidHeader(m) if m.contains("layout")),
+            "layout={forged} gave {err:?}"
+        );
+    }
+
+    // Truncation at each v5 header boundary: the fixed prefix, the
+    // depth/lanes bytes, the model byte, the layout flag, and one byte
+    // into the payload.
+    for cut in [22usize, 23, 24, 25, 26, 27] {
+        let err = decompress(&bytes[..cut]).expect_err("truncated v5 header must error");
+        assert_structured(&CbicError::from(err), &format!("v5 truncation at {cut}"));
+    }
+}
+
+#[test]
 fn universal_decode_errors_convert_structurally() {
     let codec = UniversalCodec::default();
     let bytes = codec.encode(&[

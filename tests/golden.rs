@@ -232,6 +232,60 @@ fn pre_v4_fixtures_stay_byte_identical() {
 }
 
 #[test]
+fn pre_v5_fixtures_stay_byte_identical() {
+    // Shipping the v5 model-mode container (and the wide-hash model
+    // behind it) must not move a single bit of any earlier container:
+    // together with `pre_v4_fixtures_stay_byte_identical` this pins all
+    // 28 fixtures that existed before v5. The classic path is the wire
+    // default, so every one of them must survive the model dispatch
+    // untouched.
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return;
+    }
+    const V4_GRID: [(&str, u32, usize); 6] = [
+        ("proposed_grid2x2_barb_32.bin", 0xE8CB_93F4, 1042),
+        ("proposed_grid2x2_lena_32.bin", 0xE4AD_B1B4, 985),
+        ("proposed_grid2x2_mandrill_32.bin", 0xBE44_31DA, 1073),
+        ("proposed_grid4x4_barb_32.bin", 0x1DE2_51AF, 1589),
+        ("proposed_grid4x4_lena_32.bin", 0x4D0F_D90F, 1564),
+        ("proposed_grid4x4_mandrill_32.bin", 0x22CF_323A, 1608),
+    ];
+    for (name, crc, len) in V4_GRID {
+        let bytes = std::fs::read(golden_dir().join(name))
+            .unwrap_or_else(|e| panic!("pre-v5 fixture {name} must stay committed: {e}"));
+        assert_eq!(bytes.len(), len, "{name} length drifted");
+        assert_eq!(
+            cbic::core::grid::crc32(&bytes),
+            crc,
+            "{name} bytes drifted — a pre-v5 container format changed"
+        );
+    }
+}
+
+#[test]
+fn wide_model_containers_match_their_golden_fixtures() {
+    // Container v5: the flat stream with the model-mode byte, carrying
+    // the wide-hash context model at the wire-default bank count. One
+    // fixture per corpus class pins the v5 header layout and the wide
+    // model's coding behavior; each must also decode losslessly.
+    use cbic::core::bigctx::DEFAULT_BANKS_LOG2;
+    use cbic::core::{compress, decompress, CodecConfig, ModelMode};
+    let cfg = CodecConfig {
+        model: ModelMode::WideHash {
+            banks_log2: DEFAULT_BANKS_LOG2,
+        },
+        ..CodecConfig::default()
+    };
+    for class in CLASSES {
+        let img = class.generate(SIZE, SIZE);
+        let bytes = compress(img.view(), &cfg);
+        assert_eq!(bytes[4], 5, "wide streams ride container v5");
+        check(&format!("proposed_wide_{}_{}", class.name(), SIZE), &bytes);
+        assert_eq!(decompress(&bytes).unwrap(), img, "{class:?}");
+    }
+}
+
+#[test]
 fn streaming_encoder_matches_the_proposed_golden_fixtures() {
     // The streaming path must produce the exact fixture bytes too — the
     // golden corpus pins the format for *both* transports.

@@ -1,9 +1,10 @@
 //! Integration of the hardware model with the real codec: the numbers in
 //! Table 2 must be consistent with what the software actually does.
 
-use cbic::core::{encode_raw, CodecConfig};
+use cbic::core::bigctx::{BANKS_LOG2_RANGE, DEFAULT_BANKS_LOG2};
+use cbic::core::{encode_raw, CodecConfig, ModelMode, PixelEngine};
 use cbic::hw::divlut::DivLut;
-use cbic::hw::memory::{EstimatorMemory, ModelingMemory};
+use cbic::hw::memory::{ContextBankLayout, EstimatorMemory, ModelingMemory};
 use cbic::hw::pipeline::{PipelineConfig, PixelTrace};
 use cbic::hw::resources::{table2, PAPER_TABLE2};
 use cbic::image::corpus::CorpusImage;
@@ -46,6 +47,41 @@ fn memory_budgets_match_the_paper() {
     let estimator = EstimatorMemory::default();
     let kb = estimator.total_kbytes();
     assert!((3.8..4.1).contains(&kb), "estimator {kb} KB");
+}
+
+#[test]
+fn context_bank_layout_accounts_exactly_what_the_engine_allocates() {
+    // The memory model is only a budget if it matches reality: for both
+    // context-model modes, `ContextBankLayout::host_soa` over the
+    // engine's bank count must equal — byte for byte — what the SoA
+    // context store actually allocates.
+    let classic = PixelEngine::new(64, 8, &CodecConfig::default());
+    assert_eq!(classic.context_banks(), 512);
+    assert_eq!(
+        ContextBankLayout::host_soa(classic.context_banks()).total_bytes(),
+        classic.context_bytes()
+    );
+
+    for banks_log2 in BANKS_LOG2_RANGE {
+        let cfg = CodecConfig {
+            model: ModelMode::WideHash { banks_log2 },
+            ..CodecConfig::default()
+        };
+        let wide = PixelEngine::new(64, 8, &cfg);
+        assert_eq!(wide.context_banks(), 1usize << banks_log2);
+        assert_eq!(
+            ContextBankLayout::host_soa(wide.context_banks()).total_bytes(),
+            wide.context_bytes(),
+            "accounted vs allocated bytes diverged at banks_log2={banks_log2}"
+        );
+    }
+
+    // The headline budget: the wire-default wide store costs exactly 2×
+    // the classic store in paper bit-widths, half the 4× ceiling.
+    let classic_paper = ContextBankLayout::default().total_bytes();
+    let wide_paper = ContextBankLayout::with_contexts(1 << DEFAULT_BANKS_LOG2).total_bytes();
+    assert_eq!(wide_paper, 2 * classic_paper);
+    assert!(wide_paper <= 4 * classic_paper);
 }
 
 #[test]
