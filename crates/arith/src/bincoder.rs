@@ -64,6 +64,119 @@ pub(crate) fn mask64(count: u32) -> u64 {
     (1u64.wrapping_shl(count)).wrapping_sub(1)
 }
 
+/// A pixel's worth of pre-classified binary decisions, built by the model
+/// layer and retired by one [`DecisionEncoder::encode_batch`] call.
+///
+/// The model (tree descent + escape context) knows which decisions are
+/// deterministic — `c0 == 0` or `c0 == total` means the coded side owns the
+/// whole interval, so the coder would emit zero bits and leave its
+/// registers untouched. Those decisions never enter the batch: they are
+/// only *counted* (via [`skip_deterministic`](Self::skip_deterministic)) so
+/// the decisions/pixel accounting that sets the hardware model's initiation
+/// interval stays exact. Coded decisions are stored in the same
+/// `bit<<34 | c0<<17 | total` packing the lane mux uses, so a
+/// [`LaneEncoder`](crate::LaneEncoder) can append them to its stripe buffer
+/// without re-packing.
+/// Cacheline-aligned: the batch is written by the model descent and read
+/// back immediately by the coder, so its placement relative to the tree's
+/// counter stores is hot; letting the packed array straddle lines at the
+/// allocator's whim makes that store-to-load traffic layout-dependent.
+#[derive(Debug, Clone)]
+#[repr(align(64))]
+pub struct DecisionBatch {
+    packed: [u64; Self::CAPACITY],
+    len: usize,
+    deterministic: u32,
+}
+
+impl Default for DecisionBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DecisionBatch {
+    /// Maximum coded decisions per batch: enough for two sub-symbol
+    /// descents (escape + 8 path/static decisions each) with headroom.
+    pub const CAPACITY: usize = 32;
+
+    /// An empty batch.
+    #[inline]
+    pub fn new() -> Self {
+        Self {
+            packed: [0; Self::CAPACITY],
+            len: 0,
+            deterministic: 0,
+        }
+    }
+
+    /// Appends one coded (non-deterministic) decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is full; in debug builds, also if the decision
+    /// is deterministic or `total` is out of range.
+    #[inline]
+    pub fn push_coded(&mut self, bit: bool, c0: u32, total: u32) {
+        debug_assert!(total > 0 && total <= MAX_TOTAL, "invalid total {total}");
+        debug_assert!(
+            c0 > 0 && c0 < total,
+            "batched decision must be non-deterministic (c0={c0}, total={total})"
+        );
+        self.packed[self.len] = (u64::from(bit) << 34) | (u64::from(c0) << 17) | u64::from(total);
+        self.len += 1;
+    }
+
+    /// Accounts `n` deterministic decisions retired at the model layer.
+    #[inline]
+    pub fn skip_deterministic(&mut self, n: u32) {
+        self.deterministic += n;
+    }
+
+    /// Branchless append for the fused capture descent: always writes the
+    /// packed word at the cursor, advances the cursor only when `coded`.
+    /// A deterministic decision's word is left behind the cursor and
+    /// overwritten by the next level — the classic compaction idiom, so
+    /// the descent never branches on the patternless coded/deterministic
+    /// outcome.
+    #[inline]
+    pub(crate) fn stage(&mut self, packed: u64, coded: bool) {
+        self.packed[self.len] = packed;
+        self.len += usize::from(coded);
+    }
+
+    /// The packed coded decisions, in stream order.
+    #[inline]
+    pub fn coded(&self) -> &[u64] {
+        &self.packed[..self.len]
+    }
+
+    /// Number of coded decisions in the batch.
+    #[inline]
+    pub fn coded_len(&self) -> usize {
+        self.len
+    }
+
+    /// Number of deterministic decisions folded into the batch.
+    #[inline]
+    pub fn deterministic_len(&self) -> u64 {
+        u64::from(self.deterministic)
+    }
+
+    /// Total decisions the batch represents (coded + deterministic).
+    #[inline]
+    pub fn decisions(&self) -> u64 {
+        self.len as u64 + u64::from(self.deterministic)
+    }
+
+    /// Empties the batch for reuse.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.deterministic = 0;
+    }
+}
+
 /// Anything that can encode a stream of binary decisions.
 ///
 /// The adaptive model layer (estimator trees, context banks, symbol coders)
@@ -76,6 +189,107 @@ pub trait DecisionEncoder {
 
     /// Number of decisions encoded so far.
     fn decisions(&self) -> u64;
+
+    /// Number of *coded* (non-deterministic) decisions encoded so far —
+    /// the subset that actually moved the interval and cost code space.
+    fn coded_decisions(&self) -> u64;
+
+    /// Accounts `n` deterministic decisions the model layer retired
+    /// without calling [`encode`](Self::encode). They emit no bits and
+    /// touch no coder state; only the decision counter moves.
+    fn note_deterministic(&mut self, n: u64);
+
+    /// Whether this encoder is cheaper to drive through
+    /// [`encode_batch`](Self::encode_batch) than through per-decision
+    /// [`encode`](Self::encode) calls.
+    ///
+    /// Buffering encoders (the lane mux) want the batch: they append the
+    /// packed words with a straight copy. An immediate encoder like
+    /// [`BinaryEncoder`] does not — materialising the batch turns the
+    /// model's captured decisions into a store-then-reload roundtrip that
+    /// sits right behind the tree's counter stores, and whether those
+    /// stores alias the reload is decided by heap placement, which makes
+    /// throughput layout-dependent. The model layer consults this to pick
+    /// between staging a batch and coding decisions as the descent
+    /// produces them (both orders are byte-identical by construction).
+    #[inline]
+    fn prefers_batch(&self) -> bool {
+        true
+    }
+
+    /// Encodes a pre-classified batch of decisions.
+    ///
+    /// The default simply replays the batch through
+    /// [`encode`](Self::encode) one decision at a time — bit-identical to
+    /// the fast implementations by construction, and the reference the
+    /// differential tests pin them against. Implementations override this
+    /// to amortise renormalisation and output flushes across the batch.
+    #[inline]
+    fn encode_batch(&mut self, batch: &DecisionBatch) {
+        self.note_deterministic(batch.deterministic_len());
+        for &packed in batch.coded() {
+            let total = (packed & 0x1_FFFF) as u32;
+            let c0 = ((packed >> 17) & 0x1_FFFF) as u32;
+            self.encode(packed >> 34 != 0, c0, total);
+        }
+    }
+}
+
+/// A null [`DecisionEncoder`]: counts decisions, codes nothing.
+///
+/// Driving the full model pipeline into this encoder measures the *model*
+/// stage alone — prediction, context formation, tree descents — with the
+/// interval arithmetic and output path removed. The throughput harness
+/// subtracts such a pass from a real encode to split per-pixel time into
+/// model and coder shares.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingEncoder {
+    decisions: u64,
+    coded: u64,
+}
+
+impl CountingEncoder {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DecisionEncoder for CountingEncoder {
+    #[inline]
+    fn encode(&mut self, _bit: bool, c0: u32, total: u32) {
+        self.decisions += 1;
+        self.coded += u64::from((c0 != 0) & (c0 != total));
+    }
+
+    /// Mirrors [`BinaryEncoder`]: the model-stage timing this encoder
+    /// exists for must drive the model through the same code path a real
+    /// single-coder encode takes.
+    #[inline]
+    fn prefers_batch(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    #[inline]
+    fn coded_decisions(&self) -> u64 {
+        self.coded
+    }
+
+    #[inline]
+    fn note_deterministic(&mut self, n: u64) {
+        self.decisions += n;
+    }
+
+    #[inline]
+    fn encode_batch(&mut self, batch: &DecisionBatch) {
+        self.decisions += batch.decisions();
+        self.coded += batch.coded_len() as u64;
+    }
 }
 
 /// Anything that can decode a stream of binary decisions.
@@ -89,6 +303,22 @@ pub trait DecisionDecoder {
 
     /// Number of decisions decoded so far.
     fn decisions(&self) -> u64;
+
+    /// Number of *coded* (non-deterministic) decisions decoded so far.
+    fn coded_decisions(&self) -> u64;
+
+    /// Accounts `n` deterministic decisions the model layer resolved
+    /// without consulting the bitstream.
+    fn note_deterministic(&mut self, n: u64);
+
+    /// Decodes a decision the model layer already classified as
+    /// non-deterministic (`0 < c0 < total`), letting implementations skip
+    /// their own deterministic screening. The default defers to
+    /// [`decode`](Self::decode), whose screening is then dead but harmless.
+    #[inline]
+    fn decode_nondeterministic(&mut self, c0: u32, total: u32) -> bool {
+        self.decode(c0, total)
+    }
 }
 
 /// Encoding half of the binary arithmetic coder.
@@ -121,6 +351,7 @@ pub struct BinaryEncoder<S = BitWriter> {
     pending: u64,
     writer: S,
     decisions: u64,
+    coded: u64,
     recip: &'static [u64],
 }
 
@@ -133,6 +364,7 @@ impl<S: BitSink> BinaryEncoder<S> {
             pending: 0,
             writer,
             decisions: 0,
+            coded: 0,
             recip: recip_table(),
         }
     }
@@ -201,6 +433,7 @@ impl<S: BitSink> BinaryEncoder<S> {
             "encode_coded requires a non-deterministic decision (c0={c0}, total={total})"
         );
         self.decisions += 1;
+        self.coded += 1;
 
         let range = u64::from(self.high) - u64::from(self.low) + 1;
         // First code value of the `1` sub-interval (may be high + 1 when
@@ -279,6 +512,100 @@ impl<S: BitSink> BinaryEncoder<S> {
         self.high = HALF | ((self.high << k) & !HALF) | (1u32.wrapping_shl(k)).wrapping_sub(1);
     }
 
+    /// Encodes a pre-classified batch of decisions, byte-identical to
+    /// replaying it through [`encode`](Self::encode) decision by decision.
+    ///
+    /// This is the single-coder analogue of the lane lockstep loop in
+    /// `lanes.rs`: the interval registers and the pending-bit counter live
+    /// in locals across the whole batch, and every packed bit release is
+    /// staged into a local 64-bit accumulator, so the sink's `write_bits`
+    /// runs once per spill / batch instead of once per decision. The cold
+    /// long-follow-run branch (> 48 banked bits) drains the accumulator
+    /// first and then falls back to the plain writer path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batched `total` is zero or exceeds 2^16.
+    pub fn encode_batch(&mut self, batch: &DecisionBatch) {
+        self.decisions += batch.decisions();
+        self.coded += batch.coded_len() as u64;
+        let mut low = self.low;
+        let mut high = self.high;
+        let mut pending = self.pending;
+        let mut acc = 0u64;
+        let mut nacc = 0u32;
+        for &packed in batch.coded() {
+            let total = (packed & 0x1_FFFF) as u32;
+            let c0 = ((packed >> 17) & 0x1_FFFF) as u32;
+            let bit = packed >> 34 != 0;
+            assert!(total > 0 && total <= MAX_TOTAL, "invalid total {total}");
+            debug_assert!(c0 > 0 && c0 < total);
+
+            let range = u64::from(high) - u64::from(low) + 1;
+            let split =
+                u64::from(low) + div_by_recip(range * u64::from(c0), self.recip[total as usize]);
+            low = if bit { split as u32 } else { low };
+            high = if bit { high } else { (split - 1) as u32 };
+
+            // Renormalisation, identical in structure to `encode_coded`;
+            // see the commentary there. Only the destination of the packed
+            // release differs: the local accumulator instead of the sink.
+            let n = (low ^ high).leading_zeros();
+            let bits = u64::from(low) >> (32 - n);
+            if (n > 0) & (u64::from(n) + pending > 48) {
+                // Cold: drain the accumulator so the sink sees the bits in
+                // order, then release the long follow run directly.
+                if nacc > 0 {
+                    self.writer.write_bits(acc, nacc);
+                    acc = 0;
+                    nacc = 0;
+                }
+                let first = (bits >> (n - 1)) & 1 == 1;
+                self.writer.write_bit(first);
+                for _ in 0..pending {
+                    self.writer.write_bit(!first);
+                }
+                pending = 0;
+                if n > 1 {
+                    self.writer
+                        .write_bits(bits & ((1u64 << (n - 1)) - 1), n - 1);
+                }
+            } else {
+                let keep = u64::from(n == 0).wrapping_neg();
+                let first = bits.wrapping_shr(n.wrapping_sub(1)) & 1;
+                let comps = ((first ^ 1).wrapping_neg() & mask64(pending as u32))
+                    .wrapping_shl(n.wrapping_sub(1));
+                let head = first.wrapping_shl((pending as u32).wrapping_add(n).wrapping_sub(1));
+                let body = bits & (1u64.wrapping_shl(n.wrapping_sub(1))).wrapping_sub(1);
+                let word = (head | comps | body) & !keep;
+                let count = ((pending + u64::from(n)) & !keep) as u32;
+                // Stage into the accumulator; each release is ≤ 48 bits,
+                // so one spill always makes room.
+                if count > 64 - nacc {
+                    self.writer.write_bits(acc, nacc);
+                    acc = 0;
+                    nacc = 0;
+                }
+                acc = (acc << count) | word;
+                nacc += count;
+                pending &= keep;
+            }
+            low = (u64::from(low) << n) as u32;
+            high = ((u64::from(high) << n) | ((1u64 << n) - 1)) as u32;
+
+            let k = (low << 1).leading_ones().min((high << 1).leading_zeros());
+            pending += u64::from(k);
+            low = (low << k) & !HALF;
+            high = HALF | ((high << k) & !HALF) | (1u32.wrapping_shl(k)).wrapping_sub(1);
+        }
+        if nacc > 0 {
+            self.writer.write_bits(acc, nacc);
+        }
+        self.low = low;
+        self.high = high;
+        self.pending = pending;
+    }
+
     /// Number of decisions encoded so far.
     ///
     /// The hardware model uses this: the paper's coder retires one binary
@@ -286,6 +613,11 @@ impl<S: BitSink> BinaryEncoder<S> {
     /// initiation interval.
     pub fn decisions(&self) -> u64 {
         self.decisions
+    }
+
+    /// Number of coded (non-deterministic) decisions encoded so far.
+    pub fn coded_decisions(&self) -> u64 {
+        self.coded
     }
 
     /// Bits emitted so far (excluding un-flushed interval state).
@@ -325,9 +657,34 @@ impl<S: BitSink> DecisionEncoder for BinaryEncoder<S> {
         BinaryEncoder::encode(self, bit, c0, total);
     }
 
+    /// Immediate encoder: decisions are cheapest coded as the descent
+    /// produces them (see the trait doc for why materialised batches are
+    /// layout-sensitive here). [`encode_batch`](Self::encode_batch) stays
+    /// available — and byte-identical — for callers that already hold a
+    /// batch.
+    #[inline]
+    fn prefers_batch(&self) -> bool {
+        false
+    }
+
     #[inline]
     fn decisions(&self) -> u64 {
         BinaryEncoder::decisions(self)
+    }
+
+    #[inline]
+    fn coded_decisions(&self) -> u64 {
+        BinaryEncoder::coded_decisions(self)
+    }
+
+    #[inline]
+    fn note_deterministic(&mut self, n: u64) {
+        self.decisions += n;
+    }
+
+    #[inline]
+    fn encode_batch(&mut self, batch: &DecisionBatch) {
+        BinaryEncoder::encode_batch(self, batch);
     }
 }
 
@@ -345,6 +702,7 @@ pub struct BinaryDecoder<S> {
     value: u32,
     reader: S,
     decisions: u64,
+    coded: u64,
     recip: &'static [u64],
 }
 
@@ -358,6 +716,7 @@ impl<S: BitSource> BinaryDecoder<S> {
             value,
             reader,
             decisions: 0,
+            coded: 0,
             recip: recip_table(),
         }
     }
@@ -409,6 +768,7 @@ impl<S: BitSource> BinaryDecoder<S> {
             "decode_coded requires a non-deterministic decision (c0={c0}, total={total})"
         );
         self.decisions += 1;
+        self.coded += 1;
 
         let range = u64::from(self.high) - u64::from(self.low) + 1;
         let split =
@@ -457,6 +817,11 @@ impl<S: BitSource> BinaryDecoder<S> {
         self.decisions
     }
 
+    /// Number of coded (non-deterministic) decisions decoded so far.
+    pub fn coded_decisions(&self) -> u64 {
+        self.coded
+    }
+
     /// Borrows the underlying bit source (e.g. to inspect
     /// [`padding_bits`](BitSource::padding_bits) for truncation detection).
     pub fn source(&self) -> &S {
@@ -478,6 +843,21 @@ impl<S: BitSource> DecisionDecoder for BinaryDecoder<S> {
     #[inline]
     fn decisions(&self) -> u64 {
         BinaryDecoder::decisions(self)
+    }
+
+    #[inline]
+    fn coded_decisions(&self) -> u64 {
+        BinaryDecoder::coded_decisions(self)
+    }
+
+    #[inline]
+    fn note_deterministic(&mut self, n: u64) {
+        self.decisions += n;
+    }
+
+    #[inline]
+    fn decode_nondeterministic(&mut self, c0: u32, total: u32) -> bool {
+        self.decode_coded(c0, total)
     }
 }
 
@@ -604,6 +984,58 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The fused batch path must be byte-identical to per-decision replay
+    /// (the trait's default), across accumulator offsets, deterministic
+    /// gaps, and long E3 follow runs that take the cold branch.
+    #[test]
+    fn encode_batch_matches_per_decision_replay() {
+        let mut seq: Vec<(bool, u32, u32)> = Vec::new();
+        for i in 0u32..4000 {
+            // A mix that exercises near-certain runs (E3 banking), coin
+            // flips, and occasional improbable bits.
+            let (bit, c0, total) = match i % 7 {
+                0..=3 => (false, 65_535, 65_536),
+                4 => (i % 2 == 0, 1, 2),
+                5 => (true, 1, 65_536),
+                _ => (i % 3 == 0, 2, 5),
+            };
+            seq.push((bit, c0, total));
+        }
+        let mut fast = BinaryEncoder::new(BitWriter::new());
+        let mut slow = BinaryEncoder::new(BitWriter::new());
+        let mut batch = DecisionBatch::new();
+        for chunk in seq.chunks(11) {
+            batch.clear();
+            batch.skip_deterministic(2);
+            for &(bit, c0, total) in chunk {
+                batch.push_coded(bit, c0, total);
+            }
+            fast.encode_batch(&batch);
+            for &(bit, c0, total) in chunk {
+                slow.encode(bit, c0, total);
+            }
+            slow.note_deterministic(2);
+        }
+        assert_eq!(fast.decisions(), slow.decisions());
+        assert_eq!(fast.coded_decisions(), seq.len() as u64);
+        assert_eq!(
+            fast.finish().into_bytes(),
+            slow.finish().into_bytes(),
+            "batched renormalisation changed the stream"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut enc = BinaryEncoder::new(BitWriter::new());
+        let mut batch = DecisionBatch::new();
+        batch.skip_deterministic(9);
+        enc.encode_batch(&batch);
+        assert_eq!(enc.decisions(), 9);
+        assert_eq!(enc.coded_decisions(), 0);
+        assert!(enc.finish().into_bytes().len() <= 1);
     }
 
     #[test]

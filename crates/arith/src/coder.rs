@@ -2,9 +2,28 @@
 //! coding context, adaptive escape decisions, and the static tree.
 
 use crate::adaptive::AdaptiveBit;
-use crate::bincoder::{DecisionDecoder, DecisionEncoder, MAX_TOTAL};
+use crate::bincoder::{DecisionBatch, DecisionDecoder, DecisionEncoder, MAX_TOTAL};
 use crate::stats::CoderStats;
 use crate::tree::{DecisionPath, TreeModel};
+
+/// Per-symbol decision budget of a [`SymbolCoder`], static ceiling and
+/// measured reality side by side.
+///
+/// The design's *ceiling* is constant — one escape decision plus `depth`
+/// path (or static-tree) decisions, the figure that sets the hardware
+/// pipeline's initiation interval. What actually reaches the arithmetic
+/// coder is smaller: deterministic decisions (a path node whose sibling
+/// branch holds zero count) are classified at capture time and retired at
+/// the model layer, so `coded` reports the measured average of decisions
+/// that moved the interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionsPerSymbol {
+    /// Static decisions per symbol: `1 + depth`, independent of content.
+    pub ceiling: u32,
+    /// Measured coded (non-deterministic) decisions per symbol so far
+    /// (0.0 before any symbol is coded).
+    pub coded: f64,
+}
 
 /// Tuning knobs of the probability estimator.
 ///
@@ -86,6 +105,11 @@ pub struct SymbolCoder {
     depth: u32,
     cfg: EstimatorConfig,
     stats: CoderStats,
+    /// Scratch batch reused across [`Self::encode`] calls. A
+    /// [`DecisionBatch`] is 32 packed words; constructing one per symbol
+    /// would memset it per symbol, which is measurable at the coder's
+    /// throughput — `clear` only resets the cursor.
+    batch: DecisionBatch,
 }
 
 impl SymbolCoder {
@@ -117,6 +141,7 @@ impl SymbolCoder {
             depth,
             cfg,
             stats: CoderStats::default(),
+            batch: DecisionBatch::new(),
         }
     }
 
@@ -173,27 +198,65 @@ impl SymbolCoder {
             self.depth
         );
         self.stats.symbols += 1;
-        if !self.trees[ctx].maybe_escapes(symbol) {
-            // Guaranteed-codable symbol: the escape decision is known
-            // before any tree walk, so code it and run the single fused
-            // descent.
-            self.escape[ctx].encode(enc, false);
-            self.trees[ctx].encode_and_update(enc, symbol);
+        self.stats.decisions += 1 + u64::from(self.depth);
+        let tree = &mut self.trees[ctx];
+        if !enc.prefers_batch() {
+            // Immediate encoder: code decisions as the descent produces
+            // them — no batch materialisation (see
+            // [`DecisionEncoder::prefers_batch`]). The coder screens
+            // deterministic decisions itself, so the stream and every
+            // counter match the batch route exactly.
+            let before = enc.coded_decisions();
+            if !tree.maybe_escapes(symbol) {
+                // Hot case: a clear maybe-zero bit *guarantees* the path
+                // has no zero branch, so the escape outcome is known
+                // without a probe and one fused descent codes + updates.
+                self.escape[ctx].encode(enc, false);
+                tree.encode_and_update(enc, symbol);
+            } else {
+                let mut path = DecisionPath::empty();
+                let escaped = tree.capture_and_update(symbol, &mut path);
+                self.escape[ctx].encode(enc, escaped);
+                if escaped {
+                    self.stats.escapes += 1;
+                    for k in (0..self.depth).rev() {
+                        enc.encode((symbol >> k) & 1 == 1, 1, 2);
+                    }
+                } else {
+                    path.replay(enc, symbol);
+                }
+            }
+            self.stats.coded_decisions += enc.coded_decisions() - before;
             return;
         }
-        let mut path = DecisionPath::empty();
-        let escaped = self.trees[ctx].capture_and_update(symbol, &mut path);
-        self.escape[ctx].encode(enc, escaped);
-        if escaped {
-            self.stats.escapes += 1;
-            // Static tree: the symbol is sent as-is, one equiprobable
-            // decision per bit.
-            for k in (0..self.depth).rev() {
-                enc.encode((symbol >> k) & 1 == 1, 1, 2);
-            }
+        let batch = &mut self.batch;
+        batch.clear();
+        if !tree.maybe_escapes(symbol) {
+            // Hot case, batch route: the escape decision leads the batch
+            // in stream order (both its counts stay nonzero, so it is
+            // always coded), then one fused descent stages the path
+            // decisions directly.
+            self.escape[ctx].encode_into(batch, false);
+            tree.capture_update_into(symbol, batch);
         } else {
-            path.replay(enc, symbol);
+            // The mask bit is set: the symbol *may* escape, so run the
+            // exact capture walk and decide from it.
+            let mut path = DecisionPath::empty();
+            let escaped = tree.capture_and_update(symbol, &mut path);
+            self.escape[ctx].encode_into(batch, escaped);
+            if escaped {
+                self.stats.escapes += 1;
+                // Static tree: the symbol is sent as-is, one equiprobable
+                // (never deterministic) decision per bit.
+                for k in (0..self.depth).rev() {
+                    batch.push_coded((symbol >> k) & 1 == 1, 1, 2);
+                }
+            } else {
+                path.push_onto(batch, symbol);
+            }
         }
+        self.stats.coded_decisions += batch.coded_len() as u64;
+        enc.encode_batch(batch);
     }
 
     /// Decodes one symbol from coding context `ctx` (the fused
@@ -204,8 +267,14 @@ impl SymbolCoder {
     /// Panics if `ctx` is out of range.
     pub fn decode<D: DecisionDecoder>(&mut self, dec: &mut D, ctx: usize) -> u8 {
         self.stats.symbols += 1;
+        self.stats.decisions += 1 + u64::from(self.depth);
+        // The decoder screens deterministic decisions at the model layer
+        // (inside `decode_and_update`), so the coder's own counter tells us
+        // how many of this symbol's decisions actually consumed code space
+        // — which must mirror the encoder's capture-time classification.
+        let before = dec.coded_decisions();
         let escaped = self.escape[ctx].decode(dec);
-        if escaped {
+        let symbol = if escaped {
             self.stats.escapes += 1;
             let mut s = 0u8;
             for _ in 0..self.depth {
@@ -215,14 +284,81 @@ impl SymbolCoder {
             s
         } else {
             self.trees[ctx].decode_and_update(dec)
-        }
+        };
+        self.stats.coded_decisions += dec.coded_decisions() - before;
+        symbol
     }
 
-    /// Binary decisions needed to code one symbol in the current state
-    /// (1 escape decision + `depth` path/static decisions). Constant for
-    /// this design; exposed for the hardware pipeline model.
-    pub fn decisions_per_symbol(&self) -> u32 {
-        1 + self.depth
+    /// Per-symbol decision counts: the static ceiling (1 escape decision +
+    /// `depth` path/static decisions — the figure that sets the hardware
+    /// pipeline's initiation interval) alongside the *measured* coded
+    /// decisions per symbol, which deterministic-prefix skipping makes
+    /// strictly smaller on adapted streams.
+    pub fn decisions_per_symbol(&self) -> DecisionsPerSymbol {
+        DecisionsPerSymbol {
+            ceiling: 1 + self.depth,
+            coded: if self.stats.symbols == 0 {
+                0.0
+            } else {
+                self.stats.coded_decisions as f64 / self.stats.symbols as f64
+            },
+        }
+    }
+}
+
+/// The historical per-decision coding sequence, kept as the reference the
+/// differential tests pin the batched fast path against (and compiled into
+/// dependants under `--features reference-coder` for their own
+/// differentials).
+#[cfg(any(test, feature = "reference-coder"))]
+impl SymbolCoder {
+    /// Encodes `symbol` exactly as the pre-fast-path coder did: an escape
+    /// probe descent, per-decision coder calls, then a separate update
+    /// descent. Byte-identical to [`Self::encode`]; kept for differential
+    /// testing only.
+    pub fn encode_reference<E: DecisionEncoder>(&mut self, enc: &mut E, ctx: usize, symbol: u8) {
+        assert!(
+            self.depth == 8 || u32::from(symbol) < (1u32 << self.depth),
+            "symbol {symbol} out of range for {}-bit alphabet",
+            self.depth
+        );
+        self.stats.symbols += 1;
+        self.stats.decisions += 1 + u64::from(self.depth);
+        let before = enc.coded_decisions();
+        let escaped = self.trees[ctx].path_has_zero(symbol);
+        self.escape[ctx].encode(enc, escaped);
+        if escaped {
+            self.stats.escapes += 1;
+            for k in (0..self.depth).rev() {
+                enc.encode((symbol >> k) & 1 == 1, 1, 2);
+            }
+        } else {
+            self.trees[ctx].encode_decisions(enc, symbol);
+        }
+        self.trees[ctx].update(symbol);
+        self.stats.coded_decisions += enc.coded_decisions() - before;
+    }
+
+    /// Decodes one symbol via the historical decode-then-update sequence.
+    /// Byte-identical to [`Self::decode`]; kept for differential testing.
+    pub fn decode_reference<D: DecisionDecoder>(&mut self, dec: &mut D, ctx: usize) -> u8 {
+        self.stats.symbols += 1;
+        self.stats.decisions += 1 + u64::from(self.depth);
+        let before = dec.coded_decisions();
+        let escaped = self.escape[ctx].decode(dec);
+        let symbol = if escaped {
+            self.stats.escapes += 1;
+            let mut s = 0u8;
+            for _ in 0..self.depth {
+                s = (s << 1) | u8::from(dec.decode(1, 2));
+            }
+            s
+        } else {
+            self.trees[ctx].decode_decisions(dec)
+        };
+        self.trees[ctx].update(symbol);
+        self.stats.coded_decisions += dec.coded_decisions() - before;
+        symbol
     }
 }
 
@@ -334,7 +470,82 @@ mod tests {
     #[test]
     fn decisions_per_symbol_is_nine_for_bytes() {
         let model = SymbolCoder::new(8, EstimatorConfig::default());
-        assert_eq!(model.decisions_per_symbol(), 9);
+        let dps = model.decisions_per_symbol();
+        assert_eq!(dps.ceiling, 9);
+        assert_eq!(dps.coded, 0.0, "nothing coded yet");
+    }
+
+    #[test]
+    fn measured_coded_decisions_fall_below_the_ceiling() {
+        // Narrow counters rescale often, decaying unused branches to zero;
+        // a skewed source then walks mostly one-sided nodes, so
+        // deterministic-prefix skipping must push the measured coded
+        // decisions well under the static 9/symbol.
+        let cfg = EstimatorConfig {
+            count_bits: 10,
+            increment: 32,
+            ..EstimatorConfig::default()
+        };
+        let mut model = SymbolCoder::new(1, cfg);
+        let mut enc = BinaryEncoder::new(BitWriter::new());
+        for i in 0..20_000u32 {
+            model.encode(&mut enc, 0, if i % 11 == 0 { 200 } else { 100 });
+        }
+        let dps = model.decisions_per_symbol();
+        assert_eq!(dps.ceiling, 9);
+        assert!(
+            dps.coded < 6.0,
+            "skewed source still coded {} decisions/symbol",
+            dps.coded
+        );
+        let stats = model.stats();
+        assert_eq!(stats.decisions, 9 * 20_000);
+        assert!(stats.deterministic_fraction() > 0.3);
+        // Encoder-side counters must agree with the model's accounting.
+        assert_eq!(enc.decisions(), stats.decisions);
+        assert_eq!(enc.coded_decisions(), stats.coded_decisions);
+    }
+
+    /// The batched fast path must match the historical per-decision
+    /// reference byte for byte — and statistic for statistic — across a
+    /// rescale- and escape-heavy stream.
+    #[test]
+    fn fast_path_matches_reference_bytes_and_stats() {
+        let cfg = EstimatorConfig {
+            count_bits: 10,
+            increment: 32,
+            ..EstimatorConfig::default()
+        };
+        let stream: Vec<(usize, u8)> = (0..6000u32)
+            .map(|i| ((i % 3) as usize, (i.wrapping_mul(2654435761) >> 15) as u8))
+            .collect();
+
+        let mut fast_model = SymbolCoder::new(3, cfg);
+        let mut ref_model = SymbolCoder::new(3, cfg);
+        let mut fast_enc = BinaryEncoder::new(BitWriter::new());
+        let mut ref_enc = BinaryEncoder::new(BitWriter::new());
+        for &(ctx, sym) in &stream {
+            fast_model.encode(&mut fast_enc, ctx, sym);
+            ref_model.encode_reference(&mut ref_enc, ctx, sym);
+        }
+        assert_eq!(fast_model.stats(), ref_model.stats());
+        assert!(fast_model.stats().escapes > 0, "stream must escape");
+        assert!(fast_model.stats().rescales > 0, "stream must rescale");
+        let fast_bytes = fast_enc.finish().into_bytes();
+        let ref_bytes = ref_enc.finish().into_bytes();
+        assert_eq!(fast_bytes, ref_bytes, "fast path changed the stream");
+
+        // Decode side: fused decode == reference decode, same stats.
+        let mut fast_dec_model = SymbolCoder::new(3, cfg);
+        let mut fast_dec = BinaryDecoder::new(BitReader::new(&fast_bytes));
+        let mut ref_dec_model = SymbolCoder::new(3, cfg);
+        let mut ref_dec = BinaryDecoder::new(BitReader::new(&ref_bytes));
+        for &(ctx, sym) in &stream {
+            assert_eq!(fast_dec_model.decode(&mut fast_dec, ctx), sym);
+            assert_eq!(ref_dec_model.decode_reference(&mut ref_dec, ctx), sym);
+        }
+        assert_eq!(fast_dec_model.stats(), fast_model.stats());
+        assert_eq!(ref_dec_model.stats(), fast_model.stats());
     }
 
     #[test]

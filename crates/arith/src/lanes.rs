@@ -66,8 +66,8 @@
 //! ```
 
 use crate::bincoder::{
-    div_by_recip, mask64, recip_table, BinaryDecoder, DecisionDecoder, DecisionEncoder, HALF,
-    MAX_TOTAL, QUARTER,
+    div_by_recip, mask64, recip_table, BinaryDecoder, DecisionBatch, DecisionDecoder,
+    DecisionEncoder, HALF, MAX_TOTAL, QUARTER,
 };
 use cbic_bitio::BitSource;
 
@@ -272,6 +272,7 @@ pub struct LaneEncoder {
     /// back at lane 0 and the lockstep loop needs no cursor at all.
     batch: usize,
     decisions: u64,
+    coded: u64,
 }
 
 impl LaneEncoder {
@@ -288,9 +289,10 @@ impl LaneEncoder {
         Self {
             regs: vec![LaneRegs::default(); lanes],
             outs: vec![Vec::new(); lanes],
-            buf: Vec::with_capacity(BATCH_TARGET),
+            buf: Vec::with_capacity(BATCH_TARGET + DecisionBatch::CAPACITY),
             batch: (BATCH_TARGET / lanes) * lanes,
             decisions: 0,
+            coded: 0,
         }
     }
 
@@ -300,8 +302,10 @@ impl LaneEncoder {
     }
 
     /// Total bits emitted across all lanes, draining buffered decisions
-    /// first so the count is exact (excludes only un-flushed interval
-    /// state, like a single coder's count).
+    /// first so the count is near-exact (excludes un-flushed interval
+    /// state plus at most `lanes − 1` decisions held back to keep the
+    /// round-robin deal aligned — a mid-stream drain may only retire whole
+    /// rounds, or the decisions that follow would land on the wrong lanes).
     pub fn bits_written(&mut self) -> u64 {
         self.drain();
         self.regs.iter().map(|r| r.bits).sum()
@@ -315,10 +319,17 @@ impl LaneEncoder {
         self.regs.iter().map(|r| r.bits).sum()
     }
 
-    /// Codes every buffered decision through the lanes, in lockstep
-    /// batches of the lane count with the per-lane registers hoisted into
-    /// locals (the monomorphized widths cover the benched lane counts;
-    /// other counts take the dynamic loop).
+    /// Codes the buffered decisions through the lanes in lockstep batches
+    /// of the lane count with the per-lane registers hoisted into locals
+    /// (the monomorphized widths cover the benched lane counts; other
+    /// counts take the dynamic loop).
+    ///
+    /// Only *whole rounds* are drained: a tail shorter than the lane count
+    /// stays buffered (moved to the front), because after a partial round
+    /// the next decision belongs to a mid-cycle lane and the lockstep loop
+    /// assumes every drain starts at lane 0. The tail is retired by
+    /// [`finish_with_bits`](Self::finish_with_bits), where it really is
+    /// the end of the deal.
     fn drain(&mut self) {
         match self.regs.len() {
             1 => self.drain_const::<1>(),
@@ -328,7 +339,10 @@ impl LaneEncoder {
             16 => self.drain_const::<16>(),
             _ => self.drain_dyn(),
         }
-        self.buf.clear();
+        let n = self.regs.len();
+        let drained = self.buf.len() - self.buf.len() % n;
+        self.buf.copy_within(drained.., 0);
+        self.buf.truncate(self.buf.len() - drained);
     }
 
     fn drain_const<const N: usize>(&mut self) {
@@ -337,8 +351,7 @@ impl LaneEncoder {
         } = self;
         let mut r: [LaneRegs; N] = regs[..N].try_into().expect("lane count matches N");
         let recip = recip_table();
-        let mut chunks = buf.chunks_exact(N);
-        for chunk in &mut chunks {
+        for chunk in buf.chunks_exact(N) {
             // Lane-minor order: the N chains advance abreast, so each
             // step's interval update overlaps the other lanes' in the
             // out-of-order window. (Lane-major — one lane's whole stride
@@ -349,11 +362,6 @@ impl LaneEncoder {
                 lane_step(&mut r[i], &mut outs[i], chunk[i], recip);
             }
         }
-        // Only the final (finish-time) drain can leave a remainder: full
-        // drains are multiples of the lane count by construction.
-        for (i, &packed) in chunks.remainder().iter().enumerate() {
-            lane_step(&mut r[i], &mut outs[i], packed, recip);
-        }
         regs[..N].copy_from_slice(&r);
     }
 
@@ -363,7 +371,7 @@ impl LaneEncoder {
         } = self;
         let recip = recip_table();
         let n = regs.len();
-        for (i, &packed) in buf.iter().enumerate() {
+        for (i, &packed) in buf[..buf.len() - buf.len() % n].iter().enumerate() {
             let lane = i % n;
             lane_step(&mut regs[lane], &mut outs[lane], packed, recip);
         }
@@ -383,6 +391,12 @@ impl LaneEncoder {
     /// what encode statistics report.
     pub fn finish_with_bits(mut self) -> (Vec<Vec<u8>>, u64) {
         self.drain();
+        // The sub-round tail `drain` held back is the true end of the
+        // deal, so it lands on lanes 0.. in order.
+        let recip = recip_table();
+        for (i, &packed) in self.buf.iter().enumerate() {
+            lane_step(&mut self.regs[i], &mut self.outs[i], packed, recip);
+        }
         let mut bits = 0u64;
         let subs = self
             .regs
@@ -415,9 +429,10 @@ impl DecisionEncoder for LaneEncoder {
         if if bit { c0 == 0 } else { c0 == total } {
             return;
         }
+        self.coded += 1;
         self.buf
             .push(u64::from(bit) << 34 | u64::from(c0) << 17 | u64::from(total));
-        if self.buf.len() == self.batch {
+        if self.buf.len() >= self.batch {
             self.drain();
         }
     }
@@ -425,6 +440,30 @@ impl DecisionEncoder for LaneEncoder {
     #[inline]
     fn decisions(&self) -> u64 {
         self.decisions
+    }
+
+    #[inline]
+    fn coded_decisions(&self) -> u64 {
+        self.coded
+    }
+
+    #[inline]
+    fn note_deterministic(&mut self, n: u64) {
+        self.decisions += n;
+    }
+
+    /// Batched entry point: the model already packs coded decisions in the
+    /// mux's own `bit << 34 | c0 << 17 | total` layout, so a batch appends
+    /// to the stripe buffer with one `memcpy` — no per-decision screening,
+    /// re-packing, or drain check.
+    #[inline]
+    fn encode_batch(&mut self, batch: &DecisionBatch) {
+        self.decisions += batch.decisions();
+        self.coded += batch.coded_len() as u64;
+        self.buf.extend_from_slice(batch.coded());
+        if self.buf.len() >= self.batch {
+            self.drain();
+        }
     }
 }
 
@@ -435,6 +474,7 @@ pub struct LaneDecoder<S> {
     lanes: Vec<BinaryDecoder<S>>,
     cursor: usize,
     decisions: u64,
+    coded: u64,
 }
 
 impl<S: BitSource> LaneDecoder<S> {
@@ -454,6 +494,7 @@ impl<S: BitSource> LaneDecoder<S> {
             lanes: sources.into_iter().map(BinaryDecoder::new).collect(),
             cursor: 0,
             decisions: 0,
+            coded: 0,
         }
     }
 
@@ -478,26 +519,46 @@ impl<S: BitSource> LaneDecoder<S> {
 impl<S: BitSource> DecisionDecoder for LaneDecoder<S> {
     #[inline]
     fn decode(&mut self, c0: u32, total: u32) -> bool {
-        self.decisions += 1;
         // Mirror of the encoder mux: deterministic decisions are resolved
         // here and never touch (or rotate past) a lane.
         if c0 == 0 {
+            self.decisions += 1;
             return true;
         }
         if c0 == total {
+            self.decisions += 1;
             return false;
         }
+        self.decode_nondeterministic(c0, total)
+    }
+
+    #[inline]
+    fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    #[inline]
+    fn coded_decisions(&self) -> u64 {
+        self.coded
+    }
+
+    #[inline]
+    fn note_deterministic(&mut self, n: u64) {
+        self.decisions += n;
+    }
+
+    /// Model-screened entry point: the caller has already established
+    /// `0 < c0 < total`, so rotate the deal and hit the lane directly.
+    #[inline]
+    fn decode_nondeterministic(&mut self, c0: u32, total: u32) -> bool {
+        self.decisions += 1;
+        self.coded += 1;
         let lane = self.cursor;
         self.cursor += 1;
         if self.cursor == self.lanes.len() {
             self.cursor = 0;
         }
         self.lanes[lane].decode_coded(c0, total)
-    }
-
-    #[inline]
-    fn decisions(&self) -> u64 {
-        self.decisions
     }
 }
 
@@ -607,6 +668,47 @@ mod tests {
             with.encode(true, 0, 4);
         }
         assert_eq!(without.finish_to_bytes(), with.finish_to_bytes());
+    }
+
+    /// Submitting decisions as pre-classified batches — with mid-stream
+    /// `bits_written` drains at awkward (non-round-multiple) points — must
+    /// deal them to exactly the same lanes as per-decision submission.
+    #[test]
+    fn batched_submission_matches_per_decision_deal() {
+        let decisions = mixed_decisions(BATCH_TARGET as u32 * 2 + 61);
+        for lanes in [1usize, 2, 3, 4, 8] {
+            let mut batched = LaneEncoder::new(lanes);
+            let mut plain = LaneEncoder::new(lanes);
+            let mut batch = DecisionBatch::new();
+            for (i, chunk) in decisions.chunks(7).enumerate() {
+                batch.clear();
+                for &(bit, c0, total) in chunk {
+                    if if bit { c0 == 0 } else { c0 == total } {
+                        batch.skip_deterministic(1);
+                    } else {
+                        batch.push_coded(bit, c0, total);
+                    }
+                    plain.encode(bit, c0, total);
+                }
+                batched.encode_batch(&batch);
+                if i % 97 == 0 {
+                    // A mid-stream count drains whole rounds only; the
+                    // held-back tail must keep the deal aligned.
+                    let _ = batched.bits_written();
+                }
+            }
+            assert_eq!(batched.decisions(), plain.decisions(), "{lanes} lanes");
+            assert_eq!(
+                batched.coded_decisions(),
+                plain.coded_decisions(),
+                "{lanes} lanes"
+            );
+            assert_eq!(
+                batched.finish_to_bytes(),
+                plain.finish_to_bytes(),
+                "{lanes} lanes"
+            );
+        }
     }
 
     #[test]

@@ -56,8 +56,10 @@ mod stats;
 mod tree;
 
 pub use adaptive::AdaptiveBit;
-pub use bincoder::{BinaryDecoder, BinaryEncoder, DecisionDecoder, DecisionEncoder};
-pub use coder::{EstimatorConfig, SymbolCoder};
+pub use bincoder::{
+    BinaryDecoder, BinaryEncoder, CountingEncoder, DecisionBatch, DecisionDecoder, DecisionEncoder,
+};
+pub use coder::{DecisionsPerSymbol, EstimatorConfig, SymbolCoder};
 pub use lanes::{LaneDecoder, LaneEncoder, MAX_LANES};
 pub use stats::CoderStats;
 pub use tree::{DecisionPath, TreeModel};

@@ -2,8 +2,32 @@
 
 use proptest::prelude::*;
 
-use crate::{AdaptiveBit, BinaryDecoder, BinaryEncoder, EstimatorConfig, SymbolCoder, TreeModel};
+use crate::{
+    AdaptiveBit, BinaryDecoder, BinaryEncoder, DecisionBatch, DecisionEncoder, EstimatorConfig,
+    LaneDecoder, LaneEncoder, SymbolCoder, TreeModel,
+};
 use cbic_bitio::{BitReader, BitWriter};
+
+/// Forwards per-decision calls to the wrapped encoder but deliberately does
+/// **not** override [`DecisionEncoder::encode_batch`], so batches go through
+/// the trait's default per-decision replay — turning any encoder into its
+/// own batching reference.
+struct PerDecision<E>(E);
+
+impl<E: DecisionEncoder> DecisionEncoder for PerDecision<E> {
+    fn encode(&mut self, bit: bool, c0: u32, total: u32) {
+        self.0.encode(bit, c0, total);
+    }
+    fn decisions(&self) -> u64 {
+        self.0.decisions()
+    }
+    fn coded_decisions(&self) -> u64 {
+        self.0.coded_decisions()
+    }
+    fn note_deterministic(&mut self, n: u64) {
+        self.0.note_deterministic(n);
+    }
+}
 
 /// Strategy: a sequence of (bit, c0, total) decisions with valid counts and
 /// a nonzero probability for the coded side.
@@ -119,6 +143,103 @@ proptest! {
             prop_assert_eq!(dec_model.decode(&mut dec, 0), sym);
         }
         prop_assert_eq!(enc_model.stats().escapes, dec_model.stats().escapes);
+    }
+
+    /// The batched fast path through `SymbolCoder::encode`/`decode` is
+    /// byte- and statistics-identical to the historical per-decision
+    /// reference sequence, for every depth, estimator configuration, and
+    /// symbol stream.
+    #[test]
+    fn symbol_coder_fast_path_matches_reference(
+        cfg in estimator_config(),
+        depth in 1u32..=8,
+        stream in proptest::collection::vec((0usize..4, any::<u8>()), 0..800),
+    ) {
+        let mask = ((1u32 << depth) - 1) as u8;
+        let mut fast_model = SymbolCoder::with_depth(4, depth, cfg);
+        let mut ref_model = SymbolCoder::with_depth(4, depth, cfg);
+        let mut fast_enc = BinaryEncoder::new(BitWriter::new());
+        let mut ref_enc = BinaryEncoder::new(BitWriter::new());
+        for &(ctx, sym) in &stream {
+            fast_model.encode(&mut fast_enc, ctx, sym & mask);
+            ref_model.encode_reference(&mut ref_enc, ctx, sym & mask);
+        }
+        prop_assert_eq!(fast_model.stats(), ref_model.stats());
+        let fast_bytes = fast_enc.finish().into_bytes();
+        let ref_bytes = ref_enc.finish().into_bytes();
+        prop_assert_eq!(&fast_bytes, &ref_bytes);
+
+        let mut fast_dec_model = SymbolCoder::with_depth(4, depth, cfg);
+        let mut fast_dec = BinaryDecoder::new(BitReader::new(&fast_bytes));
+        let mut ref_dec_model = SymbolCoder::with_depth(4, depth, cfg);
+        let mut ref_dec = BinaryDecoder::new(BitReader::new(&ref_bytes));
+        for &(ctx, sym) in &stream {
+            prop_assert_eq!(fast_dec_model.decode(&mut fast_dec, ctx), sym & mask);
+            prop_assert_eq!(ref_dec_model.decode_reference(&mut ref_dec, ctx), sym & mask);
+        }
+        prop_assert_eq!(fast_dec_model.stats(), fast_model.stats());
+        prop_assert_eq!(ref_dec_model.stats(), fast_model.stats());
+    }
+
+    /// The lane-striped batched entry point deals decisions to exactly the
+    /// same lanes as per-decision submission of the reference sequence, at
+    /// every lane count, across an aging-heavy (rescale + escape) stream —
+    /// and the lane decoder's model-screened path round-trips it.
+    #[test]
+    fn lane_fast_path_matches_reference(
+        lane_idx in 0usize..4,
+        stream in proptest::collection::vec((0usize..4, any::<u8>()), 0..900),
+    ) {
+        let lanes = [1usize, 2, 4, 8][lane_idx];
+        let cfg = EstimatorConfig { count_bits: 10, increment: 64, ..EstimatorConfig::default() };
+        let mut fast_model = SymbolCoder::new(4, cfg);
+        let mut ref_model = SymbolCoder::new(4, cfg);
+        let mut fast_enc = LaneEncoder::new(lanes);
+        let mut ref_enc = LaneEncoder::new(lanes);
+        for &(ctx, sym) in &stream {
+            fast_model.encode(&mut fast_enc, ctx, sym);
+            ref_model.encode_reference(&mut ref_enc, ctx, sym);
+        }
+        prop_assert_eq!(fast_model.stats(), ref_model.stats());
+        prop_assert_eq!(fast_enc.coded_decisions(), ref_enc.coded_decisions());
+        let fast_subs = fast_enc.finish_to_bytes();
+        prop_assert_eq!(&fast_subs, &ref_enc.finish_to_bytes());
+
+        let sources = fast_subs.iter().map(|s| BitReader::new(s)).collect();
+        let mut dec_model = SymbolCoder::new(4, cfg);
+        let mut dec = LaneDecoder::new(sources);
+        for &(ctx, sym) in &stream {
+            prop_assert_eq!(dec_model.decode(&mut dec, ctx), sym);
+        }
+        prop_assert_eq!(dec_model.stats(), fast_model.stats());
+    }
+
+    /// `BinaryEncoder::encode_batch`'s fused renormalisation is
+    /// byte-identical to the trait's default per-decision replay for
+    /// arbitrary batch contents and boundaries.
+    #[test]
+    fn batched_encoder_matches_default_replay(
+        seq in decisions(),
+        chunk in 1usize..12,
+    ) {
+        let mut fast = BinaryEncoder::new(BitWriter::new());
+        let mut slow = PerDecision(BinaryEncoder::new(BitWriter::new()));
+        let mut batch = DecisionBatch::new();
+        for part in seq.chunks(chunk) {
+            batch.clear();
+            for &(bit, c0, total) in part {
+                if if bit { c0 == 0 } else { c0 == total } {
+                    batch.skip_deterministic(1);
+                } else {
+                    batch.push_coded(bit, c0, total);
+                }
+            }
+            fast.encode_batch(&batch);
+            slow.encode_batch(&batch);
+        }
+        prop_assert_eq!(fast.decisions(), slow.0.decisions());
+        prop_assert_eq!(fast.coded_decisions(), slow.0.coded_decisions());
+        prop_assert_eq!(fast.finish().into_bytes(), slow.0.finish().into_bytes());
     }
 
     /// AdaptiveBit round-trips arbitrary bit streams with arbitrary caps.

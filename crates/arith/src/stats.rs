@@ -13,6 +13,12 @@ pub struct CoderStats {
     pub escapes: u64,
     /// Tree-wide counter halvings across all contexts.
     pub rescales: u64,
+    /// Binary decisions processed (the static `1 + depth` per symbol).
+    pub decisions: u64,
+    /// Decisions that were *coded* — non-deterministic, so they moved the
+    /// arithmetic coder's interval and cost code space. The remainder were
+    /// deterministic prefixes retired at the model layer for free.
+    pub coded_decisions: u64,
 }
 
 impl CoderStats {
@@ -22,6 +28,16 @@ impl CoderStats {
             0.0
         } else {
             self.escapes as f64 / self.symbols as f64
+        }
+    }
+
+    /// Fraction of decisions that were deterministic (skipped without
+    /// touching the coder), in `0.0..=1.0`.
+    pub fn deterministic_fraction(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            1.0 - self.coded_decisions as f64 / self.decisions as f64
         }
     }
 }
@@ -41,7 +57,15 @@ mod tests {
             symbols: 200,
             escapes: 50,
             rescales: 0,
+            decisions: 1800,
+            coded_decisions: 450,
         };
         assert!((s.escape_rate() - 0.25).abs() < 1e-12);
+        assert!((s.deterministic_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_fraction_handles_empty() {
+        assert_eq!(CoderStats::default().deterministic_fraction(), 0.0);
     }
 }

@@ -15,8 +15,35 @@
 //! ≈ 4 KBytes of SRAM, exactly the figure the paper reports. Storing
 //! (left, right) pairs would double that.
 
-use crate::bincoder::{DecisionDecoder, DecisionEncoder};
+use crate::bincoder::{DecisionBatch, DecisionDecoder, DecisionEncoder};
 use crate::coder::EstimatorConfig;
+use std::sync::OnceLock;
+
+/// Per-depth path-node-index ROMs: entry `s` of the depth-`d` ROM packs
+/// the heap indices of the `d` internal nodes on symbol `s`'s root-to-leaf
+/// path, one byte per level (level `k` in bits `8k..8k+8`).
+///
+/// The tree *shape* is static — only the counters adapt — so the node
+/// sequence of a descent is a pure function of `(depth, symbol)`. Encoding
+/// knows the symbol up front, so with the ROM one descent becomes one u64
+/// load plus `depth` independent counter loads instead of a serial
+/// `node = 2·node + bit` address chain. Node indices fit a byte because a
+/// level-`k` node index is below `2^(k+1) ≤ 2^depth ≤ 256`.
+fn path_rom(depth: u32) -> &'static [u64] {
+    static ROMS: [OnceLock<Vec<u64>>; 9] = [const { OnceLock::new() }; 9];
+    ROMS[depth as usize].get_or_init(|| {
+        (0..1u32 << depth)
+            .map(|s| {
+                let mut packed = 0u64;
+                for k in 0..depth {
+                    let node = (1u32 << k) | (s >> (depth - k));
+                    packed |= u64::from(node) << (8 * k);
+                }
+                packed
+            })
+            .collect()
+    })
+}
 
 /// Captured per-level decision probabilities of one symbol's root-to-leaf
 /// path: the `(c0, visits)` pair of every internal node the symbol
@@ -35,6 +62,11 @@ pub struct DecisionPath {
     c0: [u32; 8],
     visits: [u32; 8],
     len: u32,
+    /// Bit `k` set ⇔ level `k`'s decision is *coded* (`0 < c0 < visits`).
+    /// Decisions with a clear bit are deterministic — the coded side owns
+    /// the whole interval, zero bits are emitted, no coder state moves —
+    /// and the fast path retires them without ever calling the coder.
+    coded_mask: u32,
 }
 
 impl DecisionPath {
@@ -45,6 +77,7 @@ impl DecisionPath {
             c0: [0; 8],
             visits: [0; 8],
             len: 0,
+            coded_mask: 0,
         }
     }
 
@@ -58,6 +91,17 @@ impl DecisionPath {
         self.len == 0
     }
 
+    /// Bitmask of the levels whose decisions are non-deterministic, as
+    /// classified at capture time (bit `k` = level `k`, root first).
+    pub fn coded_mask(&self) -> u32 {
+        self.coded_mask
+    }
+
+    /// Number of captured decisions that will actually reach the coder.
+    pub fn coded_len(&self) -> u32 {
+        self.coded_mask.count_ones()
+    }
+
     /// Replays the captured decision sequence of `symbol` into the coder —
     /// bit-identical to [`TreeModel::encode_decisions`] with the counts
     /// that were current at capture time.
@@ -67,6 +111,24 @@ impl DecisionPath {
             let bit = (symbol >> (self.len - 1 - k)) & 1 == 1;
             let i = k as usize;
             enc.encode(bit, self.c0[i], self.visits[i]);
+        }
+    }
+
+    /// Appends the captured path to a [`DecisionBatch`]: coded levels are
+    /// pushed in stream order (root first), deterministic levels are only
+    /// counted. Equivalent to [`replay`](Self::replay) once the batch is
+    /// submitted, with the per-decision deterministic screening already
+    /// resolved here at the model layer.
+    #[inline]
+    pub fn push_onto(&self, batch: &mut DecisionBatch, symbol: u8) {
+        let mut mask = self.coded_mask;
+        batch.skip_deterministic(self.len - mask.count_ones());
+        while mask != 0 {
+            let k = mask.trailing_zeros();
+            let bit = (symbol >> (self.len - 1 - k)) & 1 == 1;
+            let i = k as usize;
+            batch.push_coded(bit, self.c0[i], self.visits[i]);
+            mask &= mask - 1;
         }
     }
 }
@@ -119,6 +181,9 @@ pub struct TreeModel {
     /// coded in one fused descent — while a set bit merely routes the
     /// symbol through the exact capture walk.
     maybe_zero: [u64; 4],
+    /// Shared per-depth path-node ROM (see [`path_rom`]): flattens the
+    /// encode-side descent into independent counter loads.
+    rom: &'static [u64],
 }
 
 impl TreeModel {
@@ -156,6 +221,7 @@ impl TreeModel {
             increment: u32::from(cfg.increment),
             rescales: 0,
             maybe_zero: [0; 4],
+            rom: path_rom(depth),
         };
         tree.reset();
         tree
@@ -285,11 +351,16 @@ impl TreeModel {
             return escaped;
         }
         let inc = self.increment as u16;
-        let mut node = 1usize;
+        // Flattened descent: the ROM supplies every node index up front,
+        // so the `left[]` loads are independent instead of chained through
+        // `node = 2·node + bit` address arithmetic.
+        let nodes = self.rom[usize::from(symbol)];
         let mut visits = self.total;
         let mut escaped = false;
+        let mut coded_mask = 0u32;
         for k in 0..self.depth {
             let bit = (symbol >> (self.depth - 1 - k)) & 1;
+            let node = ((nodes >> (8 * k)) & 0xFF) as usize;
             let c0 = u32::from(self.left[node]);
             let i = k as usize;
             path.c0[i] = c0;
@@ -299,15 +370,66 @@ impl TreeModel {
             // zero too, so the walk stays well-defined.
             let branch = if bit == 0 { c0 } else { visits - c0 };
             escaped |= branch == 0;
+            // Capture-time classification: the decision is deterministic
+            // when either side owns the whole visit count — the coder
+            // would emit zero bits — so only `0 < c0 < visits` levels are
+            // marked for coding.
+            coded_mask |= u32::from((c0 != 0) & (c0 != visits)) << k;
             // Branchless conditional bump: the symbol bits are close to
             // random, so a `if bit == 0` store would mispredict every
             // other level of the descent.
             self.left[node] += inc & u16::from(bit).wrapping_sub(1);
             visits = branch;
-            node = node * 2 + usize::from(bit);
         }
+        path.coded_mask = coded_mask;
         self.total += self.increment;
         escaped
+    }
+
+    /// The encode hot path for symbols whose [`Self::maybe_escapes`] bit
+    /// is clear: one flattened descent that classifies each level and
+    /// stages the coded decisions *directly* into the batch — no
+    /// intermediate [`DecisionPath`], no repack pass. Bit-identical to
+    /// [`Self::capture_and_update`] + [`DecisionPath::push_onto`] (the
+    /// rescale-imminent case falls back to exactly that pair, so the
+    /// coded probabilities never see a half-aged tree).
+    ///
+    /// The caller must have screened the symbol with
+    /// [`Self::maybe_escapes`]: a zero branch on the path would stage a
+    /// zero-probability decision and corrupt the stream (debug builds
+    /// catch it in the coder).
+    #[inline]
+    pub(crate) fn capture_update_into(&mut self, symbol: u8, batch: &mut DecisionBatch) {
+        if self.total + self.increment > self.max_total {
+            let mut path = DecisionPath::empty();
+            path.len = self.depth;
+            let escaped = self.capture(symbol, &mut path);
+            debug_assert!(!escaped, "caller must screen with maybe_escapes");
+            self.update(symbol);
+            path.push_onto(batch, symbol);
+            return;
+        }
+        let inc = self.increment as u16;
+        let nodes = self.rom[usize::from(symbol)];
+        let mut visits = self.total;
+        let start = batch.coded_len();
+        for k in 0..self.depth {
+            let bit = (symbol >> (self.depth - 1 - k)) & 1;
+            let node = ((nodes >> (8 * k)) & 0xFF) as usize;
+            let c0 = u32::from(self.left[node]);
+            // Capture-time classification, staged without a branch: only
+            // `0 < c0 < visits` levels advance the batch cursor.
+            let coded = (c0 != 0) & (c0 != visits);
+            batch.stage(
+                (u64::from(bit) << 34) | (u64::from(c0) << 17) | u64::from(visits),
+                coded,
+            );
+            // Branchless conditional bump (see `capture_and_update`).
+            self.left[node] += inc & u16::from(bit).wrapping_sub(1);
+            visits = if bit == 0 { c0 } else { visits - c0 };
+        }
+        batch.skip_deterministic(self.depth - (batch.coded_len() - start) as u32);
+        self.total += self.increment;
     }
 
     /// Read-only capture of `symbol`'s path (the rescale-imminent slow
@@ -316,6 +438,7 @@ impl TreeModel {
         let mut node = 1usize;
         let mut visits = self.total;
         let mut escaped = false;
+        let mut coded_mask = 0u32;
         for k in 0..self.depth {
             let bit = (symbol >> (self.depth - 1 - k)) & 1;
             let c0 = u32::from(self.left[node]);
@@ -324,9 +447,11 @@ impl TreeModel {
             path.visits[i] = visits;
             let branch = if bit == 0 { c0 } else { visits - c0 };
             escaped |= branch == 0;
+            coded_mask |= u32::from((c0 != 0) & (c0 != visits)) << k;
             visits = branch;
             node = node * 2 + usize::from(bit);
         }
+        path.coded_mask = coded_mask;
         escaped
     }
 
@@ -336,6 +461,12 @@ impl TreeModel {
     /// encoder's pre-update capture exactly). Falls back to decode-then-
     /// update when a rescale is due, mirroring
     /// [`Self::capture_and_update`].
+    ///
+    /// Deterministic levels (`c0 == 0` or `c0 == visits`) are resolved
+    /// here at the model layer — the encoder emitted zero bits for them,
+    /// so the decoder never consults the bitstream; only the coder's
+    /// decision counters are advanced (in one batched
+    /// [`note_deterministic`](DecisionDecoder::note_deterministic) call).
     #[inline]
     pub fn decode_and_update<D: DecisionDecoder>(&mut self, dec: &mut D) -> u8 {
         if self.total + self.increment > self.max_total {
@@ -347,15 +478,27 @@ impl TreeModel {
         let mut node = 1usize;
         let mut visits = self.total;
         let mut symbol = 0u8;
+        let mut deterministic = 0u64;
         for _ in 0..self.depth {
             let c0 = u32::from(self.left[node]);
-            let bit = dec.decode(c0, visits);
+            // Deterministic-prefix skipping, decode side: a one-sided
+            // count pins the bit without touching the coder.
+            let bit = if c0 == 0 {
+                deterministic += 1;
+                true
+            } else if c0 == visits {
+                deterministic += 1;
+                false
+            } else {
+                dec.decode_nondeterministic(c0, visits)
+            };
             visits = if bit { visits - c0 } else { c0 };
             // Branchless conditional bump (see `capture_and_update`).
             self.left[node] += inc & u16::from(bit).wrapping_sub(1);
             symbol = (symbol << 1) | u8::from(bit);
             node = node * 2 + usize::from(bit);
         }
+        dec.note_deterministic(deterministic);
         self.total += self.increment;
         symbol
     }
@@ -756,6 +899,44 @@ mod tests {
             }
         }
         assert_eq!(dec_tree, enc_tree, "decoder state diverged");
+    }
+
+    /// The capture-time classification must agree with the coder's own
+    /// deterministic screening: pushing only the coded levels of a path
+    /// into a batch yields the same bytes as replaying every level through
+    /// the per-decision entry point, across rescale-heavy adaptation.
+    #[test]
+    fn classified_batches_match_per_decision_replay() {
+        let cfg = EstimatorConfig {
+            count_bits: 10,
+            increment: 32,
+            ..EstimatorConfig::default()
+        };
+        let mut tree = TreeModel::new(8, cfg);
+        let mut batch_enc = BinaryEncoder::new(BitWriter::new());
+        let mut replay_enc = BinaryEncoder::new(BitWriter::new());
+        let mut path = DecisionPath::empty();
+        let mut batch = crate::DecisionBatch::new();
+        let mut deterministic_seen = false;
+        for i in 0..6000u32 {
+            let s = (i.wrapping_mul(2654435761) >> 16) as u8;
+            if tree.capture_and_update(s, &mut path) {
+                continue;
+            }
+            deterministic_seen |= path.coded_len() < path.len() as u32;
+            batch.clear();
+            path.push_onto(&mut batch, s);
+            batch_enc.encode_batch(&batch);
+            path.replay(&mut replay_enc, s);
+        }
+        assert!(deterministic_seen, "stream never hit a deterministic level");
+        assert!(tree.rescales() > 0, "test must cross rescales");
+        assert_eq!(batch_enc.decisions(), replay_enc.decisions());
+        assert_eq!(
+            batch_enc.finish().into_bytes(),
+            replay_enc.finish().into_bytes(),
+            "classification or batching changed the stream"
+        );
     }
 
     #[test]

@@ -38,6 +38,18 @@ pub struct ThroughputRecord {
     pub decode_mps: f64,
     /// Compressed container size in bits per pixel.
     pub bpp: f64,
+    /// Total model decisions per pixel (escape + tree levels; the static
+    /// ceiling is 9 for 8-bit sources). Proposed-codec cells only.
+    pub decisions_per_px: Option<f64>,
+    /// Fraction of decisions that were deterministic (zero-count branches
+    /// retired without touching the coder). Proposed-codec cells only.
+    pub deterministic_fraction: Option<f64>,
+    /// Wall time of the *model* stage (prediction, contexts, tree descents
+    /// into a null encoder) in nanoseconds per pixel. Proposed cells only.
+    pub model_ns_px: Option<f64>,
+    /// Encode time minus the model stage — the arithmetic coder's share —
+    /// in nanoseconds per pixel (clamped at zero). Proposed cells only.
+    pub coder_ns_px: Option<f64>,
 }
 
 /// Times `f` until at least `min_secs` of wall clock or `max_iters`
@@ -87,6 +99,19 @@ pub fn measure_throughput_lanes(
     for class in CLASSES {
         let img: Image = class.generate(size, size);
         let pixels = img.pixel_count() as f64;
+        // One model-only pass per class: the decision statistics and the
+        // model stage's share of encode time for the proposed-codec rows.
+        // Decisions depend only on the pixels and the model, never on the
+        // lane count, so a single pass covers the whole lane sweep.
+        let model_cfg = cbic_core::CodecConfig::default();
+        let model_stats = cbic_core::encode_model_only(img.view(), &model_cfg);
+        let model_secs = time_per_iter(
+            || {
+                std::hint::black_box(cbic_core::encode_model_only(img.view(), &model_cfg));
+            },
+            min_secs,
+            max_iters,
+        );
         for codec in cbic_universal::codecs::all_codecs() {
             let settings: &[usize] = if codec.name() == "proposed" {
                 lane_settings
@@ -121,6 +146,7 @@ pub fn measure_throughput_lanes(
                     min_secs,
                     max_iters,
                 );
+                let proposed = codec.name() == "proposed";
                 out.push(ThroughputRecord {
                     codec: codec.name().to_string(),
                     class: class.name().to_string(),
@@ -129,6 +155,10 @@ pub fn measure_throughput_lanes(
                     encode_mps: pixels / enc_secs / 1e6,
                     decode_mps: pixels / dec_secs / 1e6,
                     bpp,
+                    decisions_per_px: proposed.then(|| model_stats.decisions_per_pixel()),
+                    deterministic_fraction: proposed.then(|| model_stats.deterministic_fraction()),
+                    model_ns_px: proposed.then(|| model_secs * 1e9 / pixels),
+                    coder_ns_px: proposed.then(|| (enc_secs - model_secs).max(0.0) * 1e9 / pixels),
                 });
             }
         }
@@ -187,6 +217,11 @@ pub fn measure_grid_threads(
             encode_mps: pixels / enc_secs / 1e6,
             decode_mps: pixels / dec_secs / 1e6,
             bpp,
+            // Grid cells time the scheduler, not the coder stages.
+            decisions_per_px: None,
+            deterministic_fraction: None,
+            model_ns_px: None,
+            coder_ns_px: None,
         });
     }
     out
@@ -210,9 +245,9 @@ pub fn records_to_json(records: &[ThroughputRecord]) -> String {
     let cells: Vec<String> = records
         .iter()
         .map(|r| {
-            format!(
+            let mut cell = format!(
                 "    {{\"codec\": \"{}\", \"class\": \"{}\", \"lanes\": {}, \"threads\": {}, \
-                 \"encode_mps\": {:.3}, \"decode_mps\": {:.3}, \"bpp\": {:.4}}}",
+                 \"encode_mps\": {:.3}, \"decode_mps\": {:.3}, \"bpp\": {:.4}",
                 json_escape(&r.codec),
                 json_escape(&r.class),
                 r.lanes,
@@ -220,7 +255,21 @@ pub fn records_to_json(records: &[ThroughputRecord]) -> String {
                 r.encode_mps,
                 r.decode_mps,
                 r.bpp
-            )
+            );
+            // Stage fields (schema 2) appear only on the cells that carry
+            // them, so pre-fast-path reports stay parseable as baselines.
+            for (key, value) in [
+                ("decisions_per_px", r.decisions_per_px),
+                ("deterministic_fraction", r.deterministic_fraction),
+                ("model_ns_px", r.model_ns_px),
+                ("coder_ns_px", r.coder_ns_px),
+            ] {
+                if let Some(v) = value {
+                    cell.push_str(&format!(", \"{key}\": {v:.4}"));
+                }
+            }
+            cell.push('}');
+            cell
         })
         .collect();
     format!("[\n{}\n  ]", cells.join(",\n"))
@@ -245,7 +294,7 @@ pub fn render_report(
         None => "null".to_string(),
     };
     format!(
-        "{{\n  \"schema\": 1,\n  \"size\": {size},\n  \"label\": \"{}\",\n  \
+        "{{\n  \"schema\": 2,\n  \"size\": {size},\n  \"label\": \"{}\",\n  \
          \"results\": {},\n  \"baseline\": {}\n}}\n",
         json_escape(label),
         records_to_json(records),
@@ -282,8 +331,11 @@ pub fn extract_results(report: &str) -> Option<&str> {
 /// by [`records_to_json`] (or a whole report — the first array wins).
 /// Objects missing a `lanes` key (pre-lane reports) default to one lane,
 /// and likewise a missing `threads` key (pre-grid reports) defaults to
-/// one thread; objects missing any other key are skipped. The parser only understands
-/// the flat one-object-per-cell shape this module itself emits.
+/// one thread; the schema-2 stage fields (`decisions_per_px`,
+/// `deterministic_fraction`, `model_ns_px`, `coder_ns_px`) parse as `None`
+/// when absent; objects missing any other key are skipped. The parser only
+/// understands the flat one-object-per-cell shape this module itself
+/// emits.
 pub fn parse_records(json: &str) -> Vec<ThroughputRecord> {
     let array = extract_results(json).unwrap_or(json);
     let field = |obj: &str, key: &str| -> Option<String> {
@@ -310,6 +362,11 @@ pub fn parse_records(json: &str) -> Vec<ThroughputRecord> {
                 encode_mps: field(obj, "encode_mps")?.parse().ok()?,
                 decode_mps: field(obj, "decode_mps")?.parse().ok()?,
                 bpp: field(obj, "bpp")?.parse().ok()?,
+                decisions_per_px: field(obj, "decisions_per_px").and_then(|v| v.parse().ok()),
+                deterministic_fraction: field(obj, "deterministic_fraction")
+                    .and_then(|v| v.parse().ok()),
+                model_ns_px: field(obj, "model_ns_px").and_then(|v| v.parse().ok()),
+                coder_ns_px: field(obj, "coder_ns_px").and_then(|v| v.parse().ok()),
             })
         })();
         if let Some(r) = parsed {
@@ -322,7 +379,11 @@ pub fn parse_records(json: &str) -> Vec<ThroughputRecord> {
 /// Compares the `proposed`-codec rows of `current` against `baseline`,
 /// returning one message per cell whose encode or decode throughput fell
 /// below `1 - tolerance` of the baseline value (cells only present on one
-/// side are ignored — a lane sweep may widen between runs). An empty
+/// side are ignored — a lane sweep may widen between runs). When both
+/// sides carry the schema-2 stage fields, those are gated too: more
+/// decisions per pixel or a smaller deterministic fraction beyond the same
+/// tolerance are regressions; the model/coder stage times gate at twice
+/// the tolerance because they are noisier sub-measurements. An empty
 /// result means no regression beyond the tolerance.
 pub fn throughput_regressions(
     current: &[ThroughputRecord],
@@ -367,20 +428,90 @@ pub fn throughput_regressions(
                 base.decode_mps
             ));
         }
+        let cell = format!(
+            "{}/{} lanes={} threads={}",
+            cur.codec, cur.class, cur.lanes, cur.threads
+        );
+        // Lower-is-better stage fields: ceiling at 1 + tolerance.
+        // `decisions_per_px` is an exact count and gets the base tolerance;
+        // the stage times are wall-clock sub-measurements (and coder ns is
+        // the *difference* of two timed passes, which amplifies relative
+        // noise), so they gate at twice the tolerance.
+        for (name, cur_v, base_v, tol) in [
+            (
+                "decisions_per_px",
+                cur.decisions_per_px,
+                base.decisions_per_px,
+                tolerance,
+            ),
+            (
+                "model_ns_px",
+                cur.model_ns_px,
+                base.model_ns_px,
+                2.0 * tolerance,
+            ),
+            (
+                "coder_ns_px",
+                cur.coder_ns_px,
+                base.coder_ns_px,
+                2.0 * tolerance,
+            ),
+        ] {
+            if let (Some(c), Some(b)) = (cur_v, base_v) {
+                if c > b * (1.0 + tol) {
+                    out.push(format!(
+                        "{cell}: {name} {c:.4} > {:.4} (baseline {b:.4})",
+                        b * (1.0 + tol)
+                    ));
+                }
+            }
+        }
+        // Higher-is-better: losing deterministic coverage means the fast
+        // path is retiring fewer decisions for free.
+        if let (Some(c), Some(b)) = (cur.deterministic_fraction, base.deterministic_fraction) {
+            if c < b * (1.0 - tolerance) {
+                out.push(format!(
+                    "{cell}: deterministic_fraction {c:.4} < {:.4} (baseline {b:.4})",
+                    b * (1.0 - tolerance)
+                ));
+            }
+        }
     }
     out
 }
 
-/// Prints the human-readable table (the non-`--json` mode).
+/// Prints the human-readable table (the non-`--json` mode). Stage columns
+/// (deterministic fraction, model/coder ns per pixel) print only on the
+/// cells that carry them.
 pub fn print_report(records: &[ThroughputRecord]) {
     println!(
-        "{:<10} {:<20} {:>5} {:>7} {:>12} {:>12} {:>8}",
-        "codec", "class", "lanes", "threads", "enc MP/s", "dec MP/s", "bpp"
+        "{:<10} {:<20} {:>5} {:>7} {:>12} {:>12} {:>8} {:>7} {:>9} {:>9}",
+        "codec",
+        "class",
+        "lanes",
+        "threads",
+        "enc MP/s",
+        "dec MP/s",
+        "bpp",
+        "det",
+        "model ns",
+        "coder ns"
     );
+    let opt =
+        |v: Option<f64>, prec: usize| v.map_or_else(|| "-".to_string(), |v| format!("{v:.prec$}"));
     for r in records {
         println!(
-            "{:<10} {:<20} {:>5} {:>7} {:>12.3} {:>12.3} {:>8.4}",
-            r.codec, r.class, r.lanes, r.threads, r.encode_mps, r.decode_mps, r.bpp
+            "{:<10} {:<20} {:>5} {:>7} {:>12.3} {:>12.3} {:>8.4} {:>7} {:>9} {:>9}",
+            r.codec,
+            r.class,
+            r.lanes,
+            r.threads,
+            r.encode_mps,
+            r.decode_mps,
+            r.bpp,
+            opt(r.deterministic_fraction, 3),
+            opt(r.model_ns_px, 1),
+            opt(r.coder_ns_px, 1),
         );
     }
 }
@@ -398,6 +529,20 @@ mod tests {
             encode_mps: mps,
             decode_mps: mps / 2.0,
             bpp: 4.5,
+            decisions_per_px: None,
+            deterministic_fraction: None,
+            model_ns_px: None,
+            coder_ns_px: None,
+        }
+    }
+
+    fn staged(mps: f64, dpx: f64, det: f64, model: f64, coder: f64) -> ThroughputRecord {
+        ThroughputRecord {
+            decisions_per_px: Some(dpx),
+            deterministic_fraction: Some(det),
+            model_ns_px: Some(model),
+            coder_ns_px: Some(coder),
+            ..record("proposed", mps)
         }
     }
 
@@ -405,7 +550,7 @@ mod tests {
     fn report_is_wellformed_and_embeds_baseline() {
         let records = vec![record("proposed", 3.25), record("calic", 1.5)];
         let first = render_report(64, "seed", &records, None);
-        assert!(first.contains("\"schema\": 1"));
+        assert!(first.contains("\"schema\": 2"));
         assert!(first.contains("\"baseline\": null"));
         let baseline = extract_results(&first).expect("results array present");
         assert!(baseline.starts_with('[') && baseline.ends_with(']'));
@@ -437,6 +582,18 @@ mod tests {
                 "{r:?}"
             );
             assert_eq!(r.lanes, 1);
+            // Stage statistics ride only on the proposed-codec cells.
+            if r.codec == "proposed" {
+                let dpx = r.decisions_per_px.expect("proposed carries decisions");
+                assert!((8.0..=10.0).contains(&dpx), "{dpx} decisions/px");
+                let det = r.deterministic_fraction.expect("proposed carries det");
+                assert!((0.0..1.0).contains(&det), "{det}");
+                assert!(r.model_ns_px.unwrap() > 0.0);
+                assert!(r.coder_ns_px.unwrap() >= 0.0);
+            } else {
+                assert_eq!(r.decisions_per_px, None, "{r:?}");
+                assert_eq!(r.coder_ns_px, None, "{r:?}");
+            }
         }
     }
 
@@ -467,6 +624,20 @@ mod tests {
         let report = render_report(64, "x", &records, None);
         let parsed = parse_records(&report);
         assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn stage_fields_roundtrip_through_json() {
+        // Values chosen exactly representable at the 4-decimal precision
+        // the serializer emits, so PartialEq holds after the roundtrip.
+        let records = vec![staged(10.0, 9.0, 0.125, 80.5, 210.25), record("slp", 20.0)];
+        let json = records_to_json(&records);
+        assert!(
+            json.contains("\"deterministic_fraction\": 0.1250"),
+            "{json}"
+        );
+        assert!(!json.split(",\n").nth(1).unwrap().contains("model_ns_px"));
+        assert_eq!(parse_records(&json), records);
     }
 
     #[test]
@@ -524,6 +695,28 @@ mod tests {
         // A threads=1 cell does not match the threads=2 baseline.
         let other = vec![record("proposed", 5.0)];
         assert!(throughput_regressions(&other, &base, 0.25).is_empty());
+    }
+
+    #[test]
+    fn stage_gates_flag_decision_and_timing_regressions() {
+        let base = vec![staged(10.0, 9.0, 0.20, 80.0, 200.0)];
+        // All stage stats within tolerance: clean. Stage times get twice
+        // the tolerance (they are noisier sub-measurements), so 1.4x the
+        // baseline model time still passes at 0.25.
+        let ok = vec![staged(9.5, 9.0, 0.18, 112.0, 280.0)];
+        assert!(throughput_regressions(&ok, &base, 0.25).is_empty());
+        // More decisions, slower stages, collapsed deterministic share:
+        // each gate fires once.
+        let bad = vec![staged(9.5, 12.0, 0.05, 130.0, 310.0)];
+        let msgs = throughput_regressions(&bad, &base, 0.25);
+        assert_eq!(msgs.len(), 4, "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("decisions_per_px")));
+        assert!(msgs.iter().any(|m| m.contains("deterministic_fraction")));
+        assert!(msgs.iter().any(|m| m.contains("model_ns_px")));
+        assert!(msgs.iter().any(|m| m.contains("coder_ns_px")));
+        // A pre-schema-2 baseline (no stage fields) gates throughput only.
+        let legacy = vec![record("proposed", 10.0)];
+        assert!(throughput_regressions(&bad, &legacy, 0.25).is_empty());
     }
 
     #[test]

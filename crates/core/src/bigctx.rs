@@ -501,6 +501,7 @@ pub fn encode_measure(img: ImageView<'_>, cfg: &CodecConfig, wide: WideConfig) -
     state.encode_view(img, &mut enc);
     let (width, height) = img.dimensions();
     let decisions = enc.decisions();
+    let coded_decisions = enc.coded_decisions();
     let payload_bits = enc.bits_written();
     let coder_stats = state.coder_stats();
     let writer = enc.finish();
@@ -511,6 +512,7 @@ pub fn encode_measure(img: ImageView<'_>, cfg: &CodecConfig, wide: WideConfig) -
         estimator_rescales: coder_stats.rescales,
         context_halvings: state.halvings(),
         decisions,
+        coded_decisions,
     }
 }
 

@@ -68,7 +68,9 @@ pub mod tiles;
 
 pub use bigctx::WideConfig;
 pub use cbic_arith::MAX_LANES;
-pub use codec::{decode_raw, encode_raw, CodecConfig, DivisionKind, EncodeStats, ModelMode};
+pub use codec::{
+    decode_raw, encode_model_only, encode_raw, CodecConfig, DivisionKind, EncodeStats, ModelMode,
+};
 pub use container::{compress, compress_with_lanes, decompress, CodecError, Proposed};
 pub use engine::{DecoderState, EncoderState, PixelEngine};
 pub use grid::{

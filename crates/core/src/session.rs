@@ -164,6 +164,7 @@ impl EncoderSession {
             let mut enc = LaneEncoder::new(self.lanes);
             self.state.encode_view(img, &mut enc);
             let decisions = enc.decisions();
+            let coded_decisions = enc.coded_decisions();
             // Flush tails count, matching the single-coder path below
             // (which reads `bits_written` after the coder's `finish`).
             let (subs, payload_bits) = enc.finish_with_bits();
@@ -182,12 +183,14 @@ impl EncoderSession {
                 estimator_rescales: coder_stats.rescales,
                 context_halvings: self.state.halvings(),
                 decisions,
+                coded_decisions,
             });
         }
 
         let mut enc = BinaryEncoder::new(StreamBitWriter::new(sink));
         self.state.encode_view(img, &mut enc);
         let decisions = enc.decisions();
+        let coded_decisions = enc.coded_decisions();
         let mut writer = enc.finish();
         writer.take_error().map_err(CbicError::from)?;
         let payload_bits = writer.bits_written();
@@ -201,6 +204,7 @@ impl EncoderSession {
             estimator_rescales: coder_stats.rescales,
             context_halvings: self.state.halvings(),
             decisions,
+            coded_decisions,
         })
     }
 }

@@ -187,6 +187,58 @@ fn percentile(sorted_us: &[u64], p: f64) -> u64 {
     sorted_us[idx]
 }
 
+/// One latency histogram scraped off the server's METRICS page.
+struct ScrapedHistogram {
+    mean_us: f64,
+    count: u64,
+    /// Cumulative per-bucket counts in edge order, `+Inf` last.
+    cumulative: Vec<u64>,
+}
+
+/// Pulls one Prometheus histogram out of the METRICS text: the mean (from
+/// `_sum`/`_count`), the count, and the cumulative per-bucket counts in
+/// edge order (`+Inf` last).
+fn scrape_histogram(text: &str, name: &str) -> Option<ScrapedHistogram> {
+    let bucket_prefix = format!("{name}_bucket{{le=\"");
+    let mut buckets = Vec::new();
+    for line in text.lines() {
+        if line.starts_with(&bucket_prefix) {
+            buckets.push(line.rsplit_once(' ')?.1.trim().parse().ok()?);
+        }
+    }
+    let field = |suffix: &str| -> Option<u64> {
+        let prefix = format!("{name}_{suffix} ");
+        text.lines()
+            .find_map(|l| l.strip_prefix(&prefix))
+            .and_then(|v| v.trim().parse().ok())
+    };
+    let (sum, count) = (field("sum")?, field("count")?);
+    let mean_us = if count == 0 {
+        0.0
+    } else {
+        sum as f64 / count as f64
+    };
+    (!buckets.is_empty()).then_some(ScrapedHistogram {
+        mean_us,
+        count,
+        cumulative: buckets,
+    })
+}
+
+/// Fetches the server's own per-op latency histograms (measured inside
+/// the worker, transport excluded) for embedding alongside the
+/// client-side round-trip numbers.
+fn fetch_server_latency(addr: &str) -> Option<(ScrapedHistogram, ScrapedHistogram)> {
+    let mut client = Client::connect(addr, Duration::from_secs(10)).ok()?;
+    let Reply::Metrics(text) = client.metrics().ok()? else {
+        return None;
+    };
+    Some((
+        scrape_histogram(&text, "cbic_encode_latency_us")?,
+        scrape_histogram(&text, "cbic_decode_latency_us")?,
+    ))
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(opts) => opts,
@@ -280,6 +332,34 @@ fn main() -> ExitCode {
         percentile(&sorted, 0.99),
     );
 
+    // The server's own view of the codec work, without the transport:
+    // scraped from the METRICS page after the run. `null` if the scrape
+    // fails (older server, connection refused) — the client-side numbers
+    // above are always present.
+    let server_latency = fetch_server_latency(&opts.addr);
+    let edges: Vec<String> = cbic_server::metrics::LATENCY_BUCKETS_US
+        .iter()
+        .map(u64::to_string)
+        .chain(std::iter::once("\"+Inf\"".to_string()))
+        .collect();
+    let join = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+    let server_latency_json = match &server_latency {
+        Some((enc, dec)) => format!(
+            "{{\n    \"buckets_le_us\": [{}],\n    \"encode\": {{ \"mean_us\": {:.1}, \"count\": {}, \"cumulative\": [{}] }},\n    \"decode\": {{ \"mean_us\": {:.1}, \"count\": {}, \"cumulative\": [{}] }}\n  }}",
+            edges.join(", "),
+            enc.mean_us,
+            enc.count,
+            join(&enc.cumulative),
+            dec.mean_us,
+            dec.count,
+            join(&dec.cumulative),
+        ),
+        None => "null".to_string(),
+    };
+    if server_latency.is_none() {
+        eprintln!("cbic-loadgen: server latency histograms unavailable (metrics scrape failed)");
+    }
+
     // Hand-rolled JSON, matching the workspace's other BENCH_* reports.
     let codec_names: Vec<String> = work
         .codecs
@@ -287,7 +367,7 @@ fn main() -> ExitCode {
         .map(|(name, _)| format!("\"{name}\""))
         .collect();
     let json = format!(
-        "{{\n  \"schema\": 1,\n  \"harness\": \"cbic-loadgen\",\n  \"connections\": {},\n  \"requests_per_connection\": {},\n  \"image_size\": {},\n  \"lanes\": {},\n  \"codecs\": [{}],\n  \"elapsed_s\": {:.3},\n  \"requests\": {},\n  \"requests_per_s\": {:.1},\n  \"mismatches\": {},\n  \"errors\": {},\n  \"busy_retries\": {},\n  \"mean_bpp\": {:.3},\n  \"latency_us\": {{ \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {} }}\n}}\n",
+        "{{\n  \"schema\": 2,\n  \"harness\": \"cbic-loadgen\",\n  \"connections\": {},\n  \"requests_per_connection\": {},\n  \"image_size\": {},\n  \"lanes\": {},\n  \"codecs\": [{}],\n  \"elapsed_s\": {:.3},\n  \"requests\": {},\n  \"requests_per_s\": {:.1},\n  \"mismatches\": {},\n  \"errors\": {},\n  \"busy_retries\": {},\n  \"mean_bpp\": {:.3},\n  \"latency_us\": {{ \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {} }},\n  \"server_latency_us\": {}\n}}\n",
         opts.connections,
         opts.requests,
         opts.size,
@@ -305,6 +385,7 @@ fn main() -> ExitCode {
         percentile(&sorted, 0.90),
         percentile(&sorted, 0.99),
         sorted.last().copied().unwrap_or(0),
+        server_latency_json,
     );
     match std::fs::File::create(&opts.out).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => eprintln!("cbic-loadgen: wrote {}", opts.out),

@@ -12,6 +12,64 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 /// The final implicit bucket is `+Inf`.
 pub const BPP_BUCKETS: [f64; 6] = [1.0, 2.0, 4.0, 6.0, 8.0, 12.0];
 
+/// Upper edges of the per-operation latency histograms, in microseconds
+/// (doubling from 250 µs to 32 ms — a 64×64 encode lands near the bottom,
+/// a 4K frame near the top). The final implicit bucket is `+Inf`.
+pub const LATENCY_BUCKETS_US: [u64; 8] = [250, 500, 1000, 2000, 4000, 8000, 16000, 32000];
+
+/// One latency histogram: per-bucket counts plus the running sum and
+/// count, all `Relaxed` atomics (same discipline as the rest of the
+/// registry — tallies, not synchronization).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    /// Count per [`LATENCY_BUCKETS_US`] bucket, plus the trailing `+Inf`.
+    pub buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    /// Sum of all observed latencies, in microseconds.
+    pub sum_us: AtomicU64,
+    /// Number of observations.
+    pub count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation.
+    pub fn observe_us(&self, us: u64) {
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&edge| us <= edge)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.buckets[idx].fetch_add(1, Relaxed);
+        self.sum_us.fetch_add(us, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+    }
+
+    /// Mean observed latency in microseconds (zero before the first
+    /// observation).
+    pub fn mean_us(&self) -> f64 {
+        let count = self.count.load(Relaxed);
+        if count == 0 {
+            return 0.0;
+        }
+        self.sum_us.load(Relaxed) as f64 / count as f64
+    }
+
+    /// Renders the histogram in Prometheus text format under `name`
+    /// (seconds-free: bucket edges and sum stay in microseconds, and the
+    /// unit is in the name as the convention requires).
+    fn render_into(&self, out: &mut String, name: &str, help: &str) {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Relaxed);
+            let le = LATENCY_BUCKETS_US
+                .get(i)
+                .map_or("+Inf".to_string(), u64::to_string);
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{name}_sum {}\n", self.sum_us.load(Relaxed)));
+        out.push_str(&format!("{name}_count {}\n", self.count.load(Relaxed)));
+    }
+}
+
 /// The service's counter registry. One instance is shared (via `Arc`) by
 /// the accept loop, every worker, and the reporter thread.
 #[derive(Debug, Default)]
@@ -55,6 +113,11 @@ pub struct Metrics {
     /// Encode bit-rate histogram: count per [`BPP_BUCKETS`] bucket, plus
     /// the trailing `+Inf` bucket.
     pub bpp_histogram: [AtomicU64; BPP_BUCKETS.len() + 1],
+    /// Wall-clock latency of served ENCODE requests (codec work only, not
+    /// transport).
+    pub encode_latency: LatencyHistogram,
+    /// Wall-clock latency of served DECODE requests.
+    pub decode_latency: LatencyHistogram,
 }
 
 impl Metrics {
@@ -189,13 +252,23 @@ impl Metrics {
             ));
         }
         out.push_str(&format!("cbic_encode_bpp_count {cumulative}\n"));
+        self.encode_latency.render_into(
+            &mut out,
+            "cbic_encode_latency_us",
+            "ENCODE service time distribution (microseconds)",
+        );
+        self.decode_latency.render_into(
+            &mut out,
+            "cbic_decode_latency_us",
+            "DECODE service time distribution (microseconds)",
+        );
         out
     }
 
     /// One-line operator summary for the periodic stderr report.
     pub fn summary_line(&self) -> String {
         format!(
-            "cbic-serve: {} reqs ({} enc, {} dec, {} probe) | {} busy, {} bad, {} codec-err, {} io-err | {} B in, {} B out | queue {}",
+            "cbic-serve: {} reqs ({} enc, {} dec, {} probe) | {} busy, {} bad, {} codec-err, {} io-err | {} B in, {} B out | queue {} | mean {:.0}/{:.0} us enc/dec",
             self.requests_total(),
             self.encode_ok.load(Relaxed),
             self.decode_ok.load(Relaxed),
@@ -207,6 +280,8 @@ impl Metrics {
             self.bytes_in.load(Relaxed),
             self.bytes_out.load(Relaxed),
             self.queue_depth.load(Relaxed),
+            self.encode_latency.mean_us(),
+            self.decode_latency.mean_us(),
         )
     }
 }
@@ -235,6 +310,37 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("cbic_encode_bpp_count 3"), "{text}");
+    }
+
+    #[test]
+    fn latency_histogram_renders_cumulative_buckets_and_sum() {
+        let m = Metrics::new();
+        m.encode_latency.observe_us(100);
+        m.encode_latency.observe_us(900);
+        m.encode_latency.observe_us(1_000_000);
+        m.decode_latency.observe_us(300);
+        let text = m.render();
+        assert!(
+            text.contains("cbic_encode_latency_us_bucket{le=\"250\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cbic_encode_latency_us_bucket{le=\"1000\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cbic_encode_latency_us_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("cbic_encode_latency_us_sum 1001000"),
+            "{text}"
+        );
+        assert!(text.contains("cbic_encode_latency_us_count 3"), "{text}");
+        assert!(text.contains("cbic_decode_latency_us_count 1"), "{text}");
+        assert!((m.encode_latency.mean_us() - 1_001_000.0 / 3.0).abs() < 1e-9);
+        assert_eq!(m.decode_latency.mean_us(), 300.0);
+        assert!(m.summary_line().contains("us enc/dec"));
     }
 
     #[test]

@@ -386,8 +386,30 @@ fn handle_request(body: &[u8], state: &mut WorkerState, metrics: &Metrics) -> Ve
         return error_body(Status::BadRequest, &format!("unknown op {op_byte}"));
     };
     match op {
-        Op::Encode => handle_encode(&body[1..], state, metrics),
-        Op::Decode => handle_decode(&body[1..], state, metrics),
+        // Codec operations are timed wall-clock around the handler (parse
+        // through reply assembly — the part a client can't measure from
+        // outside without the transport in the number); only served
+        // requests land in the histogram, so rejects don't skew the tail.
+        Op::Encode => {
+            let start = std::time::Instant::now();
+            let reply = handle_encode(&body[1..], state, metrics);
+            if reply.first() == Some(&(Status::Ok as u8)) {
+                metrics
+                    .encode_latency
+                    .observe_us(start.elapsed().as_micros() as u64);
+            }
+            reply
+        }
+        Op::Decode => {
+            let start = std::time::Instant::now();
+            let reply = handle_decode(&body[1..], state, metrics);
+            if reply.first() == Some(&(Status::Ok as u8)) {
+                metrics
+                    .decode_latency
+                    .observe_us(start.elapsed().as_micros() as u64);
+            }
+            reply
+        }
         Op::Probe => handle_probe(&body[1..], state, metrics),
         Op::Metrics => {
             metrics.metrics_ok.fetch_add(1, Relaxed);

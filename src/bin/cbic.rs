@@ -863,5 +863,16 @@ fn cmd_bench(args: &[String]) -> CliResult {
             );
         }
     }
+    // Decision profile of the proposed codec's estimator: the static
+    // per-pixel budget (the paper's 1 escape + 8 tree levels for 8-bit
+    // samples) against the decisions that actually reached the arithmetic
+    // coder — the rest were deterministic and coded for free.
+    let stats = cbic::core::encode_model_only(img.view(), &CodecConfig::default());
+    say!(
+        "  proposed model: {:.0} decisions/px budget, {:.2} coded ({:.1}% deterministic)",
+        stats.decisions_per_pixel(),
+        stats.coded_decisions_per_pixel(),
+        stats.deterministic_fraction() * 100.0
+    );
     Ok(())
 }
